@@ -1,0 +1,110 @@
+"""Ablation — the design choices inside the parametric space.
+
+DESIGN.md calls out three choices worth ablating:
+
+1. Algorithm 1 recomputes idf over the thematic basis; the naive
+   alternative just masks out-of-basis components of the full-space
+   vector.
+2. Distance: Euclidean (Equations 5-6) vs cosine.
+3. Sub-space composition for the distance step: common dimensions
+   (default) vs each side in its own sub-space ("own").
+
+Each variant runs the same sweet-spot sub-experiment; the bench reports
+the F1 deltas. No paper numbers exist for these (they are our
+implementation decisions), so the assertions only require sane output
+and that the shipped default is not dominated.
+"""
+
+import random
+
+import pytest
+
+from repro.core.matcher import ThematicMatcher
+from repro.evaluation import (
+    ThemeCombination,
+    format_table,
+    run_sub_experiment,
+    theme_pool,
+)
+from repro.semantics import (
+    CachedMeasure,
+    ParametricVectorSpace,
+    RelatednessCache,
+    ThematicMeasure,
+)
+
+
+@pytest.fixture(scope="module")
+def sweet_spot(workload):
+    pool = list(theme_pool(workload.thesaurus))
+    rng = random.Random(99)
+    subscription_tags = tuple(rng.sample(pool, 12))
+    event_tags = tuple(rng.sample(subscription_tags, 4))
+    return ThemeCombination(
+        event_tags=event_tags, subscription_tags=subscription_tags
+    )
+
+
+def variant_factory(space, mode="common"):
+    def factory():
+        return ThematicMatcher(
+            CachedMeasure(ThematicMeasure(space, mode=mode), RelatednessCache())
+        )
+
+    return factory
+
+
+def test_projection_ablation(benchmark, workload, sweet_spot):
+    corpus = workload.corpus
+    variants = {
+        "default (Algorithm 1, euclid, common)": (
+            workload.space, "common",
+        ),
+        "naive masking (no idf recompute)": (
+            ParametricVectorSpace(corpus, recompute_idf=False), "common",
+        ),
+        "cosine distance": (
+            ParametricVectorSpace(corpus, metric="cosine"), "common",
+        ),
+        "own sub-spaces (literal per-side)": (
+            workload.space, "own",
+        ),
+    }
+
+    results = {}
+    names = list(variants)
+    for name in names[:-1]:
+        space, mode = variants[name]
+        results[name] = run_sub_experiment(
+            workload, variant_factory(space, mode), sweet_spot
+        )
+    last = names[-1]
+    space, mode = variants[last]
+    results[last] = benchmark.pedantic(
+        lambda: run_sub_experiment(workload, variant_factory(space, mode), sweet_spot),
+        rounds=1,
+        iterations=1,
+    )
+
+    default_f1 = results[names[0]].f1
+    print()
+    print(
+        format_table(
+            ("variant", "F1", "delta vs default", "events/sec"),
+            [
+                (
+                    name,
+                    f"{result.f1:.1%}",
+                    f"{result.f1 - default_f1:+.1%}",
+                    f"{result.events_per_second:.0f}",
+                )
+                for name, result in results.items()
+            ],
+        )
+    )
+
+    for result in results.values():
+        assert 0.0 < result.f1 <= 1.0
+    # The shipped default must not be dominated by every ablation.
+    assert any(default_f1 >= r.f1 - 0.02 for name, r in results.items()
+               if name != names[0])

@@ -1,0 +1,89 @@
+"""B0 — the headline comparison of Section 5.2.5 / 5.3.
+
+Paper numbers (full scale):
+
+* non-thematic baseline: 62% F1 at 202 events/sec;
+* thematic: up to 85% F1 (average 71%), throughput average 320 ev/s
+  (up to 838) — "around 15% improvement in accuracy and 150% in
+  throughput" at the top end.
+
+This bench runs the baseline and a sweet-spot thematic cell (event
+theme ~4 tags ⊂ subscription theme ~12 tags, the middle-upper-left of
+Figure 7) and asserts the *shape*: thematic F1 above baseline F1 and
+thematic throughput at least comparable to the baseline's.
+"""
+
+import random
+
+import pytest
+
+from repro.evaluation import (
+    ThemeCombination,
+    format_comparison,
+    run_sub_experiment,
+    theme_pool,
+    thematic_matcher_factory,
+)
+
+
+@pytest.fixture(scope="module")
+def sweet_spot_cells(workload):
+    """A handful of sweet-spot theme combinations (4 ⊂ 12 tags)."""
+    pool = list(theme_pool(workload.thesaurus))
+    rng = random.Random(99)
+    combos = []
+    for _ in range(3):
+        subscription_tags = tuple(rng.sample(pool, 12))
+        event_tags = tuple(rng.sample(subscription_tags, 4))
+        combos.append(
+            ThemeCombination(
+                event_tags=event_tags, subscription_tags=subscription_tags
+            )
+        )
+    return combos
+
+
+def test_headline_accuracy_and_throughput(
+    benchmark, workload, baseline, sweet_spot_cells
+):
+    factory = thematic_matcher_factory(workload)
+    results = [
+        run_sub_experiment(workload, factory, combo)
+        for combo in sweet_spot_cells[:-1]
+    ]
+    # The benchmark-timed sample is one full thematic sub-experiment.
+    timed = benchmark.pedantic(
+        lambda: run_sub_experiment(workload, factory, sweet_spot_cells[-1]),
+        rounds=1,
+        iterations=1,
+    )
+    results.append(timed)
+
+    mean_f1 = sum(r.f1 for r in results) / len(results)
+    best_f1 = max(r.f1 for r in results)
+    mean_eps = sum(r.events_per_second for r in results) / len(results)
+
+    print()
+    print(
+        format_comparison(
+            [
+                ("baseline F1", "62%", f"{baseline.f1:.1%}"),
+                ("thematic F1 (sweet spot, mean)", "71%", f"{mean_f1:.1%}"),
+                ("thematic F1 (best)", "85%", f"{best_f1:.1%}"),
+                (
+                    "baseline throughput",
+                    "202 ev/s",
+                    f"{baseline.events_per_second:.0f} ev/s",
+                ),
+                ("thematic throughput (mean)", "320 ev/s", f"{mean_eps:.0f} ev/s"),
+            ],
+            title="B0 headline (Section 5.2.5 / 5.3)",
+        )
+    )
+
+    # Shape assertions: who wins.
+    assert mean_f1 > baseline.f1, "thematic must beat the baseline on F1"
+    assert best_f1 >= baseline.f1 + 0.03
+    assert mean_eps >= 0.75 * baseline.events_per_second, (
+        "thematic throughput must be at least comparable to baseline"
+    )

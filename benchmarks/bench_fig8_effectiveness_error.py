@@ -1,0 +1,46 @@
+"""Figure 8 — effectiveness sample error.
+
+Paper: the standard error of the 5-sample cells averages ~7% of F1;
+errors are larger (10-25%) around mid-F1 cells and converge to smaller
+values for the high-F1 cells that beat the baseline — i.e. the good
+regions of Figure 7 are also the *predictable* regions.
+"""
+
+import statistics
+
+import pytest
+
+from repro.evaluation import format_comparison, format_error_table
+
+
+def test_figure8_error_profile(benchmark, workload, baseline, grid):
+    benchmark.pedantic(
+        lambda: [c.f1_error for c in grid.cells.values()], rounds=1, iterations=1
+    )
+
+    cells = list(grid.cells.values())
+    errors = [c.f1_error for c in cells]
+    mean_error = statistics.fmean(errors)
+
+    above = [c for c in cells if c.mean_f1 > baseline.f1]
+    below = [c for c in cells if c.mean_f1 <= baseline.f1]
+
+    print()
+    print("Figure 8 — per-cell F1 vs sample error:")
+    print(format_error_table(grid, value="f1"))
+    print()
+    rows = [("mean sample error", "~7% of F1", f"{mean_error:.1%}")]
+    if above and below:
+        rows.append(
+            (
+                "error: above- vs below-baseline cells",
+                "smaller for high-F1 cells",
+                f"{statistics.fmean(c.f1_error for c in above):.1%} vs "
+                f"{statistics.fmean(c.f1_error for c in below):.1%}",
+            )
+        )
+    print(format_comparison(rows, title="Figure 8 shape"))
+
+    # Shape: errors are moderate, not chaotic.
+    assert mean_error <= 0.25
+    assert max(errors) <= 0.5

@@ -1,0 +1,63 @@
+"""Figure 9 — throughput heatmap of the thematic matcher.
+
+Paper: thematic throughput beats the 202 ev/s baseline on >92% of
+sub-experiments (202-838, average 320 ev/s). Throughput decreases with
+larger theme sets (less thematic filtering), dropping to ~95 ev/s at the
+top-right; the back half of the diagonal is slow because equal tag sets
+produce the most *common dimensions* for the distance computation.
+"""
+
+import pytest
+
+from repro.evaluation import format_comparison, format_heatmap
+
+
+def test_figure9_heatmap(benchmark, workload, baseline, grid):
+    benchmark.pedantic(
+        lambda: grid.overall_mean("throughput"), rounds=1, iterations=1
+    )
+
+    mean_eps = grid.overall_mean("throughput")
+    best = grid.best("throughput")
+    fraction = grid.fraction_above(baseline.events_per_second, "throughput")
+
+    sizes = sorted({key[0] for key in grid.cells})
+    smallest, largest = sizes[0], sizes[-1]
+    small_cell = grid.cell(smallest, smallest).mean_throughput
+    large_cell = grid.cell(largest, largest).mean_throughput
+
+    print()
+    print("Figure 9 — thematic throughput (events/sec) per cell:")
+    print(
+        format_heatmap(
+            grid,
+            value="throughput",
+            baseline=baseline.events_per_second,
+            cell_format="{:>6.0f}",
+        )
+    )
+    print()
+    print(
+        format_comparison(
+            [
+                (
+                    "mean thematic vs baseline",
+                    "320 vs 202 ev/s",
+                    f"{mean_eps:.0f} vs {baseline.events_per_second:.0f} ev/s",
+                ),
+                ("best cell", "838 ev/s", f"{best.mean_throughput:.0f} ev/s"),
+                ("cells above baseline", "> 92%", f"{fraction:.0%}"),
+                (
+                    "small themes vs large equal themes",
+                    "faster vs 95-177 ev/s",
+                    f"{small_cell:.0f} vs {large_cell:.0f} ev/s",
+                ),
+            ],
+            title="Figure 9 shape",
+        )
+    )
+
+    # Shape assertions: theme size governs cost; the large-equal-themes
+    # corner is the slow one.
+    assert small_cell > large_cell, "bigger equal themes must be slower"
+    assert mean_eps >= 0.6 * baseline.events_per_second

@@ -1,0 +1,86 @@
+"""FW1 — realistic tagging behavior (paper Section 7 future work).
+
+Section 5.3.3 argues containment between event and subscription themes
+can either be *agreed* (loose coupling) or *assumed* in open scenarios
+"due to the distribution of term usage by humans where some terms are
+more probable to be used by both parties". This bench quantifies both
+halves:
+
+1. how fast F1 degrades as the containment assumption erodes (overlap
+   1.0 -> 0.0 between event and subscription tag sets);
+2. how much overlap two *independent* Zipfian taggers produce naturally,
+   compared to uniform taggers — the paper's hypothesis.
+
+No paper numbers exist (it is future work); the assertions pin the
+qualitative expectations: graceful degradation with overlap, and
+Zipf > uniform natural overlap.
+"""
+
+import random
+
+import pytest
+
+from repro.evaluation import (
+    expected_overlap,
+    format_table,
+    run_sub_experiment,
+    sample_free_combination,
+    theme_pool,
+    thematic_matcher_factory,
+)
+
+
+def test_overlap_degradation_and_zipf_overlap(benchmark, workload, baseline):
+    pool = list(theme_pool(workload.thesaurus))
+    factory = thematic_matcher_factory(workload)
+    rng = random.Random(42)
+
+    overlaps = (1.0, 0.5, 0.0)
+    results = {}
+    for overlap in overlaps[:-1]:
+        combo = sample_free_combination(
+            pool, 4, 12, rng, overlap=overlap
+        )
+        results[overlap] = run_sub_experiment(workload, factory, combo)
+    zero_combo = sample_free_combination(pool, 4, 12, rng, overlap=0.0)
+    results[0.0] = benchmark.pedantic(
+        lambda: run_sub_experiment(workload, factory, zero_combo),
+        rounds=1,
+        iterations=1,
+    )
+
+    natural = {
+        "uniform (s=0)": expected_overlap(pool, 4, 12, exponent=0.0),
+        "zipf (s=1)": expected_overlap(pool, 4, 12, exponent=1.0),
+        "zipf (s=1.5)": expected_overlap(pool, 4, 12, exponent=1.5),
+    }
+
+    print()
+    print("F1 vs theme-set overlap (containment = 1.0):")
+    print(
+        format_table(
+            ("overlap", "F1", "events/sec"),
+            [
+                (f"{overlap:.0%}", f"{r.f1:.1%}", f"{r.events_per_second:.0f}")
+                for overlap, r in sorted(results.items(), reverse=True)
+            ],
+        )
+    )
+    print()
+    print("natural overlap of two independent taggers (4 vs 12 tags, 48-tag pool):")
+    print(
+        format_table(
+            ("tagging behavior", "expected overlap"),
+            [(name, f"{value:.0%}") for name, value in natural.items()],
+        )
+    )
+
+    # Qualitative assertions (Section 5.3.3 / Section 7).
+    assert natural["zipf (s=1.5)"] > natural["uniform (s=0)"], (
+        "shared human tag popularity must create overlap without agreement"
+    )
+    # Degradation is graceful: losing half the overlap must not collapse
+    # matching to chance.
+    assert results[0.5].f1 > 0.5 * results[1.0].f1
+    for result in results.values():
+        assert 0.0 < result.f1 <= 1.0

@@ -1,0 +1,83 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Scale is selected with the ``REPRO_SCALE`` environment variable:
+
+* ``small`` (default) — laptop-friendly workload and a calibrated
+  sub-grid of the paper's 30x30 theme grid. Preserves every qualitative
+  shape of Section 5.3; the full suite runs in minutes.
+* ``paper`` — the paper's dimensions (166 seeds, ~14.7k events, 94
+  subscriptions, 30x30x5 sub-experiments). Expect many hours in CPython.
+
+Every bench prints a paper-vs-measured comparison; absolute numbers are
+expected to differ (different hardware, CPython vs JVM, synthetic corpus
+vs Wikipedia) — the *shapes* are asserted.
+"""
+
+import os
+
+import pytest
+
+from repro.evaluation import (
+    ThemeGridConfig,
+    WorkloadConfig,
+    build_workload,
+    run_baseline,
+    run_grid,
+)
+
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+#: The calibrated sub-grid used at small scale (paper: sizes 1..30 x5).
+SMALL_GRID = ThemeGridConfig(
+    event_sizes=(1, 3, 7, 15, 30),
+    subscription_sizes=(1, 3, 7, 15, 30),
+    samples_per_cell=2,
+)
+
+
+def scale_config() -> WorkloadConfig:
+    if SCALE == "paper":
+        return WorkloadConfig.paper()
+    if SCALE == "small":
+        return WorkloadConfig.small()
+    if SCALE == "tiny":
+        return WorkloadConfig.tiny()
+    raise ValueError(f"unknown REPRO_SCALE {SCALE!r}")
+
+
+def grid_config() -> ThemeGridConfig:
+    if SCALE == "paper":
+        return ThemeGridConfig.paper_scale()
+    if SCALE == "tiny":
+        return ThemeGridConfig(
+            event_sizes=(2, 7), subscription_sizes=(2, 7), samples_per_cell=1
+        )
+    return SMALL_GRID
+
+
+@pytest.fixture(scope="session")
+def workload():
+    wl = build_workload(scale_config())
+    print(f"\n[workload/{SCALE}] {wl.summary()}")
+    return wl
+
+
+@pytest.fixture(scope="session")
+def baseline(workload):
+    result = run_baseline(workload)
+    print(
+        f"[baseline] non-thematic: F1={result.f1:.1%} "
+        f"throughput={result.events_per_second:.0f} ev/s "
+        f"(paper: 62% at 202 ev/s)"
+    )
+    return result
+
+
+@pytest.fixture(scope="session")
+def grid(workload):
+    """The theme-grid run shared by the Figure 7-10 benches."""
+    return run_grid(
+        workload,
+        grid_config=grid_config(),
+        progress=lambda line: print("  " + line),
+    )

@@ -1,0 +1,59 @@
+"""Miniature Section-5 evaluation: baseline vs a thematic theme grid.
+
+Builds the tiny evaluation workload (Figure 6 pipeline at test scale),
+runs the non-thematic baseline and a small thematic theme grid, and
+renders Figure-7/9-style heatmaps in the terminal. The full-size
+reproduction lives in benchmarks/ — this demo finishes in ~a minute.
+
+Run:  python examples/evaluation_demo.py
+"""
+
+from repro.evaluation import (
+    ThemeGridConfig,
+    WorkloadConfig,
+    build_workload,
+    format_heatmap,
+    run_baseline,
+    run_grid,
+)
+
+
+def main() -> None:
+    workload = build_workload(WorkloadConfig.tiny())
+    print("workload:", workload.summary())
+    print()
+
+    baseline = run_baseline(workload)
+    print(f"non-thematic baseline: F1={baseline.f1:.1%} "
+          f"throughput={baseline.events_per_second:.0f} events/sec")
+    print("(paper, full scale: 62% F1 at 202 events/sec)")
+    print()
+
+    grid = run_grid(
+        workload,
+        grid_config=ThemeGridConfig(
+            event_sizes=(1, 3, 7, 15),
+            subscription_sizes=(1, 3, 7, 15),
+            samples_per_cell=2,
+        ),
+        progress=lambda line: print("  " + line),
+    )
+    print()
+    print("thematic F1 (x100), * = beats the baseline  [paper: Figure 7]")
+    print(format_heatmap(grid, value="f1", baseline=baseline.f1))
+    print()
+    print("thematic throughput, events/sec  [paper: Figure 9]")
+    print(format_heatmap(
+        grid, value="throughput", baseline=baseline.events_per_second,
+        cell_format="{:>5.0f}",
+    ))
+    print()
+    print(f"cells above baseline F1: {grid.fraction_above(baseline.f1):.0%} "
+          f"(paper: >70%)")
+    best = grid.best()
+    print(f"best cell: event={best.event_size} sub={best.subscription_size} "
+          f"F1={best.mean_f1:.1%}")
+
+
+if __name__ == "__main__":
+    main()

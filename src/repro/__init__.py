@@ -1,0 +1,127 @@
+"""Thematic event processing.
+
+A production-quality reproduction of *Thematic Event Processing*
+(Souleiman Hasan and Edward Curry, Middleware 2014): approximate
+semantic publish/subscribe matching in which events and subscriptions
+carry free-form **theme tags**, and a distributional vector space —
+parametrized by those themes through thematic projection — scores the
+semantic relatedness of heterogeneous attribute/value vocabularies.
+
+Quickstart::
+
+    from repro import (
+        ParametricVectorSpace, ThematicMeasure, ThematicMatcher,
+        parse_event, parse_subscription, default_corpus,
+    )
+
+    space = ParametricVectorSpace(default_corpus())
+    matcher = ThematicMatcher(ThematicMeasure(space))
+
+    event = parse_event(
+        "({energy, appliances, building},"
+        " {type: increased energy consumption event,"
+        "  device: computer, office: room 112})"
+    )
+    subscription = parse_subscription(
+        "({power, computers},"
+        " {type= increased energy usage event~, device~= laptop~,"
+        "  office= room 112})"
+    )
+    result = matcher.match(subscription, event)
+    assert result is not None and result.is_match(matcher.threshold)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — events, subscriptions, the tilde language, the
+  approximate probabilistic matcher (top-1/top-k);
+* :mod:`repro.semantics` — distributional spaces, thematic projection
+  (Algorithm 1), semantic measures and caches;
+* :mod:`repro.knowledge` — the EuroVoc-like thesaurus and the synthetic
+  Wikipedia-like corpus generator;
+* :mod:`repro.datasets` — the IoT vocabulary pools and seed events;
+* :mod:`repro.baselines` — exact, query-rewriting, and non-thematic
+  matchers (Table 1's comparison systems);
+* :mod:`repro.broker` — a pub/sub broker and multi-broker overlay;
+* :mod:`repro.cep` — complex event processing over uncertain matches;
+* :mod:`repro.evaluation` — the full Section 5 evaluation framework.
+"""
+
+from repro.baselines import (
+    CountingIndex,
+    ExactMatcher,
+    NonThematicMatcher,
+    RewritingMatcher,
+)
+from repro.broker import BrokerOverlay, ThematicBroker
+from repro.cep import CEPEngine, Pattern, parse_pattern
+from repro.core import (
+    AttributeValue,
+    Calibration,
+    Event,
+    MatchResult,
+    Predicate,
+    Subscription,
+    ThematicEventEngine,
+    ThematicMatcher,
+    format_event,
+    format_subscription,
+    parse_event,
+    parse_subscription,
+)
+from repro.datasets import generate_seed_events
+from repro.evaluation import Workload, WorkloadConfig, build_workload
+from repro.knowledge import (
+    Thesaurus,
+    build_corpus,
+    default_corpus,
+    default_thesaurus,
+)
+from repro.semantics import (
+    DistributionalVectorSpace,
+    ExactMeasure,
+    NonThematicMeasure,
+    ParametricVectorSpace,
+    SparseVector,
+    ThematicMeasure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeValue",
+    "BrokerOverlay",
+    "CEPEngine",
+    "Calibration",
+    "CountingIndex",
+    "DistributionalVectorSpace",
+    "Event",
+    "ExactMatcher",
+    "ExactMeasure",
+    "MatchResult",
+    "NonThematicMatcher",
+    "NonThematicMeasure",
+    "ParametricVectorSpace",
+    "Pattern",
+    "Predicate",
+    "RewritingMatcher",
+    "SparseVector",
+    "Subscription",
+    "ThematicBroker",
+    "ThematicEventEngine",
+    "ThematicMatcher",
+    "ThematicMeasure",
+    "Thesaurus",
+    "Workload",
+    "WorkloadConfig",
+    "build_workload",
+    "build_corpus",
+    "default_corpus",
+    "default_thesaurus",
+    "format_event",
+    "format_subscription",
+    "generate_seed_events",
+    "parse_event",
+    "parse_pattern",
+    "parse_subscription",
+    "__version__",
+]

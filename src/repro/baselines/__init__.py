@@ -1,0 +1,15 @@
+"""Baseline matchers: the non-thematic columns of Table 1."""
+
+from repro.baselines.exact import CountingIndex, ExactMatcher, covers
+from repro.baselines.nonthematic import NonThematicMatcher, make_nonthematic_matcher
+from repro.baselines.rewriting import RewritingMatcher, rewrite_subscription
+
+__all__ = [
+    "CountingIndex",
+    "covers",
+    "ExactMatcher",
+    "NonThematicMatcher",
+    "RewritingMatcher",
+    "make_nonthematic_matcher",
+    "rewrite_subscription",
+]

@@ -1,0 +1,185 @@
+"""Content-based exact matching (Table 1, column 1).
+
+The classic SIENA-style [7] semantics: a subscription matches an event
+iff *every* predicate finds a tuple with string-equal attribute and
+equal value. No semantics, no themes; the tilde operator is ignored.
+
+Two implementations:
+
+* :class:`ExactMatcher` — per-pair decision, mirroring the approximate
+  matcher's interface (used as the scoring baseline);
+* :class:`CountingIndex` — the counting-based matching algorithm used by
+  content-based brokers: subscriptions are indexed by their
+  (attribute, value) predicates; an event looks up each of its tuples
+  once and any subscription whose hit-count reaches its predicate count
+  matches. This is why the content-based approach has "high" efficiency
+  in Table 1 — matching cost is independent of the subscription count
+  for selective workloads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.events import Event, Value
+from repro.core.subscriptions import Predicate, Subscription
+from repro.semantics.tokenize import normalize_term
+
+__all__ = ["ExactMatcher", "CountingIndex", "covers"]
+
+
+def _key(attribute: str, value: Value) -> tuple[str, Value]:
+    if isinstance(value, str):
+        return (normalize_term(attribute), normalize_term(value))
+    return (normalize_term(attribute), value)
+
+
+class ExactMatcher:
+    """Boolean exact matcher with the approximate matcher's interface.
+
+    ``score`` returns 1.0/0.0 so the evaluation harness can rank with it
+    uniformly.
+    """
+
+    def matches(self, subscription: Subscription, event: Event) -> bool:
+        for predicate in subscription.predicates:
+            value = event.value(predicate.attribute)
+            if value is None:
+                return False
+            if _key(predicate.attribute, value) != _key(
+                predicate.attribute, predicate.value
+            ):
+                return False
+        return True
+
+    def score(self, subscription: Subscription, event: Event) -> float:
+        return 1.0 if self.matches(subscription, event) else 0.0
+
+
+def _value_set_implies(specific: Predicate, general: Predicate) -> bool:
+    """Does satisfying ``specific`` guarantee satisfying ``general``?
+
+    Compares the value sets the two predicates admit. Conservative: when
+    implication cannot be decided (mixed types, semantic approximation),
+    returns False.
+    """
+    s_op, g_op = specific.operator, general.operator
+    s_v, g_v = specific.value, general.value
+
+    def norm(value):
+        return normalize_term(value) if isinstance(value, str) else value
+
+    if s_op == "=":
+        # {v} subset of G: just evaluate G at v.
+        if g_op == "=":
+            return norm(s_v) == norm(g_v)
+        return general.evaluate_value(s_v)
+    if g_op == "=":
+        return False  # a non-singleton set never fits inside a singleton
+    if s_op == "!=" or g_op == "!=":
+        # complement sets: s (!= a) implies g (!= b) iff a == b.
+        return s_op == g_op == "!=" and norm(s_v) == norm(g_v)
+    if isinstance(s_v, str) or isinstance(g_v, str):
+        return False
+    # Both are numeric half-lines.
+    if s_op in (">", ">=") and g_op in (">", ">="):
+        if s_v > g_v:
+            return True
+        return s_v == g_v and not (s_op == ">=" and g_op == ">")
+    if s_op in ("<", "<=") and g_op in ("<", "<="):
+        if s_v < g_v:
+            return True
+        return s_v == g_v and not (s_op == "<=" and g_op == "<")
+    return False
+
+
+def covers(general: Subscription, specific: Subscription) -> bool:
+    """SIENA-style covering: every event matching ``specific`` also
+    matches ``general``.
+
+    Content-based brokers use covering to prune forwarded subscriptions:
+    a broker that already forwards ``general`` upstream need not forward
+    anything it covers. Decidable only for the exact fragment — a
+    semantically approximated (``~``) predicate is covered solely by an
+    identical predicate (conservative), because approximate match sets
+    have no syntactic containment relation (the reason the paper's
+    overlay floods instead of summarizing).
+    """
+    specific_by_attr: dict[str, list[Predicate]] = defaultdict(list)
+    for predicate in specific.predicates:
+        specific_by_attr[normalize_term(predicate.attribute)].append(predicate)
+
+    for g in general.predicates:
+        candidates = specific_by_attr.get(normalize_term(g.attribute), [])
+        if g.approx_attribute or g.approx_value:
+            if not any(g == s for s in candidates):
+                return False
+            continue
+        if not any(
+            not s.approx_attribute
+            and not s.approx_value
+            and _value_set_implies(s, g)
+            for s in candidates
+        ):
+            return False
+    return True
+
+
+class CountingIndex:
+    """Counting-based subscription index for content-based brokers.
+
+    ``add`` registers subscriptions; ``match`` returns the ids of all
+    subscriptions fully satisfied by an event. Cost of ``match`` is
+    ``O(tuples x avg-postings)``, independent of total subscriptions.
+    """
+
+    def __init__(self) -> None:
+        self._by_predicate: dict[tuple[str, Value], list[int]] = defaultdict(list)
+        self._predicate_counts: dict[int, int] = {}
+        self._subscriptions: dict[int, Subscription] = {}
+        self._next_id = 0
+
+    def add(self, subscription: Subscription) -> int:
+        """Index a subscription; returns its id."""
+        sub_id = self._next_id
+        self._next_id += 1
+        self._subscriptions[sub_id] = subscription
+        self._predicate_counts[sub_id] = len(subscription.predicates)
+        for predicate in subscription.predicates:
+            self._by_predicate[_key(predicate.attribute, predicate.value)].append(
+                sub_id
+            )
+        return sub_id
+
+    def remove(self, sub_id: int) -> bool:
+        """Drop a subscription from the index; True if it was present."""
+        subscription = self._subscriptions.pop(sub_id, None)
+        if subscription is None:
+            return False
+        del self._predicate_counts[sub_id]
+        for predicate in subscription.predicates:
+            key = _key(predicate.attribute, predicate.value)
+            self._by_predicate[key] = [
+                s for s in self._by_predicate[key] if s != sub_id
+            ]
+            if not self._by_predicate[key]:
+                del self._by_predicate[key]
+        return True
+
+    def match(self, event: Event) -> list[int]:
+        """Ids of subscriptions whose every predicate the event satisfies."""
+        counts: dict[int, int] = defaultdict(int)
+        for av in event.payload:
+            for sub_id in self._by_predicate.get(_key(av.attribute, av.value), ()):
+                counts[sub_id] += 1
+        return sorted(
+            sub_id
+            for sub_id, hit in counts.items()
+            if hit >= self._predicate_counts[sub_id]
+        )
+
+    def subscription(self, sub_id: int) -> Subscription:
+        return self._subscriptions[sub_id]
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)

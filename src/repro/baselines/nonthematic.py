@@ -1,0 +1,47 @@
+"""The non-thematic approximate matcher — the paper's main baseline.
+
+This is the authors' prior system [16] (Section 5.2.5): the same
+approximate probabilistic matcher, but the semantic measure ignores
+themes and works on the full, unprojected distributional space. On the
+paper's workload it scores 62% F1 at 202 events/sec; every thematic
+comparison in Section 5.3 is against these numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.cache import RelatednessCache
+from repro.semantics.measures import CachedMeasure, NonThematicMeasure
+from repro.semantics.space import DistributionalVectorSpace
+
+__all__ = ["NonThematicMatcher", "make_nonthematic_matcher"]
+
+
+class NonThematicMatcher(ThematicMatcher):
+    """Approximate matcher over the unprojected space (prior work [16])."""
+
+    def __init__(
+        self,
+        space: DistributionalVectorSpace,
+        *,
+        k: int = 1,
+        threshold: float = 0.5,
+        min_relatedness: float = 0.0,
+        cached: bool = True,
+    ):
+        measure = NonThematicMeasure(space)
+        if cached:
+            measure = CachedMeasure(measure, RelatednessCache())
+        super().__init__(
+            measure,
+            k=k,
+            threshold=threshold,
+            min_relatedness=min_relatedness,
+        )
+
+
+def make_nonthematic_matcher(
+    space: DistributionalVectorSpace, **kwargs
+) -> NonThematicMatcher:
+    """Factory mirroring the thematic construction sites in the benches."""
+    return NonThematicMatcher(space, **kwargs)

@@ -1,0 +1,149 @@
+"""Concept-based query rewriting baseline (Table 1, column 2).
+
+The concept-based approach (S-ToPSS [22], the WordNet comparator of
+[16]) keeps exact matching but *rewrites* every approximate subscription
+into the set of exact subscriptions obtained by substituting each
+approximated term with its knowledge-base synonyms/related terms. The
+event side stays untouched; matching is Boolean.
+
+The combinatorics are the approach's weakness the paper points at: the
+paper's 94 approximate subscriptions are "equivalent to about 48,000
+subscriptions which would be needed by a non-approximate approach".
+``max_rewrites_per_subscription`` caps the blow-up (rewrites beyond the
+cap are dropped, costing recall — faithfully reproducing why the
+rewriting baseline loses F1 in [16]'s comparison).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from itertools import product
+
+from repro.baselines.exact import CountingIndex, ExactMatcher
+from repro.core.events import Event
+from repro.core.subscriptions import Predicate, Subscription
+from repro.knowledge.rewrite import single_replacements
+from repro.knowledge.thesaurus import Thesaurus
+
+__all__ = ["rewrite_subscription", "RewritingMatcher"]
+
+
+def _side_variants(
+    term: str,
+    approximate: bool,
+    thesaurus: Thesaurus,
+    domains: tuple[str, ...] | None,
+    include_related: bool,
+) -> tuple[str, ...]:
+    if not approximate:
+        return (term,)
+    return (
+        term,
+        *single_replacements(
+            term, thesaurus, domains, include_related=include_related
+        ),
+    )
+
+
+def rewrite_subscription(
+    subscription: Subscription,
+    thesaurus: Thesaurus,
+    *,
+    domains: Iterable[str] | None = None,
+    include_related: bool = True,
+    max_rewrites: int = 2000,
+) -> tuple[Subscription, ...]:
+    """Exact subscriptions covering the approximate one, original first.
+
+    The cross-product over per-predicate variants is enumerated
+    deterministically and truncated at ``max_rewrites``.
+    """
+    domain_tuple = tuple(domains) if domains is not None else None
+    per_predicate: list[list[Predicate]] = []
+    for predicate in subscription.predicates:
+        attrs = _side_variants(
+            predicate.attribute,
+            predicate.approx_attribute,
+            thesaurus,
+            domain_tuple,
+            include_related,
+        )
+        if isinstance(predicate.value, str):
+            values = _side_variants(
+                predicate.value,
+                predicate.approx_value,
+                thesaurus,
+                domain_tuple,
+                include_related,
+            )
+        else:
+            values = (predicate.value,)
+        per_predicate.append(
+            [Predicate(attr, value) for attr in attrs for value in values]
+        )
+
+    rewrites: list[Subscription] = []
+    for combo in product(*per_predicate):
+        rewrites.append(
+            Subscription(theme=subscription.theme, predicates=tuple(combo))
+        )
+        if len(rewrites) >= max_rewrites:
+            break
+    return tuple(rewrites)
+
+
+class RewritingMatcher:
+    """Boolean matcher running exact matching over rewritten queries.
+
+    Exposes the same ``score``/``matches`` interface as the approximate
+    matchers so the harness can rank with it. ``index_for`` builds a
+    :class:`~repro.baselines.exact.CountingIndex` over all rewrites of a
+    subscription set — the high-throughput deployment mode whose cost is
+    paid in index size instead.
+    """
+
+    def __init__(
+        self,
+        thesaurus: Thesaurus,
+        *,
+        domains: Iterable[str] | None = None,
+        include_related: bool = True,
+        max_rewrites: int = 2000,
+    ):
+        self.thesaurus = thesaurus
+        self.domains = tuple(domains) if domains is not None else None
+        self.include_related = include_related
+        self.max_rewrites = max_rewrites
+        self._exact = ExactMatcher()
+        self._rewrite_cache: dict[int, tuple[Subscription, ...]] = {}
+
+    def rewrites(self, subscription: Subscription) -> tuple[Subscription, ...]:
+        key = id(subscription)
+        cached = self._rewrite_cache.get(key)
+        if cached is None:
+            cached = rewrite_subscription(
+                subscription,
+                self.thesaurus,
+                domains=self.domains,
+                include_related=self.include_related,
+                max_rewrites=self.max_rewrites,
+            )
+            self._rewrite_cache[key] = cached
+        return cached
+
+    def matches(self, subscription: Subscription, event: Event) -> bool:
+        return any(
+            self._exact.matches(rewrite, event)
+            for rewrite in self.rewrites(subscription)
+        )
+
+    def score(self, subscription: Subscription, event: Event) -> float:
+        return 1.0 if self.matches(subscription, event) else 0.0
+
+    def index_for(self, subscriptions: Iterable[Subscription]) -> CountingIndex:
+        """Counting index over every rewrite of every subscription."""
+        index = CountingIndex()
+        for subscription in subscriptions:
+            for rewrite in self.rewrites(subscription):
+                index.add(rewrite)
+        return index

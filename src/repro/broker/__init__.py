@@ -1,0 +1,20 @@
+"""Publish/subscribe middleware substrate hosting the thematic matcher."""
+
+from repro.broker.broker import (
+    BrokerMetrics,
+    Delivery,
+    SubscriberHandle,
+    ThematicBroker,
+)
+from repro.broker.overlay import BrokerOverlay, OverlayMetrics
+from repro.broker.threaded import ThreadedBroker
+
+__all__ = [
+    "BrokerMetrics",
+    "BrokerOverlay",
+    "Delivery",
+    "OverlayMetrics",
+    "SubscriberHandle",
+    "ThematicBroker",
+    "ThreadedBroker",
+]

@@ -1,0 +1,166 @@
+"""A thematic publish/subscribe broker node.
+
+The broker realizes the three classic decoupling dimensions of Figure 1
+around the thematic matcher:
+
+* **space** — publishers and subscribers only ever talk to the broker;
+  neither knows the other exists;
+* **time** — the broker keeps a bounded replay buffer, so a subscriber
+  that arrives late can be caught up on recent events on request;
+* **synchronization** — deliveries go to per-subscriber inbox queues;
+  publishing never blocks on consumption and consumers drain their
+  inbox whenever they choose (callbacks are optional).
+
+The fourth dimension — **semantics** — is the paper's contribution: the
+matcher is pluggable, so the same broker runs content-based (exact),
+non-thematic approximate, or thematic matching.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.events import Event
+from repro.core.matcher import MatchResult, ThematicMatcher
+from repro.core.subscriptions import Subscription
+
+__all__ = ["BrokerMetrics", "Delivery", "SubscriberHandle", "ThematicBroker"]
+
+
+@dataclass
+class BrokerMetrics:
+    """Operational counters, exposed for tests and benchmarks."""
+
+    published: int = 0
+    evaluations: int = 0
+    deliveries: int = 0
+    replayed: int = 0
+    callback_errors: int = 0
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One matched event delivered to one subscriber."""
+
+    result: MatchResult
+    sequence: int
+
+    @property
+    def event(self) -> Event:
+        return self.result.event
+
+    @property
+    def score(self) -> float:
+        return self.result.score
+
+
+@dataclass
+class SubscriberHandle:
+    """A subscriber's registration: its subscription and inbox queue."""
+
+    subscriber_id: int
+    subscription: Subscription
+    inbox: deque = field(default_factory=deque)
+    callback: Callable[[Delivery], None] | None = None
+
+    def drain(self) -> list[Delivery]:
+        """Remove and return everything currently in the inbox."""
+        items = list(self.inbox)
+        self.inbox.clear()
+        return items
+
+
+class ThematicBroker:
+    """Single broker node hosting a matcher and a subscription registry.
+
+    Parameters
+    ----------
+    matcher:
+        Any matcher with the :class:`~repro.core.matcher.ThematicMatcher`
+        interface (``match``/``matches``/``threshold``).
+    replay_capacity:
+        How many recent events the broker retains for late joiners.
+    """
+
+    def __init__(self, matcher: ThematicMatcher, *, replay_capacity: int = 256):
+        self.matcher = matcher
+        self.metrics = BrokerMetrics()
+        self._subscribers: dict[int, SubscriberHandle] = {}
+        self._replay: deque[tuple[int, Event]] = deque(maxlen=replay_capacity)
+        self._next_id = 0
+        self._sequence = 0
+
+    # -- subscriber side ---------------------------------------------------
+
+    def subscribe(
+        self,
+        subscription: Subscription,
+        callback: Callable[[Delivery], None] | None = None,
+        *,
+        replay: bool = False,
+    ) -> SubscriberHandle:
+        """Register a subscription; optionally replay buffered events.
+
+        With ``replay=True`` the retained events are matched against the
+        new subscription immediately (time decoupling: consumers need
+        not be active when producers fire).
+        """
+        handle = SubscriberHandle(
+            subscriber_id=self._next_id,
+            subscription=subscription,
+            callback=callback,
+        )
+        self._subscribers[self._next_id] = handle
+        self._next_id += 1
+        if replay:
+            for sequence, event in list(self._replay):
+                result = self._evaluate(subscription, event)
+                if result is not None:
+                    self.metrics.replayed += 1
+                    self._deliver(handle, Delivery(result=result, sequence=sequence))
+        return handle
+
+    def unsubscribe(self, handle: SubscriberHandle) -> bool:
+        return self._subscribers.pop(handle.subscriber_id, None) is not None
+
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    # -- publisher side ----------------------------------------------------
+
+    def publish(self, event: Event) -> int:
+        """Match ``event`` against all subscriptions; returns deliveries."""
+        self.metrics.published += 1
+        sequence = self._sequence
+        self._sequence += 1
+        self._replay.append((sequence, event))
+        delivered = 0
+        for handle in list(self._subscribers.values()):
+            result = self._evaluate(handle.subscription, event)
+            if result is not None:
+                delivered += 1
+                self._deliver(handle, Delivery(result=result, sequence=sequence))
+        return delivered
+
+    # -- internals -----------------------------------------------------------
+
+    def _evaluate(self, subscription: Subscription, event: Event) -> MatchResult | None:
+        self.metrics.evaluations += 1
+        result = self.matcher.match(subscription, event)
+        if result is None or not result.is_match(self.matcher.threshold):
+            return None
+        return result
+
+    def _deliver(self, handle: SubscriberHandle, delivery: Delivery) -> None:
+        self.metrics.deliveries += 1
+        handle.inbox.append(delivery)
+        if handle.callback is not None:
+            try:
+                handle.callback(delivery)
+            except Exception:
+                # One subscriber's broken callback must not take down the
+                # broker or starve other subscribers; the delivery stays
+                # in the inbox either way.
+                self.metrics.callback_errors += 1

@@ -1,0 +1,144 @@
+"""Threaded broker front-end: true synchronization decoupling.
+
+:class:`~repro.broker.broker.ThematicBroker` is synchronous — ``publish``
+runs the matcher inline. :class:`ThreadedBroker` wraps it with a worker
+thread and an ingress queue, so producers return immediately (the
+synchronization decoupling of Figure 1 made literal) while matching and
+delivery happen on the broker thread. Subscriber callbacks therefore run
+on the broker thread; inbox draining remains safe from any thread
+(``collections.deque`` append/popleft are atomic in CPython, and drains
+go through a lock anyway).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Callable
+
+from repro.broker.broker import Delivery, SubscriberHandle, ThematicBroker
+from repro.core.events import Event
+from repro.core.matcher import ThematicMatcher
+from repro.core.subscriptions import Subscription
+
+__all__ = ["ThreadedBroker"]
+
+#: Sentinel shutting the worker down.
+_STOP = object()
+
+
+class ThreadedBroker:
+    """Asynchronous facade over a single-node thematic broker.
+
+    Usage::
+
+        broker = ThreadedBroker(matcher)
+        handle = broker.subscribe(subscription)
+        broker.publish(event)          # returns immediately
+        broker.flush()                 # wait until the queue drains
+        deliveries = handle.drain()
+        broker.close()
+
+    Also usable as a context manager (``with ThreadedBroker(...) as b:``).
+    """
+
+    def __init__(
+        self,
+        matcher: ThematicMatcher,
+        *,
+        replay_capacity: int = 256,
+        max_queue: int = 10_000,
+    ):
+        self._inner = ThematicBroker(matcher, replay_capacity=replay_capacity)
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="thematic-broker", daemon=True
+        )
+        self._worker.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                with self._lock:
+                    self._inner.publish(item)
+            finally:
+                self._queue.task_done()
+
+    def close(self) -> None:
+        """Stop the worker after draining everything already queued."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._worker.join()
+
+    def __enter__(self) -> "ThreadedBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- producer side --------------------------------------------------------
+
+    def publish(self, event: Event) -> None:
+        """Enqueue an event; never blocks on matching.
+
+        Raises ``RuntimeError`` after :meth:`close` — silently dropping
+        events would hide producer bugs.
+        """
+        if self._closed:
+            raise RuntimeError("broker is closed")
+        self._queue.put(event)
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Block until every queued event has been processed.
+
+        Returns False if ``timeout`` elapsed first.
+        """
+        if timeout is None:
+            self._queue.join()
+            return True
+        done = threading.Event()
+
+        def wait() -> None:
+            self._queue.join()
+            done.set()
+
+        waiter = threading.Thread(target=wait, daemon=True)
+        waiter.start()
+        return done.wait(timeout)
+
+    # -- subscriber side --------------------------------------------------------
+
+    def subscribe(
+        self,
+        subscription: Subscription,
+        callback: Callable[[Delivery], None] | None = None,
+        *,
+        replay: bool = False,
+    ) -> SubscriberHandle:
+        with self._lock:
+            return self._inner.subscribe(subscription, callback, replay=replay)
+
+    def unsubscribe(self, handle: SubscriberHandle) -> bool:
+        with self._lock:
+            return self._inner.unsubscribe(handle)
+
+    @property
+    def metrics(self):
+        return self._inner.metrics
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return self._inner.subscriber_count()
+
+    def pending(self) -> int:
+        """Events queued but not yet matched (approximate)."""
+        return self._queue.qsize()

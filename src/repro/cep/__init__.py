@@ -1,0 +1,40 @@
+"""Complex event processing over uncertain thematic matches."""
+
+from repro.cep.engine import CEPEngine, ComplexEvent, PatternHandle
+from repro.cep.patterns import Pattern, Step, parse_pattern
+from repro.cep.predicates import (
+    Between,
+    Custom,
+    Eq,
+    Filter,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Ne,
+    OneOf,
+)
+from repro.cep.uncertainty import at_least, conjunction, disjunction, negation
+
+__all__ = [
+    "Between",
+    "CEPEngine",
+    "ComplexEvent",
+    "Custom",
+    "Eq",
+    "Filter",
+    "Ge",
+    "Gt",
+    "Le",
+    "Lt",
+    "Ne",
+    "OneOf",
+    "Pattern",
+    "PatternHandle",
+    "Step",
+    "at_least",
+    "conjunction",
+    "disjunction",
+    "negation",
+    "parse_pattern",
+]

@@ -1,0 +1,202 @@
+"""Complex event processing over uncertain single-event matches.
+
+The engine consumes raw events, matches each against the subscriptions
+of every registered pattern's steps (through the pluggable approximate
+matcher — this is where the thematic model's top-k probabilistic output
+feeds CEP, Section 6.2), advances partial pattern instances, and emits
+:class:`ComplexEvent` notifications whose probability is the
+[26]-style conjunction of the constituent match probabilities.
+
+Windows are logical: ``Pattern.within`` bounds how many engine-observed
+events the whole sequence may span, which is the natural notion of time
+for instantaneous, totally-ordered events.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.cep.patterns import Pattern, Step
+from repro.cep.uncertainty import conjunction
+from repro.core.events import Event
+from repro.core.matcher import MatchResult, ThematicMatcher
+
+__all__ = ["ComplexEvent", "PatternHandle", "CEPEngine"]
+
+
+@dataclass(frozen=True)
+class ComplexEvent:
+    """A completed pattern instance."""
+
+    pattern: Pattern
+    bindings: dict[str, MatchResult]
+    probability: float
+    first_sequence: int
+    last_sequence: int
+
+    def binding(self, name: str) -> MatchResult:
+        return self.bindings[name]
+
+
+@dataclass
+class _Partial:
+    next_step: int
+    bindings: dict[str, MatchResult]
+    first_sequence: int
+
+
+@dataclass
+class PatternHandle:
+    """A registered pattern with its callback and live partial instances."""
+
+    pattern_id: int
+    pattern: Pattern
+    callback: Callable[[ComplexEvent], None] | None = None
+    partials: list[_Partial] = field(default_factory=list)
+    emitted: int = 0
+
+
+class CEPEngine:
+    """Pattern detection over a stream of (uncertain) events."""
+
+    def __init__(self, matcher: ThematicMatcher):
+        self.matcher = matcher
+        self._patterns: dict[int, PatternHandle] = {}
+        self._next_id = 0
+        self._sequence = 0
+
+    def register(
+        self,
+        pattern: Pattern,
+        callback: Callable[[ComplexEvent], None] | None = None,
+    ) -> PatternHandle:
+        handle = PatternHandle(self._next_id, pattern, callback)
+        self._patterns[self._next_id] = handle
+        self._next_id += 1
+        return handle
+
+    def unregister(self, handle: PatternHandle) -> bool:
+        return self._patterns.pop(handle.pattern_id, None) is not None
+
+    def pattern_count(self) -> int:
+        return len(self._patterns)
+
+    # -- stream ingestion ---------------------------------------------------
+
+    def _step_match(self, step: Step, event: Event) -> MatchResult | None:
+        result = self.matcher.match(step.subscription, event)
+        if result is None or not result.is_match(self.matcher.threshold):
+            return None
+        if not all(value_filter.matches(event) for value_filter in step.filters):
+            return None
+        return result
+
+    def feed(self, event: Event) -> list[ComplexEvent]:
+        """Advance every pattern with one event; returns completions."""
+        sequence = self._sequence
+        self._sequence += 1
+        completions: list[ComplexEvent] = []
+        for handle in self._patterns.values():
+            completions.extend(self._advance(handle, event, sequence))
+        return completions
+
+    def _advance(
+        self, handle: PatternHandle, event: Event, sequence: int
+    ) -> list[ComplexEvent]:
+        pattern = handle.pattern
+        # Expire partials whose window has closed.
+        if pattern.within is not None:
+            handle.partials = [
+                partial
+                for partial in handle.partials
+                if sequence - partial.first_sequence <= pattern.within
+            ]
+        completions: list[ComplexEvent] = []
+        survivors: list[_Partial] = []
+        # Existing partials first (advance at most one step per event).
+        for partial in handle.partials:
+            outcome = self._advance_partial(pattern, partial, event, sequence)
+            if outcome == "killed":
+                continue
+            if isinstance(outcome, _Partial):
+                survivors.append(outcome)
+                continue
+            # outcome is a completed bindings dict
+            complex_event = self._complete(
+                pattern, outcome, partial.first_sequence, sequence
+            )
+            if complex_event is not None:
+                completions.append(complex_event)
+                handle.emitted += 1
+        # 'every' semantics: each event may open a fresh instance.
+        first = pattern.steps[0]  # never negated (validated)
+        result = self._step_match(first, event)
+        if result is not None:
+            bindings = {first.name: result}
+            if len(pattern.positive_steps()) == 1:
+                complex_event = self._complete(pattern, bindings, sequence, sequence)
+                if complex_event is not None:
+                    completions.append(complex_event)
+                    handle.emitted += 1
+            else:
+                survivors.append(
+                    _Partial(next_step=1, bindings=bindings, first_sequence=sequence)
+                )
+        handle.partials = survivors
+        if handle.callback is not None:
+            for complex_event in completions:
+                handle.callback(complex_event)
+        return completions
+
+    def _advance_partial(
+        self, pattern: Pattern, partial: _Partial, event: Event, sequence: int
+    ):
+        """One event against one waiting instance.
+
+        Returns ``"killed"`` (a negated guard fired), a new
+        :class:`_Partial` (waiting continues or advanced mid-pattern), or
+        a completed bindings dict.
+        """
+        index = partial.next_step
+        # Guards between the consumed prefix and the next positive step.
+        guards = []
+        while pattern.steps[index].negated:
+            guards.append(pattern.steps[index])
+            index += 1
+        for guard in guards:
+            if self._step_match(guard, event) is not None:
+                return "killed"
+        positive = pattern.steps[index]
+        result = self._step_match(positive, event)
+        if result is None:
+            return partial
+        bindings = dict(partial.bindings)
+        bindings[positive.name] = result
+        if index + 1 >= len(pattern.steps):
+            return bindings
+        return _Partial(
+            next_step=index + 1,
+            bindings=bindings,
+            first_sequence=partial.first_sequence,
+        )
+
+    @staticmethod
+    def _complete(
+        pattern: Pattern,
+        bindings: dict[str, MatchResult],
+        first_sequence: int,
+        last_sequence: int,
+    ) -> ComplexEvent | None:
+        probability = conjunction(
+            result.probability for result in bindings.values()
+        )
+        if probability < pattern.min_probability:
+            return None
+        return ComplexEvent(
+            pattern=pattern,
+            bindings=bindings,
+            probability=probability,
+            first_sequence=first_sequence,
+            last_sequence=last_sequence,
+        )

@@ -1,0 +1,118 @@
+"""Pattern AST and mini-language for complex event detection.
+
+The motivating scenario (Section 2.1) is an Esper EPL rule::
+
+    pattern [ every a=StreetLightsEvents(a.type= 'energy consumption event'
+              and a.area.consumptionPeak='true')]
+
+The CEP layer provides the equivalent: a pattern is a sequence of named
+*steps*, each selecting events with a thematic subscription (semantic
+part) plus optional value filters (:mod:`repro.cep.predicates`), with an
+optional ``within`` horizon bounding how many events the whole sequence
+may span. A single-step pattern is Esper's ``every``.
+
+A small text syntax mirrors the paper's examples::
+
+    every a = ({energy}, {type= energy consumption event~, area= town~})
+    every a = ({power}, {type= surge event~}) -> b = ({power}, {type= outage event~}) within 50
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.cep.predicates import Filter
+from repro.core.language import ParseError, parse_subscription
+from repro.core.subscriptions import Subscription
+
+__all__ = ["Step", "Pattern", "parse_pattern"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One named stage of a pattern.
+
+    A ``negated`` step is a *guard*: the pattern instance is killed if an
+    event matching it arrives while the instance waits for the next
+    positive step ("A then C with no B in between" — the classic absence
+    pattern). Negated steps bind no event and cannot be first or last.
+    """
+
+    name: str
+    subscription: Subscription
+    filters: tuple[Filter, ...] = ()
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[a-zA-Z_]\w*", self.name):
+            raise ValueError(f"bad step name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A sequence of steps, optionally bounded by a ``within`` horizon.
+
+    ``within`` counts *events seen by the engine* between the first and
+    the last step's match (a logical-time window: the model's events are
+    instantaneous and totally ordered by arrival). ``min_probability``
+    discards complex events whose combined probability ([26]-style
+    conjunction of constituent match probabilities) is too low.
+    """
+
+    steps: tuple[Step, ...]
+    within: int | None = None
+    min_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a pattern needs at least one step")
+        names = [step.name for step in self.steps]
+        if len(set(names)) != len(names):
+            raise ValueError("step names must be unique")
+        if self.steps[0].negated or self.steps[-1].negated:
+            raise ValueError("negated steps cannot open or close a pattern")
+        positive = self.positive_steps()
+        if self.within is not None and self.within < len(positive) - 1:
+            raise ValueError("within horizon too small for the step count")
+
+    def positive_steps(self) -> tuple[Step, ...]:
+        return tuple(step for step in self.steps if not step.negated)
+
+    @classmethod
+    def every(cls, name: str, subscription: Subscription, *filters: Filter) -> "Pattern":
+        """Esper's ``every``: a single-step pattern."""
+        return cls(steps=(Step(name, subscription, tuple(filters)),))
+
+
+_STEP_RE = re.compile(r"^\s*(?P<name>[a-zA-Z_]\w*)\s*=\s*(?P<body>.+?)\s*$", re.DOTALL)
+_WITHIN_RE = re.compile(r"^(?P<body>.*?)\s+within\s+(?P<horizon>\d+)\s*$", re.DOTALL)
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse the mini-language described in the module docstring.
+
+    Filters are not expressible in text (they are code-level objects);
+    build the :class:`Pattern` programmatically when you need them.
+    """
+    body = text.strip()
+    if not body.startswith("every"):
+        raise ParseError("a pattern must start with 'every'")
+    body = body[len("every"):].strip()
+    within: int | None = None
+    within_match = _WITHIN_RE.match(body)
+    if within_match:
+        within = int(within_match.group("horizon"))
+        body = within_match.group("body")
+    steps = []
+    for part in body.split("->"):
+        step_match = _STEP_RE.match(part)
+        if not step_match:
+            raise ParseError(f"bad pattern step: {part!r}")
+        steps.append(
+            Step(
+                name=step_match.group("name"),
+                subscription=parse_subscription(step_match.group("body")),
+            )
+        )
+    return Pattern(steps=tuple(steps), within=within)

@@ -1,0 +1,133 @@
+"""Value filters for CEP patterns.
+
+The subscription language of Section 3.4 deliberately supports only
+(approximate) equality; numeric and Boolean operators "are kept out of
+the language for the sake of discourse simplicity". Real deployments
+still need them — the motivating Esper rule filters on
+``a.area.consumptionPeak = 'true'`` — so the CEP layer reintroduces them
+*above* the semantic matcher: a pattern combines a thematic
+subscription (semantic selection) with these filters (value logic).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Container
+from dataclasses import dataclass
+
+from repro.core.events import Event, Value
+from repro.semantics.tokenize import normalize_term
+
+__all__ = ["Filter", "Eq", "Ne", "Gt", "Ge", "Lt", "Le", "Between", "OneOf", "Custom"]
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Base: a named attribute plus a test on its value."""
+
+    attribute: str
+
+    def test(self, value: Value) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def matches(self, event: Event) -> bool:
+        value = event.value(self.attribute)
+        if value is None:
+            return False
+        return self.test(value)
+
+
+def _as_number(value: Value) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value))
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class Eq(Filter):
+    expected: Value = ""
+
+    def test(self, value: Value) -> bool:
+        if isinstance(value, str) and isinstance(self.expected, str):
+            return normalize_term(value) == normalize_term(self.expected)
+        return value == self.expected
+
+
+@dataclass(frozen=True)
+class Ne(Eq):
+    def test(self, value: Value) -> bool:
+        return not super().test(value)
+
+
+@dataclass(frozen=True)
+class _Numeric(Filter):
+    bound: float = 0.0
+
+    def compare(self, number: float) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def test(self, value: Value) -> bool:
+        number = _as_number(value)
+        return number is not None and self.compare(number)
+
+
+@dataclass(frozen=True)
+class Gt(_Numeric):
+    def compare(self, number: float) -> bool:
+        return number > self.bound
+
+
+@dataclass(frozen=True)
+class Ge(_Numeric):
+    def compare(self, number: float) -> bool:
+        return number >= self.bound
+
+
+@dataclass(frozen=True)
+class Lt(_Numeric):
+    def compare(self, number: float) -> bool:
+        return number < self.bound
+
+
+@dataclass(frozen=True)
+class Le(_Numeric):
+    def compare(self, number: float) -> bool:
+        return number <= self.bound
+
+
+@dataclass(frozen=True)
+class Between(Filter):
+    low: float = 0.0
+    high: float = 0.0
+
+    def test(self, value: Value) -> bool:
+        number = _as_number(value)
+        return number is not None and self.low <= number <= self.high
+
+
+@dataclass(frozen=True)
+class OneOf(Filter):
+    choices: Container[Value] = ()
+
+    def test(self, value: Value) -> bool:
+        if isinstance(value, str):
+            normalized = normalize_term(value)
+            return any(
+                isinstance(c, str) and normalize_term(c) == normalized
+                for c in self.choices  # type: ignore[union-attr]
+            ) or value in self.choices
+        return value in self.choices
+
+
+@dataclass(frozen=True)
+class Custom(Filter):
+    """Escape hatch: any callable on the raw value."""
+
+    predicate: Callable[[Value], bool] = lambda value: True
+
+    def test(self, value: Value) -> bool:
+        return self.predicate(value)

@@ -1,0 +1,66 @@
+"""Probability combination for complex events over uncertain matches.
+
+Single-event matching in the thematic model is uncertain — every match
+carries a probability (Section 3.5) — and the paper positions it as the
+input of a complex event processing stage ([26], Section 6.2: "Single
+event matching in our model can feed into a complex event processing
+module"). This module provides the standard combinators a CEP engine
+needs over such probabilistic inputs, under the usual independence
+assumption of [26].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["conjunction", "disjunction", "negation", "at_least"]
+
+
+def _validate(probabilities: Iterable[float]) -> list[float]:
+    values = list(probabilities)
+    for p in values:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability out of range: {p}")
+    return values
+
+
+def conjunction(probabilities: Iterable[float]) -> float:
+    """P(all constituents occurred), independent: the product."""
+    result = 1.0
+    for p in _validate(probabilities):
+        result *= p
+    return result
+
+
+def disjunction(probabilities: Iterable[float]) -> float:
+    """P(at least one occurred), independent: noisy-or."""
+    result = 1.0
+    for p in _validate(probabilities):
+        result *= 1.0 - p
+    return 1.0 - result
+
+
+def negation(probability: float) -> float:
+    """P(constituent did not occur)."""
+    (p,) = _validate([probability])
+    return 1.0 - p
+
+
+def at_least(probabilities: Iterable[float], k: int) -> float:
+    """P(at least ``k`` of the constituents occurred), independent.
+
+    Dynamic program over the Poisson-binomial distribution; exact, not a
+    Monte-Carlo estimate.
+    """
+    values = _validate(probabilities)
+    if k <= 0:
+        return 1.0
+    if k > len(values):
+        return 0.0
+    # counts[j] = P(exactly j of the processed constituents occurred)
+    counts = [1.0] + [0.0] * len(values)
+    for p in values:
+        for j in range(len(counts) - 1, 0, -1):
+            counts[j] = counts[j] * (1.0 - p) + counts[j - 1] * p
+        counts[0] *= 1.0 - p
+    return sum(counts[k:])

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``match``
+    Match a subscription against an event (both in the paper's surface
+    syntax) and print the top-k mappings.
+``relatedness``
+    Score the semantic relatedness of two terms, optionally under
+    themes, with both the thematic and non-thematic measures.
+``corpus``
+    Inspect, save, or verify the bundled synthetic corpus snapshot.
+``evaluate``
+    Run the non-thematic baseline plus a thematic sub-experiment at the
+    chosen workload scale and print the comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.evaluation import (
+    ThemeCombination,
+    WorkloadConfig,
+    build_workload,
+    run_baseline,
+    run_sub_experiment,
+    theme_pool,
+    thematic_matcher_factory,
+)
+from repro.knowledge.corpus import default_corpus
+from repro.semantics.measures import NonThematicMeasure, ThematicMeasure
+from repro.semantics.persistence import corpus_digest, load_corpus, save_corpus
+from repro.semantics.pvsm import ParametricVectorSpace
+
+__all__ = ["main", "build_parser"]
+
+
+def _tags(text: str | None) -> tuple[str, ...]:
+    if not text:
+        return ()
+    return tuple(tag.strip() for tag in text.split(",") if tag.strip())
+
+
+def _space() -> ParametricVectorSpace:
+    return ParametricVectorSpace(default_corpus())
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    space = _space()
+    matcher = ThematicMatcher(ThematicMeasure(space), k=args.k)
+    subscription = parse_subscription(args.subscription)
+    event = parse_event(args.event)
+    result = matcher.match(subscription, event)
+    if result is None:
+        print("no mapping exists (event has fewer tuples than the "
+              "subscription has predicates)")
+        return 1
+    print(result.explain())
+    for rank, mapping in enumerate(result.alternatives, start=2):
+        print(f"top-{rank}: {mapping.describe(result.matrix)} "
+              f"P={mapping.probability:.3f}")
+    matched = result.is_match(matcher.threshold)
+    print(f"match: {matched} (threshold {matcher.threshold})")
+    return 0 if matched else 1
+
+
+def cmd_relatedness(args: argparse.Namespace) -> int:
+    space = _space()
+    theme_a, theme_b = _tags(args.theme_a), _tags(args.theme_b)
+    nonthematic = NonThematicMeasure(space).score(args.term_a, (), args.term_b, ())
+    print(f"non-thematic relatedness: {nonthematic:.3f}")
+    if theme_a or theme_b:
+        thematic = ThematicMeasure(space).score(
+            args.term_a, theme_a, args.term_b, theme_b
+        )
+        print(f"thematic relatedness:     {thematic:.3f} "
+              f"(themes {list(theme_a)} / {list(theme_b)})")
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    if args.action == "info":
+        corpus = default_corpus()
+        print(f"documents: {len(corpus)}")
+        print(f"digest:    {corpus_digest(corpus)}")
+    elif args.action == "save":
+        if not args.path:
+            print("corpus save needs --path", file=sys.stderr)
+            return 2
+        save_corpus(default_corpus(), args.path)
+        print(f"saved to {args.path}")
+    elif args.action == "verify":
+        if not args.path:
+            print("corpus verify needs --path", file=sys.stderr)
+            return 2
+        corpus = load_corpus(args.path)
+        print(f"ok: {len(corpus)} documents, digest verified")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    config = {
+        "tiny": WorkloadConfig.tiny,
+        "small": WorkloadConfig.small,
+        "paper": WorkloadConfig.paper,
+    }[args.scale]()
+    workload = build_workload(config)
+    print(f"workload: {workload.summary()}")
+    baseline = run_baseline(workload)
+    print(f"non-thematic baseline: F1={baseline.f1:.1%} "
+          f"{baseline.events_per_second:.0f} ev/s (paper: 62% @ 202 ev/s)")
+    pool = list(theme_pool(workload.thesaurus))
+    rng = random.Random(args.seed)
+    subscription_tags = tuple(rng.sample(pool, args.subscription_tags))
+    event_tags = tuple(rng.sample(subscription_tags, args.event_tags))
+    result = run_sub_experiment(
+        workload,
+        thematic_matcher_factory(workload),
+        ThemeCombination(
+            event_tags=event_tags, subscription_tags=subscription_tags
+        ),
+    )
+    print(f"thematic ({args.event_tags}⊂{args.subscription_tags} tags): "
+          f"F1={result.f1:.1%} {result.events_per_second:.0f} ev/s")
+    delta = result.f1 - baseline.f1
+    print(f"F1 delta: {delta:+.1%} (paper: +9 points on average)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thematic event processing (Hasan & Curry, Middleware 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_match = sub.add_parser("match", help="match a subscription against an event")
+    p_match.add_argument("--subscription", required=True)
+    p_match.add_argument("--event", required=True)
+    p_match.add_argument("-k", type=int, default=3, help="top-k mappings")
+    p_match.set_defaults(func=cmd_match)
+
+    p_rel = sub.add_parser("relatedness", help="score two terms")
+    p_rel.add_argument("term_a")
+    p_rel.add_argument("term_b")
+    p_rel.add_argument("--theme-a", default="", help="comma-separated tags")
+    p_rel.add_argument("--theme-b", default="", help="comma-separated tags")
+    p_rel.set_defaults(func=cmd_relatedness)
+
+    p_corpus = sub.add_parser("corpus", help="inspect/save/verify the corpus")
+    p_corpus.add_argument("action", choices=("info", "save", "verify"))
+    p_corpus.add_argument("--path")
+    p_corpus.set_defaults(func=cmd_corpus)
+
+    p_eval = sub.add_parser("evaluate", help="baseline vs thematic comparison")
+    p_eval.add_argument("--scale", choices=("tiny", "small", "paper"),
+                        default="tiny")
+    p_eval.add_argument("--event-tags", type=int, default=4)
+    p_eval.add_argument("--subscription-tags", type=int, default=12)
+    p_eval.add_argument("--seed", type=int, default=99)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""JSON wire codec for events and subscriptions.
+
+Brokers interoperate through serialized messages, not Python objects.
+This codec defines a stable JSON shape for both artifact kinds:
+
+.. code-block:: json
+
+    {"kind": "event",
+     "theme": ["energy", "appliances"],
+     "payload": [["type", "increased energy consumption event"],
+                 ["reading", 21.5]]}
+
+    {"kind": "subscription",
+     "theme": ["power"],
+     "predicates": [{"attribute": "device", "value": "laptop",
+                     "approx_attribute": true, "approx_value": true,
+                     "operator": "="}]}
+
+Payload order is preserved (lists, not objects), themes are sorted for
+canonical output, and numbers stay numbers. ``dumps``/``loads`` are
+strict inverses for every valid artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.events import Event
+from repro.core.subscriptions import Predicate, Subscription
+
+__all__ = [
+    "event_to_dict",
+    "event_from_dict",
+    "subscription_to_dict",
+    "subscription_from_dict",
+    "dumps",
+    "loads",
+]
+
+
+def event_to_dict(event: Event) -> dict[str, Any]:
+    return {
+        "kind": "event",
+        "theme": sorted(event.theme),
+        "payload": [[av.attribute, av.value] for av in event.payload],
+    }
+
+
+def event_from_dict(data: dict[str, Any]) -> Event:
+    if data.get("kind") != "event":
+        raise ValueError(f"not an event payload: kind={data.get('kind')!r}")
+    return Event.create(
+        theme=data.get("theme", ()),
+        payload=[(attr, value) for attr, value in data["payload"]],
+    )
+
+
+def subscription_to_dict(subscription: Subscription) -> dict[str, Any]:
+    return {
+        "kind": "subscription",
+        "theme": sorted(subscription.theme),
+        "predicates": [
+            {
+                "attribute": p.attribute,
+                "value": p.value,
+                "approx_attribute": p.approx_attribute,
+                "approx_value": p.approx_value,
+                "operator": p.operator,
+            }
+            for p in subscription.predicates
+        ],
+    }
+
+
+def subscription_from_dict(data: dict[str, Any]) -> Subscription:
+    if data.get("kind") != "subscription":
+        raise ValueError(
+            f"not a subscription payload: kind={data.get('kind')!r}"
+        )
+    return Subscription(
+        theme=frozenset(data.get("theme", ())),
+        predicates=tuple(
+            Predicate(
+                attribute=p["attribute"],
+                value=p["value"],
+                approx_attribute=p.get("approx_attribute", False),
+                approx_value=p.get("approx_value", False),
+                operator=p.get("operator", "="),
+            )
+            for p in data["predicates"]
+        ),
+    )
+
+
+def dumps(artifact: Event | Subscription) -> str:
+    """Serialize an event or subscription to a JSON string."""
+    if isinstance(artifact, Event):
+        return json.dumps(event_to_dict(artifact))
+    if isinstance(artifact, Subscription):
+        return json.dumps(subscription_to_dict(artifact))
+    raise TypeError(f"cannot serialize {type(artifact).__name__}")
+
+
+def loads(text: str) -> Event | Subscription:
+    """Parse a JSON string into an event or subscription by its kind."""
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind == "event":
+        return event_from_dict(data)
+    if kind == "subscription":
+        return subscription_from_dict(data)
+    raise ValueError(f"unknown artifact kind {kind!r}")

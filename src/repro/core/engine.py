@@ -1,0 +1,82 @@
+"""Subscription registry + dispatch: the in-process event engine.
+
+:class:`ThematicEventEngine` is the smallest useful host for the
+matcher: register subscriptions with callbacks, feed it events, and it
+delivers :class:`~repro.core.matcher.MatchResult` objects for every
+subscription whose match score clears the threshold. The distributed
+broker (:mod:`repro.broker`) embeds one engine per broker node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.events import Event
+from repro.core.matcher import MatchResult, ThematicMatcher
+from repro.core.subscriptions import Subscription
+
+__all__ = ["SubscriptionHandle", "EngineStats", "ThematicEventEngine"]
+
+#: Callback invoked on every delivered match.
+MatchCallback = Callable[[MatchResult], None]
+
+
+@dataclass(frozen=True)
+class SubscriptionHandle:
+    """Opaque ticket for cancelling a registration."""
+
+    subscription_id: int
+    subscription: Subscription
+
+
+@dataclass
+class EngineStats:
+    """Counters for observability and the throughput benchmarks."""
+
+    events_processed: int = 0
+    evaluations: int = 0
+    deliveries: int = 0
+
+
+class ThematicEventEngine:
+    """Match-and-dispatch engine over a set of registered subscriptions."""
+
+    def __init__(self, matcher: ThematicMatcher):
+        self.matcher = matcher
+        self.stats = EngineStats()
+        self._subscriptions: dict[int, tuple[Subscription, MatchCallback]] = {}
+        self._next_id = 0
+
+    def subscribe(
+        self, subscription: Subscription, callback: MatchCallback
+    ) -> SubscriptionHandle:
+        """Register a subscription; returns a handle for unsubscribing."""
+        handle = SubscriptionHandle(self._next_id, subscription)
+        self._subscriptions[self._next_id] = (subscription, callback)
+        self._next_id += 1
+        return handle
+
+    def unsubscribe(self, handle: SubscriptionHandle) -> bool:
+        """Remove a registration; True if it was present."""
+        return self._subscriptions.pop(handle.subscription_id, None) is not None
+
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    def process(self, event: Event) -> list[MatchResult]:
+        """Match ``event`` against every subscription and dispatch.
+
+        Returns the delivered results (also handed to callbacks), in
+        registration order.
+        """
+        self.stats.events_processed += 1
+        delivered: list[MatchResult] = []
+        for subscription, callback in list(self._subscriptions.values()):
+            self.stats.evaluations += 1
+            result = self.matcher.match(subscription, event)
+            if result is not None and result.is_match(self.matcher.threshold):
+                self.stats.deliveries += 1
+                delivered.append(result)
+                callback(result)
+        return delivered

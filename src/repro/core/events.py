@@ -1,0 +1,114 @@
+"""The thematic event model (Section 3.3).
+
+An event is a pair ``(th, av)``: a set of theme tags ``th ⊆ TH`` and a
+set of attribute–value tuples ``av ⊆ AV`` in which no two tuples share
+an attribute. Theme tags are free-form single- or multi-word terms.
+
+Values are usually terms (strings) — that is what the semantic measure
+operates on — but numeric values are allowed and compared by equality
+(and by the CEP layer's numeric filters).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.semantics.tokenize import normalize_term
+
+__all__ = ["Value", "AttributeValue", "Event"]
+
+#: Event values: terms, or plain numbers for quantitative tuples.
+Value = str | int | float
+
+
+@dataclass(frozen=True)
+class AttributeValue:
+    """One event tuple ``(a, v)``."""
+
+    attribute: str
+    value: Value
+
+    def __post_init__(self) -> None:
+        if not normalize_term(self.attribute):
+            raise ValueError("attribute must be a non-empty term")
+
+    def __str__(self) -> str:
+        return f"{self.attribute}: {self.value}"
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable thematic event ``(theme, payload)``.
+
+    ``payload`` preserves tuple order (events print the way they were
+    authored) while enforcing the no-duplicate-attribute rule of the
+    model; attribute identity is normalized (case / whitespace).
+    """
+
+    theme: frozenset[str]
+    payload: tuple[AttributeValue, ...]
+    _by_attribute: dict[str, AttributeValue] = field(
+        init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        by_attribute: dict[str, AttributeValue] = {}
+        for av in self.payload:
+            key = normalize_term(av.attribute)
+            if key in by_attribute:
+                raise ValueError(f"duplicate attribute {av.attribute!r} in event")
+            by_attribute[key] = av
+        object.__setattr__(self, "_by_attribute", by_attribute)
+
+    @classmethod
+    def create(
+        cls,
+        theme: Iterable[str] = (),
+        payload: Mapping[str, Value] | Iterable[tuple[str, Value]] = (),
+    ) -> "Event":
+        """Convenient constructor from any mapping or pair iterable.
+
+        >>> Event.create(
+        ...     theme={"energy", "appliances", "building"},
+        ...     payload={"type": "increased energy consumption event",
+        ...              "device": "computer", "office": "room 112"},
+        ... )  # doctest: +ELLIPSIS
+        Event(...)
+        """
+        pairs = payload.items() if isinstance(payload, Mapping) else payload
+        return cls(
+            theme=frozenset(theme),
+            payload=tuple(AttributeValue(attr, value) for attr, value in pairs),
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def value(self, attribute: str) -> Value | None:
+        """Value of ``attribute`` (normalized lookup), or ``None``."""
+        av = self._by_attribute.get(normalize_term(attribute))
+        return av.value if av is not None else None
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(av.attribute for av in self.payload)
+
+    def terms(self) -> tuple[str, ...]:
+        """Every term appearing in the payload (attributes + str values)."""
+        out: list[str] = []
+        for av in self.payload:
+            out.append(av.attribute)
+            if isinstance(av.value, str):
+                out.append(av.value)
+        return tuple(out)
+
+    def with_theme(self, theme: Iterable[str]) -> "Event":
+        """Copy of this event carrying a different theme."""
+        return Event(theme=frozenset(theme), payload=self.payload)
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+    def __str__(self) -> str:
+        tags = ", ".join(sorted(self.theme))
+        tuples = ", ".join(str(av) for av in self.payload)
+        return f"({{{tags}}}, {{{tuples}}})"

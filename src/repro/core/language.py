@@ -1,0 +1,185 @@
+"""Surface syntax for events and subscriptions, as written in the paper.
+
+Events (Section 3.3)::
+
+    ({energy, appliances, building},
+     {type: increased energy consumption event,
+      measurement unit: kilowatt hour, device: computer, office: room 112})
+
+Subscriptions (Section 3.4) use ``=`` and the tilde ``~`` operator::
+
+    ({power, computers},
+     {type= increased energy usage event~, device~= laptop~, office= room 112})
+
+The grammar is deliberately small: two brace groups in parentheses (the
+theme may be omitted along with its parentheses), comma-separated items,
+``:`` or ``=`` separators, ``~`` suffixes. Terms must not contain
+commas, braces, tildes or comparison operators. Values that look like
+numbers parse as numbers. Subscriptions additionally accept the
+extension operators ``!= > >= < <=`` (see
+:mod:`repro.core.subscriptions`), e.g. ``temperature~ > 30``.
+
+:func:`format_event` / :func:`format_subscription` are inverses of the
+parsers up to whitespace and theme-tag order (themes are sets).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.events import Event, Value
+from repro.core.subscriptions import Predicate, Subscription
+
+__all__ = [
+    "ParseError",
+    "parse_event",
+    "parse_subscription",
+    "format_event",
+    "format_subscription",
+]
+
+
+class ParseError(ValueError):
+    """Raised when a textual event or subscription is malformed."""
+
+
+_NUMBER_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)$")
+
+
+def _parse_value(text: str) -> Value:
+    text = text.strip()
+    if _NUMBER_RE.match(text):
+        return float(text) if ("." in text) else int(text)
+    return text
+
+
+def _brace_groups(text: str) -> list[str]:
+    """Contents of every top-level ``{...}`` group, left to right."""
+    groups: list[str] = []
+    depth = 0
+    start = 0
+    for i, ch in enumerate(text):
+        if ch == "{":
+            if depth == 0:
+                start = i + 1
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced braces in {text!r}")
+            if depth == 0:
+                groups.append(text[start:i])
+    if depth != 0:
+        raise ParseError(f"unbalanced braces in {text!r}")
+    return groups
+
+
+def _items(group: str) -> list[str]:
+    return [item.strip() for item in group.split(",") if item.strip()]
+
+
+def _split_theme_and_body(text: str) -> tuple[list[str], str]:
+    groups = _brace_groups(text)
+    if len(groups) == 1:
+        return [], groups[0]
+    if len(groups) == 2:
+        return _items(groups[0]), groups[1]
+    raise ParseError(
+        f"expected one or two brace groups, found {len(groups)} in {text!r}"
+    )
+
+
+def parse_event(text: str) -> Event:
+    """Parse the paper's event syntax into an :class:`Event`.
+
+    >>> e = parse_event("({energy}, {type: increased energy consumption event})")
+    >>> e.value("type")
+    'increased energy consumption event'
+    """
+    theme, body = _split_theme_and_body(text)
+    pairs: list[tuple[str, Value]] = []
+    for item in _items(body):
+        if ":" not in item:
+            raise ParseError(f"event tuple needs ':' separator: {item!r}")
+        attr, value = item.split(":", 1)
+        if "~" in item:
+            raise ParseError(f"events cannot carry the ~ operator: {item!r}")
+        pairs.append((attr.strip(), _parse_value(value)))
+    if not pairs:
+        raise ParseError(f"event has no tuples: {text!r}")
+    return Event.create(theme=theme, payload=pairs)
+
+
+#: Operator spellings, longest first so ``>=`` wins over ``>``/``=``.
+_OPERATOR_SPELLINGS = ("!=", ">=", "<=", "=", ">", "<")
+
+
+def _split_operator(item: str) -> tuple[str, str, str]:
+    """Split a predicate item into (operator, attribute part, value part).
+
+    The first operator occurrence splits the item; longer spellings take
+    precedence at the same position (``>=`` is never read as ``>``).
+    """
+    best: tuple[int, str] | None = None
+    for spelling in _OPERATOR_SPELLINGS:
+        index = item.find(spelling)
+        if index == -1:
+            continue
+        if best is None or index < best[0] or (
+            index == best[0] and len(spelling) > len(best[1])
+        ):
+            best = (index, spelling)
+    if best is None:
+        raise ParseError(f"predicate needs an operator: {item!r}")
+    index, spelling = best
+    return spelling, item[:index].strip(), item[index + len(spelling):].strip()
+
+
+def parse_subscription(text: str) -> Subscription:
+    """Parse the paper's subscription syntax into a :class:`Subscription`.
+
+    >>> s = parse_subscription("({power}, {device~= laptop~, office= room 112})")
+    >>> s.predicates[0].approx_attribute, s.predicates[0].approx_value
+    (True, True)
+    >>> s.degree_of_approximation()
+    0.5
+    """
+    theme, body = _split_theme_and_body(text)
+    predicates: list[Predicate] = []
+    for item in _items(body):
+        operator, attr_part, value_part = _split_operator(item)
+        approx_attr = attr_part.endswith("~")
+        approx_value = value_part.endswith("~")
+        attr = attr_part.rstrip("~").strip()
+        value = _parse_value(value_part.rstrip("~"))
+        if approx_value and not isinstance(value, str):
+            raise ParseError(f"numeric values cannot be approximated: {item!r}")
+        if approx_value and operator != "=":
+            raise ParseError(
+                f"only equality values can be approximated: {item!r}"
+            )
+        try:
+            predicates.append(
+                Predicate(
+                    attr,
+                    value,
+                    approx_attribute=approx_attr,
+                    approx_value=approx_value,
+                    operator=operator,
+                )
+            )
+        except ValueError as exc:
+            raise ParseError(f"{exc}: {item!r}") from exc
+    if not predicates:
+        raise ParseError(f"subscription has no predicates: {text!r}")
+    return Subscription.create(theme=theme, predicates=predicates)
+
+
+def format_event(event: Event) -> str:
+    """Serialize an event back to the surface syntax."""
+    return str(event)
+
+
+def format_subscription(subscription: Subscription) -> str:
+    """Serialize a subscription back to the surface syntax."""
+    return str(subscription)

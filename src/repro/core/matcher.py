@@ -1,0 +1,148 @@
+"""The approximate semantic single-event matcher ``M`` (Section 3.5).
+
+The matcher decides on the semantic relevance of an event to a
+subscription by finding the most probable mapping(s) between the
+subscription's predicates and the event's tuples. It is parametrized by
+a :class:`~repro.semantics.measures.SemanticMeasure`, which is where the
+thematic/non-thematic/exact distinction lives:
+
+* ``ThematicMatcher(ThematicMeasure(pvsm))`` — this paper's system;
+* ``ThematicMatcher(NonThematicMeasure(space))`` — prior work [16];
+* ``ThematicMatcher(ExactMeasure())`` — degenerates to content-based
+  matching (every approximation scores 0 unless strings are equal).
+
+Two modes (Figure 4): **top-1** returns the single most probable mapping
+σ*; **top-k** returns the k most probable mappings with their
+probability space ``P``, for consumption by the CEP layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import Event
+from repro.core.mapping import Mapping, top_k_mappings
+from repro.core.similarity import Calibration, SimilarityMatrix, build_similarity_matrix
+from repro.core.subscriptions import Subscription
+from repro.semantics.measures import SemanticMeasure
+
+__all__ = ["MatchResult", "ThematicMatcher"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one event against one subscription.
+
+    ``mapping`` is the top-1 mapping σ*; ``alternatives`` holds the rest
+    of the top-k set (empty in top-1 mode). ``score`` is σ*'s geometric-
+    mean correspondence score — the match strength used for ranking and
+    thresholding.
+    """
+
+    subscription: Subscription
+    event: Event
+    matrix: SimilarityMatrix
+    mapping: Mapping
+    alternatives: tuple[Mapping, ...] = ()
+
+    @property
+    def score(self) -> float:
+        return self.mapping.score
+
+    @property
+    def probability(self) -> float:
+        return self.mapping.probability
+
+    def mappings(self) -> tuple[Mapping, ...]:
+        """All enumerated mappings, best first."""
+        return (self.mapping, *self.alternatives)
+
+    def is_match(self, threshold: float) -> bool:
+        return self.score >= threshold
+
+    def explain(self) -> str:
+        """Human-readable account of the chosen mapping."""
+        lines = [f"score={self.score:.3f} probability={self.probability:.3f}"]
+        for corr in self.mapping.correspondences:
+            lines.append(f"  {corr.describe(self.matrix)} score={corr.score:.3f}")
+        return "\n".join(lines)
+
+
+class ThematicMatcher:
+    """Approximate probabilistic matcher, top-1 or top-k (Section 3.5).
+
+    Parameters
+    ----------
+    measure:
+        The semantic measure scoring term pairs (with themes).
+    k:
+        How many mappings to enumerate; ``k=1`` is top-1 mode.
+    threshold:
+        Minimum mapping score for :meth:`matches` to say yes (calibrated
+        scores behave like probabilities, so 0.5 is a sensible default).
+    min_relatedness:
+        Noise-floor clamp forwarded to the similarity matrix.
+    calibration:
+        Logistic calibration of raw relatedness into correspondence
+        probabilities (see :class:`~repro.core.similarity.Calibration`).
+        On by default; pass ``None`` for raw Equation 6 scores.
+    """
+
+    def __init__(
+        self,
+        measure: SemanticMeasure,
+        *,
+        k: int = 1,
+        threshold: float = 0.5,
+        min_relatedness: float = 0.0,
+        calibration: Calibration | None = Calibration(),
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.measure = measure
+        self.k = k
+        self.threshold = threshold
+        self.min_relatedness = min_relatedness
+        self.calibration = calibration
+
+    def similarity_matrix(
+        self, subscription: Subscription, event: Event
+    ) -> SimilarityMatrix:
+        return build_similarity_matrix(
+            subscription,
+            event,
+            self.measure,
+            min_relatedness=self.min_relatedness,
+            calibration=self.calibration,
+        )
+
+    def match(self, subscription: Subscription, event: Event) -> MatchResult | None:
+        """Full match outcome, or ``None`` when no mapping exists.
+
+        No mapping exists only when the event has fewer tuples than the
+        subscription has predicates (a mapping needs exactly ``n``
+        distinct correspondences).
+        """
+        matrix = self.similarity_matrix(subscription, event)
+        mappings = top_k_mappings(matrix, self.k)
+        if not mappings:
+            return None
+        return MatchResult(
+            subscription=subscription,
+            event=event,
+            matrix=matrix,
+            mapping=mappings[0],
+            alternatives=tuple(mappings[1:]),
+        )
+
+    def score(self, subscription: Subscription, event: Event) -> float:
+        """Match strength in ``[0, 1]``; 0 when no mapping exists."""
+        result = self.match(subscription, event)
+        return result.score if result is not None else 0.0
+
+    def matches(self, subscription: Subscription, event: Event) -> bool:
+        """Boolean decision at this matcher's threshold."""
+        result = self.match(subscription, event)
+        return result is not None and result.is_match(self.threshold)

@@ -1,0 +1,252 @@
+"""Two-phase matching: cheap candidate filtering before the full matcher.
+
+Section 7 lists "building an efficient indexing for thematic projection
+[and] throughput optimization" as future work; this module supplies the
+standard two-phase design:
+
+**Phase 1 (candidate filter)** rejects (subscription, event) pairs that
+cannot match, using only cheap structural checks:
+
+* *arity*: an event with fewer tuples than the subscription has
+  predicates can never carry a full mapping — exact, loss-free;
+* *exact anchors*: a predicate side without ``~`` requires verbatim
+  equality, so any non-approximated (attribute, value) pair is indexed
+  counting-style; events missing an anchor are rejected — exact,
+  loss-free (this is why partially-approximated workloads are much
+  cheaper than the paper's worst-case 100% ones);
+* *semantic anchors* (optional, **lossy**): for a fully-approximated
+  predicate, the event must contain at least one token whose full-space
+  relatedness to the predicate's tokens reaches ``prefilter_threshold``.
+  Thematic projection can *raise* relatedness above its full-space value,
+  so an aggressive threshold can drop true matches; the default sits just
+  above the orthogonal floor, and :class:`PrefilterStats` exposes the
+  numbers needed to measure the trade (the prefilter bench does).
+
+**Phase 2** runs the full probabilistic matcher on the survivors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.events import Event
+from repro.core.matcher import MatchResult, ThematicMatcher
+from repro.core.subscriptions import Predicate, Subscription
+from repro.semantics.space import DistributionalVectorSpace
+from repro.semantics.tokenize import normalize_term, tokenize
+
+__all__ = ["TokenNeighborhoods", "PrefilterStats", "TwoPhaseMatcher"]
+
+#: Just above the orthogonal floor of the normalized-Euclidean
+#: relatedness (1/(1+sqrt(2)) ≈ 0.4142): prunes only pairs with
+#: essentially no full-space evidence.
+DEFAULT_PREFILTER_THRESHOLD = 0.435
+
+
+class TokenNeighborhoods:
+    """Per-token sets of corpus tokens related above a threshold.
+
+    Neighborhoods are computed lazily against the *full* space (theme
+    projection happens later, in phase 2) and cached; a term's
+    neighborhood is the union over its tokens, always including the
+    tokens themselves.
+    """
+
+    def __init__(
+        self,
+        space: DistributionalVectorSpace,
+        *,
+        threshold: float = DEFAULT_PREFILTER_THRESHOLD,
+    ):
+        self.space = space
+        self.threshold = threshold
+        self._by_token: dict[str, frozenset[str]] = {}
+        self._vocabulary = sorted(space.vocabulary())
+
+    def _token_neighborhood(self, token: str) -> frozenset[str]:
+        cached = self._by_token.get(token)
+        if cached is not None:
+            return cached
+        vector = self.space.token_vector(token)
+        if not vector:
+            neighborhood = frozenset({token})
+        else:
+            related = {token}
+            for candidate in self._vocabulary:
+                other = self.space.token_vector(candidate)
+                if other and self.space.vector_relatedness(vector, other) >= self.threshold:
+                    related.add(candidate)
+            neighborhood = frozenset(related)
+        self._by_token[token] = neighborhood
+        return neighborhood
+
+    def neighbors(self, term: str) -> frozenset[str]:
+        """Union of the term's tokens' neighborhoods."""
+        out: set[str] = set()
+        for token in tokenize(term):
+            out |= self._token_neighborhood(token)
+        return frozenset(out)
+
+
+@dataclass
+class PrefilterStats:
+    """Observability for the prune/match trade-off."""
+
+    events: int = 0
+    pairs_considered: int = 0
+    pruned_arity: int = 0
+    pruned_exact_anchor: int = 0
+    pruned_semantic_anchor: int = 0
+    full_matches_run: int = 0
+    delivered: int = 0
+
+    def pruned_total(self) -> int:
+        return (
+            self.pruned_arity
+            + self.pruned_exact_anchor
+            + self.pruned_semantic_anchor
+        )
+
+    def prune_rate(self) -> float:
+        if self.pairs_considered == 0:
+            return 0.0
+        return self.pruned_total() / self.pairs_considered
+
+
+@dataclass
+class _Entry:
+    subscription: Subscription
+    arity: int
+    exact_anchors: tuple[tuple[str, object], ...]
+    semantic_anchors: tuple[frozenset[str], ...]
+
+
+def _exact_key(attribute: str, value) -> tuple[str, object]:
+    if isinstance(value, str):
+        return (normalize_term(attribute), normalize_term(value))
+    return (normalize_term(attribute), value)
+
+
+class TwoPhaseMatcher:
+    """Subscription index with candidate filtering + full matching.
+
+    Parameters
+    ----------
+    matcher:
+        The phase-2 matcher (thematic or otherwise).
+    space:
+        Space for semantic-anchor neighborhoods; pass ``None`` to disable
+        the (lossy) semantic anchors and keep only the exact phases.
+    prefilter_threshold:
+        Relatedness floor for semantic anchors (see module docstring).
+    """
+
+    def __init__(
+        self,
+        matcher: ThematicMatcher,
+        space: DistributionalVectorSpace | None = None,
+        *,
+        prefilter_threshold: float = DEFAULT_PREFILTER_THRESHOLD,
+    ):
+        self.matcher = matcher
+        self.stats = PrefilterStats()
+        self._neighborhoods = (
+            TokenNeighborhoods(space, threshold=prefilter_threshold)
+            if space is not None
+            else None
+        )
+        self._entries: dict[int, _Entry] = {}
+        self._next_id = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def _semantic_anchor(self, predicate: Predicate) -> frozenset[str] | None:
+        """Token neighborhood a fully-approximated predicate value needs."""
+        if self._neighborhoods is None:
+            return None
+        if not isinstance(predicate.value, str):
+            return None
+        if not (predicate.approx_attribute and predicate.approx_value):
+            return None  # the exact anchor covers it better
+        return self._neighborhoods.neighbors(predicate.value)
+
+    def add(self, subscription: Subscription) -> int:
+        exact_anchors = tuple(
+            _exact_key(p.attribute, p.value)
+            for p in subscription.predicates
+            if p.operator == "=" and not p.approx_attribute and not p.approx_value
+        )
+        semantic_anchors = tuple(
+            anchor
+            for anchor in (
+                self._semantic_anchor(p) for p in subscription.predicates
+            )
+            if anchor is not None
+        )
+        entry = _Entry(
+            subscription=subscription,
+            arity=len(subscription.predicates),
+            exact_anchors=exact_anchors,
+            semantic_anchors=semantic_anchors,
+        )
+        sub_id = self._next_id
+        self._next_id += 1
+        self._entries[sub_id] = entry
+        return sub_id
+
+    def remove(self, sub_id: int) -> bool:
+        return self._entries.pop(sub_id, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- matching ----------------------------------------------------------
+
+    def _event_exact_keys(self, event: Event) -> set[tuple[str, object]]:
+        return {_exact_key(av.attribute, av.value) for av in event.payload}
+
+    def _event_tokens(self, event: Event) -> set[str]:
+        tokens: set[str] = set()
+        for av in event.payload:
+            if isinstance(av.value, str):
+                tokens.update(tokenize(av.value))
+            tokens.update(tokenize(av.attribute))
+        return tokens
+
+    def _survives_prefilter(
+        self,
+        entry: _Entry,
+        event: Event,
+        exact_keys: set[tuple[str, object]],
+        event_tokens: set[str],
+    ) -> bool:
+        if len(event.payload) < entry.arity:
+            self.stats.pruned_arity += 1
+            return False
+        for anchor in entry.exact_anchors:
+            if anchor not in exact_keys:
+                self.stats.pruned_exact_anchor += 1
+                return False
+        for neighborhood in entry.semantic_anchors:
+            if not (neighborhood & event_tokens):
+                self.stats.pruned_semantic_anchor += 1
+                return False
+        return True
+
+    def match_event(self, event: Event) -> list[tuple[int, MatchResult]]:
+        """Phase-1 filter then full matching; returns accepted matches."""
+        self.stats.events += 1
+        exact_keys = self._event_exact_keys(event)
+        event_tokens = self._event_tokens(event)
+        accepted: list[tuple[int, MatchResult]] = []
+        for sub_id, entry in self._entries.items():
+            self.stats.pairs_considered += 1
+            if not self._survives_prefilter(entry, event, exact_keys, event_tokens):
+                continue
+            self.stats.full_matches_run += 1
+            result = self.matcher.match(entry.subscription, event)
+            if result is not None and result.is_match(self.matcher.threshold):
+                self.stats.delivered += 1
+                accepted.append((sub_id, result))
+        return accepted

@@ -1,0 +1,198 @@
+"""The thematic subscription language model (Section 3.4).
+
+A subscription is a pair ``(th, pr)``: theme tags plus conjunctive
+attribute–value predicates. Each predicate is the quadruple
+``(a, v, app_a, app_v)``: the tilde ``~`` operator of the language marks
+an attribute and/or value as *approximated*, i.e. the matcher may accept
+any semantically related term instead of requiring string equality.
+
+The paper keeps operators other than (approximate) equality out of the
+language "for the sake of discourse simplicity". As a practical
+extension this implementation supports them — ``!=``, ``>``, ``>=``,
+``<``, ``<=`` — on the *value* side of a predicate (the attribute side
+can still be semantically approximated: ``temperature~ > 30`` reads
+"any attribute related to temperature, with a value above 30").
+Approximation of a non-equality value is meaningless and rejected.
+Richer value logic (ranges, sets, custom code) lives in the CEP layer
+(:mod:`repro.cep`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.events import Value
+from repro.semantics.tokenize import normalize_term
+
+__all__ = ["OPERATORS", "Predicate", "Subscription"]
+
+#: Supported predicate operators. "=" is the paper's (approximable)
+#: equality; the rest are the practical extension (exact-only).
+OPERATORS: tuple[str, ...] = ("=", "!=", ">", ">=", "<", "<=")
+
+#: Operators that require a numeric comparison value.
+_NUMERIC_OPERATORS = frozenset({">", ">=", "<", "<="})
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One conjunct ``(a, v, app_a, app_v)`` with an optional operator.
+
+    ``approx_attribute`` / ``approx_value`` correspond to ``a~`` and
+    ``v~`` in the surface syntax: they permit the matcher to relax that
+    side of the equality semantically. ``operator`` defaults to the
+    paper's equality; see the module docstring for the extension.
+    """
+
+    attribute: str
+    value: Value
+    approx_attribute: bool = False
+    approx_value: bool = False
+    operator: str = "="
+
+    def __post_init__(self) -> None:
+        if not normalize_term(self.attribute):
+            raise ValueError("predicate attribute must be a non-empty term")
+        if self.operator not in OPERATORS:
+            raise ValueError(f"unknown operator {self.operator!r}")
+        if self.approx_value:
+            if self.operator != "=":
+                raise ValueError(
+                    "only equality values can be approximated with ~"
+                )
+            if not isinstance(self.value, str):
+                raise ValueError("only term (string) values can be approximated")
+        if self.operator in _NUMERIC_OPERATORS and isinstance(self.value, str):
+            raise ValueError(
+                f"operator {self.operator!r} needs a numeric comparison value"
+            )
+
+    def evaluate_value(self, value: Value) -> bool:
+        """Non-semantic value test for the extension operators.
+
+        Only meaningful when ``operator != "="``; the semantic matcher
+        calls this for those predicates.
+        """
+        if self.operator == "!=":
+            if isinstance(value, str) and isinstance(self.value, str):
+                return normalize_term(value) != normalize_term(self.value)
+            return value != self.value
+        if isinstance(value, bool) or isinstance(value, str):
+            try:
+                value = float(value)  # numeric strings compare numerically
+            except (TypeError, ValueError):
+                return False
+        if self.operator == ">":
+            return value > self.value
+        if self.operator == ">=":
+            return value >= self.value
+        if self.operator == "<":
+            return value < self.value
+        if self.operator == "<=":
+            return value <= self.value
+        raise AssertionError(f"evaluate_value on operator {self.operator!r}")
+
+    def __str__(self) -> str:
+        attr = f"{self.attribute}~" if self.approx_attribute else self.attribute
+        value = f"{self.value}~" if self.approx_value else f"{self.value}"
+        return f"{attr}{self.operator} {value}"
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """An immutable thematic subscription ``(theme, predicates)``."""
+
+    theme: frozenset[str]
+    predicates: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise ValueError("a subscription needs at least one predicate")
+        seen: set[str] = set()
+        for predicate in self.predicates:
+            key = normalize_term(predicate.attribute)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate predicate attribute {predicate.attribute!r}"
+                )
+            seen.add(key)
+
+    @classmethod
+    def create(
+        cls,
+        theme: Iterable[str] = (),
+        predicates: Iterable[Predicate] = (),
+        *,
+        exact: Mapping[str, Value] | None = None,
+        approximate: Mapping[str, str] | None = None,
+    ) -> "Subscription":
+        """Build a subscription from predicate objects and/or shorthands.
+
+        ``exact`` entries become plain equality predicates; ``approximate``
+        entries become fully relaxed ones (``a~ = v~``), the paper's 100%
+        degree of approximation.
+        """
+        preds = list(predicates)
+        for attr, value in (exact or {}).items():
+            preds.append(Predicate(attr, value))
+        for attr, value in (approximate or {}).items():
+            preds.append(
+                Predicate(attr, value, approx_attribute=True, approx_value=True)
+            )
+        return cls(theme=frozenset(theme), predicates=tuple(preds))
+
+    # -- properties ----------------------------------------------------------
+
+    def degree_of_approximation(self) -> float:
+        """Proportion of relaxed attributes and values in ``[0, 1]``.
+
+        An exact subscription has degree 0; the evaluation's fully tilded
+        subscriptions have degree 1 (Section 3.4).
+        """
+        total = 2 * len(self.predicates)
+        relaxed = sum(
+            int(p.approx_attribute) + int(p.approx_value) for p in self.predicates
+        )
+        return relaxed / total
+
+    def relax(self) -> "Subscription":
+        """Fully approximated copy: every term gets the ``~`` operator.
+
+        Non-string values stay exact (numbers have no semantic
+        neighbourhood). This is the transformation the evaluation applies
+        to exact subscriptions (Section 5.2.3).
+        """
+        return Subscription(
+            theme=self.theme,
+            predicates=tuple(
+                Predicate(
+                    p.attribute,
+                    p.value,
+                    approx_attribute=True,
+                    approx_value=isinstance(p.value, str) and p.operator == "=",
+                    operator=p.operator,
+                )
+                for p in self.predicates
+            ),
+        )
+
+    def terms(self) -> tuple[str, ...]:
+        """Every term in the predicates (attributes + str values)."""
+        out: list[str] = []
+        for p in self.predicates:
+            out.append(p.attribute)
+            if isinstance(p.value, str):
+                out.append(p.value)
+        return tuple(out)
+
+    def with_theme(self, theme: Iterable[str]) -> "Subscription":
+        return Subscription(theme=frozenset(theme), predicates=self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __str__(self) -> str:
+        tags = ", ".join(sorted(self.theme))
+        preds = ", ".join(str(p) for p in self.predicates)
+        return f"({{{tags}}}, {{{preds}}})"

@@ -1,0 +1,42 @@
+"""IoT vocabulary pools and seed-event generation (Section 5.2.1)."""
+
+from repro.datasets.appliances import ALL_DEVICES, APPLIANCES, COMPUTING_DEVICES
+from repro.datasets.locations import (
+    CITIES,
+    DESKS,
+    FLOORS,
+    ROOMS,
+    ZONES,
+    Place,
+    place_for_city,
+)
+from repro.datasets.seeds import SeedConfig, event_type_for, generate_seed_events
+from repro.datasets.sensors import (
+    SENSOR_CAPABILITIES,
+    SensorCapability,
+    capability,
+    capability_names,
+)
+from repro.datasets.vehicles import CAR_BRANDS, VEHICLE_KINDS
+
+__all__ = [
+    "ALL_DEVICES",
+    "APPLIANCES",
+    "CAR_BRANDS",
+    "CITIES",
+    "COMPUTING_DEVICES",
+    "DESKS",
+    "FLOORS",
+    "ROOMS",
+    "SENSOR_CAPABILITIES",
+    "SeedConfig",
+    "SensorCapability",
+    "VEHICLE_KINDS",
+    "ZONES",
+    "Place",
+    "capability",
+    "capability_names",
+    "event_type_for",
+    "generate_seed_events",
+    "place_for_city",
+]

@@ -1,0 +1,41 @@
+"""Indoor appliance platforms, standing in for the BLUED dataset.
+
+The paper uses appliances from the BLUED non-intrusive load monitoring
+dataset [2] as indoor event platforms. BLUED's appliance inventory is a
+plain list of household electrical devices; this module provides an
+equivalent list, every entry of which resolves to a concept of the
+``energy`` or ``education and communications`` micro-thesaurus so that
+semantic expansion can rewrite device tuples.
+"""
+
+from __future__ import annotations
+
+__all__ = ["APPLIANCES", "COMPUTING_DEVICES", "ALL_DEVICES"]
+
+#: Household electrical loads (BLUED-style).
+APPLIANCES: tuple[str, ...] = (
+    "refrigerator",
+    "air conditioner",
+    "washing machine",
+    "dishwasher",
+    "microwave",
+    "kettle",
+    "heater",
+    "lamp",
+    "oven",
+    "fan",
+)
+
+#: Office/computing loads (the LEI smart-building side).
+COMPUTING_DEVICES: tuple[str, ...] = (
+    "computer",
+    "laptop",
+    "server",
+    "monitor",
+    "printer",
+    "television",
+    "mobile phone",
+)
+
+#: Every indoor device the seed generator may pick.
+ALL_DEVICES: tuple[str, ...] = APPLIANCES + COMPUTING_DEVICES

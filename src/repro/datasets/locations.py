@@ -1,0 +1,54 @@
+"""Location vocabulary: DERI-building rooms and smart-city geography.
+
+Indoor locations mirror the DERI Building dataset the paper uses (rooms,
+desks, floors, zones); geographic locations mirror the SmartSantander
+deployment cities plus Galway. Numeric identifiers (room numbers, desk
+codes) intentionally never expand — they are the exact-match anchors in
+subscriptions, as in the paper's example ``office = room 112``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Place", "ROOMS", "DESKS", "FLOORS", "ZONES", "CITIES", "place_for_city"]
+
+
+@dataclass(frozen=True)
+class Place:
+    """A city with its country and continent (all thesaurus-covered)."""
+
+    city: str
+    country: str
+    continent: str
+
+
+#: DERI-building style room identifiers.
+ROOMS: tuple[str, ...] = tuple(
+    f"room {number}" for number in (101, 102, 110, 112, 201, 204, 210, 301, 305, 312)
+)
+
+#: Desk identifiers within rooms.
+DESKS: tuple[str, ...] = tuple(
+    f"desk {number}{letter}"
+    for number in (101, 112, 204, 305)
+    for letter in ("a", "b", "c")
+)
+
+FLOORS: tuple[str, ...] = ("ground floor", "first floor", "second floor", "third floor")
+
+ZONES: tuple[str, ...] = ("building", "campus", "neighbourhood", "city centre")
+
+#: Deployment cities: SmartSantander sites plus Galway (Section 5.2.1).
+CITIES: tuple[Place, ...] = (
+    Place("galway", "ireland", "europe"),
+    Place("dublin", "ireland", "europe"),
+    Place("santander", "spain", "europe"),
+    Place("bordeaux", "france", "europe"),
+)
+
+_BY_CITY = {place.city: place for place in CITIES}
+
+
+def place_for_city(city: str) -> Place:
+    return _BY_CITY[city]

@@ -1,0 +1,68 @@
+"""Sensor capabilities — the verbatim list of Table 3.
+
+These are the SmartSantander / Linked Energy Intelligence capabilities
+the paper synthesizes its seed events from (Section 5.2.1). Each
+capability is annotated with the measurement unit its events carry and
+the thesaurus domain it belongs to, which the seed generator uses to
+build well-formed heterogeneous events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SensorCapability", "SENSOR_CAPABILITIES", "capability", "capability_names"]
+
+
+@dataclass(frozen=True)
+class SensorCapability:
+    """One sensing capability: what is measured, in what unit, and where.
+
+    ``domain`` is the owning micro-thesaurus (drives theme selection and
+    semantic expansion); ``indoor`` says whether the capability occurs on
+    indoor platforms (appliances/rooms) or outdoor ones (vehicles/city
+    locations).
+    """
+
+    name: str
+    unit: str
+    domain: str
+    indoor: bool = False
+
+
+#: Table 3 of the paper, in paper order.
+SENSOR_CAPABILITIES: tuple[SensorCapability, ...] = (
+    SensorCapability("solar radiation", "watt", "energy"),
+    SensorCapability("particles", "pm10 level", "environment"),
+    SensorCapability("speed", "kilometres per hour", "transport"),
+    SensorCapability("wind direction", "degrees", "environment"),
+    SensorCapability("wind speed", "metres per second", "environment"),
+    SensorCapability("temperature", "degree celsius", "environment"),
+    SensorCapability("water flow", "litres per second", "environment"),
+    SensorCapability("atmospheric pressure", "hectopascal", "environment"),
+    SensorCapability("noise", "decibel", "environment"),
+    SensorCapability("ozone", "microgram per cubic metre", "environment"),
+    SensorCapability("rainfall", "millimetre", "environment"),
+    SensorCapability("parking", "occupancy state", "transport"),
+    SensorCapability("radiation par", "micromole", "environment"),
+    SensorCapability("co", "parts per million", "environment"),
+    SensorCapability("ground temperature", "degree celsius", "environment"),
+    SensorCapability("light", "lux", "environment"),
+    SensorCapability("no2", "parts per billion", "environment"),
+    SensorCapability("soil moisture tension", "kilopascal", "environment"),
+    SensorCapability("relative humidity", "percentage", "environment"),
+    SensorCapability("energy consumption", "kilowatt hour", "energy", indoor=True),
+    SensorCapability("cpu usage", "percentage", "energy", indoor=True),
+    SensorCapability("memory usage", "percentage", "energy", indoor=True),
+)
+
+_BY_NAME = {cap.name: cap for cap in SENSOR_CAPABILITIES}
+
+
+def capability(name: str) -> SensorCapability:
+    """Look up a capability by its Table 3 name."""
+    return _BY_NAME[name]
+
+
+def capability_names() -> tuple[str, ...]:
+    return tuple(cap.name for cap in SENSOR_CAPABILITIES)

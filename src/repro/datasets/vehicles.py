@@ -1,0 +1,38 @@
+"""Vehicle mobile-sensor platforms, standing in for the Yahoo! car list.
+
+The paper draws car brands from the Yahoo! directory to generate mobile
+sensor platforms. The directory is long gone; any fixed brand list plays
+the same role (an inert vocabulary pool — brands are not semantically
+expanded, they are the stable part of mobile-platform events).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CAR_BRANDS", "VEHICLE_KINDS"]
+
+#: Car brands used as mobile platform identifiers.
+CAR_BRANDS: tuple[str, ...] = (
+    "toyota",
+    "ford",
+    "volkswagen",
+    "renault",
+    "fiat",
+    "peugeot",
+    "nissan",
+    "honda",
+    "volvo",
+    "seat",
+    "skoda",
+    "opel",
+)
+
+#: Vehicle kinds (thesaurus-covered, so they do expand).
+VEHICLE_KINDS: tuple[str, ...] = (
+    "vehicle",
+    "car",
+    "bus",
+    "truck",
+    "van",
+    "bicycle",
+    "motorcycle",
+)

@@ -1,0 +1,108 @@
+"""Evaluation framework reproducing Section 5 of the paper (Figure 6)."""
+
+from repro.evaluation.expansion import (
+    ExpandedEvent,
+    ExpansionConfig,
+    expand_event,
+    expand_events,
+)
+from repro.evaluation.groundtruth import GroundTruth, build_ground_truth, is_relevant
+from repro.evaluation.harness import (
+    CellResult,
+    GridResult,
+    SubExperimentResult,
+    nonthematic_matcher_factory,
+    run_baseline,
+    run_grid,
+    run_sub_experiment,
+    score_matrix,
+    thematic_matcher_factory,
+)
+from repro.evaluation.metrics import (
+    RECALL_LEVELS,
+    ConfusionCounts,
+    EffectivenessResult,
+    ThroughputResult,
+    average_interpolated_precision,
+    effectiveness,
+    interpolated_precision,
+    max_f1_from_precisions,
+    measure_throughput,
+    ranking_from_scores,
+)
+from repro.evaluation.reporting import (
+    format_comparison,
+    format_error_table,
+    format_heatmap,
+    format_table,
+)
+from repro.evaluation.results import load_grid, save_grid
+from repro.evaluation.tagging import (
+    FreeThemeCombination,
+    ZipfTagger,
+    expected_overlap,
+    sample_free_combination,
+)
+from repro.evaluation.subscriptions import (
+    SubscriptionConfig,
+    SubscriptionSet,
+    generate_subscriptions,
+    partially_relax,
+)
+from repro.evaluation.themes import (
+    ThemeCombination,
+    ThemeGridConfig,
+    sample_theme_combinations,
+    theme_pool,
+)
+from repro.evaluation.workload import Workload, WorkloadConfig, build_workload
+
+__all__ = [
+    "CellResult",
+    "ConfusionCounts",
+    "EffectivenessResult",
+    "ExpandedEvent",
+    "ExpansionConfig",
+    "FreeThemeCombination",
+    "GridResult",
+    "ZipfTagger",
+    "expected_overlap",
+    "sample_free_combination",
+    "GroundTruth",
+    "RECALL_LEVELS",
+    "SubExperimentResult",
+    "SubscriptionConfig",
+    "SubscriptionSet",
+    "ThemeCombination",
+    "ThemeGridConfig",
+    "ThroughputResult",
+    "Workload",
+    "WorkloadConfig",
+    "average_interpolated_precision",
+    "build_ground_truth",
+    "build_workload",
+    "effectiveness",
+    "expand_event",
+    "expand_events",
+    "format_comparison",
+    "format_error_table",
+    "format_heatmap",
+    "format_table",
+    "generate_subscriptions",
+    "interpolated_precision",
+    "is_relevant",
+    "load_grid",
+    "save_grid",
+    "max_f1_from_precisions",
+    "measure_throughput",
+    "nonthematic_matcher_factory",
+    "partially_relax",
+    "ranking_from_scores",
+    "run_baseline",
+    "run_grid",
+    "run_sub_experiment",
+    "sample_theme_combinations",
+    "score_matrix",
+    "theme_pool",
+    "thematic_matcher_factory",
+]

@@ -1,0 +1,140 @@
+"""The exact relevance ground truth (Section 5.2.3).
+
+The paper's relevance function: "an expanded event is relevant to an
+approximate subscription if it exactly matches the subscription or a
+version of it which results from it by replacing the approximated parts
+with related terms from the thesaurus used for semantic expansion".
+
+We implement exactly that, with no recourse to distributional
+semantics: a predicate side marked ``~`` accepts any term in the same
+thesaurus equivalence class (via
+:class:`~repro.knowledge.rewrite.Canonicalizer`); an unmarked side
+requires verbatim (normalized) equality. A subscription is relevant to
+an event when an *injective* predicate→tuple assignment satisfying all
+predicates exists — found by backtracking over the small bipartite
+compatibility graph.
+
+Because the relation is purely thesaurus-driven it is "isomorphic to a
+basic exact ground truth function between exact subscriptions and seed
+events", as the paper puts it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.events import Event
+from repro.core.subscriptions import Predicate, Subscription
+from repro.evaluation.expansion import ExpandedEvent
+from repro.knowledge.rewrite import Canonicalizer
+from repro.semantics.tokenize import normalize_term
+
+__all__ = ["GroundTruth", "is_relevant", "build_ground_truth"]
+
+
+def _side_compatible(
+    sub_term: str,
+    event_term,
+    approximate: bool,
+    canonicalizer: Canonicalizer,
+) -> bool:
+    if isinstance(sub_term, str) and isinstance(event_term, str):
+        if normalize_term(sub_term) == normalize_term(event_term):
+            return True
+        if approximate:
+            return canonicalizer.equivalent(sub_term, event_term)
+        return False
+    return sub_term == event_term
+
+
+def _predicate_compatible(
+    predicate: Predicate, attribute: str, value, canonicalizer: Canonicalizer
+) -> bool:
+    if not _side_compatible(
+        predicate.attribute, attribute, predicate.approx_attribute, canonicalizer
+    ):
+        return False
+    if predicate.operator != "=":
+        # Extension operators are non-semantic: evaluate directly.
+        return predicate.evaluate_value(value)
+    return _side_compatible(
+        predicate.value, value, predicate.approx_value, canonicalizer
+    )
+
+
+def _injective_assignment(compatibility: list[list[int]], m: int) -> bool:
+    """Backtracking search for a predicate->tuple injection.
+
+    ``compatibility[i]`` lists tuple indices compatible with predicate
+    ``i``. Predicates are tried most-constrained first, the classic
+    fail-fast ordering.
+    """
+    order = sorted(range(len(compatibility)), key=lambda i: len(compatibility[i]))
+    used = [False] * m
+
+    def assign(position: int) -> bool:
+        if position == len(order):
+            return True
+        for tuple_index in compatibility[order[position]]:
+            if not used[tuple_index]:
+                used[tuple_index] = True
+                if assign(position + 1):
+                    return True
+                used[tuple_index] = False
+        return False
+
+    return assign(0)
+
+
+def is_relevant(
+    subscription: Subscription, event: Event, canonicalizer: Canonicalizer
+) -> bool:
+    """The paper's exact relevance relation for one pair."""
+    m = len(event.payload)
+    if len(subscription.predicates) > m:
+        return False
+    compatibility: list[list[int]] = []
+    for predicate in subscription.predicates:
+        row = [
+            j
+            for j, av in enumerate(event.payload)
+            if _predicate_compatible(predicate, av.attribute, av.value, canonicalizer)
+        ]
+        if not row:
+            return False
+        compatibility.append(row)
+    return _injective_assignment(compatibility, m)
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Relevant-event index sets, one per subscription (same order)."""
+
+    relevant_sets: tuple[frozenset[int], ...]
+
+    def relevant_to(self, subscription_index: int) -> frozenset[int]:
+        return self.relevant_sets[subscription_index]
+
+    def total_relevant_pairs(self) -> int:
+        return sum(len(s) for s in self.relevant_sets)
+
+
+def build_ground_truth(
+    subscriptions: Sequence[Subscription],
+    events: Sequence[Event] | Sequence[ExpandedEvent],
+    canonicalizer: Canonicalizer,
+) -> GroundTruth:
+    """Evaluate the relevance relation over the full cross product."""
+    plain_events = [
+        item.event if isinstance(item, ExpandedEvent) else item for item in events
+    ]
+    relevant_sets = tuple(
+        frozenset(
+            j
+            for j, event in enumerate(plain_events)
+            if is_relevant(subscription, event, canonicalizer)
+        )
+        for subscription in subscriptions
+    )
+    return GroundTruth(relevant_sets=relevant_sets)

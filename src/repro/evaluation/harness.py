@@ -1,0 +1,246 @@
+"""Sub-experiment runner and theme-grid harness (Section 5.2.4/5.3).
+
+A *sub-experiment* associates one theme combination with every event and
+subscription, scores the full subscription x event matrix with a fresh
+matcher, and yields an F1 score (Section 5.1 protocol) and a throughput
+measurement — exactly one cell sample of Figures 7–10.
+
+``run_grid`` executes a whole (event-theme-size x subscription-theme-
+size) grid with several samples per cell and aggregates means and sample
+errors; ``run_baseline`` produces the non-thematic reference number the
+figures compare against (Section 5.2.5).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.baselines.nonthematic import NonThematicMatcher
+from repro.core.matcher import ThematicMatcher
+from repro.evaluation.metrics import (
+    EffectivenessResult,
+    ThroughputResult,
+    effectiveness,
+    measure_throughput,
+)
+from repro.evaluation.themes import (
+    ThemeCombination,
+    ThemeGridConfig,
+    sample_theme_combinations,
+)
+from repro.evaluation.workload import Workload
+from repro.semantics.cache import RelatednessCache
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+
+__all__ = [
+    "SubExperimentResult",
+    "CellResult",
+    "GridResult",
+    "thematic_matcher_factory",
+    "nonthematic_matcher_factory",
+    "run_sub_experiment",
+    "run_baseline",
+    "run_grid",
+]
+
+#: Builds a fresh matcher per sub-experiment (fresh score caches, so each
+#: cell pays its own semantic-computation cost).
+MatcherFactory = Callable[[], ThematicMatcher]
+
+
+@dataclass(frozen=True)
+class SubExperimentResult:
+    """One cell sample: a theme combination with its two measurements."""
+
+    combination: ThemeCombination
+    effectiveness: EffectivenessResult
+    throughput: ThroughputResult
+
+    @property
+    def f1(self) -> float:
+        return self.effectiveness.max_f1
+
+    @property
+    def events_per_second(self) -> float:
+        return self.throughput.events_per_second
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregate of all samples for one grid cell."""
+
+    event_size: int
+    subscription_size: int
+    samples: tuple[SubExperimentResult, ...]
+
+    @property
+    def mean_f1(self) -> float:
+        return statistics.fmean(s.f1 for s in self.samples)
+
+    @property
+    def f1_error(self) -> float:
+        """Sample standard deviation of F1 (the paper's Figure 8 metric)."""
+        values = [s.f1 for s in self.samples]
+        return statistics.stdev(values) if len(values) > 1 else 0.0
+
+    @property
+    def mean_throughput(self) -> float:
+        return statistics.fmean(s.events_per_second for s in self.samples)
+
+    @property
+    def throughput_error(self) -> float:
+        values = [s.events_per_second for s in self.samples]
+        return statistics.stdev(values) if len(values) > 1 else 0.0
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """A completed grid run: per-cell aggregates plus its configuration."""
+
+    cells: dict[tuple[int, int], CellResult]
+    grid_config: ThemeGridConfig
+
+    def cell(self, event_size: int, subscription_size: int) -> CellResult:
+        return self.cells[(event_size, subscription_size)]
+
+    def fraction_above(
+        self, baseline: float, value: str = "f1"
+    ) -> float:
+        """Share of cells whose mean exceeds ``baseline`` (Fig 7/9 claim)."""
+        if value == "f1":
+            means = [c.mean_f1 for c in self.cells.values()]
+        elif value == "throughput":
+            means = [c.mean_throughput for c in self.cells.values()]
+        else:
+            raise ValueError(f"unknown value kind {value!r}")
+        return sum(1 for m in means if m > baseline) / len(means)
+
+    def best(self, value: str = "f1") -> CellResult:
+        key = (
+            (lambda c: c.mean_f1) if value == "f1" else (lambda c: c.mean_throughput)
+        )
+        return max(self.cells.values(), key=key)
+
+    def overall_mean(self, value: str = "f1") -> float:
+        if value == "f1":
+            return statistics.fmean(c.mean_f1 for c in self.cells.values())
+        return statistics.fmean(c.mean_throughput for c in self.cells.values())
+
+
+def thematic_matcher_factory(
+    workload: Workload, *, k: int = 1, min_relatedness: float = 0.0
+) -> MatcherFactory:
+    """Fresh thematic matcher over the workload's shared space."""
+
+    def factory() -> ThematicMatcher:
+        measure = CachedMeasure(ThematicMeasure(workload.space), RelatednessCache())
+        return ThematicMatcher(measure, k=k, min_relatedness=min_relatedness)
+
+    return factory
+
+
+def nonthematic_matcher_factory(
+    workload: Workload, *, k: int = 1, min_relatedness: float = 0.0
+) -> MatcherFactory:
+    """Fresh non-thematic (prior work [16]) matcher for the baseline."""
+
+    def factory() -> ThematicMatcher:
+        return NonThematicMatcher(
+            workload.space, k=k, min_relatedness=min_relatedness
+        )
+
+    return factory
+
+
+def score_matrix(
+    matcher: ThematicMatcher,
+    subscriptions: Sequence,
+    events: Sequence,
+) -> list[list[float]]:
+    """Score every subscription against every event (no timing)."""
+    return [[matcher.score(sub, event) for event in events] for sub in subscriptions]
+
+
+def run_sub_experiment(
+    workload: Workload,
+    matcher_factory: MatcherFactory,
+    combination: ThemeCombination,
+) -> SubExperimentResult:
+    """One Figure-6 sub-experiment: theme the artifacts, score, measure."""
+    matcher = matcher_factory()
+    themed_events = [
+        event.with_theme(combination.event_tags) for event in workload.events
+    ]
+    themed_subscriptions = [
+        sub.with_theme(combination.subscription_tags)
+        for sub in workload.subscriptions.approximate
+    ]
+    scores: list[list[float]] = [
+        [0.0] * len(themed_events) for _ in themed_subscriptions
+    ]
+
+    def process() -> int:
+        for j, event in enumerate(themed_events):
+            for i, subscription in enumerate(themed_subscriptions):
+                scores[i][j] = matcher.score(subscription, event)
+        return len(themed_events)
+
+    throughput = measure_throughput(process)
+    result = effectiveness(scores, workload.ground_truth.relevant_sets)
+    return SubExperimentResult(
+        combination=combination, effectiveness=result, throughput=throughput
+    )
+
+
+def run_baseline(
+    workload: Workload, matcher_factory: MatcherFactory | None = None
+) -> SubExperimentResult:
+    """The Section 5.2.5 baseline: non-thematic matcher, empty themes."""
+    factory = (
+        matcher_factory
+        if matcher_factory is not None
+        else nonthematic_matcher_factory(workload)
+    )
+    empty = ThemeCombination(event_tags=(), subscription_tags=())
+    return run_sub_experiment(workload, factory, empty)
+
+
+def run_grid(
+    workload: Workload,
+    matcher_factory: MatcherFactory | None = None,
+    grid_config: ThemeGridConfig | None = None,
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> GridResult:
+    """Run every configured cell (Figures 7–10's data collection)."""
+    factory = (
+        matcher_factory
+        if matcher_factory is not None
+        else thematic_matcher_factory(workload)
+    )
+    grid_config = grid_config if grid_config is not None else workload.config.themes
+    combinations = sample_theme_combinations(workload.thesaurus, grid_config)
+    cells: dict[tuple[int, int], CellResult] = {}
+    total = len(combinations)
+    for index, (cell_key, cell_combinations) in enumerate(
+        sorted(combinations.items())
+    ):
+        samples = tuple(
+            run_sub_experiment(workload, factory, combination)
+            for combination in cell_combinations
+        )
+        cells[cell_key] = CellResult(
+            event_size=cell_key[0],
+            subscription_size=cell_key[1],
+            samples=samples,
+        )
+        if progress is not None:
+            cell = cells[cell_key]
+            progress(
+                f"[{index + 1}/{total}] cell {cell_key}: "
+                f"F1={cell.mean_f1:.2f} eps={cell.mean_throughput:.0f}"
+            )
+    return GridResult(cells=cells, grid_config=grid_config)

@@ -1,0 +1,201 @@
+"""Effectiveness and efficiency metrics (Section 5.1, Table 2).
+
+Effectiveness follows the paper's protocol exactly: the approximate
+matcher assigns scores, events are *ranked* per subscription, and
+precision is interpolated at the 11 standard recall points
+``{0, 0.1, ..., 1.0}`` — "to cover all the precision-recall curve
+without using thresholds". Precision and recall average over
+subscriptions; F1 combines them per recall point and the maximum over
+the points is reported.
+
+Table 2's base concepts (TP/FP/FN/TN) are modeled by
+:class:`ConfusionCounts` for threshold-style consumers (the broker, the
+examples); the ranking metrics never need a threshold.
+
+Efficiency is ``Throughput = processed events / time`` measured with a
+monotonic clock around the caller-supplied loop.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "RECALL_LEVELS",
+    "ConfusionCounts",
+    "ranking_from_scores",
+    "interpolated_precision",
+    "average_interpolated_precision",
+    "max_f1_from_precisions",
+    "effectiveness",
+    "EffectivenessResult",
+    "ThroughputResult",
+    "measure_throughput",
+]
+
+#: The 11 standard recall points of Section 5.1.
+RECALL_LEVELS: tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Table 2: the base concepts for effectiveness evaluation."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    def precision(self) -> float:
+        """``TP / (TP + FP)``; 0 when nothing was retrieved."""
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    def recall(self) -> float:
+        """``TP / (TP + FN)``; 0 when nothing was relevant."""
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    def f1(self) -> float:
+        precision, recall = self.precision(), self.recall()
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    @classmethod
+    def from_decisions(
+        cls, decisions: Sequence[bool], truth: Sequence[bool]
+    ) -> "ConfusionCounts":
+        """Tally matcher yes/no decisions against ground-truth labels."""
+        if len(decisions) != len(truth):
+            raise ValueError("decisions and truth must have equal length")
+        tp = fp = fn = tn = 0
+        for decided, actual in zip(decisions, truth):
+            if decided and actual:
+                tp += 1
+            elif decided and not actual:
+                fp += 1
+            elif not decided and actual:
+                fn += 1
+            else:
+                tn += 1
+        return cls(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def ranking_from_scores(scores: Sequence[float]) -> list[int]:
+    """Event indices sorted by score descending; ties break by index.
+
+    The tie-break makes evaluation deterministic across runs.
+    """
+    return sorted(range(len(scores)), key=lambda i: (-scores[i], i))
+
+
+def interpolated_precision(
+    ranking: Sequence[int],
+    relevant: frozenset[int] | set[int],
+    levels: Sequence[float] = RECALL_LEVELS,
+) -> list[float]:
+    """Interpolated precision of one ranking at each recall level.
+
+    ``p_interp(r) = max{precision@i : recall@i >= r}`` — the standard
+    11-point interpolation. Requires a non-empty relevant set.
+    """
+    if not relevant:
+        raise ValueError("interpolated precision needs a non-empty relevant set")
+    total_relevant = len(relevant)
+    # (recall, precision) after each rank position where a hit occurs.
+    points: list[tuple[float, float]] = []
+    hits = 0
+    for position, event_index in enumerate(ranking, start=1):
+        if event_index in relevant:
+            hits += 1
+            points.append((hits / total_relevant, hits / position))
+    precisions: list[float] = []
+    for level in levels:
+        candidates = [p for r, p in points if r >= level - 1e-12]
+        precisions.append(max(candidates) if candidates else 0.0)
+    return precisions
+
+
+def average_interpolated_precision(
+    rankings: Sequence[Sequence[int]],
+    relevant_sets: Sequence[frozenset[int] | set[int]],
+    levels: Sequence[float] = RECALL_LEVELS,
+) -> list[float]:
+    """Per-level precision averaged over subscriptions (Section 5.1).
+
+    Subscriptions with empty relevant sets are skipped — recall is
+    undefined for them, exactly as in IR evaluation practice.
+    """
+    if len(rankings) != len(relevant_sets):
+        raise ValueError("rankings and relevant_sets must align")
+    sums = [0.0] * len(levels)
+    used = 0
+    for ranking, relevant in zip(rankings, relevant_sets):
+        if not relevant:
+            continue
+        used += 1
+        for i, precision in enumerate(
+            interpolated_precision(ranking, relevant, levels)
+        ):
+            sums[i] += precision
+    if used == 0:
+        raise ValueError("no subscription has relevant events")
+    return [total / used for total in sums]
+
+
+def max_f1_from_precisions(
+    precisions: Sequence[float], levels: Sequence[float] = RECALL_LEVELS
+) -> float:
+    """Maximal F1 over the recall levels (the paper's reported number)."""
+    best = 0.0
+    for precision, recall in zip(precisions, levels):
+        if precision + recall > 0.0:
+            best = max(best, 2.0 * precision * recall / (precision + recall))
+    return best
+
+
+@dataclass(frozen=True)
+class EffectivenessResult:
+    """Max-F1 plus the averaged precision-recall curve behind it."""
+
+    max_f1: float
+    precisions: tuple[float, ...]
+    levels: tuple[float, ...] = RECALL_LEVELS
+
+
+def effectiveness(
+    per_subscription_scores: Sequence[Sequence[float]],
+    relevant_sets: Sequence[frozenset[int] | set[int]],
+) -> EffectivenessResult:
+    """Full effectiveness pipeline: scores -> rankings -> 11-point max F1."""
+    rankings = [ranking_from_scores(scores) for scores in per_subscription_scores]
+    precisions = average_interpolated_precision(rankings, relevant_sets)
+    return EffectivenessResult(
+        max_f1=max_f1_from_precisions(precisions),
+        precisions=tuple(precisions),
+    )
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Events/second over a timed processing loop."""
+
+    events: int
+    seconds: float
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else float("inf")
+
+
+def measure_throughput(
+    process: Callable[[], int],
+) -> ThroughputResult:
+    """Time ``process`` (which returns how many events it handled)."""
+    start = time.perf_counter()
+    events = process()
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(events=events, seconds=elapsed)

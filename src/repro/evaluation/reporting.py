@@ -1,0 +1,103 @@
+"""Terminal rendering of the evaluation artifacts (Figures 7–10, tables).
+
+The paper's figures are color heatmaps and scatter plots; the benches
+render terminal equivalents: an ASCII heatmap with the same axes
+(event theme size on x, subscription theme size on y, origin bottom
+left, baseline-beating cells marked), value/error tables for the scatter
+figures, and aligned paper-vs-measured comparison tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.evaluation.harness import GridResult
+
+__all__ = ["format_table", "format_heatmap", "format_error_table", "format_comparison"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Left-aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_heatmap(
+    grid: GridResult,
+    *,
+    value: str = "f1",
+    baseline: float | None = None,
+    cell_format: str = "{:>4.0f}",
+    scale: float = 100.0,
+) -> str:
+    """ASCII rendition of Figure 7 (value="f1") or Figure 9 ("throughput").
+
+    Rows are subscription theme sizes (largest on top so the origin sits
+    bottom-left, as in the paper); columns are event theme sizes. Cells
+    beating the baseline carry ``*`` — the paper's square-vs-circle
+    distinction.
+    """
+    event_sizes = sorted({key[0] for key in grid.cells})
+    subscription_sizes = sorted({key[1] for key in grid.cells})
+    lines = []
+    header = "sub\\ev |" + "".join(f"{size:>6}" for size in event_sizes)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for subscription_size in reversed(subscription_sizes):
+        row = [f"{subscription_size:>6} |"]
+        for event_size in event_sizes:
+            cell = grid.cells[(event_size, subscription_size)]
+            raw = cell.mean_f1 if value == "f1" else cell.mean_throughput
+            shown = raw * scale if value == "f1" else raw
+            mark = (
+                "*"
+                if baseline is not None
+                and (cell.mean_f1 if value == "f1" else cell.mean_throughput)
+                > baseline
+                else " "
+            )
+            row.append(cell_format.format(shown) + mark)
+        lines.append("".join(row))
+    if baseline is not None:
+        shown_baseline = baseline * scale if value == "f1" else baseline
+        lines.append(f"(* = above non-thematic baseline {shown_baseline:.0f})")
+    return "\n".join(lines)
+
+
+def format_error_table(grid: GridResult, *, value: str = "f1") -> str:
+    """Figure 8/10 as a table: per-cell mean against sample error."""
+    rows = []
+    for (event_size, subscription_size), cell in sorted(grid.cells.items()):
+        if value == "f1":
+            mean, error = cell.mean_f1 * 100, cell.f1_error * 100
+            rows.append(
+                (event_size, subscription_size, f"{mean:.1f}%", f"{error:.1f}%")
+            )
+        else:
+            mean, error = cell.mean_throughput, cell.throughput_error
+            rows.append(
+                (event_size, subscription_size, f"{mean:.0f}", f"{error:.0f}")
+            )
+    metric = "F1" if value == "f1" else "events/sec"
+    return format_table(
+        ("event tags", "sub tags", f"mean {metric}", "sample error"), rows
+    )
+
+
+def format_comparison(
+    rows: Sequence[tuple[str, str, str]],
+    *,
+    title: str = "paper vs measured",
+) -> str:
+    """Aligned three-column comparison for EXPERIMENTS.md and benches."""
+    body = format_table(("metric", "paper", "measured"), rows)
+    bar = "=" * len(title)
+    return f"{title}\n{bar}\n{body}"

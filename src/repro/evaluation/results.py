@@ -1,0 +1,106 @@
+"""Persistence for grid-experiment results.
+
+A full Figure-7/9 grid takes minutes to hours to compute; the numbers
+should outlive the process. :func:`save_grid`/:func:`load_grid` write
+and read a JSON representation that round-trips everything the
+reporting layer consumes (per-sample F1, precision curves, timings,
+theme tags), so a saved grid renders identical heatmaps and tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.evaluation.harness import CellResult, GridResult, SubExperimentResult
+from repro.evaluation.metrics import (
+    RECALL_LEVELS,
+    EffectivenessResult,
+    ThroughputResult,
+)
+from repro.evaluation.themes import ThemeCombination, ThemeGridConfig
+
+__all__ = ["FORMAT_VERSION", "save_grid", "load_grid"]
+
+FORMAT_VERSION = 1
+
+
+def _sample_to_dict(sample: SubExperimentResult) -> dict:
+    return {
+        "event_tags": list(sample.combination.event_tags),
+        "subscription_tags": list(sample.combination.subscription_tags),
+        "precisions": list(sample.effectiveness.precisions),
+        "max_f1": sample.effectiveness.max_f1,
+        "events": sample.throughput.events,
+        "seconds": sample.throughput.seconds,
+    }
+
+
+def _sample_from_dict(data: dict) -> SubExperimentResult:
+    return SubExperimentResult(
+        combination=ThemeCombination(
+            event_tags=tuple(data["event_tags"]),
+            subscription_tags=tuple(data["subscription_tags"]),
+        ),
+        effectiveness=EffectivenessResult(
+            max_f1=data["max_f1"],
+            precisions=tuple(data["precisions"]),
+            levels=RECALL_LEVELS,
+        ),
+        throughput=ThroughputResult(
+            events=data["events"], seconds=data["seconds"]
+        ),
+    )
+
+
+def save_grid(grid: GridResult, path: str | Path) -> None:
+    """Write the grid run to ``path`` (JSON)."""
+    payload = {
+        "format": "repro-grid",
+        "version": FORMAT_VERSION,
+        "grid_config": {
+            "event_sizes": list(grid.grid_config.event_sizes),
+            "subscription_sizes": list(grid.grid_config.subscription_sizes),
+            "samples_per_cell": grid.grid_config.samples_per_cell,
+            "seed": grid.grid_config.seed,
+        },
+        "cells": [
+            {
+                "event_size": cell.event_size,
+                "subscription_size": cell.subscription_size,
+                "samples": [_sample_to_dict(s) for s in cell.samples],
+            }
+            for cell in grid.cells.values()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_grid(path: str | Path) -> GridResult:
+    """Read a grid run saved by :func:`save_grid`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != "repro-grid":
+        raise ValueError(f"{path}: not a repro grid result")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: grid format version {payload.get('version')} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    config_data = payload["grid_config"]
+    grid_config = ThemeGridConfig(
+        event_sizes=tuple(config_data["event_sizes"]),
+        subscription_sizes=tuple(config_data["subscription_sizes"]),
+        samples_per_cell=config_data["samples_per_cell"],
+        seed=config_data["seed"],
+    )
+    cells = {}
+    for cell_data in payload["cells"]:
+        key = (cell_data["event_size"], cell_data["subscription_size"])
+        cells[key] = CellResult(
+            event_size=key[0],
+            subscription_size=key[1],
+            samples=tuple(
+                _sample_from_dict(s) for s in cell_data["samples"]
+            ),
+        )
+    return GridResult(cells=cells, grid_config=grid_config)

@@ -1,0 +1,122 @@
+"""Evaluation subscription generation (Section 5.2.3, Figure 6).
+
+Exact subscriptions are built "by randomly picking a number of tuples
+from the seed events and turning them into exact subscriptions"; the
+approximate set then tilde-relaxes them. The paper relaxes *all*
+predicates (100% degree of approximation, the worst case); the prior-
+work comparison bench uses 50%, so the degree is configurable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.events import Event
+from repro.core.subscriptions import Predicate, Subscription
+
+__all__ = ["SubscriptionConfig", "SubscriptionSet", "generate_subscriptions", "partially_relax"]
+
+
+@dataclass(frozen=True)
+class SubscriptionConfig:
+    """Count/shape of the generated subscription sets."""
+
+    count: int = 94
+    min_predicates: int = 2
+    max_predicates: int = 4
+    degree_of_approximation: float = 1.0
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.degree_of_approximation <= 1.0:
+            raise ValueError("degree_of_approximation must be in [0, 1]")
+        if self.min_predicates < 1 or self.max_predicates < self.min_predicates:
+            raise ValueError("bad predicate count bounds")
+
+
+@dataclass(frozen=True)
+class SubscriptionSet:
+    """Paired exact/approximate subscriptions plus their seed indices."""
+
+    exact: tuple[Subscription, ...]
+    approximate: tuple[Subscription, ...]
+    seed_indexes: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.exact)
+
+
+def partially_relax(
+    subscription: Subscription, degree: float, rng: random.Random
+) -> Subscription:
+    """Relax a ``degree`` proportion of the 2n attribute/value sides.
+
+    Non-string values are never relaxed (they have no semantic
+    neighbourhood), matching
+    :meth:`repro.core.subscriptions.Subscription.relax`.
+    """
+    if degree >= 1.0:
+        return subscription.relax()
+    sides: list[tuple[int, int]] = []  # (predicate index, side 0=attr 1=value)
+    for i, predicate in enumerate(subscription.predicates):
+        sides.append((i, 0))
+        if isinstance(predicate.value, str):
+            sides.append((i, 1))
+    want = round(degree * 2 * len(subscription.predicates))
+    chosen = set(rng.sample(sides, min(want, len(sides))))
+    predicates = []
+    for i, predicate in enumerate(subscription.predicates):
+        predicates.append(
+            Predicate(
+                predicate.attribute,
+                predicate.value,
+                approx_attribute=(i, 0) in chosen,
+                approx_value=(i, 1) in chosen,
+            )
+        )
+    return Subscription(theme=subscription.theme, predicates=tuple(predicates))
+
+
+def generate_subscriptions(
+    seeds: tuple[Event, ...] | list[Event],
+    config: SubscriptionConfig | None = None,
+) -> SubscriptionSet:
+    """Deterministically derive the evaluation subscription sets."""
+    config = config if config is not None else SubscriptionConfig()
+    rng = random.Random(config.seed)
+    exact: list[Subscription] = []
+    approximate: list[Subscription] = []
+    seed_indexes: list[int] = []
+    seen: set[tuple] = set()
+    attempts = config.count * 20
+    while len(exact) < config.count and attempts > 0:
+        attempts -= 1
+        seed_index = rng.randrange(len(seeds))
+        seed = seeds[seed_index]
+        size = rng.randint(
+            config.min_predicates, min(config.max_predicates, len(seed.payload))
+        )
+        # Subscriptions always filter on the event type when the seed has
+        # one — every subscription example in the paper does, and it is
+        # what makes type-corrupting distractors discriminate matchers.
+        payload = list(seed.payload)
+        typed = [av for av in payload if av.attribute == "type"]
+        rest = [av for av in payload if av.attribute != "type"]
+        chosen = list(typed[:1]) + rng.sample(rest, size - len(typed[:1]))
+        predicates = tuple(Predicate(av.attribute, av.value) for av in chosen)
+        key = tuple(sorted((p.attribute, str(p.value)) for p in predicates))
+        if key in seen:
+            continue
+        seen.add(key)
+        subscription = Subscription(theme=frozenset(), predicates=predicates)
+        exact.append(subscription)
+        approximate.append(
+            partially_relax(subscription, config.degree_of_approximation, rng)
+        )
+        seed_indexes.append(seed_index)
+    return SubscriptionSet(
+        exact=tuple(exact),
+        approximate=tuple(approximate),
+        seed_indexes=tuple(seed_indexes),
+    )

@@ -1,0 +1,151 @@
+"""Realistic tagging behavior (the paper's first future-work item).
+
+Section 7: "Future work aims at the study of realistic tagging behavior
+of users". Section 5.3.3 contains the hypothesis to test: when no
+agreement on tags is possible, "containment and overlap can be assumed
+to hold due to the distribution of term usage by humans where some terms
+are more probable to be used by both parties".
+
+This module supplies the two ingredients of that study:
+
+* **Zipfian tag selection** — humans reuse popular tags; tags are drawn
+  from the top-term pool with probability ``∝ 1/rank^s`` instead of
+  uniformly. :func:`expected_overlap` quantifies how much overlap two
+  *independent* Zipfian taggers produce naturally — the paper's
+  "distribution of term usage" argument made measurable.
+* **Controlled containment violation** — :func:`sample_free_combination`
+  draws event/subscription theme sets with a target overlap fraction
+  instead of the evaluation's strict containment, so the harness can
+  chart F1 as the containment assumption erodes
+  (``benchmarks/bench_tagging_behavior.py``).
+
+Because these combinations intentionally violate containment, they use
+:class:`FreeThemeCombination` — same shape as
+:class:`~repro.evaluation.themes.ThemeCombination`, no containment
+invariant. The harness only reads ``event_tags``/``subscription_tags``,
+so both types work everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "FreeThemeCombination",
+    "ZipfTagger",
+    "sample_free_combination",
+    "expected_overlap",
+]
+
+
+@dataclass(frozen=True)
+class FreeThemeCombination:
+    """Theme pair without the containment invariant (see module doc)."""
+
+    event_tags: tuple[str, ...]
+    subscription_tags: tuple[str, ...]
+
+    def overlap(self) -> float:
+        """Jaccard-style overlap: |∩| / min(|A|, |B|); 1.0 if either empty."""
+        a, b = set(self.event_tags), set(self.subscription_tags)
+        if not a or not b:
+            return 1.0
+        return len(a & b) / min(len(a), len(b))
+
+
+class ZipfTagger:
+    """Draws tags from a pool with Zipfian popularity.
+
+    The pool order defines popularity rank (rank 1 = most popular);
+    ``exponent`` is the Zipf ``s`` (0 = uniform; ~1 = natural language).
+    Sampling is without replacement via iterated weighted draws.
+    """
+
+    def __init__(self, pool: Sequence[str], *, exponent: float = 1.0):
+        if not pool:
+            raise ValueError("tag pool must not be empty")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.pool = tuple(pool)
+        self.exponent = exponent
+        self._weights = [
+            1.0 / (rank ** exponent) for rank in range(1, len(self.pool) + 1)
+        ]
+
+    def sample(self, size: int, rng: random.Random) -> tuple[str, ...]:
+        """``size`` distinct tags, popularity-weighted."""
+        if size > len(self.pool):
+            raise ValueError("cannot sample more tags than the pool holds")
+        available = list(range(len(self.pool)))
+        weights = list(self._weights)
+        chosen: list[str] = []
+        for _ in range(size):
+            index = rng.choices(range(len(available)), weights=weights, k=1)[0]
+            chosen.append(self.pool[available.pop(index)])
+            weights.pop(index)
+        return tuple(chosen)
+
+
+def sample_free_combination(
+    pool: Sequence[str],
+    event_size: int,
+    subscription_size: int,
+    rng: random.Random,
+    *,
+    overlap: float = 1.0,
+    exponent: float = 0.0,
+) -> FreeThemeCombination:
+    """Draw a theme pair with a target overlap fraction.
+
+    ``overlap`` is the fraction of the *smaller* set guaranteed to come
+    from the larger set; the remainder is drawn from outside it. With
+    ``overlap=1.0`` this reproduces the evaluation's containment setting.
+    ``exponent`` applies Zipfian popularity to the larger set's draw.
+    """
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError("overlap must be in [0, 1]")
+    tagger = ZipfTagger(pool, exponent=exponent)
+    small_size, large_size = sorted((event_size, subscription_size))
+    large = tagger.sample(large_size, rng)
+    shared_count = round(overlap * small_size)
+    shared = tuple(rng.sample(large, shared_count)) if shared_count else ()
+    outside_pool = [t for t in pool if t not in large]
+    fresh_count = small_size - shared_count
+    if fresh_count > len(outside_pool):
+        raise ValueError("pool too small for the requested overlap violation")
+    fresh = tuple(rng.sample(outside_pool, fresh_count))
+    small = shared + fresh
+    if event_size <= subscription_size:
+        return FreeThemeCombination(event_tags=small, subscription_tags=large)
+    return FreeThemeCombination(event_tags=large, subscription_tags=small)
+
+
+def expected_overlap(
+    pool: Sequence[str],
+    event_size: int,
+    subscription_size: int,
+    *,
+    exponent: float = 1.0,
+    trials: int = 200,
+    seed: int = 13,
+) -> float:
+    """Mean overlap of two *independent* Zipfian taggers (Monte Carlo).
+
+    This is Section 5.3.3's claim quantified: if both parties pick tags
+    independently but share the human popularity distribution, how much
+    overlap arises without any agreement?
+    """
+    tagger = ZipfTagger(pool, exponent=exponent)
+    rng = random.Random(seed)
+    overlaps = []
+    for _ in range(trials):
+        event_tags = set(tagger.sample(event_size, rng))
+        subscription_tags = set(tagger.sample(subscription_size, rng))
+        overlaps.append(
+            len(event_tags & subscription_tags)
+            / min(event_size, subscription_size)
+        )
+    return statistics.fmean(overlaps)

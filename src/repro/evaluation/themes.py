@@ -1,0 +1,104 @@
+"""Theme-tag combination sampling (Section 5.2.4, Figure 6).
+
+Theme tags come from the top terms of the micro-thesauri whose domains
+generated the event set. For each grid cell ``(event size i,
+subscription size j)`` the paper samples 5 pairs of tag sets with the
+*containment* property: the smaller set is a subset of the larger
+(equal sizes mean equal sets). The full paper grid is 30x30x5 = 4,500
+sub-experiments; the grid is configurable so tests and default benches
+can run calibrated subsets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.knowledge.thesaurus import Thesaurus
+
+__all__ = ["ThemeCombination", "ThemeGridConfig", "sample_theme_combinations", "theme_pool"]
+
+
+@dataclass(frozen=True)
+class ThemeCombination:
+    """One sampled pair of theme-tag sets (containment holds)."""
+
+    event_tags: tuple[str, ...]
+    subscription_tags: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        small, large = sorted(
+            (set(self.event_tags), set(self.subscription_tags)), key=len
+        )
+        if not small <= large:
+            raise ValueError("theme combination must satisfy containment")
+
+
+@dataclass(frozen=True)
+class ThemeGridConfig:
+    """Which cells to sample and how many samples per cell."""
+
+    event_sizes: tuple[int, ...] = tuple(range(1, 31))
+    subscription_sizes: tuple[int, ...] = tuple(range(1, 31))
+    samples_per_cell: int = 5
+    domains: tuple[str, ...] | None = None
+    seed: int = 31
+
+    @classmethod
+    def paper_scale(cls) -> "ThemeGridConfig":
+        return cls()
+
+    @classmethod
+    def small(cls) -> "ThemeGridConfig":
+        sizes = (1, 2, 3, 5, 7, 10, 15, 20, 30)
+        return cls(event_sizes=sizes, subscription_sizes=sizes, samples_per_cell=2)
+
+
+def theme_pool(
+    thesaurus: Thesaurus, domains: tuple[str, ...] | None = None
+) -> tuple[str, ...]:
+    """The tag pool: top terms of the expansion domains, in order."""
+    return thesaurus.top_terms(domains)
+
+
+def sample_theme_combinations(
+    thesaurus: Thesaurus, config: ThemeGridConfig | None = None
+) -> dict[tuple[int, int], tuple[ThemeCombination, ...]]:
+    """Sample every configured cell; deterministic for a given config.
+
+    Keys are ``(event theme size, subscription theme size)``. The larger
+    set is drawn without replacement from the pool; the smaller is a
+    random subset of it, so containment always holds — matching the
+    paper's "the event theme tags set contains the subscription theme
+    tags set or vice versa".
+    """
+    config = config if config is not None else ThemeGridConfig()
+    pool = list(theme_pool(thesaurus, config.domains))
+    max_size = max(max(config.event_sizes), max(config.subscription_sizes))
+    if max_size > len(pool):
+        raise ValueError(
+            f"theme sizes up to {max_size} need a pool of at least that many "
+            f"top terms, got {len(pool)}"
+        )
+    rng = random.Random(config.seed)
+    grid: dict[tuple[int, int], tuple[ThemeCombination, ...]] = {}
+    for event_size in config.event_sizes:
+        for subscription_size in config.subscription_sizes:
+            samples = []
+            for _ in range(config.samples_per_cell):
+                large_size = max(event_size, subscription_size)
+                large = rng.sample(pool, large_size)
+                event_tags = tuple(rng.sample(large, event_size)) if (
+                    event_size < large_size
+                ) else tuple(large)
+                subscription_tags = tuple(
+                    rng.sample(large, subscription_size)
+                ) if subscription_size < large_size else tuple(large)
+                samples.append(
+                    ThemeCombination(
+                        event_tags=event_tags,
+                        subscription_tags=subscription_tags,
+                    )
+                )
+            grid[(event_size, subscription_size)] = tuple(samples)
+    return grid

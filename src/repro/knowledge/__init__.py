@@ -1,0 +1,41 @@
+"""Knowledge substrates: the EuroVoc-like thesaurus and synthetic corpus.
+
+These replace the paper's two external knowledge resources (the EuroVoc
+thesaurus and the 2013 Wikipedia dump) with deterministic, offline
+equivalents. See DESIGN.md for the substitution rationale.
+"""
+
+from repro.knowledge.corpus import (
+    FILLER_WORDS,
+    CorpusConfig,
+    build_corpus,
+    default_corpus,
+)
+from repro.knowledge.eurovoc import AFFINITIES, DOMAINS, build_eurovoc, default_thesaurus
+from repro.knowledge.rewrite import (
+    Canonicalizer,
+    TermSpan,
+    find_term_spans,
+    replace_span,
+    single_replacements,
+)
+from repro.knowledge.thesaurus import Concept, MicroThesaurus, Thesaurus
+
+__all__ = [
+    "AFFINITIES",
+    "Canonicalizer",
+    "Concept",
+    "CorpusConfig",
+    "DOMAINS",
+    "FILLER_WORDS",
+    "MicroThesaurus",
+    "TermSpan",
+    "Thesaurus",
+    "build_corpus",
+    "build_eurovoc",
+    "default_corpus",
+    "default_thesaurus",
+    "find_term_spans",
+    "replace_span",
+    "single_replacements",
+]

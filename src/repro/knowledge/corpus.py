@@ -1,0 +1,385 @@
+"""Synthetic Wikipedia-like corpus generator.
+
+The paper builds its ESA space from the 2013 Wikipedia dump. A full
+Wikipedia is neither available offline nor needed: ESA only depends on
+*which terms co-occur in which documents*. This generator produces a
+corpus with precisely controlled co-occurrence statistics, derived from
+the thesaurus:
+
+* **concept articles** — a few documents per concept in which the
+  concept's synonym ring co-occurs, along with a sample of the domain's
+  top terms and a couple of sibling concepts. These make synonyms
+  distributionally close and anchor the domain's top terms to the
+  domain's documents (so thematic bases select the right sub-corpus);
+* **domain overview articles** — top terms together with many of the
+  domain's preferred terms; the hub documents of each domain;
+* **confuser articles** — mix two concepts from *different* domains
+  without any top terms. They create the spurious cross-domain
+  relatedness that hurts the non-thematic matcher; thematic projection
+  drops them whenever themes exclude them, which is the mechanism behind
+  the paper's effectiveness gain;
+* **general reference articles** — digest documents sampling several
+  concept rings across domains together with a few top terms. They model
+  Wikipedia's density: any theme tag's basis includes a slice of them,
+  so even a narrow theme keeps (weaker) evidence about every domain's
+  vocabulary rather than zeroing foreign terms outright;
+* **noise articles** — filler-only documents adding background mass.
+
+Everything is driven by a seeded :class:`random.Random`, so a given
+``(thesaurus, CorpusConfig)`` always yields the identical corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.knowledge.eurovoc import AFFINITIES, CONTRAST_PAIRS, default_thesaurus
+from repro.knowledge.thesaurus import Thesaurus
+from repro.semantics.documents import Document, DocumentSet
+
+__all__ = ["CorpusConfig", "build_corpus", "default_corpus", "FILLER_WORDS"]
+
+#: Neutral vocabulary for padding documents. Deliberately disjoint from
+#: the thesaurus vocabulary so filler never creates domain relatedness.
+FILLER_WORDS: tuple[str, ...] = (
+    "analysis", "method", "result", "finding", "overview", "summary",
+    "history", "background", "example", "general", "common", "various",
+    "century", "decade", "development", "research", "study", "survey",
+    "group", "number", "period", "several", "important", "major",
+    "typical", "model", "approach", "process", "often", "usually",
+    "within", "between", "around", "article", "context", "detail",
+    "aspect", "feature", "element", "factor", "practice", "theory",
+    "notably", "widely", "known", "described", "discussed", "considered",
+    "proposed", "introduced", "established", "observed", "reported",
+    "section", "chapter", "figure", "table", "source", "reference",
+    "author", "editor", "review", "journal", "volume", "edition",
+)
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs for corpus size and mixture.
+
+    The defaults produce ~1,700 documents — enough for stable distances
+    and fast tests. ``paper_scale()`` produces a denser corpus for the
+    full-dimension benchmark runs. docs/corpus.md records what each knob
+    is for and how the defaults were calibrated.
+    """
+
+    docs_per_concept: int = 3
+    overview_docs_per_domain: int = 5
+    confuser_docs: int = 200
+    concepts_per_confuser_doc: int = 5
+    contrast_docs_per_pair: int = 36
+    noise_docs: int = 48
+    general_docs: int = 150
+    concepts_per_general_doc: int = 8
+    tops_per_general_doc: int = 3
+    bridge_docs_per_affinity: int = 3
+    top_terms_per_concept_doc: int = 3
+    siblings_per_concept_doc: int = 2
+    filler_per_doc: int = 12
+    term_repetitions: int = 2
+    seed: int = 7
+
+    @classmethod
+    def paper_scale(cls) -> "CorpusConfig":
+        return cls(
+            docs_per_concept=5,
+            overview_docs_per_domain=8,
+            confuser_docs=300,
+            contrast_docs_per_pair=56,
+            noise_docs=96,
+            general_docs=300,
+            bridge_docs_per_affinity=5,
+        )
+
+
+#: Concepts used across every topical domain: the trend/status reporting
+#: vocabulary. Their concept articles sample top terms from *all*
+#: domains (a Wikipedia article mentioning "increased" exists in every
+#: topical slice), so every thematic basis retains the synonym evidence
+#: that disambiguates a qualifier flip from a qualifier synonym.
+UNIVERSAL_CONCEPTS: frozenset[str] = frozenset(
+    {"increased", "decreased", "high", "low", "occupied", "free"}
+)
+
+
+def _concept_documents(
+    thesaurus: Thesaurus, config: CorpusConfig, rng: random.Random
+) -> list[Document]:
+    all_tops = [
+        top
+        for domain in thesaurus.domains()
+        for top in thesaurus.micro(domain).top_terms
+    ]
+    docs: list[Document] = []
+    for domain in thesaurus.domains():
+        micro = thesaurus.micro(domain)
+        preferred_pool = [c.preferred for c in micro.concepts]
+        for concept in micro.concepts:
+            universal = concept.preferred in UNIVERSAL_CONCEPTS
+            copies = config.docs_per_concept * (3 if universal else 1)
+            for copy in range(copies):
+                words: list[str] = []
+                for term in concept.terms():
+                    words.extend([term] * config.term_repetitions)
+                words.extend(concept.related)
+                top_pool = all_tops if universal else list(micro.top_terms)
+                words.extend(
+                    rng.sample(
+                        top_pool,
+                        min(config.top_terms_per_concept_doc, len(top_pool)),
+                    )
+                )
+                siblings = [p for p in preferred_pool if p != concept.preferred]
+                if siblings:
+                    words.extend(
+                        rng.sample(
+                            siblings,
+                            min(config.siblings_per_concept_doc, len(siblings)),
+                        )
+                    )
+                words.extend(rng.choices(FILLER_WORDS, k=config.filler_per_doc))
+                rng.shuffle(words)
+                docs.append(
+                    Document(
+                        name=f"{domain}/{concept.preferred}/{copy}",
+                        text=" ".join(words),
+                    )
+                )
+    return docs
+
+
+def _overview_documents(
+    thesaurus: Thesaurus, config: CorpusConfig, rng: random.Random
+) -> list[Document]:
+    docs: list[Document] = []
+    for domain in thesaurus.domains():
+        micro = thesaurus.micro(domain)
+        preferred_pool = [c.preferred for c in micro.concepts]
+        for copy in range(config.overview_docs_per_domain):
+            words = list(micro.top_terms) * 2
+            words.extend(
+                rng.sample(preferred_pool, min(10, len(preferred_pool)))
+            )
+            words.extend(rng.choices(FILLER_WORDS, k=config.filler_per_doc))
+            rng.shuffle(words)
+            docs.append(
+                Document(name=f"{domain}/overview/{copy}", text=" ".join(words))
+            )
+    return docs
+
+
+def _bridge_documents(
+    thesaurus: Thesaurus, config: CorpusConfig, rng: random.Random
+) -> list[Document]:
+    """Cross-domain affinity articles (see AFFINITIES in eurovoc).
+
+    Each bridge document carries both concepts' synonym rings plus top
+    terms from *both* domains, so both domains' thematic bases include
+    it — the overlap that lets differently-themed projections still
+    measure a meaningful distance.
+    """
+    docs: list[Document] = []
+    concept_by_key = {
+        (domain, concept.preferred): concept
+        for domain in thesaurus.domains()
+        for concept in thesaurus.micro(domain).concepts
+    }
+    for pair_index, ((dom_a, pref_a), (dom_b, pref_b)) in enumerate(AFFINITIES):
+        concept_a = concept_by_key[(dom_a, pref_a)]
+        concept_b = concept_by_key[(dom_b, pref_b)]
+        tops_a = thesaurus.micro(dom_a).top_terms
+        tops_b = thesaurus.micro(dom_b).top_terms
+        for copy in range(config.bridge_docs_per_affinity):
+            words: list[str] = []
+            for term in concept_a.terms():
+                words.extend([term] * config.term_repetitions)
+            for term in concept_b.terms():
+                words.extend([term] * config.term_repetitions)
+            words.extend(rng.sample(tops_a, min(2, len(tops_a))))
+            words.extend(rng.sample(tops_b, min(2, len(tops_b))))
+            words.extend(rng.choices(FILLER_WORDS, k=config.filler_per_doc))
+            rng.shuffle(words)
+            docs.append(
+                Document(
+                    name=f"bridge/{pair_index}/{pref_a}--{pref_b}/{copy}",
+                    text=" ".join(words),
+                )
+            )
+    return docs
+
+
+#: Concepts that actually occur in IoT event payloads (Table 3
+#: capabilities, devices, statuses, locations). Confuser documents focus
+#: on this vocabulary: cross-domain tabloid/news-style articles mention
+#: the words people publish events about, not arbitrary thesaurus tails,
+#: and it is spurious relatedness *between event terms* that produces
+#: false matches for the non-thematic matcher.
+FOCUS_TERMS: tuple[str, ...] = (
+    "solar radiation", "particles", "speed", "wind direction", "wind speed",
+    "temperature", "water flow", "atmospheric pressure", "noise", "ozone",
+    "rainfall", "parking", "radiation par", "co", "ground temperature",
+    "light", "no2", "soil moisture tension", "relative humidity",
+    "energy consumption", "cpu usage", "memory usage", "kilowatt hour",
+    "device", "refrigerator", "air conditioner", "washing machine",
+    "dishwasher", "microwave", "kettle", "heater", "lamp", "oven", "fan",
+    "computer", "server", "monitor", "printer", "television", "mobile phone",
+    "occupied", "free", "vehicle", "bus", "bicycle", "traffic",
+    "room", "office", "building", "zone", "city", "country",
+    "galway", "dublin", "santander", "bordeaux",
+    "ireland", "spain", "france", "europe", "sensor", "measurement unit",
+)
+
+
+def _confuser_documents(
+    thesaurus: Thesaurus, config: CorpusConfig, rng: random.Random
+) -> list[Document]:
+    """Cross-domain articles with no top terms (see module docstring).
+
+    Each confuser mixes the synonym rings of several *event-vocabulary*
+    concepts from at least two domains, with the same term repetition as
+    genuine concept articles — so the spurious co-occurrence it creates
+    is as strong as real synonym evidence, but lives outside every
+    thematic basis (confusers carry no top terms).
+    """
+    focus: list[tuple[str, object]] = []
+    focus_set = {term for term in FOCUS_TERMS}
+    for domain in thesaurus.domains():
+        for concept in thesaurus.micro(domain).concepts:
+            if concept.preferred in focus_set:
+                focus.append((domain, concept))
+    if not focus:  # custom thesauri without the IoT vocabulary
+        focus = [
+            (domain, concept)
+            for domain in thesaurus.domains()
+            for concept in thesaurus.micro(domain).concepts
+        ]
+    docs: list[Document] = []
+    for i in range(config.confuser_docs):
+        picked = rng.sample(focus, min(config.concepts_per_confuser_doc, len(focus)))
+        if len({domain for domain, _ in picked}) < 2:
+            continue  # a same-domain mix is just a weaker concept article
+        words: list[str] = []
+        for _, concept in picked:
+            for term in concept.terms():
+                words.extend([term] * config.term_repetitions)
+        words.extend(rng.choices(FILLER_WORDS, k=config.filler_per_doc))
+        rng.shuffle(words)
+        docs.append(Document(name=f"confuser/{i}", text=" ".join(words)))
+    return docs
+
+
+def _contrast_documents(
+    thesaurus: Thesaurus, config: CorpusConfig, rng: random.Random
+) -> list[Document]:
+    """Contrast articles: "rose and fell", "Galway and Dublin" prose.
+
+    Each CONTRAST_PAIR gets dedicated documents where the two *preferred*
+    terms co-occur heavily — generic prose uses the common surface forms,
+    not the topical synonyms — and with no top terms. Consequences, by
+    construction:
+
+    * in the full space the contrasting pair becomes about as related as
+      a genuine synonym pair (these documents dominate both terms'
+      distributions), which is the classic distributional-antonymy
+      failure the non-thematic matcher inherits;
+    * every thematic basis excludes these documents, so the projected
+      space keeps synonyms related and contrasts apart — the concrete
+      mechanism behind the paper's effectiveness gain.
+    """
+    concept_by_key = {
+        (domain, concept.preferred): concept
+        for domain in thesaurus.domains()
+        for concept in thesaurus.micro(domain).concepts
+    }
+    docs: list[Document] = []
+    for pair_index, (key_a, key_b) in enumerate(CONTRAST_PAIRS):
+        if key_a not in concept_by_key or key_b not in concept_by_key:
+            continue
+        concept_a, concept_b = concept_by_key[key_a], concept_by_key[key_b]
+        for copy in range(config.contrast_docs_per_pair):
+            words: list[str] = []
+            for concept in (concept_a, concept_b):
+                words.extend([concept.preferred] * (config.term_repetitions + 1))
+            words.extend(rng.choices(FILLER_WORDS, k=config.filler_per_doc))
+            rng.shuffle(words)
+            docs.append(
+                Document(
+                    name=f"contrast/{pair_index}/{copy}", text=" ".join(words)
+                )
+            )
+    return docs
+
+
+def _general_documents(
+    thesaurus: Thesaurus, config: CorpusConfig, rng: random.Random
+) -> list[Document]:
+    """Cross-domain digest articles (see module docstring).
+
+    Every document samples whole concept rings, so in-basis synonym
+    evidence survives projection by any theme whose tags select the
+    document — while the cross-concept co-occurrence it adds is diluted
+    over many random combinations.
+    """
+    all_concepts = [
+        concept
+        for domain in thesaurus.domains()
+        for concept in thesaurus.micro(domain).concepts
+    ]
+    all_tops = [
+        top for domain in thesaurus.domains()
+        for top in thesaurus.micro(domain).top_terms
+    ]
+    docs: list[Document] = []
+    for i in range(config.general_docs):
+        chosen = rng.sample(
+            all_concepts, min(config.concepts_per_general_doc, len(all_concepts))
+        )
+        words: list[str] = []
+        for concept in chosen:
+            words.extend(concept.terms())
+        words.extend(
+            rng.sample(all_tops, min(config.tops_per_general_doc, len(all_tops)))
+        )
+        words.extend(rng.choices(FILLER_WORDS, k=config.filler_per_doc))
+        rng.shuffle(words)
+        docs.append(Document(name=f"general/{i}", text=" ".join(words)))
+    return docs
+
+
+def _noise_documents(config: CorpusConfig, rng: random.Random) -> list[Document]:
+    return [
+        Document(
+            name=f"noise/{i}",
+            text=" ".join(rng.choices(FILLER_WORDS, k=config.filler_per_doc * 3)),
+        )
+        for i in range(config.noise_docs)
+    ]
+
+
+def build_corpus(
+    thesaurus: Thesaurus | None = None, config: CorpusConfig | None = None
+) -> DocumentSet:
+    """Deterministically generate the synthetic corpus ``D``."""
+    thesaurus = thesaurus if thesaurus is not None else default_thesaurus()
+    config = config if config is not None else CorpusConfig()
+    rng = random.Random(config.seed)
+    docs: list[Document] = []
+    docs.extend(_concept_documents(thesaurus, config, rng))
+    docs.extend(_overview_documents(thesaurus, config, rng))
+    docs.extend(_bridge_documents(thesaurus, config, rng))
+    docs.extend(_confuser_documents(thesaurus, config, rng))
+    docs.extend(_contrast_documents(thesaurus, config, rng))
+    docs.extend(_general_documents(thesaurus, config, rng))
+    docs.extend(_noise_documents(config, rng))
+    return DocumentSet.from_documents(docs)
+
+
+@lru_cache(maxsize=1)
+def default_corpus() -> DocumentSet:
+    """Shared default corpus built from the default thesaurus."""
+    return build_corpus()

@@ -1,0 +1,392 @@
+"""Six-domain EuroVoc-like thesaurus dataset.
+
+EuroVoc itself is a licensed EU artifact, so this module hand-authors a
+substitute with the same structure and the exact six domains the paper
+draws on (Section 5.2.2): *transport*, *environment*, *energy*,
+*geography*, *education and communications*, and *social questions*.
+
+Design constraints that make the substitution behaviour-preserving:
+
+* every sensor capability of Table 3, every appliance/vehicle/location
+  used by the seed-event generator resolves to a concept here, so
+  semantic expansion can rewrite every seed event;
+* each domain exposes >= 8 top terms, so the evaluation can sample theme
+  sets of up to 30 tags across domains as in Section 5.2.4;
+* several surface terms are deliberately *ambiguous* across domains
+  (e.g. ``light``, ``speed``, ``power``, ``monitor``, ``park``): these
+  create the cross-domain confusion that non-thematic matching suffers
+  from and thematic projection resolves — the crux of Figure 7.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.knowledge.thesaurus import Concept, MicroThesaurus, Thesaurus
+
+__all__ = ["AFFINITIES", "CONTRAST_PAIRS", "DOMAINS", "build_eurovoc", "default_thesaurus"]
+
+#: The six EuroVoc domains the paper's evaluation uses, in paper order.
+DOMAINS: tuple[str, ...] = (
+    "transport",
+    "environment",
+    "energy",
+    "geography",
+    "education and communications",
+    "social questions",
+)
+
+
+def _transport() -> MicroThesaurus:
+    return MicroThesaurus(
+        name="transport",
+        top_terms=(
+            "transport",
+            "land transport",
+            "transport policy",
+            "road transport",
+            "traffic control",
+            "public transport",
+            "transport infrastructure",
+            "vehicle fleet",
+        ),
+        concepts=(
+            Concept("parking", ("car park", "parking lot", "parking space"),
+                    ("garage", "parking area")),
+            Concept("garage", ("garage spot", "carport")),
+            Concept("traffic", ("road traffic", "traffic flow", "vehicle flow"),
+                    ("congestion",)),
+            Concept("congestion", ("traffic jam", "gridlock")),
+            Concept("vehicle", ("car", "automobile", "motor vehicle"),
+                    ("van", "truck")),
+            Concept("truck", ("lorry", "heavy goods vehicle")),
+            Concept("van", ("minivan", "delivery van")),
+            Concept("bus", ("omnibus", "city bus")),
+            Concept("bicycle", ("bike", "pedal cycle")),
+            Concept("motorcycle", ("motorbike", "moped")),
+            Concept("speed", ("velocity", "travel speed"), ("speed limit",)),
+            Concept("speed limit", ("maximum speed",)),
+            Concept("road", ("street", "roadway"), ("highway",)),
+            Concept("highway", ("motorway", "expressway")),
+            Concept("junction", ("intersection", "crossroads")),
+            Concept("traffic light", ("traffic signal", "stop light")),
+            Concept("pedestrian", ("walker", "foot passenger")),
+            Concept("driver", ("motorist", "chauffeur")),
+            Concept("journey", ("trip", "commute")),
+            Concept("freight", ("cargo", "goods transport")),
+        ),
+    )
+
+
+def _environment() -> MicroThesaurus:
+    return MicroThesaurus(
+        name="environment",
+        top_terms=(
+            "environment",
+            "environmental policy",
+            "protection of nature",
+            "pollution",
+            "climate",
+            "weather monitoring",
+            "natural environment",
+            "deterioration of the environment",
+        ),
+        concepts=(
+            Concept("temperature", ("air temperature", "ambient temperature"),
+                    ("ground temperature",)),
+            Concept("ground temperature", ("soil temperature", "earth temperature")),
+            Concept("noise", ("sound level", "noise pollution", "acoustic level")),
+            Concept("ozone", ("o3 level", "ozone concentration")),
+            Concept("particles", ("particulate matter", "dust particles",
+                                  "pm10 level")),
+            Concept("rainfall", ("precipitation", "rain level")),
+            Concept("wind speed", ("wind velocity",)),
+            Concept("wind direction", ("wind bearing",)),
+            Concept("atmospheric pressure", ("air pressure", "barometric pressure")),
+            Concept("relative humidity", ("humidity", "moisture level")),
+            Concept("soil moisture tension", ("soil moisture", "ground moisture")),
+            Concept("water flow", ("stream flow", "water current")),
+            Concept("co", ("carbon monoxide", "co concentration")),
+            Concept("no2", ("nitrogen dioxide", "no2 concentration")),
+            Concept("radiation par", ("photosynthetic radiation",
+                                      "par radiation")),
+            Concept("light", ("illumination", "luminosity", "brightness")),
+            Concept("air quality", ("air pollution level", "air cleanliness")),
+            Concept("park", ("green space", "public garden"), ("nature reserve",)),
+            Concept("nature reserve", ("protected area", "conservation area")),
+            Concept("flood", ("inundation", "high water")),
+            Concept("drought", ("water shortage", "dry spell")),
+            Concept("waste", ("refuse", "rubbish"), ("recycling",)),
+            Concept("recycling", ("waste recovery", "material reuse")),
+        ),
+    )
+
+
+def _energy() -> MicroThesaurus:
+    return MicroThesaurus(
+        name="energy",
+        top_terms=(
+            "energy",
+            "energy policy",
+            "electrical industry",
+            "power generation",
+            "energy technology",
+            "electricity supply",
+            "energy use",
+            "soft energy",
+        ),
+        concepts=(
+            Concept("energy consumption",
+                    ("electricity usage", "power usage", "energy usage",
+                     "electricity consumption"),
+                    ("energy efficiency",)),
+            Concept("energy efficiency", ("energy saving", "power efficiency")),
+            Concept("kilowatt hour", ("kwh", "kilowatt hours")),
+            Concept("watt", ("watts", "watt unit")),
+            Concept("electricity", ("electric power", "electrical energy"),
+                    ("power",)),
+            Concept("power", ("electric supply", "mains power")),
+            Concept("solar radiation", ("solar irradiance", "sunlight intensity")),
+            Concept("renewable energy", ("green energy", "clean energy"),
+                    ("solar panel", "wind turbine")),
+            Concept("solar panel", ("photovoltaic panel", "pv module")),
+            Concept("wind turbine", ("wind generator",)),
+            Concept("power grid", ("electricity grid", "electrical grid")),
+            Concept("energy meter", ("electricity meter", "power meter",
+                                     "smart meter")),
+            Concept("consumption peak", ("peak demand", "peak load",
+                                         "demand peak", "usage peak")),
+            Concept("cpu usage", ("processor usage", "processor load",
+                                  "cpu load")),
+            Concept("memory usage", ("ram usage", "memory load")),
+            Concept("device", ("appliance", "equipment unit", "apparatus")),
+            Concept("refrigerator", ("fridge", "cooler unit")),
+            Concept("air conditioner", ("ac unit", "air conditioning")),
+            Concept("washing machine", ("washer", "laundry machine")),
+            Concept("dishwasher", ("dish washing machine",)),
+            Concept("microwave", ("microwave oven",)),
+            Concept("kettle", ("electric kettle", "water boiler")),
+            Concept("heater", ("space heater", "electric heater")),
+            Concept("lamp", ("desk lamp", "light fixture")),
+            Concept("oven", ("electric oven", "cooker")),
+            Concept("fan", ("electric fan", "ventilator")),
+            Concept("battery", ("accumulator", "storage cell")),
+            Concept("charging station", ("charge point", "charging point")),
+        ),
+    )
+
+
+def _geography() -> MicroThesaurus:
+    return MicroThesaurus(
+        name="geography",
+        top_terms=(
+            "geography",
+            "regions",
+            "urban geography",
+            "political geography",
+            "europe",
+            "urban planning",
+            "regions of europe",
+            "territorial division",
+        ),
+        concepts=(
+            Concept("city", ("urban area", "town", "municipality")),
+            Concept("country", ("nation", "state territory")),
+            Concept("continent", ("landmass", "continental area")),
+            Concept("ireland", ("eire", "republic of ireland")),
+            Concept("galway", ("galway city",)),
+            Concept("dublin", ("dublin city",)),
+            Concept("spain", ("kingdom of spain", "espana")),
+            Concept("santander", ("santander city",)),
+            Concept("france", ("french republic",)),
+            Concept("bordeaux", ("bordeaux city",)),
+            Concept("europe", ("european countries", "european continent")),
+            Concept("building", ("edifice", "premises"), ("floor", "zone")),
+            Concept("room", ("chamber", "indoor space")),
+            Concept("office", ("workplace", "office space")),
+            Concept("floor", ("storey", "building level")),
+            Concept("ground floor", ("street level", "first storey")),
+            Concept("zone", ("district", "sector", "area")),
+            Concept("desk", ("workstation desk", "work desk")),
+            Concept("campus", ("university grounds", "college grounds")),
+            Concept("neighbourhood", ("quarter", "locality")),
+            Concept("coast", ("seashore", "shoreline")),
+            Concept("river", ("waterway", "watercourse")),
+        ),
+    )
+
+
+def _education_communications() -> MicroThesaurus:
+    return MicroThesaurus(
+        name="education and communications",
+        top_terms=(
+            "communications",
+            "information technology",
+            "information and information processing",
+            "electronics",
+            "computer systems",
+            "documentation",
+            "education",
+            "communications systems",
+        ),
+        concepts=(
+            Concept("sensor", ("detector", "sensing device", "probe")),
+            Concept("measurement", ("reading", "metric", "measured value")),
+            Concept("measurement unit", ("unit of measure", "measuring unit")),
+            Concept("notification", ("alert", "notice", "push message")),
+            Concept("message", ("communication", "dispatch")),
+            Concept("network", ("communications network", "data network")),
+            Concept("internet", ("world wide web", "global network")),
+            Concept("data", ("information", "records")),
+            Concept("computer", ("laptop", "workstation", "desktop computer",
+                                 "pc")),
+            Concept("server", ("host machine", "server machine")),
+            Concept("monitor", ("screen", "display unit")),
+            Concept("printer", ("printing device", "laser printer")),
+            Concept("telephone", ("phone", "handset"), ("mobile phone",)),
+            Concept("mobile phone", ("cellphone", "smartphone")),
+            Concept("television", ("tv", "tv set")),
+            Concept("radio", ("wireless set", "receiver unit")),
+            Concept("camera", ("video camera", "imaging device")),
+            Concept("software", ("computer program", "application program")),
+            Concept("database", ("data store", "data repository")),
+            Concept("school", ("educational institution", "academy")),
+            Concept("university", ("higher education institution", "college")),
+            Concept("lecture", ("class session", "teaching session")),
+            # Trend/level qualifiers: the reporting vocabulary events are
+            # qualified with ("increased energy consumption event"). They
+            # are real corpus terms so their relatedness is measured, not
+            # undefined; expansion rewrites them like any other concept.
+            Concept("increased", ("rising", "growing", "climbing")),
+            Concept("decreased", ("falling", "declining", "dropping")),
+            Concept("high", ("elevated", "excessive")),
+            Concept("low", ("minimal", "modest")),
+        ),
+    )
+
+
+def _social_questions() -> MicroThesaurus:
+    return MicroThesaurus(
+        name="social questions",
+        top_terms=(
+            "social questions",
+            "social affairs",
+            "demography",
+            "family",
+            "housing",
+            "health",
+            "quality of life",
+            "social life",
+        ),
+        concepts=(
+            Concept("occupied", ("in use", "taken", "engaged")),
+            Concept("free", ("available", "vacant", "unoccupied")),
+            Concept("household", ("home", "dwelling", "residence")),
+            Concept("resident", ("inhabitant", "occupant")),
+            Concept("population", ("inhabitants", "residents count")),
+            Concept("comfort", ("wellbeing", "coziness")),
+            Concept("safety", ("security", "public safety")),
+            Concept("health", ("public health", "wellness")),
+            Concept("activity", ("human activity", "daily activity")),
+            Concept("meeting", ("gathering", "assembly")),
+            Concept("worker", ("employee", "staff member")),
+            Concept("visitor", ("guest", "caller")),
+            Concept("elderly", ("older people", "senior citizens")),
+            Concept("child", ("minor", "young person")),
+            Concept("noise complaint", ("noise report", "disturbance report")),
+            Concept("leisure", ("recreation", "free time")),
+        ),
+    )
+
+
+#: Cross-domain concept affinities: pairs of ``(domain, preferred term)``
+#: that co-occur in real-world text (a Wikipedia article on laptops
+#: discusses power consumption; one on parking discusses cities). The
+#: corpus generator emits *bridge* documents for each pair, tagged with
+#: top terms of both domains, so thematic bases of either domain cover
+#: them — exactly how themes work against a Wikipedia-scale corpus.
+AFFINITIES: tuple[tuple[tuple[str, str], tuple[str, str]], ...] = (
+    (("energy", "energy consumption"), ("education and communications", "computer")),
+    (("energy", "cpu usage"), ("education and communications", "computer")),
+    (("energy", "memory usage"), ("education and communications", "server")),
+    (("energy", "device"), ("education and communications", "computer")),
+    (("energy", "device"), ("education and communications", "monitor")),
+    (("energy", "energy consumption"), ("geography", "building")),
+    (("energy", "energy consumption"), ("geography", "office")),
+    (("energy", "energy meter"), ("geography", "building")),
+    (("energy", "consumption peak"), ("geography", "zone")),
+    (("energy", "lamp"), ("environment", "light")),
+    (("environment", "light"), ("geography", "city")),
+    (("environment", "temperature"), ("geography", "room")),
+    (("environment", "noise"), ("geography", "city")),
+    (("environment", "noise"), ("social questions", "noise complaint")),
+    (("environment", "particles"), ("transport", "vehicle")),
+    (("environment", "air quality"), ("transport", "traffic")),
+    (("transport", "parking"), ("geography", "city")),
+    (("transport", "parking"), ("social questions", "occupied")),
+    (("transport", "parking"), ("social questions", "free")),
+    (("transport", "traffic"), ("geography", "city")),
+    (("transport", "speed"), ("geography", "city")),
+    (("geography", "room"), ("social questions", "occupied")),
+    (("geography", "office"), ("social questions", "worker")),
+    (("education and communications", "sensor"), ("environment", "temperature")),
+    (("education and communications", "sensor"), ("transport", "parking")),
+    (("education and communications", "sensor"), ("energy", "energy meter")),
+    (("education and communications", "measurement"), ("energy", "kilowatt hour")),
+    (("education and communications", "measurement unit"), ("energy", "kilowatt hour")),
+    (("education and communications", "measurement unit"), ("environment", "temperature")),
+)
+
+
+#: Contrasting concept pairs that pervasively co-occur in *generic* text
+#: (market reports, news, listings) without sharing a meaning: trend
+#: antonyms, rival appliances, sibling cities. Confuser documents pair
+#: them heavily; since those documents carry no topical top terms, the
+#: spurious relatedness they create lives outside every thematic basis.
+#: This is the reproduction's concrete stand-in for the polysemy/noise
+#: that makes full-space ESA confuse the non-thematic matcher (the
+#: failure mode Section 1.2.3 and Figure 7's baseline embody).
+CONTRAST_PAIRS: tuple[tuple[tuple[str, str], tuple[str, str]], ...] = (
+    (("education and communications", "increased"), ("education and communications", "decreased")),
+    (("education and communications", "high"), ("education and communications", "low")),
+    (("social questions", "occupied"), ("social questions", "free")),
+    (("geography", "galway"), ("geography", "dublin")),
+    (("geography", "santander"), ("geography", "bordeaux")),
+    (("geography", "ireland"), ("geography", "spain")),
+    (("geography", "france"), ("geography", "spain")),
+    (("geography", "galway"), ("geography", "santander")),
+    (("energy", "refrigerator"), ("energy", "air conditioner")),
+    (("energy", "washing machine"), ("energy", "dishwasher")),
+    (("energy", "kettle"), ("energy", "microwave")),
+    (("energy", "lamp"), ("energy", "heater")),
+    (("education and communications", "computer"), ("education and communications", "television")),
+    (("education and communications", "server"), ("education and communications", "printer")),
+    (("environment", "temperature"), ("environment", "rainfall")),
+    (("environment", "noise"), ("environment", "light")),
+    (("environment", "ozone"), ("environment", "particles")),
+    (("transport", "parking"), ("transport", "traffic")),
+    (("transport", "vehicle"), ("transport", "bus")),
+    (("energy", "kilowatt hour"), ("energy", "watt")),
+    (("geography", "room"), ("geography", "office")),
+    (("geography", "desk"), ("geography", "floor")),
+)
+
+
+def build_eurovoc() -> Thesaurus:
+    """Construct a fresh thesaurus instance (six micro-thesauri)."""
+    return Thesaurus(
+        (
+            _transport(),
+            _environment(),
+            _energy(),
+            _geography(),
+            _education_communications(),
+            _social_questions(),
+        )
+    )
+
+
+@lru_cache(maxsize=1)
+def default_thesaurus() -> Thesaurus:
+    """Shared singleton thesaurus (it is immutable, so sharing is safe)."""
+    return build_eurovoc()

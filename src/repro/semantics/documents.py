@@ -1,0 +1,82 @@
+"""Document abstraction for the distributional corpus.
+
+The vector space of Section 4.1 is spanned by unit vectors of documents
+``{d_i : d_i in D}``. A :class:`Document` is an identified bag of text; a
+:class:`DocumentSet` is the ordered, immutable collection ``D`` handed to
+the index builder. Document identity is positional (``doc_id`` is the
+index into the set) which keeps vector components compact integers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.semantics.tokenize import tokenize
+
+__all__ = ["Document", "DocumentSet"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """One corpus document.
+
+    Parameters
+    ----------
+    name:
+        Stable human-readable identifier (e.g. the synthetic article
+        title). Unique within a :class:`DocumentSet`.
+    text:
+        The raw body. Tokenized lazily via :meth:`tokens`.
+    """
+
+    name: str
+    text: str
+
+    def tokens(self) -> list[str]:
+        """Stop-word-filtered lowercase tokens of :attr:`text`."""
+        return tokenize(self.text)
+
+
+@dataclass(frozen=True)
+class DocumentSet:
+    """Immutable ordered corpus ``D``; the basis of the vector space."""
+
+    documents: tuple[Document, ...]
+    _name_to_id: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        mapping: dict[str, int] = {}
+        for doc_id, doc in enumerate(self.documents):
+            if doc.name in mapping:
+                raise ValueError(f"duplicate document name: {doc.name!r}")
+            mapping[doc.name] = doc_id
+        object.__setattr__(self, "_name_to_id", mapping)
+
+    @classmethod
+    def from_documents(cls, documents: Sequence[Document]) -> "DocumentSet":
+        return cls(tuple(documents))
+
+    @classmethod
+    def from_texts(cls, texts: Sequence[str]) -> "DocumentSet":
+        """Build a set with auto-generated names ``doc-0 .. doc-N``."""
+        docs = tuple(
+            Document(name=f"doc-{i}", text=text) for i, text in enumerate(texts)
+        )
+        return cls(docs)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def __getitem__(self, doc_id: int) -> Document:
+        return self.documents[doc_id]
+
+    def doc_id(self, name: str) -> int:
+        """Positional id of the document called ``name``."""
+        return self._name_to_id[name]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(doc.name for doc in self.documents)

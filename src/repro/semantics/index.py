@@ -1,0 +1,82 @@
+"""Inverted index over a :class:`~repro.semantics.documents.DocumentSet`.
+
+Step 1 of Figure 5: the corpus is tokenized and an inverted index built
+with one entry per term. Crucially (Section 4.1) the index stores the
+*raw* term frequencies and per-document maxima, not only the final tf/idf
+weights, because thematic projection (Algorithm 1) recomputes idf over
+the thematic basis at use time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.semantics.documents import DocumentSet
+from repro.semantics.tokenize import tokenize
+
+__all__ = ["Posting", "InvertedIndex"]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One (term, document) entry: the raw in-document frequency."""
+
+    doc_id: int
+    frequency: int
+
+
+@dataclass
+class InvertedIndex:
+    """Term -> postings map plus the per-document statistics tf/idf needs.
+
+    Attributes
+    ----------
+    postings:
+        ``term -> {doc_id: raw frequency}``.
+    max_frequency:
+        ``doc_id -> frequency of the most frequent term in the document``
+        (the denominator of Equation 2).
+    corpus_size:
+        ``|D|``.
+    """
+
+    postings: dict[str, dict[int, int]] = field(default_factory=dict)
+    max_frequency: dict[int, int] = field(default_factory=dict)
+    corpus_size: int = 0
+
+    @classmethod
+    def build(cls, documents: DocumentSet) -> "InvertedIndex":
+        """Index every document; deterministic for a given document set."""
+        index = cls(corpus_size=len(documents))
+        for doc_id, doc in enumerate(documents):
+            counts = Counter(doc.tokens())
+            if not counts:
+                index.max_frequency[doc_id] = 1
+                continue
+            index.max_frequency[doc_id] = max(counts.values())
+            for token, freq in counts.items():
+                index.postings.setdefault(token, {})[doc_id] = freq
+        return index
+
+    def document_frequency(self, token: str) -> int:
+        """Number of documents containing ``token`` (0 if unseen)."""
+        return len(self.postings.get(token, ()))
+
+    def frequency(self, token: str, doc_id: int) -> int:
+        """Raw count of ``token`` in document ``doc_id`` (0 if absent)."""
+        return self.postings.get(token, {}).get(doc_id, 0)
+
+    def documents_containing(self, token: str) -> frozenset[int]:
+        return frozenset(self.postings.get(token, ()))
+
+    def vocabulary(self) -> frozenset[str]:
+        return frozenset(self.postings)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.postings
+
+    @staticmethod
+    def tokens_of(term: str) -> list[str]:
+        """Tokenize a (possibly multi-word) term with index rules."""
+        return tokenize(term)

@@ -1,0 +1,173 @@
+"""Semantic measures ``sm : T x 2^TH x T x 2^TH -> [0, 1]`` (Section 4.3).
+
+A semantic measure scores how related a subscription term and an event
+term are, given the themes of both sides. Three concrete measures cover
+the approaches of Table 1:
+
+* :class:`ExactMeasure` — string identity; the content-based approach.
+* :class:`NonThematicMeasure` — distributional relatedness ignoring
+  themes; the approximate approach of the authors' prior work [16].
+* :class:`ThematicMeasure` — thematic projection then distance; the
+  contribution of this paper.
+
+:class:`CachedMeasure` memoizes any measure (symmetric keys), and
+:class:`PrecomputedMeasure` serves scores from a pre-built table — the
+"precomputed esa scores" fast mode that reaches ~91k events/sec in the
+prior-work comparison (Section 5, P16 bench).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Protocol
+
+from repro.semantics.cache import PrecomputedScoreTable, RelatednessCache
+from repro.semantics.pvsm import ParametricVectorSpace, theme_key
+from repro.semantics.space import DistributionalVectorSpace
+from repro.semantics.tokenize import normalize_term
+
+__all__ = [
+    "SemanticMeasure",
+    "ExactMeasure",
+    "NonThematicMeasure",
+    "ThematicMeasure",
+    "CachedMeasure",
+    "PrecomputedMeasure",
+]
+
+
+class SemanticMeasure(Protocol):
+    """Callable scoring relatedness of a subscription/event term pair."""
+
+    def score(
+        self,
+        term_s: str,
+        theme_s: Iterable[str],
+        term_e: str,
+        theme_e: Iterable[str],
+    ) -> float:
+        """Relatedness in ``[0, 1]``; 1 means identical meaning."""
+        ...
+
+
+class ExactMeasure:
+    """String identity after normalization; no semantics involved."""
+
+    def score(
+        self,
+        term_s: str,
+        theme_s: Iterable[str],
+        term_e: str,
+        theme_e: Iterable[str],
+    ) -> float:
+        return 1.0 if normalize_term(term_s) == normalize_term(term_e) else 0.0
+
+
+class NonThematicMeasure:
+    """Distributional relatedness on the full space; themes are ignored.
+
+    Identical strings short-circuit to 1.0 so exact hits always dominate
+    merely-related terms regardless of the distance floor.
+    """
+
+    def __init__(self, space: DistributionalVectorSpace):
+        self.space = space
+
+    def score(
+        self,
+        term_s: str,
+        theme_s: Iterable[str],
+        term_e: str,
+        theme_e: Iterable[str],
+    ) -> float:
+        if normalize_term(term_s) == normalize_term(term_e):
+            return 1.0
+        return self.space.relatedness(term_s, term_e)
+
+
+class ThematicMeasure:
+    """The paper's measure: project by themes, then distance (Figure 5).
+
+    ``mode`` selects the sub-space composition for the distance step —
+    ``"common"`` (default) or ``"own"``; see
+    :meth:`repro.semantics.pvsm.ParametricVectorSpace.thematic_relatedness`.
+    """
+
+    def __init__(self, space: ParametricVectorSpace, *, mode: str = "common"):
+        self.space = space
+        self.mode = mode
+
+    def score(
+        self,
+        term_s: str,
+        theme_s: Iterable[str],
+        term_e: str,
+        theme_e: Iterable[str],
+    ) -> float:
+        if normalize_term(term_s) == normalize_term(term_e):
+            return 1.0
+        return self.space.thematic_relatedness(
+            term_s, theme_s, term_e, theme_e, mode=self.mode
+        )
+
+
+class CachedMeasure:
+    """Memoizing wrapper around any measure.
+
+    The underlying measures are symmetric in their (term, theme) pairs,
+    so the cache key is order-insensitive; hit statistics are exposed for
+    the throughput benchmarks.
+    """
+
+    def __init__(self, inner: SemanticMeasure, cache: RelatednessCache | None = None):
+        self.inner = inner
+        self.cache = cache if cache is not None else RelatednessCache()
+
+    def score(
+        self,
+        term_s: str,
+        theme_s: Iterable[str],
+        term_e: str,
+        theme_e: Iterable[str],
+    ) -> float:
+        key = self.cache.key(term_s, theme_s, term_e, theme_e)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        value = self.inner.score(term_s, theme_s, term_e, theme_e)
+        self.cache.put(key, value)
+        return value
+
+
+class PrecomputedMeasure:
+    """Measure answering from a :class:`PrecomputedScoreTable`.
+
+    Models the prior-work fast mode where all pairwise esa scores are
+    computed offline. Pairs missing from the table fall back to
+    ``fallback`` (default: score 0.0, i.e. unknown pairs are unrelated,
+    matching an offline table that enumerated the whole vocabulary).
+    """
+
+    def __init__(
+        self,
+        table: PrecomputedScoreTable,
+        fallback: SemanticMeasure | None = None,
+    ):
+        self.table = table
+        self.fallback = fallback
+
+    def score(
+        self,
+        term_s: str,
+        theme_s: Iterable[str],
+        term_e: str,
+        theme_e: Iterable[str],
+    ) -> float:
+        if normalize_term(term_s) == normalize_term(term_e):
+            return 1.0
+        hit = self.table.get(term_s, theme_s, term_e, theme_e)
+        if hit is not None:
+            return hit
+        if self.fallback is not None:
+            return self.fallback.score(term_s, theme_s, term_e, theme_e)
+        return 0.0

@@ -1,0 +1,72 @@
+"""Save/load the distributional substrate.
+
+Indexing a corpus is the expensive, one-off part of deployment; matchers
+should boot from a snapshot. This module serializes a
+:class:`~repro.semantics.documents.DocumentSet` (and therefore any space
+built over it) to a single JSON file, versioned and checksummed.
+
+Only the corpus is persisted — spaces rebuild their indexes
+deterministically from it, and caches re-warm on use. That keeps the
+format trivial to inspect and independent of internal cache layouts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.semantics.documents import Document, DocumentSet
+from repro.semantics.pvsm import ParametricVectorSpace
+
+__all__ = ["FORMAT_VERSION", "save_corpus", "load_corpus", "load_space", "corpus_digest"]
+
+FORMAT_VERSION = 1
+
+
+def corpus_digest(documents: DocumentSet) -> str:
+    """Stable content digest of a corpus (sha256 over names and texts)."""
+    hasher = hashlib.sha256()
+    for doc in documents:
+        hasher.update(doc.name.encode())
+        hasher.update(b"\x00")
+        hasher.update(doc.text.encode())
+        hasher.update(b"\x01")
+    return hasher.hexdigest()
+
+
+def save_corpus(documents: DocumentSet, path: str | Path) -> None:
+    """Write the corpus snapshot to ``path`` (JSON)."""
+    payload = {
+        "format": "repro-corpus",
+        "version": FORMAT_VERSION,
+        "digest": corpus_digest(documents),
+        "documents": [
+            {"name": doc.name, "text": doc.text} for doc in documents
+        ],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_corpus(path: str | Path) -> DocumentSet:
+    """Read a corpus snapshot; verifies format, version and digest."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != "repro-corpus":
+        raise ValueError(f"{path}: not a repro corpus snapshot")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: snapshot version {payload.get('version')} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    documents = DocumentSet.from_documents(
+        [Document(d["name"], d["text"]) for d in payload["documents"]]
+    )
+    digest = corpus_digest(documents)
+    if digest != payload.get("digest"):
+        raise ValueError(f"{path}: digest mismatch, snapshot is corrupt")
+    return documents
+
+
+def load_space(path: str | Path, **space_kwargs) -> ParametricVectorSpace:
+    """Load a snapshot and build a parametric space over it."""
+    return ParametricVectorSpace(load_corpus(path), **space_kwargs)

@@ -1,0 +1,88 @@
+"""Tokenization and stop-word removal for the distributional substrate.
+
+Section 4.1 of the paper: "each document is tokenized into terms, stop
+words are removed, and an inverted index is built". This module provides
+that first stage. The tokenizer is deliberately simple and deterministic:
+lowercase, split on non-alphanumeric boundaries, drop stop words and
+one-character fragments. Multi-word terms (e.g. ``"energy consumption"``)
+tokenize into their constituent words; vector composition for multi-word
+terms happens in :mod:`repro.semantics.space`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+from functools import lru_cache
+
+__all__ = ["STOP_WORDS", "stem", "tokenize", "normalize_term", "iter_terms"]
+
+#: Minimal English stop-word list. Kept small on purpose: the synthetic
+#: corpus (see :mod:`repro.knowledge.corpus`) is built from controlled
+#: vocabulary, so an exhaustive list buys nothing but risk of dropping a
+#: domain word.
+STOP_WORDS: frozenset[str] = frozenset(
+    {
+        "a", "an", "and", "are", "as", "at", "be", "but", "by", "for",
+        "from", "has", "have", "if", "in", "into", "is", "it", "its",
+        "no", "not", "of", "on", "or", "s", "such", "t", "that", "the",
+        "their", "then", "there", "these", "they", "this", "to", "was",
+        "were", "will", "with",
+    }
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def stem(token: str) -> str:
+    """Light plural stemmer so ``computers`` and ``computer`` coincide.
+
+    The paper's own example themes use plural tags ("computers") against
+    singular corpus terms; Wikipedia-scale corpora absorb that morphology
+    naturally, our controlled corpus needs this standard IR conflation
+    step instead. Rules are intentionally conservative: ``-ies -> -y``,
+    drop a trailing ``-s`` unless the word is short or ends in ``-ss``,
+    ``-us`` or ``-is`` (bus, glass, analysis).
+    """
+    if len(token) > 4 and token.endswith("ies"):
+        return token[:-3] + "y"
+    if (
+        len(token) > 3
+        and token.endswith("s")
+        and not token.endswith(("ss", "us", "is"))
+    ):
+        return token[:-1]
+    return token
+
+
+def tokenize(text: str, *, stop_words: frozenset[str] = STOP_WORDS) -> list[str]:
+    """Split ``text`` into lowercase stemmed tokens, dropping stop words.
+
+    >>> tokenize("Increased Energy-Consumption event!")
+    ['increased', 'energy', 'consumption', 'event']
+    >>> tokenize("computers")
+    ['computer']
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    return [
+        stem(tok) for tok in tokens if len(tok) > 1 and tok not in stop_words
+    ]
+
+
+@lru_cache(maxsize=262144)
+def normalize_term(term: str) -> str:
+    """Canonical single-string form of a (possibly multi-word) term.
+
+    Terms compare case-insensitively with collapsed whitespace and
+    punctuation. ``normalize_term("Energy_Consumption ")`` ==
+    ``"energy consumption"``. Used wherever terms act as dictionary keys
+    (exact matching, caches, thesaurus lookup); it sits on the matcher's
+    hottest path, hence the memoization.
+    """
+    return " ".join(_TOKEN_RE.findall(term.lower()))
+
+
+def iter_terms(texts: Iterable[str]) -> Iterator[str]:
+    """Yield every token from every text in ``texts`` in order."""
+    for text in texts:
+        yield from tokenize(text)

@@ -1,0 +1,129 @@
+"""Sparse vector algebra over the document basis.
+
+Term vectors in the distributional space (Equation 1) are extremely
+sparse — a term touches a handful of documents out of thousands — so we
+represent them as immutable mappings ``doc_id -> weight`` and implement
+exactly the operations the matcher needs: addition, scaling, restriction
+to a basis (the projection primitive of Algorithm 1), Euclidean distance
+(Equation 5) and cosine similarity.
+
+Zero weights are never stored; ``support()`` is therefore the set of
+documents with strictly positive or negative weight.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+__all__ = ["SparseVector", "ZERO_VECTOR"]
+
+
+class SparseVector:
+    """Immutable sparse vector keyed by integer document ids."""
+
+    __slots__ = ("_components", "_norm")
+
+    def __init__(self, components: Mapping[int, float] | Iterable[tuple[int, float]] = ()):
+        items = components.items() if isinstance(components, Mapping) else components
+        self._components: dict[int, float] = {
+            dim: float(w) for dim, w in items if w != 0.0
+        }
+        self._norm: float | None = None
+
+    # -- basic accessors -------------------------------------------------
+
+    def __getitem__(self, dim: int) -> float:
+        return self._components.get(dim, 0.0)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __bool__(self) -> bool:
+        return bool(self._components)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._components == other._components
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._components.items()))
+
+    def __repr__(self) -> str:
+        head = sorted(self._components.items())[:4]
+        more = "" if len(self._components) <= 4 else f", ... {len(self) - 4} more"
+        inner = ", ".join(f"{d}: {w:.4g}" for d, w in head)
+        return f"SparseVector({{{inner}{more}}})"
+
+    def items(self) -> Iterable[tuple[int, float]]:
+        return self._components.items()
+
+    def support(self) -> frozenset[int]:
+        """Dimensions (document ids) with non-zero weight."""
+        return frozenset(self._components)
+
+    def to_dict(self) -> dict[int, float]:
+        return dict(self._components)
+
+    # -- algebra ---------------------------------------------------------
+
+    def add(self, other: "SparseVector") -> "SparseVector":
+        if not other:
+            return self
+        merged = dict(self._components)
+        for dim, weight in other._components.items():
+            merged[dim] = merged.get(dim, 0.0) + weight
+        return SparseVector(merged)
+
+    def scale(self, factor: float) -> "SparseVector":
+        if factor == 0.0:
+            return ZERO_VECTOR
+        return SparseVector({d: w * factor for d, w in self._components.items()})
+
+    def dot(self, other: "SparseVector") -> float:
+        small, large = self._components, other._components
+        if len(large) < len(small):
+            small, large = large, small
+        return sum(w * large[d] for d, w in small.items() if d in large)
+
+    def norm(self) -> float:
+        """Euclidean (L2) norm; cached because vectors are immutable."""
+        if self._norm is None:
+            self._norm = math.sqrt(sum(w * w for w in self._components.values()))
+        return self._norm
+
+    def normalized(self) -> "SparseVector":
+        """Unit-length copy; the zero vector normalizes to itself."""
+        norm = self.norm()
+        if norm == 0.0:
+            return ZERO_VECTOR
+        return self.scale(1.0 / norm)
+
+    def restrict(self, basis: frozenset[int] | set[int]) -> "SparseVector":
+        """Zero every component outside ``basis`` (projection primitive)."""
+        return SparseVector(
+            {d: w for d, w in self._components.items() if d in basis}
+        )
+
+    # -- distances (Equation 5) -------------------------------------------
+
+    def euclidean_distance(self, other: "SparseVector") -> float:
+        """Plain Euclidean distance over the union of supports."""
+        # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b  — cheaper than iterating
+        # the union of supports and numerically fine at our magnitudes.
+        squared = self.norm() ** 2 + other.norm() ** 2 - 2.0 * self.dot(other)
+        return math.sqrt(max(squared, 0.0))
+
+    def cosine_similarity(self, other: "SparseVector") -> float:
+        denom = self.norm() * other.norm()
+        if denom == 0.0:
+            return 0.0
+        # Clamp for floating error so callers can rely on [-1, 1].
+        return max(-1.0, min(1.0, self.dot(other) / denom))
+
+
+#: Shared empty vector; also what a projection returns when a term has no
+#: overlap with the thematic basis.
+ZERO_VECTOR = SparseVector()

@@ -1,0 +1,51 @@
+"""TF/IDF weighting exactly as Equations 2–4 of the paper.
+
+The paper keeps the *raw* ``tf`` and ``idf`` inputs in the inverted index
+"so they can be used later for thematic projection" (Section 4.1): the
+projection of Algorithm 1 re-uses the original augmented term frequency
+but recomputes ``idf`` against the thematic sub-corpus. These functions
+are therefore pure, taking raw counts, so both the full space and every
+projected space share one implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["augmented_tf", "idf", "tf_idf"]
+
+
+def augmented_tf(freq: int, max_freq: int) -> float:
+    """Equation 2: ``tf(t, d) = 0.5 + 0.5 * freq(t, d) / max_freq(d)``.
+
+    ``freq`` is the raw count of the term in the document and ``max_freq``
+    the count of the most frequent term in that document. Augmentation
+    bounds the value in ``(0.5, 1.0]`` which prevents long documents from
+    dominating.
+    """
+    if freq < 0 or max_freq <= 0:
+        raise ValueError("freq must be >= 0 and max_freq > 0")
+    if freq == 0:
+        return 0.0
+    return 0.5 + 0.5 * freq / max_freq
+
+
+def idf(corpus_size: int, document_frequency: int) -> float:
+    """Equation 3: ``idf(t, D) = log(|D| / |{d in D : t in d}|)``.
+
+    A term appearing in every document scores 0; a term appearing in no
+    document has no defined idf and callers must not ask (the index
+    returns empty vectors for unknown terms instead).
+    """
+    if corpus_size <= 0:
+        raise ValueError("corpus_size must be positive")
+    if document_frequency <= 0:
+        raise ValueError("document_frequency must be positive")
+    if document_frequency > corpus_size:
+        raise ValueError("document_frequency cannot exceed corpus_size")
+    return math.log(corpus_size / document_frequency)
+
+
+def tf_idf(freq: int, max_freq: int, corpus_size: int, document_frequency: int) -> float:
+    """Equation 4: ``tfidf = tf * idf``."""
+    return augmented_tf(freq, max_freq) * idf(corpus_size, document_frequency)

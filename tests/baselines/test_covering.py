@@ -1,0 +1,148 @@
+"""Tests for SIENA-style subscription covering."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactMatcher, covers
+from repro.core.events import Event
+from repro.core.subscriptions import Predicate, Subscription
+
+
+def sub(*predicates):
+    return Subscription(theme=frozenset(), predicates=tuple(predicates))
+
+
+class TestEqualityCovering:
+    def test_fewer_predicates_cover_more(self):
+        general = sub(Predicate("type", "noise event"))
+        specific = sub(
+            Predicate("type", "noise event"), Predicate("city", "galway")
+        )
+        assert covers(general, specific)
+        assert not covers(specific, general)
+
+    def test_identical_subscriptions_cover_each_other(self):
+        a = sub(Predicate("type", "noise event"))
+        b = sub(Predicate("Type ", "Noise Event"))
+        assert covers(a, b) and covers(b, a)
+
+    def test_different_values_do_not_cover(self):
+        assert not covers(
+            sub(Predicate("city", "galway")), sub(Predicate("city", "dublin"))
+        )
+
+
+class TestOperatorCovering:
+    def test_wider_threshold_covers_narrower(self):
+        general = sub(Predicate("reading", 10, operator=">"))
+        specific = sub(Predicate("reading", 20, operator=">"))
+        assert covers(general, specific)
+        assert not covers(specific, general)
+
+    def test_gt_vs_ge_boundary(self):
+        gt = sub(Predicate("reading", 10, operator=">"))
+        ge = sub(Predicate("reading", 10, operator=">="))
+        assert covers(ge, gt)       # (10,inf) ⊆ [10,inf)
+        assert not covers(gt, ge)   # 10 itself matches ge but not gt
+
+    def test_less_than_family(self):
+        general = sub(Predicate("reading", 50, operator="<="))
+        specific = sub(Predicate("reading", 20, operator="<"))
+        assert covers(general, specific)
+
+    def test_equality_implies_range(self):
+        general = sub(Predicate("reading", 10, operator=">"))
+        specific = sub(Predicate("reading", 15))
+        assert covers(general, specific)
+        assert not covers(general, sub(Predicate("reading", 5)))
+
+    def test_not_equal(self):
+        a = sub(Predicate("status", "free", operator="!="))
+        b = sub(Predicate("status", "free", operator="!="))
+        assert covers(a, b)
+        assert not covers(a, sub(Predicate("status", "taken", operator="!=")))
+
+    def test_range_never_covered_by_singleton_requirement(self):
+        general = sub(Predicate("reading", 10))
+        specific = sub(Predicate("reading", 5, operator=">"))
+        assert not covers(general, specific)
+
+    def test_opposite_directions_never_cover(self):
+        assert not covers(
+            sub(Predicate("reading", 10, operator=">")),
+            sub(Predicate("reading", 5, operator="<")),
+        )
+
+
+class TestApproximatePredicates:
+    def test_approximate_only_covered_by_identical(self):
+        approx = Predicate("device", "laptop", approx_attribute=True,
+                           approx_value=True)
+        assert covers(sub(approx), sub(approx))
+        assert not covers(
+            sub(approx), sub(Predicate("device", "laptop"))
+        )
+
+
+class TestSoundness:
+    """covers(G, S) must imply: every event matching S matches G."""
+
+    values = st.one_of(
+        st.integers(0, 20),
+        st.sampled_from(["noise event", "galway", "free"]),
+    )
+    operators = st.sampled_from(["=", "!=", ">", ">=", "<", "<="])
+    attrs = st.sampled_from(["a", "b"])
+
+    @st.composite
+    def subscriptions(draw):
+        count = draw(st.integers(1, 2))
+        predicates = {}
+        for _ in range(count):
+            attr = draw(TestSoundness.attrs)
+            op = draw(TestSoundness.operators)
+            value = draw(st.integers(0, 20)) if op in (">", ">=", "<", "<=") else draw(
+                TestSoundness.values
+            )
+            predicates[attr] = Predicate(attr, value, operator=op)
+        return Subscription(
+            theme=frozenset(), predicates=tuple(predicates.values())
+        )
+
+    events = st.builds(
+        lambda pairs: Event.create(payload=pairs),
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.one_of(st.integers(0, 20),
+                      st.sampled_from(["noise event", "galway", "free"])),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+
+    @settings(max_examples=200, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(subscriptions(), subscriptions(), events)
+    def test_covering_is_sound(self, general, specific, event):
+        if not covers(general, specific):
+            return
+        # Exact semantics incl. the operator extension.
+        def matches(subscription):
+            for predicate in subscription.predicates:
+                value = event.value(predicate.attribute)
+                if value is None:
+                    return False
+                if predicate.operator == "=":
+                    matcher = ExactMatcher()
+                    ok = matcher.matches(
+                        Subscription(frozenset(), (predicate,)), event
+                    )
+                else:
+                    ok = predicate.evaluate_value(value)
+                if not ok:
+                    return False
+            return True
+
+        if matches(specific):
+            assert matches(general)

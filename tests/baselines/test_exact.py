@@ -1,0 +1,103 @@
+"""Tests for the content-based exact matcher and counting index."""
+
+import pytest
+
+from repro.baselines.exact import CountingIndex, ExactMatcher
+from repro.core.events import Event
+from repro.core.subscriptions import Predicate, Subscription
+
+EVENT = Event.create(
+    payload={
+        "type": "increased energy consumption event",
+        "device": "computer",
+        "office": "room 112",
+    }
+)
+
+
+class TestExactMatcher:
+    def test_full_match(self):
+        sub = Subscription.create(
+            exact={"type": "increased energy consumption event", "office": "room 112"}
+        )
+        assert ExactMatcher().matches(sub, EVENT)
+        assert ExactMatcher().score(sub, EVENT) == 1.0
+
+    def test_value_mismatch(self):
+        sub = Subscription.create(exact={"device": "laptop"})
+        assert not ExactMatcher().matches(sub, EVENT)
+        assert ExactMatcher().score(sub, EVENT) == 0.0
+
+    def test_missing_attribute(self):
+        sub = Subscription.create(exact={"floor": "ground floor"})
+        assert not ExactMatcher().matches(sub, EVENT)
+
+    def test_normalized_comparison(self):
+        sub = Subscription.create(exact={"Device ": "Computer"})
+        assert ExactMatcher().matches(sub, EVENT)
+
+    def test_tilde_is_ignored(self):
+        sub = Subscription.create(approximate={"device": "laptop"})
+        assert not ExactMatcher().matches(sub, EVENT)
+
+    def test_numeric_values(self):
+        event = Event.create(payload={"count": 3})
+        assert ExactMatcher().matches(
+            Subscription.create(exact={"count": 3}), event
+        )
+        assert not ExactMatcher().matches(
+            Subscription.create(exact={"count": 4}), event
+        )
+
+
+class TestCountingIndex:
+    def make_index(self):
+        index = CountingIndex()
+        ids = {
+            "energy": index.add(
+                Subscription.create(
+                    exact={
+                        "type": "increased energy consumption event",
+                        "device": "computer",
+                    }
+                )
+            ),
+            "office": index.add(Subscription.create(exact={"office": "room 112"})),
+            "parking": index.add(
+                Subscription.create(exact={"type": "parking space occupied event"})
+            ),
+        }
+        return index, ids
+
+    def test_match_returns_satisfied_only(self):
+        index, ids = self.make_index()
+        assert index.match(EVENT) == sorted([ids["energy"], ids["office"]])
+
+    def test_partial_hits_do_not_match(self):
+        index, ids = self.make_index()
+        event = Event.create(payload={"device": "computer"})
+        assert index.match(event) == []
+
+    def test_remove(self):
+        index, ids = self.make_index()
+        assert index.remove(ids["energy"])
+        assert ids["energy"] not in index.match(EVENT)
+        assert not index.remove(ids["energy"])
+        assert len(index) == 2
+
+    def test_subscription_accessor(self):
+        index, ids = self.make_index()
+        assert index.subscription(ids["office"]).predicates[0].value == "room 112"
+
+    def test_agrees_with_exact_matcher(self, tiny_workload):
+        matcher = ExactMatcher()
+        index = CountingIndex()
+        subs = tiny_workload.subscriptions.exact
+        for sub in subs:
+            index.add(sub)
+        for event in tiny_workload.events[:60]:
+            via_index = set(index.match(event))
+            via_matcher = {
+                i for i, sub in enumerate(subs) if matcher.matches(sub, event)
+            }
+            assert via_index == via_matcher

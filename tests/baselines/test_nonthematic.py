@@ -1,0 +1,42 @@
+"""Tests for the non-thematic approximate matcher (prior work [16])."""
+
+from repro.baselines.nonthematic import NonThematicMatcher, make_nonthematic_matcher
+from repro.core.language import parse_event, parse_subscription
+from repro.semantics.measures import CachedMeasure
+
+EVENT = parse_event(
+    "({energy}, {type: increased energy consumption event, device: computer,"
+    " office: room 112})"
+)
+SUBSCRIPTION = parse_subscription(
+    "({power}, {type= increased energy usage event~, device~= laptop~,"
+    " office= room 112})"
+)
+
+
+class TestNonThematicMatcher:
+    def test_matches_synonym_event(self, space):
+        assert NonThematicMatcher(space).matches(SUBSCRIPTION, EVENT)
+
+    def test_themes_are_ignored(self, space):
+        matcher = NonThematicMatcher(space)
+        no_theme = matcher.score(
+            SUBSCRIPTION.with_theme(()), EVENT.with_theme(())
+        )
+        themed = matcher.score(SUBSCRIPTION, EVENT)
+        assert no_theme == themed
+
+    def test_cached_by_default(self, space):
+        matcher = NonThematicMatcher(space)
+        assert isinstance(matcher.measure, CachedMeasure)
+        matcher.score(SUBSCRIPTION, EVENT)
+        assert matcher.measure.cache.misses > 0
+
+    def test_uncached_variant(self, space):
+        matcher = NonThematicMatcher(space, cached=False)
+        assert not isinstance(matcher.measure, CachedMeasure)
+        assert matcher.matches(SUBSCRIPTION, EVENT)
+
+    def test_factory(self, space):
+        matcher = make_nonthematic_matcher(space, k=2)
+        assert matcher.k == 2

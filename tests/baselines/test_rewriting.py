@@ -1,0 +1,89 @@
+"""Tests for the concept-based query-rewriting baseline."""
+
+import pytest
+
+from repro.baselines.rewriting import RewritingMatcher, rewrite_subscription
+from repro.core.events import Event
+from repro.core.subscriptions import Predicate, Subscription
+
+
+class TestRewriteSubscription:
+    def test_original_first(self, thesaurus):
+        sub = Subscription.create(approximate={"device": "computer"})
+        rewrites = rewrite_subscription(sub, thesaurus)
+        assert rewrites[0].predicates[0].value == "computer"
+
+    def test_rewrites_are_exact(self, thesaurus):
+        sub = Subscription.create(approximate={"device": "computer"})
+        for rewrite in rewrite_subscription(sub, thesaurus):
+            assert rewrite.degree_of_approximation() == 0.0
+
+    def test_covers_synonyms(self, thesaurus):
+        sub = Subscription.create(approximate={"device": "computer"})
+        values = {
+            r.predicates[0].value for r in rewrite_subscription(sub, thesaurus)
+        }
+        assert "laptop" in values
+
+    def test_exact_predicates_untouched(self, thesaurus):
+        sub = Subscription.create(exact={"office": "room 112"})
+        rewrites = rewrite_subscription(sub, thesaurus)
+        assert len(rewrites) == 1
+
+    def test_cap_respected(self, thesaurus):
+        sub = Subscription.create(
+            approximate={"type": "increased energy consumption event",
+                         "device": "computer"}
+        )
+        rewrites = rewrite_subscription(sub, thesaurus, max_rewrites=7)
+        assert len(rewrites) == 7
+
+    def test_combinatorial_blowup_documented(self, thesaurus):
+        # The paper: 94 approximate subs ~ 48,000 exact ones. Even one
+        # two-predicate approximate subscription explodes to dozens.
+        sub = Subscription.create(
+            approximate={"type": "increased energy consumption event",
+                         "device": "computer"}
+        )
+        rewrites = rewrite_subscription(sub, thesaurus, max_rewrites=100000)
+        assert len(rewrites) > 50
+
+
+class TestRewritingMatcher:
+    def test_matches_synonym_event(self, thesaurus):
+        matcher = RewritingMatcher(thesaurus)
+        sub = Subscription.create(approximate={"device": "computer"})
+        event = Event.create(payload={"device": "laptop"})
+        assert matcher.matches(sub, event)
+        assert matcher.score(sub, event) == 1.0
+
+    def test_rejects_unrelated_event(self, thesaurus):
+        matcher = RewritingMatcher(thesaurus)
+        sub = Subscription.create(approximate={"device": "computer"})
+        event = Event.create(payload={"device": "rainfall"})
+        assert not matcher.matches(sub, event)
+
+    def test_rewrites_cached(self, thesaurus):
+        matcher = RewritingMatcher(thesaurus)
+        sub = Subscription.create(approximate={"device": "computer"})
+        assert matcher.rewrites(sub) is matcher.rewrites(sub)
+
+    def test_cap_costs_recall(self, thesaurus):
+        # With a tiny rewrite budget the matcher misses synonyms — the
+        # trade-off the paper attributes to the rewriting approach.
+        generous = RewritingMatcher(thesaurus)
+        capped = RewritingMatcher(thesaurus, max_rewrites=1)
+        sub = Subscription.create(approximate={"device": "computer"})
+        event = Event.create(payload={"device": "laptop"})
+        assert generous.matches(sub, event)
+        assert not capped.matches(sub, event)
+
+    def test_index_for_builds_counting_index(self, thesaurus):
+        matcher = RewritingMatcher(thesaurus)
+        subs = [
+            Subscription.create(approximate={"device": "computer"}),
+            Subscription.create(approximate={"status": "occupied"}),
+        ]
+        index = matcher.index_for(subs)
+        event = Event.create(payload={"device": "laptop"})
+        assert index.match(event)

@@ -1,0 +1,107 @@
+"""Tests for the single-node thematic broker."""
+
+import pytest
+
+from repro.broker.broker import ThematicBroker
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import ThematicMeasure
+
+EVENT = parse_event(
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event, device: computer,"
+    "  office: room 112})"
+)
+MATCHING = parse_subscription(
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+NON_MATCHING = parse_subscription(
+    "({transport}, {type= parking space occupied event~, street= main street})"
+)
+
+
+@pytest.fixture()
+def broker(space):
+    return ThematicBroker(ThematicMatcher(ThematicMeasure(space)))
+
+
+class TestPubSub:
+    def test_delivery_to_matching_subscriber(self, broker):
+        handle = broker.subscribe(MATCHING)
+        other = broker.subscribe(NON_MATCHING)
+        assert broker.publish(EVENT) == 1
+        deliveries = handle.drain()
+        assert len(deliveries) == 1
+        assert deliveries[0].event == EVENT
+        assert deliveries[0].score > 0
+        assert other.drain() == []
+
+    def test_callback_invoked(self, broker):
+        seen = []
+        broker.subscribe(MATCHING, seen.append)
+        broker.publish(EVENT)
+        assert len(seen) == 1
+
+    def test_drain_empties_inbox(self, broker):
+        handle = broker.subscribe(MATCHING)
+        broker.publish(EVENT)
+        assert handle.drain()
+        assert handle.drain() == []
+
+    def test_unsubscribe(self, broker):
+        handle = broker.subscribe(MATCHING)
+        assert broker.unsubscribe(handle)
+        broker.publish(EVENT)
+        assert handle.drain() == []
+        assert not broker.unsubscribe(handle)
+
+    def test_space_decoupling_multiple_subscribers(self, broker):
+        handles = [broker.subscribe(MATCHING) for _ in range(3)]
+        assert broker.publish(EVENT) == 3
+        for handle in handles:
+            assert len(handle.drain()) == 1
+
+
+class TestTimeDecoupling:
+    def test_replay_catches_up_late_subscriber(self, broker):
+        broker.publish(EVENT)
+        late = broker.subscribe(MATCHING, replay=True)
+        deliveries = late.drain()
+        assert len(deliveries) == 1
+        assert broker.metrics.replayed == 1
+
+    def test_no_replay_by_default(self, broker):
+        broker.publish(EVENT)
+        late = broker.subscribe(MATCHING)
+        assert late.drain() == []
+
+    def test_replay_capacity_bounds_buffer(self, space):
+        broker = ThematicBroker(
+            ThematicMatcher(ThematicMeasure(space)), replay_capacity=1
+        )
+        first = parse_event("({energy}, {type: increased energy usage event, device: laptop, office: room 112})")
+        broker.publish(first)
+        broker.publish(EVENT)
+        late = broker.subscribe(MATCHING, replay=True)
+        deliveries = late.drain()
+        assert len(deliveries) == 1
+        assert deliveries[0].event == EVENT
+
+
+class TestMetrics:
+    def test_counters(self, broker):
+        broker.subscribe(MATCHING)
+        broker.subscribe(NON_MATCHING)
+        broker.publish(EVENT)
+        assert broker.metrics.published == 1
+        assert broker.metrics.evaluations == 2
+        assert broker.metrics.deliveries == 1
+
+    def test_sequence_numbers_increase(self, broker):
+        handle = broker.subscribe(MATCHING)
+        broker.publish(EVENT)
+        broker.publish(EVENT)
+        sequences = [d.sequence for d in handle.drain()]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == 2

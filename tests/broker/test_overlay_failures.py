@@ -1,0 +1,77 @@
+"""Fault-injection tests for the broker overlay."""
+
+import networkx as nx
+import pytest
+
+from repro.broker.overlay import BrokerOverlay
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+
+EVENT = parse_event(
+    "({energy}, {type: increased energy consumption event, device: computer,"
+    " office: room 112})"
+)
+SUBSCRIPTION = parse_subscription(
+    "({power}, {type= increased energy usage event~, device~= laptop~,"
+    " office= room 112})"
+)
+
+
+@pytest.fixture()
+def overlay(space):
+    # A path 0-1-2-3: node 1/2 failures partition the ends.
+    return BrokerOverlay(
+        nx.path_graph(4),
+        lambda: ThematicMatcher(CachedMeasure(ThematicMeasure(space))),
+    )
+
+
+class TestFailures:
+    def test_publishing_at_failed_node_raises(self, overlay):
+        overlay.fail_node(0)
+        with pytest.raises(RuntimeError, match="down"):
+            overlay.publish(0, EVENT)
+
+    def test_failed_node_does_not_match_locally(self, overlay):
+        handle = overlay.subscribe(1, SUBSCRIPTION)
+        overlay.fail_node(1)
+        overlay.publish(0, EVENT)
+        assert len(handle.inbox) == 0
+
+    def test_partition_blocks_delivery_behind_failure(self, overlay):
+        far = overlay.subscribe(3, SUBSCRIPTION)
+        overlay.fail_node(1)  # cuts 0 from {2, 3}
+        overlay.publish(0, EVENT)
+        assert len(far.inbox) == 0
+
+    def test_recovery_restores_routing(self, overlay):
+        far = overlay.subscribe(3, SUBSCRIPTION)
+        overlay.fail_node(1)
+        overlay.publish(0, EVENT)
+        overlay.recover_node(1)
+        overlay.publish(0, EVENT)
+        assert len(far.inbox) == 1  # only the post-recovery event arrives
+
+    def test_redundant_paths_survive_single_failure(self, space):
+        ring = BrokerOverlay(
+            nx.cycle_graph(4),
+            lambda: ThematicMatcher(CachedMeasure(ThematicMeasure(space))),
+        )
+        far = ring.subscribe(2, SUBSCRIPTION)
+        ring.fail_node(1)  # the other way around the ring still works
+        ring.publish(0, EVENT)
+        assert len(far.inbox) == 1
+
+    def test_failed_nodes_listed(self, overlay):
+        overlay.fail_node(2)
+        assert overlay.failed_nodes() == (2,)
+        overlay.recover_node(2)
+        assert overlay.failed_nodes() == ()
+
+    def test_subscriptions_survive_crash(self, overlay):
+        handle = overlay.subscribe(1, SUBSCRIPTION)
+        overlay.fail_node(1)
+        overlay.recover_node(1)
+        overlay.publish(0, EVENT)
+        assert len(handle.inbox) == 1

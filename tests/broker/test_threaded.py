@@ -1,0 +1,98 @@
+"""Tests for the threaded broker front-end."""
+
+import threading
+
+import pytest
+
+from repro.broker.threaded import ThreadedBroker
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+
+EVENT = parse_event(
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event, device: computer,"
+    "  office: room 112})"
+)
+SUBSCRIPTION = parse_subscription(
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+
+
+@pytest.fixture()
+def broker(space):
+    with ThreadedBroker(
+        ThematicMatcher(CachedMeasure(ThematicMeasure(space)))
+    ) as broker:
+        yield broker
+
+
+class TestAsyncDelivery:
+    def test_publish_returns_immediately_and_delivers(self, broker):
+        handle = broker.subscribe(SUBSCRIPTION)
+        broker.publish(EVENT)
+        assert broker.flush(timeout=30)
+        assert len(handle.drain()) == 1
+
+    def test_many_events(self, broker):
+        handle = broker.subscribe(SUBSCRIPTION)
+        for _ in range(20):
+            broker.publish(EVENT)
+        assert broker.flush(timeout=60)
+        assert len(handle.drain()) == 20
+        assert broker.metrics.published == 20
+
+    def test_callbacks_run_on_broker_thread(self, broker):
+        threads = []
+        broker.subscribe(
+            SUBSCRIPTION, lambda d: threads.append(threading.current_thread().name)
+        )
+        broker.publish(EVENT)
+        broker.flush(timeout=30)
+        assert threads == ["thematic-broker"]
+
+    def test_concurrent_producers(self, broker):
+        handle = broker.subscribe(SUBSCRIPTION)
+
+        def produce():
+            for _ in range(10):
+                broker.publish(EVENT)
+
+        workers = [threading.Thread(target=produce) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert broker.flush(timeout=60)
+        assert len(handle.drain()) == 40
+
+
+class TestLifecycle:
+    def test_publish_after_close_rejected(self, space):
+        broker = ThreadedBroker(
+            ThematicMatcher(CachedMeasure(ThematicMeasure(space)))
+        )
+        broker.close()
+        with pytest.raises(RuntimeError):
+            broker.publish(EVENT)
+
+    def test_close_drains_queue(self, space):
+        broker = ThreadedBroker(
+            ThematicMatcher(CachedMeasure(ThematicMeasure(space)))
+        )
+        handle = broker.subscribe(SUBSCRIPTION)
+        for _ in range(5):
+            broker.publish(EVENT)
+        broker.close()
+        assert len(handle.drain()) == 5
+
+    def test_close_idempotent(self, broker):
+        broker.close()
+        broker.close()
+
+    def test_subscribe_and_unsubscribe(self, broker):
+        handle = broker.subscribe(SUBSCRIPTION)
+        assert broker.subscriber_count() == 1
+        assert broker.unsubscribe(handle)
+        assert broker.subscriber_count() == 0

@@ -1,0 +1,132 @@
+"""Tests for the CEP engine over uncertain matches."""
+
+import pytest
+
+from repro.cep.engine import CEPEngine
+from repro.cep.patterns import Pattern, Step
+from repro.cep.predicates import Eq
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import ThematicMeasure
+
+ENERGY_EVENT = parse_event(
+    "({energy, appliances},"
+    " {type: increased energy consumption event, device: computer,"
+    "  area: town, office: room 112})"
+)
+PARKING_EVENT = parse_event(
+    "({transport},"
+    " {type: parking space occupied event, status: occupied, city: galway,"
+    "  zone: city centre})"
+)
+ENERGY_SUB = parse_subscription(
+    "({power}, {type= increased energy usage event~, device~= laptop~})"
+)
+PARKING_SUB = parse_subscription(
+    "({transport}, {type= parking space occupied event~, status= occupied})"
+)
+NEUTRAL_EVENT = parse_event(
+    "({environment}, {type: rainfall measurement event,"
+    " measurement unit: millimetre, sensor: sensor 4242})"
+)
+
+
+@pytest.fixture()
+def engine(space):
+    return CEPEngine(ThematicMatcher(ThematicMeasure(space)))
+
+
+class TestEvery:
+    def test_single_step_fires_per_match(self, engine):
+        seen = []
+        engine.register(Pattern.every("a", ENERGY_SUB), seen.append)
+        engine.feed(ENERGY_EVENT)
+        engine.feed(PARKING_EVENT)
+        engine.feed(ENERGY_EVENT)
+        assert len(seen) == 2
+        assert all(ce.binding("a").event == ENERGY_EVENT for ce in seen)
+
+    def test_filters_gate_matches(self, engine):
+        pattern = Pattern.every("a", ENERGY_SUB, Eq("area", "village"))
+        completions = []
+        engine.register(pattern, completions.append)
+        engine.feed(ENERGY_EVENT)
+        assert completions == []
+
+    def test_probability_attached(self, engine):
+        completions = engine.register(Pattern.every("a", ENERGY_SUB))
+        events = engine.feed(ENERGY_EVENT)
+        assert events
+        assert 0.0 <= events[0].probability <= 1.0
+
+    def test_min_probability_threshold(self, engine):
+        pattern = Pattern(
+            steps=(Step("a", ENERGY_SUB),), min_probability=1.01
+        )
+        engine.register(pattern)
+        assert engine.feed(ENERGY_EVENT) == []
+
+
+class TestSequence:
+    def make_pattern(self, within=None):
+        return Pattern(
+            steps=(Step("energy", ENERGY_SUB), Step("parking", PARKING_SUB)),
+            within=within,
+        )
+
+    def test_in_order_completion(self, engine):
+        engine.register(self.make_pattern())
+        assert engine.feed(ENERGY_EVENT) == []
+        completions = engine.feed(PARKING_EVENT)
+        assert len(completions) == 1
+        complex_event = completions[0]
+        assert complex_event.binding("energy").event == ENERGY_EVENT
+        assert complex_event.binding("parking").event == PARKING_EVENT
+        assert complex_event.first_sequence == 0
+        assert complex_event.last_sequence == 1
+
+    def test_wrong_order_no_completion(self, engine):
+        engine.register(self.make_pattern())
+        engine.feed(PARKING_EVENT)
+        assert engine.feed(ENERGY_EVENT) == []
+
+    def test_window_expiry(self, engine):
+        engine.register(self.make_pattern(within=1))
+        engine.feed(ENERGY_EVENT)
+        engine.feed(NEUTRAL_EVENT)  # advances the logical clock only
+        assert engine.feed(PARKING_EVENT) == []
+
+    def test_within_window_completes(self, engine):
+        engine.register(self.make_pattern(within=2))
+        engine.feed(ENERGY_EVENT)
+        engine.feed(NEUTRAL_EVENT)
+        assert engine.feed(PARKING_EVENT)
+
+    def test_every_opens_multiple_instances(self, engine):
+        engine.register(self.make_pattern())
+        engine.feed(ENERGY_EVENT)
+        engine.feed(ENERGY_EVENT)
+        completions = engine.feed(PARKING_EVENT)
+        assert len(completions) == 2
+
+    def test_probability_is_conjunction(self, engine):
+        engine.register(self.make_pattern())
+        engine.feed(ENERGY_EVENT)
+        (complex_event,) = engine.feed(PARKING_EVENT)
+        p_energy = complex_event.binding("energy").probability
+        p_parking = complex_event.binding("parking").probability
+        assert abs(complex_event.probability - p_energy * p_parking) < 1e-9
+
+
+class TestRegistry:
+    def test_unregister(self, engine):
+        handle = engine.register(Pattern.every("a", ENERGY_SUB))
+        assert engine.unregister(handle)
+        assert engine.feed(ENERGY_EVENT) == []
+        assert not engine.unregister(handle)
+
+    def test_pattern_count_and_emitted(self, engine):
+        handle = engine.register(Pattern.every("a", ENERGY_SUB))
+        assert engine.pattern_count() == 1
+        engine.feed(ENERGY_EVENT)
+        assert handle.emitted == 1

@@ -1,0 +1,122 @@
+"""Tests for negated guard steps in CEP patterns."""
+
+import pytest
+
+from repro.cep.engine import CEPEngine
+from repro.cep.patterns import Pattern, Step
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+
+SURGE = parse_event(
+    "({power}, {type: increased energy usage event, zone: city centre,"
+    " device: lamp})"
+)
+OUTAGE = parse_event(
+    "({power}, {type: power outage event, zone: city centre, grid: west})"
+)
+RECOVERY = parse_event(
+    "({power}, {type: power recovery event, zone: city centre, grid: west})"
+)
+NEUTRAL = parse_event(
+    "({environment}, {type: rainfall measurement event,"
+    " measurement unit: millimetre, sensor: sensor 4242})"
+)
+
+SURGE_SUB = parse_subscription("({power}, {type= increased energy usage event~})")
+OUTAGE_SUB = parse_subscription("({power}, {type= power outage event})")
+RECOVERY_SUB = parse_subscription("({power}, {type= power recovery event})")
+
+
+@pytest.fixture()
+def engine(space):
+    return CEPEngine(ThematicMatcher(CachedMeasure(ThematicMeasure(space))))
+
+
+def absence_pattern(within=None):
+    """Surge then recovery with NO outage in between."""
+    return Pattern(
+        steps=(
+            Step("surge", SURGE_SUB),
+            Step("no_outage", OUTAGE_SUB, negated=True),
+            Step("recovery", RECOVERY_SUB),
+        ),
+        within=within,
+    )
+
+
+class TestValidation:
+    def test_negated_cannot_open(self):
+        with pytest.raises(ValueError, match="negated"):
+            Pattern(steps=(Step("a", OUTAGE_SUB, negated=True),
+                           Step("b", SURGE_SUB)))
+
+    def test_negated_cannot_close(self):
+        with pytest.raises(ValueError, match="negated"):
+            Pattern(steps=(Step("a", SURGE_SUB),
+                           Step("b", OUTAGE_SUB, negated=True)))
+
+    def test_within_counts_positive_steps(self):
+        # Two positive steps -> within=1 is the legal minimum even with
+        # a guard between them.
+        Pattern(
+            steps=(Step("a", SURGE_SUB),
+                   Step("g", OUTAGE_SUB, negated=True),
+                   Step("b", RECOVERY_SUB)),
+            within=1,
+        )
+
+
+class TestAbsenceSemantics:
+    def test_completes_without_guard_event(self, engine):
+        fired = []
+        engine.register(absence_pattern(), fired.append)
+        engine.feed(SURGE)
+        engine.feed(NEUTRAL)
+        engine.feed(RECOVERY)
+        assert len(fired) == 1
+        assert set(fired[0].bindings) == {"surge", "recovery"}
+
+    def test_guard_event_kills_instance(self, engine):
+        fired = []
+        engine.register(absence_pattern(), fired.append)
+        engine.feed(SURGE)
+        engine.feed(OUTAGE)     # the forbidden event
+        engine.feed(RECOVERY)
+        assert fired == []
+
+    def test_new_instance_after_kill(self, engine):
+        fired = []
+        engine.register(absence_pattern(), fired.append)
+        engine.feed(SURGE)
+        engine.feed(OUTAGE)
+        engine.feed(SURGE)      # a fresh instance
+        engine.feed(RECOVERY)
+        assert len(fired) == 1
+
+    def test_guard_does_not_bind(self, engine):
+        fired = []
+        engine.register(absence_pattern(), fired.append)
+        engine.feed(SURGE)
+        engine.feed(RECOVERY)
+        assert "no_outage" not in fired[0].bindings
+
+    def test_probability_over_positive_steps_only(self, engine):
+        fired = []
+        engine.register(absence_pattern(), fired.append)
+        engine.feed(SURGE)
+        engine.feed(RECOVERY)
+        (complex_event,) = fired
+        expected = (
+            complex_event.binding("surge").probability
+            * complex_event.binding("recovery").probability
+        )
+        assert abs(complex_event.probability - expected) < 1e-9
+
+    def test_window_still_applies(self, engine):
+        fired = []
+        engine.register(absence_pattern(within=1), fired.append)
+        engine.feed(SURGE)
+        engine.feed(NEUTRAL)
+        engine.feed(RECOVERY)   # 2 events after start > within=1
+        assert fired == []

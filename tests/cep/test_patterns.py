@@ -1,0 +1,69 @@
+"""Tests for the pattern AST and mini-language."""
+
+import pytest
+
+from repro.cep.patterns import Pattern, Step, parse_pattern
+from repro.cep.predicates import Eq
+from repro.core.language import ParseError, parse_subscription
+
+SUB = parse_subscription("({energy}, {type= energy consumption event~})")
+
+
+class TestStep:
+    def test_valid(self):
+        step = Step("a", SUB)
+        assert step.name == "a"
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            Step("9bad", SUB)
+
+
+class TestPattern:
+    def test_every_factory(self):
+        pattern = Pattern.every("a", SUB, Eq("area", "town"))
+        assert len(pattern.steps) == 1
+        assert pattern.steps[0].filters
+
+    def test_needs_steps(self):
+        with pytest.raises(ValueError):
+            Pattern(steps=())
+
+    def test_unique_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            Pattern(steps=(Step("a", SUB), Step("a", SUB)))
+
+    def test_within_must_fit_steps(self):
+        with pytest.raises(ValueError):
+            Pattern(steps=(Step("a", SUB), Step("b", SUB)), within=0)
+
+
+class TestParse:
+    def test_single_step(self):
+        pattern = parse_pattern(
+            "every a = ({energy}, {type= energy consumption event~})"
+        )
+        assert len(pattern.steps) == 1
+        assert pattern.steps[0].name == "a"
+        assert pattern.within is None
+
+    def test_sequence_with_within(self):
+        pattern = parse_pattern(
+            "every a = ({power}, {type= surge event~})"
+            " -> b = ({power}, {type= outage event~}) within 50"
+        )
+        assert [s.name for s in pattern.steps] == ["a", "b"]
+        assert pattern.within == 50
+
+    def test_requires_every(self):
+        with pytest.raises(ParseError):
+            parse_pattern("a = ({x}, {y= z})")
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pattern("every = ({x}, {y= z})")
+
+    def test_subscription_semantics_preserved(self):
+        pattern = parse_pattern("every a = ({t}, {device~= laptop~})")
+        predicate = pattern.steps[0].subscription.predicates[0]
+        assert predicate.approx_attribute and predicate.approx_value

@@ -1,0 +1,66 @@
+"""Tests for CEP value filters."""
+
+from repro.cep.predicates import Between, Custom, Eq, Ge, Gt, Le, Lt, Ne, OneOf
+from repro.core.events import Event
+
+EVENT = Event.create(
+    payload={
+        "type": "increased energy consumption event",
+        "reading": 21.5,
+        "status": "Occupied",
+        "count": "7",
+    }
+)
+
+
+class TestEq:
+    def test_string_normalized(self):
+        assert Eq("status", "occupied").matches(EVENT)
+
+    def test_mismatch(self):
+        assert not Eq("status", "free").matches(EVENT)
+
+    def test_missing_attribute(self):
+        assert not Eq("nope", "x").matches(EVENT)
+
+    def test_numeric(self):
+        assert Eq("reading", 21.5).matches(EVENT)
+
+    def test_ne(self):
+        assert Ne("status", "free").matches(EVENT)
+        assert not Ne("status", "occupied").matches(EVENT)
+
+
+class TestNumeric:
+    def test_gt_ge_lt_le(self):
+        assert Gt("reading", 21.0).matches(EVENT)
+        assert not Gt("reading", 21.5).matches(EVENT)
+        assert Ge("reading", 21.5).matches(EVENT)
+        assert Lt("reading", 22.0).matches(EVENT)
+        assert Le("reading", 21.5).matches(EVENT)
+
+    def test_numeric_strings_coerced(self):
+        assert Gt("count", 5).matches(EVENT)
+
+    def test_non_numeric_value_fails(self):
+        assert not Gt("status", 0).matches(EVENT)
+
+    def test_between(self):
+        assert Between("reading", low=20, high=22).matches(EVENT)
+        assert not Between("reading", low=0, high=10).matches(EVENT)
+
+
+class TestOneOf:
+    def test_string_choices_normalized(self):
+        assert OneOf("status", choices=("free", "OCCUPIED")).matches(EVENT)
+
+    def test_numeric_choices(self):
+        assert OneOf("reading", choices=(21.5, 30)).matches(EVENT)
+
+    def test_no_match(self):
+        assert not OneOf("status", choices=("free",)).matches(EVENT)
+
+
+def test_custom_filter():
+    assert Custom("reading", predicate=lambda v: v > 20).matches(EVENT)
+    assert not Custom("reading", predicate=lambda v: v > 30).matches(EVENT)

@@ -1,0 +1,100 @@
+"""Unit and property tests for probability combination ([26])."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cep.uncertainty import at_least, conjunction, disjunction, negation
+
+probs = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=0,
+    max_size=6,
+)
+
+
+class TestBasics:
+    def test_conjunction_product(self):
+        assert math.isclose(conjunction([0.5, 0.5]), 0.25)
+
+    def test_conjunction_empty(self):
+        assert conjunction([]) == 1.0
+
+    def test_disjunction_noisy_or(self):
+        assert math.isclose(disjunction([0.5, 0.5]), 0.75)
+
+    def test_disjunction_empty(self):
+        assert disjunction([]) == 0.0
+
+    def test_negation(self):
+        assert negation(0.3) == 0.7
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            conjunction([1.5])
+        with pytest.raises(ValueError):
+            negation(-0.1)
+
+
+class TestAtLeast:
+    def test_k_zero_certain(self):
+        assert at_least([0.1, 0.2], 0) == 1.0
+
+    def test_k_above_count_impossible(self):
+        assert at_least([0.9], 2) == 0.0
+
+    def test_k_one_equals_disjunction(self):
+        values = [0.2, 0.5, 0.7]
+        assert math.isclose(at_least(values, 1), disjunction(values))
+
+    def test_k_all_equals_conjunction(self):
+        values = [0.2, 0.5, 0.7]
+        assert math.isclose(at_least(values, 3), conjunction(values))
+
+    def test_matches_enumeration(self):
+        values = [0.3, 0.6, 0.8, 0.1]
+        for k in range(len(values) + 1):
+            expected = 0.0
+            for outcome in itertools.product([0, 1], repeat=len(values)):
+                if sum(outcome) >= k:
+                    weight = 1.0
+                    for hit, p in zip(outcome, values):
+                        weight *= p if hit else (1 - p)
+                    expected += weight
+            assert math.isclose(at_least(values, k), expected, abs_tol=1e-9)
+
+
+class TestProperties:
+    @given(probs)
+    def test_conjunction_bounds(self, values):
+        assert 0.0 <= conjunction(values) <= 1.0
+
+    @given(probs)
+    def test_disjunction_bounds(self, values):
+        assert 0.0 <= disjunction(values) <= 1.0
+
+    @given(probs)
+    def test_conjunction_below_min(self, values):
+        if values:
+            assert conjunction(values) <= min(values) + 1e-12
+
+    @given(probs)
+    def test_disjunction_above_max(self, values):
+        if values:
+            assert disjunction(values) >= max(values) - 1e-12
+
+    @given(probs, st.integers(0, 7))
+    def test_at_least_monotone_in_k(self, values, k):
+        assert at_least(values, k) + 1e-9 >= at_least(values, k + 1)
+
+    @given(probs)
+    def test_de_morgan(self, values):
+        # P(at least one) = 1 - P(none)
+        assert math.isclose(
+            disjunction(values),
+            1.0 - conjunction([1.0 - p for p in values]),
+            abs_tol=1e-9,
+        )

@@ -1,0 +1,27 @@
+"""Shared fixtures: expensive substrates are built once per session."""
+
+import pytest
+
+from repro.evaluation import WorkloadConfig, build_workload
+from repro.knowledge import default_corpus, default_thesaurus
+from repro.semantics import ParametricVectorSpace
+
+
+@pytest.fixture(scope="session")
+def thesaurus():
+    return default_thesaurus()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return default_corpus()
+
+
+@pytest.fixture(scope="session")
+def space(corpus):
+    return ParametricVectorSpace(corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    return build_workload(WorkloadConfig.tiny())

@@ -1,0 +1,94 @@
+"""Tests for the JSON wire codec."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.codec import (
+    dumps,
+    event_from_dict,
+    event_to_dict,
+    loads,
+    subscription_from_dict,
+    subscription_to_dict,
+)
+from repro.core.events import Event
+from repro.core.subscriptions import Predicate, Subscription
+
+EVENT = Event.create(
+    theme={"energy", "appliances"},
+    payload={"type": "increased energy consumption event", "reading": 21.5},
+)
+SUBSCRIPTION = Subscription.create(
+    theme={"power"},
+    predicates=[
+        Predicate("device", "laptop", approx_attribute=True, approx_value=True),
+        Predicate("temperature", 30, operator=">"),
+        Predicate("office", "room 112"),
+    ],
+)
+
+
+class TestRoundTrip:
+    def test_event(self):
+        assert loads(dumps(EVENT)) == EVENT
+
+    def test_subscription(self):
+        assert loads(dumps(SUBSCRIPTION)) == SUBSCRIPTION
+
+    def test_payload_order_preserved(self):
+        event = Event.create(payload=[("b", 1), ("a", 2)])
+        assert loads(dumps(event)).attributes() == ("b", "a")
+
+    def test_numbers_stay_numbers(self):
+        decoded = loads(dumps(EVENT))
+        assert decoded.value("reading") == 21.5
+
+    def test_output_is_plain_json(self):
+        data = json.loads(dumps(EVENT))
+        assert data["kind"] == "event"
+        assert data["theme"] == ["appliances", "energy"]  # sorted
+
+    terms = st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz ", min_size=1, max_size=12
+    ).filter(lambda s: s.strip())
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8),
+            st.one_of(terms, st.integers(-100, 100)),
+            min_size=1,
+            max_size=5,
+        ),
+        st.sets(terms, max_size=3),
+    )
+    def test_generated_events_roundtrip(self, payload, theme):
+        event = Event.create(theme=theme, payload=payload)
+        assert loads(dumps(event)) == event
+
+
+class TestValidation:
+    def test_wrong_kind_for_event(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"kind": "subscription", "payload": []})
+
+    def test_wrong_kind_for_subscription(self):
+        with pytest.raises(ValueError):
+            subscription_from_dict({"kind": "event", "predicates": []})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            loads(json.dumps({"kind": "banana"}))
+
+    def test_unserializable_type(self):
+        with pytest.raises(TypeError):
+            dumps("just a string")  # type: ignore[arg-type]
+
+    def test_default_flags(self):
+        data = subscription_to_dict(SUBSCRIPTION)
+        for predicate in data["predicates"]:
+            del predicate["approx_attribute"]
+        decoded = subscription_from_dict(data)
+        assert all(not p.approx_attribute for p in decoded.predicates)

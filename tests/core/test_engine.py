@@ -1,0 +1,68 @@
+"""Tests for the in-process subscription registry and dispatch."""
+
+import pytest
+
+from repro.core.engine import ThematicEventEngine
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import ThematicMeasure
+
+EVENT = parse_event(
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event,"
+    "  measurement unit: kilowatt hour, device: computer, office: room 112})"
+)
+MATCHING_SUB = parse_subscription(
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+NON_MATCHING_SUB = parse_subscription(
+    "({transport}, {type= parking space occupied event~, street= main street})"
+)
+
+
+@pytest.fixture()
+def engine(space):
+    return ThematicEventEngine(ThematicMatcher(ThematicMeasure(space)))
+
+
+class TestEngine:
+    def test_dispatches_to_matching_subscription(self, engine):
+        received = []
+        engine.subscribe(MATCHING_SUB, received.append)
+        engine.subscribe(NON_MATCHING_SUB, lambda r: pytest.fail("wrong dispatch"))
+        delivered = engine.process(EVENT)
+        assert len(delivered) == 1
+        assert received and received[0].event == EVENT
+
+    def test_unsubscribe_stops_delivery(self, engine):
+        received = []
+        handle = engine.subscribe(MATCHING_SUB, received.append)
+        assert engine.unsubscribe(handle)
+        engine.process(EVENT)
+        assert not received
+        assert not engine.unsubscribe(handle)
+
+    def test_subscription_count(self, engine):
+        assert engine.subscription_count() == 0
+        handle = engine.subscribe(MATCHING_SUB, lambda r: None)
+        assert engine.subscription_count() == 1
+        engine.unsubscribe(handle)
+        assert engine.subscription_count() == 0
+
+    def test_stats_track_work(self, engine):
+        engine.subscribe(MATCHING_SUB, lambda r: None)
+        engine.subscribe(NON_MATCHING_SUB, lambda r: None)
+        engine.process(EVENT)
+        assert engine.stats.events_processed == 1
+        assert engine.stats.evaluations == 2
+        assert engine.stats.deliveries == 1
+
+    def test_results_in_registration_order(self, engine):
+        order = []
+        engine.subscribe(MATCHING_SUB, lambda r: order.append("first"))
+        engine.subscribe(
+            MATCHING_SUB.with_theme({"power"}), lambda r: order.append("second")
+        )
+        engine.process(EVENT)
+        assert order == ["first", "second"]

@@ -1,0 +1,68 @@
+"""Unit tests for the event model (Section 3.3)."""
+
+import pytest
+
+from repro.core.events import AttributeValue, Event
+
+
+class TestAttributeValue:
+    def test_str(self):
+        assert str(AttributeValue("device", "laptop")) == "device: laptop"
+
+    def test_rejects_empty_attribute(self):
+        with pytest.raises(ValueError):
+            AttributeValue("  ", "x")
+
+
+class TestEvent:
+    def test_create_from_mapping(self):
+        event = Event.create(
+            theme={"energy"},
+            payload={"type": "increased energy consumption event", "room": "room 112"},
+        )
+        assert event.value("type") == "increased energy consumption event"
+        assert len(event) == 2
+
+    def test_create_from_pairs_preserves_order(self):
+        event = Event.create(payload=[("b", 1), ("a", 2)])
+        assert event.attributes() == ("b", "a")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate attribute"):
+            Event.create(payload=[("a", 1), ("A ", 2)])
+
+    def test_value_lookup_is_normalized(self):
+        event = Event.create(payload={"Measurement Unit": "kwh"})
+        assert event.value("measurement unit") == "kwh"
+
+    def test_missing_attribute_is_none(self):
+        event = Event.create(payload={"a": 1})
+        assert event.value("b") is None
+
+    def test_numeric_values_allowed(self):
+        event = Event.create(payload={"reading": 21.5})
+        assert event.value("reading") == 21.5
+
+    def test_terms_lists_attributes_and_string_values(self):
+        event = Event.create(payload={"device": "laptop", "reading": 3})
+        assert event.terms() == ("device", "laptop", "reading")
+
+    def test_with_theme_replaces_theme_only(self):
+        event = Event.create(theme={"a"}, payload={"x": 1})
+        rethemed = event.with_theme({"b", "c"})
+        assert rethemed.theme == frozenset({"b", "c"})
+        assert rethemed.payload == event.payload
+
+    def test_str_format_matches_paper(self):
+        event = Event.create(theme={"energy"}, payload={"device": "laptop"})
+        assert str(event) == "({energy}, {device: laptop})"
+
+    def test_equality_by_value(self):
+        a = Event.create(theme={"t"}, payload={"x": 1})
+        b = Event.create(theme={"t"}, payload={"x": 1})
+        assert a == b
+
+    def test_immutable(self):
+        event = Event.create(payload={"x": 1})
+        with pytest.raises(AttributeError):
+            event.theme = frozenset()  # type: ignore[misc]

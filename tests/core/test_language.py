@@ -1,0 +1,127 @@
+"""Unit and property tests for the surface syntax (Sections 3.3–3.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.language import (
+    ParseError,
+    format_event,
+    format_subscription,
+    parse_event,
+    parse_subscription,
+)
+
+EVENT_TEXT = (
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event,"
+    "  measurement unit: kilowatt hour, device: computer, office: room 112})"
+)
+SUB_TEXT = (
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+
+
+class TestParseEvent:
+    def test_paper_example(self):
+        event = parse_event(EVENT_TEXT)
+        assert event.theme == frozenset({"energy", "appliances", "building"})
+        assert event.value("device") == "computer"
+        assert len(event) == 4
+
+    def test_without_theme(self):
+        event = parse_event("{device: laptop}")
+        assert event.theme == frozenset()
+
+    def test_numeric_values(self):
+        event = parse_event("{reading: 21.5, count: 3}")
+        assert event.value("reading") == 21.5
+        assert event.value("count") == 3
+
+    def test_rejects_tilde(self):
+        with pytest.raises(ParseError):
+            parse_event("{device: laptop~}")
+
+    def test_rejects_missing_separator(self):
+        with pytest.raises(ParseError):
+            parse_event("{device laptop}")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParseError):
+            parse_event("{}")
+
+    def test_rejects_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse_event("{device: laptop")
+
+    def test_rejects_three_groups(self):
+        with pytest.raises(ParseError):
+            parse_event("({a}, {b: c}, {d: e})")
+
+
+class TestParseSubscription:
+    def test_paper_example(self):
+        sub = parse_subscription(SUB_TEXT)
+        assert sub.theme == frozenset({"power", "computers"})
+        by_attr = {p.attribute: p for p in sub.predicates}
+        assert by_attr["type"].approx_value and not by_attr["type"].approx_attribute
+        assert by_attr["device"].approx_attribute and by_attr["device"].approx_value
+        assert not by_attr["office"].approx_value
+        assert sub.degree_of_approximation() == 0.5
+
+    def test_numeric_value(self):
+        sub = parse_subscription("{count= 3}")
+        assert sub.predicates[0].value == 3
+
+    def test_rejects_approximated_number(self):
+        with pytest.raises(ParseError):
+            parse_subscription("{count= 3~}")
+
+    def test_rejects_missing_equals(self):
+        with pytest.raises(ParseError):
+            parse_subscription("{device laptop}")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParseError):
+            parse_subscription("({a}, {})")
+
+
+class TestRoundTrip:
+    def test_event_roundtrip(self):
+        event = parse_event(EVENT_TEXT)
+        assert parse_event(format_event(event)) == event
+
+    def test_subscription_roundtrip(self):
+        sub = parse_subscription(SUB_TEXT)
+        assert parse_subscription(format_subscription(sub)) == sub
+
+    terms = st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz", min_size=2, max_size=8
+    )
+
+    @given(
+        st.dictionaries(terms, terms, min_size=1, max_size=5),
+        st.sets(terms, max_size=3),
+    )
+    def test_generated_event_roundtrip(self, payload, theme):
+        from repro.core.events import Event
+
+        event = Event.create(theme=theme, payload=payload)
+        assert parse_event(format_event(event)) == event
+
+    @given(
+        st.dictionaries(terms, terms, min_size=1, max_size=5),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_generated_subscription_roundtrip(self, payload, approx_a, approx_v):
+        from repro.core.subscriptions import Predicate, Subscription
+
+        sub = Subscription.create(
+            predicates=[
+                Predicate(a, v, approx_attribute=approx_a, approx_value=approx_v)
+                for a, v in payload.items()
+            ]
+        )
+        assert parse_subscription(format_subscription(sub)) == sub

@@ -1,0 +1,99 @@
+"""Tests for the approximate matcher on the paper's running example."""
+
+import pytest
+
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import ExactMeasure, NonThematicMeasure, ThematicMeasure
+
+EVENT = parse_event(
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event,"
+    "  measurement unit: kilowatt hour, device: computer, office: room 112})"
+)
+SUBSCRIPTION = parse_subscription(
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+IRRELEVANT = parse_event(
+    "({transport},"
+    " {type: parking space occupied event, street: main street,"
+    "  city: santander, spot: 4})"
+)
+
+
+@pytest.fixture(scope="module")
+def thematic(space):
+    return ThematicMatcher(ThematicMeasure(space), k=3)
+
+
+class TestRunningExample:
+    def test_match_found(self, thematic):
+        result = thematic.match(SUBSCRIPTION, EVENT)
+        assert result is not None
+        assert result.is_match(thematic.threshold)
+
+    def test_top1_mapping_is_the_papers(self, thematic):
+        # σ* of Section 3: type<->type, device<->device, office<->office.
+        result = thematic.match(SUBSCRIPTION, EVENT)
+        chosen = {
+            result.matrix.event.payload[corr.tuple_index].attribute
+            for corr in result.mapping.correspondences
+        }
+        assert chosen == {"type", "device", "office"}
+
+    def test_topk_returns_alternatives(self, thematic):
+        result = thematic.match(SUBSCRIPTION, EVENT)
+        assert len(result.alternatives) == 2
+        assert result.mapping.probability >= result.alternatives[0].probability
+
+    def test_irrelevant_event_rejected(self, thematic):
+        assert not thematic.matches(SUBSCRIPTION, IRRELEVANT)
+        assert thematic.score(SUBSCRIPTION, IRRELEVANT) < thematic.threshold
+
+    def test_explain_mentions_score(self, thematic):
+        result = thematic.match(SUBSCRIPTION, EVENT)
+        assert "score=" in result.explain()
+
+    def test_mappings_accessor(self, thematic):
+        result = thematic.match(SUBSCRIPTION, EVENT)
+        assert result.mappings()[0] is result.mapping
+
+
+class TestModesAndEdges:
+    def test_exact_measure_degenerates_to_content_based(self):
+        matcher = ThematicMatcher(ExactMeasure(), threshold=0.99)
+        assert not matcher.matches(SUBSCRIPTION, EVENT)  # laptop != computer
+        exact_sub = parse_subscription(
+            "{type= increased energy consumption event, office= room 112}"
+        )
+        assert matcher.matches(exact_sub, EVENT)
+
+    def test_nonthematic_measure_also_matches_here(self, space):
+        matcher = ThematicMatcher(NonThematicMeasure(space))
+        assert matcher.matches(SUBSCRIPTION, EVENT)
+
+    def test_none_when_event_too_small(self, thematic):
+        small = parse_event("({energy}, {type: increased energy consumption event})")
+        assert thematic.match(SUBSCRIPTION, small) is None
+        assert thematic.score(SUBSCRIPTION, small) == 0.0
+        assert not thematic.matches(SUBSCRIPTION, small)
+
+    def test_invalid_parameters_rejected(self, space):
+        measure = ThematicMeasure(space)
+        with pytest.raises(ValueError):
+            ThematicMatcher(measure, k=0)
+        with pytest.raises(ValueError):
+            ThematicMatcher(measure, threshold=1.5)
+
+    def test_score_between_zero_and_one(self, thematic, tiny_workload):
+        for event in tiny_workload.events[:20]:
+            value = thematic.score(SUBSCRIPTION, event)
+            assert 0.0 <= value <= 1.0
+
+    def test_uncalibrated_scores_differ(self, space):
+        raw = ThematicMatcher(ThematicMeasure(space), calibration=None)
+        calibrated = ThematicMatcher(ThematicMeasure(space))
+        assert raw.score(SUBSCRIPTION, EVENT) != calibrated.score(
+            SUBSCRIPTION, EVENT
+        )

@@ -1,0 +1,126 @@
+"""Property-based tests for matcher invariants (hypothesis).
+
+Events and subscriptions are generated over the thesaurus vocabulary so
+the semantic measure sees realistic terms; the invariants must hold for
+every generated instance.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.matcher import ThematicMatcher
+from repro.core.subscriptions import Predicate, Subscription
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+
+VOCAB = [
+    "energy consumption", "electricity usage", "parking", "garage",
+    "computer", "laptop", "temperature", "rainfall", "room 112",
+    "galway", "dublin", "increased", "decreased", "kilowatt hour",
+]
+ATTRS = ["type", "device", "city", "room", "unit", "status"]
+THEMES = [
+    "energy", "pollution", "land transport", "communications",
+    "social affairs", "regions",
+]
+
+terms = st.sampled_from(VOCAB)
+attrs = st.sampled_from(ATTRS)
+theme_sets = st.sets(st.sampled_from(THEMES), max_size=4)
+
+events = st.builds(
+    lambda pairs, theme: Event.create(theme=theme, payload=pairs),
+    st.dictionaries(attrs, terms, min_size=1, max_size=5),
+    theme_sets,
+)
+subscriptions = st.builds(
+    lambda pairs, theme, approx: Subscription.create(
+        theme=theme,
+        predicates=[
+            Predicate(a, v, approx_attribute=approx, approx_value=approx)
+            for a, v in pairs.items()
+        ],
+    ),
+    st.dictionaries(attrs, terms, min_size=1, max_size=3),
+    theme_sets,
+    st.booleans(),
+)
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def matcher(space):
+    return ThematicMatcher(CachedMeasure(ThematicMeasure(space)), k=3)
+
+
+class TestInvariants:
+    @COMMON
+    @given(subscriptions, events)
+    def test_score_bounded(self, matcher, sub, event):
+        assert 0.0 <= matcher.score(sub, event) <= 1.0
+
+    @COMMON
+    @given(subscriptions, events)
+    def test_matches_consistent_with_score(self, matcher, sub, event):
+        assert matcher.matches(sub, event) == (
+            matcher.score(sub, event) >= matcher.threshold
+        )
+
+    @COMMON
+    @given(subscriptions, events, attrs, terms)
+    def test_extra_tuple_never_hurts(self, matcher, sub, event, attr, value):
+        """Adding an unrelated tuple can only widen the mapping choices."""
+        if event.value(attr) is not None:
+            return  # would collide
+        extended = Event.create(
+            theme=event.theme,
+            payload=list((av.attribute, av.value) for av in event.payload)
+            + [(attr, value)],
+        )
+        assert matcher.score(sub, extended) >= matcher.score(sub, event) - 1e-9
+
+    @COMMON
+    @given(subscriptions, events)
+    def test_topk_sorted_and_normalized(self, matcher, sub, event):
+        result = matcher.match(sub, event)
+        if result is None:
+            return
+        mappings = result.mappings()
+        probabilities = [m.probability for m in mappings]
+        assert all(
+            a >= b - 1e-9 for a, b in zip(probabilities, probabilities[1:])
+        )
+        total = sum(probabilities)
+        assert total == 0.0 or abs(total - 1.0) < 1e-6
+
+    @COMMON
+    @given(subscriptions, events)
+    def test_mapping_is_injective(self, matcher, sub, event):
+        result = matcher.match(sub, event)
+        if result is None:
+            return
+        for mapping in result.mappings():
+            tuple_indexes = [c.tuple_index for c in mapping.correspondences]
+            assert len(tuple_indexes) == len(set(tuple_indexes))
+            assert len(tuple_indexes) == len(sub.predicates)
+
+    @COMMON
+    @given(events)
+    def test_self_subscription_scores_one(self, matcher, event):
+        """An exact subscription built from the event's own tuples is a
+        perfect match."""
+        sub = Subscription.create(
+            exact={av.attribute: av.value for av in event.payload}
+        )
+        assert matcher.score(sub, event) == pytest.approx(1.0)
+
+    @COMMON
+    @given(subscriptions, events)
+    def test_deterministic(self, matcher, sub, event):
+        assert matcher.score(sub, event) == matcher.score(sub, event)

@@ -1,0 +1,146 @@
+"""Tests for the extension operators (!=, >, >=, <, <=).
+
+The paper keeps these out of the language for discourse simplicity; the
+implementation supports them as a practical extension (value side
+non-semantic, attribute side still approximable).
+"""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.language import ParseError, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.core.subscriptions import Predicate, Subscription
+from repro.semantics.measures import ExactMeasure, ThematicMeasure
+
+
+class TestPredicateValidation:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="operator"):
+            Predicate("a", 1, operator="~=")
+
+    def test_numeric_operator_needs_number(self):
+        with pytest.raises(ValueError):
+            Predicate("a", "hot", operator=">")
+
+    def test_tilde_on_non_equality_value_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("a", "x", approx_value=True, operator="!=")
+
+    def test_attribute_tilde_allowed_with_operators(self):
+        predicate = Predicate("temperature", 30, approx_attribute=True,
+                              operator=">")
+        assert predicate.approx_attribute
+
+
+class TestEvaluateValue:
+    def test_numeric_comparisons(self):
+        assert Predicate("a", 30, operator=">").evaluate_value(31)
+        assert not Predicate("a", 30, operator=">").evaluate_value(30)
+        assert Predicate("a", 30, operator=">=").evaluate_value(30)
+        assert Predicate("a", 30, operator="<").evaluate_value(29.5)
+        assert Predicate("a", 30, operator="<=").evaluate_value(30)
+
+    def test_numeric_strings_coerced(self):
+        assert Predicate("a", 30, operator=">").evaluate_value("45")
+        assert not Predicate("a", 30, operator=">").evaluate_value("cold")
+
+    def test_not_equal_on_strings_normalized(self):
+        predicate = Predicate("a", "occupied", operator="!=")
+        assert predicate.evaluate_value("free")
+        assert not predicate.evaluate_value(" Occupied ")
+
+    def test_not_equal_on_numbers(self):
+        assert Predicate("a", 3, operator="!=").evaluate_value(4)
+
+
+class TestParsing:
+    def test_parse_all_operators(self):
+        sub = parse_subscription(
+            "({env}, {temperature~ > 30, humidity <= 80, status != free,"
+            " room= room 112})"
+        )
+        by_attr = {p.attribute: p for p in sub.predicates}
+        assert by_attr["temperature"].operator == ">"
+        assert by_attr["temperature"].approx_attribute
+        assert by_attr["humidity"].operator == "<="
+        assert by_attr["humidity"].value == 80
+        assert by_attr["status"].operator == "!="
+        assert by_attr["room"].operator == "="
+
+    def test_ge_not_read_as_gt_then_eq(self):
+        sub = parse_subscription("{reading >= 5}")
+        assert sub.predicates[0].operator == ">="
+        assert sub.predicates[0].value == 5
+
+    def test_tilde_value_with_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_subscription("{status != free~}")
+
+    def test_numeric_operator_with_term_rejected(self):
+        with pytest.raises(ParseError):
+            parse_subscription("{reading > hot}")
+
+    def test_roundtrip(self):
+        text = "({env}, {temperature~> 30, status!= free})"
+        sub = parse_subscription(text)
+        assert parse_subscription(str(sub)) == sub
+
+
+class TestMatching:
+    EVENT = Event.create(
+        theme={"environment"},
+        payload={"type": "high temperature event", "temperature": 34,
+                 "status": "occupied", "room": "room 112"},
+    )
+
+    def matcher(self, space):
+        return ThematicMatcher(ThematicMeasure(space))
+
+    def test_threshold_subscription(self, space):
+        sub = parse_subscription(
+            "({environment}, {temperature > 30, room= room 112})"
+        )
+        assert self.matcher(space).matches(sub, self.EVENT)
+
+    def test_threshold_fails_when_below(self, space):
+        sub = parse_subscription("{temperature > 40}")
+        assert not self.matcher(space).matches(sub, self.EVENT)
+
+    def test_not_equal(self, space):
+        sub = parse_subscription("{status != free}")
+        assert self.matcher(space).matches(sub, self.EVENT)
+
+    def test_semantic_attribute_with_numeric_operator(self, space):
+        # 'thermal reading' is not the event's attribute name, but it is
+        # related to 'temperature'; the value test is then numeric.
+        sub = parse_subscription(
+            "({environment}, {air temperature~ > 30})"
+        )
+        event = self.EVENT.with_theme({"environment", "weather monitoring"})
+        assert self.matcher(space).score(sub, event) > 0.5
+
+    def test_relax_preserves_operators(self):
+        sub = parse_subscription("{temperature > 30, device= laptop}")
+        relaxed = sub.relax()
+        by_attr = {p.attribute: p for p in relaxed.predicates}
+        assert by_attr["temperature"].operator == ">"
+        assert not by_attr["temperature"].approx_value
+        assert by_attr["temperature"].approx_attribute
+        assert by_attr["device"].approx_value
+
+
+class TestGroundTruthOperators:
+    def test_is_relevant_honours_operators(self, tiny_workload):
+        from repro.evaluation.groundtruth import is_relevant
+
+        canon = tiny_workload.canonicalizer
+        event = Event.create(payload={"temperature": 34, "room": "room 112"})
+        above = Subscription.create(
+            predicates=[Predicate("temperature", 30, operator=">")]
+        )
+        below = Subscription.create(
+            predicates=[Predicate("temperature", 40, operator=">")]
+        )
+        assert is_relevant(above, event, canon)
+        assert not is_relevant(below, event, canon)

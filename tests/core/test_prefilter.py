@@ -1,0 +1,133 @@
+"""Tests for the two-phase matcher (candidate prefiltering)."""
+
+import pytest
+
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.core.prefilter import TokenNeighborhoods, TwoPhaseMatcher
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+
+EVENT = parse_event(
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event,"
+    "  measurement unit: kilowatt hour, device: computer, office: room 112})"
+)
+MATCHING = parse_subscription(
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+WRONG_ANCHOR = parse_subscription(
+    "({power}, {type= increased energy usage event~, office= room 999})"
+)
+TOO_BIG = parse_subscription(
+    "({x}, {a~= b~, c~= d~, e~= f~, g~= h~, i~= j~, k~= l~})"
+)
+
+
+@pytest.fixture()
+def matcher(space):
+    return ThematicMatcher(CachedMeasure(ThematicMeasure(space)))
+
+
+class TestTokenNeighborhoods:
+    def test_includes_own_tokens(self, space):
+        hoods = TokenNeighborhoods(space)
+        assert "laptop" in hoods.neighbors("laptop")
+
+    def test_includes_synonym_tokens(self, space):
+        hoods = TokenNeighborhoods(space, threshold=0.45)
+        assert "computer" in hoods.neighbors("laptop")
+
+    def test_unknown_term_is_self_only(self, space):
+        hoods = TokenNeighborhoods(space)
+        assert hoods.neighbors("zebra") == frozenset({"zebra"})
+
+    def test_higher_threshold_smaller_neighborhood(self, space):
+        loose = TokenNeighborhoods(space, threshold=0.44)
+        tight = TokenNeighborhoods(space, threshold=0.6)
+        assert tight.neighbors("laptop") <= loose.neighbors("laptop")
+
+
+class TestExactPhases:
+    def test_arity_pruning(self, matcher):
+        index = TwoPhaseMatcher(matcher)
+        index.add(TOO_BIG)
+        assert index.match_event(EVENT) == []
+        assert index.stats.pruned_arity == 1
+        assert index.stats.full_matches_run == 0
+
+    def test_exact_anchor_pruning(self, matcher):
+        index = TwoPhaseMatcher(matcher)
+        index.add(WRONG_ANCHOR)
+        assert index.match_event(EVENT) == []
+        assert index.stats.pruned_exact_anchor == 1
+        assert index.stats.full_matches_run == 0
+
+    def test_survivor_matches(self, matcher):
+        index = TwoPhaseMatcher(matcher)
+        sub_id = index.add(MATCHING)
+        matches = index.match_event(EVENT)
+        assert [m[0] for m in matches] == [sub_id]
+        assert index.stats.delivered == 1
+
+    def test_remove(self, matcher):
+        index = TwoPhaseMatcher(matcher)
+        sub_id = index.add(MATCHING)
+        assert index.remove(sub_id)
+        assert index.match_event(EVENT) == []
+        assert not index.remove(sub_id)
+        assert len(index) == 0
+
+    def test_exact_phases_are_lossless(self, matcher, tiny_workload):
+        """Without semantic anchors the two-phase matcher returns exactly
+        what a full scan returns."""
+        index = TwoPhaseMatcher(matcher)  # no space -> no lossy phase
+        subs = tiny_workload.subscriptions.approximate[:6]
+        for sub in subs:
+            index.add(sub)
+        for event in tiny_workload.events[:40]:
+            via_index = {sub_id for sub_id, _ in index.match_event(event)}
+            via_scan = {
+                i for i, sub in enumerate(subs) if matcher.matches(sub, event)
+            }
+            assert via_index == via_scan
+
+
+class TestSemanticAnchors:
+    def test_prunes_unrelated_event(self, matcher, space):
+        index = TwoPhaseMatcher(matcher, space)
+        index.add(
+            parse_subscription("({power}, {type~= energy usage event~})")
+        )
+        unrelated = parse_event(
+            "({social questions}, {type: meeting gathering, room: room 9})"
+        )
+        index.match_event(unrelated)
+        assert index.stats.pruned_semantic_anchor == 1
+
+    def test_keeps_synonym_event(self, matcher, space):
+        index = TwoPhaseMatcher(matcher, space)
+        sub_id = index.add(
+            parse_subscription("({power, computers}, {device~= laptop~})")
+        )
+        event = parse_event("({energy}, {device: computer})")
+        matches = index.match_event(event)
+        assert [m[0] for m in matches] == [sub_id]
+
+    def test_recall_on_workload(self, matcher, space, tiny_workload):
+        """The lossy phase must keep the vast majority of true matches
+        at the default threshold."""
+        full = TwoPhaseMatcher(matcher)
+        lossy = TwoPhaseMatcher(matcher, space)
+        subs = tiny_workload.subscriptions.approximate[:6]
+        for sub in subs:
+            full.add(sub)
+            lossy.add(sub)
+        kept = missed = 0
+        for event in tiny_workload.events[:60]:
+            exact = {sub_id for sub_id, _ in full.match_event(event)}
+            filtered = {sub_id for sub_id, _ in lossy.match_event(event)}
+            kept += len(exact & filtered)
+            missed += len(exact - filtered)
+        assert kept > 0
+        assert missed <= 0.1 * (kept + missed), (kept, missed)

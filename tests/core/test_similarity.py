@@ -1,0 +1,129 @@
+"""Unit tests for the combined similarity matrix (Figure 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event
+from repro.core.similarity import (
+    Calibration,
+    build_similarity_matrix,
+    predicate_tuple_score,
+)
+from repro.core.subscriptions import Predicate, Subscription
+from repro.semantics.measures import ExactMeasure
+
+
+class FixedMeasure:
+    """Measure returning a constant for non-identical terms."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def score(self, term_s, theme_s, term_e, theme_e):
+        return self.value
+
+
+class TestCalibration:
+    def test_midpoint_maps_to_half(self):
+        cal = Calibration(midpoint=0.5, temperature=0.1)
+        assert math.isclose(cal.apply(0.5), 0.5)
+
+    def test_monotone(self):
+        cal = Calibration()
+        values = [cal.apply(x / 10) for x in range(11)]
+        assert values == sorted(values)
+
+    def test_extremes_saturate(self):
+        cal = Calibration(midpoint=0.5, temperature=0.01)
+        assert cal.apply(1.0) > 0.999
+        assert cal.apply(0.0) < 0.001
+
+    def test_extreme_z_guarded(self):
+        cal = Calibration(midpoint=0.5, temperature=1e-9)
+        assert cal.apply(1.0) == 1.0
+        assert cal.apply(0.0) == 0.0
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValueError):
+            Calibration(temperature=0.0)
+
+
+class TestPredicateTupleScore:
+    def args(self, predicate, attribute, value, measure, **kwargs):
+        return predicate_tuple_score(
+            predicate, attribute, value, measure, frozenset(), frozenset(), **kwargs
+        )
+
+    def test_exact_match_scores_one(self):
+        assert self.args(Predicate("office", "room 112"), "office", "room 112",
+                         ExactMeasure()) == 1.0
+
+    def test_exact_attribute_mismatch_zeroes(self):
+        assert self.args(Predicate("office", "room 112"), "room", "room 112",
+                         FixedMeasure(0.9)) == 0.0
+
+    def test_exact_value_mismatch_zeroes(self):
+        assert self.args(Predicate("office", "room 112"), "office", "room 113",
+                         FixedMeasure(0.9)) == 0.0
+
+    def test_approximate_sides_multiply(self):
+        predicate = Predicate("device", "laptop",
+                              approx_attribute=True, approx_value=True)
+        score = self.args(predicate, "appliance", "computer", FixedMeasure(0.5))
+        assert math.isclose(score, 0.25)
+
+    def test_identical_strings_short_circuit_even_when_approximated(self):
+        predicate = Predicate("device", "laptop",
+                              approx_attribute=True, approx_value=True)
+        assert self.args(predicate, "device", "laptop", FixedMeasure(0.0)) == 1.0
+
+    def test_numeric_values_compare_by_equality(self):
+        predicate = Predicate("reading", 5, approx_attribute=True)
+        assert self.args(predicate, "reading", 5, FixedMeasure(0.0)) == 1.0
+        assert self.args(predicate, "reading", 6, FixedMeasure(1.0)) == 0.0
+
+    def test_string_predicate_never_matches_numeric_value(self):
+        predicate = Predicate("reading", "five", approx_value=True)
+        assert self.args(predicate, "reading", 5, FixedMeasure(1.0)) == 0.0
+
+    def test_min_relatedness_clamps(self):
+        predicate = Predicate("device", "laptop",
+                              approx_attribute=True, approx_value=True)
+        assert self.args(predicate, "appliance", "computer",
+                         FixedMeasure(0.3), min_relatedness=0.4) == 0.0
+
+    def test_calibration_applied_to_measured_sides_only(self):
+        cal = Calibration(midpoint=0.5, temperature=0.05)
+        predicate = Predicate("device", "laptop", approx_value=True)
+        score = self.args(predicate, "device", "computer",
+                          FixedMeasure(0.6), calibration=cal)
+        assert math.isclose(score, cal.apply(0.6))
+
+
+class TestSimilarityMatrix:
+    def test_shape_and_values(self):
+        sub = Subscription.create(
+            approximate={"type": "energy usage event", "device": "laptop"}
+        )
+        event = Event.create(
+            payload={"type": "energy usage event", "device": "computer",
+                     "office": "room 112"}
+        )
+        matrix = build_similarity_matrix(sub, event, FixedMeasure(0.5))
+        assert matrix.shape == (2, 3)
+        assert matrix.scores[0, 0] == 1.0  # identical type strings
+
+    def test_row_probabilities_sum_to_one(self):
+        sub = Subscription.create(approximate={"a": "x"})
+        event = Event.create(payload={"a": "y", "b": "z"})
+        matrix = build_similarity_matrix(sub, event, FixedMeasure(0.5))
+        rows = matrix.row_probabilities()
+        assert np.allclose(rows.sum(axis=1), 1.0)
+
+    def test_all_zero_row_stays_zero(self):
+        sub = Subscription.create(exact={"a": "x"})
+        event = Event.create(payload={"b": "y"})
+        matrix = build_similarity_matrix(sub, event, FixedMeasure(0.0))
+        assert np.all(matrix.row_probabilities() == 0.0)

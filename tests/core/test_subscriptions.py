@@ -1,0 +1,99 @@
+"""Unit tests for the subscription model (Section 3.4)."""
+
+import pytest
+
+from repro.core.subscriptions import Predicate, Subscription
+
+
+class TestPredicate:
+    def test_str_with_tildes(self):
+        p = Predicate("device", "laptop", approx_attribute=True, approx_value=True)
+        assert str(p) == "device~= laptop~"
+
+    def test_str_exact(self):
+        assert str(Predicate("office", "room 112")) == "office= room 112"
+
+    def test_rejects_empty_attribute(self):
+        with pytest.raises(ValueError):
+            Predicate(" ", "x")
+
+    def test_rejects_approximated_numeric_value(self):
+        with pytest.raises(ValueError):
+            Predicate("reading", 5, approx_value=True)
+
+
+class TestSubscription:
+    def test_needs_predicates(self):
+        with pytest.raises(ValueError):
+            Subscription(theme=frozenset(), predicates=())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate predicate"):
+            Subscription.create(
+                predicates=[Predicate("a", 1), Predicate("A", 2)]
+            )
+
+    def test_create_shorthands(self):
+        sub = Subscription.create(
+            theme={"power"},
+            exact={"office": "room 112"},
+            approximate={"device": "laptop"},
+        )
+        by_attr = {p.attribute: p for p in sub.predicates}
+        assert not by_attr["office"].approx_attribute
+        assert by_attr["device"].approx_attribute
+        assert by_attr["device"].approx_value
+
+
+class TestDegreeOfApproximation:
+    def test_exact_is_zero(self):
+        sub = Subscription.create(exact={"a": "x", "b": "y"})
+        assert sub.degree_of_approximation() == 0.0
+
+    def test_fully_relaxed_is_one(self):
+        sub = Subscription.create(exact={"a": "x"}).relax()
+        assert sub.degree_of_approximation() == 1.0
+
+    def test_half_degree(self):
+        sub = Subscription.create(
+            predicates=[
+                Predicate("a", "x", approx_attribute=True, approx_value=True),
+                Predicate("b", "y"),
+            ]
+        )
+        assert sub.degree_of_approximation() == 0.5
+
+    def test_paper_example_degree(self):
+        # "{type= increased energy usage event~, device~= laptop~,
+        #   office= room 112}" has 3 of 6 sides relaxed.
+        sub = Subscription.create(
+            predicates=[
+                Predicate("type", "increased energy usage event", approx_value=True),
+                Predicate("device", "laptop", approx_attribute=True, approx_value=True),
+                Predicate("office", "room 112"),
+            ]
+        )
+        assert sub.degree_of_approximation() == 0.5
+
+
+class TestRelax:
+    def test_relaxes_string_sides(self):
+        sub = Subscription.create(exact={"device": "laptop"}).relax()
+        (p,) = sub.predicates
+        assert p.approx_attribute and p.approx_value
+
+    def test_keeps_numeric_values_exact(self):
+        sub = Subscription.create(exact={"reading": 5}).relax()
+        (p,) = sub.predicates
+        assert p.approx_attribute and not p.approx_value
+
+    def test_idempotent(self):
+        sub = Subscription.create(exact={"a": "x"})
+        assert sub.relax() == sub.relax().relax()
+
+
+def test_terms_and_with_theme():
+    sub = Subscription.create(theme={"t"}, exact={"device": "laptop", "n": 3})
+    assert sub.terms() == ("device", "laptop", "n")
+    assert sub.with_theme({"u"}).theme == frozenset({"u"})
+    assert len(sub) == 2

@@ -1,0 +1,80 @@
+"""Tests for the vocabulary pools (Table 3, BLUED, vehicles, locations)."""
+
+from repro.datasets.appliances import ALL_DEVICES, APPLIANCES, COMPUTING_DEVICES
+from repro.datasets.locations import CITIES, DESKS, FLOORS, ROOMS, ZONES, place_for_city
+from repro.datasets.sensors import (
+    SENSOR_CAPABILITIES,
+    capability,
+    capability_names,
+)
+from repro.datasets.vehicles import CAR_BRANDS, VEHICLE_KINDS
+
+
+class TestSensors:
+    def test_table3_count(self):
+        # Table 3 lists exactly 22 capabilities.
+        assert len(SENSOR_CAPABILITIES) == 22
+
+    def test_paper_capabilities_present(self):
+        names = capability_names()
+        for expected in (
+            "solar radiation", "particles", "speed", "temperature",
+            "noise", "parking", "energy consumption", "cpu usage",
+            "memory usage", "soil moisture tension",
+        ):
+            assert expected in names
+
+    def test_lookup(self):
+        assert capability("energy consumption").unit == "kilowatt hour"
+        assert capability("energy consumption").indoor
+
+    def test_capabilities_have_domains(self, thesaurus):
+        for cap in SENSOR_CAPABILITIES:
+            assert cap.domain in thesaurus.domains()
+
+    def test_capability_names_in_thesaurus(self, thesaurus):
+        # Every capability must be expandable for the evaluation.
+        for cap in SENSOR_CAPABILITIES:
+            assert cap.name in thesaurus, cap.name
+
+
+class TestDevicePools:
+    def test_all_devices_is_union(self):
+        assert set(ALL_DEVICES) == set(APPLIANCES) | set(COMPUTING_DEVICES)
+
+    def test_devices_in_thesaurus(self, thesaurus):
+        for device in ALL_DEVICES:
+            assert device in thesaurus, device
+
+
+class TestVehicles:
+    def test_pools_non_empty(self):
+        assert len(CAR_BRANDS) >= 10
+        assert "vehicle" in VEHICLE_KINDS
+
+    def test_kinds_in_thesaurus(self, thesaurus):
+        for kind in VEHICLE_KINDS:
+            assert kind in thesaurus, kind
+
+
+class TestLocations:
+    def test_room_and_desk_format(self):
+        assert all(r.startswith("room ") for r in ROOMS)
+        assert all(d.startswith("desk ") for d in DESKS)
+
+    def test_place_lookup(self):
+        place = place_for_city("galway")
+        assert place.country == "ireland"
+        assert place.continent == "europe"
+
+    def test_cities_in_thesaurus(self, thesaurus):
+        for place in CITIES:
+            assert place.city in thesaurus
+            assert place.country in thesaurus
+            assert place.continent in thesaurus
+
+    def test_floors_and_zones_in_thesaurus(self, thesaurus):
+        for floor in FLOORS:
+            assert any(tok in thesaurus for tok in (floor, floor.split()[-1]))
+        for zone in ZONES:
+            assert zone in thesaurus or zone.split()[0] in thesaurus

@@ -1,0 +1,74 @@
+"""Tests for the seed-event generator (Section 5.2.1)."""
+
+from repro.datasets.seeds import SeedConfig, event_type_for, generate_seed_events
+from repro.datasets.sensors import SENSOR_CAPABILITIES, capability
+
+
+class TestEventTypeFor:
+    def test_with_qualifier(self):
+        assert (
+            event_type_for(capability("energy consumption"), "increased")
+            == "increased energy consumption event"
+        )
+
+    def test_without_qualifier(self):
+        assert event_type_for(capability("noise")) == "noise event"
+
+
+class TestGeneration:
+    def test_default_count_matches_paper(self):
+        assert len(generate_seed_events()) == 166
+
+    def test_deterministic(self):
+        assert generate_seed_events(SeedConfig(count=20)) == generate_seed_events(
+            SeedConfig(count=20)
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_seed_events(SeedConfig(count=20, seed=1))
+        b = generate_seed_events(SeedConfig(count=20, seed=2))
+        assert a != b
+
+    def test_every_capability_contributes(self):
+        events = generate_seed_events(SeedConfig(count=44))
+        types = " ".join(str(e.value("type")) for e in events)
+        for cap in SENSOR_CAPABILITIES:
+            if cap.name == "parking":
+                assert "parking space" in types
+            else:
+                assert cap.name in types, cap.name
+
+    def test_all_events_have_type(self):
+        for event in generate_seed_events(SeedConfig(count=44)):
+            assert event.value("type")
+
+    def test_events_have_no_theme(self):
+        for event in generate_seed_events(SeedConfig(count=10)):
+            assert event.theme == frozenset()
+
+    def test_indoor_events_have_device_and_room(self):
+        events = generate_seed_events(SeedConfig(count=44))
+        indoor = [e for e in events if e.value("device") is not None]
+        assert indoor
+        for event in indoor:
+            assert event.value("room") is not None
+            assert event.value("desk") is not None
+
+    def test_geography_toggle(self):
+        without = generate_seed_events(SeedConfig(count=10, include_geography=False))
+        for event in without:
+            assert event.value("city") is None
+
+    def test_payload_sizes_within_model_bounds(self):
+        # Expanded events must stay within "length up to 10 tuples".
+        for event in generate_seed_events(SeedConfig(count=44)):
+            assert 3 <= len(event) <= 10
+
+    def test_parking_events_have_status(self):
+        events = generate_seed_events(SeedConfig(count=44))
+        parking = [
+            e for e in events if "parking space" in str(e.value("type"))
+        ]
+        assert parking
+        for event in parking:
+            assert event.value("status") in ("occupied", "free")

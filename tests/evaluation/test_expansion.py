@@ -1,0 +1,125 @@
+"""Tests for semantic expansion of seed events (Section 5.2.2)."""
+
+import random
+
+import pytest
+
+from repro.core.events import Event
+from repro.evaluation.expansion import (
+    ExpansionConfig,
+    _corrupt,
+    expand_event,
+    expand_events,
+)
+
+SEED = Event.create(
+    payload={
+        "type": "increased energy consumption event",
+        "measurement unit": "kilowatt hour",
+        "device": "laptop",
+        "room": "room 112",
+        "city": "galway",
+    }
+)
+
+
+class TestExpandEvent:
+    def run(self, config=None):
+        config = config or ExpansionConfig(variants_per_seed=8, distractors_per_seed=0)
+        return expand_event(SEED, pytest.thesaurus, config, random.Random(1), 0)
+
+    @pytest.fixture(autouse=True)
+    def _attach(self, thesaurus):
+        pytest.thesaurus = thesaurus
+
+    def test_first_variant_is_normalized_seed(self):
+        variants = self.run()
+        assert variants[0].replacements == 0
+        assert variants[0].event.value("device") == "laptop"
+
+    def test_variants_distinct(self):
+        variants = self.run()
+        payloads = [v.event.payload for v in variants]
+        assert len(payloads) == len(set(payloads))
+
+    def test_variants_keep_seed_index(self):
+        for variant in self.run():
+            assert variant.seed_index == 0
+
+    def test_variants_expansion_equivalent_to_seed(self, tiny_workload):
+        canon = tiny_workload.canonicalizer
+        for variant in self.run():
+            if variant.distractor:
+                continue
+            for av, seed_av in zip(variant.event.payload, SEED.payload):
+                if isinstance(av.value, str):
+                    assert canon.equivalent(str(av.value), str(seed_av.value)), (
+                        av, seed_av,
+                    )
+
+    def test_variant_count_honoured(self):
+        config = ExpansionConfig(variants_per_seed=4, distractors_per_seed=0)
+        assert len(self.run(config)) <= 4
+
+    def test_attribute_collisions_avoided(self):
+        variants = self.run(
+            ExpansionConfig(variants_per_seed=20, distractors_per_seed=0)
+        )
+        for variant in variants:
+            attrs = [av.attribute for av in variant.event.payload]
+            assert len(attrs) == len(set(attrs))
+
+
+class TestDistractors:
+    def test_distractors_marked(self, thesaurus):
+        config = ExpansionConfig(variants_per_seed=2, distractors_per_seed=4)
+        variants = expand_event(SEED, thesaurus, config, random.Random(3), 0)
+        distractors = [v for v in variants if v.distractor]
+        assert distractors
+
+    def test_corrupt_changes_exactly_one_token(self, thesaurus):
+        rng = random.Random(5)
+        corrupted = _corrupt(SEED, rng)
+        assert corrupted is not None
+        differing = [
+            (a.value, b.value)
+            for a, b in zip(SEED.payload, corrupted.payload)
+            if a.value != b.value
+        ]
+        assert len(differing) == 1
+
+    def test_corrupt_none_when_nothing_corruptible(self, thesaurus):
+        event = Event.create(payload={"device": "laptop"})
+        assert _corrupt(event, random.Random(0)) is None
+
+    def test_distractors_not_equivalent_to_seed(self, thesaurus, tiny_workload):
+        canon = tiny_workload.canonicalizer
+        config = ExpansionConfig(variants_per_seed=1, distractors_per_seed=6)
+        variants = expand_event(SEED, thesaurus, config, random.Random(7), 0)
+        for variant in variants:
+            if not variant.distractor:
+                continue
+            equivalent = all(
+                canon.equivalent(str(av.value), str(seed_av.value))
+                for av, seed_av in zip(variant.event.payload, SEED.payload)
+                if isinstance(av.value, str)
+            )
+            assert not equivalent
+
+
+class TestExpandEvents:
+    def test_deterministic(self, thesaurus):
+        seeds = (SEED,)
+        config = ExpansionConfig(variants_per_seed=6)
+        assert expand_events(seeds, thesaurus, config) == expand_events(
+            seeds, thesaurus, config
+        )
+
+    def test_multiple_seeds_tracked(self, thesaurus):
+        other = Event.create(payload={"type": "noise event", "city": "dublin"})
+        expanded = expand_events((SEED, other), thesaurus)
+        assert {e.seed_index for e in expanded} == {0, 1}
+
+    def test_paper_scale_config(self):
+        config = ExpansionConfig.paper_scale()
+        assert config.variants_per_seed + config.distractors_per_seed == 89

@@ -1,0 +1,128 @@
+"""Tests for the exact relevance ground truth (Section 5.2.3)."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.subscriptions import Predicate, Subscription
+from repro.evaluation.groundtruth import build_ground_truth, is_relevant
+from repro.knowledge.rewrite import Canonicalizer
+
+
+@pytest.fixture(scope="module")
+def canon(thesaurus):
+    return Canonicalizer(thesaurus)
+
+
+EVENT = Event.create(
+    payload={
+        "type": "rising electricity usage event",
+        "device": "laptop",
+        "office": "room 112",
+    }
+)
+
+
+class TestIsRelevant:
+    def test_synonym_replacement_is_relevant(self, canon):
+        sub = Subscription.create(
+            approximate={"type": "increased energy consumption event"}
+        )
+        assert is_relevant(sub, EVENT, canon)
+
+    def test_exact_side_requires_verbatim(self, canon):
+        sub = Subscription.create(exact={"type": "increased energy consumption event"})
+        assert not is_relevant(sub, EVENT, canon)
+
+    def test_exact_side_matches_verbatim(self, canon):
+        sub = Subscription.create(exact={"office": "room 112"})
+        assert is_relevant(sub, EVENT, canon)
+
+    def test_contrast_terms_not_relevant(self, canon):
+        sub = Subscription.create(
+            approximate={"type": "decreased energy consumption event"}
+        )
+        assert not is_relevant(sub, EVENT, canon)
+
+    def test_approximate_attribute_side(self, canon):
+        event = Event.create(payload={"appliance": "laptop"})
+        relaxed = Subscription.create(approximate={"device": "laptop"})
+        exact_attr = Subscription.create(
+            predicates=[Predicate("device", "laptop", approx_value=True)]
+        )
+        assert is_relevant(relaxed, event, canon)
+        assert not is_relevant(exact_attr, event, canon)
+
+    def test_injective_assignment_required(self, canon):
+        # Two predicates cannot both map to the same single tuple.
+        event = Event.create(payload={"device": "laptop"})
+        sub = Subscription.create(
+            approximate={"device": "laptop", "appliance": "computer"}
+        )
+        assert not is_relevant(sub, event, canon)
+
+    def test_injective_assignment_found_when_possible(self, canon):
+        event = Event.create(
+            payload={"device": "laptop", "appliance": "refrigerator"}
+        )
+        sub = Subscription.create(
+            approximate={"device": "computer", "appliance": "fridge"}
+        )
+        assert is_relevant(sub, event, canon)
+
+    def test_more_predicates_than_tuples(self, canon):
+        event = Event.create(payload={"a": "x"})
+        sub = Subscription.create(approximate={"device": "laptop"},
+                                  exact={"office": "room 112"})
+        assert not is_relevant(sub, event, canon)
+
+    def test_numeric_values_compare_exactly(self, canon):
+        event = Event.create(payload={"count": 3})
+        assert is_relevant(
+            Subscription.create(exact={"count": 3}), event, canon
+        )
+        assert not is_relevant(
+            Subscription.create(exact={"count": 4}), event, canon
+        )
+
+
+class TestBuildGroundTruth:
+    def test_indexes_align(self, canon):
+        events = [
+            EVENT,
+            Event.create(payload={"type": "parking space occupied event"}),
+        ]
+        subs = [
+            Subscription.create(
+                approximate={"type": "increased energy consumption event"}
+            ),
+            Subscription.create(
+                approximate={"type": "parking space occupied event"}
+            ),
+        ]
+        truth = build_ground_truth(subs, events, canon)
+        assert truth.relevant_to(0) == frozenset({0})
+        assert truth.relevant_to(1) == frozenset({1})
+        assert truth.total_relevant_pairs() == 2
+
+    def test_accepts_expanded_events(self, tiny_workload):
+        # The workload builder passes ExpandedEvent wrappers.
+        truth = tiny_workload.ground_truth
+        assert len(truth.relevant_sets) == len(tiny_workload.subscriptions)
+
+    def test_isomorphism_with_exact_seed_matching(self, tiny_workload):
+        """The paper's isomorphism: a faithful expanded variant is
+        relevant to the approximate subscription exactly when its seed
+        exactly matches the exact subscription."""
+        from repro.baselines.exact import ExactMatcher
+
+        exact = ExactMatcher()
+        workload = tiny_workload
+        for sub_index in range(len(workload.subscriptions)):
+            exact_sub = workload.subscriptions.exact[sub_index]
+            relevant = workload.ground_truth.relevant_to(sub_index)
+            for event_index, expanded in enumerate(workload.expanded):
+                if expanded.distractor:
+                    continue
+                seed = workload.seeds[expanded.seed_index]
+                if exact.matches(exact_sub, seed):
+                    assert event_index in relevant, (sub_index, event_index)

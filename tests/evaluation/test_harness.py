@@ -1,0 +1,90 @@
+"""Tests for the sub-experiment harness (Section 5.2.4 / 5.3)."""
+
+import pytest
+
+from repro.evaluation.harness import (
+    CellResult,
+    GridResult,
+    nonthematic_matcher_factory,
+    run_baseline,
+    run_grid,
+    run_sub_experiment,
+    score_matrix,
+    thematic_matcher_factory,
+)
+from repro.evaluation.themes import ThemeCombination, ThemeGridConfig
+
+
+@pytest.fixture(scope="module")
+def micro_grid(tiny_workload):
+    config = ThemeGridConfig(
+        event_sizes=(2, 6), subscription_sizes=(2, 6), samples_per_cell=2
+    )
+    return run_grid(tiny_workload, grid_config=config)
+
+
+class TestSubExperiment:
+    def test_result_fields(self, tiny_workload):
+        combo = ThemeCombination(
+            event_tags=("energy",), subscription_tags=("energy", "pollution")
+        )
+        result = run_sub_experiment(
+            tiny_workload, thematic_matcher_factory(tiny_workload), combo
+        )
+        assert 0.0 <= result.f1 <= 1.0
+        assert result.events_per_second > 0
+        assert result.combination is combo
+
+    def test_baseline_uses_empty_themes(self, tiny_workload):
+        result = run_baseline(tiny_workload)
+        assert result.combination.event_tags == ()
+        assert result.combination.subscription_tags == ()
+        assert 0.0 < result.f1 < 1.0
+
+    def test_score_matrix_shape(self, tiny_workload):
+        matcher = nonthematic_matcher_factory(tiny_workload)()
+        scores = score_matrix(
+            matcher,
+            tiny_workload.subscriptions.approximate[:2],
+            tiny_workload.events[:5],
+        )
+        assert len(scores) == 2
+        assert all(len(row) == 5 for row in scores)
+
+
+class TestGrid:
+    def test_cells_cover_config(self, micro_grid):
+        assert set(micro_grid.cells) == {(2, 2), (2, 6), (6, 2), (6, 6)}
+        for cell in micro_grid.cells.values():
+            assert len(cell.samples) == 2
+
+    def test_cell_statistics(self, micro_grid):
+        cell = micro_grid.cell(2, 6)
+        assert 0.0 <= cell.mean_f1 <= 1.0
+        assert cell.f1_error >= 0.0
+        assert cell.mean_throughput > 0
+        assert cell.throughput_error >= 0.0
+
+    def test_fraction_above(self, micro_grid):
+        assert 0.0 <= micro_grid.fraction_above(0.0) <= 1.0
+        assert micro_grid.fraction_above(2.0) == 0.0
+        assert micro_grid.fraction_above(0.0, value="throughput") == 1.0
+
+    def test_best_and_mean(self, micro_grid):
+        best = micro_grid.best()
+        assert best.mean_f1 == max(c.mean_f1 for c in micro_grid.cells.values())
+        assert 0.0 <= micro_grid.overall_mean() <= 1.0
+        assert micro_grid.overall_mean("throughput") > 0
+
+    def test_unknown_value_kind_rejected(self, micro_grid):
+        with pytest.raises(ValueError):
+            micro_grid.fraction_above(0.5, value="latency")
+
+    def test_progress_callback(self, tiny_workload):
+        lines = []
+        config = ThemeGridConfig(
+            event_sizes=(2,), subscription_sizes=(2,), samples_per_cell=1
+        )
+        run_grid(tiny_workload, grid_config=config, progress=lines.append)
+        assert len(lines) == 1
+        assert "cell (2, 2)" in lines[0]

@@ -1,0 +1,139 @@
+"""Tests for the effectiveness/efficiency metrics (Section 5.1, Table 2)."""
+
+import math
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    RECALL_LEVELS,
+    ConfusionCounts,
+    EffectivenessResult,
+    average_interpolated_precision,
+    effectiveness,
+    interpolated_precision,
+    max_f1_from_precisions,
+    measure_throughput,
+    ranking_from_scores,
+)
+
+
+class TestConfusionCounts:
+    def test_precision_recall_f1(self):
+        counts = ConfusionCounts(tp=8, fp=2, fn=2, tn=88)
+        assert counts.precision() == 0.8
+        assert counts.recall() == 0.8
+        assert math.isclose(counts.f1(), 0.8)
+
+    def test_degenerate_cases(self):
+        empty = ConfusionCounts(0, 0, 0, 10)
+        assert empty.precision() == 0.0
+        assert empty.recall() == 0.0
+        assert empty.f1() == 0.0
+
+    def test_from_decisions(self):
+        counts = ConfusionCounts.from_decisions(
+            [True, True, False, False], [True, False, True, False]
+        )
+        assert (counts.tp, counts.fp, counts.fn, counts.tn) == (1, 1, 1, 1)
+
+    def test_from_decisions_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ConfusionCounts.from_decisions([True], [True, False])
+
+
+class TestRanking:
+    def test_sorted_by_score_desc(self):
+        assert ranking_from_scores([0.1, 0.9, 0.5]) == [1, 2, 0]
+
+    def test_ties_break_by_index(self):
+        assert ranking_from_scores([0.5, 0.5, 0.9]) == [2, 0, 1]
+
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=30))
+    def test_is_permutation(self, scores):
+        ranking = ranking_from_scores(scores)
+        assert sorted(ranking) == list(range(len(scores)))
+
+
+class TestInterpolatedPrecision:
+    def test_levels_count(self):
+        assert len(RECALL_LEVELS) == 11
+        assert RECALL_LEVELS[0] == 0.0 and RECALL_LEVELS[-1] == 1.0
+
+    def test_perfect_ranking(self):
+        precisions = interpolated_precision([0, 1, 2, 3], {0, 1})
+        assert precisions == [1.0] * 11
+
+    def test_worst_ranking(self):
+        precisions = interpolated_precision([2, 3, 0, 1], {0, 1})
+        # relevant at positions 3 and 4: p(r=1.0) = 2/4.
+        assert precisions[-1] == 0.5
+
+    def test_interpolation_is_max_to_the_right(self):
+        # relevant at ranks 1 and 4 of 4: precision points (1.0, 1.0) and
+        # (0.5 recall -> ... ). Interpolated precision is non-increasing.
+        precisions = interpolated_precision([0, 9, 8, 1], {0, 1})
+        assert all(a >= b for a, b in zip(precisions, precisions[1:]))
+
+    def test_requires_relevant(self):
+        with pytest.raises(ValueError):
+            interpolated_precision([0, 1], set())
+
+    @given(
+        st.sets(st.integers(0, 19), min_size=1, max_size=10),
+        st.randoms(use_true_random=False),
+    )
+    def test_monotone_non_increasing(self, relevant, rng):
+        ranking = list(range(20))
+        rng.shuffle(ranking)
+        precisions = interpolated_precision(ranking, relevant)
+        assert all(a >= b - 1e-12 for a, b in zip(precisions, precisions[1:]))
+        assert all(0.0 <= p <= 1.0 for p in precisions)
+
+
+class TestAveraging:
+    def test_skips_empty_relevant_sets(self):
+        precisions = average_interpolated_precision(
+            [[0, 1], [1, 0]], [set(), {0}]
+        )
+        assert precisions == interpolated_precision([1, 0], {0})
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_interpolated_precision([[0]], [set()])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            average_interpolated_precision([[0]], [])
+
+
+class TestMaxF1:
+    def test_perfect(self):
+        assert max_f1_from_precisions([1.0] * 11) == 1.0
+
+    def test_zero(self):
+        assert max_f1_from_precisions([0.0] * 11) == 0.0
+
+    def test_known_value(self):
+        precisions = [0.0] * 10 + [0.5]
+        assert math.isclose(max_f1_from_precisions(precisions), 2 * 0.5 / 1.5)
+
+
+class TestEffectiveness:
+    def test_end_to_end_perfect_scores(self):
+        result = effectiveness([[0.9, 0.8, 0.1]], [{0, 1}])
+        assert isinstance(result, EffectivenessResult)
+        assert result.max_f1 == 1.0
+
+    def test_random_scores_bounded(self):
+        result = effectiveness([[0.5, 0.4, 0.6, 0.1]], [{3}])
+        assert 0.0 < result.max_f1 <= 1.0
+
+
+def test_measure_throughput():
+    result = measure_throughput(lambda: 100)
+    assert result.events == 100
+    assert result.seconds >= 0.0
+    assert result.events_per_second > 0

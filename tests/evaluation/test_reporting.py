@@ -1,0 +1,69 @@
+"""Tests for the terminal reporting helpers."""
+
+import pytest
+
+from repro.evaluation.harness import run_grid
+from repro.evaluation.reporting import (
+    format_comparison,
+    format_error_table,
+    format_heatmap,
+    format_table,
+)
+from repro.evaluation.themes import ThemeGridConfig
+
+
+@pytest.fixture(scope="module")
+def grid(tiny_workload):
+    config = ThemeGridConfig(
+        event_sizes=(2, 6), subscription_sizes=(2, 6), samples_per_cell=1
+    )
+    return run_grid(tiny_workload, grid_config=config)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("a", "long header"), [("x", 1), ("yy", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "long header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+
+class TestHeatmap:
+    def test_axes_and_origin(self, grid):
+        text = format_heatmap(grid, value="f1")
+        lines = text.splitlines()
+        assert lines[0].startswith("sub\\ev")
+        # Largest subscription size printed first (origin bottom-left).
+        assert lines[2].strip().startswith("6")
+
+    def test_baseline_marker(self, grid):
+        text = format_heatmap(grid, value="f1", baseline=0.0)
+        assert "*" in text
+        assert "above non-thematic baseline" in text
+
+    def test_throughput_variant(self, grid):
+        text = format_heatmap(
+            grid, value="throughput", cell_format="{:>6.0f}"
+        )
+        assert "sub\\ev" in text
+
+
+class TestErrorTable:
+    def test_f1_rows(self, grid):
+        text = format_error_table(grid, value="f1")
+        assert "mean F1" in text
+        assert "%" in text
+
+    def test_throughput_rows(self, grid):
+        text = format_error_table(grid, value="throughput")
+        assert "events/sec" in text
+
+
+def test_format_comparison():
+    text = format_comparison(
+        [("F1", "62%", "64%")], title="Baseline"
+    )
+    assert "Baseline" in text
+    assert "paper" in text and "measured" in text
+    assert "62%" in text

@@ -1,0 +1,81 @@
+"""Tests for grid-result persistence."""
+
+import json
+
+import pytest
+
+from repro.evaluation.harness import run_grid
+from repro.evaluation.reporting import format_error_table, format_heatmap
+from repro.evaluation.results import load_grid, save_grid
+from repro.evaluation.themes import ThemeGridConfig
+
+
+@pytest.fixture(scope="module")
+def grid(tiny_workload):
+    return run_grid(
+        tiny_workload,
+        grid_config=ThemeGridConfig(
+            event_sizes=(2, 6), subscription_sizes=(2, 6), samples_per_cell=2
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_cells_preserved(self, grid, tmp_path):
+        path = tmp_path / "grid.json"
+        save_grid(grid, path)
+        loaded = load_grid(path)
+        assert set(loaded.cells) == set(grid.cells)
+        for key in grid.cells:
+            assert loaded.cells[key].mean_f1 == pytest.approx(
+                grid.cells[key].mean_f1
+            )
+            assert loaded.cells[key].mean_throughput == pytest.approx(
+                grid.cells[key].mean_throughput
+            )
+            assert loaded.cells[key].f1_error == pytest.approx(
+                grid.cells[key].f1_error
+            )
+
+    def test_combinations_preserved(self, grid, tmp_path):
+        path = tmp_path / "grid.json"
+        save_grid(grid, path)
+        loaded = load_grid(path)
+        for key in grid.cells:
+            original = [s.combination for s in grid.cells[key].samples]
+            restored = [s.combination for s in loaded.cells[key].samples]
+            assert original == restored
+
+    def test_reporting_works_on_loaded_grid(self, grid, tmp_path):
+        path = tmp_path / "grid.json"
+        save_grid(grid, path)
+        loaded = load_grid(path)
+        assert format_heatmap(loaded) == format_heatmap(grid)
+        assert format_error_table(loaded) == format_error_table(grid)
+
+    def test_grid_config_preserved(self, grid, tmp_path):
+        path = tmp_path / "grid.json"
+        save_grid(grid, path)
+        loaded = load_grid(path)
+        assert loaded.grid_config.event_sizes == grid.grid_config.event_sizes
+        assert (
+            loaded.grid_config.samples_per_cell
+            == grid.grid_config.samples_per_cell
+        )
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError, match="not a repro grid"):
+            load_grid(path)
+
+    def test_rejects_wrong_version(self, grid, tmp_path):
+        path = tmp_path / "old.json"
+        save_grid(grid, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_grid(path)

@@ -1,0 +1,93 @@
+"""Tests for evaluation subscription generation (Section 5.2.3)."""
+
+import random
+
+import pytest
+
+from repro.datasets.seeds import SeedConfig, generate_seed_events
+from repro.evaluation.subscriptions import (
+    SubscriptionConfig,
+    generate_subscriptions,
+    partially_relax,
+)
+from repro.core.subscriptions import Subscription
+
+
+@pytest.fixture(scope="module")
+def seeds():
+    return generate_seed_events(SeedConfig(count=24))
+
+
+class TestGenerate:
+    def test_count(self, seeds):
+        subs = generate_subscriptions(seeds, SubscriptionConfig(count=10))
+        assert len(subs) == 10
+        assert len(subs.exact) == len(subs.approximate) == len(subs.seed_indexes)
+
+    def test_deterministic(self, seeds):
+        config = SubscriptionConfig(count=10)
+        assert generate_subscriptions(seeds, config) == generate_subscriptions(
+            seeds, config
+        )
+
+    def test_exact_subscriptions_have_degree_zero(self, seeds):
+        subs = generate_subscriptions(seeds, SubscriptionConfig(count=10))
+        for sub in subs.exact:
+            assert sub.degree_of_approximation() == 0.0
+
+    def test_full_degree_by_default(self, seeds):
+        subs = generate_subscriptions(seeds, SubscriptionConfig(count=10))
+        for sub in subs.approximate:
+            assert sub.degree_of_approximation() == 1.0
+
+    def test_subscriptions_include_type(self, seeds):
+        subs = generate_subscriptions(seeds, SubscriptionConfig(count=10))
+        for sub in subs.exact:
+            assert any(p.attribute == "type" for p in sub.predicates)
+
+    def test_exact_matches_its_seed(self, seeds):
+        from repro.baselines.exact import ExactMatcher
+
+        matcher = ExactMatcher()
+        subs = generate_subscriptions(seeds, SubscriptionConfig(count=10))
+        for sub, seed_index in zip(subs.exact, subs.seed_indexes):
+            assert matcher.matches(sub, seeds[seed_index])
+
+    def test_no_duplicate_subscriptions(self, seeds):
+        subs = generate_subscriptions(seeds, SubscriptionConfig(count=16))
+        keys = {
+            tuple(sorted((p.attribute, str(p.value)) for p in sub.predicates))
+            for sub in subs.exact
+        }
+        assert len(keys) == len(subs.exact)
+
+    def test_predicate_bounds(self, seeds):
+        config = SubscriptionConfig(count=10, min_predicates=2, max_predicates=3)
+        subs = generate_subscriptions(seeds, config)
+        for sub in subs.exact:
+            assert 2 <= len(sub.predicates) <= 3
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            SubscriptionConfig(degree_of_approximation=1.5)
+        with pytest.raises(ValueError):
+            SubscriptionConfig(min_predicates=0)
+
+
+class TestPartialRelax:
+    def test_half_degree(self, seeds):
+        sub = Subscription.create(
+            exact={"type": "noise event", "city": "galway"}
+        )
+        relaxed = partially_relax(sub, 0.5, random.Random(1))
+        assert relaxed.degree_of_approximation() == 0.5
+
+    def test_full_degree_delegates_to_relax(self):
+        sub = Subscription.create(exact={"a": "x"})
+        assert partially_relax(sub, 1.0, random.Random(0)) == sub.relax()
+
+    def test_config_degree_respected(self, seeds):
+        config = SubscriptionConfig(count=10, degree_of_approximation=0.5)
+        subs = generate_subscriptions(seeds, config)
+        for sub in subs.approximate:
+            assert 0.0 < sub.degree_of_approximation() <= 0.75

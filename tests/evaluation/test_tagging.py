@@ -1,0 +1,116 @@
+"""Tests for the realistic-tagging-behavior module (paper Section 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.tagging import (
+    FreeThemeCombination,
+    ZipfTagger,
+    expected_overlap,
+    sample_free_combination,
+)
+
+POOL = tuple(f"tag{i}" for i in range(40))
+
+
+class TestFreeThemeCombination:
+    def test_allows_containment_violation(self):
+        combo = FreeThemeCombination(("a", "b"), ("b", "c"))
+        assert combo.overlap() == 0.5
+
+    def test_full_overlap(self):
+        combo = FreeThemeCombination(("a",), ("a", "b"))
+        assert combo.overlap() == 1.0
+
+    def test_empty_sets(self):
+        assert FreeThemeCombination((), ()).overlap() == 1.0
+
+
+class TestZipfTagger:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            ZipfTagger(())
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfTagger(POOL, exponent=-1)
+
+    def test_sample_distinct(self):
+        tags = ZipfTagger(POOL).sample(10, random.Random(1))
+        assert len(set(tags)) == 10
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfTagger(POOL).sample(len(POOL) + 1, random.Random(1))
+
+    def test_popular_tags_dominate(self):
+        tagger = ZipfTagger(POOL, exponent=1.5)
+        rng = random.Random(5)
+        counts = {tag: 0 for tag in POOL}
+        for _ in range(400):
+            for tag in tagger.sample(3, rng):
+                counts[tag] += 1
+        assert counts["tag0"] > counts["tag30"]
+
+    def test_uniform_when_exponent_zero(self):
+        tagger = ZipfTagger(POOL, exponent=0.0)
+        rng = random.Random(5)
+        counts = {tag: 0 for tag in POOL}
+        for _ in range(2000):
+            for tag in tagger.sample(2, rng):
+                counts[tag] += 1
+        # No tag should dominate by more than ~3x under uniformity.
+        assert max(counts.values()) < 3 * max(1, min(counts.values()))
+
+
+class TestSampleFreeCombination:
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 8),
+        st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_overlap_close_to_target(self, event_size, sub_size, overlap):
+        combo = sample_free_combination(
+            POOL, event_size, sub_size, random.Random(7), overlap=overlap
+        )
+        small = min(event_size, sub_size)
+        expected = round(overlap * small) / small
+        assert abs(combo.overlap() - expected) < 1e-9
+
+    def test_sizes_respected(self):
+        combo = sample_free_combination(POOL, 3, 7, random.Random(1), overlap=0.5)
+        assert len(combo.event_tags) == 3
+        assert len(combo.subscription_tags) == 7
+
+    def test_event_larger_than_subscription(self):
+        combo = sample_free_combination(POOL, 7, 3, random.Random(1), overlap=0.0)
+        assert len(combo.event_tags) == 7
+        assert len(combo.subscription_tags) == 3
+
+    def test_full_overlap_is_containment(self):
+        combo = sample_free_combination(POOL, 3, 7, random.Random(1), overlap=1.0)
+        assert set(combo.event_tags) <= set(combo.subscription_tags)
+
+    def test_bad_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            sample_free_combination(POOL, 2, 3, random.Random(1), overlap=1.5)
+
+
+class TestExpectedOverlap:
+    def test_zipf_raises_natural_overlap(self):
+        uniform = expected_overlap(POOL, 5, 5, exponent=0.0, trials=150)
+        zipfian = expected_overlap(POOL, 5, 5, exponent=1.5, trials=150)
+        # Section 5.3.3's hypothesis: shared popularity distribution
+        # produces overlap without agreement.
+        assert zipfian > uniform
+
+    def test_bounds(self):
+        value = expected_overlap(POOL, 4, 8, trials=50)
+        assert 0.0 <= value <= 1.0
+
+    def test_full_pool_overlaps_fully(self):
+        assert expected_overlap(POOL[:5], 5, 5, trials=10) == 1.0

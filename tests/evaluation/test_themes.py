@@ -1,0 +1,98 @@
+"""Tests for theme combination sampling (Section 5.2.4)."""
+
+import pytest
+
+from repro.evaluation.themes import (
+    ThemeCombination,
+    ThemeGridConfig,
+    sample_theme_combinations,
+    theme_pool,
+)
+
+
+class TestThemeCombination:
+    def test_containment_enforced(self):
+        with pytest.raises(ValueError):
+            ThemeCombination(event_tags=("a", "b"), subscription_tags=("b", "c"))
+
+    def test_valid_subset(self):
+        combo = ThemeCombination(event_tags=("a",), subscription_tags=("a", "b"))
+        assert set(combo.event_tags) <= set(combo.subscription_tags)
+
+    def test_empty_tags_allowed(self):
+        ThemeCombination(event_tags=(), subscription_tags=())
+
+
+class TestThemePool:
+    def test_pool_is_top_terms(self, thesaurus):
+        assert theme_pool(thesaurus) == thesaurus.top_terms()
+
+    def test_domain_restriction(self, thesaurus):
+        pool = theme_pool(thesaurus, ("energy",))
+        assert pool == thesaurus.micro("energy").top_terms
+
+
+class TestSampling:
+    def config(self):
+        return ThemeGridConfig(
+            event_sizes=(1, 2, 5),
+            subscription_sizes=(2, 5),
+            samples_per_cell=3,
+        )
+
+    def test_grid_shape(self, thesaurus):
+        grid = sample_theme_combinations(thesaurus, self.config())
+        assert set(grid) == {(e, s) for e in (1, 2, 5) for s in (2, 5)}
+        for combos in grid.values():
+            assert len(combos) == 3
+
+    def test_sizes_respected(self, thesaurus):
+        grid = sample_theme_combinations(thesaurus, self.config())
+        for (event_size, sub_size), combos in grid.items():
+            for combo in combos:
+                assert len(combo.event_tags) == event_size
+                assert len(combo.subscription_tags) == sub_size
+
+    def test_containment_always_holds(self, thesaurus):
+        grid = sample_theme_combinations(thesaurus, self.config())
+        for combos in grid.values():
+            for combo in combos:
+                small, large = sorted(
+                    (set(combo.event_tags), set(combo.subscription_tags)),
+                    key=len,
+                )
+                assert small <= large
+
+    def test_equal_sizes_equal_sets(self, thesaurus):
+        grid = sample_theme_combinations(
+            thesaurus,
+            ThemeGridConfig(event_sizes=(4,), subscription_sizes=(4,),
+                            samples_per_cell=2),
+        )
+        for combo in grid[(4, 4)]:
+            assert set(combo.event_tags) == set(combo.subscription_tags)
+
+    def test_deterministic(self, thesaurus):
+        a = sample_theme_combinations(thesaurus, self.config())
+        b = sample_theme_combinations(thesaurus, self.config())
+        assert a == b
+
+    def test_tags_drawn_from_pool(self, thesaurus):
+        pool = set(theme_pool(thesaurus))
+        grid = sample_theme_combinations(thesaurus, self.config())
+        for combos in grid.values():
+            for combo in combos:
+                assert set(combo.subscription_tags) <= pool
+
+    def test_oversized_request_rejected(self, thesaurus):
+        config = ThemeGridConfig(
+            event_sizes=(1000,), subscription_sizes=(1,), samples_per_cell=1
+        )
+        with pytest.raises(ValueError):
+            sample_theme_combinations(thesaurus, config)
+
+    def test_paper_scale_is_30x30x5(self, thesaurus):
+        config = ThemeGridConfig.paper_scale()
+        assert len(config.event_sizes) == 30
+        assert len(config.subscription_sizes) == 30
+        assert config.samples_per_cell == 5

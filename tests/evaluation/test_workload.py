@@ -1,0 +1,54 @@
+"""Tests for workload construction (Figure 6 pipeline)."""
+
+import pytest
+
+from repro.evaluation.workload import WorkloadConfig, build_workload
+
+
+class TestConfigs:
+    def test_tiny_smaller_than_small(self):
+        tiny, small = WorkloadConfig.tiny(), WorkloadConfig.small()
+        assert tiny.seeds.count < small.seeds.count
+        assert tiny.subscriptions.count < small.subscriptions.count
+
+    def test_paper_matches_paper_dimensions(self):
+        paper = WorkloadConfig.paper()
+        assert paper.seeds.count == 166
+        assert paper.subscriptions.count == 94
+        assert paper.themes.samples_per_cell == 5
+        variants = paper.expansion
+        assert variants.variants_per_seed + variants.distractors_per_seed == 89
+
+
+class TestBuildWorkload:
+    def test_tiny_workload_consistent(self, tiny_workload):
+        wl = tiny_workload
+        assert len(wl.seeds) == wl.config.seeds.count
+        assert len(wl.events) == len(wl.expanded)
+        assert len(wl.ground_truth.relevant_sets) == len(wl.subscriptions)
+
+    def test_every_subscription_has_relevant_events(self, tiny_workload):
+        # Variant 0 of the matching seed is always relevant.
+        for relevant in tiny_workload.ground_truth.relevant_sets:
+            assert relevant
+
+    def test_events_carry_no_theme_yet(self, tiny_workload):
+        for event in tiny_workload.events[:20]:
+            assert event.theme == frozenset()
+
+    def test_summary_mentions_sizes(self, tiny_workload):
+        summary = tiny_workload.summary()
+        assert str(len(tiny_workload.events)) in summary
+        assert str(len(tiny_workload.seeds)) in summary
+
+    def test_distractors_present(self, tiny_workload):
+        assert any(item.distractor for item in tiny_workload.expanded)
+
+    def test_deterministic(self, tiny_workload):
+        rebuilt = build_workload(WorkloadConfig.tiny())
+        assert rebuilt.events == tiny_workload.events
+        assert rebuilt.subscriptions == tiny_workload.subscriptions
+        assert (
+            rebuilt.ground_truth.relevant_sets
+            == tiny_workload.ground_truth.relevant_sets
+        )

@@ -1,0 +1,91 @@
+"""Integration of matcher + broker + CEP: the full middleware stack."""
+
+import networkx as nx
+import pytest
+
+from repro.broker.broker import ThematicBroker
+from repro.broker.overlay import BrokerOverlay
+from repro.cep.engine import CEPEngine
+from repro.cep.patterns import Pattern, Step
+from repro.cep.predicates import Eq
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+
+
+@pytest.fixture()
+def matcher(space):
+    return ThematicMatcher(CachedMeasure(ThematicMeasure(space)))
+
+
+ALICE_SUBSCRIPTION = parse_subscription(
+    "({energy, city},"
+    " {type= energy consumption event~, device~= street light~})"
+)
+
+
+def make_street_light_event(consumption_peak: str):
+    return parse_event(
+        "({energy, light, city},"
+        " {type: electricity usage event, device: lamp,"
+        f"  zone: city centre, consumption peak: {consumption_peak}}})"
+    )
+
+
+class TestMotivatingScenario:
+    """Section 2.1: Alice and the street lights, end to end."""
+
+    def test_broker_delivers_heterogeneous_event(self, matcher):
+        broker = ThematicBroker(matcher)
+        inbox = broker.subscribe(ALICE_SUBSCRIPTION)
+        broker.publish(make_street_light_event("true"))
+        assert len(inbox.drain()) == 1
+
+    def test_cep_filters_on_consumption_peak(self, matcher):
+        engine = CEPEngine(matcher)
+        pattern = Pattern.every(
+            "a", ALICE_SUBSCRIPTION, Eq("consumption peak", "true")
+        )
+        fired = []
+        engine.register(pattern, fired.append)
+        engine.feed(make_street_light_event("false"))
+        engine.feed(make_street_light_event("true"))
+        assert len(fired) == 1
+        assert fired[0].binding("a").event.value("consumption peak") == "true"
+
+    def test_sequence_over_broker_stream(self, matcher):
+        engine = CEPEngine(matcher)
+        surge_then_peak = Pattern(
+            steps=(
+                Step("usage", ALICE_SUBSCRIPTION),
+                Step(
+                    "peak",
+                    ALICE_SUBSCRIPTION,
+                    (Eq("consumption peak", "true"),),
+                ),
+            ),
+            within=10,
+        )
+        completions = []
+        engine.register(surge_then_peak, completions.append)
+
+        broker = ThematicBroker(matcher)
+        broker.subscribe(ALICE_SUBSCRIPTION, lambda d: engine.feed(d.event))
+        broker.publish(make_street_light_event("false"))
+        broker.publish(make_street_light_event("true"))
+        assert completions
+        assert completions[0].probability > 0
+
+
+class TestOverlayEndToEnd:
+    def test_city_scale_overlay(self, space):
+        overlay = BrokerOverlay(
+            nx.barbell_graph(3, 2),
+            lambda: ThematicMatcher(CachedMeasure(ThematicMeasure(space))),
+        )
+        nodes = overlay.nodes()
+        inbox = overlay.subscribe(nodes[-1], ALICE_SUBSCRIPTION)
+        delivered = overlay.publish(nodes[0], make_street_light_event("true"))
+        assert delivered == 1
+        assert len(inbox.inbox) == 1
+        assert overlay.metrics.hops >= len(nodes) - 1

@@ -1,0 +1,103 @@
+"""End-to-end integration: workload -> matchers -> evaluation shapes.
+
+These are the repository's acceptance tests: they assert (at test scale)
+the qualitative results of Section 5.3 rather than unit behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.evaluation import (
+    ThemeCombination,
+    nonthematic_matcher_factory,
+    run_baseline,
+    run_sub_experiment,
+    theme_pool,
+    thematic_matcher_factory,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_workload):
+    return run_baseline(tiny_workload)
+
+
+@pytest.fixture(scope="module")
+def good_cell(tiny_workload):
+    """A mid-grid theme combination (the paper's sweet spot region)."""
+    pool = list(theme_pool(tiny_workload.thesaurus))
+    rng = random.Random(99)
+    subscription_tags = tuple(rng.sample(pool, 12))
+    event_tags = tuple(rng.sample(subscription_tags, 4))
+    return run_sub_experiment(
+        tiny_workload,
+        thematic_matcher_factory(tiny_workload),
+        ThemeCombination(event_tags=event_tags, subscription_tags=subscription_tags),
+    )
+
+
+class TestBaselineShape:
+    def test_baseline_f1_in_papers_regime(self, baseline):
+        # The paper's non-thematic baseline sits at 62%; the scaled-down
+        # workload must keep it in a comparable band — neither trivial
+        # (>90%) nor broken (<35%).
+        assert 0.35 <= baseline.f1 <= 0.90
+
+    def test_baseline_throughput_positive(self, baseline):
+        assert baseline.events_per_second > 1
+
+
+class TestThematicShape:
+    def test_good_cell_completes_with_sane_f1(self, good_cell):
+        assert 0.35 <= good_cell.f1 <= 1.0
+
+    def test_single_tag_themes_hurt(self, tiny_workload, good_cell):
+        pool = list(theme_pool(tiny_workload.thesaurus))
+        tiny = run_sub_experiment(
+            tiny_workload,
+            thematic_matcher_factory(tiny_workload),
+            ThemeCombination(event_tags=(pool[0],), subscription_tags=(pool[0],)),
+        )
+        # Figure 7: single-tag themes are a failure region relative to
+        # the well-sized cells.
+        assert tiny.f1 <= good_cell.f1 + 0.05
+
+
+class TestMatcherAgreement:
+    def test_exact_hits_score_higher_than_semantic_hits(self, tiny_workload):
+        matcher = thematic_matcher_factory(tiny_workload)()
+        sub = tiny_workload.subscriptions.approximate[0]
+        seed_index = tiny_workload.subscriptions.seed_indexes[0]
+        verbatim = [
+            item.event
+            for item in tiny_workload.expanded
+            if item.seed_index == seed_index and item.replacements == 0
+        ][0]
+        rewritten = [
+            item.event
+            for item in tiny_workload.expanded
+            if item.seed_index == seed_index
+            and item.replacements > 1
+            and not item.distractor
+        ]
+        if not rewritten:
+            pytest.skip("no heavily rewritten variant for this seed")
+        assert matcher.score(sub, verbatim) >= matcher.score(sub, rewritten[0])
+
+    def test_relevant_events_outscore_majority_of_irrelevant(self, tiny_workload):
+        matcher = thematic_matcher_factory(tiny_workload)()
+        pool = list(theme_pool(tiny_workload.thesaurus))
+        rng = random.Random(3)
+        sub_tags = tuple(rng.sample(pool, 10))
+        event_tags = tuple(rng.sample(sub_tags, 3))
+        sub = tiny_workload.subscriptions.approximate[0].with_theme(sub_tags)
+        relevant = tiny_workload.ground_truth.relevant_to(0)
+        scores = [
+            matcher.score(sub, event.with_theme(event_tags))
+            for event in tiny_workload.events
+        ]
+        relevant_mean = sum(scores[i] for i in relevant) / len(relevant)
+        irrelevant = [s for i, s in enumerate(scores) if i not in relevant]
+        irrelevant_mean = sum(irrelevant) / len(irrelevant)
+        assert relevant_mean > irrelevant_mean

@@ -1,0 +1,130 @@
+"""Failure injection and edge-of-the-world behaviour."""
+
+import pytest
+
+from repro.broker.broker import ThematicBroker
+from repro.cep.engine import CEPEngine
+from repro.cep.patterns import Pattern
+from repro.core.events import Event
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.core.subscriptions import Predicate, Subscription
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+
+EVENT = parse_event(
+    "({energy}, {type: increased energy consumption event, device: computer,"
+    " office: room 112})"
+)
+SUBSCRIPTION = parse_subscription(
+    "({power}, {type= increased energy usage event~, device~= laptop~,"
+    " office= room 112})"
+)
+
+
+@pytest.fixture()
+def matcher(space):
+    return ThematicMatcher(CachedMeasure(ThematicMeasure(space)))
+
+
+class TestUnknownVocabulary:
+    def test_fully_unknown_event_scores_zero_but_never_crashes(self, matcher):
+        alien = Event.create(
+            theme={"zzqx"},
+            payload={"frobnicator": "quuxify", "blargle": "wibble"},
+        )
+        assert matcher.score(SUBSCRIPTION.relax(), alien) == 0.0
+
+    def test_unknown_theme_tags(self, matcher):
+        themed = EVENT.with_theme({"completely unknown theme tag"})
+        # The theme selects an empty basis; every projection is zero,
+        # but exact-string correspondences still fire.
+        score = matcher.score(SUBSCRIPTION, themed)
+        assert 0.0 <= score <= 1.0
+
+    def test_unicode_and_punctuation_terms(self, matcher):
+        event = Event.create(
+            payload={"tüpe": "énergie—consommation!!", "x": "röom 112"}
+        )
+        sub = Subscription.create(approximate={"tüpe": "énergie consommation"})
+        score = matcher.score(sub, event)
+        assert 0.0 <= score <= 1.0
+
+    def test_numeric_values_in_semantic_slots(self, matcher):
+        event = Event.create(payload={"reading": 21.5, "type": "noise event"})
+        sub = Subscription.create(
+            predicates=[
+                Predicate("reading", 21.5),
+                Predicate("type", "sound level event",
+                          approx_attribute=True, approx_value=True),
+            ]
+        )
+        assert matcher.score(sub, event) > 0.0
+
+
+class TestExtremeThemes:
+    def test_whole_pool_theme(self, matcher, thesaurus):
+        pool = thesaurus.top_terms()
+        score = matcher.score(
+            SUBSCRIPTION.with_theme(pool), EVENT.with_theme(pool)
+        )
+        assert 0.0 <= score <= 1.0
+
+    def test_one_side_empty_theme(self, matcher, thesaurus):
+        score = matcher.score(
+            SUBSCRIPTION.with_theme(thesaurus.top_terms()[:5]),
+            EVENT.with_theme(()),
+        )
+        assert 0.0 <= score <= 1.0
+
+
+class TestCallbackIsolation:
+    def test_broker_survives_raising_callback(self, matcher):
+        broker = ThematicBroker(matcher)
+
+        def explode(delivery):
+            raise RuntimeError("subscriber bug")
+
+        bad = broker.subscribe(SUBSCRIPTION, explode)
+        good_deliveries = []
+        broker.subscribe(SUBSCRIPTION, good_deliveries.append)
+
+        delivered = broker.publish(EVENT)
+        assert delivered == 2
+        assert broker.metrics.callback_errors == 1
+        assert len(good_deliveries) == 1
+        # The failing subscriber still has the event in its inbox.
+        assert len(bad.drain()) == 1
+
+    def test_engine_threshold_zero_and_one(self, space):
+        permissive = ThematicMatcher(ThematicMeasure(space), threshold=0.0)
+        strict = ThematicMatcher(ThematicMeasure(space), threshold=1.0)
+        assert permissive.matches(SUBSCRIPTION, EVENT)
+        assert not strict.matches(
+            SUBSCRIPTION,
+            Event.create(payload={"type": "noise event", "a": "b", "c": "d"}),
+        )
+
+
+class TestCEPEdges:
+    def test_pattern_with_unmatchable_step_never_fires(self, matcher):
+        engine = CEPEngine(matcher)
+        never = parse_subscription("({x}, {frobnicator~= quuxify~})")
+        fired = []
+        engine.register(Pattern.every("a", never), fired.append)
+        for _ in range(5):
+            engine.feed(EVENT)
+        assert fired == []
+
+    def test_long_stream_bounded_partials(self, matcher):
+        from repro.cep.patterns import Step
+
+        engine = CEPEngine(matcher)
+        sub_a = parse_subscription("({power}, {type= increased energy usage event~})")
+        never = parse_subscription("({x}, {frobnicator~= quuxify~})")
+        handle = engine.register(
+            Pattern(steps=(Step("a", sub_a), Step("b", never)), within=3)
+        )
+        for _ in range(50):
+            engine.feed(EVENT)
+        # The window must garbage-collect stale partial instances.
+        assert len(handle.partials) <= 4

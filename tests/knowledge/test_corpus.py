@@ -1,0 +1,103 @@
+"""Tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.knowledge.corpus import CorpusConfig, build_corpus
+from repro.semantics.tokenize import tokenize
+
+
+def kinds_of(corpus):
+    out = {}
+    for doc in corpus:
+        kind = doc.name.split("/")[0]
+        out.setdefault(kind, []).append(doc)
+    return out
+
+
+class TestDeterminism:
+    def test_same_config_same_corpus(self, thesaurus):
+        a = build_corpus(thesaurus, CorpusConfig())
+        b = build_corpus(thesaurus, CorpusConfig())
+        assert a.names() == b.names()
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_different_seed_different_corpus(self, thesaurus):
+        a = build_corpus(thesaurus, CorpusConfig(seed=1))
+        b = build_corpus(thesaurus, CorpusConfig(seed=2))
+        assert [d.text for d in a] != [d.text for d in b]
+
+
+class TestComposition:
+    def test_all_document_kinds_present(self, corpus, thesaurus):
+        kinds = kinds_of(corpus)
+        for expected in ("bridge", "confuser", "contrast", "general", "noise"):
+            assert expected in kinds, expected
+        for domain in thesaurus.domains():
+            assert domain in kinds
+        assert any("/overview/" in doc.name for doc in corpus)
+
+    def test_concept_docs_count(self, thesaurus):
+        config = CorpusConfig(docs_per_concept=2)
+        corpus = build_corpus(thesaurus, config)
+        kinds = kinds_of(corpus)
+        for domain in thesaurus.domains():
+            per_concept = {}
+            for doc in kinds[domain]:
+                per_concept.setdefault(doc.name.rsplit("/", 1)[0], 0)
+                per_concept[doc.name.rsplit("/", 1)[0]] += 1
+            assert min(per_concept.values()) >= 2
+
+    def test_every_thesaurus_term_is_indexed(self, corpus, thesaurus):
+        # Coverage: every synonym-ring term must tokenize into at least
+        # one token present in the corpus (else its vector is zero and
+        # semantic expansion produces unmatchable events).
+        vocabulary = set()
+        for doc in corpus:
+            vocabulary.update(doc.tokens())
+        missing = [
+            term
+            for term in thesaurus.vocabulary()
+            if not any(tok in vocabulary for tok in tokenize(term))
+        ]
+        assert not missing, missing
+
+    def test_contrast_and_confuser_docs_carry_no_top_terms(
+        self, corpus, thesaurus
+    ):
+        # The thematic advantage requires these documents to fall outside
+        # every thematic basis built from *full* top-term phrases.
+        top_phrases = {t for t in thesaurus.top_terms()}
+        for doc in corpus:
+            kind = doc.name.split("/")[0]
+            if kind in ("confuser", "contrast", "noise"):
+                text = " ".join(doc.tokens())
+                for phrase in top_phrases:
+                    joined = " ".join(tokenize(phrase))
+                    assert joined not in text or len(joined.split()) == 1
+
+    def test_noise_docs_only_filler(self, corpus, thesaurus):
+        ring_tokens = set()
+        for term in thesaurus.vocabulary():
+            ring_tokens.update(tokenize(term))
+        for doc in corpus:
+            if doc.name.startswith("noise/"):
+                assert not (set(doc.tokens()) & ring_tokens)
+
+
+class TestScaling:
+    def test_paper_scale_is_larger(self, thesaurus, corpus):
+        paper = build_corpus(thesaurus, CorpusConfig.paper_scale())
+        assert len(paper) > len(corpus)
+
+    def test_zero_optional_docs(self, thesaurus):
+        config = CorpusConfig(
+            confuser_docs=0,
+            noise_docs=0,
+            general_docs=0,
+            contrast_docs_per_pair=0,
+            bridge_docs_per_affinity=0,
+        )
+        corpus = build_corpus(thesaurus, config)
+        kinds = kinds_of(corpus)
+        assert "confuser" not in kinds
+        assert "noise" not in kinds

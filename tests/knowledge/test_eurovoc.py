@@ -1,0 +1,95 @@
+"""Integrity tests for the bundled six-domain EuroVoc-like dataset."""
+
+from repro.knowledge.corpus import FOCUS_TERMS, UNIVERSAL_CONCEPTS
+from repro.knowledge.eurovoc import (
+    AFFINITIES,
+    CONTRAST_PAIRS,
+    DOMAINS,
+    build_eurovoc,
+    default_thesaurus,
+)
+from repro.semantics.tokenize import normalize_term
+
+
+def test_has_the_papers_six_domains(thesaurus):
+    assert thesaurus.domains() == DOMAINS
+    assert len(DOMAINS) == 6
+
+
+def test_every_domain_has_enough_top_terms_for_themes(thesaurus):
+    # The evaluation samples theme sets of up to 30 tags (Section 5.2.4).
+    assert len(thesaurus.top_terms()) >= 30
+    for domain in thesaurus.domains():
+        assert len(thesaurus.micro(domain).top_terms) >= 8
+
+
+def test_top_terms_unique(thesaurus):
+    tops = [normalize_term(t) for t in thesaurus.top_terms()]
+    assert len(tops) == len(set(tops))
+
+
+def test_concepts_have_alternatives(thesaurus):
+    # Expansion needs synonyms; most concepts must offer at least one.
+    missing = [
+        concept.preferred
+        for domain in thesaurus.domains()
+        for concept in thesaurus.micro(domain).concepts
+        if not concept.alternatives
+    ]
+    assert not missing, missing
+
+
+def test_affinities_reference_real_concepts(thesaurus):
+    for (dom_a, pref_a), (dom_b, pref_b) in AFFINITIES:
+        assert any(
+            c.preferred == pref_a for c in thesaurus.micro(dom_a).concepts
+        ), (dom_a, pref_a)
+        assert any(
+            c.preferred == pref_b for c in thesaurus.micro(dom_b).concepts
+        ), (dom_b, pref_b)
+
+
+def test_contrast_pairs_reference_real_concepts(thesaurus):
+    for (dom_a, pref_a), (dom_b, pref_b) in CONTRAST_PAIRS:
+        assert any(
+            c.preferred == pref_a for c in thesaurus.micro(dom_a).concepts
+        ), (dom_a, pref_a)
+        assert any(
+            c.preferred == pref_b for c in thesaurus.micro(dom_b).concepts
+        ), (dom_b, pref_b)
+
+
+def test_contrast_pairs_are_not_synonyms(thesaurus):
+    for (_, pref_a), (_, pref_b) in CONTRAST_PAIRS:
+        assert not thesaurus.synonymous(pref_a, pref_b), (pref_a, pref_b)
+
+
+def test_focus_terms_resolve_to_concepts(thesaurus):
+    for term in FOCUS_TERMS:
+        assert thesaurus.concepts_of(term), term
+
+
+def test_universal_concepts_exist(thesaurus):
+    for term in UNIVERSAL_CONCEPTS:
+        assert thesaurus.concepts_of(term), term
+
+
+def test_build_returns_fresh_instances():
+    assert build_eurovoc() is not build_eurovoc()
+
+
+def test_default_is_cached_singleton():
+    assert default_thesaurus() is default_thesaurus()
+
+
+def test_qualifier_rings_cover_event_qualifiers(thesaurus):
+    # The seed generator's qualifiers must be expandable concepts.
+    for qualifier in ("increased", "decreased", "high", "low"):
+        assert thesaurus.expansions(qualifier), qualifier
+
+
+def test_running_example_vocabulary_present(thesaurus):
+    # Terms from the paper's running example (Sections 2.1 and 3).
+    for term in ("energy consumption", "kilowatt hour", "computer", "laptop"):
+        assert term in thesaurus, term
+    assert "laptop" in thesaurus.expansions("computer")

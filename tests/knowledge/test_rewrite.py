@@ -1,0 +1,121 @@
+"""Tests for span recognition, rewriting, and canonicalization."""
+
+import pytest
+
+from repro.knowledge.rewrite import (
+    Canonicalizer,
+    find_term_spans,
+    replace_span,
+    single_replacements,
+)
+from repro.semantics.tokenize import normalize_term
+
+
+class TestFindTermSpans:
+    def test_finds_multiword_term(self, thesaurus):
+        spans = find_term_spans(
+            "increased energy consumption event", thesaurus
+        )
+        terms = {span.term for span in spans}
+        assert "energy consumption" in terms
+        assert "increased" in terms
+
+    def test_longest_match_wins(self, thesaurus):
+        spans = find_term_spans("energy consumption", thesaurus)
+        assert any(span.term == "energy consumption" for span in spans)
+        # 'energy' alone must not be matched inside the longer span.
+        assert not any(span.term == "energy" for span in spans)
+
+    def test_spans_do_not_overlap(self, thesaurus):
+        spans = find_term_spans(
+            "increased energy consumption event in galway city", thesaurus
+        )
+        for left, right in zip(spans, spans[1:]):
+            assert left.end <= right.start
+
+    def test_unknown_text_has_no_spans(self, thesaurus):
+        assert find_term_spans("zebra quagga xylophone", thesaurus) == ()
+
+    def test_domain_restriction(self, thesaurus):
+        spans = find_term_spans("parking", thesaurus, domains=["energy"])
+        assert spans == ()
+
+    def test_replacements_exclude_self(self, thesaurus):
+        spans = find_term_spans("parking", thesaurus)
+        for span in spans:
+            assert span.term not in span.replacements
+
+
+class TestReplaceSpan:
+    def test_roundtrip(self, thesaurus):
+        text = "increased energy consumption event"
+        span = next(
+            s for s in find_term_spans(text, thesaurus)
+            if s.term == "energy consumption"
+        )
+        rewritten = replace_span(text, span, "electricity usage")
+        assert rewritten == "increased electricity usage event"
+
+
+class TestSingleReplacements:
+    def test_variants_differ_from_original(self, thesaurus):
+        variants = single_replacements("energy consumption", thesaurus)
+        assert variants
+        assert normalize_term("energy consumption") not in variants
+
+    def test_variants_unique(self, thesaurus):
+        variants = single_replacements(
+            "increased energy consumption event", thesaurus
+        )
+        assert len(variants) == len(set(variants))
+
+    def test_unknown_text_yields_nothing(self, thesaurus):
+        assert single_replacements("zebra", thesaurus) == ()
+
+
+class TestCanonicalizer:
+    @pytest.fixture(scope="class")
+    def canon(self, thesaurus):
+        return Canonicalizer(thesaurus)
+
+    def test_synonyms_equivalent(self, canon):
+        assert canon.equivalent("energy consumption", "electricity usage")
+
+    def test_related_terms_equivalent(self, canon):
+        # 'garage' is related to 'parking' and its own concept; expansion
+        # may replace one with the other, so the ground truth must too.
+        assert canon.equivalent("parking", "garage")
+
+    def test_contrasts_not_equivalent(self, canon):
+        assert not canon.equivalent("increased", "decreased")
+        assert not canon.equivalent("occupied", "free")
+        assert not canon.equivalent("galway", "dublin")
+
+    def test_embedded_spans_canonicalize(self, canon):
+        assert canon.equivalent(
+            "increased energy consumption event",
+            "rising electricity usage event",
+        )
+
+    def test_unknown_tokens_preserved(self, canon):
+        assert not canon.equivalent("room 112", "room 113")
+        assert canon.equivalent("room 112", "indoor space 112")
+
+    def test_canonical_term_is_fixed_point(self, canon, thesaurus):
+        for term in list(thesaurus.vocabulary())[:50]:
+            rep = canon.canonical_term(term)
+            assert canon.canonical_term(rep) == rep
+
+    def test_canonicalize_idempotent(self, canon):
+        text = "increased energy consumption event"
+        once = canon.canonicalize(text)
+        assert canon.canonicalize(once) == once
+
+    def test_equivalence_is_symmetric(self, canon):
+        pairs = [
+            ("computer", "laptop"),
+            ("galway", "galway city"),
+            ("kilowatt hour", "kwh"),
+        ]
+        for a, b in pairs:
+            assert canon.equivalent(a, b) == canon.equivalent(b, a)

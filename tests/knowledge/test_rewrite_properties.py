@@ -1,0 +1,94 @@
+"""Property tests for canonicalization (the ground truth's foundation).
+
+The relevance ground truth is only *exact* (Section 5.2.3) if
+canonical-form equality is a genuine equivalence relation that expansion
+cannot escape. These properties pin that down over the real thesaurus.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.knowledge.eurovoc import default_thesaurus
+from repro.knowledge.rewrite import Canonicalizer, find_term_spans, single_replacements
+
+THESAURUS = default_thesaurus()
+CANON = Canonicalizer(THESAURUS)
+VOCAB = sorted(THESAURUS.vocabulary())
+
+terms = st.sampled_from(VOCAB)
+texts = st.lists(terms, min_size=1, max_size=3).map(" ".join)
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestEquivalenceRelation:
+    @COMMON
+    @given(texts)
+    def test_reflexive(self, text):
+        assert CANON.equivalent(text, text)
+
+    @COMMON
+    @given(texts, texts)
+    def test_symmetric(self, a, b):
+        assert CANON.equivalent(a, b) == CANON.equivalent(b, a)
+
+    @COMMON
+    @given(texts, texts, texts)
+    def test_transitive(self, a, b, c):
+        if CANON.equivalent(a, b) and CANON.equivalent(b, c):
+            assert CANON.equivalent(a, c)
+
+    @COMMON
+    @given(texts)
+    def test_canonicalize_idempotent(self, text):
+        once = CANON.canonicalize(text)
+        assert CANON.canonicalize(once) == once
+
+
+class TestExpansionClosure:
+    """Whatever expansion can produce, canonicalization undoes."""
+
+    @COMMON
+    @given(terms, st.integers(0, 2**31))
+    def test_single_replacement_equivalent(self, term, seed):
+        variants = single_replacements(term, THESAURUS)
+        if not variants:
+            return
+        variant = random.Random(seed).choice(variants)
+        assert CANON.equivalent(term, variant), (term, variant)
+
+    @COMMON
+    @given(texts, st.integers(0, 2**31))
+    def test_embedded_replacement_equivalent(self, text, seed):
+        rng = random.Random(seed)
+        spans = find_term_spans(text, THESAURUS)
+        if not spans:
+            return
+        span = rng.choice(spans)
+        from repro.knowledge.rewrite import replace_span
+
+        rewritten = replace_span(text, span, rng.choice(span.replacements))
+        assert CANON.equivalent(text, rewritten), (text, rewritten)
+
+
+class TestSpanInvariants:
+    @COMMON
+    @given(texts)
+    def test_spans_ordered_and_disjoint(self, text):
+        spans = find_term_spans(text, THESAURUS)
+        for left, right in zip(spans, spans[1:]):
+            assert left.end <= right.start
+
+    @COMMON
+    @given(texts)
+    def test_span_bounds_within_text(self, text):
+        tokens = text.split()
+        for span in find_term_spans(text, THESAURUS):
+            assert 0 <= span.start < span.end <= len(tokens)

@@ -1,0 +1,116 @@
+"""Unit tests for the thesaurus structures."""
+
+import pytest
+
+from repro.knowledge.thesaurus import Concept, MicroThesaurus, Thesaurus
+
+
+def make_thesaurus():
+    transport = MicroThesaurus(
+        name="transport",
+        top_terms=("transport", "land transport"),
+        concepts=(
+            Concept("parking", ("car park", "parking lot"), ("garage",)),
+            Concept("garage", ("carport",)),
+            Concept("vehicle", ("car", "automobile")),
+        ),
+    )
+    energy = MicroThesaurus(
+        name="energy",
+        top_terms=("energy",),
+        concepts=(
+            Concept("energy consumption", ("electricity usage",)),
+            Concept("parking", ("vehicle storage",)),  # cross-domain homonym
+        ),
+    )
+    return Thesaurus((transport, energy))
+
+
+@pytest.fixture()
+def small():
+    return make_thesaurus()
+
+
+class TestConcept:
+    def test_terms(self):
+        c = Concept("a", ("b", "c"), ("d",))
+        assert c.terms() == ("a", "b", "c")
+        assert c.expansion_terms() == ("a", "b", "c", "d")
+
+    def test_rejects_empty_preferred(self):
+        with pytest.raises(ValueError):
+            Concept("  ")
+
+
+class TestMicroThesaurus:
+    def test_rejects_missing_top_terms(self):
+        with pytest.raises(ValueError):
+            MicroThesaurus(name="x", top_terms=(), concepts=())
+
+    def test_rejects_duplicate_concepts(self):
+        with pytest.raises(ValueError, match="duplicate concept"):
+            MicroThesaurus(
+                name="x",
+                top_terms=("t",),
+                concepts=(Concept("a"), Concept("A ")),
+            )
+
+    def test_all_terms(self, small):
+        terms = small.micro("transport").all_terms()
+        assert "parking" in terms and "car park" in terms
+        assert "garage" in terms  # its own concept
+
+
+class TestThesaurus:
+    def test_rejects_duplicate_domains(self):
+        micro = MicroThesaurus("x", ("t",), (Concept("a"),))
+        with pytest.raises(ValueError):
+            Thesaurus((micro, micro))
+
+    def test_domains_in_order(self, small):
+        assert small.domains() == ("transport", "energy")
+
+    def test_concepts_of_spans_domains(self, small):
+        hits = small.concepts_of("parking")
+        assert {domain for domain, _ in hits} == {"transport", "energy"}
+
+    def test_concepts_of_restricted(self, small):
+        hits = small.concepts_of("parking", domains=["energy"])
+        assert len(hits) == 1
+
+    def test_expansions_exclude_self(self, small):
+        assert "parking" not in small.expansions("parking")
+
+    def test_expansions_include_synonyms_and_related(self, small):
+        expansions = small.expansions("parking", domains=["transport"])
+        assert "car park" in expansions
+        assert "garage" in expansions
+
+    def test_expansions_without_related(self, small):
+        expansions = small.expansions(
+            "parking", domains=["transport"], include_related=False
+        )
+        assert "garage" not in expansions
+
+    def test_expansions_for_unknown_term(self, small):
+        assert small.expansions("zebra") == ()
+
+    def test_expansions_normalized_lookup(self, small):
+        assert small.expansions("  Parking ") != ()
+
+    def test_synonymous(self, small):
+        assert small.synonymous("car park", "parking lot")
+        assert small.synonymous("parking", "car park")
+        assert not small.synonymous("car park", "automobile")
+
+    def test_top_terms(self, small):
+        assert small.top_terms() == ("transport", "land transport", "energy")
+        assert small.top_terms(["energy"]) == ("energy",)
+
+    def test_vocabulary_and_contains(self, small):
+        assert "car park" in small
+        assert "zebra" not in small
+        assert "parking lot" in small.vocabulary()
+
+    def test_len_counts_concepts(self, small):
+        assert len(small) == 5

@@ -1,0 +1,77 @@
+"""Unit tests for the relatedness caches and precomputed tables."""
+
+from repro.semantics.cache import (
+    PrecomputedScoreTable,
+    RelatednessCache,
+    precompute_scores,
+)
+
+
+class _CountingMeasure:
+    """Fake measure recording how many times it was asked."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def score(self, term_s, theme_s, term_e, theme_e):
+        self.calls += 1
+        return 0.5
+
+
+class TestRelatednessCache:
+    def test_put_get_roundtrip(self):
+        cache = RelatednessCache()
+        key = cache.key("a1", (), "b1", ())
+        cache.put(key, 0.7)
+        assert cache.get(key) == 0.7
+
+    def test_symmetric_keys(self):
+        cache = RelatednessCache()
+        assert cache.key("a1", ("t",), "b1", ()) == cache.key("b1", (), "a1", ("t",))
+
+    def test_normalized_keys(self):
+        cache = RelatednessCache()
+        assert cache.key("Energy ", (), "b1", ()) == cache.key("energy", (), "b1", ())
+
+    def test_counters(self):
+        cache = RelatednessCache()
+        key = cache.key("a1", (), "b1", ())
+        assert cache.get(key) is None
+        cache.put(key, 0.1)
+        cache.get(key)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_clear(self):
+        cache = RelatednessCache()
+        cache.put(cache.key("a1", (), "b1", ()), 0.1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+
+
+class TestPrecomputeScores:
+    def test_covers_cross_product(self):
+        measure = _CountingMeasure()
+        table = precompute_scores(measure, ["a1", "b1"], ["c1", "d1"])
+        assert len(table) == 4
+        assert measure.calls == 4
+
+    def test_no_duplicate_computation_for_shared_terms(self):
+        measure = _CountingMeasure()
+        table = precompute_scores(measure, ["a1", "b1"], ["a1", "b1"])
+        # Symmetric keys collapse (a,b) and (b,a); (a,a) and (b,b) included.
+        assert len(table) == 3
+
+    def test_lookup_respects_themes(self):
+        measure = _CountingMeasure()
+        table = precompute_scores(
+            measure, ["a1"], ["b1"], theme_s=("x",), theme_e=("y",)
+        )
+        assert table.get("a1", ("x",), "b1", ("y",)) == 0.5
+        assert table.get("a1", (), "b1", ()) is None
+
+    def test_symmetric_lookup(self):
+        measure = _CountingMeasure()
+        table = precompute_scores(measure, ["a1"], ["b1"])
+        assert table.get("b1", (), "a1", ()) == 0.5

@@ -1,0 +1,43 @@
+"""Unit tests for the document abstractions."""
+
+import pytest
+
+from repro.semantics.documents import Document, DocumentSet
+
+
+class TestDocument:
+    def test_tokens(self):
+        doc = Document(name="d", text="Energy use in Buildings")
+        assert doc.tokens() == ["energy", "use", "building"]
+
+    def test_immutable(self):
+        doc = Document(name="d", text="x")
+        with pytest.raises(AttributeError):
+            doc.text = "y"  # type: ignore[misc]
+
+
+class TestDocumentSet:
+    def test_from_texts_names(self):
+        ds = DocumentSet.from_texts(["a b", "c d"])
+        assert ds.names() == ("doc-0", "doc-1")
+        assert len(ds) == 2
+
+    def test_positional_access_and_ids(self):
+        ds = DocumentSet.from_texts(["a b", "c d"])
+        assert ds[1].text == "c d"
+        assert ds.doc_id("doc-1") == 1
+
+    def test_iteration_order(self):
+        ds = DocumentSet.from_texts(["one", "two", "three"])
+        assert [d.text for d in ds] == ["one", "two", "three"]
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DocumentSet.from_documents(
+                [Document("same", "a"), Document("same", "b")]
+            )
+
+    def test_unknown_name_raises(self):
+        ds = DocumentSet.from_texts(["x"])
+        with pytest.raises(KeyError):
+            ds.doc_id("nope")

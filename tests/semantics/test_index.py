@@ -1,0 +1,58 @@
+"""Unit tests for the inverted index (Figure 5, step 1)."""
+
+from repro.semantics.documents import DocumentSet
+from repro.semantics.index import InvertedIndex
+
+
+def build(texts):
+    return InvertedIndex.build(DocumentSet.from_texts(texts))
+
+
+class TestBuild:
+    def test_corpus_size(self):
+        assert build(["a b", "c"]).corpus_size == 2
+
+    def test_postings_and_frequencies(self):
+        index = build(["energy energy parking", "parking lot"])
+        assert index.frequency("energy", 0) == 2
+        assert index.frequency("parking", 0) == 1
+        assert index.frequency("parking", 1) == 1
+        assert index.frequency("energy", 1) == 0
+
+    def test_document_frequency(self):
+        index = build(["energy parking", "parking", "filler"])
+        assert index.document_frequency("parking") == 2
+        assert index.document_frequency("energy") == 1
+        assert index.document_frequency("unknown") == 0
+
+    def test_max_frequency_per_document(self):
+        index = build(["energy energy parking"])
+        assert index.max_frequency[0] == 2
+
+    def test_empty_document_gets_max_frequency_one(self):
+        index = build(["", "energy"])
+        assert index.max_frequency[0] == 1
+
+    def test_documents_containing(self):
+        index = build(["energy", "energy parking", "parking"])
+        assert index.documents_containing("energy") == frozenset({0, 1})
+
+    def test_vocabulary(self):
+        index = build(["energy parking"])
+        assert index.vocabulary() == frozenset({"energy", "parking"})
+
+    def test_contains(self):
+        index = build(["energy"])
+        assert "energy" in index
+        assert "parking" not in index
+
+    def test_stop_words_not_indexed(self):
+        index = build(["the energy of things"])
+        assert "the" not in index
+        assert "of" not in index
+
+    def test_deterministic(self):
+        texts = ["energy parking building", "computer laptop", "noise"]
+        a, b = build(texts), build(texts)
+        assert a.postings == b.postings
+        assert a.max_frequency == b.max_frequency

@@ -1,0 +1,77 @@
+"""Tests for corpus snapshots (save/load/verify)."""
+
+import json
+
+import pytest
+
+from repro.semantics.documents import DocumentSet
+from repro.semantics.persistence import (
+    FORMAT_VERSION,
+    corpus_digest,
+    load_corpus,
+    load_space,
+    save_corpus,
+)
+
+TOY = DocumentSet.from_texts(["energy power grid", "parking street car"])
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert corpus_digest(TOY) == corpus_digest(TOY)
+
+    def test_sensitive_to_content(self):
+        other = DocumentSet.from_texts(["energy power grid", "parking street"])
+        assert corpus_digest(TOY) != corpus_digest(other)
+
+    def test_sensitive_to_order(self):
+        reordered = DocumentSet.from_documents(
+            [TOY[1], TOY[0]]
+        )
+        assert corpus_digest(TOY) != corpus_digest(reordered)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(TOY, path)
+        loaded = load_corpus(path)
+        assert loaded.names() == TOY.names()
+        assert [d.text for d in loaded] == [d.text for d in TOY]
+
+    def test_load_space_builds_equivalent_space(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(TOY, path)
+        space = load_space(path)
+        assert space.relatedness("parking", "street") > 0
+
+    def test_default_corpus_roundtrip(self, tmp_path, corpus):
+        path = tmp_path / "default.json"
+        save_corpus(corpus, path)
+        assert corpus_digest(load_corpus(path)) == corpus_digest(corpus)
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a repro corpus"):
+            load_corpus(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        save_corpus(TOY, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_corpus(path)
+
+    def test_rejects_tampered_content(self, tmp_path):
+        path = tmp_path / "tampered.json"
+        save_corpus(TOY, path)
+        payload = json.loads(path.read_text())
+        payload["documents"][0]["text"] = "tampered text"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="digest"):
+            load_corpus(path)

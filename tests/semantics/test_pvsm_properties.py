@@ -1,0 +1,85 @@
+"""Property tests for the parametric space over randomized toy corpora."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.documents import DocumentSet
+from repro.semantics.pvsm import ParametricVectorSpace
+
+WORDS = ["energy", "power", "grid", "parking", "street", "meter",
+         "noise", "light", "city", "sensor"]
+
+corpora = st.lists(
+    st.lists(st.sampled_from(WORDS), min_size=2, max_size=8).map(" ".join),
+    min_size=2,
+    max_size=8,
+).map(DocumentSet.from_texts)
+
+themes = st.sets(st.sampled_from(WORDS), max_size=3).map(tuple)
+terms = st.sampled_from(WORDS)
+
+COMMON = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestProjectionInvariants:
+    @COMMON
+    @given(corpora, terms, themes)
+    def test_support_within_basis(self, corpus, term, theme):
+        space = ParametricVectorSpace(corpus)
+        assert space.project(term, theme).support() <= space.theme_basis(theme)
+
+    @COMMON
+    @given(corpora, terms)
+    def test_empty_theme_identity(self, corpus, term):
+        space = ParametricVectorSpace(corpus)
+        assert space.project(term, ()) == space.term_vector(term)
+
+    @COMMON
+    @given(corpora, terms, themes)
+    def test_projection_support_subset_of_full_vector(self, corpus, term, theme):
+        space = ParametricVectorSpace(corpus)
+        assert (
+            space.project(term, theme).support()
+            <= space.term_vector(term).support()
+        )
+
+    @COMMON
+    @given(corpora, themes, themes)
+    def test_basis_monotone_in_tags(self, corpus, theme_a, theme_b):
+        # Monotonicity holds for non-empty themes; the empty theme is
+        # special-cased to span the whole corpus (no filtering).
+        if not theme_a:
+            return
+        space = ParametricVectorSpace(corpus)
+        union = tuple(set(theme_a) | set(theme_b))
+        assert space.theme_basis(theme_a) <= space.theme_basis(union)
+
+
+class TestRelatednessInvariants:
+    @COMMON
+    @given(corpora, terms, terms, themes, themes)
+    def test_bounds(self, corpus, a, b, theme_a, theme_b):
+        space = ParametricVectorSpace(corpus)
+        value = space.thematic_relatedness(a, theme_a, b, theme_b)
+        assert 0.0 <= value <= 1.0
+
+    @COMMON
+    @given(corpora, terms, terms, themes, themes)
+    def test_symmetry(self, corpus, a, b, theme_a, theme_b):
+        space = ParametricVectorSpace(corpus)
+        assert space.thematic_relatedness(
+            a, theme_a, b, theme_b
+        ) == pytest.approx(
+            space.thematic_relatedness(b, theme_b, a, theme_a)
+        )
+
+    @COMMON
+    @given(corpora, terms, themes)
+    def test_mask_ablation_also_within_basis(self, corpus, term, theme):
+        space = ParametricVectorSpace(corpus, recompute_idf=False)
+        assert space.project(term, theme).support() <= space.theme_basis(theme)

@@ -1,0 +1,107 @@
+"""Unit tests for the non-thematic distributional space (Section 4.1)."""
+
+import math
+
+import pytest
+
+from repro.semantics.documents import DocumentSet
+from repro.semantics.space import DistributionalVectorSpace, relatedness_from_distance
+from repro.semantics.vectors import ZERO_VECTOR
+
+TOY = DocumentSet.from_texts(
+    [
+        "energy power energy consumption grid",
+        "energy usage power meter",
+        "parking garage car street",
+        "parking spot street city",
+        "filler words everywhere common",
+    ]
+)
+
+
+@pytest.fixture(scope="module")
+def toy_space():
+    return DistributionalVectorSpace(TOY)
+
+
+class TestRelatednessFromDistance:
+    def test_zero_distance_is_one(self):
+        assert relatedness_from_distance(0.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        assert relatedness_from_distance(0.5) > relatedness_from_distance(1.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            relatedness_from_distance(-0.1)
+
+
+class TestTermVectors:
+    def test_unknown_term_is_zero_vector(self, toy_space):
+        assert toy_space.term_vector("zebra") is ZERO_VECTOR or not toy_space.term_vector("zebra")
+
+    def test_known_term_support_matches_postings(self, toy_space):
+        assert toy_space.token_vector("parking").support() == frozenset({2, 3})
+
+    def test_multiword_composition_is_additive(self, toy_space):
+        combined = toy_space.term_vector("energy consumption")
+        expected = toy_space.token_vector("energy").add(
+            toy_space.token_vector("consumption")
+        )
+        assert combined == expected
+
+    def test_vectors_cached(self, toy_space):
+        assert toy_space.term_vector("energy") is toy_space.term_vector("energy")
+
+    def test_everywhere_token_has_zero_idf(self):
+        space = DistributionalVectorSpace(
+            DocumentSet.from_texts(["common energy", "common parking"])
+        )
+        assert not space.token_vector("common")
+
+
+class TestRelatedness:
+    def test_bounds(self, toy_space):
+        value = toy_space.relatedness("energy", "parking")
+        assert 0.0 <= value <= 1.0
+
+    def test_symmetry(self, toy_space):
+        assert math.isclose(
+            toy_space.relatedness("energy", "parking"),
+            toy_space.relatedness("parking", "energy"),
+        )
+
+    def test_identical_terms_score_one(self, toy_space):
+        assert math.isclose(toy_space.relatedness("energy", "energy"), 1.0)
+
+    def test_related_beats_unrelated(self, toy_space):
+        related = toy_space.relatedness("parking", "garage")
+        unrelated = toy_space.relatedness("parking", "meter")
+        assert related > unrelated
+
+    def test_unknown_term_scores_zero(self, toy_space):
+        assert toy_space.relatedness("zebra", "energy") == 0.0
+        assert toy_space.relatedness("zebra", "quagga") == 0.0
+
+    def test_distance_infinite_for_zero_vectors(self, toy_space):
+        assert toy_space.distance(ZERO_VECTOR, toy_space.term_vector("energy")) == float("inf")
+
+
+class TestMetricOptions:
+    def test_cosine_metric(self):
+        space = DistributionalVectorSpace(TOY, metric="cosine")
+        assert 0.0 <= space.relatedness("parking", "garage") <= 1.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            DistributionalVectorSpace(TOY, metric="manhattan")
+
+    def test_unnormalized_variant(self):
+        space = DistributionalVectorSpace(TOY, normalize=False)
+        assert 0.0 < space.relatedness("parking", "garage") < 1.0
+
+    def test_default_corpus_relatedness_sane(self, space):
+        # The bundled corpus must make synonyms beat cross-domain pairs.
+        synonym = space.relatedness("energy consumption", "electricity usage")
+        unrelated = space.relatedness("energy consumption", "rainfall")
+        assert synonym > unrelated

@@ -1,0 +1,96 @@
+"""Unit tests for the tokenizer, stemmer, and term normalization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics.tokenize import (
+    STOP_WORDS,
+    iter_terms,
+    normalize_term,
+    stem,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits_punctuation(self):
+        assert tokenize("Increased Energy-Consumption event!") == [
+            "increased",
+            "energy",
+            "consumption",
+            "event",
+        ]
+
+    def test_drops_stop_words(self):
+        assert tokenize("the energy of the building") == ["energy", "building"]
+
+    def test_drops_single_characters(self):
+        assert tokenize("a b c energy") == ["energy"]
+
+    def test_keeps_numbers(self):
+        assert tokenize("room 112") == ["room", "112"]
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+
+    def test_custom_stop_words(self):
+        assert tokenize("energy use", stop_words=frozenset({"energy"})) == ["use"]
+
+    def test_plural_conflation(self):
+        assert tokenize("computers") == tokenize("computer")
+
+    @given(st.text(max_size=40))
+    def test_never_returns_stop_words_or_short_tokens(self, text):
+        for token in tokenize(text):
+            assert token not in STOP_WORDS
+            assert len(token) > 1
+
+
+class TestStem:
+    def test_plural_s(self):
+        assert stem("computers") == "computer"
+
+    def test_ies(self):
+        assert stem("batteries") == "battery"
+
+    def test_protects_ss_us_is(self):
+        assert stem("glass") == "glass"
+        assert stem("bus") == "bus"
+        assert stem("analysis") == "analysis"
+
+    def test_protects_short_words(self):
+        assert stem("gas") == "gas"
+
+    def test_idempotent_on_common_vocabulary(self):
+        for word in ("computer", "energy", "building", "appliance", "city"):
+            assert stem(stem(word)) == stem(word)
+
+
+class TestNormalizeTerm:
+    def test_case_and_punctuation(self):
+        assert normalize_term("Energy_Consumption ") == "energy consumption"
+
+    def test_idempotent(self):
+        assert normalize_term(normalize_term("A  B-c")) == normalize_term("A  B-c")
+
+    def test_empty(self):
+        assert normalize_term("") == ""
+
+    def test_does_not_stem(self):
+        # Exact-equality semantics stay string-exact per the paper.
+        assert normalize_term("computers") == "computers"
+
+    @given(st.text(max_size=40))
+    def test_output_is_single_spaced(self, text):
+        normalized = normalize_term(text)
+        assert "  " not in normalized
+        assert normalized == normalized.strip()
+
+
+def test_iter_terms_flattens():
+    assert list(iter_terms(["energy use", "parking lot"])) == [
+        "energy",
+        "use",
+        "parking",
+        "lot",
+    ]

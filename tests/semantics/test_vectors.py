@@ -1,0 +1,140 @@
+"""Unit and property tests for sparse vector algebra."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics.vectors import ZERO_VECTOR, SparseVector
+
+vectors = st.dictionaries(
+    st.integers(min_value=0, max_value=50),
+    st.floats(
+        min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+    ),
+    max_size=10,
+).map(SparseVector)
+
+
+class TestConstruction:
+    def test_drops_zero_components(self):
+        v = SparseVector({1: 0.0, 2: 3.0})
+        assert len(v) == 1
+        assert v.support() == frozenset({2})
+
+    def test_from_pairs(self):
+        v = SparseVector([(1, 2.0), (3, 4.0)])
+        assert v[1] == 2.0 and v[3] == 4.0
+
+    def test_missing_dimension_is_zero(self):
+        assert SparseVector({1: 1.0})[99] == 0.0
+
+    def test_bool(self):
+        assert not ZERO_VECTOR
+        assert SparseVector({0: 1.0})
+
+    def test_equality_and_hash(self):
+        a = SparseVector({1: 2.0})
+        b = SparseVector({1: 2.0, 5: 0.0})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_is_compact(self):
+        v = SparseVector({i: float(i + 1) for i in range(10)})
+        assert "more" in repr(v)
+
+
+class TestAlgebra:
+    def test_add(self):
+        a = SparseVector({1: 1.0, 2: 2.0})
+        b = SparseVector({2: 3.0, 4: 4.0})
+        assert a.add(b) == SparseVector({1: 1.0, 2: 5.0, 4: 4.0})
+
+    def test_add_cancels_to_zero(self):
+        a = SparseVector({1: 1.0})
+        assert a.add(a.scale(-1.0)) == ZERO_VECTOR
+
+    def test_scale(self):
+        assert SparseVector({1: 2.0}).scale(0.5) == SparseVector({1: 1.0})
+        assert SparseVector({1: 2.0}).scale(0.0) is ZERO_VECTOR
+
+    def test_dot(self):
+        a = SparseVector({1: 1.0, 2: 2.0})
+        b = SparseVector({2: 3.0})
+        assert a.dot(b) == 6.0
+
+    def test_norm(self):
+        assert SparseVector({1: 3.0, 2: 4.0}).norm() == 5.0
+
+    def test_normalized(self):
+        v = SparseVector({1: 3.0, 2: 4.0}).normalized()
+        assert math.isclose(v.norm(), 1.0)
+
+    def test_normalized_zero(self):
+        assert ZERO_VECTOR.normalized() is ZERO_VECTOR
+
+    def test_restrict(self):
+        v = SparseVector({1: 1.0, 2: 2.0, 3: 3.0})
+        assert v.restrict({2, 3}) == SparseVector({2: 2.0, 3: 3.0})
+        assert v.restrict(frozenset()) == ZERO_VECTOR
+
+    def test_euclidean_distance_known_case(self):
+        a = SparseVector({1: 1.0})
+        b = SparseVector({2: 1.0})
+        assert math.isclose(a.euclidean_distance(b), math.sqrt(2))
+
+    def test_cosine_orthogonal(self):
+        assert SparseVector({1: 1.0}).cosine_similarity(SparseVector({2: 1.0})) == 0.0
+
+    def test_cosine_with_zero_vector(self):
+        assert SparseVector({1: 1.0}).cosine_similarity(ZERO_VECTOR) == 0.0
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_add_commutes(self, a, b):
+        left, right = a.add(b), b.add(a)
+        for dim in left.support() | right.support():
+            assert math.isclose(left[dim], right[dim], abs_tol=1e-9)
+
+    @given(vectors, vectors)
+    def test_distance_symmetric(self, a, b):
+        assert math.isclose(
+            a.euclidean_distance(b), b.euclidean_distance(a), abs_tol=1e-9
+        )
+
+    @given(vectors)
+    def test_distance_to_self_zero(self, a):
+        # The dot-product identity carries float error that scales with
+        # the norm, hence the relative tolerance.
+        assert a.euclidean_distance(a) <= 1e-5 * (1.0 + a.norm())
+
+    @given(vectors, vectors)
+    def test_cosine_bounds(self, a, b):
+        assert -1.0 <= a.cosine_similarity(b) <= 1.0
+
+    @given(vectors)
+    def test_restrict_to_support_is_identity(self, a):
+        assert a.restrict(a.support()) == a
+
+    @given(vectors, st.sets(st.integers(min_value=0, max_value=50)))
+    def test_restrict_shrinks_support(self, a, basis):
+        assert a.restrict(basis).support() <= (a.support() & frozenset(basis))
+
+    @given(vectors, vectors)
+    def test_dot_symmetric(self, a, b):
+        assert math.isclose(a.dot(b), b.dot(a), abs_tol=1e-9)
+
+    @given(vectors, vectors)
+    def test_cauchy_schwarz(self, a, b):
+        assert abs(a.dot(b)) <= a.norm() * b.norm() + 1e-6
+
+
+def test_distance_via_dot_identity_matches_direct_sum():
+    a = SparseVector({1: 1.5, 2: -2.0, 7: 0.25})
+    b = SparseVector({2: 1.0, 7: 0.25, 9: -4.0})
+    direct = math.sqrt(
+        sum((a[d] - b[d]) ** 2 for d in a.support() | b.support())
+    )
+    assert math.isclose(a.euclidean_distance(b), direct, rel_tol=1e-12)

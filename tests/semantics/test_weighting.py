@@ -1,0 +1,66 @@
+"""Unit tests for Equations 2–4."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics.weighting import augmented_tf, idf, tf_idf
+
+
+class TestAugmentedTf:
+    def test_zero_frequency(self):
+        assert augmented_tf(0, 5) == 0.0
+
+    def test_max_frequency_term(self):
+        assert augmented_tf(5, 5) == 1.0
+
+    def test_half_frequency(self):
+        assert augmented_tf(1, 2) == 0.75
+
+    def test_bounds(self):
+        for freq in range(1, 11):
+            assert 0.5 < augmented_tf(freq, 10) <= 1.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            augmented_tf(-1, 5)
+        with pytest.raises(ValueError):
+            augmented_tf(1, 0)
+
+    @given(st.integers(1, 1000), st.integers(1, 1000))
+    def test_monotone_in_frequency(self, freq, max_freq):
+        if freq < max_freq:
+            assert augmented_tf(freq, max_freq) < augmented_tf(freq + 1, max_freq)
+
+
+class TestIdf:
+    def test_everywhere_term_scores_zero(self):
+        assert idf(10, 10) == 0.0
+
+    def test_rare_term_scores_high(self):
+        assert idf(1000, 1) == math.log(1000)
+
+    def test_rejects_zero_document_frequency(self):
+        with pytest.raises(ValueError):
+            idf(10, 0)
+
+    def test_rejects_df_above_corpus(self):
+        with pytest.raises(ValueError):
+            idf(10, 11)
+
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ValueError):
+            idf(0, 0)
+
+    @given(st.integers(1, 10000))
+    def test_non_negative(self, size):
+        for df in (1, size // 2 or 1, size):
+            assert idf(size, df) >= 0.0
+
+
+def test_tf_idf_is_product():
+    assert math.isclose(
+        tf_idf(2, 4, 100, 10), augmented_tf(2, 4) * idf(100, 10)
+    )

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+EVENT = (
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event, device: computer,"
+    "  office: room 112})"
+)
+SUBSCRIPTION = (
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+
+
+class TestMatch:
+    def test_matching_pair_exits_zero(self, capsys):
+        code = main(["match", "--subscription", SUBSCRIPTION, "--event", EVENT])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "score=" in out
+        assert "match: True" in out
+
+    def test_non_matching_pair_exits_one(self, capsys):
+        code = main(
+            [
+                "match",
+                "--subscription",
+                "({transport}, {type= parking space occupied event~, spot= 4})",
+                "--event",
+                EVENT,
+            ]
+        )
+        assert code == 1
+
+    def test_infeasible_event(self, capsys):
+        code = main(
+            [
+                "match",
+                "--subscription",
+                SUBSCRIPTION,
+                "--event",
+                "({energy}, {type: increased energy consumption event})",
+            ]
+        )
+        assert code == 1
+        assert "no mapping" in capsys.readouterr().out
+
+
+class TestRelatedness:
+    def test_plain(self, capsys):
+        code = main(["relatedness", "energy consumption", "electricity usage"])
+        assert code == 0
+        assert "non-thematic relatedness" in capsys.readouterr().out
+
+    def test_with_themes(self, capsys):
+        code = main(
+            [
+                "relatedness",
+                "increased",
+                "decreased",
+                "--theme-a",
+                "energy,power generation",
+                "--theme-b",
+                "energy,power generation",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "thematic relatedness" in out
+
+
+class TestCorpus:
+    def test_info(self, capsys):
+        assert main(["corpus", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "documents:" in out and "digest:" in out
+
+    def test_save_and_verify(self, tmp_path, capsys):
+        path = str(tmp_path / "snapshot.json")
+        assert main(["corpus", "save", "--path", path]) == 0
+        assert main(["corpus", "verify", "--path", path]) == 0
+        assert "digest verified" in capsys.readouterr().out
+
+    def test_save_without_path_errors(self):
+        assert main(["corpus", "save"]) == 2
+
+
+def test_evaluate_tiny(capsys):
+    code = main(["evaluate", "--scale", "tiny"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "baseline" in out
+    assert "thematic" in out
+    assert "F1 delta" in out

@@ -1,0 +1,25 @@
+"""Run the doctests embedded in public-API docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+# Resolved via importlib: package __init__ re-exports can shadow
+# submodule attributes (repro.semantics.tokenize is also a function).
+MODULE_NAMES = [
+    "repro.core.events",
+    "repro.core.language",
+    "repro.datasets.seeds",
+    "repro.semantics.tokenize",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_doctests(name):
+    module = importlib.import_module(name)
+    failures, tests = doctest.testmod(
+        module, optionflags=doctest.ELLIPSIS, verbose=False
+    )
+    assert tests > 0, f"{name} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,40 @@
+"""Smoke-run the example scripts: the README's promises must execute.
+
+The heavyweight evaluation demo is exercised separately by the
+benchmarks; here we run the interactive-speed examples end to end in a
+subprocess, exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "smart_city.py",
+    "overlay_network.py",
+    "energy_management.py",
+    "wire_protocol.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    for script in FAST_EXAMPLES + ["evaluation_demo.py"]:
+        assert script in present
