@@ -54,7 +54,7 @@ def variant_factory(space, mode="common"):
     return factory
 
 
-def test_projection_ablation(benchmark, workload, sweet_spot):
+def test_projection_ablation(benchmark, workload, sweet_spot, bench_artifact):
     corpus = workload.corpus
     variants = {
         "default (Algorithm 1, euclid, common)": (
@@ -101,6 +101,16 @@ def test_projection_ablation(benchmark, workload, sweet_spot):
                 for name, result in results.items()
             ],
         )
+    )
+
+    bench_artifact(
+        "ablation_projection",
+        {
+            "variants": {
+                name: result.as_metrics() for name, result in results.items()
+            },
+            "default_f1": default_f1,
+        },
     )
 
     for result in results.values():

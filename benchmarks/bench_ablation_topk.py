@@ -44,9 +44,10 @@ def relevant_pairs(workload):
     return pairs[:120]
 
 
-def test_topk_hit_rate(benchmark, workload, relevant_pairs):
+def test_topk_hit_rate(benchmark, workload, relevant_pairs, bench_artifact):
     rows = []
     hit_rates = {}
+    speeds = {}
     for k in (1, 3, 5):
         factory = thematic_matcher_factory(workload, k=k)
         matcher = factory()
@@ -60,11 +61,12 @@ def test_topk_hit_rate(benchmark, workload, relevant_pairs):
                 hits += 1
         elapsed = time.perf_counter() - start
         hit_rates[k] = hits / len(relevant_pairs)
+        speeds[k] = len(relevant_pairs) / elapsed
         rows.append(
             (
                 f"top-{k}",
                 f"{hit_rates[k]:.1%}",
-                f"{len(relevant_pairs) / elapsed:.0f} pairs/sec",
+                f"{speeds[k]:.0f} pairs/sec",
             )
         )
 
@@ -78,6 +80,20 @@ def test_topk_hit_rate(benchmark, workload, relevant_pairs):
 
     print()
     print(format_table(("mode", "correct-mapping hit rate", "speed"), rows))
+
+    bench_artifact(
+        "ablation_topk",
+        {
+            "modes": {
+                f"top-{k}": {
+                    "correct_mapping_hit_rate": hit_rates[k],
+                    "pairs_per_second": speeds[k],
+                }
+                for k in hit_rates
+            },
+            "pairs": len(relevant_pairs),
+        },
+    )
 
     # [13]'s claim: hit rate is non-decreasing in k.
     assert hit_rates[1] <= hit_rates[3] + 1e-9 <= hit_rates[5] + 2e-9

@@ -44,7 +44,7 @@ def sweet_spot_cells(workload):
 
 
 def test_headline_accuracy_and_throughput(
-    benchmark, workload, baseline, sweet_spot_cells
+    benchmark, workload, baseline, sweet_spot_cells, bench_artifact
 ):
     factory = thematic_matcher_factory(workload)
     results = [
@@ -79,6 +79,17 @@ def test_headline_accuracy_and_throughput(
             ],
             title="B0 headline (Section 5.2.5 / 5.3)",
         )
+    )
+
+    bench_artifact(
+        "baseline_headline",
+        {
+            "baseline": baseline.as_metrics(),
+            "thematic_samples": [r.as_metrics() for r in results],
+            "thematic_mean_f1": mean_f1,
+            "thematic_best_f1": best_f1,
+            "thematic_mean_events_per_second": mean_eps,
+        },
     )
 
     # Shape assertions: who wins.

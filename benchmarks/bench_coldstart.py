@@ -22,6 +22,7 @@ import pytest
 from repro.core.matcher import ThematicMatcher
 from repro.core.prefilter import TwoPhaseMatcher
 from repro.evaluation import format_table
+from repro.obs import LatencySummary
 from repro.semantics import (
     CachedMeasure,
     ParametricVectorSpace,
@@ -35,7 +36,7 @@ def percentile(values, q):
     return ordered[index]
 
 
-def test_cold_start_and_latency(benchmark, workload):
+def test_cold_start_and_latency(benchmark, workload, bench_artifact):
     subscription = workload.subscriptions.approximate[0]
     first_event = workload.events[0]
 
@@ -102,6 +103,22 @@ def test_cold_start_and_latency(benchmark, workload):
         f"prefilter stats: prune rate {two_phase.stats.prune_rate():.0%}, "
         f"{two_phase.stats.full_matches_run} full matches for "
         f"{two_phase.stats.pairs_considered} pairs"
+    )
+
+    warm_cache = warm_matcher.measure.cache
+    bench_artifact(
+        "coldstart",
+        {
+            "cold_start_seconds": cold_seconds,
+            "full_scan_latency": LatencySummary.from_seconds(latencies).as_dict(
+                unit="ms"
+            ),
+            "two_phase_latency": LatencySummary.from_seconds(
+                tp_latencies
+            ).as_dict(unit="ms"),
+            "cache_hit_rate": warm_cache.hit_rate,
+            "prefilter_prune_rate": two_phase.stats.prune_rate(),
+        },
     )
 
     # Orderings.

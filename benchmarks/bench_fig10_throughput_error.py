@@ -13,7 +13,7 @@ import pytest
 from repro.evaluation import format_comparison, format_error_table
 
 
-def test_figure10_error_profile(benchmark, workload, grid):
+def test_figure10_error_profile(benchmark, workload, grid, bench_artifact):
     benchmark.pedantic(
         lambda: [c.throughput_error for c in grid.cells.values()],
         rounds=1,
@@ -51,6 +51,25 @@ def test_figure10_error_profile(benchmark, workload, grid):
             ],
             title="Figure 10 shape",
         )
+    )
+
+    bench_artifact(
+        "fig10_throughput_error",
+        {
+            "median_throughput_error_eps": median_error,
+            "median_relative_error": statistics.median(relative),
+            "outlier_cells": len(outliers),
+            "total_cells": len(errors),
+            "cells": [
+                {
+                    "event_size": c.event_size,
+                    "subscription_size": c.subscription_size,
+                    "mean_events_per_second": c.mean_throughput,
+                    "throughput_error": c.throughput_error,
+                }
+                for c in cells
+            ],
+        },
     )
 
     # Shape: the typical cell is predictable (small relative error).

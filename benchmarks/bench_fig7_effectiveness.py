@@ -17,7 +17,7 @@ import pytest
 from repro.evaluation import format_comparison, format_heatmap
 
 
-def test_figure7_heatmap(benchmark, workload, baseline, grid):
+def test_figure7_heatmap(benchmark, workload, baseline, grid, bench_artifact):
     benchmark.pedantic(lambda: grid.overall_mean("f1"), rounds=1, iterations=1)
 
     fraction = grid.fraction_above(baseline.f1)
@@ -37,6 +37,16 @@ def test_figure7_heatmap(benchmark, workload, baseline, grid):
             ],
             title="Figure 7 shape",
         )
+    )
+
+    bench_artifact(
+        "fig7_effectiveness",
+        {
+            "baseline": baseline.as_metrics(),
+            "thematic": grid.as_metrics(),
+            "cells_above_baseline": fraction,
+            "best_cell_f1": best.mean_f1,
+        },
     )
 
     # Shape assertions.

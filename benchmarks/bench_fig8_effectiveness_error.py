@@ -13,7 +13,7 @@ import pytest
 from repro.evaluation import format_comparison, format_error_table
 
 
-def test_figure8_error_profile(benchmark, workload, baseline, grid):
+def test_figure8_error_profile(benchmark, workload, baseline, grid, bench_artifact):
     benchmark.pedantic(
         lambda: [c.f1_error for c in grid.cells.values()], rounds=1, iterations=1
     )
@@ -40,6 +40,24 @@ def test_figure8_error_profile(benchmark, workload, baseline, grid):
             )
         )
     print(format_comparison(rows, title="Figure 8 shape"))
+
+    bench_artifact(
+        "fig8_effectiveness_error",
+        {
+            "baseline_f1": baseline.f1,
+            "mean_f1_sample_error": mean_error,
+            "max_f1_sample_error": max(errors),
+            "cells": [
+                {
+                    "event_size": c.event_size,
+                    "subscription_size": c.subscription_size,
+                    "mean_f1": c.mean_f1,
+                    "f1_error": c.f1_error,
+                }
+                for c in cells
+            ],
+        },
+    )
 
     # Shape: errors are moderate, not chaotic.
     assert mean_error <= 0.25

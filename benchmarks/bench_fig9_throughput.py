@@ -12,7 +12,7 @@ import pytest
 from repro.evaluation import format_comparison, format_heatmap
 
 
-def test_figure9_heatmap(benchmark, workload, baseline, grid):
+def test_figure9_heatmap(benchmark, workload, baseline, grid, bench_artifact):
     benchmark.pedantic(
         lambda: grid.overall_mean("throughput"), rounds=1, iterations=1
     )
@@ -55,6 +55,17 @@ def test_figure9_heatmap(benchmark, workload, baseline, grid):
             ],
             title="Figure 9 shape",
         )
+    )
+
+    bench_artifact(
+        "fig9_throughput",
+        {
+            "baseline": baseline.as_metrics(),
+            "thematic": grid.as_metrics(),
+            "cells_above_baseline": fraction,
+            "smallest_equal_cell_eps": small_cell,
+            "largest_equal_cell_eps": large_cell,
+        },
     )
 
     # Shape assertions: theme size governs cost; the large-equal-themes

@@ -80,7 +80,7 @@ def score_all(matcher, subs, events):
     return [[matcher.score(sub, event) for event in events] for sub in subs]
 
 
-def test_prior_work_comparison(benchmark, workload, half_degree):
+def test_prior_work_comparison(benchmark, workload, half_degree, bench_artifact):
     subs, truth = half_degree
     events = workload.events
 
@@ -134,6 +134,19 @@ def test_prior_work_comparison(benchmark, workload, half_degree):
             ],
             title="P16 prior-work comparison (Section 5)",
         )
+    )
+
+    bench_artifact(
+        "prior_work16",
+        {
+            "approximate_f1": approx_f1,
+            "rewriting_f1": rewriting_f1,
+            "precomputed_events_per_second":
+                precomputed_throughput.events_per_second,
+            "rewriting_events_per_second":
+                rewriting_throughput.events_per_second,
+            "runtime_events_per_second": runtime_throughput.events_per_second,
+        },
     )
 
     # Shapes: who wins.

@@ -48,7 +48,9 @@ def sweet_spot(workload):
     )
 
 
-def test_table1_four_approaches(benchmark, workload, baseline, sweet_spot):
+def test_table1_four_approaches(
+    benchmark, workload, baseline, sweet_spot, bench_artifact
+):
     subs = workload.subscriptions.approximate
     events = workload.events
 
@@ -132,6 +134,23 @@ def test_table1_four_approaches(benchmark, workload, baseline, sweet_spot):
             ],
             title="Table 1 shape",
         )
+    )
+
+    bench_artifact(
+        "table1_approaches",
+        {
+            "content_based": {
+                "f1": exact_f1,
+                "events_per_second": exact_throughput.events_per_second,
+            },
+            "concept_based_rewriting": {
+                "f1": rewriting_f1,
+                "events_per_second": rewriting_throughput.events_per_second,
+                "rewritten_subscriptions": total_rewrites,
+            },
+            "approximate_nonthematic": baseline.as_metrics(),
+            "thematic": thematic.as_metrics(),
+        },
     )
 
     # Shape assertions.

@@ -30,7 +30,9 @@ from repro.evaluation import (
 )
 
 
-def test_overlap_degradation_and_zipf_overlap(benchmark, workload, baseline):
+def test_overlap_degradation_and_zipf_overlap(
+    benchmark, workload, baseline, bench_artifact
+):
     pool = list(theme_pool(workload.thesaurus))
     factory = thematic_matcher_factory(workload)
     rng = random.Random(42)
@@ -73,6 +75,18 @@ def test_overlap_degradation_and_zipf_overlap(benchmark, workload, baseline):
             ("tagging behavior", "expected overlap"),
             [(name, f"{value:.0%}") for name, value in natural.items()],
         )
+    )
+
+    bench_artifact(
+        "tagging_behavior",
+        {
+            "baseline_f1": baseline.f1,
+            "overlap_degradation": {
+                f"{overlap:.0%}": result.as_metrics()
+                for overlap, result in sorted(results.items(), reverse=True)
+            },
+            "natural_overlap": natural,
+        },
     )
 
     # Qualitative assertions (Section 5.3.3 / Section 7).

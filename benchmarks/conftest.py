@@ -24,6 +24,7 @@ from repro.evaluation import (
     run_baseline,
     run_grid,
 )
+from repro.obs import write_bench_artifact
 
 SCALE = os.environ.get("REPRO_SCALE", "small")
 
@@ -81,3 +82,22 @@ def grid(workload):
         grid_config=grid_config(),
         progress=lambda line: print("  " + line),
     )
+
+
+@pytest.fixture()
+def bench_artifact(workload):
+    """Shared writer for ``BENCH_<name>.json`` artifacts.
+
+    Every bench reports through this so artifacts share one schema and
+    carry the workload summary; the destination directory is the cwd or
+    ``REPRO_BENCH_DIR``.
+    """
+
+    def write(name, metrics, **extra):
+        path = write_bench_artifact(
+            name, metrics, extra={"workload": workload.summary(), **extra}
+        )
+        print(f"[artifact] {path}")
+        return path
+
+    return write

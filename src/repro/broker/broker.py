@@ -25,19 +25,60 @@ from dataclasses import dataclass, field
 from repro.core.events import Event
 from repro.core.matcher import MatchResult, ThematicMatcher
 from repro.core.subscriptions import Subscription
+from repro.obs import TRACER, MetricsRegistry
 
 __all__ = ["BrokerMetrics", "Delivery", "SubscriberHandle", "ThematicBroker"]
 
 
-@dataclass
 class BrokerMetrics:
-    """Operational counters, exposed for tests and benchmarks."""
+    """Registry-backed operational counters, exposed for tests and benches.
 
-    published: int = 0
-    evaluations: int = 0
-    deliveries: int = 0
-    replayed: int = 0
-    callback_errors: int = 0
+    Historically five bare ints mutated in place — racy once the broker
+    moved matching onto a worker thread. Counters now live in a
+    :class:`~repro.obs.registry.MetricsRegistry` (one per broker by
+    default, or a shared one passed in), so increments are thread-safe
+    and :meth:`snapshot` gives readers a coherent, JSON-ready view. The
+    old attribute reads (``metrics.published`` …) still work.
+    """
+
+    FIELDS = ("published", "evaluations", "deliveries", "replayed",
+              "callback_errors")
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, *, prefix: str = "broker"
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._counters = {
+            name: self.registry.counter(f"{prefix}.{name}") for name in self.FIELDS
+        }
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+
+    def snapshot(self) -> dict[str, int]:
+        """Thread-safe point-in-time view of all counters."""
+        return {name: counter.value for name, counter in self._counters.items()}
+
+    @property
+    def published(self) -> int:
+        return self._counters["published"].value
+
+    @property
+    def evaluations(self) -> int:
+        return self._counters["evaluations"].value
+
+    @property
+    def deliveries(self) -> int:
+        return self._counters["deliveries"].value
+
+    @property
+    def replayed(self) -> int:
+        return self._counters["replayed"].value
+
+    @property
+    def callback_errors(self) -> int:
+        return self._counters["callback_errors"].value
 
 
 @dataclass(frozen=True)
@@ -82,11 +123,20 @@ class ThematicBroker:
         interface (``match``/``matches``/``threshold``).
     replay_capacity:
         How many recent events the broker retains for late joiners.
+    registry:
+        Metrics registry backing the broker's counters; defaults to a
+        private one so broker instances never share state by accident.
     """
 
-    def __init__(self, matcher: ThematicMatcher, *, replay_capacity: int = 256):
+    def __init__(
+        self,
+        matcher: ThematicMatcher,
+        *,
+        replay_capacity: int = 256,
+        registry: MetricsRegistry | None = None,
+    ):
         self.matcher = matcher
-        self.metrics = BrokerMetrics()
+        self.metrics = BrokerMetrics(registry)
         self._subscribers: dict[int, SubscriberHandle] = {}
         self._replay: deque[tuple[int, Event]] = deque(maxlen=replay_capacity)
         self._next_id = 0
@@ -118,7 +168,7 @@ class ThematicBroker:
             for sequence, event in list(self._replay):
                 result = self._evaluate(subscription, event)
                 if result is not None:
-                    self.metrics.replayed += 1
+                    self.metrics.inc("replayed")
                     self._deliver(handle, Delivery(result=result, sequence=sequence))
         return handle
 
@@ -132,35 +182,37 @@ class ThematicBroker:
 
     def publish(self, event: Event) -> int:
         """Match ``event`` against all subscriptions; returns deliveries."""
-        self.metrics.published += 1
-        sequence = self._sequence
-        self._sequence += 1
-        self._replay.append((sequence, event))
-        delivered = 0
-        for handle in list(self._subscribers.values()):
-            result = self._evaluate(handle.subscription, event)
-            if result is not None:
-                delivered += 1
-                self._deliver(handle, Delivery(result=result, sequence=sequence))
-        return delivered
+        with TRACER.span("broker.publish"):
+            self.metrics.inc("published")
+            sequence = self._sequence
+            self._sequence += 1
+            self._replay.append((sequence, event))
+            delivered = 0
+            for handle in list(self._subscribers.values()):
+                result = self._evaluate(handle.subscription, event)
+                if result is not None:
+                    delivered += 1
+                    self._deliver(handle, Delivery(result=result, sequence=sequence))
+            return delivered
 
     # -- internals -----------------------------------------------------------
 
     def _evaluate(self, subscription: Subscription, event: Event) -> MatchResult | None:
-        self.metrics.evaluations += 1
+        self.metrics.inc("evaluations")
         result = self.matcher.match(subscription, event)
         if result is None or not result.is_match(self.matcher.threshold):
             return None
         return result
 
     def _deliver(self, handle: SubscriberHandle, delivery: Delivery) -> None:
-        self.metrics.deliveries += 1
-        handle.inbox.append(delivery)
-        if handle.callback is not None:
-            try:
-                handle.callback(delivery)
-            except Exception:
-                # One subscriber's broken callback must not take down the
-                # broker or starve other subscribers; the delivery stays
-                # in the inbox either way.
-                self.metrics.callback_errors += 1
+        with TRACER.span("broker.deliver"):
+            self.metrics.inc("deliveries")
+            handle.inbox.append(delivery)
+            if handle.callback is not None:
+                try:
+                    handle.callback(delivery)
+                except Exception:
+                    # One subscriber's broken callback must not take down the
+                    # broker or starve other subscribers; the delivery stays
+                    # in the inbox either way.
+                    self.metrics.inc("callback_errors")

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections.abc import Callable
 
 from repro.broker.broker import Delivery, SubscriberHandle, ThematicBroker
 from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
+from repro.obs import MetricsRegistry
 
 __all__ = ["ThreadedBroker"]
 
@@ -48,8 +50,14 @@ class ThreadedBroker:
         *,
         replay_capacity: int = 256,
         max_queue: int = 10_000,
+        registry: MetricsRegistry | None = None,
     ):
-        self._inner = ThematicBroker(matcher, replay_capacity=replay_capacity)
+        self._inner = ThematicBroker(
+            matcher, replay_capacity=replay_capacity, registry=registry
+        )
+        self._queue_wait = self._inner.metrics.registry.histogram(
+            "broker.queue_wait_seconds"
+        )
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._lock = threading.Lock()
         self._closed = False
@@ -66,8 +74,10 @@ class ThreadedBroker:
             try:
                 if item is _STOP:
                     return
+                enqueued_at, event = item
+                self._queue_wait.record(time.perf_counter() - enqueued_at)
                 with self._lock:
-                    self._inner.publish(item)
+                    self._inner.publish(event)
             finally:
                 self._queue.task_done()
 
@@ -95,7 +105,7 @@ class ThreadedBroker:
         """
         if self._closed:
             raise RuntimeError("broker is closed")
-        self._queue.put(event)
+        self._queue.put((time.perf_counter(), event))
 
     def flush(self, timeout: float | None = None) -> bool:
         """Block until every queued event has been processed.
@@ -134,6 +144,19 @@ class ThreadedBroker:
     @property
     def metrics(self):
         return self._inner.metrics
+
+    def metrics_snapshot(self) -> dict:
+        """Coherent cross-thread view: counters plus queue-wait summary.
+
+        Counters are registry-backed (each guarded by its own lock), so
+        reading them from a producer thread while the worker publishes
+        is race-free — the historical failure mode of reading bare ints
+        off :class:`BrokerMetrics` mid-mutation.
+        """
+        snapshot = self._inner.metrics.snapshot()
+        snapshot["queue_wait"] = self._queue_wait.summary()
+        snapshot["pending"] = self.pending()
+        return snapshot
 
     def subscriber_count(self) -> int:
         with self._lock:

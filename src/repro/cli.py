@@ -14,31 +14,79 @@ Commands
 ``evaluate``
     Run the non-thematic baseline plus a thematic sub-experiment at the
     chosen workload scale and print the comparison.
+``stats``
+    Exercise the full pipeline (broker + thematic matcher) on a tiny
+    workload and dump the metrics-registry snapshot as JSON.
+
+``match`` and ``evaluate`` accept ``--trace``: tracing spans aggregate
+per-stage latency histograms and the command finishes with a per-stage
+timing table (add ``--trace-out FILE`` for the raw JSONL span log).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 
+from repro.broker.broker import ThematicBroker
 from repro.core.language import parse_event, parse_subscription
 from repro.core.matcher import ThematicMatcher
 from repro.evaluation import (
     ThemeCombination,
     WorkloadConfig,
     build_workload,
+    format_table,
     run_baseline,
     run_sub_experiment,
     theme_pool,
     thematic_matcher_factory,
 )
 from repro.knowledge.corpus import default_corpus
-from repro.semantics.measures import NonThematicMeasure, ThematicMeasure
+from repro.obs import TRACER, MetricsRegistry
+from repro.semantics.cache import RelatednessCache
+from repro.semantics.measures import (
+    CachedMeasure,
+    NonThematicMeasure,
+    ThematicMeasure,
+)
 from repro.semantics.persistence import corpus_digest, load_corpus, save_corpus
 from repro.semantics.pvsm import ParametricVectorSpace
 
 __all__ = ["main", "build_parser"]
+
+
+def _start_trace(args: argparse.Namespace) -> bool:
+    """Enable tracing for this command if ``--trace`` was given."""
+    if not getattr(args, "trace", False):
+        return False
+    TRACER.enable(
+        registry=MetricsRegistry(), sink=getattr(args, "trace_out", None)
+    )
+    return True
+
+
+def _finish_trace() -> None:
+    """Print the per-stage timing table and turn tracing back off."""
+    timings = TRACER.stage_timings()
+    print()
+    if not timings:
+        print("trace: no spans recorded")
+    else:
+        rows = [
+            (
+                stage,
+                summary["count"],
+                f"{summary['sum'] * 1000:.2f}",
+                f"{summary['p50'] * 1000:.3f}",
+                f"{summary['p99'] * 1000:.3f}",
+            )
+            for stage, summary in sorted(timings.items())
+        ]
+        print("per-stage timings (traced):")
+        print(format_table(("stage", "calls", "total ms", "p50 ms", "p99 ms"), rows))
+    TRACER.disable()
 
 
 def _tags(text: str | None) -> tuple[str, ...]:
@@ -52,12 +100,15 @@ def _space() -> ParametricVectorSpace:
 
 
 def cmd_match(args: argparse.Namespace) -> int:
+    tracing = _start_trace(args)
     space = _space()
     matcher = ThematicMatcher(ThematicMeasure(space), k=args.k)
     subscription = parse_subscription(args.subscription)
     event = parse_event(args.event)
     result = matcher.match(subscription, event)
     if result is None:
+        if tracing:
+            _finish_trace()
         print("no mapping exists (event has fewer tuples than the "
               "subscription has predicates)")
         return 1
@@ -67,6 +118,8 @@ def cmd_match(args: argparse.Namespace) -> int:
               f"P={mapping.probability:.3f}")
     matched = result.is_match(matcher.threshold)
     print(f"match: {matched} (threshold {matcher.threshold})")
+    if tracing:
+        _finish_trace()
     return 0 if matched else 1
 
 
@@ -105,6 +158,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    tracing = _start_trace(args)
     config = {
         "tiny": WorkloadConfig.tiny,
         "small": WorkloadConfig.small,
@@ -128,8 +182,46 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     )
     print(f"thematic ({args.event_tags}⊂{args.subscription_tags} tags): "
           f"F1={result.f1:.1%} {result.events_per_second:.0f} ev/s")
+    if result.latency is not None:
+        print(f"per-event latency: p50={result.latency.p50 * 1000:.2f} ms "
+              f"p99={result.latency.p99 * 1000:.2f} ms")
+    if result.cache_hit_rate is not None:
+        print(f"relatedness cache hit rate: {result.cache_hit_rate:.1%}")
     delta = result.f1 - baseline.f1
     print(f"F1 delta: {delta:+.1%} (paper: +9 points on average)")
+    if tracing:
+        _finish_trace()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Exercise the pipeline end to end and dump the registry snapshot."""
+    registry = MetricsRegistry()
+    TRACER.enable(registry=registry, sink=args.trace_out)
+    try:
+        workload = build_workload(WorkloadConfig.tiny())
+        pool = list(theme_pool(workload.thesaurus))
+        rng = random.Random(args.seed)
+        subscription_tags = tuple(rng.sample(pool, min(8, len(pool))))
+        event_tags = tuple(rng.sample(subscription_tags, 3))
+
+        cache = RelatednessCache()
+        matcher = ThematicMatcher(
+            CachedMeasure(ThematicMeasure(workload.space), cache)
+        )
+        broker = ThematicBroker(matcher, registry=registry)
+        for subscription in workload.subscriptions.approximate[: args.subscriptions]:
+            broker.subscribe(subscription.with_theme(subscription_tags))
+        for event in workload.events[: args.events]:
+            broker.publish(event.with_theme(event_tags))
+
+        registry.gauge("cache.relatedness_hit_rate").set(cache.hit_rate)
+        registry.gauge("cache.relatedness_entries").set(len(cache))
+        for name, size in workload.space.cache_stats().items():
+            registry.gauge(f"space.cache.{name}").set(size)
+    finally:
+        TRACER.disable()
+    print(json.dumps(registry.snapshot(), indent=2))
     return 0
 
 
@@ -144,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--subscription", required=True)
     p_match.add_argument("--event", required=True)
     p_match.add_argument("-k", type=int, default=3, help="top-k mappings")
+    p_match.add_argument("--trace", action="store_true",
+                         help="print per-stage pipeline timings")
+    p_match.add_argument("--trace-out", default=None,
+                         help="append span records as JSONL to this file")
     p_match.set_defaults(func=cmd_match)
 
     p_rel = sub.add_parser("relatedness", help="score two terms")
@@ -164,14 +260,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--event-tags", type=int, default=4)
     p_eval.add_argument("--subscription-tags", type=int, default=12)
     p_eval.add_argument("--seed", type=int, default=99)
+    p_eval.add_argument("--trace", action="store_true",
+                        help="print per-stage pipeline timings")
+    p_eval.add_argument("--trace-out", default=None,
+                        help="append span records as JSONL to this file")
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="exercise the pipeline on a tiny workload, dump metrics JSON",
+    )
+    p_stats.add_argument("--events", type=int, default=20,
+                         help="events to publish through the broker")
+    p_stats.add_argument("--subscriptions", type=int, default=8)
+    p_stats.add_argument("--seed", type=int, default=99)
+    p_stats.add_argument("--trace-out", default=None,
+                         help="append span records as JSONL to this file")
+    p_stats.set_defaults(func=cmd_stats)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    finally:
+        # A command that dies mid-run must not leave the global tracer
+        # enabled for the next in-process main() call.
+        TRACER.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -34,6 +34,7 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.core.similarity import SimilarityMatrix
+from repro.obs import TRACER
 
 __all__ = ["Correspondence", "Mapping", "k_best_assignments", "top_k_mappings"]
 
@@ -222,7 +223,8 @@ def top_k_mappings(matrix: SimilarityMatrix, k: int) -> list[Mapping]:
     subscription with more predicates than the event has tuples yields
     no mapping at all (the model requires exactly ``n`` correspondences).
     """
-    assignments = k_best_assignments(matrix.scores, k)
+    with TRACER.span("matcher.top_k", k=k):
+        assignments = k_best_assignments(matrix.scores, k)
     if not assignments:
         return []
     row_probs = matrix.row_probabilities()

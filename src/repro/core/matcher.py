@@ -24,6 +24,7 @@ from repro.core.events import Event
 from repro.core.mapping import Mapping, top_k_mappings
 from repro.core.similarity import Calibration, SimilarityMatrix, build_similarity_matrix
 from repro.core.subscriptions import Subscription
+from repro.obs import TRACER
 from repro.semantics.measures import SemanticMeasure
 
 __all__ = ["MatchResult", "ThematicMatcher"]
@@ -125,8 +126,13 @@ class ThematicMatcher:
         subscription has predicates (a mapping needs exactly ``n``
         distinct correspondences).
         """
-        matrix = self.similarity_matrix(subscription, event)
-        mappings = top_k_mappings(matrix, self.k)
+        with TRACER.span(
+            "matcher.match",
+            n=len(subscription.predicates),
+            m=len(event.payload),
+        ):
+            matrix = self.similarity_matrix(subscription, event)
+            mappings = top_k_mappings(matrix, self.k)
         if not mappings:
             return None
         return MatchResult(

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.events import Event
 from repro.core.subscriptions import Predicate, Subscription
+from repro.obs import TRACER
 from repro.semantics.measures import SemanticMeasure
 from repro.semantics.tokenize import normalize_term
 
@@ -177,17 +178,18 @@ def build_similarity_matrix(
     """Score every (predicate, tuple) pair (Figure 4, matrix ``M``)."""
     n = len(subscription.predicates)
     m = len(event.payload)
-    scores = np.zeros((n, m))
-    for i, predicate in enumerate(subscription.predicates):
-        for j, av in enumerate(event.payload):
-            scores[i, j] = predicate_tuple_score(
-                predicate,
-                av.attribute,
-                av.value,
-                measure,
-                subscription.theme,
-                event.theme,
-                min_relatedness=min_relatedness,
-                calibration=calibration,
-            )
+    with TRACER.span("matcher.similarity_matrix", n=n, m=m):
+        scores = np.zeros((n, m))
+        for i, predicate in enumerate(subscription.predicates):
+            for j, av in enumerate(event.payload):
+                scores[i, j] = predicate_tuple_score(
+                    predicate,
+                    av.attribute,
+                    av.value,
+                    measure,
+                    subscription.theme,
+                    event.theme,
+                    min_relatedness=min_relatedness,
+                    calibration=calibration,
+                )
     return SimilarityMatrix(subscription=subscription, event=event, scores=scores)

@@ -11,6 +11,7 @@ from repro.evaluation.harness import (
     CellResult,
     GridResult,
     SubExperimentResult,
+    matcher_cache_hit_rate,
     nonthematic_matcher_factory,
     run_baseline,
     run_grid,
@@ -93,6 +94,7 @@ __all__ = [
     "is_relevant",
     "load_grid",
     "save_grid",
+    "matcher_cache_hit_rate",
     "max_f1_from_precisions",
     "measure_throughput",
     "nonthematic_matcher_factory",

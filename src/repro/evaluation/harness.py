@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import statistics
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -32,6 +33,7 @@ from repro.evaluation.themes import (
     sample_theme_combinations,
 )
 from repro.evaluation.workload import Workload
+from repro.obs import LatencySummary
 from repro.semantics.cache import RelatednessCache
 from repro.semantics.measures import CachedMeasure, ThematicMeasure
 
@@ -41,6 +43,7 @@ __all__ = [
     "GridResult",
     "thematic_matcher_factory",
     "nonthematic_matcher_factory",
+    "matcher_cache_hit_rate",
     "run_sub_experiment",
     "run_baseline",
     "run_grid",
@@ -53,11 +56,19 @@ MatcherFactory = Callable[[], ThematicMatcher]
 
 @dataclass(frozen=True)
 class SubExperimentResult:
-    """One cell sample: a theme combination with its two measurements."""
+    """One cell sample: a theme combination with its measurements.
+
+    Besides the paper's two headline numbers (F1, throughput) the
+    harness records per-event latency percentiles and, when the matcher
+    exposes a memo, its relatedness-cache hit rate — the observability
+    numbers the bench artifacts report.
+    """
 
     combination: ThemeCombination
     effectiveness: EffectivenessResult
     throughput: ThroughputResult
+    latency: LatencySummary | None = None
+    cache_hit_rate: float | None = None
 
     @property
     def f1(self) -> float:
@@ -66,6 +77,18 @@ class SubExperimentResult:
     @property
     def events_per_second(self) -> float:
         return self.throughput.events_per_second
+
+    def as_metrics(self) -> dict:
+        """JSON-ready metrics block for ``BENCH_*.json`` artifacts."""
+        metrics: dict = {
+            "f1": self.f1,
+            "events_per_second": self.events_per_second,
+        }
+        if self.latency is not None:
+            metrics["latency"] = self.latency.as_dict(unit="ms")
+        if self.cache_hit_rate is not None:
+            metrics["cache_hit_rate"] = self.cache_hit_rate
+        return metrics
 
 
 @dataclass(frozen=True)
@@ -94,6 +117,36 @@ class CellResult:
     def throughput_error(self) -> float:
         values = [s.events_per_second for s in self.samples]
         return statistics.stdev(values) if len(values) > 1 else 0.0
+
+    def as_metrics(self) -> dict:
+        """JSON-ready aggregate for ``BENCH_*.json`` artifacts.
+
+        Latency percentiles average across the cell's samples (each
+        sample already summarizes its own event stream); cache hit rate
+        averages over the samples that report one.
+        """
+        metrics: dict = {
+            "event_size": self.event_size,
+            "subscription_size": self.subscription_size,
+            "mean_f1": self.mean_f1,
+            "f1_error": self.f1_error,
+            "mean_events_per_second": self.mean_throughput,
+            "throughput_error": self.throughput_error,
+        }
+        latencies = [s.latency for s in self.samples if s.latency is not None]
+        if latencies:
+            metrics["latency"] = {
+                "unit": "ms",
+                "p50": statistics.fmean(s.p50 for s in latencies) * 1000,
+                "p90": statistics.fmean(s.p90 for s in latencies) * 1000,
+                "p99": statistics.fmean(s.p99 for s in latencies) * 1000,
+            }
+        hit_rates = [
+            s.cache_hit_rate for s in self.samples if s.cache_hit_rate is not None
+        ]
+        if hit_rates:
+            metrics["cache_hit_rate"] = statistics.fmean(hit_rates)
+        return metrics
 
 
 @dataclass(frozen=True)
@@ -128,6 +181,27 @@ class GridResult:
         if value == "f1":
             return statistics.fmean(c.mean_f1 for c in self.cells.values())
         return statistics.fmean(c.mean_throughput for c in self.cells.values())
+
+    def as_metrics(self) -> dict:
+        """JSON-ready grid summary for ``BENCH_*.json`` artifacts."""
+        cells = [cell.as_metrics() for _, cell in sorted(self.cells.items())]
+        metrics: dict = {
+            "overall_mean_f1": self.overall_mean("f1"),
+            "overall_mean_events_per_second": self.overall_mean("throughput"),
+            "cells": cells,
+        }
+        cell_p50 = [c["latency"]["p50"] for c in cells if "latency" in c]
+        cell_p99 = [c["latency"]["p99"] for c in cells if "latency" in c]
+        if cell_p50:
+            metrics["latency"] = {
+                "unit": "ms",
+                "p50": statistics.fmean(cell_p50),
+                "p99": statistics.fmean(cell_p99),
+            }
+        hit_rates = [c["cache_hit_rate"] for c in cells if "cache_hit_rate" in c]
+        if hit_rates:
+            metrics["cache_hit_rate"] = statistics.fmean(hit_rates)
+        return metrics
 
 
 def thematic_matcher_factory(
@@ -164,6 +238,13 @@ def score_matrix(
     return [[matcher.score(sub, event) for event in events] for sub in subscriptions]
 
 
+def matcher_cache_hit_rate(matcher: ThematicMatcher) -> float | None:
+    """Relatedness-cache hit rate of a matcher's measure, if it has one."""
+    cache = getattr(matcher.measure, "cache", None)
+    hit_rate = getattr(cache, "hit_rate", None)
+    return float(hit_rate) if hit_rate is not None else None
+
+
 def run_sub_experiment(
     workload: Workload,
     matcher_factory: MatcherFactory,
@@ -181,17 +262,24 @@ def run_sub_experiment(
     scores: list[list[float]] = [
         [0.0] * len(themed_events) for _ in themed_subscriptions
     ]
+    latencies: list[float] = []
 
     def process() -> int:
         for j, event in enumerate(themed_events):
+            started = time.perf_counter()
             for i, subscription in enumerate(themed_subscriptions):
                 scores[i][j] = matcher.score(subscription, event)
+            latencies.append(time.perf_counter() - started)
         return len(themed_events)
 
     throughput = measure_throughput(process)
     result = effectiveness(scores, workload.ground_truth.relevant_sets)
     return SubExperimentResult(
-        combination=combination, effectiveness=result, throughput=throughput
+        combination=combination,
+        effectiveness=result,
+        throughput=throughput,
+        latency=LatencySummary.from_seconds(latencies),
+        cache_hit_rate=matcher_cache_hit_rate(matcher),
     )
 
 

@@ -19,6 +19,7 @@ from repro.evaluation.metrics import (
     ThroughputResult,
 )
 from repro.evaluation.themes import ThemeCombination, ThemeGridConfig
+from repro.obs import LatencySummary
 
 __all__ = ["FORMAT_VERSION", "save_grid", "load_grid"]
 
@@ -26,7 +27,7 @@ FORMAT_VERSION = 1
 
 
 def _sample_to_dict(sample: SubExperimentResult) -> dict:
-    return {
+    data = {
         "event_tags": list(sample.combination.event_tags),
         "subscription_tags": list(sample.combination.subscription_tags),
         "precisions": list(sample.effectiveness.precisions),
@@ -34,6 +35,26 @@ def _sample_to_dict(sample: SubExperimentResult) -> dict:
         "events": sample.throughput.events,
         "seconds": sample.throughput.seconds,
     }
+    # Observability extras are optional so version-1 files stay readable
+    # in both directions.
+    if sample.latency is not None:
+        data["latency"] = sample.latency.as_dict()
+    if sample.cache_hit_rate is not None:
+        data["cache_hit_rate"] = sample.cache_hit_rate
+    return data
+
+
+def _latency_from_dict(data: dict | None) -> LatencySummary | None:
+    if data is None:
+        return None
+    return LatencySummary(
+        count=data["count"],
+        mean=data["mean"],
+        p50=data["p50"],
+        p90=data["p90"],
+        p99=data["p99"],
+        max=data["max"],
+    )
 
 
 def _sample_from_dict(data: dict) -> SubExperimentResult:
@@ -50,6 +71,8 @@ def _sample_from_dict(data: dict) -> SubExperimentResult:
         throughput=ThroughputResult(
             events=data["events"], seconds=data["seconds"]
         ),
+        latency=_latency_from_dict(data.get("latency")),
+        cache_hit_rate=data.get("cache_hit_rate"),
     )
 
 

@@ -1,0 +1,46 @@
+"""Observability layer: metrics registry, pipeline tracing, bench artifacts.
+
+Three pieces, deliberately dependency-free so every other package can
+import them:
+
+* :mod:`repro.obs.registry` — thread-safe counters/gauges/histograms
+  with JSON-ready snapshots;
+* :mod:`repro.obs.tracing` — spans over the match pipeline with a
+  zero-overhead disabled mode and optional JSONL export;
+* :mod:`repro.obs.artifacts` — the ``BENCH_<name>.json`` schema shared
+  by all benchmark drivers.
+"""
+
+from repro.obs.artifacts import (
+    SCHEMA,
+    LatencySummary,
+    artifact_path,
+    load_bench_artifact,
+    write_bench_artifact,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import TRACER, Tracer, traced
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencySummary",
+    "MetricsRegistry",
+    "TRACER",
+    "Tracer",
+    "artifact_path",
+    "get_registry",
+    "load_bench_artifact",
+    "set_registry",
+    "traced",
+    "write_bench_artifact",
+]

@@ -1,0 +1,138 @@
+"""Machine-readable benchmark artifacts (``BENCH_<name>.json``).
+
+Every benchmark driver reports through :func:`write_bench_artifact`, so
+all artifacts share one schema (``repro.bench/v1``)::
+
+    {
+      "schema": "repro.bench/v1",
+      "bench": "fig9_throughput",
+      "created_unix": 1754500000.0,
+      "scale": "small",
+      "metrics": { ... bench-specific numbers ... }
+    }
+
+Standard metric shapes — throughput, latency percentiles, cache hit
+rate, F1 — come from the small helpers below so downstream tooling
+(trend dashboards, regression gates) can parse any artifact without
+per-bench special cases. :class:`LatencySummary` is the exact-percentile
+companion to the registry's streaming histograms: benches hold all
+their samples in memory anyway, so they report exact p50/p90/p99.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA",
+    "LatencySummary",
+    "artifact_path",
+    "write_bench_artifact",
+    "load_bench_artifact",
+]
+
+SCHEMA = "repro.bench/v1"
+
+#: Environment variable overriding where artifacts land (default: cwd).
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def _exact_percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted samples."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Exact latency percentiles over a finished sample set (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_seconds(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_exact_percentile(ordered, 0.50),
+            p90=_exact_percentile(ordered, 0.90),
+            p99=_exact_percentile(ordered, 0.99),
+            max=ordered[-1],
+        )
+
+    def as_dict(self, *, unit: str = "seconds") -> dict[str, Any]:
+        scale = 1000.0 if unit == "ms" else 1.0
+        return {
+            "unit": unit,
+            "count": self.count,
+            "mean": self.mean * scale,
+            "p50": self.p50 * scale,
+            "p90": self.p90 * scale,
+            "p99": self.p99 * scale,
+            "max": self.max * scale,
+        }
+
+
+def artifact_path(name: str, directory: str | Path | None = None) -> Path:
+    """Where ``BENCH_<name>.json`` lives for the current configuration."""
+    if directory is None:
+        directory = os.environ.get(BENCH_DIR_ENV, ".")
+    return Path(directory) / f"BENCH_{name}.json"
+
+
+def write_bench_artifact(
+    name: str,
+    metrics: dict[str, Any],
+    *,
+    directory: str | Path | None = None,
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Write one benchmark's machine-readable result document.
+
+    ``metrics`` is the bench-specific payload; ``extra`` adds top-level
+    context fields (workload summary, grid shape, …). Returns the path
+    written.
+    """
+    document: dict[str, Any] = {
+        "schema": SCHEMA,
+        "bench": name,
+        "created_unix": time.time(),
+        "scale": os.environ.get("REPRO_SCALE", "small"),
+    }
+    if extra:
+        document.update(extra)
+    document["metrics"] = metrics
+    path = artifact_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False, default=float)
+        handle.write("\n")
+    return path
+
+
+def load_bench_artifact(name: str, directory: str | Path | None = None) -> dict:
+    """Read an artifact back; raises if it is missing or off-schema."""
+    with open(artifact_path(name, directory), encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != SCHEMA:
+        raise ValueError(
+            f"artifact {name!r} has schema {document.get('schema')!r},"
+            f" expected {SCHEMA!r}"
+        )
+    return document

@@ -1,0 +1,277 @@
+"""Thread-safe metrics registry: counters, gauges, streaming histograms.
+
+The registry is the single sink for operational numbers across the
+pipeline — broker counters, cache hit rates, per-stage latencies — so
+benchmarks and the CLI can take one coherent snapshot instead of
+scraping ad-hoc ints off individual objects (which is also what makes
+cross-thread reads safe: every mutation goes through a per-metric lock,
+and :meth:`MetricsRegistry.snapshot` reads under the registry lock).
+
+Histograms use HDR-style logarithmic bucketing: values land in buckets
+whose width grows geometrically (``GROWTH`` per step, ~5% relative
+error), so a histogram covering nanoseconds to minutes stays a few
+hundred ints. Percentiles (p50/p90/p99) are read from the bucket
+cumulative distribution and reported at the bucket's geometric midpoint.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+#: Geometric growth factor between histogram bucket boundaries.
+GROWTH = 1.05
+_LOG_GROWTH = math.log(GROWTH)
+
+#: Default percentile set reported by snapshots.
+PERCENTILES = (0.50, 0.90, 0.99)
+
+
+class Counter:
+    """Monotonically increasing integer, safe to bump from any thread."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-write-wins float, safe to set from any thread."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+def _bucket_index(value: float) -> int:
+    """Logarithmic bucket index for a positive value."""
+    return int(math.floor(math.log(value) / _LOG_GROWTH))
+
+
+def _bucket_midpoint(index: int) -> float:
+    """Geometric midpoint of bucket ``index``."""
+    low = math.exp(index * _LOG_GROWTH)
+    return low * math.sqrt(GROWTH)
+
+
+class Histogram:
+    """Streaming histogram with geometric (HDR-style) buckets.
+
+    Records arbitrary non-negative floats (latencies in seconds, sizes,
+    …) with ~5% relative error on percentile estimates; exact count,
+    sum, min and max are tracked on the side. Zero and negative values
+    collapse into a dedicated underflow bucket reported as 0.0.
+    """
+
+    __slots__ = ("name", "_buckets", "_zeros", "_count", "_sum", "_min", "_max",
+                 "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._buckets: dict[int, int] = {}
+        self._zeros = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if value <= 0.0:
+                self._zeros += 1
+            else:
+                index = _bucket_index(value)
+                self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in ``[0, 1]``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            cumulative = self._zeros
+            if cumulative >= target and self._zeros:
+                return 0.0
+            for index in sorted(self._buckets):
+                cumulative += self._buckets[index]
+                if cumulative >= target:
+                    # Clamp the estimate into the observed range so tiny
+                    # samples do not report beyond the recorded extremes.
+                    return min(max(_bucket_midpoint(index), self._min), self._max)
+            return self._max
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+            self._zeros = 0
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+
+    def summary(self, percentiles: tuple[float, ...] = PERCENTILES) -> dict[str, Any]:
+        """Plain-dict snapshot: count/sum/mean/min/max plus percentiles."""
+        values = {f"p{int(q * 100)}": self.percentile(q) for q in percentiles}
+        with self._lock:
+            count, total = self._count, self._sum
+            low = self._min if self._count else 0.0
+            high = self._max if self._count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": low,
+            "max": high,
+            **values,
+        }
+
+
+class MetricsRegistry:
+    """Named collection of counters, gauges, and histograms.
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name, so any
+    layer can reach its metric without wiring objects through
+    constructors. ``snapshot`` returns plain nested dicts (JSON-ready)
+    and is safe to call while other threads are recording — each metric
+    guards its own state, and registration itself holds the registry
+    lock.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+            return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time view of every metric as plain JSON-ready dicts."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            metrics = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for metric in metrics:
+            metric.reset()
+
+
+#: Process-wide default registry (the CLI and tracer aggregate here);
+#: components that need isolation (brokers, tests) construct their own.
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -32,11 +32,28 @@ def _half(term: str, theme: Iterable[str]) -> tuple[str, tuple[str, ...]]:
 
 @dataclass
 class RelatednessCache:
-    """Unbounded symmetric memo of relatedness scores with hit counters."""
+    """Symmetric memo of relatedness scores with hit counters.
+
+    Unbounded by default (the historical behaviour); pass
+    ``max_entries`` to cap memory on long-running brokers — eviction is
+    LRU (hits refresh recency), so the working set of a steady workload
+    stays resident while one-off pairs age out.
+    """
 
     _scores: dict[CacheKey, float] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    max_entries: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError("max_entries must be positive (or None)")
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo; 0.0 before any."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def key(
         self,
@@ -54,9 +71,17 @@ class RelatednessCache:
             self.misses += 1
         else:
             self.hits += 1
+            if self.max_entries is not None:
+                # Refresh recency: dicts iterate in insertion order, so
+                # re-inserting moves the key to the "young" end.
+                del self._scores[key]
+                self._scores[key] = value
         return value
 
     def put(self, key: CacheKey, value: float) -> None:
+        if self.max_entries is not None and key not in self._scores:
+            while len(self._scores) >= self.max_entries:
+                self._scores.pop(next(iter(self._scores)))
         self._scores[key] = value
 
     def __len__(self) -> int:

@@ -123,6 +123,10 @@ class CachedMeasure:
         self.inner = inner
         self.cache = cache if cache is not None else RelatednessCache()
 
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.hit_rate
+
     def score(
         self,
         term_s: str,

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from functools import lru_cache
 
+from repro.obs import TRACER
 from repro.semantics.documents import DocumentSet
 from repro.semantics.space import DistributionalVectorSpace
 from repro.semantics.tokenize import normalize_term, tokenize
@@ -129,10 +130,13 @@ class ParametricVectorSpace(DistributionalVectorSpace):
         if not key:
             vector = self.term_vector(term_norm)
         else:
-            basis = self.theme_basis(key)
-            vector = ZERO_VECTOR
-            for token in tokenize(term_norm):
-                vector = vector.add(self._project_token(token, basis))
+            # The span covers only the cache-miss work: repeated lookups
+            # are dict hits and would drown the projection timings.
+            with TRACER.span("semantics.project", tags=len(key)):
+                basis = self.theme_basis(key)
+                vector = ZERO_VECTOR
+                for token in tokenize(term_norm):
+                    vector = vector.add(self._project_token(token, basis))
         self._projections[cache_key] = vector
         return vector
 
@@ -191,14 +195,15 @@ class ParametricVectorSpace(DistributionalVectorSpace):
         """
         if mode not in ("common", "own"):
             raise ValueError(f"unknown thematic mode {mode!r}")
-        key_s, key_e = theme_key(theme_s), theme_key(theme_e)
-        if mode == "common" and key_s != key_e:
-            left = self._project_common(term_s, key_s, key_e)
-            right = self._project_common(term_e, key_e, key_s)
-        else:
-            left = self.project(term_s, key_s)
-            right = self.project(term_e, key_e)
-        return self.vector_relatedness(left, right)
+        with TRACER.span("semantics.relatedness"):
+            key_s, key_e = theme_key(theme_s), theme_key(theme_e)
+            if mode == "common" and key_s != key_e:
+                left = self._project_common(term_s, key_s, key_e)
+                right = self._project_common(term_e, key_e, key_s)
+            else:
+                left = self.project(term_s, key_s)
+                right = self.project(term_e, key_e)
+            return self.vector_relatedness(left, right)
 
     def common_basis(
         self, theme_a: Iterable[str], theme_b: Iterable[str]

@@ -1,0 +1,122 @@
+"""Broker metrics under failure and concurrency.
+
+Covers the `callback_errors` counter path and verifies the
+registry-backed snapshot API stays coherent while a producer hammers a
+:class:`ThreadedBroker` from another thread.
+"""
+
+import threading
+
+import pytest
+
+from repro.broker.broker import BrokerMetrics, ThematicBroker
+from repro.broker.threaded import ThreadedBroker
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.obs import MetricsRegistry
+from repro.semantics.measures import ThematicMeasure
+
+EVENT = parse_event(
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event, device: computer,"
+    "  office: room 112})"
+)
+MATCHING = parse_subscription(
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+
+
+@pytest.fixture()
+def matcher(space):
+    return ThematicMatcher(ThematicMeasure(space))
+
+
+class TestCallbackErrors:
+    def test_failing_callback_counted_and_isolated(self, matcher):
+        broker = ThematicBroker(matcher)
+
+        def explode(delivery):
+            raise RuntimeError("subscriber bug")
+
+        seen = []
+        broker.subscribe(MATCHING, explode)
+        healthy = broker.subscribe(MATCHING, seen.append)
+
+        assert broker.publish(EVENT) == 2
+        assert broker.metrics.callback_errors == 1
+        # The healthy subscriber still got its delivery.
+        assert len(seen) == 1
+        assert len(healthy.drain()) == 1
+
+    def test_callback_errors_accumulate(self, matcher):
+        broker = ThematicBroker(matcher)
+        broker.subscribe(MATCHING, lambda d: 1 / 0)
+        broker.publish(EVENT)
+        broker.publish(EVENT)
+        assert broker.metrics.callback_errors == 2
+        assert broker.metrics.snapshot()["callback_errors"] == 2
+
+
+class TestBrokerMetricsRegistry:
+    def test_snapshot_matches_properties(self):
+        metrics = BrokerMetrics()
+        metrics.inc("published", 3)
+        metrics.inc("deliveries")
+        snapshot = metrics.snapshot()
+        assert snapshot["published"] == metrics.published == 3
+        assert snapshot["deliveries"] == metrics.deliveries == 1
+        assert set(snapshot) == set(BrokerMetrics.FIELDS)
+
+    def test_shared_registry_exposes_broker_counters(self, matcher):
+        registry = MetricsRegistry()
+        broker = ThematicBroker(matcher, registry=registry)
+        broker.subscribe(MATCHING)
+        broker.publish(EVENT)
+        counters = registry.snapshot()["counters"]
+        assert counters["broker.published"] == 1
+        assert counters["broker.evaluations"] == 1
+
+
+class TestThreadedSnapshot:
+    def test_snapshot_coherent_under_concurrent_publish(self, matcher):
+        events = 60
+        with ThreadedBroker(matcher, max_queue=events) as broker:
+            broker.subscribe(MATCHING)
+            snapshots = []
+            stop = threading.Event()
+
+            def observe():
+                while not stop.is_set():
+                    snapshots.append(broker.metrics_snapshot())
+
+            observer = threading.Thread(target=observe)
+            observer.start()
+            try:
+                for _ in range(events):
+                    broker.publish(EVENT)
+                broker.flush()
+            finally:
+                stop.set()
+                observer.join()
+            final = broker.metrics_snapshot()
+
+        assert final["published"] == events
+        assert final["deliveries"] == events
+        assert final["pending"] == 0
+        assert final["queue_wait"]["count"] == events
+        # Mid-flight snapshots never run backwards or overshoot.
+        published = [s["published"] for s in snapshots]
+        assert published == sorted(published)
+        assert all(0 <= p <= events for p in published)
+
+    def test_queue_wait_histogram_records_nonnegative(self, matcher):
+        with ThreadedBroker(matcher) as broker:
+            broker.subscribe(MATCHING)
+            for _ in range(5):
+                broker.publish(EVENT)
+            broker.flush()
+            wait = broker.metrics_snapshot()["queue_wait"]
+        assert wait["count"] == 5
+        assert wait["min"] >= 0.0
+        assert wait["p99"] >= wait["p50"] >= 0.0

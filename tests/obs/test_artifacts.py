@@ -1,0 +1,78 @@
+"""Unit tests for bench artifacts and latency summaries."""
+
+import json
+
+import pytest
+
+from repro.obs.artifacts import (
+    SCHEMA,
+    LatencySummary,
+    artifact_path,
+    load_bench_artifact,
+    write_bench_artifact,
+)
+
+
+class TestLatencySummary:
+    def test_from_seconds_percentiles(self):
+        samples = [i / 100.0 for i in range(1, 101)]
+        summary = LatencySummary.from_seconds(samples)
+        assert summary.count == 100
+        assert summary.p50 == pytest.approx(0.50, abs=0.02)
+        assert summary.p90 == pytest.approx(0.90, abs=0.02)
+        assert summary.p99 == pytest.approx(0.99, abs=0.02)
+        assert summary.max == pytest.approx(1.0)
+
+    def test_empty_samples(self):
+        summary = LatencySummary.from_seconds([])
+        assert summary.count == 0
+        assert summary.p99 == 0.0
+
+    def test_as_dict_ms_scaling(self):
+        summary = LatencySummary.from_seconds([0.5])
+        as_ms = summary.as_dict(unit="ms")
+        assert as_ms["unit"] == "ms"
+        assert as_ms["p50"] == pytest.approx(500.0)
+        as_seconds = summary.as_dict()
+        assert as_seconds["p50"] == pytest.approx(0.5)
+
+
+class TestArtifacts:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = write_bench_artifact(
+            "demo",
+            {"f1": 0.7, "latency": {"p50": 1.0, "p99": 2.0}},
+            directory=tmp_path,
+            extra={"workload": "tiny"},
+        )
+        assert path == tmp_path / "BENCH_demo.json"
+        document = load_bench_artifact("demo", tmp_path)
+        assert document["schema"] == SCHEMA
+        assert document["bench"] == "demo"
+        assert document["workload"] == "tiny"
+        assert document["metrics"]["f1"] == 0.7
+
+    def test_artifact_is_valid_json_with_schema_first(self, tmp_path):
+        write_bench_artifact("x", {}, directory=tmp_path)
+        raw = (tmp_path / "BENCH_x.json").read_text()
+        document = json.loads(raw)
+        assert list(document)[0] == "schema"
+
+    def test_env_dir_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert artifact_path("y") == tmp_path / "BENCH_y.json"
+        write_bench_artifact("y", {"ok": 1})
+        assert (tmp_path / "BENCH_y.json").exists()
+
+    def test_load_rejects_off_schema(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text('{"schema": "other/v9"}')
+        with pytest.raises(ValueError):
+            load_bench_artifact("bad", tmp_path)
+
+    def test_numpy_scalars_serializable(self, tmp_path):
+        import numpy as np
+
+        write_bench_artifact(
+            "np", {"value": np.float64(0.25)}, directory=tmp_path
+        )
+        assert load_bench_artifact("np", tmp_path)["metrics"]["value"] == 0.25

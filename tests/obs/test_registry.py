@@ -1,0 +1,150 @@
+"""Unit tests for the metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        counter = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        workers = [threading.Thread(target=bump) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == 8000
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(1.5)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(6.0)
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_percentiles_within_bucket_error(self):
+        histogram = Histogram("h")
+        for i in range(1, 1001):
+            histogram.record(i / 1000.0)
+        # Geometric buckets carry ~5% relative error.
+        assert histogram.percentile(0.5) == pytest.approx(0.5, rel=0.10)
+        assert histogram.percentile(0.99) == pytest.approx(0.99, rel=0.10)
+
+    def test_percentile_clamped_to_observed_range(self):
+        histogram = Histogram("h")
+        histogram.record(0.123)
+        assert histogram.percentile(0.5) == pytest.approx(0.123)
+        assert histogram.percentile(0.99) == pytest.approx(0.123)
+
+    def test_zero_and_negative_values(self):
+        histogram = Histogram("h")
+        histogram.record(0.0)
+        histogram.record(-1.0)
+        histogram.record(1.0)
+        assert histogram.count == 3
+        assert histogram.percentile(0.25) == 0.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").percentile(0.99) == 0.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(1.5)
+
+    def test_summary_keys(self):
+        histogram = Histogram("h")
+        histogram.record(2.0)
+        summary = histogram.summary()
+        for key in ("count", "sum", "mean", "min", "max", "p50", "p90", "p99"):
+            assert key in summary
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("y") is registry.histogram("y")
+        assert registry.gauge("z") is registry.gauge("z")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(0.5)
+        registry.histogram("c").record(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a": 2}
+        assert snapshot["gauges"] == {"b": 0.5}
+        assert snapshot["histograms"]["c"]["count"] == 1
+
+    def test_snapshot_under_concurrent_writes(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def write():
+            while not stop.is_set():
+                registry.counter("n").inc()
+                registry.histogram("h").record(0.001)
+
+        worker = threading.Thread(target=write)
+        worker.start()
+        try:
+            for _ in range(50):
+                snapshot = registry.snapshot()
+                assert snapshot["counters"]["n"] >= 0
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_reset_clears_all(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("h").record(1.0)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["a"] == 0
+        assert snapshot["histograms"]["h"]["count"] == 0
+
+    def test_default_registry_swap(self):
+        replacement = MetricsRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert get_registry() is replacement
+        finally:
+            set_registry(previous)

@@ -49,6 +49,60 @@ class TestRelatednessCache:
         assert len(cache) == 0
         assert cache.hits == 0
 
+    def test_hit_rate(self):
+        cache = RelatednessCache()
+        key = cache.key("a1", (), "b1", ())
+        assert cache.hit_rate == 0.0
+        cache.get(key)  # miss
+        cache.put(key, 0.1)
+        cache.get(key)  # hit
+        cache.get(key)  # hit
+        assert cache.hit_rate == 2 / 3
+
+    def test_unbounded_by_default(self):
+        cache = RelatednessCache()
+        for i in range(1000):
+            cache.put(cache.key(f"t{i}", (), "b1", ()), 0.1)
+        assert len(cache) == 1000
+
+
+class TestBoundedCache:
+    def _key(self, cache, i):
+        return cache.key(f"t{i}", (), "z1", ())
+
+    def test_max_entries_evicts_oldest(self):
+        cache = RelatednessCache(max_entries=2)
+        cache.put(self._key(cache, 0), 0.0)
+        cache.put(self._key(cache, 1), 0.1)
+        cache.put(self._key(cache, 2), 0.2)
+        assert len(cache) == 2
+        assert cache.get(self._key(cache, 0)) is None
+        assert cache.get(self._key(cache, 2)) == 0.2
+
+    def test_get_refreshes_recency(self):
+        cache = RelatednessCache(max_entries=2)
+        cache.put(self._key(cache, 0), 0.0)
+        cache.put(self._key(cache, 1), 0.1)
+        cache.get(self._key(cache, 0))  # now most-recent
+        cache.put(self._key(cache, 2), 0.2)
+        assert cache.get(self._key(cache, 0)) == 0.0
+        assert cache.get(self._key(cache, 1)) is None
+
+    def test_put_existing_key_does_not_evict(self):
+        cache = RelatednessCache(max_entries=2)
+        cache.put(self._key(cache, 0), 0.0)
+        cache.put(self._key(cache, 1), 0.1)
+        cache.put(self._key(cache, 0), 0.5)  # update in place
+        assert len(cache) == 2
+        assert cache.get(self._key(cache, 0)) == 0.5
+        assert cache.get(self._key(cache, 1)) == 0.1
+
+    def test_invalid_bound_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RelatednessCache(max_entries=0)
+
 
 class TestPrecomputeScores:
     def test_covers_cross_product(self):

@@ -95,3 +95,58 @@ def test_evaluate_tiny(capsys):
     assert "baseline" in out
     assert "thematic" in out
     assert "F1 delta" in out
+
+
+class TestTracing:
+    def test_match_trace_prints_stage_timings(self, capsys):
+        code = main(
+            ["match", "--subscription", SUBSCRIPTION, "--event", EVENT, "--trace"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-stage timings" in out
+        assert "matcher.match" in out
+        assert "matcher.similarity_matrix" in out
+        assert "matcher.top_k" in out
+
+    def test_match_trace_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        sink = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "match",
+                "--subscription",
+                SUBSCRIPTION,
+                "--event",
+                EVENT,
+                "--trace",
+                "--trace-out",
+                str(sink),
+            ]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert records
+        assert all("span" in r and "duration_ms" in r for r in records)
+        assert any(r["span"] == "matcher.match" for r in records)
+
+    def test_match_without_trace_has_no_timings(self, capsys):
+        code = main(["match", "--subscription", SUBSCRIPTION, "--event", EVENT])
+        assert code == 0
+        assert "per-stage timings" not in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_prints_registry_snapshot(self, capsys):
+        import json
+
+        code = main(["stats", "--events", "5", "--subscriptions", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        start = out.index("{")
+        snapshot = json.loads(out[start:])
+        assert snapshot["counters"]["broker.published"] == 5
+        assert snapshot["counters"]["broker.evaluations"] == 15
+        assert "cache.relatedness_hit_rate" in snapshot["gauges"]
+        assert "stage.matcher.match" in snapshot["histograms"]
