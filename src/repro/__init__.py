@@ -56,8 +56,10 @@ from repro.broker import BrokerOverlay, ThematicBroker
 from repro.cep import CEPEngine, Pattern, parse_pattern
 from repro.core import (
     AttributeValue,
+    BatchMatchResult,
     Calibration,
     Event,
+    MatchEngine,
     MatchResult,
     Predicate,
     Subscription,
@@ -89,6 +91,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AttributeValue",
+    "BatchMatchResult",
     "BrokerOverlay",
     "CEPEngine",
     "Calibration",
@@ -97,6 +100,7 @@ __all__ = [
     "Event",
     "ExactMatcher",
     "ExactMeasure",
+    "MatchEngine",
     "MatchResult",
     "NonThematicMatcher",
     "NonThematicMeasure",

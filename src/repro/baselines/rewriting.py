@@ -16,14 +16,17 @@ rewriting baseline loses F1 in [16]'s comparison).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from itertools import product
 
-from repro.baselines.exact import CountingIndex, ExactMatcher
+from repro.baselines.exact import CountingIndex, ExactMatcher, exact_match_result
+from repro.core.api import BatchMatchResult
 from repro.core.events import Event
+from repro.core.matcher import MatchResult
 from repro.core.subscriptions import Predicate, Subscription
 from repro.knowledge.rewrite import single_replacements
 from repro.knowledge.thesaurus import Thesaurus
+from repro.obs import TRACER
 
 __all__ = ["rewrite_subscription", "RewritingMatcher"]
 
@@ -96,11 +99,16 @@ class RewritingMatcher:
     """Boolean matcher running exact matching over rewritten queries.
 
     Exposes the same ``score``/``matches`` interface as the approximate
-    matchers so the harness can rank with it. ``index_for`` builds a
-    :class:`~repro.baselines.exact.CountingIndex` over all rewrites of a
-    subscription set — the high-throughput deployment mode whose cost is
-    paid in index size instead.
+    matchers so the harness can rank with it, and implements the full
+    :class:`~repro.core.api.MatchEngine` contract: ``match`` reports the
+    first matching rewrite as a unit-score result and ``match_batch``
+    runs a :class:`~repro.baselines.exact.CountingIndex` over every
+    rewrite of the batch's subscriptions (the high-throughput deployment
+    mode whose cost is paid in index size; ``index_for`` exposes the
+    same index for external use).
     """
+
+    threshold: float = 0.5
 
     def __init__(
         self,
@@ -139,6 +147,92 @@ class RewritingMatcher:
 
     def score(self, subscription: Subscription, event: Event) -> float:
         return 1.0 if self.matches(subscription, event) else 0.0
+
+    def match(self, subscription: Subscription, event: Event) -> MatchResult | None:
+        """Unit-score result via the first matching rewrite, else ``None``.
+
+        The result reports the *original* (approximate) subscription;
+        its matrix and mapping come from the rewrite that matched.
+        Rewrites beyond ``max_rewrites`` are never enumerated, so —
+        consistently with :meth:`matches` — a pair only they would
+        accept returns ``None``.
+        """
+        for rewrite in self.rewrites(subscription):
+            if self._exact.matches(rewrite, event):
+                return exact_match_result(subscription, event, rewrite.predicates)
+        return None
+
+    def match_batch(
+        self,
+        subscriptions: Sequence[Subscription],
+        events: Sequence[Event],
+        *,
+        scores_only: bool = False,
+        prune_zero: bool | None = None,
+    ) -> BatchMatchResult:
+        """Index-backed batch matching over all rewrites.
+
+        One counting index covers every rewrite of every subscription in
+        the batch; each event is looked up once. Index hits are
+        confirmed with exact per-pair matching (superset under duplicate
+        event attributes), and ties between a subscription's rewrites
+        resolve to the earliest enumerated one, so results are
+        bit-identical to per-pair :meth:`match`. ``prune_zero`` is
+        accepted for interface compatibility.
+        """
+        subscriptions = tuple(subscriptions)
+        events = tuple(events)
+        with TRACER.span(
+            "rewriting.match_batch",
+            subscriptions=len(subscriptions),
+            events=len(events),
+        ):
+            scores = [[0.0] * len(events) for _ in subscriptions]
+            results: list[list[MatchResult | None]] | None = (
+                None if scores_only
+                else [[None] * len(events) for _ in subscriptions]
+            )
+            index = CountingIndex()
+            owners: dict[int, int] = {}
+            vacuous: list[int] = []
+            for i, subscription in enumerate(subscriptions):
+                if not subscription.predicates:
+                    vacuous.append(i)  # counting indexes never fire on arity 0
+                for rewrite in self.rewrites(subscription):
+                    owners[index.add(rewrite)] = i
+            for j, event in enumerate(events):
+                done: set[int] = set()
+                for i in vacuous:
+                    scores[i][j] = 1.0
+                    done.add(i)
+                    if results is not None:
+                        results[i][j] = exact_match_result(
+                            subscriptions[i],
+                            event,
+                            self.rewrites(subscriptions[i])[0].predicates,
+                        )
+                # index.match returns ascending ids = rewrite enumeration
+                # order, so the first confirmed hit per subscription is
+                # the same rewrite per-pair match() would pick.
+                for sub_id in index.match(event):
+                    i = owners[sub_id]
+                    if i in done:
+                        continue
+                    rewrite = index.subscription(sub_id)
+                    if not self._exact.matches(rewrite, event):
+                        continue
+                    done.add(i)
+                    scores[i][j] = 1.0
+                    if results is not None:
+                        results[i][j] = exact_match_result(
+                            subscriptions[i], event, rewrite.predicates
+                        )
+        return BatchMatchResult(
+            subscriptions=subscriptions,
+            events=events,
+            scores=scores,
+            results=results,
+        )
 
     def index_for(self, subscriptions: Iterable[Subscription]) -> CountingIndex:
         """Counting index over every rewrite of every subscription."""

@@ -22,6 +22,7 @@ from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.core.engine import ThematicEventEngine
 from repro.core.events import Event
 from repro.core.matcher import MatchResult, ThematicMatcher
 from repro.core.subscriptions import Subscription
@@ -119,13 +120,21 @@ class ThematicBroker:
     Parameters
     ----------
     matcher:
-        Any matcher with the :class:`~repro.core.matcher.ThematicMatcher`
-        interface (``match``/``matches``/``threshold``).
+        Any :class:`~repro.core.api.MatchEngine` implementation
+        (``match``/``matches``/``score``/``match_batch``/``threshold``).
     replay_capacity:
         How many recent events the broker retains for late joiners.
     registry:
         Metrics registry backing the broker's counters; defaults to a
         private one so broker instances never share state by accident.
+        The embedded dispatch engine shares it, so one snapshot covers
+        ``broker.*`` and ``engine.*`` counters alike.
+
+    Publish-side matching runs through an embedded
+    :class:`~repro.core.engine.ThematicEventEngine`: one staged
+    ``match_batch`` per published event over all registered
+    subscriptions, with the loss-free prefilter pruning provably
+    unmatchable pairs before semantic scoring.
     """
 
     def __init__(
@@ -137,10 +146,17 @@ class ThematicBroker:
     ):
         self.matcher = matcher
         self.metrics = BrokerMetrics(registry)
+        self.engine = ThematicEventEngine(
+            matcher, registry=self.metrics.registry
+        )
         self._subscribers: dict[int, SubscriberHandle] = {}
+        self._engine_handles: dict[int, object] = {}
         self._replay: deque[tuple[int, Event]] = deque(maxlen=replay_capacity)
         self._next_id = 0
         self._sequence = 0
+        # Sequence number stamped onto deliveries of the event currently
+        # flowing through the engine (set by publish before dispatch).
+        self._publishing_sequence = -1
 
     # -- subscriber side ---------------------------------------------------
 
@@ -163,6 +179,13 @@ class ThematicBroker:
             callback=callback,
         )
         self._subscribers[self._next_id] = handle
+        self._engine_handles[self._next_id] = self.engine.subscribe(
+            subscription,
+            lambda result, _handle=handle: self._deliver(
+                _handle,
+                Delivery(result=result, sequence=self._publishing_sequence),
+            ),
+        )
         self._next_id += 1
         if replay:
             for sequence, event in list(self._replay):
@@ -173,6 +196,9 @@ class ThematicBroker:
         return handle
 
     def unsubscribe(self, handle: SubscriberHandle) -> bool:
+        engine_handle = self._engine_handles.pop(handle.subscriber_id, None)
+        if engine_handle is not None:
+            self.engine.unsubscribe(engine_handle)
         return self._subscribers.pop(handle.subscriber_id, None) is not None
 
     def subscriber_count(self) -> int:
@@ -181,28 +207,27 @@ class ThematicBroker:
     # -- publisher side ----------------------------------------------------
 
     def publish(self, event: Event) -> int:
-        """Match ``event`` against all subscriptions; returns deliveries."""
+        """Match ``event`` against all subscriptions; returns deliveries.
+
+        Dispatch is one staged ``match_batch`` over the registration
+        snapshot (see :class:`~repro.core.engine.ThematicEventEngine`);
+        ``evaluations`` still counts every (subscription, event) pair
+        considered, pruned or not.
+        """
         with TRACER.span("broker.publish"):
             self.metrics.inc("published")
             sequence = self._sequence
             self._sequence += 1
             self._replay.append((sequence, event))
-            delivered = 0
-            for handle in list(self._subscribers.values()):
-                result = self._evaluate(handle.subscription, event)
-                if result is not None:
-                    delivered += 1
-                    self._deliver(handle, Delivery(result=result, sequence=sequence))
-            return delivered
+            self.metrics.inc("evaluations", self.engine.subscription_count())
+            self._publishing_sequence = sequence
+            return len(self.engine.process(event))
 
     # -- internals -----------------------------------------------------------
 
     def _evaluate(self, subscription: Subscription, event: Event) -> MatchResult | None:
         self.metrics.inc("evaluations")
-        result = self.matcher.match(subscription, event)
-        if result is None or not result.is_match(self.matcher.threshold):
-            return None
-        return result
+        return self.engine.match_one(subscription, event)
 
     def _deliver(self, handle: SubscriberHandle, delivery: Delivery) -> None:
         with TRACER.span("broker.deliver"):

@@ -5,7 +5,8 @@ producers and consumers attach to their nearest node. This module
 simulates such an overlay: brokers are vertices of a ``networkx`` graph,
 events published at one node propagate hop-by-hop to every reachable
 node (scoped by a TTL), and each node matches against its local
-subscribers only.
+subscribers only — one staged, prefilter-backed ``match_batch`` per
+event at each node (see :class:`~repro.core.engine.ThematicEventEngine`).
 
 Approximate semantic subscriptions cannot be summarized/covered the way
 exact predicates can (there is no containment relation between

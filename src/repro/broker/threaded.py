@@ -1,10 +1,10 @@
 """Threaded broker front-end: true synchronization decoupling.
 
 :class:`~repro.broker.broker.ThematicBroker` is synchronous — ``publish``
-runs the matcher inline. :class:`ThreadedBroker` wraps it with a worker
-thread and an ingress queue, so producers return immediately (the
-synchronization decoupling of Figure 1 made literal) while matching and
-delivery happen on the broker thread. Subscriber callbacks therefore run
+runs the staged match-batch engine inline. :class:`ThreadedBroker` wraps
+it with a worker thread and an ingress queue, so producers return
+immediately (the synchronization decoupling of Figure 1 made literal)
+while matching and delivery happen on the broker thread. Subscriber callbacks therefore run
 on the broker thread; inbox draining remains safe from any thread
 (``collections.deque`` append/popleft are atomic in CPython, and drains
 go through a lock anyway).

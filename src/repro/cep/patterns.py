@@ -20,7 +20,7 @@ A small text syntax mirrors the paper's examples::
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cep.predicates import Filter
 from repro.core.language import ParseError, parse_subscription

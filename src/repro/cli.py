@@ -105,7 +105,10 @@ def cmd_match(args: argparse.Namespace) -> int:
     matcher = ThematicMatcher(ThematicMeasure(space), k=args.k)
     subscription = parse_subscription(args.subscription)
     event = parse_event(args.event)
-    result = matcher.match(subscription, event)
+    # Through the staged batch path (a 1x1 batch), same as dispatch; the
+    # full-result mode keeps zero-score results explainable.
+    batch = matcher.match_batch([subscription], [event])
+    result = batch.result(0, 0)
     if result is None:
         if tracing:
             _finish_trace()

@@ -1,5 +1,6 @@
 """Core thematic event processing model (Sections 2–4 of the paper)."""
 
+from repro.core.api import BatchMatchResult, MatchEngine, pairwise_match_batch
 from repro.core.codec import (
     dumps,
     event_from_dict,
@@ -17,8 +18,15 @@ from repro.core.language import (
     parse_event,
     parse_subscription,
 )
-from repro.core.mapping import Correspondence, Mapping, k_best_assignments, top_k_mappings
+from repro.core.mapping import (
+    Correspondence,
+    Mapping,
+    k_best_assignments,
+    top_assignment_score,
+    top_k_mappings,
+)
 from repro.core.matcher import MatchResult, ThematicMatcher
+from repro.core.pipeline import BatchStats, StagedBatchPipeline
 from repro.core.prefilter import PrefilterStats, TokenNeighborhoods, TwoPhaseMatcher
 from repro.core.similarity import (
     Calibration,
@@ -30,17 +38,21 @@ from repro.core.subscriptions import OPERATORS, Predicate, Subscription
 
 __all__ = [
     "AttributeValue",
+    "BatchMatchResult",
+    "BatchStats",
     "OPERATORS",
     "Calibration",
     "Correspondence",
     "EngineStats",
     "Event",
     "Mapping",
+    "MatchEngine",
     "MatchResult",
     "ParseError",
     "Predicate",
     "PrefilterStats",
     "SimilarityMatrix",
+    "StagedBatchPipeline",
     "TokenNeighborhoods",
     "TwoPhaseMatcher",
     "Subscription",
@@ -58,8 +70,10 @@ __all__ = [
     "format_event",
     "format_subscription",
     "k_best_assignments",
+    "pairwise_match_batch",
     "parse_event",
     "parse_subscription",
     "predicate_tuple_score",
+    "top_assignment_score",
     "top_k_mappings",
 ]

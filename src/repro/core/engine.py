@@ -5,16 +5,27 @@ matcher: register subscriptions with callbacks, feed it events, and it
 delivers :class:`~repro.core.matcher.MatchResult` objects for every
 subscription whose match score clears the threshold. The distributed
 broker (:mod:`repro.broker`) embeds one engine per broker node.
+
+Dispatch runs through the engine's ``match_batch`` (one event against
+the whole registration snapshot per call), which stages the work —
+loss-free prefiltering, cross-subscription term-pair dedup, bulk
+semantic scoring, assignment — instead of matching pair by pair. The
+exact-anchor prefilter prunes pairs whose score is provably 0.0 before
+any semantic scoring happens; since delivery only wants results at or
+above the matcher's threshold, pruning is loss-free for any positive
+threshold (and is disabled automatically at threshold 0.0, where
+zero-score results are deliverable).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.events import Event
 from repro.core.matcher import MatchResult, ThematicMatcher
 from repro.core.subscriptions import Subscription
+from repro.obs import MetricsRegistry
 
 __all__ = ["SubscriptionHandle", "EngineStats", "ThematicEventEngine"]
 
@@ -30,23 +41,88 @@ class SubscriptionHandle:
     subscription: Subscription
 
 
-@dataclass
 class EngineStats:
-    """Counters for observability and the throughput benchmarks."""
+    """Registry-backed counters for observability and the benchmarks.
 
-    events_processed: int = 0
-    evaluations: int = 0
-    deliveries: int = 0
+    Formerly a plain dataclass of bare ints mutated in place — the last
+    unsynchronized counter on the hot path, racy once an engine runs
+    under :class:`~repro.broker.threaded.ThreadedBroker`. Counters now
+    live in a :class:`~repro.obs.registry.MetricsRegistry` (a private
+    one by default, or a shared one passed in), so increments are
+    thread-safe and :meth:`snapshot` gives readers a coherent, JSON-ready
+    view. The old attribute reads (``stats.events_processed`` …) still
+    work.
+    """
+
+    FIELDS = ("events_processed", "evaluations", "deliveries", "pruned")
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, *, prefix: str = "engine"
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._counters = {
+            name: self.registry.counter(f"{prefix}.{name}") for name in self.FIELDS
+        }
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+
+    def snapshot(self) -> dict[str, int]:
+        """Thread-safe point-in-time view of all counters."""
+        return {name: counter.value for name, counter in self._counters.items()}
+
+    @property
+    def events_processed(self) -> int:
+        return self._counters["events_processed"].value
+
+    @property
+    def evaluations(self) -> int:
+        return self._counters["evaluations"].value
+
+    @property
+    def deliveries(self) -> int:
+        return self._counters["deliveries"].value
+
+    @property
+    def pruned(self) -> int:
+        """Pairs the loss-free prefilter skipped before semantic scoring."""
+        return self._counters["pruned"].value
 
 
 class ThematicEventEngine:
-    """Match-and-dispatch engine over a set of registered subscriptions."""
+    """Match-and-dispatch engine over a set of registered subscriptions.
 
-    def __init__(self, matcher: ThematicMatcher):
+    Parameters
+    ----------
+    matcher:
+        Any :class:`~repro.core.api.MatchEngine` implementation; all
+        four Table-1 approaches qualify.
+    registry:
+        Metrics registry backing :class:`EngineStats`; defaults to a
+        private one. The broker passes its own so one snapshot covers
+        both layers.
+    prefilter:
+        Whether dispatch may use loss-free zero-score pruning (arity +
+        exact anchors). Only applies while the matcher's threshold is
+        positive; disable to force full scoring of every pair.
+    """
+
+    def __init__(
+        self,
+        matcher: ThematicMatcher,
+        *,
+        registry: MetricsRegistry | None = None,
+        prefilter: bool = True,
+    ):
         self.matcher = matcher
-        self.stats = EngineStats()
+        self.stats = EngineStats(registry)
+        self.prefilter = prefilter
         self._subscriptions: dict[int, tuple[Subscription, MatchCallback]] = {}
         self._next_id = 0
+        # Registration snapshot, rebuilt only when the set changes —
+        # process() used to re-materialize it on every single event.
+        self._snapshot: list[tuple[Subscription, MatchCallback]] | None = None
 
     def subscribe(
         self, subscription: Subscription, callback: MatchCallback
@@ -55,28 +131,69 @@ class ThematicEventEngine:
         handle = SubscriptionHandle(self._next_id, subscription)
         self._subscriptions[self._next_id] = (subscription, callback)
         self._next_id += 1
+        self._snapshot = None
         return handle
 
     def unsubscribe(self, handle: SubscriptionHandle) -> bool:
         """Remove a registration; True if it was present."""
-        return self._subscriptions.pop(handle.subscription_id, None) is not None
+        removed = self._subscriptions.pop(handle.subscription_id, None) is not None
+        if removed:
+            self._snapshot = None
+        return removed
 
     def subscription_count(self) -> int:
         return len(self._subscriptions)
+
+    def metrics_snapshot(self) -> dict[str, int]:
+        """Coherent view of the engine counters (JSON-ready)."""
+        return self.stats.snapshot()
+
+    def _registrations(self) -> list[tuple[Subscription, MatchCallback]]:
+        if self._snapshot is None:
+            self._snapshot = list(self._subscriptions.values())
+        return self._snapshot
+
+    def match_one(self, subscription: Subscription, event: Event) -> MatchResult | None:
+        """Per-pair match through this engine (replay, ad-hoc queries).
+
+        Counts the evaluation but does not dispatch; returns the result
+        only when it clears the matcher's threshold.
+        """
+        self.stats.inc("evaluations")
+        result = self.matcher.match(subscription, event)
+        if result is None or not result.is_match(self.matcher.threshold):
+            return None
+        return result
 
     def process(self, event: Event) -> list[MatchResult]:
         """Match ``event`` against every subscription and dispatch.
 
         Returns the delivered results (also handed to callbacks), in
-        registration order.
+        registration order. One staged ``match_batch`` call covers the
+        whole registration snapshot; ``evaluations`` counts the pairs
+        considered (pre-prefilter) and ``pruned`` how many of those the
+        loss-free prefilter settled without semantic scoring.
         """
-        self.stats.events_processed += 1
+        registrations = self._registrations()
+        self.stats.inc("events_processed")
+        self.stats.inc("evaluations", len(registrations))
+        if not registrations:
+            return []
+        prune = self.prefilter and self.matcher.threshold > 0
+        batch = self.matcher.match_batch(
+            [subscription for subscription, _ in registrations],
+            [event],
+            prune_zero=prune,
+        )
+        batch_stats = batch.stats
+        if batch_stats is not None:
+            self.stats.inc("pruned", batch_stats.pruned)
         delivered: list[MatchResult] = []
-        for subscription, callback in list(self._subscriptions.values()):
-            self.stats.evaluations += 1
-            result = self.matcher.match(subscription, event)
-            if result is not None and result.is_match(self.matcher.threshold):
-                self.stats.deliveries += 1
+        threshold = self.matcher.threshold
+        for index, (_, callback) in enumerate(registrations):
+            result = batch.result(index, 0)
+            if result is not None and result.is_match(threshold):
+                self.stats.inc("deliveries")
                 delivered.append(result)
                 callback(result)
         return delivered

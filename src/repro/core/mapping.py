@@ -36,7 +36,13 @@ from scipy.optimize import linear_sum_assignment
 from repro.core.similarity import SimilarityMatrix
 from repro.obs import TRACER
 
-__all__ = ["Correspondence", "Mapping", "k_best_assignments", "top_k_mappings"]
+__all__ = [
+    "Correspondence",
+    "Mapping",
+    "k_best_assignments",
+    "top_k_mappings",
+    "top_assignment_score",
+]
 
 #: Scores below this are treated as impossible edges in the assignment.
 _EPSILON = 1e-12
@@ -143,6 +149,12 @@ def k_best_assignments(
         seen.add(assignment)
         results.append((assignment, cost_value))
 
+        if len(results) == k:
+            # Partitioning the final solution's search space would only
+            # push heap entries that are never popped; skip the (k x n
+            # solver calls) of wasted work — a large share of top-1 cost.
+            break
+
         fixed_rows = {row for row, _ in fixed}
         free_rows = [row for row in range(n) if row not in fixed_rows]
         partition_fixed = list(fixed)
@@ -213,6 +225,29 @@ def _solve_restricted(
     if any(cost[r, c] >= big for r, c in enumerate(assignment)):
         return None
     return tuple(assignment), total
+
+
+def top_assignment_score(scores: np.ndarray) -> float:
+    """Geometric-mean score of the single best assignment; 0.0 if none.
+
+    The scores-only fast path of the batch pipeline: solves the same
+    assignment problem as :func:`k_best_assignments` with ``k=1`` and
+    reproduces :func:`top_k_mappings`'s score arithmetic operation for
+    operation, so the result is bit-identical to
+    ``top_k_mappings(matrix, k)[0].score`` — without enumerating
+    alternatives or materializing mapping objects.
+    """
+    n, m = scores.shape
+    if n == 0 or n > m:
+        return 0.0
+    cost = -np.log(np.maximum(scores, _EPSILON))
+    cost = np.minimum(cost, _FORBIDDEN_COST)
+    solved = _solve(cost)
+    if solved is None:
+        return 0.0
+    assignment, _ = solved
+    values = [float(scores[i, j]) for i, j in enumerate(assignment)]
+    return float(np.prod(values) ** (1.0 / len(values))) if values else 0.0
 
 
 def top_k_mappings(matrix: SimilarityMatrix, k: int) -> list[Mapping]:

@@ -107,6 +107,7 @@ class ThematicMatcher:
         self.threshold = threshold
         self.min_relatedness = min_relatedness
         self.calibration = calibration
+        self._pipeline = None  # lazy StagedBatchPipeline (see match_batch)
 
     def similarity_matrix(
         self, subscription: Subscription, event: Event
@@ -152,3 +153,29 @@ class ThematicMatcher:
         """Boolean decision at this matcher's threshold."""
         result = self.match(subscription, event)
         return result is not None and result.is_match(self.threshold)
+
+    def match_batch(
+        self,
+        subscriptions,
+        events,
+        *,
+        scores_only: bool = False,
+        prune_zero: bool | None = None,
+    ):
+        """Match every subscription against every event, staged.
+
+        Runs the :class:`~repro.core.pipeline.StagedBatchPipeline`
+        (candidates → term-pair collection → bulk scoring → assignment),
+        which deduplicates semantic lookups across the whole batch. The
+        score grid is bit-identical to per-pair :meth:`score` calls; see
+        :mod:`repro.core.api` for the contract and the keyword options.
+        """
+        if self._pipeline is None:
+            # Imported here: pipeline.py imports MatchResult from this
+            # module, so a top-level import would be circular.
+            from repro.core.pipeline import StagedBatchPipeline
+
+            self._pipeline = StagedBatchPipeline(self)
+        return self._pipeline.run(
+            subscriptions, events, scores_only=scores_only, prune_zero=prune_zero
+        )

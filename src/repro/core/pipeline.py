@@ -1,0 +1,451 @@
+"""Staged batch execution of the matching path (the ``match_batch`` engine).
+
+The naive matching loop scores every (subscription, event) pair from
+scratch: each pair rebuilds its similarity matrix, each matrix entry
+re-normalizes its terms, re-canonicalizes its themes and re-asks the
+semantic measure — so a term pair appearing in 50 pairs of a batch is
+keyed and looked up 50 times. This module replaces that loop with the
+explicit staged pipeline the paper's Section 7 efficiency discussion
+points at (and SIENA-style brokers implement for the exact fragment):
+
+1. **Candidates** — cheap loss-free prefiltering: *arity* (an event with
+   fewer tuples than the subscription has predicates carries no
+   mapping) always applies; *exact anchors* (a non-approximated ``=``
+   predicate requires its literal (attribute, value) tuple) apply when
+   the caller only needs scores or threshold survivors, because a
+   missing anchor proves the pair's score is exactly 0.0.
+2. **Collection** — walk the surviving pairs and gather the *unique*
+   (term, theme, term, theme) combinations their matrices will need,
+   deduplicated across the whole batch against a table that persists
+   between batches.
+3. **Bulk scoring** — ask the semantic measure once per unique
+   combination (theme projections are shared inside the PVSM), apply
+   the matcher's calibration, and fill the persistent side-score table.
+4. **Assignment** — build each pair's similarity matrix from plain
+   table lookups and solve for the best mapping: full
+   :func:`~repro.core.mapping.top_k_mappings` when result objects are
+   needed, or the :func:`~repro.core.mapping.top_assignment_score`
+   fast path when only scores are.
+
+Every stage emits an observability span tagged with the batch size, and
+the scoring stage carries the measured dedup ratio.
+
+**Parity guarantee.** The batch path reproduces the per-pair path's
+scores bit-for-bit: matrix entries replicate
+:func:`~repro.core.similarity.predicate_tuple_score` operation for
+operation (identity short-circuits, approximation gating, calibration,
+``min_relatedness`` clamps, operator evaluation), side scores come from
+the *same* measure instance (so memoized measures keep their exact
+semantics), and assignment scoring reuses the per-pair solver. The
+hypothesis parity suite in ``tests/core/test_pipeline.py`` asserts
+exact equality against the reference per-pair loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.api import BatchMatchResult
+from repro.core.events import Event
+from repro.core.mapping import top_assignment_score, top_k_mappings
+from repro.core.matcher import MatchResult
+from repro.core.similarity import SimilarityMatrix
+from repro.core.subscriptions import Predicate, Subscription
+from repro.obs import TRACER
+from repro.semantics.pvsm import theme_key
+from repro.semantics.tokenize import normalize_term
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.matcher import ThematicMatcher
+
+__all__ = ["BatchStats", "StagedBatchPipeline"]
+
+
+@dataclass
+class BatchStats:
+    """What one batch did, stage by stage (attached to the result)."""
+
+    subscriptions: int = 0
+    events: int = 0
+    pairs: int = 0
+    candidates: int = 0
+    pruned_arity: int = 0
+    pruned_anchor: int = 0
+    term_pairs: int = 0
+    unique_term_pairs: int = 0
+
+    @property
+    def pruned(self) -> int:
+        return self.pruned_arity + self.pruned_anchor
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Share of term-pair lookups served without a measure call."""
+        if self.term_pairs == 0:
+            return 0.0
+        return 1.0 - (self.unique_term_pairs / self.term_pairs)
+
+
+class _CompiledPredicate:
+    """One predicate, pre-normalized for batch matrix construction."""
+
+    __slots__ = (
+        "predicate", "attribute", "attr_norm", "approx_attribute", "operator",
+        "value", "value_is_str", "value_norm", "approx_value", "exact_key",
+    )
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+        self.attribute = predicate.attribute
+        self.attr_norm = normalize_term(predicate.attribute)
+        self.approx_attribute = predicate.approx_attribute
+        self.operator = predicate.operator
+        self.value = predicate.value
+        self.value_is_str = isinstance(predicate.value, str)
+        self.value_norm = (
+            normalize_term(predicate.value) if self.value_is_str else None
+        )
+        self.approx_value = predicate.approx_value
+        # A non-approximated equality predicate demands its literal
+        # (attribute, value) tuple verbatim — the exact anchor.
+        if (
+            predicate.operator == "="
+            and not predicate.approx_attribute
+            and not predicate.approx_value
+        ):
+            self.exact_key = (
+                self.attr_norm,
+                self.value_norm if self.value_is_str else self.value,
+            )
+        else:
+            self.exact_key = None
+
+
+class _CompiledSubscription:
+    __slots__ = ("subscription", "predicates", "arity", "exact_anchors",
+                 "theme", "tkey")
+
+    def __init__(self, subscription: Subscription):
+        self.subscription = subscription
+        self.predicates = tuple(
+            _CompiledPredicate(p) for p in subscription.predicates
+        )
+        self.arity = len(self.predicates)
+        self.exact_anchors = tuple(
+            p.exact_key for p in self.predicates if p.exact_key is not None
+        )
+        self.theme = subscription.theme
+        self.tkey = theme_key(subscription.theme)
+
+
+class _CompiledTuple:
+    __slots__ = ("attribute", "attr_norm", "value", "value_is_str", "value_norm")
+
+    def __init__(self, attribute: str, value):
+        self.attribute = attribute
+        self.attr_norm = normalize_term(attribute)
+        self.value = value
+        self.value_is_str = isinstance(value, str)
+        self.value_norm = normalize_term(value) if self.value_is_str else None
+
+
+class _CompiledEvent:
+    __slots__ = ("event", "tuples", "size", "exact_keys", "theme", "tkey")
+
+    def __init__(self, event: Event):
+        self.event = event
+        self.tuples = tuple(
+            _CompiledTuple(av.attribute, av.value) for av in event.payload
+        )
+        self.size = len(self.tuples)
+        self.exact_keys = frozenset(
+            (t.attr_norm, t.value_norm if t.value_is_str else t.value)
+            for t in self.tuples
+        )
+        self.theme = event.theme
+        self.tkey = theme_key(event.theme)
+
+
+class StagedBatchPipeline:
+    """Batch matcher over a :class:`ThematicMatcher`-family engine.
+
+    One pipeline belongs to one matcher (its measure, calibration,
+    ``min_relatedness`` and ``k`` parametrize every stage). Compiled
+    subscriptions and the side-score table persist across batches, so a
+    long-lived engine pays normalization and semantic scoring once per
+    distinct subscription / term pair — both tables are bounded by the
+    registered vocabulary, not by event count.
+    """
+
+    def __init__(self, matcher: "ThematicMatcher"):
+        self.matcher = matcher
+        # id() keys avoid re-hashing subscriptions per event; the value
+        # keeps the subscription alive, so ids cannot be recycled.
+        self._compiled_subs: dict[int, _CompiledSubscription] = {}
+        # (sub theme key, event theme key) -> {(term_s, term_e): side score}.
+        self._tables: dict[
+            tuple[tuple[str, ...], tuple[str, ...]], dict[tuple[str, str], float]
+        ] = {}
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile_subscription(self, subscription: Subscription) -> _CompiledSubscription:
+        compiled = self._compiled_subs.get(id(subscription))
+        if compiled is None or compiled.subscription is not subscription:
+            compiled = _CompiledSubscription(subscription)
+            self._compiled_subs[id(subscription)] = compiled
+        return compiled
+
+    def _table_for(
+        self, sub: _CompiledSubscription, event: _CompiledEvent
+    ) -> dict[tuple[str, str], float]:
+        key = (sub.tkey, event.tkey)
+        table = self._tables.get(key)
+        if table is None:
+            table = self._tables[key] = {}
+        return table
+
+    # -- the staged batch --------------------------------------------------
+
+    def run(
+        self,
+        subscriptions: Sequence[Subscription],
+        events: Sequence[Event],
+        *,
+        scores_only: bool = False,
+        prune_zero: bool | None = None,
+    ) -> BatchMatchResult:
+        """Match every subscription against every event, staged.
+
+        ``scores_only`` skips result-object construction (the harness's
+        grid mode). ``prune_zero`` additionally prunes pairs whose score
+        the exact anchors prove to be 0.0 — on by default in scores-only
+        mode; full-result callers that must mirror per-pair ``match``
+        output exactly (which returns zero-score results, not ``None``)
+        leave it off unless, like the engine, they only consume
+        above-threshold results.
+        """
+        if prune_zero is None:
+            prune_zero = scores_only
+        subscriptions = tuple(subscriptions)
+        events = tuple(events)
+        stats = BatchStats(
+            subscriptions=len(subscriptions),
+            events=len(events),
+            pairs=len(subscriptions) * len(events),
+        )
+        with TRACER.span(
+            "pipeline.match_batch",
+            subscriptions=stats.subscriptions,
+            events=stats.events,
+            scores_only=scores_only,
+        ):
+            scores: list[list[float]] = [
+                [0.0] * len(events) for _ in subscriptions
+            ]
+            results: list[list[MatchResult | None]] | None = (
+                None if scores_only
+                else [[None] * len(events) for _ in subscriptions]
+            )
+
+            candidates = self._stage_candidates(
+                subscriptions, events, prune_zero, stats
+            )
+            missing = self._stage_collect(candidates, stats)
+            self._stage_score(missing, stats)
+            self._stage_assign(candidates, scores, results, stats)
+
+        return BatchMatchResult(
+            subscriptions=subscriptions,
+            events=events,
+            scores=scores,
+            results=results,
+            stats=stats,
+        )
+
+    # -- stage 1: candidate generation ------------------------------------
+
+    def _stage_candidates(
+        self,
+        subscriptions: tuple[Subscription, ...],
+        events: tuple[Event, ...],
+        prune_zero: bool,
+        stats: BatchStats,
+    ) -> list[tuple[int, int, _CompiledSubscription, _CompiledEvent]]:
+        with TRACER.span("pipeline.candidates", batch=stats.pairs):
+            compiled_subs = [self._compile_subscription(s) for s in subscriptions]
+            compiled_events = [_CompiledEvent(e) for e in events]
+            candidates = []
+            for i, sub in enumerate(compiled_subs):
+                for j, event in enumerate(compiled_events):
+                    if event.size < sub.arity:
+                        stats.pruned_arity += 1
+                        continue
+                    if prune_zero and any(
+                        anchor not in event.exact_keys
+                        for anchor in sub.exact_anchors
+                    ):
+                        stats.pruned_anchor += 1
+                        continue
+                    candidates.append((i, j, sub, event))
+            stats.candidates = len(candidates)
+        return candidates
+
+    # -- stage 2: term-pair collection with dedup --------------------------
+
+    def _stage_collect(
+        self,
+        candidates: list[tuple[int, int, _CompiledSubscription, _CompiledEvent]],
+        stats: BatchStats,
+    ) -> list[tuple[dict, tuple[str, str], str, frozenset, str, frozenset]]:
+        """Unique semantic lookups the batch needs but the tables lack."""
+        with TRACER.span("pipeline.collect", batch=stats.pairs,
+                         candidates=len(candidates)):
+            missing: list[
+                tuple[dict, tuple[str, str], str, frozenset, str, frozenset]
+            ] = []
+            queued: set[tuple[int, tuple[str, str]]] = set()
+            for _i, _j, sub, event in candidates:
+                table = self._table_for(sub, event)
+                table_id = id(table)
+                for p in sub.predicates:
+                    for t in event.tuples:
+                        if p.approx_attribute and p.attr_norm != t.attr_norm:
+                            stats.term_pairs += 1
+                            key = (p.attr_norm, t.attr_norm)
+                            if key not in table and (table_id, key) not in queued:
+                                queued.add((table_id, key))
+                                missing.append((
+                                    table, key,
+                                    p.attribute, sub.theme,
+                                    t.attribute, event.theme,
+                                ))
+                        if (
+                            p.approx_value
+                            and t.value_is_str
+                            and p.value_norm != t.value_norm
+                        ):
+                            stats.term_pairs += 1
+                            key = (p.value_norm, t.value_norm)
+                            if key not in table and (table_id, key) not in queued:
+                                queued.add((table_id, key))
+                                missing.append((
+                                    table, key,
+                                    p.value, sub.theme,
+                                    t.value, event.theme,
+                                ))
+            stats.unique_term_pairs = len(missing)
+        return missing
+
+    # -- stage 3: bulk relatedness scoring ---------------------------------
+
+    def _stage_score(
+        self,
+        missing: list[tuple[dict, tuple[str, str], str, frozenset, str, frozenset]],
+        stats: BatchStats,
+    ) -> None:
+        matcher = self.matcher
+        measure = matcher.measure
+        calibration = matcher.calibration
+        with TRACER.span(
+            "pipeline.score",
+            batch=stats.pairs,
+            total=stats.term_pairs,
+            unique=stats.unique_term_pairs,
+            dedup_ratio=round(stats.dedup_ratio, 4),
+        ):
+            for table, key, term_s, theme_s, term_e, theme_e in missing:
+                raw = measure.score(term_s, theme_s, term_e, theme_e)
+                table[key] = (
+                    calibration.apply(raw) if calibration is not None else raw
+                )
+
+    # -- stage 4: k-best assignment over table-backed matrices -------------
+
+    def _stage_assign(
+        self,
+        candidates: list[tuple[int, int, _CompiledSubscription, _CompiledEvent]],
+        scores: list[list[float]],
+        results: list[list[MatchResult | None]] | None,
+        stats: BatchStats,
+    ) -> None:
+        matcher = self.matcher
+        min_relatedness = matcher.min_relatedness
+        with TRACER.span(
+            "pipeline.assign",
+            batch=stats.pairs,
+            candidates=len(candidates),
+            dedup_ratio=round(stats.dedup_ratio, 4),
+        ):
+            for i, j, sub, event in candidates:
+                table = self._table_for(sub, event)
+                matrix = self._pair_matrix(sub, event, table, min_relatedness)
+                if results is None:
+                    scores[i][j] = top_assignment_score(matrix)
+                    continue
+                wrapped = SimilarityMatrix(
+                    subscription=sub.subscription,
+                    event=event.event,
+                    scores=matrix,
+                )
+                mappings = top_k_mappings(wrapped, matcher.k)
+                if not mappings:  # pragma: no cover - arity stage prevents it
+                    continue
+                result = MatchResult(
+                    subscription=sub.subscription,
+                    event=event.event,
+                    matrix=wrapped,
+                    mapping=mappings[0],
+                    alternatives=tuple(mappings[1:]),
+                )
+                results[i][j] = result
+                scores[i][j] = result.score
+
+    def _pair_matrix(
+        self,
+        sub: _CompiledSubscription,
+        event: _CompiledEvent,
+        table: dict[tuple[str, str], float],
+        min_relatedness: float,
+    ) -> np.ndarray:
+        """The pair's similarity matrix from precomputed side scores.
+
+        Mirrors :func:`~repro.core.similarity.predicate_tuple_score`
+        exactly — same short-circuits, same clamping order, same float
+        operations — with every semantic lookup served by the table.
+        """
+        matrix = np.zeros((sub.arity, event.size))
+        for i, p in enumerate(sub.predicates):
+            row = matrix[i]
+            for j, t in enumerate(event.tuples):
+                # Attribute side (two strings, always).
+                if p.attr_norm == t.attr_norm:
+                    attr_sim = 1.0
+                elif not p.approx_attribute:
+                    continue  # attr_sim == 0.0 -> entry stays 0.0
+                else:
+                    attr_sim = table[(p.attr_norm, t.attr_norm)]
+                if attr_sim < min_relatedness or attr_sim == 0.0:
+                    continue
+                if p.operator != "=":
+                    if p.predicate.evaluate_value(t.value):
+                        row[j] = attr_sim
+                    continue
+                # Value side.
+                if p.value_is_str and t.value_is_str:
+                    if p.value_norm == t.value_norm:
+                        value_sim = 1.0
+                    elif not p.approx_value:
+                        continue
+                    else:
+                        value_sim = table[(p.value_norm, t.value_norm)]
+                else:
+                    value_sim = 1.0 if p.value == t.value else 0.0
+                if value_sim < min_relatedness:
+                    continue
+                row[j] = attr_sim * value_sim
+        return matrix

@@ -27,8 +27,7 @@ cannot match, using only cheap structural checks:
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.events import Event
 from repro.core.matcher import MatchResult, ThematicMatcher

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.events import Event
-from repro.core.subscriptions import Subscription
 from repro.datasets.seeds import SeedConfig, generate_seed_events
 from repro.evaluation.expansion import ExpandedEvent, ExpansionConfig, expand_events
 from repro.evaluation.groundtruth import GroundTruth, build_ground_truth

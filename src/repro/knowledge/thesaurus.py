@@ -17,7 +17,7 @@ truth). The concrete six-domain dataset lives in
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.semantics.tokenize import normalize_term
 

@@ -22,7 +22,7 @@ from collections.abc import Iterable
 from typing import Protocol
 
 from repro.semantics.cache import PrecomputedScoreTable, RelatednessCache
-from repro.semantics.pvsm import ParametricVectorSpace, theme_key
+from repro.semantics.pvsm import ParametricVectorSpace
 from repro.semantics.space import DistributionalVectorSpace
 from repro.semantics.tokenize import normalize_term
 

@@ -24,7 +24,7 @@ from repro.semantics.documents import DocumentSet
 from repro.semantics.index import InvertedIndex
 from repro.semantics.tokenize import normalize_term, tokenize
 from repro.semantics.vectors import ZERO_VECTOR, SparseVector
-from repro.semantics.weighting import idf, tf_idf
+from repro.semantics.weighting import tf_idf
 
 __all__ = ["DistributionalVectorSpace", "relatedness_from_distance"]
 

@@ -1,6 +1,5 @@
 """Tests for SIENA-style subscription covering."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

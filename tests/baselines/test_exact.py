@@ -1,10 +1,8 @@
 """Tests for the content-based exact matcher and counting index."""
 
-import pytest
-
 from repro.baselines.exact import CountingIndex, ExactMatcher
 from repro.core.events import Event
-from repro.core.subscriptions import Predicate, Subscription
+from repro.core.subscriptions import Subscription
 
 EVENT = Event.create(
     payload={

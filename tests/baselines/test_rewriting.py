@@ -1,10 +1,8 @@
 """Tests for the concept-based query-rewriting baseline."""
 
-import pytest
-
 from repro.baselines.rewriting import RewritingMatcher, rewrite_subscription
 from repro.core.events import Event
-from repro.core.subscriptions import Predicate, Subscription
+from repro.core.subscriptions import Subscription
 
 
 class TestRewriteSubscription:

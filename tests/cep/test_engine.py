@@ -54,7 +54,7 @@ class TestEvery:
         assert completions == []
 
     def test_probability_attached(self, engine):
-        completions = engine.register(Pattern.every("a", ENERGY_SUB))
+        engine.register(Pattern.every("a", ENERGY_SUB))
         events = engine.feed(ENERGY_EVENT)
         assert events
         assert 0.0 <= events[0].probability <= 1.0

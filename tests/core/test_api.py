@@ -1,0 +1,130 @@
+"""The MatchEngine contract: all four Table-1 approaches, one interface."""
+
+import pytest
+
+from repro.baselines.exact import ExactMatcher
+from repro.baselines.nonthematic import NonThematicMatcher
+from repro.baselines.rewriting import RewritingMatcher
+from repro.core.api import BatchMatchResult, MatchEngine, pairwise_match_batch
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import ThematicMeasure
+
+SUBSCRIPTIONS = [
+    "({transport}, {vehicle~= bus~})",
+    "({transport}, {vehicle= bus})",
+    "({environment}, {pollutant~= ozone~, unit= microgram})",
+]
+EVENTS = [
+    "({transport}, {vehicle: bus})",
+    "({transport}, {car: tram, speed: 42})",
+    "({environment}, {pollutant: smog, unit: microgram})",
+]
+
+
+def engines(space, thesaurus):
+    """One instance of each Table-1 approach."""
+    return {
+        "thematic": ThematicMatcher(ThematicMeasure(space)),
+        "nonthematic": NonThematicMatcher(space),
+        "exact": ExactMatcher(),
+        "rewriting": RewritingMatcher(thesaurus),
+    }
+
+
+@pytest.fixture()
+def artifacts():
+    subs = [parse_subscription(s) for s in SUBSCRIPTIONS]
+    events = [parse_event(e) for e in EVENTS]
+    return subs, events
+
+
+class TestProtocolParity:
+    def test_every_approach_satisfies_match_engine(self, space, thesaurus):
+        for name, engine in engines(space, thesaurus).items():
+            assert isinstance(engine, MatchEngine), name
+
+    def test_every_approach_has_the_full_surface(self, space, thesaurus):
+        for name, engine in engines(space, thesaurus).items():
+            assert 0.0 <= engine.threshold <= 1.0, name
+            for method in ("match", "matches", "score", "match_batch"):
+                assert callable(getattr(engine, method)), (name, method)
+
+    def test_none_match_implies_zero_score(self, space, thesaurus, artifacts):
+        subs, events = artifacts
+        for name, engine in engines(space, thesaurus).items():
+            for sub in subs:
+                for event in events:
+                    if engine.match(sub, event) is None:
+                        assert engine.score(sub, event) == 0.0, name
+
+    def test_batch_grid_equals_per_pair_scores(self, space, thesaurus, artifacts):
+        subs, events = artifacts
+        for name, engine in engines(space, thesaurus).items():
+            batch = engine.match_batch(subs, events)
+            for i, sub in enumerate(subs):
+                for j, event in enumerate(events):
+                    assert batch.score(i, j) == engine.score(sub, event), name
+
+
+class TestBatchMatchResult:
+    def test_shape_and_accessors(self, space, artifacts):
+        subs, events = artifacts
+        engine = ThematicMatcher(ThematicMeasure(space))
+        batch = engine.match_batch(subs, events)
+        assert batch.shape == (len(subs), len(events))
+        assert isinstance(batch, BatchMatchResult)
+        grid = batch.score_grid()
+        assert grid == batch.scores
+        grid[0][0] = -1.0  # copies, not views
+        assert batch.scores[0][0] != -1.0
+
+    def test_full_mode_carries_results(self, space, artifacts):
+        subs, events = artifacts
+        engine = ThematicMatcher(ThematicMeasure(space))
+        batch = engine.match_batch(subs, events)
+        result = batch.result(0, 0)
+        assert result is not None
+        assert result.score == batch.score(0, 0)
+
+    def test_matched_yields_threshold_survivors(self, space, artifacts):
+        subs, events = artifacts
+        engine = ThematicMatcher(ThematicMeasure(space))
+        batch = engine.match_batch(subs, events)
+        hits = list(batch.matched(engine.threshold))
+        assert all(r.score >= engine.threshold for _, _, r in hits)
+        expected = sum(
+            1
+            for sub in subs
+            for event in events
+            if engine.matches(sub, event)
+        )
+        assert len(hits) == expected
+
+    def test_scores_only_has_no_results(self, space, artifacts):
+        subs, events = artifacts
+        engine = ThematicMatcher(ThematicMeasure(space))
+        batch = engine.match_batch(subs, events, scores_only=True)
+        assert batch.results is None
+        assert batch.result(0, 0) is None
+        with pytest.raises(ValueError):
+            list(batch.matched(0.5))
+
+
+class TestPairwiseReference:
+    def test_reference_loop_matches_direct_calls(self, space, artifacts):
+        subs, events = artifacts
+        engine = ThematicMatcher(ThematicMeasure(space))
+        batch = pairwise_match_batch(engine, subs, events)
+        for i, sub in enumerate(subs):
+            for j, event in enumerate(events):
+                assert batch.score(i, j) == engine.score(sub, event)
+
+    def test_boolean_engine_through_reference(self, thesaurus, artifacts):
+        subs, events = artifacts
+        engine = RewritingMatcher(thesaurus)
+        batch = pairwise_match_batch(engine, subs, events, scores_only=True)
+        assert batch.results is None
+        for i, sub in enumerate(subs):
+            for j, event in enumerate(events):
+                assert batch.score(i, j) == engine.score(sub, event)

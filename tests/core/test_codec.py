@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.core.codec import (
     dumps,
     event_from_dict,
-    event_to_dict,
     loads,
     subscription_from_dict,
     subscription_to_dict,

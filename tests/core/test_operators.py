@@ -11,7 +11,7 @@ from repro.core.events import Event
 from repro.core.language import ParseError, parse_subscription
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Predicate, Subscription
-from repro.semantics.measures import ExactMeasure, ThematicMeasure
+from repro.semantics.measures import ThematicMeasure
 
 
 class TestPredicateValidation:

@@ -1,0 +1,259 @@
+"""Staged batch pipeline: exact parity with the per-pair path, plus the
+engine-side dispatch behaviour (snapshot caching, prefilter, registry
+stats) the pipeline feeds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactMatcher
+from repro.baselines.nonthematic import NonThematicMatcher
+from repro.baselines.rewriting import RewritingMatcher
+from repro.core.api import pairwise_match_batch
+from repro.core.engine import EngineStats, ThematicEventEngine
+from repro.core.events import Event
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.core.subscriptions import Predicate, Subscription
+from repro.obs import MetricsRegistry
+from repro.semantics.cache import RelatednessCache
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+
+# Mostly in-corpus terms (semantic structure to exploit) plus out-of-
+# vocabulary ones (score 0.0 paths) and multi-word normalization cases.
+TERMS = (
+    "transport", "traffic", "road transport", "bus", "vehicle",
+    "pollution", "air quality", "environment", "ozone", "smog",
+    "Traffic ", "zzz unknown term",
+)
+ATTRS = ("vehicle", "pollutant", "sensor", "unit", "speed", "type")
+TAGS = ("transport", "environment", "energy", "road transport")
+
+themes = st.lists(st.sampled_from(TAGS), unique=True, max_size=2).map(frozenset)
+
+
+@st.composite
+def _predicate(draw, attribute: str) -> Predicate:
+    kind = draw(st.integers(0, 3))
+    if kind == 0:  # exact equality on a term
+        return Predicate(attribute, draw(st.sampled_from(TERMS)))
+    if kind == 1:  # fully approximated (the paper's 100% degree)
+        return Predicate(
+            attribute,
+            draw(st.sampled_from(TERMS)),
+            approx_attribute=True,
+            approx_value=True,
+        )
+    if kind == 2:  # approximate attribute, exact value
+        return Predicate(
+            attribute, draw(st.sampled_from(TERMS)), approx_attribute=True
+        )
+    # Extension operator with a numeric comparison value.
+    return Predicate(
+        attribute,
+        draw(st.integers(0, 5)),
+        approx_attribute=draw(st.booleans()),
+        operator=draw(st.sampled_from((">", ">=", "<", "<=", "!="))),
+    )
+
+
+@st.composite
+def subscriptions(draw) -> Subscription:
+    attrs = draw(
+        st.lists(st.sampled_from(ATTRS), unique=True, min_size=1, max_size=3)
+    )
+    return Subscription(
+        theme=draw(themes),
+        predicates=tuple(draw(_predicate(attr)) for attr in attrs),
+    )
+
+
+@st.composite
+def events(draw) -> Event:
+    attrs = draw(
+        st.lists(st.sampled_from(ATTRS), unique=True, min_size=1, max_size=4)
+    )
+    values = st.one_of(st.sampled_from(TERMS), st.integers(0, 5))
+    return Event.create(
+        theme=draw(themes),
+        payload=[(attr, draw(values)) for attr in attrs],
+    )
+
+
+workloads = st.tuples(
+    st.lists(subscriptions(), min_size=1, max_size=4),
+    st.lists(events(), min_size=1, max_size=4),
+)
+
+
+def assert_batch_parity(engine, subs, evts):
+    """Batch output must equal the per-pair reference bit for bit."""
+    reference = pairwise_match_batch(engine, subs, evts)
+    batch = engine.match_batch(subs, evts)
+    assert batch.scores == reference.scores
+    for i in range(len(subs)):
+        for j in range(len(evts)):
+            ours, ref = batch.result(i, j), reference.result(i, j)
+            assert (ours is None) == (ref is None)
+            if ours is not None and ref is not None:
+                assert ours.score == ref.score
+                assert ours.mapping.assignment() == ref.mapping.assignment()
+                assert len(ours.alternatives) == len(ref.alternatives)
+    scores_only = engine.match_batch(subs, evts, scores_only=True)
+    assert scores_only.scores == reference.scores
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=workloads)
+def test_thematic_batch_parity(space, workload):
+    subs, evts = workload
+    engine = ThematicMatcher(
+        CachedMeasure(ThematicMeasure(space), RelatednessCache()), k=2
+    )
+    assert_batch_parity(engine, subs, evts)
+
+
+@settings(max_examples=15, deadline=None)
+@given(workload=workloads)
+def test_uncalibrated_thematic_batch_parity(space, workload):
+    subs, evts = workload
+    engine = ThematicMatcher(
+        ThematicMeasure(space), calibration=None, min_relatedness=0.42
+    )
+    assert_batch_parity(engine, subs, evts)
+
+
+@settings(max_examples=15, deadline=None)
+@given(workload=workloads)
+def test_nonthematic_batch_parity(space, workload):
+    subs, evts = workload
+    assert_batch_parity(NonThematicMatcher(space), subs, evts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=workloads)
+def test_exact_batch_parity(space, workload):
+    subs, evts = workload
+    assert_batch_parity(ExactMatcher(), subs, evts)
+
+
+@settings(max_examples=15, deadline=None)
+@given(workload=workloads)
+def test_rewriting_batch_parity(thesaurus, workload):
+    subs, evts = workload
+    assert_batch_parity(RewritingMatcher(thesaurus), subs, evts)
+
+
+class TestPipelineStats:
+    def test_dedup_and_prune_accounting(self, space):
+        sub = parse_subscription("({transport}, {vehicle~= bus~})")
+        anchored = parse_subscription("({transport}, {unit= microgram})")
+        evts = [
+            parse_event("({transport}, {vehicle: traffic})"),
+            parse_event("({transport}, {vehicle: traffic, speed: 3})"),
+        ]
+        engine = ThematicMatcher(ThematicMeasure(space))
+        batch = engine.match_batch([sub, anchored], evts, prune_zero=True)
+        stats = batch.stats
+        assert stats.pairs == 4
+        # The anchored subscription's literal tuple is absent from both
+        # events, so both of its pairs are settled without scoring.
+        assert stats.pruned_anchor == 2
+        # The same (vehicle~, traffic) term pairs repeat across events:
+        # collected more than once, scored once.
+        assert stats.term_pairs > stats.unique_term_pairs
+        assert 0.0 < stats.dedup_ratio < 1.0
+
+    def test_score_table_persists_across_batches(self, space):
+        sub = parse_subscription("({transport}, {vehicle~= bus~})")
+        event = parse_event("({transport}, {vehicle: traffic})")
+        engine = ThematicMatcher(ThematicMeasure(space))
+        first = engine.match_batch([sub], [event])
+        again = engine.match_batch([sub], [event])
+        assert first.stats.unique_term_pairs > 0
+        assert again.stats.unique_term_pairs == 0  # all lookups table hits
+        assert again.scores == first.scores
+
+
+class TestEngineDispatch:
+    SUB = "({transport}, {vehicle~= bus~})"
+    ANCHORED = "({transport}, {unit= microgram})"
+    EVENT = "({transport}, {vehicle: bus})"
+
+    def _engine(self, space, **kwargs):
+        matcher = ThematicMatcher(ThematicMeasure(space))
+        return ThematicEventEngine(matcher, **kwargs)
+
+    def test_snapshot_rebuilt_only_on_registration_change(self, space):
+        engine = self._engine(space)
+        engine.subscribe(parse_subscription(self.SUB), lambda result: None)
+        first = engine._registrations()
+        engine.process(parse_event(self.EVENT))
+        assert engine._registrations() is first  # reused across events
+        handle = engine.subscribe(parse_subscription(self.ANCHORED), lambda r: None)
+        second = engine._registrations()
+        assert second is not first
+        engine.unsubscribe(handle)
+        assert engine._registrations() is not second
+
+    def test_prefilter_prunes_and_counts(self, space):
+        engine = self._engine(space)
+        engine.subscribe(parse_subscription(self.ANCHORED), lambda result: None)
+        delivered = engine.process(parse_event(self.EVENT))
+        assert delivered == []
+        assert engine.stats.pruned == 1
+        assert engine.stats.evaluations == 1  # counted despite the prune
+
+    def test_prefilter_can_be_disabled(self, space):
+        engine = self._engine(space, prefilter=False)
+        engine.subscribe(parse_subscription(self.ANCHORED), lambda result: None)
+        engine.process(parse_event(self.EVENT))
+        assert engine.stats.pruned == 0
+
+    def test_dispatch_matches_per_pair_decisions(self, space):
+        matcher = ThematicMatcher(ThematicMeasure(space))
+        engine = ThematicEventEngine(matcher)
+        subs = [parse_subscription(self.SUB), parse_subscription(self.ANCHORED)]
+        seen = []
+        for sub in subs:
+            engine.subscribe(sub, seen.append)
+        event = parse_event(self.EVENT)
+        delivered = engine.process(event)
+        expected = [sub for sub in subs if matcher.matches(sub, event)]
+        assert [r.subscription for r in delivered] == expected
+        assert [r.subscription for r in seen] == expected
+
+
+class TestEngineStatsRegistry:
+    def test_counters_live_in_the_registry(self):
+        registry = MetricsRegistry()
+        stats = EngineStats(registry)
+        stats.inc("events_processed")
+        stats.inc("deliveries", 3)
+        assert stats.events_processed == 1
+        assert stats.deliveries == 3
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["engine.events_processed"] == 1
+        assert snapshot["counters"]["engine.deliveries"] == 3
+
+    def test_snapshot_is_json_ready(self):
+        stats = EngineStats()
+        stats.inc("evaluations", 2)
+        assert stats.snapshot() == {
+            "events_processed": 0,
+            "evaluations": 2,
+            "deliveries": 0,
+            "pruned": 0,
+        }
+
+    def test_engine_metrics_snapshot(self, space):
+        matcher = ThematicMatcher(ThematicMeasure(space))
+        engine = ThematicEventEngine(matcher)
+        engine.subscribe(
+            parse_subscription("({transport}, {vehicle~= bus~})"),
+            lambda result: None,
+        )
+        engine.process(parse_event("({transport}, {vehicle: bus})"))
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["events_processed"] == 1
+        assert snapshot["evaluations"] == 1
+        assert snapshot["deliveries"] == 1

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.evaluation.harness import (
-    CellResult,
-    GridResult,
     nonthematic_matcher_factory,
     run_baseline,
     run_grid,

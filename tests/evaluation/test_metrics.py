@@ -1,7 +1,6 @@
 """Tests for the effectiveness/efficiency metrics (Section 5.1, Table 2)."""
 
 import math
-import time
 
 import pytest
 from hypothesis import given

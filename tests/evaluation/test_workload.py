@@ -1,7 +1,5 @@
 """Tests for workload construction (Figure 6 pipeline)."""
 
-import pytest
-
 from repro.evaluation.workload import WorkloadConfig, build_workload
 
 

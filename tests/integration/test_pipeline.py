@@ -10,7 +10,6 @@ import pytest
 
 from repro.evaluation import (
     ThemeCombination,
-    nonthematic_matcher_factory,
     run_baseline,
     run_sub_experiment,
     theme_pool,

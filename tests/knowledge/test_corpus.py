@@ -1,7 +1,5 @@
 """Tests for the synthetic corpus generator."""
 
-import pytest
-
 from repro.knowledge.corpus import CorpusConfig, build_corpus
 from repro.semantics.tokenize import tokenize
 

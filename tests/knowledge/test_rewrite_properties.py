@@ -7,7 +7,6 @@ cannot escape. These properties pin that down over the real thesaurus.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

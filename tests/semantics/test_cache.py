@@ -1,7 +1,6 @@
 """Unit tests for the relatedness caches and precomputed tables."""
 
 from repro.semantics.cache import (
-    PrecomputedScoreTable,
     RelatednessCache,
     precompute_scores,
 )

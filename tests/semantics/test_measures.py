@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.semantics.cache import PrecomputedScoreTable, RelatednessCache, precompute_scores
+from repro.semantics.cache import PrecomputedScoreTable, precompute_scores
 from repro.semantics.documents import DocumentSet
 from repro.semantics.measures import (
     CachedMeasure,

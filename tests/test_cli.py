@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro.cli import main
 
 EVENT = (
@@ -105,8 +103,8 @@ class TestTracing:
         out = capsys.readouterr().out
         assert code == 0
         assert "per-stage timings" in out
-        assert "matcher.match" in out
-        assert "matcher.similarity_matrix" in out
+        assert "pipeline.match_batch" in out
+        assert "pipeline.score" in out
         assert "matcher.top_k" in out
 
     def test_match_trace_writes_jsonl(self, capsys, tmp_path):
@@ -129,7 +127,7 @@ class TestTracing:
         records = [json.loads(line) for line in sink.read_text().splitlines()]
         assert records
         assert all("span" in r and "duration_ms" in r for r in records)
-        assert any(r["span"] == "matcher.match" for r in records)
+        assert any(r["span"] == "pipeline.match_batch" for r in records)
 
     def test_match_without_trace_has_no_timings(self, capsys):
         code = main(["match", "--subscription", SUBSCRIPTION, "--event", EVENT])
@@ -149,4 +147,4 @@ class TestStats:
         assert snapshot["counters"]["broker.published"] == 5
         assert snapshot["counters"]["broker.evaluations"] == 15
         assert "cache.relatedness_hit_rate" in snapshot["gauges"]
-        assert "stage.matcher.match" in snapshot["histograms"]
+        assert "stage.pipeline.match_batch" in snapshot["histograms"]
