@@ -1,0 +1,70 @@
+"""Sharded broker vs single-worker threaded broker on the fig9 workload.
+
+Not a paper figure: this bench guards the engineering claim of the
+sharded broker — that subscription sharding + ingress micro-batching
+through the delivery-gated staged pipeline beats the serial
+one-event-at-a-time front-end *without changing a single delivery*.
+Every timed run re-checks full delivery parity (sequence, event, score,
+alternatives, per-subscriber order) against
+:class:`~repro.broker.threaded.ThreadedBroker`; throughput without
+identical deliveries would fail the run, not report a number.
+"""
+
+import pytest
+
+from repro.evaluation import compare_broker_throughput, format_comparison
+
+SHARDS = 4
+MAX_BATCH = 32
+REPEATS = 3
+
+
+def test_sharded_throughput(benchmark, workload, bench_artifact):
+    comparison = {}
+
+    def run():
+        comparison.update(
+            compare_broker_throughput(
+                workload, shards=SHARDS, max_batch=MAX_BATCH, repeats=REPEATS
+            )
+        )
+        return comparison["events"] * 2 * REPEATS
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    serial = comparison["serial"]
+    sharded = comparison["sharded"]
+    print()
+    print(
+        format_comparison(
+            [
+                (
+                    "serial (ThreadedBroker)",
+                    "baseline",
+                    f"{serial['mean_eps']:.0f} ev/s",
+                ),
+                (
+                    f"sharded ({SHARDS} shards, batch {MAX_BATCH})",
+                    ">= 1.5x",
+                    f"{sharded['mean_eps']:.0f} ev/s "
+                    f"({comparison['speedup']:.2f}x)",
+                ),
+                (
+                    "delivery parity",
+                    "identical",
+                    f"identical ({comparison['deliveries']} deliveries)",
+                ),
+            ],
+            title="Sharded broker throughput",
+        )
+    )
+
+    bench_artifact("sharded_throughput", comparison)
+
+    assert comparison["parity"] is True
+    # The committed baseline artifact demonstrates the full >= 1.5x at
+    # fig9 scale on a quiet machine; in CI (noisy shared runners, tiny
+    # scale) we assert the direction, not the full margin.
+    assert comparison["speedup"] > 1.0, (
+        f"sharded broker slower than serial: {comparison['speedup']:.2f}x"
+    )

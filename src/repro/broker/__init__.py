@@ -5,16 +5,22 @@ from repro.broker.broker import (
     Delivery,
     SubscriberHandle,
     ThematicBroker,
+    dispatch_delivery,
 )
 from repro.broker.overlay import BrokerOverlay, OverlayMetrics
+from repro.broker.sharded import HashSharding, ShardedBroker, SizeBalancedSharding
 from repro.broker.threaded import ThreadedBroker
 
 __all__ = [
     "BrokerMetrics",
     "BrokerOverlay",
     "Delivery",
+    "HashSharding",
     "OverlayMetrics",
+    "ShardedBroker",
+    "SizeBalancedSharding",
     "SubscriberHandle",
     "ThematicBroker",
     "ThreadedBroker",
+    "dispatch_delivery",
 ]

@@ -28,7 +28,13 @@ from repro.core.matcher import MatchResult, ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import TRACER, MetricsRegistry
 
-__all__ = ["BrokerMetrics", "Delivery", "SubscriberHandle", "ThematicBroker"]
+__all__ = [
+    "BrokerMetrics",
+    "Delivery",
+    "SubscriberHandle",
+    "ThematicBroker",
+    "dispatch_delivery",
+]
 
 
 class BrokerMetrics:
@@ -112,6 +118,26 @@ class SubscriberHandle:
         items = list(self.inbox)
         self.inbox.clear()
         return items
+
+
+def dispatch_delivery(
+    metrics: BrokerMetrics, handle: SubscriberHandle, delivery: Delivery
+) -> None:
+    """The terminal delivery step shared by every broker front-end.
+
+    Counts the delivery, appends to the subscriber's inbox, and guards
+    the optional callback: one subscriber's broken callback must not
+    take down the broker or starve other subscribers — the delivery
+    stays in the inbox either way.
+    """
+    with TRACER.span("broker.deliver"):
+        metrics.inc("deliveries")
+        handle.inbox.append(delivery)
+        if handle.callback is not None:
+            try:
+                handle.callback(delivery)
+            except Exception:
+                metrics.inc("callback_errors")
 
 
 class ThematicBroker:
@@ -230,14 +256,4 @@ class ThematicBroker:
         return self.engine.match_one(subscription, event)
 
     def _deliver(self, handle: SubscriberHandle, delivery: Delivery) -> None:
-        with TRACER.span("broker.deliver"):
-            self.metrics.inc("deliveries")
-            handle.inbox.append(delivery)
-            if handle.callback is not None:
-                try:
-                    handle.callback(delivery)
-                except Exception:
-                    # One subscriber's broken callback must not take down the
-                    # broker or starve other subscribers; the delivery stays
-                    # in the inbox either way.
-                    self.metrics.inc("callback_errors")
+        dispatch_delivery(self.metrics, handle, delivery)

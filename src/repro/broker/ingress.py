@@ -1,0 +1,88 @@
+"""Shared ingress-queue machinery for the threaded broker front-ends.
+
+Both queue-backed brokers (:class:`~repro.broker.threaded.ThreadedBroker`
+and :class:`~repro.broker.sharded.ShardedBroker`) need the same three
+pieces around their ``queue.Queue``:
+
+* a shutdown sentinel (:data:`STOP`);
+* a leak-free bounded wait for the queue to drain
+  (:func:`wait_until_drained`) — the original ``flush(timeout=...)``
+  spawned a daemon thread blocking on ``Queue.join()`` forever when the
+  queue never drained, leaking one thread per timed-out flush;
+* adaptive micro-batch collection (:func:`collect_batch`): drain
+  whatever is already queued up to ``max_batch``, then wait a short
+  *linger* for stragglers so bursts amortize per-batch dispatch cost
+  without adding latency to a steady trickle.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+
+__all__ = ["STOP", "collect_batch", "wait_until_drained"]
+
+#: Sentinel item shutting a broker's dispatcher thread down.
+STOP = object()
+
+
+def wait_until_drained(q: queue.Queue, timeout: float | None = None) -> bool:
+    """Block until every item put on ``q`` has been ``task_done``-ed.
+
+    ``Queue.join()`` with a deadline, built on the queue's own
+    ``all_tasks_done`` condition (a documented attribute since the
+    module's first release) so no helper thread is needed: returns
+    ``True`` when the queue drained, ``False`` when ``timeout`` elapsed
+    first — leaving nothing behind either way.
+    """
+    if timeout is None:
+        q.join()
+        return True
+    deadline = time.monotonic() + timeout
+    with q.all_tasks_done:
+        while q.unfinished_tasks:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            q.all_tasks_done.wait(remaining)
+    return True
+
+
+def collect_batch(
+    q: queue.Queue,
+    first,
+    max_batch: int,
+    linger: float,
+) -> tuple[list, bool]:
+    """Collect one micro-batch starting from an already-dequeued item.
+
+    Drains items that are immediately available, up to ``max_batch``;
+    once the queue runs dry, waits up to ``linger`` seconds (measured
+    from the first dry ``get``) for more before settling for a smaller
+    batch. Returns ``(items, saw_stop)``; when :data:`STOP` is
+    encountered it terminates the batch and is *not* included in the
+    items (the caller still owes its ``task_done``).
+    """
+    batch = [first]
+    saw_stop = False
+    deadline: float | None = None
+    while len(batch) < max_batch:
+        try:
+            item = q.get_nowait()
+        except queue.Empty:
+            if linger <= 0.0:
+                break
+            if deadline is None:
+                deadline = time.monotonic() + linger
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                break
+            try:
+                item = q.get(timeout=remaining)
+            except queue.Empty:
+                break
+        if item is STOP:
+            saw_stop = True
+            break
+        batch.append(item)
+    return batch, saw_stop

@@ -1,0 +1,519 @@
+"""Sharded parallel broker: subscription shards + ingress micro-batching.
+
+:class:`~repro.broker.threaded.ThreadedBroker` decouples producers from
+matching but still dequeues one event at a time and runs the whole
+subscription snapshot through a single engine. :class:`ShardedBroker`
+is the scale-out layout content-based brokers use (the SIENA-style
+partitioning echoed in the paper's prior work): the subscription set is
+partitioned into N shards, each shard owns a private staged pipeline
+(so per-shard term-pair dedup and compiled subscriptions persist without
+cross-shard locking), and the ingress queue drains in adaptive
+micro-batches — one delivery-gated ``match_batch`` call per
+(event-batch × shard).
+
+Three properties the tests pin down:
+
+* **Parity.** Deliveries — the set, the per-subscriber order, the
+  sequence stamps, and every score — are bit-identical to publishing
+  the same events through the serial
+  :class:`~repro.broker.broker.ThematicBroker`. The serial path is the
+  deliberately-boring reference oracle; the sharded path earns its
+  throughput from the pipeline's delivery-gated batch mode (full
+  mapping enumeration only for threshold survivors) plus batch
+  amortization of per-event overhead, never from semantic shortcuts.
+* **Backpressure.** The ingress queue is bounded; ``publish`` blocks
+  when matching falls behind instead of growing memory without bound.
+* **Losslessness.** ``publish`` after ``close`` raises ``RuntimeError``;
+  a publish that won its race against ``close`` is still delivered by
+  ``close``'s leftover drain. Events are never silently dropped.
+
+Shard assignment is pluggable: :class:`HashSharding` (stable modulo
+placement, no rebalancing) or :class:`SizeBalancedSharding` (least-
+loaded placement, shards rebalanced whenever unsubscribes leave them
+more than one subscription apart). Delivery order is decided by each
+subscriber's global registration order, not by shard-internal order, so
+rebalancing is invisible to subscribers.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.broker.broker import (
+    BrokerMetrics,
+    Delivery,
+    SubscriberHandle,
+    dispatch_delivery,
+)
+from repro.broker.ingress import STOP, collect_batch, wait_until_drained
+from repro.core.engine import ThematicEventEngine
+from repro.core.events import Event
+from repro.core.matcher import ThematicMatcher
+from repro.core.subscriptions import Subscription
+from repro.obs import MetricsRegistry
+from repro.obs.registry import merge_snapshots
+
+__all__ = ["HashSharding", "ShardedBroker", "SizeBalancedSharding"]
+
+
+class HashSharding:
+    """Stable modulo placement: subscriber id mod shard count.
+
+    Placement never depends on current loads, so a subscription's shard
+    is reproducible from its id alone and unsubscribes never move other
+    subscriptions around.
+    """
+
+    name = "hash"
+
+    def assign(self, subscriber_id: int, loads: Sequence[int]) -> int:
+        return subscriber_id % len(loads)
+
+    def rebalance(self, loads: Sequence[int]) -> list[tuple[int, int]]:
+        return []
+
+
+class SizeBalancedSharding:
+    """Least-loaded placement with rebalancing on shrink.
+
+    ``assign`` picks the smallest shard (lowest index wins ties), and
+    after an unsubscribe ``rebalance`` moves subscriptions from the
+    largest to the smallest shard until the spread is at most one — so
+    long-lived brokers with churn keep near-equal per-shard batch cost.
+    """
+
+    name = "size"
+
+    def assign(self, subscriber_id: int, loads: Sequence[int]) -> int:
+        return min(range(len(loads)), key=loads.__getitem__)
+
+    def rebalance(self, loads: Sequence[int]) -> list[tuple[int, int]]:
+        loads = list(loads)
+        moves: list[tuple[int, int]] = []
+        while True:
+            source = max(range(len(loads)), key=loads.__getitem__)
+            target = min(range(len(loads)), key=loads.__getitem__)
+            if loads[source] - loads[target] <= 1:
+                return moves
+            moves.append((source, target))
+            loads[source] -= 1
+            loads[target] += 1
+
+
+_STRATEGIES = {
+    HashSharding.name: HashSharding,
+    SizeBalancedSharding.name: SizeBalancedSharding,
+}
+
+
+class _ShardSink:
+    """Engine callback slot carrying a subscriber's global order + handle.
+
+    The sharded broker never lets shard engines dispatch (merging takes
+    the batch results instead, so deliveries can be ordered globally and
+    stamped with their sequence); registrations carry this object purely
+    so the merge can read the subscriber from the engine's own snapshot.
+    """
+
+    __slots__ = ("order", "handle")
+
+    def __init__(self, order: int, handle: SubscriberHandle):
+        self.order = order
+        self.handle = handle
+
+    def __call__(self, result) -> None:  # pragma: no cover - guard rail
+        raise RuntimeError(
+            "shard engines must not dispatch directly; "
+            "deliveries go through the broker's ordered merge"
+        )
+
+
+@dataclass
+class _Shard:
+    """One subscription shard: a private engine over a private registry."""
+
+    index: int
+    registry: MetricsRegistry
+    engine: ThematicEventEngine
+
+
+@dataclass
+class _Entry:
+    """Broker-side registration record for one subscriber."""
+
+    handle: SubscriberHandle
+    sink: _ShardSink
+    shard_index: int
+    engine_handle: object
+
+
+class ShardedBroker:
+    """Parallel broker: sharded subscriptions, micro-batched ingress.
+
+    Usage mirrors :class:`~repro.broker.threaded.ThreadedBroker`::
+
+        broker = ShardedBroker(matcher, shards=4, max_batch=32)
+        handle = broker.subscribe(subscription)
+        broker.publish(event)          # returns immediately (backpressured)
+        broker.flush()                 # wait until the queue drains
+        deliveries = handle.drain()
+        broker.close()
+
+    Parameters
+    ----------
+    matcher:
+        Any :class:`~repro.core.api.MatchEngine`. Matchers exposing
+        ``new_pipeline`` (the :class:`~repro.core.matcher.ThematicMatcher`
+        family) get one private staged pipeline per shard; others are
+        called through their own ``match_batch``, which must then be
+        safe to call concurrently.
+    shards:
+        Number of subscription shards (each an independent engine).
+    strategy:
+        ``"hash"``, ``"size"``, or any object with ``assign``/
+        ``rebalance`` (see :class:`HashSharding`).
+    max_batch / linger:
+        Micro-batching knobs: drain up to ``max_batch`` queued events
+        per dispatch, waiting at most ``linger`` seconds for stragglers
+        once the queue runs dry.
+    workers:
+        Worker threads for per-shard matching. Defaults to
+        ``min(shards, cpu_count)``; with one worker (or one shard) the
+        dispatcher matches inline, skipping pool handoff entirely —
+        the right default under a GIL on a single core.
+    max_queue:
+        Ingress queue bound; ``publish`` blocks when full (backpressure).
+    """
+
+    def __init__(
+        self,
+        matcher: ThematicMatcher,
+        *,
+        shards: int = 4,
+        strategy: str | object = "hash",
+        max_batch: int = 32,
+        linger: float = 0.001,
+        workers: int | None = None,
+        replay_capacity: int = 256,
+        max_queue: int = 10_000,
+        registry: MetricsRegistry | None = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if isinstance(strategy, str):
+            try:
+                strategy = _STRATEGIES[strategy]()
+            except KeyError:
+                raise ValueError(
+                    f"unknown shard strategy {strategy!r} "
+                    f"(expected one of {sorted(_STRATEGIES)})"
+                ) from None
+        self.matcher = matcher
+        self.metrics = BrokerMetrics(registry)
+        self._strategy = strategy
+        self._max_batch = max_batch
+        self._linger = linger
+        self._shards = [
+            _Shard(
+                index=index,
+                registry=(shard_registry := MetricsRegistry()),
+                engine=ThematicEventEngine(
+                    matcher,
+                    registry=shard_registry,
+                    private_pipeline=True,
+                    span_tags={"shard": index},
+                ),
+            )
+            for index in range(shards)
+        ]
+        if workers is None:
+            workers = min(shards, os.cpu_count() or 1)
+        self._workers = max(1, workers)
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="shard-worker"
+            )
+            if self._workers > 1 and shards > 1
+            else None
+        )
+        registry_ = self.metrics.registry
+        self._queue_wait = registry_.histogram("broker.queue_wait_seconds")
+        self._batch_size = registry_.histogram("broker.batch_size")
+        self._queue_depth = registry_.gauge("broker.queue_depth")
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        # Reentrant: delivery callbacks run on the dispatcher thread
+        # while it holds the lock, and may subscribe/unsubscribe.
+        self._reg_lock = threading.RLock()
+        self._entries: dict[int, _Entry] = {}
+        self._next_id = 0
+        self._sequence = 0  # dispatcher-thread only
+        self._replay: deque[tuple[int, Event]] = deque(maxlen=replay_capacity)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._dispatcher = threading.Thread(
+            target=self._run, name="sharded-broker", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is STOP:
+                self._queue.task_done()
+                return
+            batch, saw_stop = collect_batch(
+                self._queue, item, self._max_batch, self._linger
+            )
+            try:
+                self._process_batch(batch)
+            except Exception:  # pragma: no cover - defensive
+                # A matching failure must not kill the dispatcher (and
+                # with it flush/close); the batch's task_done below keeps
+                # flush truthful, and the counter makes the loss visible.
+                self.metrics.registry.counter("broker.batch_errors").inc()
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+                if saw_stop:
+                    self._queue.task_done()
+            if saw_stop:
+                return
+
+    def close(self) -> None:
+        """Drain everything queued, stop the dispatcher, stop the pool.
+
+        Like :meth:`ThreadedBroker.close`, events that raced past the
+        closed check and landed behind the stop sentinel are processed
+        inline before returning — closed-broker publishes either raise
+        or deliver, never disappear.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(STOP)
+        self._dispatcher.join()
+        leftovers = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            leftovers.append(item)
+        events = [item for item in leftovers if item is not STOP]
+        try:
+            if events:
+                for start in range(0, len(events), self._max_batch):
+                    self._process_batch(events[start:start + self._max_batch])
+        finally:
+            for _ in leftovers:
+                self._queue.task_done()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- producer side -----------------------------------------------------
+
+    def publish(self, event: Event) -> None:
+        """Enqueue an event; blocks only when the bounded queue is full.
+
+        Raises ``RuntimeError`` after :meth:`close` — silently dropping
+        events would hide producer bugs.
+        """
+        if self._closed:
+            raise RuntimeError("broker is closed")
+        self._queue.put((time.perf_counter(), event))
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Block until every queued event is matched *and* delivered.
+
+        Returns False if ``timeout`` elapsed first; never leaks a waiter
+        thread (see :func:`~repro.broker.ingress.wait_until_drained`).
+        """
+        return wait_until_drained(self._queue, timeout)
+
+    def pending(self) -> int:
+        """Events queued but not yet dispatched (approximate)."""
+        return self._queue.qsize()
+
+    # -- subscriber side ---------------------------------------------------
+
+    def subscribe(
+        self,
+        subscription: Subscription,
+        callback: Callable[[Delivery], None] | None = None,
+        *,
+        replay: bool = False,
+    ) -> SubscriberHandle:
+        """Register a subscription on a shard chosen by the strategy."""
+        with self._reg_lock:
+            order = self._next_id
+            self._next_id += 1
+            handle = SubscriberHandle(
+                subscriber_id=order,
+                subscription=subscription,
+                callback=callback,
+            )
+            shard_index = self._strategy.assign(order, self._loads())
+            if not 0 <= shard_index < len(self._shards):
+                raise ValueError(
+                    f"strategy assigned shard {shard_index} "
+                    f"outside [0, {len(self._shards)})"
+                )
+            sink = _ShardSink(order, handle)
+            shard = self._shards[shard_index]
+            engine_handle = shard.engine.subscribe(subscription, sink)
+            self._entries[order] = _Entry(
+                handle=handle,
+                sink=sink,
+                shard_index=shard_index,
+                engine_handle=engine_handle,
+            )
+            if replay:
+                for sequence, event in list(self._replay):
+                    self.metrics.inc("evaluations")
+                    result = shard.engine.match_one(subscription, event)
+                    if result is not None:
+                        self.metrics.inc("replayed")
+                        dispatch_delivery(
+                            self.metrics,
+                            handle,
+                            Delivery(result=result, sequence=sequence),
+                        )
+            return handle
+
+    def unsubscribe(self, handle: SubscriberHandle) -> bool:
+        with self._reg_lock:
+            entry = self._entries.pop(handle.subscriber_id, None)
+            if entry is None:
+                return False
+            self._shards[entry.shard_index].engine.unsubscribe(
+                entry.engine_handle
+            )
+            for source, target in self._strategy.rebalance(self._loads()):
+                self._move_one(source, target)
+            return True
+
+    def subscriber_count(self) -> int:
+        with self._reg_lock:
+            return len(self._entries)
+
+    def shard_sizes(self) -> list[int]:
+        """Current subscription count per shard."""
+        with self._reg_lock:
+            return self._loads()
+
+    # -- observability -----------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Broker-level view plus per-shard registries and their merge.
+
+        ``shards`` holds each shard registry's own snapshot (percentiles
+        intact); ``engine_totals`` aggregates them — counters and gauges
+        summed, histogram count/sum/min/max merged — via
+        :func:`~repro.obs.registry.merge_snapshots`.
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["queue_wait"] = self._queue_wait.summary()
+        snapshot["batch_size"] = self._batch_size.summary()
+        snapshot["pending"] = self.pending()
+        shard_snapshots = [shard.registry.snapshot() for shard in self._shards]
+        snapshot["shards"] = {
+            f"shard{shard.index}": shard_snapshot
+            for shard, shard_snapshot in zip(self._shards, shard_snapshots)
+        }
+        snapshot["engine_totals"] = merge_snapshots(shard_snapshots)["counters"]
+        return snapshot
+
+    # -- internals ---------------------------------------------------------
+
+    def _loads(self) -> list[int]:
+        return [shard.engine.subscription_count() for shard in self._shards]
+
+    def _move_one(self, source: int, target: int) -> None:
+        """Move the most recently registered subscription off ``source``.
+
+        Global delivery order rides on each sink's ``order``, not on
+        shard-internal registration order, so the move is invisible to
+        subscribers.
+        """
+        for entry in reversed(self._entries.values()):
+            if entry.shard_index == source:
+                self._shards[source].engine.unsubscribe(entry.engine_handle)
+                entry.engine_handle = self._shards[target].engine.subscribe(
+                    entry.handle.subscription, entry.sink
+                )
+                entry.shard_index = target
+                return
+
+    def _process_batch(self, batch: list[tuple[float, Event]]) -> None:
+        """Match one micro-batch across all shards and merge deliveries."""
+        started = time.perf_counter()
+        events = []
+        for enqueued_at, event in batch:
+            self._queue_wait.record(started - enqueued_at)
+            events.append(event)
+        self._batch_size.record(len(batch))
+        self._queue_depth.set(self._queue.qsize())
+        with self._reg_lock:
+            self.metrics.inc("published", len(events))
+            total_subscribers = len(self._entries)
+            self.metrics.inc("evaluations", total_subscribers * len(events))
+            sequences = []
+            for event in events:
+                sequences.append(self._sequence)
+                self._replay.append((self._sequence, event))
+                self._sequence += 1
+            active = [
+                shard for shard in self._shards
+                if shard.engine.subscription_count()
+            ]
+            if self._pool is not None and len(active) > 1:
+                futures = [
+                    self._pool.submit(
+                        shard.engine.snapshot_batch,
+                        events,
+                        deliverable_only=True,
+                    )
+                    for shard in active
+                ]
+                outcomes = [future.result() for future in futures]
+            else:
+                outcomes = [
+                    shard.engine.snapshot_batch(events, deliverable_only=True)
+                    for shard in active
+                ]
+            threshold = self.matcher.threshold
+            for j, sequence in enumerate(sequences):
+                matched = []
+                for shard, (registrations, result_batch) in zip(active, outcomes):
+                    if result_batch is None:
+                        continue
+                    for index, (_, sink) in enumerate(registrations):
+                        result = result_batch.result(index, j)
+                        if result is not None and result.is_match(threshold):
+                            shard.engine.stats.inc("deliveries")
+                            matched.append((sink.order, sink.handle, result))
+                matched.sort(key=lambda item: item[0])
+                for _, handle, result in matched:
+                    dispatch_delivery(
+                        self.metrics,
+                        handle,
+                        Delivery(result=result, sequence=sequence),
+                    )

@@ -18,15 +18,13 @@ import time
 from collections.abc import Callable
 
 from repro.broker.broker import Delivery, SubscriberHandle, ThematicBroker
+from repro.broker.ingress import STOP, wait_until_drained
 from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import MetricsRegistry
 
 __all__ = ["ThreadedBroker"]
-
-#: Sentinel shutting the worker down.
-_STOP = object()
 
 
 class ThreadedBroker:
@@ -61,6 +59,7 @@ class ThreadedBroker:
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._lock = threading.Lock()
         self._closed = False
+        self._close_lock = threading.Lock()
         self._worker = threading.Thread(
             target=self._run, name="thematic-broker", daemon=True
         )
@@ -72,7 +71,7 @@ class ThreadedBroker:
         while True:
             item = self._queue.get()
             try:
-                if item is _STOP:
+                if item is STOP:
                     return
                 enqueued_at, event = item
                 self._queue_wait.record(time.perf_counter() - enqueued_at)
@@ -82,12 +81,32 @@ class ThreadedBroker:
                 self._queue.task_done()
 
     def close(self) -> None:
-        """Stop the worker after draining everything already queued."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(_STOP)
+        """Stop the worker after draining everything already queued.
+
+        Any ``publish`` that won its race against ``close`` (passed the
+        closed check before the flag was set) may have enqueued its event
+        *behind* the stop sentinel; those stragglers are published inline
+        here, so an event is either rejected with ``RuntimeError`` or
+        delivered — never silently dropped.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(STOP)
         self._worker.join()
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            try:
+                if item is not STOP:
+                    _, event = item
+                    with self._lock:
+                        self._inner.publish(event)
+            finally:
+                self._queue.task_done()
 
     def __enter__(self) -> "ThreadedBroker":
         return self
@@ -110,20 +129,14 @@ class ThreadedBroker:
     def flush(self, timeout: float | None = None) -> bool:
         """Block until every queued event has been processed.
 
-        Returns False if ``timeout`` elapsed first.
+        Returns False if ``timeout`` elapsed first. Waits on the queue's
+        own condition variable (see
+        :func:`~repro.broker.ingress.wait_until_drained`) — the previous
+        implementation parked a daemon thread on ``Queue.join()`` that
+        never exited when the queue never drained, leaking one thread
+        per timed-out flush.
         """
-        if timeout is None:
-            self._queue.join()
-            return True
-        done = threading.Event()
-
-        def wait() -> None:
-            self._queue.join()
-            done.set()
-
-        waiter = threading.Thread(target=wait, daemon=True)
-        waiter.start()
-        return done.wait(timeout)
+        return wait_until_drained(self._queue, timeout)
 
     # -- subscriber side --------------------------------------------------------
 

@@ -37,6 +37,7 @@ from repro.evaluation import (
     ThemeCombination,
     WorkloadConfig,
     build_workload,
+    compare_broker_throughput,
     format_table,
     run_baseline,
     run_sub_experiment,
@@ -192,6 +193,24 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"relatedness cache hit rate: {result.cache_hit_rate:.1%}")
     delta = result.f1 - baseline.f1
     print(f"F1 delta: {delta:+.1%} (paper: +9 points on average)")
+    if args.shards:
+        comparison = compare_broker_throughput(
+            workload,
+            combination=ThemeCombination(
+                event_tags=event_tags, subscription_tags=subscription_tags
+            ),
+            shards=args.shards,
+            max_batch=args.max_batch,
+            seed=args.seed,
+        )
+        serial = comparison["serial"]
+        sharded = comparison["sharded"]
+        print(
+            f"broker throughput: serial {serial['mean_eps']:.0f} ev/s vs "
+            f"sharded[{sharded['shards']} shards x batch "
+            f"{sharded['max_batch']}] {sharded['mean_eps']:.0f} ev/s "
+            f"({comparison['speedup']:.2f}x, deliveries identical)"
+        )
     if tracing:
         _finish_trace()
     return 0
@@ -263,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--event-tags", type=int, default=4)
     p_eval.add_argument("--subscription-tags", type=int, default=12)
     p_eval.add_argument("--seed", type=int, default=99)
+    p_eval.add_argument("--shards", type=int, default=0,
+                        help="also compare serial vs sharded broker "
+                             "throughput with this many subscription shards")
+    p_eval.add_argument("--max-batch", type=int, default=32,
+                        help="ingress micro-batch size for --shards")
     p_eval.add_argument("--trace", action="store_true",
                         help="print per-stage pipeline timings")
     p_eval.add_argument("--trace-out", default=None,

@@ -106,6 +106,18 @@ class ThematicEventEngine:
         Whether dispatch may use loss-free zero-score pruning (arity +
         exact anchors). Only applies while the matcher's threshold is
         positive; disable to force full scoring of every pair.
+    private_pipeline:
+        Give this engine its own staged pipeline (when the matcher
+        supports one) instead of the matcher's shared lazy instance.
+        Required when several engines over the same matcher run
+        concurrently — the sharded broker's layout — because the shared
+        pipeline's compiled-subscription and side-score tables are not
+        synchronized. Term-pair dedup still happens per shard (each
+        private pipeline keeps its own persistent tables), and shards
+        share semantic work through the measure-level cache.
+    span_tags:
+        Extra attributes stamped on every pipeline span (e.g. a shard
+        label); only meaningful with ``private_pipeline``.
     """
 
     def __init__(
@@ -114,10 +126,17 @@ class ThematicEventEngine:
         *,
         registry: MetricsRegistry | None = None,
         prefilter: bool = True,
+        private_pipeline: bool = False,
+        span_tags: dict | None = None,
     ):
         self.matcher = matcher
         self.stats = EngineStats(registry)
         self.prefilter = prefilter
+        self._pipeline = None
+        if private_pipeline:
+            factory = getattr(matcher, "new_pipeline", None)
+            if factory is not None:
+                self._pipeline = factory(span_tags=span_tags)
         self._subscriptions: dict[int, tuple[Subscription, MatchCallback]] = {}
         self._next_id = 0
         # Registration snapshot, rebuilt only when the set changes —
@@ -165,6 +184,70 @@ class ThematicEventEngine:
             return None
         return result
 
+    def _run_batch(
+        self,
+        subscriptions: list[Subscription],
+        events: list[Event],
+        *,
+        prune_zero: bool,
+        deliver_threshold: float | None = None,
+    ):
+        """One ``match_batch`` through this engine's pipeline choice.
+
+        A private pipeline takes precedence; otherwise the matcher's own
+        ``match_batch`` runs (with the delivery-gated mode forwarded only
+        when the matcher family supports it — Boolean baselines build
+        full results either way, and dispatch filters identically).
+        """
+        if self._pipeline is not None:
+            return self._pipeline.run(
+                subscriptions,
+                events,
+                prune_zero=prune_zero,
+                deliver_threshold=deliver_threshold,
+            )
+        if deliver_threshold is not None and hasattr(self.matcher, "new_pipeline"):
+            return self.matcher.match_batch(
+                subscriptions,
+                events,
+                prune_zero=prune_zero,
+                deliver_threshold=deliver_threshold,
+            )
+        return self.matcher.match_batch(subscriptions, events, prune_zero=prune_zero)
+
+    def snapshot_batch(
+        self, events: list[Event], *, deliverable_only: bool = False
+    ):
+        """Match a micro-batch against the registration snapshot — no
+        dispatch.
+
+        The sharded broker's unit of work: returns the registration
+        snapshot the batch was matched against (so the caller can merge
+        per-shard results into a globally ordered delivery stream) and
+        the :class:`~repro.core.api.BatchMatchResult`, or ``None`` when
+        there was nothing to match. ``deliverable_only`` materializes
+        result objects only for pairs at or above the matcher's
+        threshold — exactly the set dispatch would deliver — via the
+        pipeline's delivery-gated mode.
+        """
+        registrations = self._registrations()
+        events = list(events)
+        self.stats.inc("events_processed", len(events))
+        self.stats.inc("evaluations", len(registrations) * len(events))
+        if not registrations or not events:
+            return registrations, None
+        prune = self.prefilter and self.matcher.threshold > 0
+        deliver = self.matcher.threshold if deliverable_only else None
+        batch = self._run_batch(
+            [subscription for subscription, _ in registrations],
+            events,
+            prune_zero=prune,
+            deliver_threshold=deliver,
+        )
+        if batch.stats is not None:
+            self.stats.inc("pruned", batch.stats.pruned)
+        return registrations, batch
+
     def process(self, event: Event) -> list[MatchResult]:
         """Match ``event`` against every subscription and dispatch.
 
@@ -180,7 +263,7 @@ class ThematicEventEngine:
         if not registrations:
             return []
         prune = self.prefilter and self.matcher.threshold > 0
-        batch = self.matcher.match_batch(
+        batch = self._run_batch(
             [subscription for subscription, _ in registrations],
             [event],
             prune_zero=prune,
@@ -196,4 +279,27 @@ class ThematicEventEngine:
                 self.stats.inc("deliveries")
                 delivered.append(result)
                 callback(result)
+        return delivered
+
+    def process_batch(self, events: list[Event]) -> list[list[MatchResult]]:
+        """Match and dispatch a micro-batch; one result list per event.
+
+        The batched counterpart of :meth:`process`: one delivery-gated
+        ``match_batch`` covers the whole (snapshot × batch) grid, then
+        callbacks fire per event in arrival order, each in registration
+        order — the same deliveries, in the same per-subscriber order,
+        as the equivalent sequence of :meth:`process` calls.
+        """
+        registrations, batch = self.snapshot_batch(events, deliverable_only=True)
+        delivered: list[list[MatchResult]] = [[] for _ in events]
+        if batch is None:
+            return delivered
+        threshold = self.matcher.threshold
+        for j in range(len(events)):
+            for index, (_, callback) in enumerate(registrations):
+                result = batch.result(index, j)
+                if result is not None and result.is_match(threshold):
+                    self.stats.inc("deliveries")
+                    delivered[j].append(result)
+                    callback(result)
         return delivered

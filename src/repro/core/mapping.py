@@ -40,6 +40,8 @@ __all__ = [
     "Correspondence",
     "Mapping",
     "k_best_assignments",
+    "single_mapping",
+    "top_assignment",
     "top_k_mappings",
     "top_assignment_score",
 ]
@@ -242,12 +244,73 @@ def top_assignment_score(scores: np.ndarray) -> float:
         return 0.0
     cost = -np.log(np.maximum(scores, _EPSILON))
     cost = np.minimum(cost, _FORBIDDEN_COST)
-    solved = _solve(cost)
-    if solved is None:
-        return 0.0
-    assignment, _ = solved
-    values = [float(scores[i, j]) for i, j in enumerate(assignment)]
-    return float(np.prod(values) ** (1.0 / len(values))) if values else 0.0
+    # Inlined _solve without the assignment-tuple bookkeeping, and a
+    # plain sequential product instead of np.prod — numpy's
+    # multiply.reduce over a handful of float64s is the same
+    # left-to-right chain, so the float result is unchanged while the
+    # per-call wrapper overhead (the bulk of scores-only batch cost at
+    # small arities) disappears.
+    rows, cols = linear_sum_assignment(cost)
+    product = 1.0
+    for r, c in zip(rows, cols):
+        product *= float(scores[r, c])
+    return float(product ** (1.0 / n))
+
+
+def top_assignment(scores: np.ndarray) -> tuple[tuple[int, ...], float] | None:
+    """Best assignment and its geometric-mean score; ``None`` if infeasible.
+
+    :func:`top_assignment_score` for callers that also need the
+    assignment itself — the delivery-gated batch path solves once, gates
+    on the score, and (in top-1 mode) reuses the assignment via
+    :func:`single_mapping` instead of re-solving through
+    :func:`top_k_mappings`. Same cost construction, same solver, same
+    score arithmetic, so both outputs are bit-identical to the full
+    path's top-1 result.
+    """
+    n, m = scores.shape
+    if n == 0 or n > m:
+        return None
+    cost = -np.log(np.maximum(scores, _EPSILON))
+    cost = np.minimum(cost, _FORBIDDEN_COST)
+    rows, cols = linear_sum_assignment(cost)
+    assignment = [0] * n
+    product = 1.0
+    for r, c in zip(rows, cols):
+        assignment[r] = int(c)
+        product *= float(scores[r, c])
+    return tuple(assignment), float(product ** (1.0 / n))
+
+
+def single_mapping(matrix: SimilarityMatrix, assignment: tuple[int, ...]) -> Mapping:
+    """The :class:`Mapping` that ``top_k_mappings(matrix, 1)[0]`` builds
+    for this assignment — field-identical, without the enumeration
+    machinery (heap, partitioning, re-solving).
+
+    The arithmetic below mirrors :func:`top_k_mappings` expression for
+    expression; with a single enumerated mapping its normalized
+    probability is exactly ``1.0`` (``weight / weight``) whenever the
+    weight is positive, ``0.0`` otherwise.
+    """
+    row_probs = matrix.row_probabilities()
+    correspondences = tuple(
+        Correspondence(
+            predicate_index=i,
+            tuple_index=j,
+            score=float(matrix.scores[i, j]),
+            probability=float(row_probs[i, j]),
+        )
+        for i, j in enumerate(assignment)
+    )
+    scores = [c.score for c in correspondences]
+    geo_mean = float(np.prod(scores) ** (1.0 / len(scores))) if scores else 0.0
+    weight = float(np.prod([c.probability for c in correspondences]))
+    return Mapping(
+        correspondences=correspondences,
+        score=geo_mean,
+        weight=weight,
+        probability=1.0 if weight > 0 else 0.0,
+    )
 
 
 def top_k_mappings(matrix: SimilarityMatrix, k: int) -> list[Mapping]:

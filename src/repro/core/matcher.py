@@ -154,6 +154,21 @@ class ThematicMatcher:
         result = self.match(subscription, event)
         return result is not None and result.is_match(self.threshold)
 
+    def new_pipeline(self, *, span_tags: dict | None = None):
+        """A fresh :class:`~repro.core.pipeline.StagedBatchPipeline`.
+
+        The default :meth:`match_batch` pipeline is shared state (its
+        compiled-subscription and side-score tables mutate per batch),
+        so concurrent callers — one engine per broker shard — each take
+        a private pipeline instead. ``span_tags`` label every span the
+        pipeline emits (e.g. with a shard id).
+        """
+        # Imported here: pipeline.py imports MatchResult from this
+        # module, so a top-level import would be circular.
+        from repro.core.pipeline import StagedBatchPipeline
+
+        return StagedBatchPipeline(self, span_tags=span_tags)
+
     def match_batch(
         self,
         subscriptions,
@@ -161,6 +176,7 @@ class ThematicMatcher:
         *,
         scores_only: bool = False,
         prune_zero: bool | None = None,
+        deliver_threshold: float | None = None,
     ):
         """Match every subscription against every event, staged.
 
@@ -168,14 +184,16 @@ class ThematicMatcher:
         (candidates → term-pair collection → bulk scoring → assignment),
         which deduplicates semantic lookups across the whole batch. The
         score grid is bit-identical to per-pair :meth:`score` calls; see
-        :mod:`repro.core.api` for the contract and the keyword options.
+        :mod:`repro.core.api` for the contract and the keyword options,
+        and :meth:`StagedBatchPipeline.run` for the delivery-gated
+        ``deliver_threshold`` mode.
         """
         if self._pipeline is None:
-            # Imported here: pipeline.py imports MatchResult from this
-            # module, so a top-level import would be circular.
-            from repro.core.pipeline import StagedBatchPipeline
-
-            self._pipeline = StagedBatchPipeline(self)
+            self._pipeline = self.new_pipeline()
         return self._pipeline.run(
-            subscriptions, events, scores_only=scores_only, prune_zero=prune_zero
+            subscriptions,
+            events,
+            scores_only=scores_only,
+            prune_zero=prune_zero,
+            deliver_threshold=deliver_threshold,
         )

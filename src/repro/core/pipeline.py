@@ -51,7 +51,12 @@ import numpy as np
 
 from repro.core.api import BatchMatchResult
 from repro.core.events import Event
-from repro.core.mapping import top_assignment_score, top_k_mappings
+from repro.core.mapping import (
+    single_mapping,
+    top_assignment,
+    top_assignment_score,
+    top_k_mappings,
+)
 from repro.core.matcher import MatchResult
 from repro.core.similarity import SimilarityMatrix
 from repro.core.subscriptions import Predicate, Subscription
@@ -181,8 +186,16 @@ class StagedBatchPipeline:
     registered vocabulary, not by event count.
     """
 
-    def __init__(self, matcher: "ThematicMatcher"):
+    def __init__(
+        self,
+        matcher: "ThematicMatcher",
+        *,
+        span_tags: dict | None = None,
+    ):
         self.matcher = matcher
+        # Attributes stamped onto every span this pipeline emits — the
+        # sharded broker labels each shard's private pipeline here.
+        self._span_tags = dict(span_tags) if span_tags else {}
         # id() keys avoid re-hashing subscriptions per event; the value
         # keeps the subscription alive, so ids cannot be recycled.
         self._compiled_subs: dict[int, _CompiledSubscription] = {}
@@ -218,6 +231,7 @@ class StagedBatchPipeline:
         *,
         scores_only: bool = False,
         prune_zero: bool | None = None,
+        deliver_threshold: float | None = None,
     ) -> BatchMatchResult:
         """Match every subscription against every event, staged.
 
@@ -228,7 +242,18 @@ class StagedBatchPipeline:
         output exactly (which returns zero-score results, not ``None``)
         leave it off unless, like the engine, they only consume
         above-threshold results.
+
+        ``deliver_threshold`` selects the delivery-gated mode used by the
+        micro-batching broker path: every candidate gets its (bit-
+        identical) top assignment score, but full ``MatchResult`` objects
+        — the expensive top-k enumeration — are materialized only for
+        candidates at or above the threshold. Results below it come back
+        as ``None``; callers that only deliver threshold survivors (the
+        engine's dispatch contract) observe exactly the same outcome as
+        the full-result mode. Mutually exclusive with ``scores_only``.
         """
+        if deliver_threshold is not None and scores_only:
+            raise ValueError("deliver_threshold is incompatible with scores_only")
         if prune_zero is None:
             prune_zero = scores_only
         subscriptions = tuple(subscriptions)
@@ -243,6 +268,7 @@ class StagedBatchPipeline:
             subscriptions=stats.subscriptions,
             events=stats.events,
             scores_only=scores_only,
+            **self._span_tags,
         ):
             scores: list[list[float]] = [
                 [0.0] * len(events) for _ in subscriptions
@@ -255,9 +281,14 @@ class StagedBatchPipeline:
             candidates = self._stage_candidates(
                 subscriptions, events, prune_zero, stats
             )
-            missing = self._stage_collect(candidates, stats)
-            self._stage_score(missing, stats)
-            self._stage_assign(candidates, scores, results, stats)
+            if deliver_threshold is not None:
+                self._stage_assign_deliverable(
+                    candidates, scores, results, deliver_threshold, stats
+                )
+            else:
+                missing = self._stage_collect(candidates, stats)
+                self._stage_score(missing, stats)
+                self._stage_assign(candidates, scores, results, stats)
 
         return BatchMatchResult(
             subscriptions=subscriptions,
@@ -276,7 +307,9 @@ class StagedBatchPipeline:
         prune_zero: bool,
         stats: BatchStats,
     ) -> list[tuple[int, int, _CompiledSubscription, _CompiledEvent]]:
-        with TRACER.span("pipeline.candidates", batch=stats.pairs):
+        with TRACER.span(
+            "pipeline.candidates", batch=stats.pairs, **self._span_tags
+        ):
             compiled_subs = [self._compile_subscription(s) for s in subscriptions]
             compiled_events = [_CompiledEvent(e) for e in events]
             candidates = []
@@ -304,7 +337,7 @@ class StagedBatchPipeline:
     ) -> list[tuple[dict, tuple[str, str], str, frozenset, str, frozenset]]:
         """Unique semantic lookups the batch needs but the tables lack."""
         with TRACER.span("pipeline.collect", batch=stats.pairs,
-                         candidates=len(candidates)):
+                         candidates=len(candidates), **self._span_tags):
             missing: list[
                 tuple[dict, tuple[str, str], str, frozenset, str, frozenset]
             ] = []
@@ -357,6 +390,7 @@ class StagedBatchPipeline:
             total=stats.term_pairs,
             unique=stats.unique_term_pairs,
             dedup_ratio=round(stats.dedup_ratio, 4),
+            **self._span_tags,
         ):
             for table, key, term_s, theme_s, term_e, theme_e in missing:
                 raw = measure.score(term_s, theme_s, term_e, theme_e)
@@ -380,6 +414,7 @@ class StagedBatchPipeline:
             batch=stats.pairs,
             candidates=len(candidates),
             dedup_ratio=round(stats.dedup_ratio, 4),
+            **self._span_tags,
         ):
             for i, j, sub, event in candidates:
                 table = self._table_for(sub, event)
@@ -404,6 +439,173 @@ class StagedBatchPipeline:
                 )
                 results[i][j] = result
                 scores[i][j] = result.score
+
+    # -- delivery-gated assignment (the micro-batching broker path) --------
+
+    def _stage_assign_deliverable(
+        self,
+        candidates: list[tuple[int, int, _CompiledSubscription, _CompiledEvent]],
+        scores: list[list[float]],
+        results: list[list[MatchResult | None]],
+        threshold: float,
+        stats: BatchStats,
+    ) -> None:
+        """Collect, score and assign in one pass, materializing survivors.
+
+        Each candidate's matrix is built directly against the persistent
+        side-score table, computing (and memoizing) missing term-pair
+        scores on first touch — the dedup guarantee of the collect stage
+        holds implicitly, because a table entry is only ever computed
+        once. Every candidate gets the cheap top assignment score (bit-
+        identical to the full path's top-1 score); the expensive mapping
+        materialization runs only for candidates whose score clears
+        ``threshold``. In top-1 mode (``k == 1``) the gate's own solve
+        is reused — :func:`~repro.core.mapping.single_mapping` rebuilds
+        the full path's mapping object from the gate's assignment with
+        the same arithmetic, so survivors cost one solver call instead
+        of two. For ``k > 1`` survivors re-enter
+        :func:`~repro.core.mapping.top_k_mappings` unchanged: same
+        matrix, same solver, same arithmetic as full mode either way.
+        """
+        matcher = self.matcher
+        min_relatedness = matcher.min_relatedness
+        top_1 = matcher.k == 1
+        with TRACER.span(
+            "pipeline.assign_deliverable",
+            batch=stats.pairs,
+            candidates=len(candidates),
+            threshold=threshold,
+            **self._span_tags,
+        ):
+            for i, j, sub, event in candidates:
+                table = self._table_for(sub, event)
+                matrix = self._pair_matrix_fill(
+                    sub, event, table, min_relatedness, stats
+                )
+                if top_1:
+                    solved = top_assignment(matrix)
+                    if solved is None:  # pragma: no cover - arity stage prevents it
+                        continue
+                    assignment, top = solved
+                    if top < threshold:
+                        scores[i][j] = top
+                        continue
+                    wrapped = SimilarityMatrix(
+                        subscription=sub.subscription,
+                        event=event.event,
+                        scores=matrix,
+                    )
+                    mapping = single_mapping(wrapped, assignment)
+                    result = MatchResult(
+                        subscription=sub.subscription,
+                        event=event.event,
+                        matrix=wrapped,
+                        mapping=mapping,
+                    )
+                    results[i][j] = result
+                    scores[i][j] = result.score
+                    continue
+                top = top_assignment_score(matrix)
+                if top < threshold:
+                    scores[i][j] = top
+                    continue
+                wrapped = SimilarityMatrix(
+                    subscription=sub.subscription,
+                    event=event.event,
+                    scores=matrix,
+                )
+                mappings = top_k_mappings(wrapped, matcher.k)
+                if not mappings:  # pragma: no cover - arity stage prevents it
+                    scores[i][j] = top
+                    continue
+                result = MatchResult(
+                    subscription=sub.subscription,
+                    event=event.event,
+                    matrix=wrapped,
+                    mapping=mappings[0],
+                    alternatives=tuple(mappings[1:]),
+                )
+                results[i][j] = result
+                scores[i][j] = result.score
+
+    def _pair_matrix_fill(
+        self,
+        sub: _CompiledSubscription,
+        event: _CompiledEvent,
+        table: dict[tuple[str, str], float],
+        min_relatedness: float,
+        stats: BatchStats,
+    ) -> np.ndarray:
+        """Like :meth:`_pair_matrix`, but computes missing side scores.
+
+        The same float operations in the same order as the collect +
+        bulk-scoring stages would produce — each table entry comes from
+        one measure call and one calibration application — only the
+        *scheduling* differs (on first touch instead of batched), which
+        cannot change any value: measure calls are independent and
+        deterministic. Stats count each computed entry as one collected
+        and one unique term pair (lookups served by the table are free
+        in this mode and are not walked, so ``dedup_ratio`` is not
+        meaningful here).
+        """
+        matcher = self.matcher
+        measure = matcher.measure
+        calibration = matcher.calibration
+        matrix = np.zeros((sub.arity, event.size))
+        for i, p in enumerate(sub.predicates):
+            row = matrix[i]
+            for j, t in enumerate(event.tuples):
+                # Attribute side (two strings, always).
+                if p.attr_norm == t.attr_norm:
+                    attr_sim = 1.0
+                elif not p.approx_attribute:
+                    continue  # attr_sim == 0.0 -> entry stays 0.0
+                else:
+                    key = (p.attr_norm, t.attr_norm)
+                    attr_sim = table.get(key)
+                    if attr_sim is None:
+                        raw = measure.score(
+                            p.attribute, sub.theme, t.attribute, event.theme
+                        )
+                        attr_sim = (
+                            calibration.apply(raw)
+                            if calibration is not None else raw
+                        )
+                        table[key] = attr_sim
+                        stats.term_pairs += 1
+                        stats.unique_term_pairs += 1
+                if attr_sim < min_relatedness or attr_sim == 0.0:
+                    continue
+                if p.operator != "=":
+                    if p.predicate.evaluate_value(t.value):
+                        row[j] = attr_sim
+                    continue
+                # Value side.
+                if p.value_is_str and t.value_is_str:
+                    if p.value_norm == t.value_norm:
+                        value_sim = 1.0
+                    elif not p.approx_value:
+                        continue
+                    else:
+                        key = (p.value_norm, t.value_norm)
+                        value_sim = table.get(key)
+                        if value_sim is None:
+                            raw = measure.score(
+                                p.value, sub.theme, t.value, event.theme
+                            )
+                            value_sim = (
+                                calibration.apply(raw)
+                                if calibration is not None else raw
+                            )
+                            table[key] = value_sim
+                            stats.term_pairs += 1
+                            stats.unique_term_pairs += 1
+                else:
+                    value_sim = 1.0 if p.value == t.value else 0.0
+                if value_sim < min_relatedness:
+                    continue
+                row[j] = attr_sim * value_sim
+        return matrix
 
     def _pair_matrix(
         self,

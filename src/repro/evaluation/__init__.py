@@ -6,6 +6,12 @@ from repro.evaluation.expansion import (
     expand_event,
     expand_events,
 )
+from repro.evaluation.brokers import (
+    BrokerRunResult,
+    compare_broker_throughput,
+    run_broker_workload,
+    sample_combination,
+)
 from repro.evaluation.groundtruth import GroundTruth, build_ground_truth, is_relevant
 from repro.evaluation.harness import (
     CellResult,
@@ -59,7 +65,11 @@ from repro.evaluation.themes import (
 from repro.evaluation.workload import Workload, WorkloadConfig, build_workload
 
 __all__ = [
+    "BrokerRunResult",
     "CellResult",
+    "compare_broker_throughput",
+    "run_broker_workload",
+    "sample_combination",
     "ConfusionCounts",
     "EffectivenessResult",
     "ExpandedEvent",

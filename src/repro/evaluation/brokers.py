@@ -1,0 +1,204 @@
+"""Broker-level throughput comparison: serial ingress vs sharded batches.
+
+The matcher benchmarks (:mod:`repro.evaluation.harness`) time the staged
+pipeline in isolation; this module times whole broker front-ends — the
+same themed fig9-style workload published through
+:class:`~repro.broker.threaded.ThreadedBroker` (one worker, one event
+per dispatch) and :class:`~repro.broker.sharded.ShardedBroker`
+(subscription shards + ingress micro-batching), with delivery parity
+checked on every run. Shared by ``repro evaluate --shards`` and
+``benchmarks/bench_sharded_throughput.py`` so the CLI and the bench can
+never drift apart on methodology.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.broker import ShardedBroker, ThreadedBroker
+from repro.evaluation.harness import thematic_matcher_factory
+from repro.evaluation.themes import ThemeCombination, theme_pool
+from repro.evaluation.workload import Workload
+
+__all__ = [
+    "BrokerRunResult",
+    "compare_broker_throughput",
+    "run_broker_workload",
+    "sample_combination",
+]
+
+
+@dataclass(frozen=True)
+class BrokerRunResult:
+    """One timed publish-everything-then-flush pass through a broker."""
+
+    name: str
+    events: int
+    seconds: float
+    deliveries: int
+    #: Per subscriber (in subscription order): the delivered
+    #: ``(sequence, event index, score, alternatives)`` tuples in arrival
+    #: order — the full observable delivery stream, used for parity.
+    signature: tuple[tuple, ...]
+    metrics: dict
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else float("inf")
+
+
+def sample_combination(
+    workload: Workload,
+    *,
+    event_tags: int = 4,
+    subscription_tags: int = 12,
+    seed: int = 99,
+) -> ThemeCombination:
+    """A deterministic fig9-style theme combination (containment holds)."""
+    pool = list(theme_pool(workload.thesaurus))
+    rng = random.Random(seed)
+    subscription = tuple(rng.sample(pool, min(subscription_tags, len(pool))))
+    event = tuple(rng.sample(subscription, min(event_tags, len(subscription))))
+    return ThemeCombination(event_tags=event, subscription_tags=subscription)
+
+
+def run_broker_workload(
+    name: str,
+    make_broker: Callable[[], object],
+    subscriptions: Sequence,
+    events: Sequence,
+) -> BrokerRunResult:
+    """Publish ``events`` through a fresh broker and time to full drain.
+
+    The clock covers publish + flush (matching and delivery inclusive),
+    the broker lifecycle end to end — exactly what a producer observes.
+    """
+    broker = make_broker()
+    try:
+        handles = [broker.subscribe(subscription) for subscription in subscriptions]
+        started = time.perf_counter()
+        for event in events:
+            broker.publish(event)
+        broker.flush()
+        elapsed = time.perf_counter() - started
+    finally:
+        broker.close()
+    event_index = {id(event): j for j, event in enumerate(events)}
+    signature = tuple(
+        tuple(
+            (
+                delivery.sequence,
+                event_index[id(delivery.event)],
+                delivery.score,
+                len(delivery.result.alternatives),
+            )
+            for delivery in handle.drain()
+        )
+        for handle in handles
+    )
+    return BrokerRunResult(
+        name=name,
+        events=len(events),
+        seconds=elapsed,
+        deliveries=sum(len(stream) for stream in signature),
+        signature=signature,
+        metrics=broker.metrics_snapshot(),
+    )
+
+
+def compare_broker_throughput(
+    workload: Workload,
+    *,
+    combination: ThemeCombination | None = None,
+    shards: int = 4,
+    strategy: str = "hash",
+    max_batch: int = 32,
+    linger: float = 0.001,
+    repeats: int = 1,
+    max_events: int | None = None,
+    max_subscriptions: int | None = None,
+    seed: int = 99,
+) -> dict:
+    """Serial vs sharded broker throughput on one themed workload.
+
+    Each repeat runs both brokers with fresh matchers (cold semantic
+    caches — neither side inherits warmth) over the *same* themed event
+    and subscription objects, asserts delivery parity — identical
+    per-subscriber streams of ``(sequence, event, score, alternatives)``
+    — and records events/second. Raises ``AssertionError`` on any parity
+    violation; speed without identical deliveries is not a result.
+    """
+    if combination is None:
+        combination = sample_combination(workload, seed=seed)
+    events = [
+        event.with_theme(combination.event_tags)
+        for event in workload.events[:max_events]
+    ]
+    subscriptions = [
+        subscription.with_theme(combination.subscription_tags)
+        for subscription in workload.subscriptions.approximate[:max_subscriptions]
+    ]
+    matcher_factory = thematic_matcher_factory(workload)
+    serial_runs: list[BrokerRunResult] = []
+    sharded_runs: list[BrokerRunResult] = []
+    for _ in range(max(1, repeats)):
+        serial = run_broker_workload(
+            "threaded",
+            lambda: ThreadedBroker(matcher_factory()),
+            subscriptions,
+            events,
+        )
+        sharded = run_broker_workload(
+            f"sharded[{shards}x{max_batch}]",
+            lambda: ShardedBroker(
+                matcher_factory(),
+                shards=shards,
+                strategy=strategy,
+                max_batch=max_batch,
+                linger=linger,
+            ),
+            subscriptions,
+            events,
+        )
+        assert sharded.signature == serial.signature, (
+            f"delivery parity violated: serial delivered {serial.deliveries}, "
+            f"sharded delivered {sharded.deliveries}"
+        )
+        serial_runs.append(serial)
+        sharded_runs.append(sharded)
+
+    def _mean(values: list[float]) -> float:
+        return sum(values) / len(values)
+
+    serial_eps = [run.events_per_second for run in serial_runs]
+    sharded_eps = [run.events_per_second for run in sharded_runs]
+    return {
+        "combination": {
+            "event_tags": list(combination.event_tags),
+            "subscription_tags": list(combination.subscription_tags),
+        },
+        "events": len(events),
+        "subscriptions": len(subscriptions),
+        "repeats": len(serial_runs),
+        "deliveries": serial_runs[0].deliveries,
+        "parity": True,
+        "serial": {
+            "broker": "ThreadedBroker",
+            "eps_runs": serial_eps,
+            "mean_eps": _mean(serial_eps),
+        },
+        "sharded": {
+            "broker": "ShardedBroker",
+            "shards": shards,
+            "strategy": strategy,
+            "max_batch": max_batch,
+            "linger": linger,
+            "eps_runs": sharded_eps,
+            "mean_eps": _mean(sharded_eps),
+            "batch_size": sharded_runs[-1].metrics["batch_size"],
+        },
+        "speedup": _mean(sharded_eps) / _mean(serial_eps),
+    }

@@ -24,6 +24,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_snapshots,
     set_registry,
 )
 from repro.obs.tracing import TRACER, Tracer, traced
@@ -40,6 +41,7 @@ __all__ = [
     "artifact_path",
     "get_registry",
     "load_bench_artifact",
+    "merge_snapshots",
     "set_registry",
     "traced",
     "write_bench_artifact",

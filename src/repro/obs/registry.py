@@ -26,6 +26,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "merge_snapshots",
     "set_registry",
 ]
 
@@ -257,6 +258,53 @@ class MetricsRegistry:
             )
         for metric in metrics:
             metric.reset()
+
+
+def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate several :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    The sharded broker keeps one registry per shard (no cross-shard lock
+    traffic on the hot path) and merges at read time. Counters sum;
+    gauges sum too (per-shard gauges are sizes/depths, where the total
+    is the meaningful aggregate). Histogram summaries merge exactly for
+    ``count``/``sum``/``min``/``max`` and recompute ``mean``; bucket
+    data is gone by snapshot time, so percentiles cannot be merged and
+    are dropped — read them per shard instead.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        for name, summary in snapshot.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "count": summary["count"],
+                    "sum": summary["sum"],
+                    "min": summary["min"],
+                    "max": summary["max"],
+                }
+            else:
+                merged["count"] += summary["count"]
+                merged["sum"] += summary["sum"]
+                if summary["count"]:
+                    if merged["count"] == summary["count"]:
+                        # Everything so far was empty; adopt the extremes.
+                        merged["min"], merged["max"] = summary["min"], summary["max"]
+                    else:
+                        merged["min"] = min(merged["min"], summary["min"])
+                        merged["max"] = max(merged["max"], summary["max"])
+    for summary in histograms.values():
+        summary["mean"] = summary["sum"] / summary["count"] if summary["count"] else 0.0
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
 
 
 #: Process-wide default registry (the CLI and tracer aggregate here);

@@ -13,6 +13,7 @@ Two caches back the efficiency story of the paper:
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -38,12 +39,20 @@ class RelatednessCache:
     ``max_entries`` to cap memory on long-running brokers — eviction is
     LRU (hits refresh recency), so the working set of a steady workload
     stays resident while one-off pairs age out.
+
+    Lookups and inserts hold an internal lock: a cache is typically the
+    one measure-level object *shared* across the sharded broker's worker
+    threads, and the bounded mode's delete-and-reinsert recency refresh
+    is not atomic without one.
     """
 
     _scores: dict[CacheKey, float] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
     max_entries: int | None = None
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_entries is not None and self.max_entries < 1:
@@ -66,31 +75,35 @@ class RelatednessCache:
         return (left, right) if left <= right else (right, left)
 
     def get(self, key: CacheKey) -> float | None:
-        value = self._scores.get(key)
-        if value is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-            if self.max_entries is not None:
-                # Refresh recency: dicts iterate in insertion order, so
-                # re-inserting moves the key to the "young" end.
-                del self._scores[key]
-                self._scores[key] = value
-        return value
+        with self._lock:
+            value = self._scores.get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                if self.max_entries is not None:
+                    # Refresh recency: dicts iterate in insertion order, so
+                    # re-inserting moves the key to the "young" end.
+                    del self._scores[key]
+                    self._scores[key] = value
+            return value
 
     def put(self, key: CacheKey, value: float) -> None:
-        if self.max_entries is not None and key not in self._scores:
-            while len(self._scores) >= self.max_entries:
-                self._scores.pop(next(iter(self._scores)))
-        self._scores[key] = value
+        with self._lock:
+            if self.max_entries is not None and key not in self._scores:
+                while len(self._scores) >= self.max_entries:
+                    self._scores.pop(next(iter(self._scores)))
+            self._scores[key] = value
 
     def __len__(self) -> int:
-        return len(self._scores)
+        with self._lock:
+            return len(self._scores)
 
     def clear(self) -> None:
-        self._scores.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._scores.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 @dataclass

@@ -23,7 +23,7 @@ __all__ = ["SparseVector", "ZERO_VECTOR"]
 class SparseVector:
     """Immutable sparse vector keyed by integer document ids."""
 
-    __slots__ = ("_components", "_norm")
+    __slots__ = ("_components", "_norm", "_normalized")
 
     def __init__(self, components: Mapping[int, float] | Iterable[tuple[int, float]] = ()):
         items = components.items() if isinstance(components, Mapping) else components
@@ -31,6 +31,7 @@ class SparseVector:
             dim: float(w) for dim, w in items if w != 0.0
         }
         self._norm: float | None = None
+        self._normalized: "SparseVector | None" = None
 
     # -- basic accessors -------------------------------------------------
 
@@ -95,11 +96,22 @@ class SparseVector:
         return self._norm
 
     def normalized(self) -> "SparseVector":
-        """Unit-length copy; the zero vector normalizes to itself."""
-        norm = self.norm()
-        if norm == 0.0:
-            return ZERO_VECTOR
-        return self.scale(1.0 / norm)
+        """Unit-length copy; the zero vector normalizes to itself.
+
+        Memoized, like :meth:`norm` — distance computations normalize
+        their operands on every call, and the operands are long-lived
+        cached projections, so without memoization the same scaled copy
+        is rebuilt for every term pair that touches the vector. (The
+        benign-race caveat of CPython attribute stores applies: two
+        threads may build the copy concurrently; both results are
+        identical and either may win.)
+        """
+        if self._normalized is None:
+            norm = self.norm()
+            self._normalized = (
+                ZERO_VECTOR if norm == 0.0 else self.scale(1.0 / norm)
+            )
+        return self._normalized
 
     def restrict(self, basis: frozenset[int] | set[int]) -> "SparseVector":
         """Zero every component outside ``basis`` (projection primitive)."""

@@ -1,0 +1,260 @@
+"""Property-based parity: the sharded broker must be observationally
+identical to the serial broker.
+
+The serial :class:`~repro.broker.broker.ThematicBroker` is the
+reference oracle: deliberately boring, one event at a time, one staged
+batch over the whole registry. For any random workload, shard count,
+shard strategy and micro-batch size, :class:`ShardedBroker` must
+produce the *same deliveries* — same per-subscriber order, same
+sequence stamps, same scores, same chosen assignments, same number of
+alternatives. Throughput claims mean nothing without this.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker import ShardedBroker, SizeBalancedSharding, ThematicBroker
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.cache import RelatednessCache
+from repro.semantics.measures import CachedMeasure, ThematicMeasure
+from tests.core.test_pipeline import events, subscriptions
+
+workloads = st.tuples(
+    st.lists(subscriptions(), min_size=1, max_size=5),
+    st.lists(events(), min_size=1, max_size=6),
+)
+
+
+def _matcher(space, k: int, threshold: float) -> ThematicMatcher:
+    return ThematicMatcher(
+        CachedMeasure(ThematicMeasure(space), RelatednessCache()),
+        k=k,
+        threshold=threshold,
+    )
+
+
+def _signature(handles, event_index):
+    """Everything a subscriber can observe about its delivery stream."""
+    return [
+        [
+            (
+                delivery.sequence,
+                event_index[id(delivery.event)],
+                delivery.score,
+                delivery.result.mapping.assignment(),
+                delivery.result.mapping.probability,
+                delivery.result.mapping.weight,
+                len(delivery.result.alternatives),
+            )
+            for delivery in handle.drain()
+        ]
+        for handle in handles
+    ]
+
+
+def _serial_signature(space, subs, evts, k, threshold, event_index):
+    broker = ThematicBroker(_matcher(space, k, threshold))
+    handles = [broker.subscribe(s) for s in subs]
+    for event in evts:
+        broker.publish(event)
+    return _signature(handles, event_index)
+
+
+def _sharded_signature(
+    space, subs, evts, k, threshold, event_index, **broker_kwargs
+):
+    with ShardedBroker(_matcher(space, k, threshold), **broker_kwargs) as broker:
+        handles = [broker.subscribe(s) for s in subs]
+        for event in evts:
+            broker.publish(event)
+        assert broker.flush(timeout=60), "broker did not drain"
+    return _signature(handles, event_index)
+
+
+@settings(deadline=None)
+@given(
+    workload=workloads,
+    shards=st.integers(min_value=1, max_value=8),
+    max_batch=st.sampled_from((1, 2, 3, 7, 16)),
+    strategy=st.sampled_from(("hash", "size")),
+    k=st.sampled_from((1, 2)),
+    threshold=st.sampled_from((0.0, 0.5)),
+)
+def test_sharded_deliveries_identical_to_serial(
+    space, workload, shards, max_batch, strategy, k, threshold
+):
+    subs, evts = workload
+    event_index = {id(event): j for j, event in enumerate(evts)}
+    serial = _serial_signature(space, subs, evts, k, threshold, event_index)
+    sharded = _sharded_signature(
+        space,
+        subs,
+        evts,
+        k,
+        threshold,
+        event_index,
+        shards=shards,
+        strategy=strategy,
+        max_batch=max_batch,
+        linger=0.0,
+    )
+    assert sharded == serial
+
+
+@settings(deadline=None, max_examples=25)
+@given(workload=workloads)
+def test_parity_survives_worker_pool(space, workload):
+    """Same invariant with a real thread pool fanning out the shards."""
+    subs, evts = workload
+    event_index = {id(event): j for j, event in enumerate(evts)}
+    serial = _serial_signature(space, subs, evts, 1, 0.5, event_index)
+    sharded = _sharded_signature(
+        space,
+        subs,
+        evts,
+        1,
+        0.5,
+        event_index,
+        shards=3,
+        max_batch=4,
+        workers=2,
+    )
+    assert sharded == serial
+
+
+@settings(deadline=None, max_examples=25)
+@given(workload=workloads, unsubscribe_at=st.integers(min_value=0, max_value=4))
+def test_parity_across_unsubscribe_rebalance(space, workload, unsubscribe_at):
+    """Removing a subscriber mid-stream (with size rebalancing moving
+    others between shards) must not change anyone else's deliveries."""
+    subs, evts = workload
+    if unsubscribe_at >= len(subs):
+        unsubscribe_at = len(subs) - 1
+    event_index = {id(event): j for j, event in enumerate(evts)}
+
+    def run(make_broker, flush):
+        broker = make_broker()
+        handles = [broker.subscribe(s) for s in subs]
+        split = len(evts) // 2
+        for event in evts[:split]:
+            broker.publish(event)
+        flush(broker)
+        broker.unsubscribe(handles[unsubscribe_at])
+        for event in evts[split:]:
+            broker.publish(event)
+        flush(broker)
+        if hasattr(broker, "close"):
+            broker.close()
+        return _signature(
+            handles[:unsubscribe_at] + handles[unsubscribe_at + 1:], event_index
+        )
+
+    serial = run(
+        lambda: ThematicBroker(_matcher(space, 1, 0.5)), lambda b: None
+    )
+    sharded = run(
+        lambda: ShardedBroker(
+            _matcher(space, 1, 0.5), shards=3, strategy="size", max_batch=4
+        ),
+        lambda b: b.flush(60),
+    )
+    assert sharded == serial
+
+
+class TestShardingStrategies:
+    def test_hash_is_stable_modulo(self):
+        from repro.broker import HashSharding
+
+        strategy = HashSharding()
+        assert [strategy.assign(i, [0, 0, 0]) for i in range(6)] == [
+            0, 1, 2, 0, 1, 2,
+        ]
+        assert strategy.rebalance([5, 0, 0]) == []
+
+    def test_size_balanced_assign_picks_smallest(self):
+        strategy = SizeBalancedSharding()
+        assert strategy.assign(17, [2, 0, 1]) == 1
+        assert strategy.assign(17, [1, 1, 1]) == 0  # lowest index wins ties
+
+    def test_size_balanced_rebalance_converges(self):
+        strategy = SizeBalancedSharding()
+        loads = [6, 0, 3]
+        moves = strategy.rebalance(loads)
+        for source, target in moves:
+            loads[source] -= 1
+            loads[target] += 1
+        assert max(loads) - min(loads) <= 1
+        assert sum(loads) == 9
+
+    def test_broker_shard_sizes_stay_balanced(self, space):
+        with ShardedBroker(
+            _matcher(space, 1, 0.5), shards=3, strategy="size"
+        ) as broker:
+            from tests.broker.test_threaded import SUBSCRIPTION
+
+            handles = [broker.subscribe(SUBSCRIPTION) for _ in range(9)]
+            assert broker.shard_sizes() == [3, 3, 3]
+            for handle in handles[:4]:
+                broker.unsubscribe(handle)
+            sizes = broker.shard_sizes()
+            assert sum(sizes) == 5
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_unknown_strategy_rejected(self, space):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown shard strategy"):
+            ShardedBroker(_matcher(space, 1, 0.5), strategy="nope")
+
+
+class TestShardedObservability:
+    def test_metrics_snapshot_aggregates_shards(self, space):
+        from tests.broker.test_threaded import EVENT, SUBSCRIPTION
+
+        with ShardedBroker(
+            _matcher(space, 1, 0.5), shards=2, max_batch=4
+        ) as broker:
+            broker.subscribe(SUBSCRIPTION)
+            broker.subscribe(SUBSCRIPTION)
+            for _ in range(6):
+                broker.publish(EVENT)
+            assert broker.flush(timeout=60)
+            snapshot = broker.metrics_snapshot()
+        assert snapshot["published"] == 6
+        assert snapshot["evaluations"] == 12
+        assert set(snapshot["shards"]) == {"shard0", "shard1"}
+        totals = snapshot["engine_totals"]
+        assert totals["engine.evaluations"] == 12
+        # Each shard processed every event of every batch.
+        assert totals["engine.events_processed"] == 12
+        assert snapshot["batch_size"]["count"] >= 1
+        assert snapshot["batch_size"]["sum"] == 6.0
+        assert snapshot["queue_wait"]["count"] == 6
+        assert snapshot["pending"] == 0
+
+    def test_replay_on_subscribe(self, space):
+        from tests.broker.test_threaded import EVENT, SUBSCRIPTION
+
+        with ShardedBroker(_matcher(space, 1, 0.5), shards=2) as broker:
+            broker.publish(EVENT)
+            broker.publish(EVENT)
+            assert broker.flush(timeout=60)
+            handle = broker.subscribe(SUBSCRIPTION, replay=True)
+            deliveries = handle.drain()
+        assert [d.sequence for d in deliveries] == [0, 1]
+        assert broker.metrics.replayed == 2
+
+    def test_callbacks_run_on_dispatcher_thread(self, space):
+        from tests.broker.test_threaded import EVENT, SUBSCRIPTION
+
+        seen = []
+        with ShardedBroker(_matcher(space, 1, 0.5), shards=2) as broker:
+            broker.subscribe(
+                SUBSCRIPTION,
+                lambda d: seen.append(threading.current_thread().name),
+            )
+            broker.publish(EVENT)
+            assert broker.flush(timeout=60)
+        assert seen == ["sharded-broker"]

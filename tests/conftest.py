@@ -1,10 +1,37 @@
-"""Shared fixtures: expensive substrates are built once per session."""
+"""Shared fixtures: expensive substrates are built once per session.
+
+Hypothesis profiles: ``ci`` (fixed seed via ``derandomize``, a bounded
+example budget, no deadline flakiness on shared runners) for pull
+requests, ``ci-main`` (same but a deeper example budget) for pushes to
+main. CI selects one through the ``HYPOTHESIS_PROFILE`` environment
+variable; local runs keep hypothesis defaults (random seed, shrinking
+database) unless the variable is set.
+"""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.evaluation import WorkloadConfig, build_workload
 from repro.knowledge import default_corpus, default_thesaurus
 from repro.semantics import ParametricVectorSpace
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci-main",
+    derandomize=True,
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

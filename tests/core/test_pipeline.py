@@ -143,6 +143,107 @@ def test_rewriting_batch_parity(thesaurus, workload):
     assert_batch_parity(RewritingMatcher(thesaurus), subs, evts)
 
 
+def _fresh_matcher(space, k: int = 1, threshold: float = 0.5) -> ThematicMatcher:
+    return ThematicMatcher(
+        CachedMeasure(ThematicMeasure(space), RelatednessCache()),
+        k=k,
+        threshold=threshold,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    workload=workloads,
+    k=st.sampled_from((1, 2)),
+    threshold=st.sampled_from((0.0, 0.5)),
+)
+def test_delivery_gated_batch_parity(space, workload, k, threshold):
+    """Delivery-gated mode: full scores, results only for survivors.
+
+    A survivor's result must be bit-identical to the full-mode result —
+    same score, same chosen assignment, same probability mass, same
+    alternatives — even though the gated path solves the assignment once
+    per pair (and, for k=1, reuses the gate's own solve).
+    """
+    subs, evts = workload
+    full = _fresh_matcher(space, k, threshold).match_batch(subs, evts)
+    gated = _fresh_matcher(space, k, threshold).match_batch(
+        subs, evts, deliver_threshold=threshold
+    )
+    assert gated.scores == full.scores
+    for i in range(len(subs)):
+        for j in range(len(evts)):
+            full_result = full.result(i, j)
+            gated_result = gated.result(i, j)
+            deliverable = full_result is not None and full_result.is_match(
+                threshold
+            )
+            assert (gated_result is not None) == deliverable
+            if gated_result is not None:
+                assert gated_result.score == full_result.score
+                assert (
+                    gated_result.mapping.assignment()
+                    == full_result.mapping.assignment()
+                )
+                assert (
+                    gated_result.mapping.probability
+                    == full_result.mapping.probability
+                )
+                assert gated_result.mapping.weight == full_result.mapping.weight
+                assert len(gated_result.alternatives) == len(
+                    full_result.alternatives
+                )
+
+
+def test_deliver_threshold_conflicts_with_scores_only(space):
+    import pytest
+
+    matcher = _fresh_matcher(space)
+    sub = parse_subscription("({transport}, {vehicle~= bus~})")
+    event = parse_event("({transport}, {vehicle: traffic})")
+    with pytest.raises(ValueError):
+        matcher.match_batch(
+            [sub], [event], scores_only=True, deliver_threshold=0.5
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(workload=workloads)
+def test_process_batch_matches_sequential_process(space, workload):
+    """Micro-batched dispatch == the same events processed one by one."""
+    subs, evts = workload
+
+    def run(consume):
+        engine = ThematicEventEngine(_fresh_matcher(space))
+        seen = []
+        for index, sub in enumerate(subs):
+            engine.subscribe(
+                sub, lambda result, index=index: seen.append((index, result))
+            )
+        per_event = consume(engine)
+        return engine, seen, per_event
+
+    serial_engine, serial_seen, serial_lists = run(
+        lambda engine: [engine.process(event) for event in evts]
+    )
+    batch_engine, batch_seen, batch_lists = run(
+        lambda engine: engine.process_batch(list(evts))
+    )
+
+    def digest(results):
+        return [
+            (r.subscription, r.score, r.mapping.assignment(), len(r.alternatives))
+            for r in results
+        ]
+
+    assert [digest(lst) for lst in batch_lists] == [
+        digest(lst) for lst in serial_lists
+    ]
+    assert [i for i, _ in batch_seen] == [i for i, _ in serial_seen]
+    assert batch_engine.stats.deliveries == serial_engine.stats.deliveries
+    assert batch_engine.stats.evaluations == serial_engine.stats.evaluations
+
+
 class TestPipelineStats:
     def test_dedup_and_prune_accounting(self, space):
         sub = parse_subscription("({transport}, {vehicle~= bus~})")

@@ -1,0 +1,125 @@
+"""Algebraic laws of the semantic substrate, checked property-based.
+
+The matcher's correctness arguments (and the sharded broker's parity
+argument) lean on :class:`SparseVector` behaving like a real vector
+space and on Equation 6 being a monotone bijection from distances to
+``(0, 1]``. These are the laws, stated as hypothesis properties over
+arbitrary sparse vectors rather than hand-picked examples.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics.space import relatedness_from_distance
+from repro.semantics.vectors import ZERO_VECTOR, SparseVector
+
+#: Weights bounded away from float extremes so squared sums stay finite.
+weights = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.dictionaries(
+    st.integers(min_value=0, max_value=50), weights, max_size=8
+).map(SparseVector)
+scalars = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSparseVectorAlgebra:
+    @given(a=vectors, b=vectors)
+    def test_addition_commutes(self, a, b):
+        assert a.add(b) == b.add(a)
+
+    @given(a=vectors, b=vectors, c=vectors)
+    def test_addition_associates(self, a, b, c):
+        left = a.add(b).add(c)
+        right = a.add(b.add(c))
+        assert left.support() == right.support()
+        for dim in left.support():
+            assert left[dim] == pytest.approx(right[dim], rel=1e-9, abs=1e-9)
+
+    @given(a=vectors)
+    def test_zero_is_identity(self, a):
+        assert a.add(ZERO_VECTOR) == a
+        assert ZERO_VECTOR.add(a) == a
+
+    @given(a=vectors, factor=scalars)
+    def test_scaling_scales_the_norm(self, a, factor):
+        assert a.scale(factor).norm() == pytest.approx(
+            abs(factor) * a.norm(), rel=1e-9, abs=1e-9
+        )
+
+    @given(a=vectors)
+    def test_normalized_is_unit_length(self, a):
+        unit = a.normalized()
+        if a.norm() == 0.0:
+            assert unit is ZERO_VECTOR
+        else:
+            assert unit.norm() == pytest.approx(1.0, rel=1e-9)
+
+    @given(a=vectors)
+    def test_normalized_is_memoized(self, a):
+        # Perf contract the hot distance path relies on: the scaled copy
+        # is built once per vector, not once per term-pair touch.
+        assert a.normalized() is a.normalized()
+
+    @given(a=vectors, basis=st.frozensets(st.integers(0, 50), max_size=10))
+    def test_restrict_projects_support(self, a, basis):
+        restricted = a.restrict(basis)
+        assert restricted.support() <= basis
+        assert restricted.support() <= a.support()
+        for dim in restricted.support():
+            assert restricted[dim] == a[dim]
+
+    @given(a=vectors, b=vectors)
+    def test_dot_is_symmetric(self, a, b):
+        assert a.dot(b) == pytest.approx(b.dot(a), rel=1e-9, abs=1e-9)
+
+    @given(a=vectors, b=vectors)
+    def test_euclidean_distance_is_symmetric(self, a, b):
+        assert a.euclidean_distance(b) == pytest.approx(
+            b.euclidean_distance(a), rel=1e-9, abs=1e-6
+        )
+
+    @given(a=vectors)
+    def test_distance_to_self_is_zero(self, a):
+        # The ||a||^2 + ||b||^2 - 2ab formulation cancels; its absolute
+        # error scales with the norm, so the bound must too.
+        assert a.euclidean_distance(a) <= 1e-6 * (1.0 + a.norm())
+
+    @given(a=vectors, b=vectors)
+    def test_cosine_similarity_bounded(self, a, b):
+        assert -1.0 <= a.cosine_similarity(b) <= 1.0
+
+
+class TestRelatednessFromDistance:
+    def test_zero_distance_is_perfect_relatedness(self):
+        assert relatedness_from_distance(0.0) == 1.0
+
+    @given(distance=st.floats(min_value=0.0, max_value=1e9))
+    def test_range_is_zero_one(self, distance):
+        relatedness = relatedness_from_distance(distance)
+        assert 0.0 < relatedness <= 1.0
+
+    @given(
+        near=st.floats(min_value=0.0, max_value=1e6),
+        gap=st.floats(min_value=1e-6, max_value=1e6),
+    )
+    def test_strictly_decreasing(self, near, gap):
+        assert relatedness_from_distance(near) > relatedness_from_distance(
+            near + gap
+        )
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            relatedness_from_distance(-0.1)
+
+    @given(distance=st.floats(min_value=0.0, max_value=1e6))
+    def test_equation_6_shape(self, distance):
+        assert relatedness_from_distance(distance) == pytest.approx(
+            1.0 / (1.0 + distance)
+        )
+        assert math.isfinite(relatedness_from_distance(distance))
