@@ -52,17 +52,27 @@ from repro.baselines import (
     NonThematicMatcher,
     RewritingMatcher,
 )
-from repro.broker import BrokerOverlay, ThematicBroker
+from repro.broker import (
+    BrokerConfig,
+    BrokerOverlay,
+    DeadLetterQueue,
+    DeliveryPolicy,
+    FaultPlan,
+    ThematicBroker,
+)
 from repro.cep import CEPEngine, Pattern, parse_pattern
 from repro.core import (
     AttributeValue,
     BatchMatchResult,
     Calibration,
+    DegradedPolicy,
+    EngineConfig,
     Event,
     MatchEngine,
     MatchResult,
     Predicate,
     Subscription,
+    SubscriptionHandle,
     ThematicEventEngine,
     ThematicMatcher,
     format_event,
@@ -92,12 +102,18 @@ __version__ = "1.0.0"
 __all__ = [
     "AttributeValue",
     "BatchMatchResult",
+    "BrokerConfig",
     "BrokerOverlay",
     "CEPEngine",
     "Calibration",
     "CountingIndex",
+    "DeadLetterQueue",
+    "DegradedPolicy",
+    "DeliveryPolicy",
     "DistributionalVectorSpace",
+    "EngineConfig",
     "Event",
+    "FaultPlan",
     "ExactMatcher",
     "ExactMeasure",
     "MatchEngine",
@@ -110,6 +126,7 @@ __all__ = [
     "RewritingMatcher",
     "SparseVector",
     "Subscription",
+    "SubscriptionHandle",
     "ThematicBroker",
     "ThematicEventEngine",
     "ThematicMatcher",

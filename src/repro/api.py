@@ -1,0 +1,163 @@
+"""The supported public surface of :mod:`repro`, in one place.
+
+Downstream code should import from here (or from the top-level
+:mod:`repro` package, which overlaps for the most common names): every
+name in this module's ``__all__`` is covered by the deprecation policy —
+it changes only behind a shim plus a :class:`DeprecationWarning` for at
+least one release. Anything importable from submodules but absent here
+is internal and may change without notice.
+
+The surface is pinned by ``tests/test_public_api.py``: adding, renaming,
+or removing a name here fails that test until its snapshot is updated —
+so API changes are always a visible, reviewed diff, never an accident.
+"""
+
+from repro.baselines import (
+    CountingIndex,
+    ExactMatcher,
+    NonThematicMatcher,
+    RewritingMatcher,
+)
+from repro.broker import (
+    BrokerConfig,
+    BrokerMetrics,
+    BrokerOverlay,
+    CallbackFault,
+    CircuitBreaker,
+    DeadLetterQueue,
+    DeadLetterRecord,
+    Delivery,
+    DeliveryPolicy,
+    FaultInjector,
+    FaultPlan,
+    FaultyCallbackError,
+    HashSharding,
+    OverlayMetrics,
+    ReliableDelivery,
+    ScorerFault,
+    ShardedBroker,
+    SizeBalancedSharding,
+    ThematicBroker,
+    ThreadedBroker,
+)
+from repro.cep import CEPEngine, Pattern, parse_pattern
+from repro.datasets import generate_seed_events
+from repro.core import (
+    AttributeValue,
+    BatchMatchResult,
+    Calibration,
+    DegradedMode,
+    DegradedPolicy,
+    DowngradeEvent,
+    EngineConfig,
+    EngineStats,
+    Event,
+    MatchEngine,
+    MatchResult,
+    Predicate,
+    Subscription,
+    SubscriptionHandle,
+    ThematicEventEngine,
+    ThematicMatcher,
+    format_event,
+    format_subscription,
+    parse_event,
+    parse_subscription,
+)
+from repro.evaluation import (
+    Workload,
+    WorkloadConfig,
+    build_workload,
+    compare_broker_throughput,
+    run_fault_injection,
+)
+from repro.knowledge import (
+    Thesaurus,
+    build_corpus,
+    default_corpus,
+    default_thesaurus,
+)
+from repro.obs import (
+    Clock,
+    FakeClock,
+    MetricsRegistry,
+    MonotonicClock,
+)
+from repro.semantics import (
+    DistributionalVectorSpace,
+    ExactMeasure,
+    NonThematicMeasure,
+    ParametricVectorSpace,
+    SparseVector,
+    ThematicMeasure,
+)
+
+__all__ = [
+    "AttributeValue",
+    "BatchMatchResult",
+    "BrokerConfig",
+    "BrokerMetrics",
+    "BrokerOverlay",
+    "CEPEngine",
+    "Calibration",
+    "CallbackFault",
+    "CircuitBreaker",
+    "Clock",
+    "CountingIndex",
+    "DeadLetterQueue",
+    "DeadLetterRecord",
+    "DegradedMode",
+    "DegradedPolicy",
+    "Delivery",
+    "DeliveryPolicy",
+    "DistributionalVectorSpace",
+    "DowngradeEvent",
+    "EngineConfig",
+    "EngineStats",
+    "Event",
+    "ExactMatcher",
+    "ExactMeasure",
+    "FakeClock",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyCallbackError",
+    "HashSharding",
+    "MatchEngine",
+    "MatchResult",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "NonThematicMatcher",
+    "NonThematicMeasure",
+    "OverlayMetrics",
+    "ParametricVectorSpace",
+    "Pattern",
+    "Predicate",
+    "ReliableDelivery",
+    "RewritingMatcher",
+    "ScorerFault",
+    "ShardedBroker",
+    "SizeBalancedSharding",
+    "SparseVector",
+    "Subscription",
+    "SubscriptionHandle",
+    "ThematicBroker",
+    "ThematicEventEngine",
+    "ThematicMatcher",
+    "ThematicMeasure",
+    "Thesaurus",
+    "ThreadedBroker",
+    "Workload",
+    "WorkloadConfig",
+    "build_corpus",
+    "build_workload",
+    "compare_broker_throughput",
+    "default_corpus",
+    "default_thesaurus",
+    "format_event",
+    "format_subscription",
+    "generate_seed_events",
+    "parse_event",
+    "parse_pattern",
+    "parse_subscription",
+    "run_fault_injection",
+]

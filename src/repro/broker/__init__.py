@@ -7,16 +7,42 @@ from repro.broker.broker import (
     ThematicBroker,
     dispatch_delivery,
 )
+from repro.broker.config import BrokerConfig
+from repro.broker.faults import (
+    CallbackFault,
+    FaultInjector,
+    FaultPlan,
+    FaultyCallbackError,
+    ScorerFault,
+)
 from repro.broker.overlay import BrokerOverlay, OverlayMetrics
+from repro.broker.reliability import (
+    CircuitBreaker,
+    DeadLetterQueue,
+    DeadLetterRecord,
+    DeliveryPolicy,
+    ReliableDelivery,
+)
 from repro.broker.sharded import HashSharding, ShardedBroker, SizeBalancedSharding
 from repro.broker.threaded import ThreadedBroker
 
 __all__ = [
+    "BrokerConfig",
     "BrokerMetrics",
     "BrokerOverlay",
+    "CallbackFault",
+    "CircuitBreaker",
+    "DeadLetterQueue",
+    "DeadLetterRecord",
     "Delivery",
+    "DeliveryPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyCallbackError",
     "HashSharding",
     "OverlayMetrics",
+    "ReliableDelivery",
+    "ScorerFault",
     "ShardedBroker",
     "SizeBalancedSharding",
     "SubscriberHandle",

@@ -14,19 +14,34 @@ around the thematic matcher:
 The fourth dimension — **semantics** — is the paper's contribution: the
 matcher is pluggable, so the same broker runs content-based (exact),
 non-thematic approximate, or thematic matching.
+
+Delivery is fault-tolerant: every subscriber callback runs under the
+broker's :class:`~repro.broker.reliability.DeliveryPolicy` (deadline,
+bounded retries with backoff, per-subscriber circuit breaker) and
+exhausted deliveries land in a drainable dead-letter queue instead of
+vanishing — see :mod:`repro.broker.reliability`.
 """
 
 from __future__ import annotations
 
+import logging
+import warnings
 from collections import deque
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.engine import ThematicEventEngine
+from repro.broker.config import BrokerConfig, config_from_legacy
+from repro.broker.reliability import (
+    DeadLetterQueue,
+    DeliveryPolicy,
+    ReliableDelivery,
+)
+from repro.core.engine import EngineConfig, SubscriptionHandle, ThematicEventEngine
 from repro.core.events import Event
 from repro.core.matcher import MatchResult, ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import TRACER, MetricsRegistry
+from repro.obs.clock import Clock
 
 __all__ = [
     "BrokerMetrics",
@@ -35,6 +50,8 @@ __all__ = [
     "ThematicBroker",
     "dispatch_delivery",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class BrokerMetrics:
@@ -104,40 +121,64 @@ class Delivery:
         return self.result.score
 
 
-@dataclass
-class SubscriberHandle:
-    """A subscriber's registration: its subscription and inbox queue."""
+class SubscriberHandle(SubscriptionHandle):
+    """Deprecated alias for the unified
+    :class:`~repro.core.engine.SubscriptionHandle`.
 
-    subscriber_id: int
-    subscription: Subscription
-    inbox: deque = field(default_factory=deque)
-    callback: Callable[[Delivery], None] | None = None
+    The engine and the brokers used to carry two separate handle types;
+    they are now one. Constructing this alias still works (accepting the
+    old ``subscriber_id`` keyword) but emits a
+    :class:`DeprecationWarning`; brokers return plain
+    :class:`~repro.core.engine.SubscriptionHandle` objects.
+    """
 
-    def drain(self) -> list[Delivery]:
-        """Remove and return everything currently in the inbox."""
-        items = list(self.inbox)
-        self.inbox.clear()
-        return items
+    def __init__(
+        self,
+        subscriber_id: int,
+        subscription: Subscription,
+        inbox: deque | None = None,
+        callback: Callable[[Delivery], None] | None = None,
+        policy: DeliveryPolicy | None = None,
+    ):
+        warnings.warn(
+            "SubscriberHandle is deprecated; use "
+            "repro.core.engine.SubscriptionHandle",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            id=subscriber_id,
+            subscription=subscription,
+            policy=policy,
+            callback=callback,
+            inbox=inbox if inbox is not None else deque(),
+        )
 
 
 def dispatch_delivery(
-    metrics: BrokerMetrics, handle: SubscriberHandle, delivery: Delivery
+    metrics: BrokerMetrics, handle: SubscriptionHandle, delivery: Delivery
 ) -> None:
-    """The terminal delivery step shared by every broker front-end.
+    """Deprecated pre-reliability terminal delivery step.
 
     Counts the delivery, appends to the subscriber's inbox, and guards
-    the optional callback: one subscriber's broken callback must not
-    take down the broker or starve other subscribers — the delivery
-    stays in the inbox either way.
+    the optional callback — but with no retries, no dead letters, and no
+    deadline. Kept for one release; the brokers now dispatch through
+    :class:`~repro.broker.reliability.ReliableDelivery`. Unlike the old
+    version, a callback failure is at least logged with its stack trace.
     """
     with TRACER.span("broker.deliver"):
         metrics.inc("deliveries")
-        handle.inbox.append(delivery)
+        handle.append(delivery)
         if handle.callback is not None:
             try:
                 handle.callback(delivery)
             except Exception:
                 metrics.inc("callback_errors")
+                logger.exception(
+                    "subscriber %d callback failed (delivery seq %d)",
+                    handle.id,
+                    delivery.sequence,
+                )
 
 
 class ThematicBroker:
@@ -148,13 +189,20 @@ class ThematicBroker:
     matcher:
         Any :class:`~repro.core.api.MatchEngine` implementation
         (``match``/``matches``/``score``/``match_batch``/``threshold``).
-    replay_capacity:
-        How many recent events the broker retains for late joiners.
+    config:
+        A :class:`~repro.broker.config.BrokerConfig`; this front-end
+        reads ``replay_capacity``, ``delivery``, ``degraded``, and
+        ``dead_letter_capacity``. The legacy ``replay_capacity=``
+        keyword still works with a :class:`DeprecationWarning`.
     registry:
         Metrics registry backing the broker's counters; defaults to a
         private one so broker instances never share state by accident.
-        The embedded dispatch engine shares it, so one snapshot covers
-        ``broker.*`` and ``engine.*`` counters alike.
+        The embedded dispatch engine and the reliability layer share
+        it, so one snapshot covers ``broker.*``, ``engine.*``, and
+        ``reliability.*`` counters alike.
+    clock:
+        Time source for delivery deadlines/backoff and the degraded-mode
+        budget; injectable for the fault harness.
 
     Publish-side matching runs through an embedded
     :class:`~repro.core.engine.ThematicEventEngine`: one staged
@@ -166,18 +214,33 @@ class ThematicBroker:
     def __init__(
         self,
         matcher: ThematicMatcher,
+        config: BrokerConfig | None = None,
         *,
-        replay_capacity: int = 256,
         registry: MetricsRegistry | None = None,
+        clock: Clock | None = None,
+        **legacy,
     ):
+        self.config = config_from_legacy(config, ("replay_capacity",), legacy)
         self.matcher = matcher
         self.metrics = BrokerMetrics(registry)
         self.engine = ThematicEventEngine(
-            matcher, registry=self.metrics.registry
+            matcher,
+            EngineConfig(degraded=self.config.degraded),
+            registry=self.metrics.registry,
+            clock=clock,
         )
-        self._subscribers: dict[int, SubscriberHandle] = {}
+        self.dead_letters = DeadLetterQueue(self.config.dead_letter_capacity)
+        self.reliability = ReliableDelivery(
+            self.metrics,
+            policy=self.config.delivery,
+            dead_letters=self.dead_letters,
+            clock=clock,
+        )
+        self._subscribers: dict[int, SubscriptionHandle] = {}
         self._engine_handles: dict[int, object] = {}
-        self._replay: deque[tuple[int, Event]] = deque(maxlen=replay_capacity)
+        self._replay: deque[tuple[int, Event]] = deque(
+            maxlen=self.config.replay_capacity
+        )
         self._next_id = 0
         self._sequence = 0
         # Sequence number stamped onto deliveries of the event currently
@@ -192,16 +255,19 @@ class ThematicBroker:
         callback: Callable[[Delivery], None] | None = None,
         *,
         replay: bool = False,
-    ) -> SubscriberHandle:
+        policy: DeliveryPolicy | None = None,
+    ) -> SubscriptionHandle:
         """Register a subscription; optionally replay buffered events.
 
         With ``replay=True`` the retained events are matched against the
         new subscription immediately (time decoupling: consumers need
-        not be active when producers fire).
+        not be active when producers fire). ``policy`` overrides the
+        broker-wide delivery policy for this subscriber alone.
         """
-        handle = SubscriberHandle(
-            subscriber_id=self._next_id,
+        handle = SubscriptionHandle(
+            id=self._next_id,
             subscription=subscription,
+            policy=policy,
             callback=callback,
         )
         self._subscribers[self._next_id] = handle
@@ -221,11 +287,11 @@ class ThematicBroker:
                     self._deliver(handle, Delivery(result=result, sequence=sequence))
         return handle
 
-    def unsubscribe(self, handle: SubscriberHandle) -> bool:
-        engine_handle = self._engine_handles.pop(handle.subscriber_id, None)
+    def unsubscribe(self, handle: SubscriptionHandle) -> bool:
+        engine_handle = self._engine_handles.pop(handle.id, None)
         if engine_handle is not None:
             self.engine.unsubscribe(engine_handle)
-        return self._subscribers.pop(handle.subscriber_id, None) is not None
+        return self._subscribers.pop(handle.id, None) is not None
 
     def subscriber_count(self) -> int:
         return len(self._subscribers)
@@ -233,12 +299,16 @@ class ThematicBroker:
     # -- publisher side ----------------------------------------------------
 
     def publish(self, event: Event) -> int:
-        """Match ``event`` against all subscriptions; returns deliveries.
+        """Match ``event`` against all subscriptions; returns the match
+        count.
 
         Dispatch is one staged ``match_batch`` over the registration
         snapshot (see :class:`~repro.core.engine.ThematicEventEngine`);
         ``evaluations`` still counts every (subscription, event) pair
-        considered, pruned or not.
+        considered, pruned or not. A matched delivery whose callback
+        exhausts its retry budget is dead-lettered, not dropped — the
+        return value counts matches, ``metrics.deliveries`` counts
+        deliveries that reached an inbox.
         """
         with TRACER.span("broker.publish"):
             self.metrics.inc("published")
@@ -255,5 +325,5 @@ class ThematicBroker:
         self.metrics.inc("evaluations")
         return self.engine.match_one(subscription, event)
 
-    def _deliver(self, handle: SubscriberHandle, delivery: Delivery) -> None:
-        dispatch_delivery(self.metrics, handle, delivery)
+    def _deliver(self, handle: SubscriptionHandle, delivery: Delivery) -> None:
+        self.reliability.dispatch(handle, delivery)

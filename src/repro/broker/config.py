@@ -1,0 +1,98 @@
+"""Typed construction config shared by every broker front-end.
+
+The three brokers grew their knobs one keyword argument at a time —
+``replay_capacity`` here, ``max_batch``/``linger``/``workers`` there —
+until constructing a broker meant memorizing which front-end accepts
+which subset. :class:`BrokerConfig` is the single typed, frozen,
+documented home for all of them; each front-end reads the fields it
+uses and ignores the rest, so one config object can describe a whole
+deployment and be passed to any broker class.
+
+The old keyword arguments still work for one release through
+:func:`config_from_legacy` (each use emits a
+:class:`DeprecationWarning`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from repro.broker.reliability import DeliveryPolicy
+from repro.core.degrade import DegradedPolicy
+
+__all__ = ["BrokerConfig", "config_from_legacy"]
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Every broker construction knob, in one frozen dataclass.
+
+    Parameters
+    ----------
+    replay_capacity:
+        Recent events retained for late joiners (all brokers).
+    max_queue:
+        Ingress queue bound before ``publish`` blocks (threaded +
+        sharded).
+    shards:
+        Subscription shard count (sharded).
+    strategy:
+        Sharding strategy: ``"hash"`` or ``"size"`` (sharded).
+    max_batch:
+        Ingress micro-batch size cap (sharded).
+    linger:
+        Seconds the batcher waits for the batch to fill (sharded).
+    workers:
+        Shard-scoring pool size; ``None`` sizes it to the shard count,
+        ``0`` forces inline scoring (sharded).
+    delivery:
+        Default :class:`~repro.broker.reliability.DeliveryPolicy` for
+        every subscriber (all brokers); per-subscription overrides via
+        ``subscribe(..., policy=...)``.
+    degraded:
+        Optional :class:`~repro.core.degrade.DegradedPolicy` enabling
+        the exact-anchor fallback when thematic scoring blows its
+        latency budget (all brokers — forwarded to each embedded
+        engine).
+    dead_letter_capacity:
+        Bound on the dead-letter queue, ``None`` for unbounded.
+    """
+
+    replay_capacity: int = 256
+    max_queue: int = 10_000
+    shards: int = 4
+    strategy: str = "hash"
+    max_batch: int = 32
+    linger: float = 0.001
+    workers: int | None = None
+    delivery: DeliveryPolicy = DeliveryPolicy()
+    degraded: DegradedPolicy | None = None
+    dead_letter_capacity: int | None = None
+
+
+def config_from_legacy(
+    config: BrokerConfig | None, allowed: tuple[str, ...], legacy: dict
+) -> BrokerConfig:
+    """Resolve a broker's ``(config, **legacy_kwargs)`` pair.
+
+    ``allowed`` names the legacy keywords this front-end historically
+    accepted; anything else raises :class:`TypeError` immediately (the
+    typo would otherwise vanish into the shim). Legacy keys overlay the
+    given (or default) config via :func:`dataclasses.replace`.
+    """
+    if not legacy:
+        return config if config is not None else BrokerConfig()
+    unknown = set(legacy) - set(allowed)
+    if unknown:
+        raise TypeError(
+            f"unexpected keyword arguments {sorted(unknown)} "
+            "(broker options now live on BrokerConfig)"
+        )
+    warnings.warn(
+        "passing broker options as keyword arguments is deprecated; "
+        "pass a BrokerConfig instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return replace(config if config is not None else BrokerConfig(), **legacy)

@@ -23,7 +23,9 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.broker.broker import SubscriberHandle, ThematicBroker
+from repro.broker.broker import ThematicBroker
+from repro.broker.config import BrokerConfig
+from repro.core.engine import SubscriptionHandle
 from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
@@ -77,11 +79,12 @@ class BrokerOverlay:
         self.metrics = OverlayMetrics()
         self._nodes: dict[str, _Node] = {}
         self._event_counter = 0
+        config = BrokerConfig(replay_capacity=replay_capacity)
         for name in graph.nodes:
             matcher: ThematicMatcher = matcher_factory()
             self._nodes[name] = _Node(
                 name=name,
-                broker=ThematicBroker(matcher, replay_capacity=replay_capacity),
+                broker=ThematicBroker(matcher, config),
             )
 
     def broker(self, node: str) -> ThematicBroker:
@@ -92,7 +95,7 @@ class BrokerOverlay:
 
     def subscribe(
         self, node: str, subscription: Subscription, callback=None
-    ) -> SubscriberHandle:
+    ) -> SubscriptionHandle:
         """Attach a subscriber at its local broker node."""
         return self._nodes[node].broker.subscribe(subscription, callback)
 

@@ -46,18 +46,20 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.broker.broker import (
-    BrokerMetrics,
-    Delivery,
-    SubscriberHandle,
-    dispatch_delivery,
-)
+from repro.broker.broker import BrokerMetrics, Delivery
+from repro.broker.config import BrokerConfig, config_from_legacy
 from repro.broker.ingress import STOP, collect_batch, wait_until_drained
-from repro.core.engine import ThematicEventEngine
+from repro.broker.reliability import (
+    DeadLetterQueue,
+    DeliveryPolicy,
+    ReliableDelivery,
+)
+from repro.core.engine import EngineConfig, SubscriptionHandle, ThematicEventEngine
 from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import MetricsRegistry
+from repro.obs.clock import Clock
 from repro.obs.registry import merge_snapshots
 
 __all__ = ["HashSharding", "ShardedBroker", "SizeBalancedSharding"]
@@ -124,7 +126,7 @@ class _ShardSink:
 
     __slots__ = ("order", "handle")
 
-    def __init__(self, order: int, handle: SubscriberHandle):
+    def __init__(self, order: int, handle: SubscriptionHandle):
         self.order = order
         self.handle = handle
 
@@ -148,7 +150,7 @@ class _Shard:
 class _Entry:
     """Broker-side registration record for one subscriber."""
 
-    handle: SubscriberHandle
+    handle: SubscriptionHandle
     sink: _ShardSink
     shard_index: int
     engine_handle: object
@@ -159,7 +161,7 @@ class ShardedBroker:
 
     Usage mirrors :class:`~repro.broker.threaded.ThreadedBroker`::
 
-        broker = ShardedBroker(matcher, shards=4, max_batch=32)
+        broker = ShardedBroker(matcher, BrokerConfig(shards=4, max_batch=32))
         handle = broker.subscribe(subscription)
         broker.publish(event)          # returns immediately (backpressured)
         broker.flush()                 # wait until the queue drains
@@ -174,41 +176,41 @@ class ShardedBroker:
         family) get one private staged pipeline per shard; others are
         called through their own ``match_batch``, which must then be
         safe to call concurrently.
-    shards:
-        Number of subscription shards (each an independent engine).
-    strategy:
-        ``"hash"``, ``"size"``, or any object with ``assign``/
-        ``rebalance`` (see :class:`HashSharding`).
-    max_batch / linger:
-        Micro-batching knobs: drain up to ``max_batch`` queued events
-        per dispatch, waiting at most ``linger`` seconds for stragglers
-        once the queue runs dry.
-    workers:
-        Worker threads for per-shard matching. Defaults to
-        ``min(shards, cpu_count)``; with one worker (or one shard) the
-        dispatcher matches inline, skipping pool handoff entirely —
-        the right default under a GIL on a single core.
-    max_queue:
-        Ingress queue bound; ``publish`` blocks when full (backpressure).
+    config:
+        A :class:`~repro.broker.config.BrokerConfig`; this front-end
+        reads ``shards``, ``strategy``, ``max_batch``, ``linger``,
+        ``workers``, ``replay_capacity``, ``max_queue``, ``delivery``,
+        ``degraded``, and ``dead_letter_capacity``. The legacy keyword
+        arguments still work with a :class:`DeprecationWarning`.
+    registry:
+        Broker-level metrics registry (each shard engine keeps its own;
+        see :meth:`metrics_snapshot`).
+    clock:
+        Time source for delivery deadlines/backoff and the degraded-mode
+        budget; injectable for the fault harness.
     """
+
+    _LEGACY_KWARGS = (
+        "shards", "strategy", "max_batch", "linger", "workers",
+        "replay_capacity", "max_queue",
+    )
 
     def __init__(
         self,
         matcher: ThematicMatcher,
+        config: BrokerConfig | None = None,
         *,
-        shards: int = 4,
-        strategy: str | object = "hash",
-        max_batch: int = 32,
-        linger: float = 0.001,
-        workers: int | None = None,
-        replay_capacity: int = 256,
-        max_queue: int = 10_000,
         registry: MetricsRegistry | None = None,
+        clock: Clock | None = None,
+        **legacy,
     ):
-        if shards < 1:
+        self.config = config_from_legacy(config, self._LEGACY_KWARGS, legacy)
+        config = self.config
+        if config.shards < 1:
             raise ValueError("shards must be >= 1")
-        if max_batch < 1:
+        if config.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        strategy = config.strategy
         if isinstance(strategy, str):
             try:
                 strategy = _STRATEGIES[strategy]()
@@ -219,44 +221,58 @@ class ShardedBroker:
                 ) from None
         self.matcher = matcher
         self.metrics = BrokerMetrics(registry)
+        self.dead_letters = DeadLetterQueue(config.dead_letter_capacity)
+        self.reliability = ReliableDelivery(
+            self.metrics,
+            policy=config.delivery,
+            dead_letters=self.dead_letters,
+            clock=clock,
+        )
         self._strategy = strategy
-        self._max_batch = max_batch
-        self._linger = linger
+        self._max_batch = config.max_batch
+        self._linger = config.linger
         self._shards = [
             _Shard(
                 index=index,
                 registry=(shard_registry := MetricsRegistry()),
                 engine=ThematicEventEngine(
                     matcher,
+                    EngineConfig(
+                        private_pipeline=True,
+                        span_tags={"shard": index},
+                        degraded=config.degraded,
+                    ),
                     registry=shard_registry,
-                    private_pipeline=True,
-                    span_tags={"shard": index},
+                    clock=clock,
                 ),
             )
-            for index in range(shards)
+            for index in range(config.shards)
         ]
+        workers = config.workers
         if workers is None:
-            workers = min(shards, os.cpu_count() or 1)
+            workers = min(config.shards, os.cpu_count() or 1)
         self._workers = max(1, workers)
         self._pool = (
             ThreadPoolExecutor(
                 max_workers=self._workers, thread_name_prefix="shard-worker"
             )
-            if self._workers > 1 and shards > 1
+            if self._workers > 1 and config.shards > 1
             else None
         )
         registry_ = self.metrics.registry
         self._queue_wait = registry_.histogram("broker.queue_wait_seconds")
         self._batch_size = registry_.histogram("broker.batch_size")
         self._queue_depth = registry_.gauge("broker.queue_depth")
-        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._queue: queue.Queue = queue.Queue(maxsize=config.max_queue)
         # Reentrant: delivery callbacks run on the dispatcher thread
         # while it holds the lock, and may subscribe/unsubscribe.
         self._reg_lock = threading.RLock()
         self._entries: dict[int, _Entry] = {}
         self._next_id = 0
         self._sequence = 0  # dispatcher-thread only
-        self._replay: deque[tuple[int, Event]] = deque(maxlen=replay_capacity)
+        self._replay: deque[tuple[int, Event]] = deque(
+            maxlen=config.replay_capacity
+        )
         self._closed = False
         self._close_lock = threading.Lock()
         self._dispatcher = threading.Thread(
@@ -360,14 +376,20 @@ class ShardedBroker:
         callback: Callable[[Delivery], None] | None = None,
         *,
         replay: bool = False,
-    ) -> SubscriberHandle:
-        """Register a subscription on a shard chosen by the strategy."""
+        policy: DeliveryPolicy | None = None,
+    ) -> SubscriptionHandle:
+        """Register a subscription on a shard chosen by the strategy.
+
+        ``policy`` overrides the broker-wide delivery policy for this
+        subscriber alone.
+        """
         with self._reg_lock:
             order = self._next_id
             self._next_id += 1
-            handle = SubscriberHandle(
-                subscriber_id=order,
+            handle = SubscriptionHandle(
+                id=order,
                 subscription=subscription,
+                policy=policy,
                 callback=callback,
             )
             shard_index = self._strategy.assign(order, self._loads())
@@ -391,16 +413,14 @@ class ShardedBroker:
                     result = shard.engine.match_one(subscription, event)
                     if result is not None:
                         self.metrics.inc("replayed")
-                        dispatch_delivery(
-                            self.metrics,
-                            handle,
-                            Delivery(result=result, sequence=sequence),
+                        self.reliability.dispatch(
+                            handle, Delivery(result=result, sequence=sequence)
                         )
             return handle
 
-    def unsubscribe(self, handle: SubscriberHandle) -> bool:
+    def unsubscribe(self, handle: SubscriptionHandle) -> bool:
         with self._reg_lock:
-            entry = self._entries.pop(handle.subscriber_id, None)
+            entry = self._entries.pop(handle.id, None)
             if entry is None:
                 return False
             self._shards[entry.shard_index].engine.unsubscribe(
@@ -512,8 +532,6 @@ class ShardedBroker:
                             matched.append((sink.order, sink.handle, result))
                 matched.sort(key=lambda item: item[0])
                 for _, handle, result in matched:
-                    dispatch_delivery(
-                        self.metrics,
-                        handle,
-                        Delivery(result=result, sequence=sequence),
+                    self.reliability.dispatch(
+                        handle, Delivery(result=result, sequence=sequence)
                     )

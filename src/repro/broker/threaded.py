@@ -8,6 +8,10 @@ while matching and delivery happen on the broker thread. Subscriber callbacks th
 on the broker thread; inbox draining remains safe from any thread
 (``collections.deque`` append/popleft are atomic in CPython, and drains
 go through a lock anyway).
+
+Delivery fault tolerance (retries, deadlines, breakers, dead letters)
+comes from the embedded broker's reliability layer — see
+:mod:`repro.broker.reliability`.
 """
 
 from __future__ import annotations
@@ -17,12 +21,16 @@ import threading
 import time
 from collections.abc import Callable
 
-from repro.broker.broker import Delivery, SubscriberHandle, ThematicBroker
+from repro.broker.broker import Delivery, ThematicBroker
+from repro.broker.config import BrokerConfig, config_from_legacy
 from repro.broker.ingress import STOP, wait_until_drained
+from repro.broker.reliability import DeliveryPolicy
+from repro.core.engine import SubscriptionHandle
 from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import MetricsRegistry
+from repro.obs.clock import Clock
 
 __all__ = ["ThreadedBroker"]
 
@@ -40,23 +48,32 @@ class ThreadedBroker:
         broker.close()
 
     Also usable as a context manager (``with ThreadedBroker(...) as b:``).
+
+    Configuration is a :class:`~repro.broker.config.BrokerConfig` (this
+    front-end reads ``replay_capacity``, ``max_queue``, ``delivery``,
+    ``degraded``, ``dead_letter_capacity``); the legacy keyword
+    arguments still work with a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         matcher: ThematicMatcher,
+        config: BrokerConfig | None = None,
         *,
-        replay_capacity: int = 256,
-        max_queue: int = 10_000,
         registry: MetricsRegistry | None = None,
+        clock: Clock | None = None,
+        **legacy,
     ):
+        self.config = config_from_legacy(
+            config, ("replay_capacity", "max_queue"), legacy
+        )
         self._inner = ThematicBroker(
-            matcher, replay_capacity=replay_capacity, registry=registry
+            matcher, self.config, registry=registry, clock=clock
         )
         self._queue_wait = self._inner.metrics.registry.histogram(
             "broker.queue_wait_seconds"
         )
-        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.max_queue)
         self._lock = threading.Lock()
         self._closed = False
         self._close_lock = threading.Lock()
@@ -146,17 +163,30 @@ class ThreadedBroker:
         callback: Callable[[Delivery], None] | None = None,
         *,
         replay: bool = False,
-    ) -> SubscriberHandle:
+        policy: DeliveryPolicy | None = None,
+    ) -> SubscriptionHandle:
         with self._lock:
-            return self._inner.subscribe(subscription, callback, replay=replay)
+            return self._inner.subscribe(
+                subscription, callback, replay=replay, policy=policy
+            )
 
-    def unsubscribe(self, handle: SubscriberHandle) -> bool:
+    def unsubscribe(self, handle: SubscriptionHandle) -> bool:
         with self._lock:
             return self._inner.unsubscribe(handle)
 
     @property
     def metrics(self):
         return self._inner.metrics
+
+    @property
+    def dead_letters(self):
+        """The embedded broker's dead-letter queue."""
+        return self._inner.dead_letters
+
+    @property
+    def reliability(self):
+        """The embedded broker's reliability engine (breaker states etc.)."""
+        return self._inner.reliability
 
     def metrics_snapshot(self) -> dict:
         """Coherent cross-thread view: counters plus queue-wait summary.

@@ -31,6 +31,7 @@ import random
 import sys
 
 from repro.broker.broker import ThematicBroker
+from repro.broker.faults import FaultPlan
 from repro.core.language import parse_event, parse_subscription
 from repro.core.matcher import ThematicMatcher
 from repro.evaluation import (
@@ -40,6 +41,7 @@ from repro.evaluation import (
     compare_broker_throughput,
     format_table,
     run_baseline,
+    run_fault_injection,
     run_sub_experiment,
     theme_pool,
     thematic_matcher_factory,
@@ -193,6 +195,35 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"relatedness cache hit rate: {result.cache_hit_rate:.1%}")
     delta = result.f1 - baseline.f1
     print(f"F1 delta: {delta:+.1%} (paper: +9 points on average)")
+    if args.faults:
+        with open(args.faults, encoding="utf-8") as fh:
+            plan = FaultPlan.from_json(fh.read())
+        print(f"fault plan: {plan.name!r} "
+              f"({len(plan.callbacks)} callback fault(s), "
+              f"scorer={'yes' if plan.scorer else 'no'}, "
+              f"degraded={'yes' if plan.degraded else 'no'})")
+        report = run_fault_injection(workload, plan, seed=args.seed)
+        for kind, entry in report["brokers"].items():
+            delivered = sum(entry["delivered"])
+            dead = sum(entry["dead_letters"])
+            print(
+                f"  {kind:<9} delivered={delivered} dead_letters={dead} "
+                f"retries={entry['retries']} "
+                f"callback_errors={entry['callback_errors']} "
+                f"no_loss={'ok' if entry['no_loss'] else 'VIOLATED'}"
+            )
+            if "degraded" in entry:
+                degraded = entry["degraded"]
+                print(f"            degraded: trips={degraded.get('trips', 0)} "
+                      f"fallback_batches={degraded.get('batches', 0)} "
+                      f"recoveries={degraded.get('recoveries', 0)}")
+        baseline_total = sum(report["baseline"])
+        print(f"  fault-free matched deliveries: {baseline_total}")
+        if not report["no_loss"]:
+            print("no-loss invariant VIOLATED", file=sys.stderr)
+            if tracing:
+                _finish_trace()
+            return 1
     if args.shards:
         comparison = compare_broker_throughput(
             workload,
@@ -287,6 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "throughput with this many subscription shards")
     p_eval.add_argument("--max-batch", type=int, default=32,
                         help="ingress micro-batch size for --shards")
+    p_eval.add_argument("--faults", default=None, metavar="PLAN.json",
+                        help="run the fault-injection experiment with this "
+                             "FaultPlan and verify the no-loss invariant "
+                             "(exit 1 on violation)")
     p_eval.add_argument("--trace", action="store_true",
                         help="print per-stage pipeline timings")
     p_eval.add_argument("--trace-out", default=None,

@@ -9,7 +9,13 @@ from repro.core.codec import (
     subscription_from_dict,
     subscription_to_dict,
 )
-from repro.core.engine import EngineStats, SubscriptionHandle, ThematicEventEngine
+from repro.core.degrade import DegradedMode, DegradedPolicy, DowngradeEvent
+from repro.core.engine import (
+    EngineConfig,
+    EngineStats,
+    SubscriptionHandle,
+    ThematicEventEngine,
+)
 from repro.core.events import AttributeValue, Event, Value
 from repro.core.language import (
     ParseError,
@@ -43,6 +49,10 @@ __all__ = [
     "OPERATORS",
     "Calibration",
     "Correspondence",
+    "DegradedMode",
+    "DegradedPolicy",
+    "DowngradeEvent",
+    "EngineConfig",
     "EngineStats",
     "Event",
     "Mapping",

@@ -15,30 +15,126 @@ any semantic scoring happens; since delivery only wants results at or
 above the matcher's threshold, pruning is loss-free for any positive
 threshold (and is disabled automatically at threshold 0.0, where
 zero-score results are deliverable).
+
+Configuration is an :class:`EngineConfig`; when a
+:class:`~repro.core.degrade.DegradedPolicy` is set, every full batch is
+timed through the injected clock and an over-budget (or manually
+unhealthy) backend flips dispatch to an exact-anchor fallback pipeline
+until a probe recovers — see :mod:`repro.core.degrade`.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import deque
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from threading import Lock
+from typing import TYPE_CHECKING, Any
 
+from repro.core.degrade import DegradedMode, DegradedPolicy
 from repro.core.events import Event
 from repro.core.matcher import MatchResult, ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import MetricsRegistry
+from repro.obs.clock import MONOTONIC_CLOCK, Clock
 
-__all__ = ["SubscriptionHandle", "EngineStats", "ThematicEventEngine"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.broker.reliability import DeliveryPolicy
+
+__all__ = [
+    "EngineConfig",
+    "EngineStats",
+    "SubscriptionHandle",
+    "ThematicEventEngine",
+]
 
 #: Callback invoked on every delivered match.
 MatchCallback = Callable[[MatchResult], None]
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class SubscriptionHandle:
-    """Opaque ticket for cancelling a registration."""
+    """One registration, shared by the engine and every broker front-end.
 
-    subscription_id: int
+    Historically the engine and the brokers each grew their own handle
+    type (a frozen ``SubscriptionHandle`` ticket here, a mutable
+    ``SubscriberHandle`` with an inbox in the broker); this is the
+    unified replacement. ``id`` is the registration order (also the
+    delivery-order key for the sharded broker's merge), ``policy`` an
+    optional per-subscription
+    :class:`~repro.broker.reliability.DeliveryPolicy` override, and
+    ``inbox``/``callback`` the delivery wiring (unused when the handle
+    only serves as an engine ticket).
+
+    Identity semantics (``eq=False``): two registrations of the same
+    subscription are distinct subscribers. :meth:`append` and
+    :meth:`drain` are lock-guarded so a subscriber may drain its inbox
+    while a broker thread is delivering — drains never tear and never
+    drop: every delivery lands in exactly one drain, in delivery order.
+    """
+
+    id: int
     subscription: Subscription
+    policy: "DeliveryPolicy | None" = None
+    callback: Callable[..., None] | None = None
+    inbox: deque = field(default_factory=deque, repr=False)
+    _lock: Lock = field(default_factory=Lock, init=False, repr=False)
+
+    @property
+    def subscription_id(self) -> int:
+        """Engine-era alias for :attr:`id`."""
+        return self.id
+
+    @property
+    def subscriber_id(self) -> int:
+        """Broker-era alias for :attr:`id`."""
+        return self.id
+
+    def append(self, item: Any) -> None:
+        """Deliver one item into the inbox (thread-safe)."""
+        with self._lock:
+            self.inbox.append(item)
+
+    def drain(self) -> list:
+        """Remove and return everything currently in the inbox."""
+        with self._lock:
+            items = list(self.inbox)
+            self.inbox.clear()
+        return items
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Typed construction knobs for :class:`ThematicEventEngine`.
+
+    Replaces the sprawling keyword arguments (still accepted through a
+    deprecation shim for one release).
+
+    Parameters
+    ----------
+    prefilter:
+        Whether dispatch may use loss-free zero-score pruning (arity +
+        exact anchors). Only applies while the matcher's threshold is
+        positive; disable to force full scoring of every pair.
+    private_pipeline:
+        Give this engine its own staged pipeline (when the matcher
+        supports one) instead of the matcher's shared lazy instance.
+        Required when several engines over the same matcher run
+        concurrently — the sharded broker's layout.
+    span_tags:
+        Extra attributes stamped on every pipeline span (e.g. a shard
+        label); only meaningful with ``private_pipeline``.
+    degraded:
+        Optional :class:`~repro.core.degrade.DegradedPolicy`; when set,
+        slow or unhealthy semantic scoring flips dispatch to the
+        exact-anchor fallback instead of failing closed.
+    """
+
+    prefilter: bool = True
+    private_pipeline: bool = False
+    span_tags: dict | None = None
+    degraded: DegradedPolicy | None = None
 
 
 class EngineStats:
@@ -98,56 +194,102 @@ class ThematicEventEngine:
     matcher:
         Any :class:`~repro.core.api.MatchEngine` implementation; all
         four Table-1 approaches qualify.
+    config:
+        An :class:`EngineConfig`. The legacy keyword arguments
+        (``prefilter``/``private_pipeline``/``span_tags``) are still
+        accepted with a :class:`DeprecationWarning` for one release.
     registry:
         Metrics registry backing :class:`EngineStats`; defaults to a
         private one. The broker passes its own so one snapshot covers
         both layers.
-    prefilter:
-        Whether dispatch may use loss-free zero-score pruning (arity +
-        exact anchors). Only applies while the matcher's threshold is
-        positive; disable to force full scoring of every pair.
-    private_pipeline:
-        Give this engine its own staged pipeline (when the matcher
-        supports one) instead of the matcher's shared lazy instance.
-        Required when several engines over the same matcher run
-        concurrently — the sharded broker's layout — because the shared
-        pipeline's compiled-subscription and side-score tables are not
-        synchronized. Term-pair dedup still happens per shard (each
-        private pipeline keeps its own persistent tables), and shards
-        share semantic work through the measure-level cache.
-    span_tags:
-        Extra attributes stamped on every pipeline span (e.g. a shard
-        label); only meaningful with ``private_pipeline``.
+    clock:
+        Time source for the degraded-mode latency budget; injectable so
+        the fault harness controls every timing decision.
     """
 
     def __init__(
         self,
         matcher: ThematicMatcher,
+        config: EngineConfig | None = None,
         *,
         registry: MetricsRegistry | None = None,
-        prefilter: bool = True,
-        private_pipeline: bool = False,
-        span_tags: dict | None = None,
+        clock: Clock | None = None,
+        **legacy,
     ):
+        if legacy:
+            unknown = set(legacy) - {"prefilter", "private_pipeline", "span_tags"}
+            if unknown:
+                raise TypeError(
+                    f"unexpected keyword arguments {sorted(unknown)} "
+                    "(engine options now live on EngineConfig)"
+                )
+            warnings.warn(
+                "passing engine options as keyword arguments is deprecated; "
+                "pass an EngineConfig instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config if config is not None else EngineConfig(),
+                             **legacy)
+        self.config = config if config is not None else EngineConfig()
         self.matcher = matcher
         self.stats = EngineStats(registry)
-        self.prefilter = prefilter
+        self.prefilter = self.config.prefilter
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
         self._pipeline = None
-        if private_pipeline:
+        if self.config.private_pipeline:
             factory = getattr(matcher, "new_pipeline", None)
             if factory is not None:
-                self._pipeline = factory(span_tags=span_tags)
+                self._pipeline = factory(span_tags=self.config.span_tags)
+        self.degraded: DegradedMode | None = None
+        self._fallback_pipeline = None
+        if self.config.degraded is not None:
+            self._fallback_pipeline = self._build_fallback(matcher)
+            self.degraded = DegradedMode(
+                self.config.degraded,
+                clock=self.clock,
+                registry=self.stats.registry,
+            )
         self._subscriptions: dict[int, tuple[Subscription, MatchCallback]] = {}
         self._next_id = 0
         # Registration snapshot, rebuilt only when the set changes —
         # process() used to re-materialize it on every single event.
         self._snapshot: list[tuple[Subscription, MatchCallback]] | None = None
 
+    @staticmethod
+    def _build_fallback(matcher: ThematicMatcher):
+        """Exact-anchor fallback pipeline mirroring the matcher's knobs.
+
+        Same ``k``/``threshold``/arity handling, but the measure is
+        :class:`~repro.semantics.measures.ExactMeasure` with no
+        calibration: a non-identical approximated term scores exactly
+        0.0, so only literal anchors carry matches — content-based
+        matching at the original matcher's delivery threshold.
+        """
+        required = ("measure", "k", "threshold", "min_relatedness")
+        if any(not hasattr(matcher, name) for name in required):
+            raise ValueError(
+                "degraded mode needs a ThematicMatcher-family engine "
+                f"(got {type(matcher).__name__})"
+            )
+        from repro.semantics.measures import ExactMeasure
+
+        fallback = ThematicMatcher(
+            ExactMeasure(),
+            k=matcher.k,
+            threshold=matcher.threshold,
+            min_relatedness=matcher.min_relatedness,
+            calibration=None,
+        )
+        return fallback.new_pipeline(span_tags={"degraded": True})
+
     def subscribe(
         self, subscription: Subscription, callback: MatchCallback
     ) -> SubscriptionHandle:
         """Register a subscription; returns a handle for unsubscribing."""
-        handle = SubscriptionHandle(self._next_id, subscription)
+        handle = SubscriptionHandle(
+            self._next_id, subscription, callback=callback
+        )
         self._subscriptions[self._next_id] = (subscription, callback)
         self._next_id += 1
         self._snapshot = None
@@ -155,7 +297,7 @@ class ThematicEventEngine:
 
     def unsubscribe(self, handle: SubscriptionHandle) -> bool:
         """Remove a registration; True if it was present."""
-        removed = self._subscriptions.pop(handle.subscription_id, None) is not None
+        removed = self._subscriptions.pop(handle.id, None) is not None
         if removed:
             self._snapshot = None
         return removed
@@ -198,7 +340,45 @@ class ThematicEventEngine:
         ``match_batch`` runs (with the delivery-gated mode forwarded only
         when the matcher family supports it — Boolean baselines build
         full results either way, and dispatch filters identically).
+
+        With a degraded policy configured the full path is timed and an
+        over-budget (or manually unhealthy) backend routes subsequent
+        batches to the exact-anchor fallback; recovery probes re-enter
+        the full path (see :class:`~repro.core.degrade.DegradedMode`).
         """
+        if self.degraded is not None:
+            if self.degraded.use_fallback():
+                self.degraded.note_fallback_batch()
+                return self._fallback_pipeline.run(
+                    subscriptions,
+                    events,
+                    prune_zero=prune_zero,
+                    deliver_threshold=deliver_threshold,
+                )
+            started = self.clock.monotonic()
+            batch = self._run_full(
+                subscriptions,
+                events,
+                prune_zero=prune_zero,
+                deliver_threshold=deliver_threshold,
+            )
+            self.degraded.observe(self.clock.monotonic() - started)
+            return batch
+        return self._run_full(
+            subscriptions,
+            events,
+            prune_zero=prune_zero,
+            deliver_threshold=deliver_threshold,
+        )
+
+    def _run_full(
+        self,
+        subscriptions: list[Subscription],
+        events: list[Event],
+        *,
+        prune_zero: bool,
+        deliver_threshold: float | None = None,
+    ):
         if self._pipeline is not None:
             return self._pipeline.run(
                 subscriptions,

@@ -12,6 +12,7 @@ from repro.evaluation.brokers import (
     run_broker_workload,
     sample_combination,
 )
+from repro.evaluation.faults import BROKER_KINDS, run_fault_injection
 from repro.evaluation.groundtruth import GroundTruth, build_ground_truth, is_relevant
 from repro.evaluation.harness import (
     CellResult,
@@ -65,7 +66,9 @@ from repro.evaluation.themes import (
 from repro.evaluation.workload import Workload, WorkloadConfig, build_workload
 
 __all__ = [
+    "BROKER_KINDS",
     "BrokerRunResult",
+    "run_fault_injection",
     "CellResult",
     "compare_broker_throughput",
     "run_broker_workload",

@@ -19,6 +19,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.broker import ShardedBroker, ThreadedBroker
+from repro.broker.config import BrokerConfig
 from repro.evaluation.harness import thematic_matcher_factory
 from repro.evaluation.themes import ThemeCombination, theme_pool
 from repro.evaluation.workload import Workload
@@ -151,15 +152,15 @@ def compare_broker_throughput(
             subscriptions,
             events,
         )
+        sharded_config = BrokerConfig(
+            shards=shards,
+            strategy=strategy,
+            max_batch=max_batch,
+            linger=linger,
+        )
         sharded = run_broker_workload(
             f"sharded[{shards}x{max_batch}]",
-            lambda: ShardedBroker(
-                matcher_factory(),
-                shards=shards,
-                strategy=strategy,
-                max_batch=max_batch,
-                linger=linger,
-            ),
+            lambda: ShardedBroker(matcher_factory(), sharded_config),
             subscriptions,
             events,
         )

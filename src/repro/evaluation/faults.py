@@ -1,0 +1,195 @@
+"""Fault-injection evaluation: prove the no-loss invariant end to end.
+
+The acceptance bar for the reliability layer
+(:mod:`repro.broker.reliability`) is an accounting identity: for every
+broker front-end, under any scripted :class:`~repro.broker.faults.FaultPlan`,
+
+    inbox deliveries + dead-letter records == matched deliveries of a
+    fault-free serial run
+
+per subscriber — events are delayed, retried, or dead-lettered, never
+lost and never duplicated. This module runs that experiment: a
+fault-free serial oracle first, then each requested broker kind under
+the plan with a fresh :class:`~repro.obs.clock.FakeClock` and
+:class:`~repro.broker.faults.FaultInjector`, returning a
+machine-readable report. Shared by the stress suite
+(``tests/broker/test_fault_stress.py``) and ``repro evaluate --faults``
+so tests and CLI can never drift apart on methodology.
+
+When the plan carries a :class:`~repro.core.degrade.DegradedPolicy`,
+scorer spikes may legitimately change *what matches* (the engine
+downgrades to exact-anchor matching and records it), so the strict
+identity against the thematic oracle is only asserted for plans without
+a degraded policy; the report then carries the degraded counters
+instead.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import Counter
+
+from repro.broker.broker import ThematicBroker
+from repro.broker.config import BrokerConfig
+from repro.broker.faults import FaultInjector, FaultPlan
+from repro.broker.reliability import DeliveryPolicy
+from repro.broker.sharded import ShardedBroker
+from repro.broker.threaded import ThreadedBroker
+from repro.evaluation.brokers import sample_combination
+from repro.evaluation.harness import thematic_matcher_factory
+from repro.evaluation.workload import Workload
+from repro.obs.clock import FakeClock
+
+__all__ = ["BROKER_KINDS", "run_fault_injection"]
+
+#: Broker front-ends the experiment can exercise, in report order.
+BROKER_KINDS = ("serial", "threaded", "sharded")
+
+#: Fault-run default: quick deterministic retries (no jitter), small
+#: breaker threshold so plans can actually trip it. Sleeps go through
+#: the fake clock, so none of this costs wall time in tests.
+DEFAULT_FAULT_POLICY = DeliveryPolicy(
+    max_retries=2,
+    backoff_base=0.01,
+    backoff_cap=0.1,
+    jitter=0.0,
+    breaker_threshold=0,
+)
+
+
+def _build_broker(kind: str, matcher, config: BrokerConfig, clock):
+    if kind == "serial":
+        return ThematicBroker(matcher, config, clock=clock)
+    if kind == "threaded":
+        return ThreadedBroker(matcher, config, clock=clock)
+    if kind == "sharded":
+        return ShardedBroker(matcher, config, clock=clock)
+    raise ValueError(f"unknown broker kind {kind!r} (expected {BROKER_KINDS})")
+
+
+def _run_one(kind, matcher_factory, subscriptions, events, plan, config, clock):
+    """One faulted pass: returns (delivered_per_sub, dead_per_sub, metrics)."""
+    injector = FaultInjector(plan, clock=clock)
+    matcher = matcher_factory()
+    matcher.measure = injector.wrap_measure(matcher.measure)
+    broker = _build_broker(kind, matcher, config, clock)
+    try:
+        handles = [
+            broker.subscribe(
+                subscription, injector.wrap_callback(subscriber_id)
+            )
+            for subscriber_id, subscription in enumerate(subscriptions)
+        ]
+        for event in events:
+            broker.publish(event)
+        if hasattr(broker, "flush"):
+            broker.flush()
+    finally:
+        if hasattr(broker, "close"):
+            broker.close()
+    delivered = [len(handle.drain()) for handle in handles]
+    dead = Counter(
+        record.subscriber_id for record in broker.dead_letters.drain()
+    )
+    # Flat counter view across layers: broker.* and reliability.* live on
+    # the broker registry; the sharded broker keeps engine.* per shard and
+    # merges them at read time.
+    counters = dict(broker.metrics.registry.snapshot()["counters"])
+    if isinstance(broker, ShardedBroker):
+        counters.update(broker.metrics_snapshot()["engine_totals"])
+    return delivered, [dead.get(i, 0) for i in range(len(handles))], counters
+
+
+def run_fault_injection(
+    workload: Workload,
+    plan: FaultPlan,
+    *,
+    brokers: tuple[str, ...] = BROKER_KINDS,
+    policy: DeliveryPolicy | None = None,
+    shards: int = 2,
+    max_batch: int = 8,
+    max_events: int | None = None,
+    max_subscriptions: int | None = None,
+    seed: int = 99,
+) -> dict:
+    """Run ``plan`` against each broker kind; verify no event is lost.
+
+    Returns a report dict: the fault-free per-subscriber matched counts
+    (``baseline``), then per broker kind the delivered/dead-lettered
+    accounting, the ``no_loss`` verdict, and the relevant reliability
+    and degraded counters. ``report["no_loss"]`` aggregates all kinds.
+    """
+    combination = sample_combination(workload, seed=seed)
+    events = [
+        event.with_theme(combination.event_tags)
+        for event in workload.events[:max_events]
+    ]
+    subscriptions = [
+        subscription.with_theme(combination.subscription_tags)
+        for subscription in workload.subscriptions.approximate[:max_subscriptions]
+    ]
+    matcher_factory = thematic_matcher_factory(workload)
+
+    # Fault-free serial oracle: matched counts per subscriber.
+    oracle = ThematicBroker(matcher_factory())
+    oracle_handles = [
+        oracle.subscribe(subscription) for subscription in subscriptions
+    ]
+    for event in events:
+        oracle.publish(event)
+    baseline = [len(handle.drain()) for handle in oracle_handles]
+
+    delivery_policy = policy if policy is not None else DEFAULT_FAULT_POLICY
+    config = BrokerConfig(
+        delivery=delivery_policy,
+        degraded=plan.degraded,
+        shards=shards,
+        max_batch=max_batch,
+        linger=0.0,
+        workers=0,
+    )
+    strict = plan.degraded is None
+    report: dict = {
+        "plan": plan.to_dict(),
+        "events": len(events),
+        "subscriptions": len(subscriptions),
+        "baseline": baseline,
+        "strict": strict,
+        "brokers": {},
+    }
+    all_no_loss = True
+    # Every dead letter here is a scripted fault; logging each one at
+    # ERROR would drown the report, so mute the delivery logger for the
+    # duration of the experiment.
+    reliability_logger = logging.getLogger("repro.broker.reliability")
+    previous_level = reliability_logger.level
+    reliability_logger.setLevel(logging.CRITICAL)
+    try:
+        for kind in brokers:
+            clock = FakeClock()
+            delivered, dead, metrics = _run_one(
+                kind, matcher_factory, subscriptions, events, plan, config, clock
+            )
+            accounted = [d + x for d, x in zip(delivered, dead)]
+            no_loss = accounted == baseline if strict else True
+            all_no_loss = all_no_loss and no_loss
+            entry = {
+                "delivered": delivered,
+                "dead_letters": dead,
+                "accounted": accounted,
+                "no_loss": no_loss,
+                "retries": metrics.get("reliability.retries", 0),
+                "dead_lettered": metrics.get("reliability.dead_letters", 0),
+                "callback_errors": metrics.get("broker.callback_errors", 0),
+            }
+            if plan.degraded is not None:
+                entry["degraded"] = {
+                    key.removeprefix("engine.degraded_"): value
+                    for key, value in metrics.items()
+                    if isinstance(key, str) and key.startswith("engine.degraded_")
+                }
+            report["brokers"][kind] = entry
+    finally:
+        reliability_logger.setLevel(previous_level)
+    report["no_loss"] = all_no_loss
+    return report

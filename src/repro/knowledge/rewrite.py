@@ -192,12 +192,8 @@ class Canonicalizer:
         key = normalize_term(term)
         return self._representative.get(key, key)
 
-    def canonicalize(self, text: str) -> str:
-        """Replace every recognized span with its class representative."""
-        key = normalize_term(text)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+    def _rewrite_once(self, key: str) -> str:
+        """One left-to-right pass replacing spans with representatives."""
         spans = find_term_spans(
             key, self.thesaurus, self.domains, include_related=True
         )
@@ -209,9 +205,40 @@ class Canonicalizer:
             out.extend(self.canonical_term(span.term).split())
             i = span.end
         out.extend(tokens[i:])
-        result = " ".join(out)
-        self._cache[key] = result
-        return result
+        return " ".join(out)
+
+    def canonicalize(self, text: str) -> str:
+        """Replace every recognized span with its class representative.
+
+        Substituting a representative can merge a neighbouring token
+        into a longer thesaurus term ("city | city bus" -> "city bus"
+        after "city bus" -> "bus"), so one rewrite pass is not a fixed
+        point. Iterate until the text stabilizes; should the rewrite
+        ever cycle, the lexicographically smallest member of the cycle
+        is the canonical form (deterministic, so ``equivalent`` remains
+        an equivalence relation).
+        """
+        key = normalize_term(text)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        trajectory = [key]
+        current = key
+        while True:
+            rewritten = self._rewrite_once(current)
+            if rewritten == current:
+                break
+            if rewritten in trajectory:
+                cycle = trajectory[trajectory.index(rewritten) :]
+                current = min(cycle)
+                break
+            trajectory.append(rewritten)
+            current = rewritten
+        # Every intermediate form reaches the same fixed point, so the
+        # whole trajectory can share one cache entry.
+        for form in trajectory:
+            self._cache[form] = current
+        return current
 
     def equivalent(self, text_a: str, text_b: str) -> bool:
         """True when the two texts are expansion-equivalent."""

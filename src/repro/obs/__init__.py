@@ -18,6 +18,7 @@ from repro.obs.artifacts import (
     load_bench_artifact,
     write_bench_artifact,
 )
+from repro.obs.clock import MONOTONIC_CLOCK, Clock, FakeClock, MonotonicClock
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -30,6 +31,10 @@ from repro.obs.registry import (
 from repro.obs.tracing import TRACER, Tracer, traced
 
 __all__ = [
+    "Clock",
+    "FakeClock",
+    "MONOTONIC_CLOCK",
+    "MonotonicClock",
     "SCHEMA",
     "Counter",
     "Gauge",

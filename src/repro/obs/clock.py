@@ -1,0 +1,78 @@
+"""Injectable time sources for the reliability and degraded-mode layers.
+
+Every component that reasons about time — retry backoff, delivery
+deadlines, circuit-breaker resets, the degraded-matching latency budget
+— reads time through a :class:`Clock` instead of calling
+:func:`time.monotonic` / :func:`time.sleep` directly. Production code
+uses :data:`MONOTONIC_CLOCK`; the fault-injection harness substitutes a
+:class:`FakeClock`, so every timing decision in the test suite is a
+pure function of the injected schedule — no wall-clock dependence, no
+flaky sleeps, and a simulated multi-second outage costs microseconds of
+test time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "FakeClock", "MonotonicClock", "MONOTONIC_CLOCK"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal time source: a monotonic reading and a sleep."""
+
+    def monotonic(self) -> float:
+        """Seconds from an arbitrary, monotonically advancing origin."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+        ...
+
+
+class MonotonicClock:
+    """The real thing: :func:`time.monotonic` + :func:`time.sleep`."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock:
+    """Deterministic clock for tests: ``sleep`` advances, never blocks.
+
+    Thread-safe, because broker dispatcher threads and test threads read
+    it concurrently. A hung callback is simulated by advancing the clock
+    inside the callback (see :mod:`repro.broker.faults`), so deadline
+    and breaker logic observe exactly the elapsed time the fault plan
+    scripted.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
+
+
+#: Shared process-wide default clock (stateless, so sharing is free).
+MONOTONIC_CLOCK = MonotonicClock()

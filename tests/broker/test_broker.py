@@ -77,8 +77,11 @@ class TestTimeDecoupling:
         assert late.drain() == []
 
     def test_replay_capacity_bounds_buffer(self, space):
+        from repro.broker import BrokerConfig
+
         broker = ThematicBroker(
-            ThematicMatcher(ThematicMeasure(space)), replay_capacity=1
+            ThematicMatcher(ThematicMeasure(space)),
+            BrokerConfig(replay_capacity=1),
         )
         first = parse_event("({energy}, {type: increased energy usage event, device: laptop, office: room 112})")
         broker.publish(first)

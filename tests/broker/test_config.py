@@ -1,0 +1,117 @@
+"""The typed BrokerConfig and the legacy-keyword deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.broker.broker import ThematicBroker
+from repro.broker.config import BrokerConfig, config_from_legacy
+from repro.broker.reliability import DeliveryPolicy
+from repro.broker.sharded import ShardedBroker
+from repro.broker.threaded import ThreadedBroker
+from repro.core.engine import EngineConfig, ThematicEventEngine
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import ThematicMeasure
+
+
+@pytest.fixture()
+def matcher(space):
+    return ThematicMatcher(ThematicMeasure(space))
+
+
+class TestBrokerConfig:
+    def test_defaults(self):
+        config = BrokerConfig()
+        assert config.replay_capacity == 256
+        assert config.shards == 4
+        assert config.strategy == "hash"
+        assert config.delivery == DeliveryPolicy()
+        assert config.degraded is None
+        assert config.dead_letter_capacity is None
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            BrokerConfig().shards = 8
+
+    def test_one_config_fits_every_front_end(self, matcher):
+        """A single config object constructs all three brokers."""
+        config = BrokerConfig(replay_capacity=8, shards=2, max_batch=4,
+                              linger=0.0, workers=0)
+        serial = ThematicBroker(matcher, config)
+        threaded = ThreadedBroker(matcher, config)
+        sharded = ShardedBroker(matcher, config)
+        try:
+            assert serial.reliability.policy == config.delivery
+            assert threaded.reliability.policy == config.delivery
+            assert sharded.reliability.policy == config.delivery
+        finally:
+            threaded.close()
+            sharded.close()
+
+
+class TestLegacyShim:
+    def test_no_legacy_passes_config_through(self):
+        config = BrokerConfig(shards=7)
+        assert config_from_legacy(config, ("shards",), {}) is config
+
+    def test_none_config_defaults(self):
+        assert config_from_legacy(None, ("shards",), {}) == BrokerConfig()
+
+    def test_unknown_keyword_raises_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            config_from_legacy(None, ("shards",), {"shard_count": 2})
+
+    def test_legacy_keys_overlay_with_warning(self):
+        with pytest.warns(DeprecationWarning):
+            config = config_from_legacy(None, ("shards",), {"shards": 9})
+        assert config.shards == 9
+
+    def test_serial_broker_legacy_replay_capacity(self, matcher):
+        with pytest.warns(DeprecationWarning):
+            broker = ThematicBroker(matcher, replay_capacity=3)
+        assert broker.config.replay_capacity == 3
+
+    def test_serial_broker_rejects_unknown_kwargs(self, matcher):
+        with pytest.raises(TypeError):
+            ThematicBroker(matcher, replay=3)
+
+    def test_threaded_broker_legacy_max_queue(self, matcher):
+        with pytest.warns(DeprecationWarning):
+            broker = ThreadedBroker(matcher, max_queue=5)
+        with broker:
+            assert broker.config.max_queue == 5
+
+    def test_sharded_broker_legacy_kwargs(self, matcher):
+        with pytest.warns(DeprecationWarning):
+            broker = ShardedBroker(matcher, shards=2, max_batch=4, workers=0)
+        with broker:
+            assert broker.config.shards == 2
+            assert broker.config.max_batch == 4
+
+    def test_configured_brokers_emit_no_warning(self, matcher):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ThematicBroker(matcher, BrokerConfig())
+
+    def test_engine_legacy_prefilter_kwarg(self, matcher):
+        with pytest.warns(DeprecationWarning):
+            engine = ThematicEventEngine(matcher, prefilter=False)
+        assert engine.config == EngineConfig(prefilter=False)
+
+    def test_engine_rejects_unknown_kwargs(self, matcher):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            ThematicEventEngine(matcher, prefiler=True)
+
+
+class TestShardedValidation:
+    def test_invalid_shards_rejected(self, matcher):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedBroker(matcher, BrokerConfig(shards=0))
+
+    def test_invalid_max_batch_rejected(self, matcher):
+        with pytest.raises(ValueError, match="max_batch"):
+            ShardedBroker(matcher, BrokerConfig(max_batch=0))
+
+    def test_unknown_strategy_rejected(self, matcher):
+        with pytest.raises(ValueError):
+            ShardedBroker(matcher, BrokerConfig(strategy="modulo"))

@@ -1,0 +1,206 @@
+"""The no-loss invariant under scripted faults, for every broker front-end.
+
+The acceptance bar for the reliability subsystem: for any
+:class:`FaultPlan`, per subscriber,
+
+    inbox deliveries + dead-letter records == fault-free matched count
+
+on the serial, threaded, and sharded brokers alike. Hypothesis draws
+the plans; :func:`repro.evaluation.run_fault_injection` runs the
+experiment exactly as ``repro evaluate --faults`` does, on a fake clock
+(a simulated 30-second outage costs microseconds).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.broker.faults import CallbackFault, FaultPlan, ScorerFault
+from repro.broker.reliability import DeliveryPolicy
+from repro.core.degrade import DegradedPolicy
+from repro.evaluation import run_fault_injection
+
+#: Keep each example cheap: a slice of the tiny workload is plenty to
+#: exercise every retry/dead-letter path.
+RUN_KWARGS = dict(max_events=30, max_subscriptions=6, seed=99)
+
+STRESS_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def fault_plans(draw, max_subscribers=6):
+    count = draw(st.integers(min_value=0, max_value=3))
+    subscribers = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_subscribers - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    callbacks = []
+    for subscriber in subscribers:
+        kind = draw(st.sampled_from(["raise", "flaky", "hang"]))
+        times = draw(st.integers(min_value=0, max_value=4))
+        hang = (
+            draw(st.sampled_from([0.05, 0.5, 30.0])) if kind == "hang" else 0.0
+        )
+        callbacks.append(
+            CallbackFault(
+                subscriber=subscriber, kind=kind, times=times, hang_seconds=hang
+            )
+        )
+    scorer = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                ScorerFault,
+                spike_seconds=st.sampled_from([0.05, 0.25]),
+                every=st.integers(min_value=1, max_value=4),
+                start=st.integers(min_value=0, max_value=3),
+            ),
+        )
+    )
+    return FaultPlan(name="hypothesis", callbacks=tuple(callbacks), scorer=scorer)
+
+
+def assert_no_loss(report):
+    assert report["strict"]
+    for kind, entry in report["brokers"].items():
+        assert entry["no_loss"], (
+            f"{kind}: accounted={entry['accounted']} "
+            f"!= baseline={report['baseline']}"
+        )
+        assert entry["accounted"] == report["baseline"]
+    assert report["no_loss"]
+
+
+class TestNoLossInvariant:
+    @STRESS_SETTINGS
+    @given(plan=fault_plans())
+    def test_arbitrary_plans(self, tiny_workload, plan):
+        report = run_fault_injection(tiny_workload, plan, **RUN_KWARGS)
+        assert_no_loss(report)
+
+    @STRESS_SETTINGS
+    @given(plan=fault_plans())
+    def test_arbitrary_plans_with_deadline_policy(self, tiny_workload, plan):
+        policy = DeliveryPolicy(
+            deadline=0.1,
+            max_retries=1,
+            backoff_base=0.01,
+            jitter=0.0,
+            breaker_threshold=0,
+        )
+        report = run_fault_injection(
+            tiny_workload, plan, policy=policy, **RUN_KWARGS
+        )
+        assert_no_loss(report)
+
+
+class TestRepresentativePlans:
+    def run(self, workload, plan, **overrides):
+        kwargs = {**RUN_KWARGS, **overrides}
+        return run_fault_injection(workload, plan, **kwargs)
+
+    def test_fault_free_plan_changes_nothing(self, tiny_workload):
+        report = self.run(tiny_workload, FaultPlan(name="clean"))
+        assert_no_loss(report)
+        for entry in report["brokers"].values():
+            assert entry["dead_letters"] == [0] * report["subscriptions"]
+            assert entry["retries"] == 0
+
+    def test_permanent_failure_dead_letters_everything_for_that_sub(
+        self, tiny_workload
+    ):
+        plan = FaultPlan(
+            name="perma",
+            callbacks=(CallbackFault(subscriber=0, kind="raise"),),
+        )
+        report = self.run(tiny_workload, plan)
+        assert_no_loss(report)
+        for entry in report["brokers"].values():
+            assert entry["delivered"][0] == 0
+            assert entry["dead_letters"][0] == report["baseline"][0]
+            # Everyone else is untouched.
+            assert entry["dead_letters"][1:] == [0] * (
+                report["subscriptions"] - 1
+            )
+
+    def test_flaky_subscriber_recovers_via_retries(self, tiny_workload):
+        plan = FaultPlan(
+            name="flaky",
+            callbacks=(CallbackFault(subscriber=1, kind="flaky", times=2),),
+        )
+        report = self.run(tiny_workload, plan)
+        assert_no_loss(report)
+        for entry in report["brokers"].values():
+            # The first two attempts fail, retries absorb them: nothing
+            # is dead-lettered and nothing is lost.
+            assert entry["dead_letters"] == [0] * report["subscriptions"]
+            assert entry["retries"] >= 2
+
+    def test_hangs_with_deadline_policy_dead_letter_not_wedge(
+        self, tiny_workload
+    ):
+        plan = FaultPlan(
+            name="hang",
+            callbacks=(
+                CallbackFault(
+                    subscriber=0, kind="hang", hang_seconds=30.0
+                ),
+            ),
+        )
+        policy = DeliveryPolicy.no_retry(
+            deadline=0.5, jitter=0.0, breaker_threshold=0
+        )
+        report = self.run(tiny_workload, plan, policy=policy)
+        assert_no_loss(report)
+        for entry in report["brokers"].values():
+            if report["baseline"][0]:
+                assert entry["dead_letters"][0] == report["baseline"][0]
+
+    def test_breaker_short_circuits_still_accounted(self, tiny_workload):
+        plan = FaultPlan(
+            name="breaker",
+            callbacks=(CallbackFault(subscriber=0, kind="raise"),),
+        )
+        policy = DeliveryPolicy(
+            max_retries=0,
+            jitter=0.0,
+            breaker_threshold=2,
+            breaker_reset=1_000_000.0,  # never recovers within the run
+        )
+        report = self.run(tiny_workload, plan, policy=policy)
+        assert_no_loss(report)
+
+    def test_degraded_plan_reports_downgrade_instead_of_strict_identity(
+        self, tiny_workload
+    ):
+        plan = FaultPlan(
+            name="degraded",
+            scorer=ScorerFault(spike_seconds=5.0, every=1),
+            degraded=DegradedPolicy(
+                latency_budget=0.5, cooldown=1_000_000.0
+            ),
+        )
+        report = self.run(tiny_workload, plan)
+        assert not report["strict"]
+        assert report["no_loss"]  # vacuous under degradation, by design
+        for entry in report["brokers"].values():
+            assert entry["degraded"]["trips"] >= 1
+            assert entry["degraded"]["batches"] >= 1
+
+    @pytest.mark.parametrize("kind", ["serial", "threaded", "sharded"])
+    def test_single_broker_selection(self, tiny_workload, kind):
+        report = self.run(
+            tiny_workload,
+            FaultPlan(name="one"),
+            brokers=(kind,),
+        )
+        assert list(report["brokers"]) == [kind]
+        assert report["no_loss"]

@@ -1,0 +1,188 @@
+"""Tests for the deterministic fault-injection harness itself.
+
+The harness is trusted by the stress suite, so its own semantics —
+plan serialization, wrapper behavior, clock coupling — get direct
+coverage here.
+"""
+
+import pytest
+
+from repro.broker.faults import (
+    CallbackFault,
+    FaultInjector,
+    FaultPlan,
+    FaultyCallbackError,
+    ScorerFault,
+)
+from repro.core.degrade import DegradedPolicy
+from repro.obs.clock import FakeClock
+
+
+class TestFaultSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CallbackFault(subscriber=0, kind="explode")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"times": -1},
+            {"hang_seconds": -0.5},
+        ],
+    )
+    def test_negative_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CallbackFault(subscriber=0, kind="raise", **kwargs)
+
+    def test_flaky_zero_times_promoted_to_one(self):
+        fault = CallbackFault(subscriber=0, kind="flaky", times=0)
+        assert fault.times == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"spike_seconds": -1.0},
+            {"spike_seconds": 1.0, "every": 0},
+            {"spike_seconds": 1.0, "start": -1},
+        ],
+    )
+    def test_scorer_fault_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ScorerFault(**kwargs)
+
+
+class TestPlanSerialization:
+    def full_plan(self):
+        return FaultPlan(
+            name="everything",
+            callbacks=(
+                CallbackFault(subscriber=0, kind="raise"),
+                CallbackFault(subscriber=1, kind="flaky", times=2),
+                CallbackFault(subscriber=2, kind="hang", hang_seconds=5.0),
+            ),
+            scorer=ScorerFault(spike_seconds=2.0, every=3, start=1),
+            degraded=DegradedPolicy(
+                latency_budget=0.5, cooldown=2.0, trip_after=2
+            ),
+        )
+
+    def test_json_round_trip(self):
+        plan = self.full_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_minimal_plan_round_trips(self):
+        plan = FaultPlan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"name": "x", "surprise": 1})
+
+    def test_dict_omits_absent_sections(self):
+        plan = FaultPlan(name="bare").to_dict()
+        assert plan == {"name": "bare"}
+
+
+class TestCallbackWrapping:
+    def test_unfaulted_subscriber_passes_through_unchanged(self):
+        injector = FaultInjector(FaultPlan(), clock=FakeClock())
+        inner = lambda delivery: None  # noqa: E731
+        assert injector.wrap_callback(0, inner) is inner
+        assert injector.wrap_callback(0) is None
+
+    def test_raise_fault_raises_forever(self):
+        plan = FaultPlan(callbacks=(CallbackFault(subscriber=0, kind="raise"),))
+        wrapped = FaultInjector(plan, clock=FakeClock()).wrap_callback(0)
+        for _ in range(5):
+            with pytest.raises(FaultyCallbackError):
+                wrapped(None)
+
+    def test_raise_fault_with_times_recovers(self):
+        plan = FaultPlan(
+            callbacks=(CallbackFault(subscriber=0, kind="raise", times=2),)
+        )
+        seen = []
+        wrapped = FaultInjector(plan, clock=FakeClock()).wrap_callback(
+            0, seen.append
+        )
+        for _ in range(2):
+            with pytest.raises(FaultyCallbackError):
+                wrapped("d")
+        wrapped("d")
+        assert seen == ["d"]
+
+    def test_flaky_fault_fails_then_calls_inner(self):
+        plan = FaultPlan(
+            callbacks=(CallbackFault(subscriber=3, kind="flaky", times=1),)
+        )
+        seen = []
+        wrapped = FaultInjector(plan, clock=FakeClock()).wrap_callback(
+            3, seen.append
+        )
+        with pytest.raises(FaultyCallbackError):
+            wrapped("first")
+        wrapped("second")
+        assert seen == ["second"]
+
+    def test_hang_fault_advances_clock_then_succeeds(self):
+        clock = FakeClock()
+        plan = FaultPlan(
+            callbacks=(
+                CallbackFault(
+                    subscriber=0, kind="hang", times=1, hang_seconds=30.0
+                ),
+            )
+        )
+        seen = []
+        wrapped = FaultInjector(plan, clock=clock).wrap_callback(0, seen.append)
+        wrapped("d")
+        assert clock.monotonic() == pytest.approx(30.0)
+        wrapped("d")  # second call: fault budget spent, no more stall
+        assert clock.monotonic() == pytest.approx(30.0)
+        assert seen == ["d", "d"]
+
+    def test_injectors_do_not_share_fault_state(self):
+        plan = FaultPlan(
+            callbacks=(CallbackFault(subscriber=0, kind="flaky", times=1),)
+        )
+        clock = FakeClock()
+        first = FaultInjector(plan, clock=clock).wrap_callback(0)
+        second = FaultInjector(plan, clock=clock).wrap_callback(0)
+        with pytest.raises(FaultyCallbackError):
+            first(None)
+        with pytest.raises(FaultyCallbackError):
+            second(None)  # fresh counter: still faults
+
+
+class FixedMeasure:
+    """Minimal measure double: constant score plus a forwarded extra."""
+
+    space = "the-space"
+
+    def score(self, term_s, theme_s, term_e, theme_e):
+        return 0.5
+
+
+class TestMeasureWrapping:
+    def test_no_scorer_fault_returns_measure_unchanged(self):
+        measure = FixedMeasure()
+        injector = FaultInjector(FaultPlan(), clock=FakeClock())
+        assert injector.wrap_measure(measure) is measure
+
+    def test_spike_schedule(self):
+        clock = FakeClock()
+        plan = FaultPlan(scorer=ScorerFault(spike_seconds=1.0, every=2, start=1))
+        wrapped = FaultInjector(plan, clock=clock).wrap_measure(FixedMeasure())
+        stamps = []
+        for _ in range(5):
+            before = clock.monotonic()
+            assert wrapped.score(None, None, None, None) == 0.5
+            stamps.append(clock.monotonic() - before)
+        # Calls 1 and 3 (0-based) spike: start=1, every=2.
+        assert stamps == [0.0, 1.0, 0.0, 1.0, 0.0]
+
+    def test_extra_attributes_forwarded(self):
+        wrapped = FaultInjector(
+            FaultPlan(scorer=ScorerFault(spike_seconds=1.0)), clock=FakeClock()
+        ).wrap_measure(FixedMeasure())
+        assert wrapped.space == "the-space"

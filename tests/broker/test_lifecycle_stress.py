@@ -14,7 +14,7 @@ import threading
 
 import pytest
 
-from repro.broker import ShardedBroker, ThreadedBroker
+from repro.broker import BrokerConfig, ShardedBroker, ThreadedBroker
 from repro.core.language import parse_event, parse_subscription
 from repro.core.matcher import ThematicMatcher
 from repro.semantics.cache import RelatednessCache
@@ -45,9 +45,7 @@ def _make_sharded(space):
             CachedMeasure(ThematicMeasure(space), RelatednessCache()),
             threshold=0.0,
         ),
-        shards=3,
-        strategy="size",
-        max_batch=8,
+        BrokerConfig(shards=3, strategy="size", max_batch=8),
     )
 
 

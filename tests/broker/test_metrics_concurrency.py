@@ -10,6 +10,8 @@ import threading
 import pytest
 
 from repro.broker.broker import BrokerMetrics, ThematicBroker
+from repro.broker.config import BrokerConfig
+from repro.broker.reliability import DeliveryPolicy
 from repro.broker.threaded import ThreadedBroker
 from repro.core.language import parse_event, parse_subscription
 from repro.core.matcher import ThematicMatcher
@@ -32,9 +34,13 @@ def matcher(space):
     return ThematicMatcher(ThematicMeasure(space))
 
 
+#: Exactly one attempt per delivery — makes the error counts exact.
+ONE_SHOT = BrokerConfig(delivery=DeliveryPolicy.no_retry(breaker_threshold=0))
+
+
 class TestCallbackErrors:
     def test_failing_callback_counted_and_isolated(self, matcher):
-        broker = ThematicBroker(matcher)
+        broker = ThematicBroker(matcher, ONE_SHOT)
 
         def explode(delivery):
             raise RuntimeError("subscriber bug")
@@ -48,14 +54,36 @@ class TestCallbackErrors:
         # The healthy subscriber still got its delivery.
         assert len(seen) == 1
         assert len(healthy.drain()) == 1
+        # The failed one was dead-lettered with the exception attached.
+        records = broker.dead_letters.drain()
+        assert len(records) == 1
+        assert records[0].subscriber_id == 0
+        assert records[0].reason == "retries_exhausted"
+        assert "subscriber bug" in records[0].error
+        assert "RuntimeError" in records[0].traceback
+
+    def test_retries_multiply_callback_errors(self, matcher):
+        config = BrokerConfig(
+            delivery=DeliveryPolicy(max_retries=3, breaker_threshold=0)
+        )
+        broker = ThematicBroker(matcher, config)
+        broker.subscribe(MATCHING, lambda d: 1 / 0)
+        assert broker.publish(EVENT) == 1
+        # 1 + 3 retries, every attempt counted.
+        assert broker.metrics.callback_errors == 4
+        assert broker.metrics.registry.snapshot()["counters"][
+            "reliability.retries"
+        ] == 3
+        assert len(broker.dead_letters) == 1
 
     def test_callback_errors_accumulate(self, matcher):
-        broker = ThematicBroker(matcher)
+        broker = ThematicBroker(matcher, ONE_SHOT)
         broker.subscribe(MATCHING, lambda d: 1 / 0)
         broker.publish(EVENT)
         broker.publish(EVENT)
         assert broker.metrics.callback_errors == 2
         assert broker.metrics.snapshot()["callback_errors"] == 2
+        assert len(broker.dead_letters) == 2
 
 
 class TestBrokerMetricsRegistry:
@@ -81,7 +109,7 @@ class TestBrokerMetricsRegistry:
 class TestThreadedSnapshot:
     def test_snapshot_coherent_under_concurrent_publish(self, matcher):
         events = 60
-        with ThreadedBroker(matcher, max_queue=events) as broker:
+        with ThreadedBroker(matcher, BrokerConfig(max_queue=events)) as broker:
             broker.subscribe(MATCHING)
             snapshots = []
             stop = threading.Event()

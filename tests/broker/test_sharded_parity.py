@@ -15,7 +15,12 @@ import threading
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.broker import ShardedBroker, SizeBalancedSharding, ThematicBroker
+from repro.broker import (
+    BrokerConfig,
+    ShardedBroker,
+    SizeBalancedSharding,
+    ThematicBroker,
+)
 from repro.core.matcher import ThematicMatcher
 from repro.semantics.cache import RelatednessCache
 from repro.semantics.measures import CachedMeasure, ThematicMeasure
@@ -63,9 +68,9 @@ def _serial_signature(space, subs, evts, k, threshold, event_index):
 
 
 def _sharded_signature(
-    space, subs, evts, k, threshold, event_index, **broker_kwargs
+    space, subs, evts, k, threshold, event_index, config
 ):
-    with ShardedBroker(_matcher(space, k, threshold), **broker_kwargs) as broker:
+    with ShardedBroker(_matcher(space, k, threshold), config) as broker:
         handles = [broker.subscribe(s) for s in subs]
         for event in evts:
             broker.publish(event)
@@ -95,10 +100,9 @@ def test_sharded_deliveries_identical_to_serial(
         k,
         threshold,
         event_index,
-        shards=shards,
-        strategy=strategy,
-        max_batch=max_batch,
-        linger=0.0,
+        BrokerConfig(
+            shards=shards, strategy=strategy, max_batch=max_batch, linger=0.0
+        ),
     )
     assert sharded == serial
 
@@ -117,9 +121,7 @@ def test_parity_survives_worker_pool(space, workload):
         1,
         0.5,
         event_index,
-        shards=3,
-        max_batch=4,
-        workers=2,
+        BrokerConfig(shards=3, max_batch=4, workers=2),
     )
     assert sharded == serial
 
@@ -156,7 +158,8 @@ def test_parity_across_unsubscribe_rebalance(space, workload, unsubscribe_at):
     )
     sharded = run(
         lambda: ShardedBroker(
-            _matcher(space, 1, 0.5), shards=3, strategy="size", max_batch=4
+            _matcher(space, 1, 0.5),
+            BrokerConfig(shards=3, strategy="size", max_batch=4),
         ),
         lambda b: b.flush(60),
     )
@@ -190,7 +193,7 @@ class TestShardingStrategies:
 
     def test_broker_shard_sizes_stay_balanced(self, space):
         with ShardedBroker(
-            _matcher(space, 1, 0.5), shards=3, strategy="size"
+            _matcher(space, 1, 0.5), BrokerConfig(shards=3, strategy="size")
         ) as broker:
             from tests.broker.test_threaded import SUBSCRIPTION
 
@@ -206,7 +209,7 @@ class TestShardingStrategies:
         import pytest
 
         with pytest.raises(ValueError, match="unknown shard strategy"):
-            ShardedBroker(_matcher(space, 1, 0.5), strategy="nope")
+            ShardedBroker(_matcher(space, 1, 0.5), BrokerConfig(strategy="nope"))
 
 
 class TestShardedObservability:
@@ -214,7 +217,7 @@ class TestShardedObservability:
         from tests.broker.test_threaded import EVENT, SUBSCRIPTION
 
         with ShardedBroker(
-            _matcher(space, 1, 0.5), shards=2, max_batch=4
+            _matcher(space, 1, 0.5), BrokerConfig(shards=2, max_batch=4)
         ) as broker:
             broker.subscribe(SUBSCRIPTION)
             broker.subscribe(SUBSCRIPTION)
@@ -237,7 +240,9 @@ class TestShardedObservability:
     def test_replay_on_subscribe(self, space):
         from tests.broker.test_threaded import EVENT, SUBSCRIPTION
 
-        with ShardedBroker(_matcher(space, 1, 0.5), shards=2) as broker:
+        with ShardedBroker(
+            _matcher(space, 1, 0.5), BrokerConfig(shards=2)
+        ) as broker:
             broker.publish(EVENT)
             broker.publish(EVENT)
             assert broker.flush(timeout=60)
@@ -250,7 +255,9 @@ class TestShardedObservability:
         from tests.broker.test_threaded import EVENT, SUBSCRIPTION
 
         seen = []
-        with ShardedBroker(_matcher(space, 1, 0.5), shards=2) as broker:
+        with ShardedBroker(
+            _matcher(space, 1, 0.5), BrokerConfig(shards=2)
+        ) as broker:
             broker.subscribe(
                 SUBSCRIPTION,
                 lambda d: seen.append(threading.current_thread().name),

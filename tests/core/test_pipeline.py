@@ -9,7 +9,7 @@ from repro.baselines.exact import ExactMatcher
 from repro.baselines.nonthematic import NonThematicMatcher
 from repro.baselines.rewriting import RewritingMatcher
 from repro.core.api import pairwise_match_batch
-from repro.core.engine import EngineStats, ThematicEventEngine
+from repro.core.engine import EngineConfig, EngineStats, ThematicEventEngine
 from repro.core.events import Event
 from repro.core.language import parse_event, parse_subscription
 from repro.core.matcher import ThematicMatcher
@@ -280,9 +280,9 @@ class TestEngineDispatch:
     ANCHORED = "({transport}, {unit= microgram})"
     EVENT = "({transport}, {vehicle: bus})"
 
-    def _engine(self, space, **kwargs):
+    def _engine(self, space, config=None):
         matcher = ThematicMatcher(ThematicMeasure(space))
-        return ThematicEventEngine(matcher, **kwargs)
+        return ThematicEventEngine(matcher, config)
 
     def test_snapshot_rebuilt_only_on_registration_change(self, space):
         engine = self._engine(space)
@@ -305,7 +305,7 @@ class TestEngineDispatch:
         assert engine.stats.evaluations == 1  # counted despite the prune
 
     def test_prefilter_can_be_disabled(self, space):
-        engine = self._engine(space, prefilter=False)
+        engine = self._engine(space, EngineConfig(prefilter=False))
         engine.subscribe(parse_subscription(self.ANCHORED), lambda result: None)
         engine.process(parse_event(self.EVENT))
         assert engine.stats.pruned == 0

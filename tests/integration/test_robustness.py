@@ -90,10 +90,16 @@ class TestCallbackIsolation:
 
         delivered = broker.publish(EVENT)
         assert delivered == 2
-        assert broker.metrics.callback_errors == 1
+        # The default policy retries (1 + 3 attempts), every failed
+        # attempt is counted, and the exhausted delivery is
+        # dead-lettered rather than silently placed in the inbox.
+        assert broker.metrics.callback_errors == 4
         assert len(good_deliveries) == 1
-        # The failing subscriber still has the event in its inbox.
-        assert len(bad.drain()) == 1
+        assert bad.drain() == []
+        records = broker.dead_letters.drain()
+        assert len(records) == 1
+        assert records[0].reason == "retries_exhausted"
+        assert "subscriber bug" in records[0].error
 
     def test_engine_threshold_zero_and_one(self, space):
         permissive = ThematicMatcher(ThematicMeasure(space), threshold=0.0)

@@ -1,0 +1,68 @@
+"""Tests for the injectable clock protocol."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.clock import MONOTONIC_CLOCK, Clock, FakeClock, MonotonicClock
+
+
+class TestProtocol:
+    def test_both_implementations_satisfy_clock(self):
+        assert isinstance(MonotonicClock(), Clock)
+        assert isinstance(FakeClock(), Clock)
+
+    def test_module_singleton_is_monotonic(self):
+        assert isinstance(MONOTONIC_CLOCK, MonotonicClock)
+
+
+class TestMonotonicClock:
+    def test_tracks_time_monotonic(self):
+        clock = MonotonicClock()
+        before = time.monotonic()
+        reading = clock.monotonic()
+        after = time.monotonic()
+        assert before <= reading <= after
+
+    def test_nonpositive_sleep_is_a_noop(self):
+        clock = MonotonicClock()
+        started = time.monotonic()
+        clock.sleep(0.0)
+        clock.sleep(-1.0)
+        assert time.monotonic() - started < 0.5
+
+
+class TestFakeClock:
+    def test_starts_at_origin(self):
+        assert FakeClock().monotonic() == 0.0
+        assert FakeClock(start=42.0).monotonic() == 42.0
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = FakeClock()
+        started = time.monotonic()
+        clock.sleep(3600.0)
+        assert time.monotonic() - started < 0.5  # did not actually block
+        assert clock.monotonic() == 3600.0
+
+    def test_advance_returns_new_reading(self):
+        clock = FakeClock(start=1.0)
+        assert clock.advance(2.5) == 3.5
+        assert clock.monotonic() == 3.5
+
+    def test_time_cannot_move_backwards(self):
+        clock = FakeClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_concurrent_advances_all_land(self):
+        clock = FakeClock()
+        threads = [
+            threading.Thread(target=lambda: [clock.advance(1.0) for _ in range(100)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clock.monotonic() == pytest.approx(800.0)

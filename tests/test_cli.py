@@ -148,3 +148,45 @@ class TestStats:
         assert snapshot["counters"]["broker.evaluations"] == 15
         assert "cache.relatedness_hit_rate" in snapshot["gauges"]
         assert "stage.pipeline.match_batch" in snapshot["histograms"]
+
+
+class TestEvaluateFaults:
+    def test_fault_plan_runs_and_accounts(self, capsys, tmp_path):
+        import json
+
+        plan = {
+            "name": "cli-test",
+            "callbacks": [
+                {"subscriber": 0, "kind": "raise"},
+                {"subscriber": 1, "kind": "flaky", "times": 2},
+            ],
+            "scorer": {"spike_seconds": 5.0, "every": 1},
+            "degraded": {"latency_budget": 0.5, "cooldown": 1000000.0},
+        }
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan))
+        code = main(
+            ["evaluate", "--scale", "tiny", "--faults", str(plan_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault plan: 'cli-test'" in out
+        for kind in ("serial", "threaded", "sharded"):
+            assert kind in out
+        assert "no_loss=ok" in out
+        assert "degraded: trips=" in out
+        assert "fault-free matched deliveries:" in out
+
+    def test_missing_plan_file_errors(self, tmp_path):
+        import pytest
+
+        with pytest.raises(FileNotFoundError):
+            main(
+                [
+                    "evaluate",
+                    "--scale",
+                    "tiny",
+                    "--faults",
+                    str(tmp_path / "nope.json"),
+                ]
+            )

@@ -1,0 +1,131 @@
+"""Pin the supported public API surface.
+
+``repro.api`` is the deprecation-policy boundary: the snapshot below is
+the reviewed list of supported names. If this test fails you either
+added a name (extend the snapshot — deliberately, in the same PR) or
+removed/renamed one (that needs a deprecation shim first).
+"""
+
+import warnings
+
+import repro
+import repro.api
+
+#: The reviewed public surface, sorted. Update deliberately.
+PUBLIC_API = [
+    "AttributeValue",
+    "BatchMatchResult",
+    "BrokerConfig",
+    "BrokerMetrics",
+    "BrokerOverlay",
+    "CEPEngine",
+    "Calibration",
+    "CallbackFault",
+    "CircuitBreaker",
+    "Clock",
+    "CountingIndex",
+    "DeadLetterQueue",
+    "DeadLetterRecord",
+    "DegradedMode",
+    "DegradedPolicy",
+    "Delivery",
+    "DeliveryPolicy",
+    "DistributionalVectorSpace",
+    "DowngradeEvent",
+    "EngineConfig",
+    "EngineStats",
+    "Event",
+    "ExactMatcher",
+    "ExactMeasure",
+    "FakeClock",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyCallbackError",
+    "HashSharding",
+    "MatchEngine",
+    "MatchResult",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "NonThematicMatcher",
+    "NonThematicMeasure",
+    "OverlayMetrics",
+    "ParametricVectorSpace",
+    "Pattern",
+    "Predicate",
+    "ReliableDelivery",
+    "RewritingMatcher",
+    "ScorerFault",
+    "ShardedBroker",
+    "SizeBalancedSharding",
+    "SparseVector",
+    "Subscription",
+    "SubscriptionHandle",
+    "ThematicBroker",
+    "ThematicEventEngine",
+    "ThematicMatcher",
+    "ThematicMeasure",
+    "Thesaurus",
+    "ThreadedBroker",
+    "Workload",
+    "WorkloadConfig",
+    "build_corpus",
+    "build_workload",
+    "compare_broker_throughput",
+    "default_corpus",
+    "default_thesaurus",
+    "format_event",
+    "format_subscription",
+    "generate_seed_events",
+    "parse_event",
+    "parse_pattern",
+    "parse_subscription",
+    "run_fault_injection",
+]
+
+
+class TestApiSnapshot:
+    def test_facade_matches_snapshot(self):
+        assert repro.api.__all__ == PUBLIC_API
+
+    def test_snapshot_is_sorted_and_unique(self):
+        assert PUBLIC_API == sorted(PUBLIC_API)
+        assert len(PUBLIC_API) == len(set(PUBLIC_API))
+
+    def test_every_name_is_importable(self):
+        for name in PUBLIC_API:
+            assert hasattr(repro.api, name), name
+
+    def test_facade_exports_nothing_extra(self):
+        public = {
+            name
+            for name in vars(repro.api)
+            if not name.startswith("_") and name != "repro"
+        }
+        assert public == set(PUBLIC_API)
+
+    def test_top_level_package_is_a_subset(self):
+        """``repro``'s convenience exports must stay within the facade."""
+        assert set(repro.__all__) - {"__version__"} <= set(PUBLIC_API)
+
+    def test_facade_imports_cleanly_without_warnings(self):
+        import importlib
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            importlib.reload(repro.api)
+
+
+class TestDeprecatedAliases:
+    def test_subscriber_handle_alias_warns_but_works(self):
+        from repro.broker.broker import SubscriberHandle
+        from repro.core.engine import SubscriptionHandle
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            handle = SubscriberHandle(7, None)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert isinstance(handle, SubscriptionHandle)
+        assert handle.subscriber_id == 7
+        assert handle.subscription_id == 7
