@@ -23,6 +23,22 @@ exactly one of the subscriber's inbox or the dead-letter queue** — never
 both, never neither — under any injected fault
 (:mod:`repro.broker.faults`).
 
+.. warning:: **Delivery semantics changed from the legacy dispatch.**
+   At the default policy a failing callback is retried
+   (``max_retries=3`` → up to four invocations), so callback delivery
+   is **at-least-once**: a non-idempotent consumer should subscribe
+   with ``policy=DeliveryPolicy.no_retry()`` (or set a broker-wide
+   single-attempt default). The inbox append likewise moved to
+   *after* a successful callback — the legacy ``dispatch_delivery``
+   appended before invoking it, so a failing callback used to leave
+   the delivery in the inbox where it is now dead-lettered.
+
+Locking is deliberately narrow: the delivery engine's internal lock
+guards breaker state only and is never held across a callback or a
+backoff sleep, so callbacks may re-enter their broker and a stalled
+subscriber never blocks another subscriber's dispatch on reliability
+internals.
+
 All timing flows through an injectable :class:`~repro.obs.clock.Clock`,
 so backoff sleeps, deadline measurement, and breaker resets are
 deterministic under test. Deadlines are *cooperative*: Python offers no
@@ -214,8 +230,14 @@ class CircuitBreaker:
     is allowed through as a probe (half-open); success closes the
     breaker, failure re-opens it and restarts the clock.
 
-    Not thread-safe on its own — :class:`ReliableDelivery` serializes
-    per-subscriber dispatch under its breaker lock.
+    Not thread-safe on its own — :class:`ReliableDelivery` mutates
+    breaker state only while holding its breaker lock, and that lock is
+    *not* held while a callback attempt runs. Concurrent dispatches to
+    one subscriber may therefore each run a full attempt loop before
+    the breaker observes either outcome (and an open breaker past its
+    reset may admit more than one probe). The breaker is admission
+    control, not a mutual-exclusion device; serializing deliveries is
+    the calling broker's concern.
     """
 
     def __init__(self, threshold: int, reset: float):
@@ -304,7 +326,6 @@ class ReliableDelivery:
         self._rng_lock = threading.Lock()
         self._breakers: dict[int, CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
-        self._open_breakers = 0  # mirror for the gauge; guarded by the lock
 
     # -- helpers -----------------------------------------------------------
 
@@ -326,6 +347,17 @@ class ReliableDelivery:
         with self._breaker_lock:
             breaker = self._breakers.get(subscriber_id)
             return breaker.state if breaker is not None else CLOSED
+
+    def _tripped_count(self) -> int:
+        """Breakers not CLOSED (open or half-open); call with the lock held.
+
+        The ``reliability.breakers_open`` gauge is recomputed from the
+        actual breaker states on every transition, so the accounting can
+        never drift from reality the way a mirror counter could.
+        """
+        return sum(
+            1 for breaker in self._breakers.values() if breaker.state != CLOSED
+        )
 
     def _jittered(self, policy: DeliveryPolicy, attempt: int) -> float:
         with self._rng_lock:
@@ -387,6 +419,13 @@ class ReliableDelivery:
         the callback succeeds: the inbox is the record of consumption,
         and a failed consumption belongs in the dead-letter queue, not
         in both places.
+
+        The breaker lock is held only to read and update breaker state,
+        never across the callback or its backoff sleeps. A callback may
+        therefore re-enter the broker (``publish``,
+        ``subscribe(replay=True)``, …) without deadlocking, and one
+        subscriber's retry storm never blocks another subscriber's
+        dispatch — or the :meth:`breaker_state` hook — on this lock.
         """
         if handle.callback is None:
             with TRACER.span("broker.deliver"):
@@ -396,44 +435,44 @@ class ReliableDelivery:
         policy = self._policy_for(handle)
         with self._breaker_lock:
             breaker = self._breaker_for(handle.id, policy)
-            now = self.clock.monotonic()
             was_open = breaker.state == OPEN
-            if not breaker.allow(now):
-                self._short_circuits.inc()
-                self._dead_letter(
-                    handle, delivery, reason="circuit_open", attempts=0
-                )
-                return False
-            if was_open and breaker.state == HALF_OPEN:
-                logger.info(
-                    "breaker for subscriber %d half-open; probing", handle.id
-                )
-            succeeded, attempts, last_error = self._attempt_loop(
-                handle, delivery, policy
-            )
-            if succeeded:
-                if breaker.state != CLOSED:
-                    self._open_breakers -= 1
-                    self._breakers_open.set(self._open_breakers)
-                breaker.record_success()
-                return True
-            if breaker.record_failure(self.clock.monotonic()):
-                self._breaker_opens.inc()
-                self._open_breakers += 1
-                self._breakers_open.set(self._open_breakers)
-                logger.warning(
-                    "circuit breaker opened for subscriber %d after repeated "
-                    "delivery failures",
-                    handle.id,
-                )
-            self._dead_letter(
-                handle,
-                delivery,
-                reason="retries_exhausted",
-                attempts=attempts,
-                error=last_error,
-            )
+            allowed = breaker.allow(self.clock.monotonic())
+            probing = allowed and was_open and breaker.state == HALF_OPEN
+        if not allowed:
+            self._short_circuits.inc()
+            self._dead_letter(handle, delivery, reason="circuit_open", attempts=0)
             return False
+        if probing:
+            logger.info(
+                "breaker for subscriber %d half-open; probing", handle.id
+            )
+        succeeded, attempts, last_error = self._attempt_loop(
+            handle, delivery, policy
+        )
+        with self._breaker_lock:
+            if succeeded:
+                breaker.record_success()
+                newly_opened = False
+            else:
+                newly_opened = breaker.record_failure(self.clock.monotonic())
+            self._breakers_open.set(self._tripped_count())
+        if succeeded:
+            return True
+        if newly_opened:
+            self._breaker_opens.inc()
+            logger.warning(
+                "circuit breaker opened for subscriber %d after repeated "
+                "delivery failures",
+                handle.id,
+            )
+        self._dead_letter(
+            handle,
+            delivery,
+            reason="retries_exhausted",
+            attempts=attempts,
+            error=last_error,
+        )
+        return False
 
     def _attempt_loop(
         self,

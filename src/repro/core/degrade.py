@@ -105,6 +105,7 @@ class DegradedMode:
         self._trips = registry.counter("engine.degraded_trips")
         self._recoveries = registry.counter("engine.degraded_recoveries")
         self._fallback_batches = registry.counter("engine.degraded_batches")
+        self._fallback_matches = registry.counter("engine.degraded_matches")
         self._active = registry.gauge("engine.degraded_active")
         self._lock = threading.Lock()
         self._state = HEALTHY
@@ -145,6 +146,17 @@ class DegradedMode:
     def note_fallback_batch(self) -> None:
         """Count one batch served by the exact-anchor fallback."""
         self._fallback_batches.inc()
+
+    def note_fallback_match(self) -> None:
+        """Count one single-pair match served by the exact-anchor fallback.
+
+        The replay/ad-hoc path (``ThematicEventEngine.match_one``) is
+        accounted separately from batches: its durations are never fed
+        to :meth:`observe`, because the latency budget is sized per
+        batch and a cheap single pair would dilute the over-budget
+        streak (and recover the controller spuriously as a probe).
+        """
+        self._fallback_matches.inc()
 
     def observe(self, elapsed: float) -> None:
         """Feed the duration of one *full* (thematic) batch."""

@@ -242,9 +242,13 @@ class ThematicEventEngine:
             if factory is not None:
                 self._pipeline = factory(span_tags=self.config.span_tags)
         self.degraded: DegradedMode | None = None
+        self._fallback_matcher = None
         self._fallback_pipeline = None
         if self.config.degraded is not None:
-            self._fallback_pipeline = self._build_fallback(matcher)
+            self._fallback_matcher = self._build_fallback(matcher)
+            self._fallback_pipeline = self._fallback_matcher.new_pipeline(
+                span_tags={"degraded": True}
+            )
             self.degraded = DegradedMode(
                 self.config.degraded,
                 clock=self.clock,
@@ -257,14 +261,16 @@ class ThematicEventEngine:
         self._snapshot: list[tuple[Subscription, MatchCallback]] | None = None
 
     @staticmethod
-    def _build_fallback(matcher: ThematicMatcher):
-        """Exact-anchor fallback pipeline mirroring the matcher's knobs.
+    def _build_fallback(matcher: ThematicMatcher) -> ThematicMatcher:
+        """Exact-anchor fallback matcher mirroring the matcher's knobs.
 
         Same ``k``/``threshold``/arity handling, but the measure is
         :class:`~repro.semantics.measures.ExactMeasure` with no
         calibration: a non-identical approximated term scores exactly
         0.0, so only literal anchors carry matches — content-based
-        matching at the original matcher's delivery threshold.
+        matching at the original matcher's delivery threshold. The
+        batch path runs it through a private pipeline; the single-pair
+        path (:meth:`match_one`) calls it directly.
         """
         required = ("measure", "k", "threshold", "min_relatedness")
         if any(not hasattr(matcher, name) for name in required):
@@ -274,14 +280,13 @@ class ThematicEventEngine:
             )
         from repro.semantics.measures import ExactMeasure
 
-        fallback = ThematicMatcher(
+        return ThematicMatcher(
             ExactMeasure(),
             k=matcher.k,
             threshold=matcher.threshold,
             min_relatedness=matcher.min_relatedness,
             calibration=None,
         )
-        return fallback.new_pipeline(span_tags={"degraded": True})
 
     def subscribe(
         self, subscription: Subscription, callback: MatchCallback
@@ -319,10 +324,23 @@ class ThematicEventEngine:
 
         Counts the evaluation but does not dispatch; returns the result
         only when it clears the matcher's threshold.
+
+        While the degraded controller is tripped (or the backend is
+        marked unhealthy) the pair runs the exact-anchor fallback
+        matcher, like every batch, so replay traffic cannot sneak past
+        the shield onto the slow semantic backend. Trip/probe/recovery
+        accounting stays batch-driven: the latency budget is sized per
+        batch, so single-pair durations are never fed to the controller
+        (see
+        :meth:`~repro.core.degrade.DegradedMode.note_fallback_match`).
         """
         self.stats.inc("evaluations")
-        result = self.matcher.match(subscription, event)
-        if result is None or not result.is_match(self.matcher.threshold):
+        matcher = self.matcher
+        if self.degraded is not None and self.degraded.degraded:
+            self.degraded.note_fallback_match()
+            matcher = self._fallback_matcher
+        result = matcher.match(subscription, event)
+        if result is None or not result.is_match(matcher.threshold):
             return None
         return result
 

@@ -90,9 +90,14 @@ class SparseVector:
         return sum(w * large[d] for d, w in small.items() if d in large)
 
     def norm(self) -> float:
-        """Euclidean (L2) norm; cached because vectors are immutable."""
+        """Euclidean (L2) norm; cached because vectors are immutable.
+
+        ``math.hypot`` rather than ``sqrt(sum(w*w))``: it rescales
+        internally, so components near the float extremes neither
+        underflow to subnormals nor overflow when squared.
+        """
         if self._norm is None:
-            self._norm = math.sqrt(sum(w * w for w in self._components.values()))
+            self._norm = math.hypot(*self._components.values())
         return self._norm
 
     def normalized(self) -> "SparseVector":
@@ -108,9 +113,14 @@ class SparseVector:
         """
         if self._normalized is None:
             norm = self.norm()
-            self._normalized = (
-                ZERO_VECTOR if norm == 0.0 else self.scale(1.0 / norm)
-            )
+            if norm == 0.0:
+                self._normalized = ZERO_VECTOR
+            else:
+                # Divide rather than scale by 1/norm: the reciprocal of
+                # a subnormal norm overflows to inf.
+                self._normalized = SparseVector(
+                    {d: w / norm for d, w in self._components.items()}
+                )
         return self._normalized
 
     def restrict(self, basis: frozenset[int] | set[int]) -> "SparseVector":

@@ -1,5 +1,7 @@
 """Tests for the single-node thematic broker."""
 
+import threading
+
 import pytest
 
 from repro.broker.broker import ThematicBroker
@@ -90,6 +92,49 @@ class TestTimeDecoupling:
         deliveries = late.drain()
         assert len(deliveries) == 1
         assert deliveries[0].event == EVENT
+
+
+class TestReentrantCallbacks:
+    """Callbacks run with no reliability lock held, so they may call
+    back into their own broker — these are regressions for a deadlock
+    where dispatch held the breaker lock across callback execution."""
+
+    def run_with_deadline(self, target):
+        worker = threading.Thread(target=target, daemon=True)
+        worker.start()
+        worker.join(timeout=30.0)
+        assert not worker.is_alive(), "re-entrant callback deadlocked"
+
+    def test_callback_may_publish(self, broker):
+        seen = []
+
+        def republisher(delivery):
+            seen.append(delivery)
+            if len(seen) == 1:
+                broker.publish(EVENT)
+
+        broker.subscribe(MATCHING, republisher)
+        self.run_with_deadline(lambda: broker.publish(EVENT))
+        assert len(seen) == 2
+        assert len(broker.dead_letters) == 0
+
+    def test_callback_may_subscribe_with_replay(self, broker):
+        late_seen = []
+        registered = []
+
+        def registrar(delivery):
+            if not registered:
+                registered.append(
+                    broker.subscribe(MATCHING, late_seen.append, replay=True)
+                )
+
+        broker.subscribe(MATCHING, registrar)
+        self.run_with_deadline(lambda: broker.publish(EVENT))
+        # The published event was in the replay buffer already, so the
+        # callback-registered subscriber was caught up via its own
+        # reliable dispatch path.
+        assert len(late_seen) == 1
+        assert len(registered[0].drain()) == 1
 
 
 class TestMetrics:

@@ -366,6 +366,93 @@ class TestBreakerIntegration:
         assert engine.dispatch(good, make_delivery(2))
         assert len(good_seen) == 1
 
+    def test_gauge_recomputed_from_states_across_breakers(self):
+        """The gauge is derived from breaker states, not a drift-prone
+        mirror counter: two tripped breakers read 2, one recovery reads
+        1, regardless of the order events interleaved in."""
+        clock = FakeClock()
+        engine, _, _ = self.breaker_engine(clock)
+        a = make_handle(lambda d: 1 / 0, subscriber_id=0)
+        b = make_handle(lambda d: 1 / 0, subscriber_id=1)
+        for seq in range(2):
+            engine.dispatch(a, make_delivery(seq))
+            engine.dispatch(b, make_delivery(seq))
+
+        def gauge():
+            return engine.metrics.registry.snapshot()["gauges"][
+                "reliability.breakers_open"
+            ]
+
+        assert engine.breaker_state(0) == engine.breaker_state(1) == OPEN
+        assert gauge() == 2.0
+        clock.advance(10.0)
+        a.callback = lambda d: None  # subscriber 0 fixed itself
+        assert engine.dispatch(a, make_delivery(9))  # half-open probe succeeds
+        assert gauge() == 1.0
+        engine.dispatch(b, make_delivery(9))  # failed probe: stays tripped
+        assert gauge() == 1.0
+
+
+class TestLockGranularity:
+    """The breaker lock must never be held across callback execution."""
+
+    def test_callback_may_reenter_dispatch_without_deadlock(self):
+        """Regression: a callback that re-enters the delivery engine
+        (publish/subscribe-with-replay do exactly this through the
+        broker) used to deadlock on the non-reentrant breaker lock."""
+        engine, _, _ = make_engine(DeliveryPolicy())
+        inner_seen = []
+        inner = make_handle(inner_seen.append, subscriber_id=1)
+        outer = make_handle(
+            lambda d: engine.dispatch(inner, make_delivery(99)),
+            subscriber_id=0,
+        )
+        worker = threading.Thread(
+            target=engine.dispatch, args=(outer, make_delivery(1)), daemon=True
+        )
+        worker.start()
+        worker.join(timeout=10.0)
+        assert not worker.is_alive(), "re-entrant dispatch deadlocked"
+        assert [d.sequence for d in inner_seen] == [99]
+        assert [d.sequence for d in outer.drain()] == [1]
+        assert len(engine.dead_letters) == 0
+
+    def test_stalled_callback_does_not_block_other_subscribers(self):
+        """Regression: while one subscriber's callback is mid-flight,
+        dispatch to another subscriber and the breaker_state hook must
+        proceed — no head-of-line blocking on the breaker lock."""
+        engine, _, _ = make_engine(DeliveryPolicy())
+        entered = threading.Event()
+        release = threading.Event()
+
+        def stall(delivery):
+            entered.set()
+            assert release.wait(timeout=10.0)
+
+        slow = make_handle(stall, subscriber_id=0)
+        fast_seen = []
+        fast = make_handle(fast_seen.append, subscriber_id=1)
+        stalled = threading.Thread(
+            target=engine.dispatch, args=(slow, make_delivery(0)), daemon=True
+        )
+        stalled.start()
+        assert entered.wait(timeout=10.0)
+        done = threading.Event()
+
+        def other_subscriber():
+            engine.dispatch(fast, make_delivery(1))
+            engine.breaker_state(0)
+            done.set()
+
+        prober = threading.Thread(target=other_subscriber, daemon=True)
+        prober.start()
+        unblocked = done.wait(timeout=10.0)
+        release.set()
+        stalled.join(timeout=10.0)
+        prober.join(timeout=10.0)
+        assert unblocked, "dispatch blocked behind another subscriber's callback"
+        assert len(fast_seen) == 1
+
 
 class TestConcurrentDrain:
     def test_drain_under_concurrent_delivery_loses_nothing(self):
