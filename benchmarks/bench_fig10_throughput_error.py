@@ -25,7 +25,7 @@ def test_figure10_error_profile(benchmark, workload, grid, bench_artifact):
     means = [c.mean_throughput for c in cells]
     median_error = statistics.median(errors)
     relative = [
-        error / mean for error, mean in zip(errors, means) if mean > 0
+        error / mean for error, mean in zip(errors, means, strict=True) if mean > 0
     ]
 
     outliers = [e for e in errors if e > 3 * (median_error + 1e-9)]

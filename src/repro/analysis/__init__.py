@@ -1,0 +1,61 @@
+"""repro-lint: project-specific static analysis enforcing repo invariants.
+
+The broker/engine concurrency machinery carries invariants that unit
+tests cannot pin down exhaustively — they are properties of *all* code,
+present and future, not of particular inputs. Each is mechanically
+checkable, and each earned its checker by being violated (and fixed) in
+a past review:
+
+* **lock scope** (:mod:`repro.analysis.checkers.lock_scope`) — no lock
+  may be held across a subscriber callback, a broker re-entry point
+  (``publish``/``subscribe``/``flush``), or a sleep. Holding the
+  breaker lock across callbacks deadlocked re-entrant publishes in the
+  PR-4 review; this class of bug now fails ``repro lint``.
+* **lock order** (:mod:`repro.analysis.checkers.lock_order`) — the
+  static lock-acquisition graph must be acyclic. The runtime
+  complement, :class:`~repro.analysis.runtime.InstrumentedLock`,
+  records *actual* acquisition orders under test.
+* **clock discipline**
+  (:mod:`repro.analysis.checkers.clock_discipline`) — all timing flows
+  through the injectable :class:`~repro.obs.clock.Clock`; direct
+  ``time.*`` calls outside :mod:`repro.obs.clock` break deterministic
+  fault injection.
+* **metrics manifest**
+  (:mod:`repro.analysis.checkers.metrics_manifest`) — every metric
+  name registered in ``src/`` must appear in the canonical manifest
+  (:mod:`repro.obs.manifest`), so no gauge or counter is undocumented
+  (or silently mirrors another, the PR-4 gauge-drift class).
+* **API surface** (:mod:`repro.analysis.checkers.api_surface`) — the
+  ``repro.api`` facade, module ``__all__`` lists, and frozen-config
+  field sets may not drift from the reviewed snapshots in
+  ``tests/test_public_api.py``.
+
+Run it with ``repro lint`` (exit status 1 on findings); deliberate,
+reviewed exceptions live in ``.repro-lint.toml``, and suppressions that
+no longer match anything fail the run (stale-suppression check).
+"""
+
+from repro.analysis.allowlist import AllowEntry, AllowlistError, load_allowlist
+from repro.analysis.findings import RULES, Finding, Rule
+from repro.analysis.runner import LintResult, run_lint
+from repro.analysis.runtime import (
+    InstrumentedLock,
+    LockOrderRecorder,
+    LockOrderViolation,
+    instrument_repro_locks,
+)
+
+__all__ = [
+    "AllowEntry",
+    "AllowlistError",
+    "Finding",
+    "InstrumentedLock",
+    "LintResult",
+    "LockOrderRecorder",
+    "LockOrderViolation",
+    "RULES",
+    "Rule",
+    "instrument_repro_locks",
+    "load_allowlist",
+    "run_lint",
+]

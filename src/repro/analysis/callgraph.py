@@ -1,0 +1,164 @@
+"""Name-based call-graph resolution over a set of parsed modules.
+
+Python's dynamism rules out a sound call graph, so this is a deliberate
+heuristic tuned for the repo's idiom — good enough to follow
+``self._attempt_loop(...)`` into the method that invokes subscriber
+callbacks, which is the case the lock-scope checker exists for:
+
+* ``name(...)``                -> module-level function ``name`` in the
+  *same* module (class constructors and imports are ignored);
+* ``self.name(...)``           -> method ``name`` on the enclosing class
+  (same module);
+* ``<expr>.name(...)``         -> *every* known def called ``name``
+  across the loaded modules (over-approximate on purpose: for sink
+  detection a false edge is a reviewable allowlist entry, a missing
+  edge is a latent deadlock).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.project import FunctionInfo, Module
+
+__all__ = ["CallGraph", "CallSite", "is_fuzzy_call"]
+
+#: Receivers-with-many-defs guard: if a bare-attribute call resolves to
+#: more than this many candidate defs, the name is too generic to be a
+#: useful edge (e.g. ``get``) and is dropped.
+MAX_CANDIDATES = 12
+
+#: Method names shared with builtin collections/strings. A bare
+#: ``obj.append(...)`` is a deque/list append for every receiver the
+#: repo actually has; resolving it to some class's ``append`` method
+#: fabricates edges (e.g. DeadLetterQueue.append calling itself through
+#: its own deque).
+GENERIC_METHOD_NAMES = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "copy",
+        "count",
+        "decode",
+        "discard",
+        "encode",
+        "extend",
+        "format",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "pop",
+        "popitem",
+        "popleft",
+        "put",
+        "read",
+        "remove",
+        "setdefault",
+        "sort",
+        "split",
+        "strip",
+        "update",
+        "values",
+        "write",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge: the call expression and its targets."""
+
+    call: ast.Call
+    targets: tuple[FunctionInfo, ...]
+
+
+class CallGraph:
+    """Heuristic project call graph (see module docstring for rules)."""
+
+    def __init__(self, modules: list[Module]) -> None:
+        self.modules = modules
+        self._by_name: dict[str, list[FunctionInfo]] = {}
+        for mod in modules:
+            for fn in mod.functions:
+                self._by_name.setdefault(fn.name, []).append(fn)
+
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo | None, module: Module
+    ) -> tuple[FunctionInfo, ...]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = module.toplevel.get(func.id)
+            return (target,) if target is not None else ()
+        if isinstance(func, ast.Attribute):
+            recv = func.value
+            if isinstance(recv, ast.Name) and recv.id == "self":
+                if caller is not None and caller.cls is not None:
+                    methods = module.classes.get(caller.cls, {})
+                    target = methods.get(func.attr)
+                    if target is not None:
+                        return (target,)
+                return ()
+            if func.attr in GENERIC_METHOD_NAMES:
+                return ()
+            candidates = self._by_name.get(func.attr, [])
+            if caller is not None:
+                # ``self._inner.publish(...)`` inside ``publish`` is
+                # delegation; the enclosing def is never its own target
+                # through an unknown receiver.
+                candidates = [c for c in candidates if c is not caller]
+            if 0 < len(candidates) <= MAX_CANDIDATES:
+                return tuple(candidates)
+        return ()
+
+    def calls_in(
+        self, node: ast.AST, caller: FunctionInfo | None, module: Module
+    ) -> list[CallSite]:
+        """All resolvable call sites inside ``node`` (nested defs skipped)."""
+        sites: list[CallSite] = []
+        for call in _walk_calls(node):
+            targets = self.resolve_call(call, caller, module)
+            if targets:
+                sites.append(CallSite(call=call, targets=targets))
+        return sites
+
+
+def is_fuzzy_call(call: ast.Call) -> bool:
+    """True for bare-attribute calls (``obj.m(...)``, receiver unknown).
+
+    ``name(...)`` and ``self.m(...)`` resolve with high confidence;
+    everything else is the over-approximate by-name bucket. Checkers
+    where a false edge produces a hard failure (lock-order cycles)
+    should only trust fuzzy calls that resolve to a *single* def.
+    """
+    func = call.func
+    if isinstance(func, ast.Name):
+        return False
+    if isinstance(func, ast.Attribute):
+        recv = func.value
+        return not (isinstance(recv, ast.Name) and recv.id == "self")
+    return True
+
+
+def _walk_calls(node: ast.AST) -> list[ast.Call]:
+    """Calls inside ``node``, not descending into nested function defs.
+
+    A nested def is a *definition*, not an execution: a closure handed to
+    a worker thread runs outside the enclosing ``with`` scope, so its
+    body must not contribute lock-scope sinks for the enclosing lock.
+    """
+    out: list[ast.Call] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(cur, ast.Call):
+            out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out

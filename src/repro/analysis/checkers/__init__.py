@@ -1,0 +1,17 @@
+"""Checker modules for repro-lint. Each exposes ``check(...) -> list[Finding]``."""
+
+from repro.analysis.checkers import (
+    api_surface,
+    clock_discipline,
+    lock_order,
+    lock_scope,
+    metrics_manifest,
+)
+
+__all__ = [
+    "api_surface",
+    "clock_discipline",
+    "lock_order",
+    "lock_scope",
+    "metrics_manifest",
+]

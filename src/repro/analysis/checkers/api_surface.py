@@ -1,0 +1,302 @@
+"""RL500/RL501/RL502: the public surface may not drift from its snapshot.
+
+``repro.api`` is the deprecation-policy boundary: its exports are
+pinned by the reviewed ``PUBLIC_API`` snapshot in
+``tests/test_public_api.py``, and the frozen config dataclasses
+(``BrokerConfig`` and friends) are constructor contracts pinned by the
+``CONFIG_FIELDS`` snapshot next to it. The runtime tests already
+compare the *imported* objects; this checker compares the *source*, so
+drift is caught by ``repro lint`` (and the CI static-analysis job)
+without importing the package — and so a broken ``__all__`` entry
+(RL501) is caught even on modules no test happens to star-import.
+
+* **RL500** — ``repro/api.py`` ``__all__`` differs from ``PUBLIC_API``,
+  or the top-level ``repro/__init__.py`` exports a name outside it.
+* **RL501** — any module whose ``__all__`` names a symbol the module
+  never binds (a latent ``AttributeError`` for star-importers).
+* **RL502** — a config dataclass listed in ``CONFIG_FIELDS`` has a
+  different field list (names or order — order is the positional
+  constructor signature) than the snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module
+
+__all__ = ["check"]
+
+SNAPSHOT_REL = "tests/test_public_api.py"
+FACADE_SUFFIX = "src/repro/api.py"
+PACKAGE_INIT_SUFFIX = "src/repro/__init__.py"
+
+
+def _string_list(node: ast.expr) -> list[str] | None:
+    if isinstance(node, (ast.List, ast.Tuple)) and all(
+        isinstance(e, ast.Constant) and isinstance(e.value, str)
+        for e in node.elts
+    ):
+        return [e.value for e in node.elts]  # type: ignore[union-attr]
+    return None
+
+
+def _assigned_lists(tree: ast.Module, target_name: str) -> list[list[str]]:
+    out: list[list[str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == target_name:
+                    value = _string_list(node.value)
+                    if value is not None:
+                        out.append(value)
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id == target_name:
+                value = _string_list(node.value)
+                if value is not None:
+                    out.append(value)
+    return out
+
+
+def _module_all(module: Module) -> list[str] | None:
+    """The module's literal ``__all__`` (None when absent or dynamic)."""
+    parts = _assigned_lists(module.tree, "__all__")
+    if not parts:
+        return None
+    return [name for part in parts for name in part]
+
+
+def _snapshot_dict(tree: ast.Module, target_name: str) -> dict[str, list[str]] | None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not (isinstance(target, ast.Name) and target.id == target_name):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                return None
+            out: dict[str, list[str]] = {}
+            for key, value in zip(node.value.keys, node.value.values, strict=True):
+                if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                    return None
+                fields = _string_list(value)
+                if fields is None:
+                    return None
+                out[key.value] = fields
+            return out
+    return None
+
+
+def _toplevel_bindings(tree: ast.Module) -> tuple[set[str], bool]:
+    """Names bound at module top level; bool = saw a star import."""
+    names: set[str] = set()
+    star = False
+
+    def scan(body: list[ast.stmt]) -> None:
+        nonlocal star
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    _bind_target(target)
+            elif isinstance(stmt, ast.AnnAssign):
+                _bind_target(stmt.target)
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".", 1)[0])
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                scan(stmt.body)
+                scan(stmt.orelse)
+                for handler in getattr(stmt, "handlers", []):
+                    scan(handler.body)
+                scan(getattr(stmt, "finalbody", []))
+
+    def _bind_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                _bind_target(elt)
+
+    scan(tree.body)
+    return names, star
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[str]:
+    fields: list[str] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        target = stmt.target
+        if not isinstance(target, ast.Name) or target.id.startswith("_"):
+            continue
+        annotation = stmt.annotation
+        text = ast.unparse(annotation)
+        if "ClassVar" in text:
+            continue
+        fields.append(target.id)
+    return fields
+
+
+def check(modules: list[Module], root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    snapshot_path = root / SNAPSHOT_REL
+    try:
+        snapshot_tree = ast.parse(
+            snapshot_path.read_text(encoding="utf-8"), filename=str(snapshot_path)
+        )
+    except (OSError, SyntaxError):
+        findings.append(
+            Finding(
+                path=SNAPSHOT_REL,
+                line=1,
+                rule="RL500",
+                message="API snapshot file is missing or unparsable; the "
+                "public surface is unpinned",
+            )
+        )
+        snapshot_tree = None
+
+    facade = next((m for m in modules if m.rel.endswith(FACADE_SUFFIX)), None)
+    package_init = next(
+        (m for m in modules if m.rel.endswith(PACKAGE_INIT_SUFFIX)), None
+    )
+
+    if snapshot_tree is not None:
+        public_api = _assigned_lists(snapshot_tree, "PUBLIC_API")
+        snapshot = public_api[0] if public_api else None
+        if snapshot is None:
+            findings.append(
+                Finding(
+                    path=SNAPSHOT_REL,
+                    line=1,
+                    rule="RL500",
+                    message="PUBLIC_API snapshot list not found",
+                )
+            )
+        elif facade is not None:
+            facade_all = _module_all(facade)
+            if facade_all is None:
+                findings.append(
+                    Finding(
+                        path=facade.rel,
+                        line=1,
+                        rule="RL500",
+                        message="repro.api has no literal __all__ to pin",
+                    )
+                )
+            elif facade_all != snapshot:
+                missing = sorted(set(snapshot) - set(facade_all))
+                extra = sorted(set(facade_all) - set(snapshot))
+                detail = []
+                if missing:
+                    detail.append(f"missing from facade: {', '.join(missing)}")
+                if extra:
+                    detail.append(f"not in snapshot: {', '.join(extra)}")
+                if not detail:
+                    detail.append("same names, different order")
+                findings.append(
+                    Finding(
+                        path=facade.rel,
+                        line=1,
+                        rule="RL500",
+                        message=(
+                            "repro.api.__all__ drifts from the PUBLIC_API "
+                            f"snapshot ({'; '.join(detail)})"
+                        ),
+                    )
+                )
+        if snapshot is not None and package_init is not None:
+            init_all = _module_all(package_init)
+            if init_all is not None:
+                outside = sorted(
+                    set(init_all) - {"__version__"} - set(snapshot)
+                )
+                if outside:
+                    findings.append(
+                        Finding(
+                            path=package_init.rel,
+                            line=1,
+                            rule="RL500",
+                            message=(
+                                "top-level repro exports outside the "
+                                f"PUBLIC_API snapshot: {', '.join(outside)}"
+                            ),
+                        )
+                    )
+
+        config_fields = _snapshot_dict(snapshot_tree, "CONFIG_FIELDS")
+        if config_fields is None:
+            findings.append(
+                Finding(
+                    path=SNAPSHOT_REL,
+                    line=1,
+                    rule="RL502",
+                    message="CONFIG_FIELDS snapshot dict not found; frozen "
+                    "config surfaces are unpinned",
+                )
+            )
+        else:
+            classes: dict[str, tuple[Module, ast.ClassDef]] = {}
+            for module in modules:
+                for node in module.tree.body:
+                    if isinstance(node, ast.ClassDef):
+                        classes.setdefault(node.name, (module, node))
+            for cls_name, expected in config_fields.items():
+                entry = classes.get(cls_name)
+                if entry is None:
+                    findings.append(
+                        Finding(
+                            path=SNAPSHOT_REL,
+                            line=1,
+                            rule="RL502",
+                            message=(
+                                f"CONFIG_FIELDS pins unknown class {cls_name}"
+                            ),
+                        )
+                    )
+                    continue
+                module, node = entry
+                actual = _dataclass_fields(node)
+                if actual != expected:
+                    findings.append(
+                        Finding(
+                            path=module.rel,
+                            line=node.lineno,
+                            rule="RL502",
+                            message=(
+                                f"{cls_name} fields {actual} drift from the "
+                                f"CONFIG_FIELDS snapshot {expected}"
+                            ),
+                        )
+                    )
+
+    for module in modules:
+        module_all = _module_all(module)
+        if module_all is None:
+            continue
+        bindings, star = _toplevel_bindings(module.tree)
+        if star:
+            continue  # cannot verify through a star import
+        for name in module_all:
+            if name not in bindings:
+                findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=1,
+                        rule="RL501",
+                        message=f"__all__ names '{name}' but the module "
+                        "never defines or imports it",
+                    )
+                )
+    return findings

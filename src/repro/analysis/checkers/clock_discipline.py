@@ -1,0 +1,140 @@
+"""RL300/RL301: all timing flows through the injectable Clock.
+
+Deterministic fault injection (:class:`repro.broker.faults.FaultPlan`)
+and the degraded-mode latency budget only work because every duration,
+deadline, and sleep in the system reads the same injectable
+:class:`repro.obs.clock.Clock`. One stray ``time.monotonic()`` splits
+the timeline in two — a ``FakeClock`` test advances one clock while the
+stray call reads the other — and the suite goes flaky in exactly the
+way PR-4's review had to chase down by hand.
+
+The only module allowed to touch :mod:`time` is
+``src/repro/obs/clock.py`` (the boundary itself). Flagged everywhere
+else in ``src/``:
+
+* any use of a timing ``time.*`` attribute (``time``, ``monotonic``,
+  ``sleep``, ``perf_counter`` and their ``_ns`` variants), whether
+  called or passed around as a callable, and ``from time import`` of
+  the same names (RL300);
+* ``datetime.now()`` / ``datetime.utcnow()`` (RL301) — wall-clock
+  timestamps come from :func:`repro.obs.clock.wall_time`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module
+
+__all__ = ["check", "BANNED_TIME_ATTRS"]
+
+BANNED_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "sleep",
+        "perf_counter",
+        "perf_counter_ns",
+    }
+)
+BANNED_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: The single module permitted to import :mod:`time` directly.
+CLOCK_MODULE_SUFFIX = "repro/obs/clock.py"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.findings: list[Finding] = []
+        #: local aliases of the ``time`` module ("time", "t", ...)
+        self.time_aliases: set[str] = set()
+        #: local aliases of datetime.datetime ("datetime", "dt", ...)
+        self.datetime_aliases: set[str] = set()
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        self.findings.append(
+            Finding(
+                path=self.module.rel,
+                line=line,
+                rule=rule,
+                message=message,
+                symbol=self.module.symbol_at(line),
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self.time_aliases.add(alias.asname or "time")
+            if alias.name == "datetime":
+                # ``import datetime`` -> usages look like
+                # ``datetime.datetime.now``; track the module alias too.
+                self.datetime_aliases.add(alias.asname or "datetime")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in BANNED_TIME_ATTRS:
+                    self._emit(
+                        node,
+                        "RL300",
+                        f"from time import {alias.name}: timing must go "
+                        "through repro.obs.clock.Clock",
+                    )
+        if node.module == "datetime":
+            for alias in node.names:
+                if alias.name == "datetime":
+                    self.datetime_aliases.add(alias.asname or "datetime")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        value = node.value
+        if isinstance(value, ast.Name):
+            if value.id in self.time_aliases and node.attr in BANNED_TIME_ATTRS:
+                self._emit(
+                    node,
+                    "RL300",
+                    f"direct time.{node.attr} bypasses the injectable "
+                    "Clock (use repro.obs.clock)",
+                )
+            elif (
+                value.id in self.datetime_aliases
+                and node.attr in BANNED_DATETIME_ATTRS
+            ):
+                self._emit(
+                    node,
+                    "RL301",
+                    f"datetime.{node.attr}() bypasses the injectable "
+                    "Clock (use repro.obs.clock.wall_time)",
+                )
+        elif (
+            isinstance(value, ast.Attribute)
+            and value.attr == "datetime"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.datetime_aliases
+            and node.attr in BANNED_DATETIME_ATTRS
+        ):
+            self._emit(
+                node,
+                "RL301",
+                f"datetime.datetime.{node.attr}() bypasses the injectable "
+                "Clock (use repro.obs.clock.wall_time)",
+            )
+        self.generic_visit(node)
+
+
+def check(modules: list[Module]) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        if module.rel.endswith(CLOCK_MODULE_SUFFIX):
+            continue
+        visitor = _Visitor(module)
+        visitor.visit(module.tree)
+        findings.extend(visitor.findings)
+    return findings

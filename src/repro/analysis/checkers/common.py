@@ -1,0 +1,68 @@
+"""Shared AST helpers for the lock-discipline checkers."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["lock_expr_name", "with_lock_items"]
+
+
+def _terminal_identifier(expr: ast.expr) -> str | None:
+    """The final identifier of a Name/Attribute chain, else None."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def lock_expr_name(expr: ast.expr, *, cls: str | None, module_name: str) -> str | None:
+    """Canonical lock name if ``expr`` looks like a lock, else ``None``.
+
+    A context-manager expression "looks like a lock" when its terminal
+    identifier contains ``lock`` (case-insensitive): ``self._lock``,
+    ``_reg_lock``, ``breaker_lock``. Conditions and other sync
+    primitives are deliberately out of scope — waiting on a condition
+    releases it, so the held-across-X rules do not apply.
+
+    Canonical names:
+
+    * ``self._lock`` inside class C        -> ``C._lock``
+    * bare ``some_lock`` at module level   -> ``<module>.some_lock``
+    * ``other.field_lock``                 -> ``<field_lock>`` (receiver
+      unknown statically; the attribute name is the best stable key)
+    """
+    terminal = _terminal_identifier(expr)
+    if terminal is None or "lock" not in terminal.lower():
+        return None
+    if isinstance(expr, ast.Name):
+        return f"{module_name}.{terminal}"
+    assert isinstance(expr, ast.Attribute)
+    if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+        return f"{cls}.{terminal}" if cls else f"{module_name}.{terminal}"
+    return f"<{terminal}>"
+
+
+def with_lock_items(
+    stmt: ast.With | ast.AsyncWith, *, cls: str | None, module_name: str
+) -> list[str]:
+    """Canonical names of all lock-like context managers in a with-stmt.
+
+    Handles ``acquire()``-style helpers too: ``with self._lock:`` and
+    ``with self._lock.acquire_timeout(...):`` both name ``self._lock``.
+    """
+    names: list[str] = []
+    for item in stmt.items:
+        expr: ast.expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+            if isinstance(expr, ast.Attribute):
+                # with lock.acquire(...)-style helper: name the receiver.
+                inner = lock_expr_name(expr.value, cls=cls, module_name=module_name)
+                if inner is not None:
+                    names.append(inner)
+                    continue
+        name = lock_expr_name(expr, cls=cls, module_name=module_name)
+        if name is not None:
+            names.append(name)
+    return names

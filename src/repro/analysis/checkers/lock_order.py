@@ -1,0 +1,279 @@
+"""RL200: the static lock-acquisition graph must be acyclic.
+
+Two threads acquiring the same pair of locks in opposite orders is the
+textbook deadlock; with more than a couple of locks (broker registry
+lock, breaker lock, per-metric locks, degraded-mode lock) the pairwise
+discipline stops being reviewable by eye. This checker builds the
+acquire-while-holding graph — an edge ``A -> B`` for every ``with B:``
+nested (syntactically, or through a bounded call-graph walk) inside a
+``with A:`` — and fails on any cycle, including the single-lock cycle
+``A -> A`` through a call chain on a non-reentrant lock (the
+self-deadlock shape PR-4 hit at runtime).
+
+The runtime complement is :class:`repro.analysis.runtime.InstrumentedLock`,
+which records the *actual* acquisition orders under test and asserts
+the same acyclicity, catching orders the heuristic static graph cannot
+resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import CallGraph, CallSite, is_fuzzy_call
+from repro.analysis.checkers.common import with_lock_items
+from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionInfo, Module
+
+__all__ = ["check"]
+
+MAX_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class _Edge:
+    src: str
+    dst: str
+    path: str
+    line: int
+    symbol: str
+    note: str
+
+
+def _confident_sites(sites: list[CallSite]) -> list[CallSite]:
+    """Drop ambiguous by-name edges: a cycle finding fails the build, so
+    lock-order only trusts fuzzy calls with exactly one candidate def
+    (lock-scope keeps the full over-approximation — there, breadth is
+    the point and exceptions are reviewable allowlist entries)."""
+    return [
+        s for s in sites if not (is_fuzzy_call(s.call) and len(s.targets) > 1)
+    ]
+
+
+def _reentrant_locks(modules: list[Module]) -> set[str]:
+    """Canonical names of locks assigned from ``RLock()`` constructors."""
+    reentrant: set[str] = set()
+    for module in modules:
+        module_name = module.rel.rsplit("/", 1)[-1].removesuffix(".py")
+        for fn in module.functions:
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value = node.value
+                if not isinstance(value, ast.Call):
+                    continue
+                func = value.func
+                name = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else None
+                )
+                if name != "RLock":
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and fn.cls is not None
+                    ):
+                        reentrant.add(f"{fn.cls}.{target.attr}")
+                    elif isinstance(target, ast.Name):
+                        reentrant.add(f"{module_name}.{target.id}")
+    return reentrant
+
+
+def _locks_acquired_in(
+    fn: FunctionInfo, graph: CallGraph, depth: int, visited: set[str]
+) -> list[tuple[str, str, int, tuple[str, ...]]]:
+    """Locks acquired by ``fn`` or its callees: (name, path, line, chain)."""
+    module = fn.module
+    module_name = module.rel.rsplit("/", 1)[-1].removesuffix(".py")
+    out: list[tuple[str, str, int, tuple[str, ...]]] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for name in with_lock_items(node, cls=fn.cls, module_name=module_name):
+                out.append((name, module.rel, node.lineno, (fn.qualname,)))
+    if depth < MAX_DEPTH:
+        for site in _confident_sites(graph.calls_in(fn.node, fn, module)):
+            for target in site.targets:
+                if target.key in visited:
+                    continue
+                visited.add(target.key)
+                for name, path, line, chain in _locks_acquired_in(
+                    target, graph, depth + 1, visited
+                ):
+                    out.append((name, path, line, (fn.qualname, *chain)))
+    return out
+
+
+def _collect_edges(modules: list[Module], graph: CallGraph) -> list[_Edge]:
+    edges: list[_Edge] = []
+
+    def scan(
+        body: list[ast.stmt],
+        held: tuple[str, ...],
+        caller: FunctionInfo | None,
+        module: Module,
+        module_name: str,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs run in their own dynamic scope
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                cls = caller.cls if caller is not None else None
+                locks = with_lock_items(stmt, cls=cls, module_name=module_name)
+                now_held = held
+                for lock in locks:
+                    for h in now_held:
+                        edges.append(
+                            _Edge(
+                                src=h,
+                                dst=lock,
+                                path=module.rel,
+                                line=stmt.lineno,
+                                symbol=caller.qualname if caller else "",
+                                note="nested with",
+                            )
+                        )
+                    now_held = (*now_held, lock)
+                if locks:
+                    # Transitive acquisitions from calls inside the body.
+                    for site in _confident_sites(
+                        graph.calls_in(stmt, caller, module)
+                    ):
+                        for target in site.targets:
+                            acquired = _locks_acquired_in(
+                                target, graph, 1, {target.key}
+                            )
+                            for name, _path, _line, chain in acquired:
+                                for h in now_held:
+                                    edges.append(
+                                        _Edge(
+                                            src=h,
+                                            dst=name,
+                                            path=module.rel,
+                                            line=stmt.lineno,
+                                            symbol=(
+                                                caller.qualname if caller else ""
+                                            ),
+                                            note="via " + " -> ".join(chain),
+                                        )
+                                    )
+                scan(stmt.body, now_held, caller, module, module_name)
+                continue
+            for child_body in _stmt_bodies(stmt):
+                scan(child_body, held, caller, module, module_name)
+
+    for module in modules:
+        module_name = module.rel.rsplit("/", 1)[-1].removesuffix(".py")
+        scan(module.tree.body, (), None, module, module_name)
+        for fn in module.functions:
+            scan(list(fn.node.body), (), fn, module, module_name)
+    return edges
+
+
+def _stmt_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if isinstance(block, list):
+            bodies.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    return bodies
+
+
+def _cycles(edges: list[_Edge], reentrant: set[str]) -> list[list[_Edge]]:
+    """Elementary cycles in the edge graph (one representative per SCC)."""
+    graph: dict[str, dict[str, _Edge]] = {}
+    self_cycles: dict[str, _Edge] = {}
+    for edge in edges:
+        if edge.src == edge.dst:
+            # Same-instance reacquisition is fine on an RLock; unknown
+            # receivers (``<attr>`` names) usually denote *different*
+            # instances, so a self-edge there is noise, not a cycle.
+            if edge.dst in reentrant or edge.dst.startswith("<"):
+                continue
+            self_cycles.setdefault(edge.src, edge)
+            continue
+        graph.setdefault(edge.src, {}).setdefault(edge.dst, edge)
+
+    # Tarjan SCC; any component with more than one node contains a cycle.
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    cycles: list[list[_Edge]] = [[edge] for edge in self_cycles.values()]
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in graph.get(v, {}):
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            component: list[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1:
+                members = set(component)
+                cycle = [
+                    e
+                    for src in component
+                    for dst, e in graph.get(src, {}).items()
+                    if dst in members
+                ]
+                cycles.append(cycle)
+
+    for v in list(graph):
+        if v not in index:
+            strongconnect(v)
+    return cycles
+
+
+def check(modules: list[Module], graph: CallGraph) -> list[Finding]:
+    reentrant = _reentrant_locks(modules)
+    edges = _collect_edges(modules, graph)
+    findings: list[Finding] = []
+    for cycle in _cycles(edges, reentrant):
+        if len(cycle) == 1 and cycle[0].src == cycle[0].dst:
+            edge = cycle[0]
+            findings.append(
+                Finding(
+                    path=edge.path,
+                    line=edge.line,
+                    rule="RL200",
+                    message=(
+                        f"non-reentrant lock {edge.src} re-acquired while "
+                        f"held ({edge.note}): self-deadlock"
+                    ),
+                    symbol=edge.symbol,
+                )
+            )
+            continue
+        members = sorted({e.src for e in cycle} | {e.dst for e in cycle})
+        order = " <-> ".join(members)
+        first = min(cycle, key=lambda e: (e.path, e.line))
+        sites = "; ".join(
+            f"{e.src}->{e.dst} at {e.path}:{e.line}" for e in cycle
+        )
+        findings.append(
+            Finding(
+                path=first.path,
+                line=first.line,
+                rule="RL200",
+                message=f"lock-order cycle {order} ({sites})",
+                symbol=first.symbol,
+            )
+        )
+    return findings

@@ -1,0 +1,166 @@
+"""RL100/RL101/RL102: no lock may be held across callbacks, broker
+re-entry points, or sleeps.
+
+This encodes the PR-4 incident class directly: ``ReliableDelivery``
+once held its breaker lock across subscriber callbacks and backoff
+sleeps, so a subscriber that published from its callback (or a slow
+callback plus a registration on another thread) deadlocked the broker.
+The checker flags every ``with <lock>:`` body from which a *sink* is
+reachable — directly, or transitively through a bounded call-graph
+walk:
+
+* **RL100** — a subscriber callback invocation (``callback(...)`` /
+  ``handle.callback(...)``): arbitrary user code under our lock.
+* **RL101** — a broker re-entry point (``publish`` / ``subscribe`` /
+  ``unsubscribe`` / ``flush``): re-acquires broker state, inviting
+  self-deadlock and lock-order inversions.
+* **RL102** — a sleep (``clock.sleep`` / ``time.sleep``): turns a
+  bounded critical section into an unbounded stall for every other
+  thread contending on the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import CallGraph, _walk_calls
+from repro.analysis.checkers.common import with_lock_items
+from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionInfo, Module
+
+__all__ = ["check"]
+
+REENTRY_NAMES = frozenset({"publish", "subscribe", "unsubscribe", "flush"})
+SLEEP_NAMES = frozenset({"sleep"})
+
+#: ``flush`` on an IO-ish receiver is stream flushing, not broker
+#: re-entry; calling it under a lock is unremarkable.
+IO_RECEIVERS = frozenset({"sys", "stdout", "stderr", "buffer", "stream", "file", "fh"})
+
+#: Call-graph walk depth from the with-body. 4 is enough to get from a
+#: broker lock through dispatch plumbing to the callback invocation.
+MAX_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class _Sink:
+    rule: str
+    label: str
+    line: int
+
+
+def _call_terminal(call: ast.Call) -> tuple[str | None, str | None]:
+    """(terminal identifier, receiver identifier) of a call's func."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id, None
+    if isinstance(func, ast.Attribute):
+        recv = func.value
+        recv_name: str | None = None
+        if isinstance(recv, ast.Name):
+            recv_name = recv.id
+        elif isinstance(recv, ast.Attribute):
+            recv_name = recv.attr
+        return func.attr, recv_name
+    return None, None
+
+
+def _direct_sinks(node: ast.AST) -> list[_Sink]:
+    """Sinks syntactically inside ``node`` (nested defs excluded)."""
+    sinks: list[_Sink] = []
+    for call in _walk_calls(node):
+        name, recv = _call_terminal(call)
+        if name is None:
+            continue
+        if name == "callback" or name.endswith("_callback"):
+            sinks.append(_Sink("RL100", f"{name}()", call.lineno))
+        elif name in REENTRY_NAMES:
+            if name == "flush" and recv in IO_RECEIVERS:
+                continue
+            sinks.append(_Sink("RL101", f"{name}()", call.lineno))
+        elif name in SLEEP_NAMES:
+            sinks.append(_Sink("RL102", f"{name}()", call.lineno))
+    return sinks
+
+
+def _reachable_sinks(
+    stmt: ast.With | ast.AsyncWith,
+    caller: FunctionInfo | None,
+    module: Module,
+    graph: CallGraph,
+) -> list[tuple[_Sink, tuple[str, ...]]]:
+    """Direct sinks plus sinks reached through the call graph (BFS)."""
+    found: list[tuple[_Sink, tuple[str, ...]]] = [
+        (s, ()) for s in _direct_sinks(stmt)
+    ]
+    visited: set[str] = set()
+    frontier: list[tuple[FunctionInfo, tuple[str, ...]]] = []
+    for site in graph.calls_in(stmt, caller, module):
+        for target in site.targets:
+            if target.key not in visited:
+                visited.add(target.key)
+                frontier.append((target, (target.qualname,)))
+    depth = 1
+    while frontier and depth <= MAX_DEPTH:
+        next_frontier: list[tuple[FunctionInfo, tuple[str, ...]]] = []
+        for fn, chain in frontier:
+            for sink in _direct_sinks(fn.node):
+                found.append((sink, chain))
+            for site in graph.calls_in(fn.node, fn, fn.module):
+                for target in site.targets:
+                    if target.key not in visited:
+                        visited.add(target.key)
+                        next_frontier.append((target, chain + (target.qualname,)))
+        frontier = next_frontier
+        depth += 1
+    return found
+
+
+def _withs_in(node: ast.AST) -> list[ast.With | ast.AsyncWith]:
+    """With-statements directly owned by ``node`` (nested defs excluded)."""
+    out: list[ast.With | ast.AsyncWith] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(cur, (ast.With, ast.AsyncWith)):
+            out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+def check(modules: list[Module], graph: CallGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        module_name = module.rel.rsplit("/", 1)[-1].removesuffix(".py")
+        scopes: list[tuple[FunctionInfo | None, ast.AST]] = [(None, module.tree)]
+        scopes += [(fn, fn.node) for fn in module.functions]
+        for caller, scope in scopes:
+            cls = caller.cls if caller is not None else None
+            for stmt in _withs_in(scope):
+                locks = with_lock_items(stmt, cls=cls, module_name=module_name)
+                if not locks:
+                    continue
+                seen_rules: set[str] = set()
+                for sink, chain in _reachable_sinks(stmt, caller, module, graph):
+                    if sink.rule in seen_rules:
+                        continue
+                    seen_rules.add(sink.rule)
+                    held = ", ".join(locks)
+                    how = "reachable from" if chain else "called in"
+                    findings.append(
+                        Finding(
+                            path=module.rel,
+                            line=stmt.lineno,
+                            rule=sink.rule,
+                            message=(
+                                f"lock {held} held across {sink.label} "
+                                f"{how} the with-body (sink at line {sink.line})"
+                            ),
+                            symbol=caller.qualname if caller else "",
+                            chain=chain,
+                        )
+                    )
+    return findings

@@ -1,0 +1,145 @@
+"""RL400/RL401: every registered metric name is declared in the manifest.
+
+PR-4's review found a gauge (``reliability.breakers_open``) backed by a
+hand-maintained mirror counter that had drifted from the state it
+claimed to summarize. The structural fix is a single canonical manifest
+(:mod:`repro.obs.manifest`): every ``counter(...)`` / ``gauge(...)`` /
+``histogram(...)`` registration in ``src/`` must use a name declared
+there, with the matching instrument kind. A metric that is not in the
+manifest is either undocumented (operators cannot find it) or a typo
+silently creating a *second* time series next to the real one — the
+modern form of the mirror-counter bug.
+
+* **RL400** — literal metric name absent from the manifest, or
+  registered with a different kind than declared.
+* **RL401** — metric registered under a dynamic name the checker cannot
+  verify. F-strings with a literal head that lands inside a declared
+  wildcard family (``stage.*``, ``space.cache.*``) are accepted;
+  anything else needs a manifest family or an allowlist entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Mapping
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module
+
+__all__ = ["check", "REGISTRY_METHODS"]
+
+REGISTRY_METHODS: Mapping[str, str] = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+}
+
+#: Modules that define or re-export the registry API itself; calls in
+#: them are machinery, not metric registrations.
+EXEMPT_SUFFIXES = ("repro/obs/registry.py", "repro/obs/manifest.py")
+
+
+def _literal_head(node: ast.JoinedStr) -> str:
+    head = ""
+    for part in node.values:
+        if isinstance(part, ast.Constant) and isinstance(part.value, str):
+            head += part.value
+        else:
+            break
+    return head
+
+
+def check(
+    modules: list[Module],
+    exact: Mapping[str, str],
+    wildcards: Mapping[str, str],
+) -> list[Finding]:
+    """``exact`` maps full metric names to kinds; ``wildcards`` maps
+    declared family prefixes (``"stage."``) to kinds."""
+    findings: list[Finding] = []
+    for module in modules:
+        if module.rel.endswith(EXEMPT_SUFFIXES):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            kind = REGISTRY_METHODS.get(func.attr)
+            if kind is None or not node.args:
+                continue
+            name_arg = node.args[0]
+            symbol = module.symbol_at(node.lineno)
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                name = name_arg.value
+                declared = exact.get(name)
+                if declared is None:
+                    family = next(
+                        (k for p, k in wildcards.items() if name.startswith(p)),
+                        None,
+                    )
+                    if family == kind:
+                        continue
+                    findings.append(
+                        Finding(
+                            path=module.rel,
+                            line=node.lineno,
+                            rule="RL400",
+                            message=(
+                                f"metric '{name}' ({kind}) is not declared "
+                                "in repro.obs.manifest"
+                            ),
+                            symbol=symbol,
+                        )
+                    )
+                elif declared != kind:
+                    findings.append(
+                        Finding(
+                            path=module.rel,
+                            line=node.lineno,
+                            rule="RL400",
+                            message=(
+                                f"metric '{name}' registered as {kind} but "
+                                f"declared as {declared} in the manifest"
+                            ),
+                            symbol=symbol,
+                        )
+                    )
+            elif isinstance(name_arg, ast.JoinedStr):
+                head = _literal_head(name_arg)
+                family = next(
+                    (k for p, k in wildcards.items() if head.startswith(p)),
+                    None,
+                )
+                if head and family == kind:
+                    continue
+                findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        rule="RL401",
+                        message=(
+                            f"dynamic metric name (f-string head '{head}') "
+                            f"does not match a declared {kind} family in "
+                            "repro.obs.manifest"
+                        ),
+                        symbol=symbol,
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        rule="RL401",
+                        message=(
+                            f"metric name for {kind}() is not a literal; "
+                            "the manifest cannot verify it"
+                        ),
+                        symbol=symbol,
+                    )
+                )
+    return findings

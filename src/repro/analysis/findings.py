@@ -1,0 +1,120 @@
+"""Structured findings and the rule catalog for repro-lint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Finding", "Rule", "RULES", "rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable id, a category, and a one-line summary."""
+
+    id: str
+    category: str
+    summary: str
+
+
+#: The complete rule catalog. Checker modules reference these by id;
+#: ``repro lint --list-rules`` prints the table.
+RULES: tuple[Rule, ...] = (
+    Rule(
+        "RL000",
+        "allowlist",
+        "Allowlist entry matches no current finding (stale suppression).",
+    ),
+    Rule(
+        "RL100",
+        "lock-scope",
+        "Lock held across a subscriber callback invocation.",
+    ),
+    Rule(
+        "RL101",
+        "lock-scope",
+        "Lock held across a broker re-entry point "
+        "(publish/subscribe/unsubscribe/flush).",
+    ),
+    Rule(
+        "RL102",
+        "lock-scope",
+        "Lock held across a sleep/backoff call.",
+    ),
+    Rule(
+        "RL200",
+        "lock-order",
+        "Cycle in the static lock-acquisition graph.",
+    ),
+    Rule(
+        "RL300",
+        "clock",
+        "Direct time.* call bypasses the injectable Clock.",
+    ),
+    Rule(
+        "RL301",
+        "clock",
+        "datetime.now()/utcnow() bypasses the injectable Clock.",
+    ),
+    Rule(
+        "RL400",
+        "metrics",
+        "Metric name not declared in the canonical manifest.",
+    ),
+    Rule(
+        "RL401",
+        "metrics",
+        "Metric registered under a dynamic (unverifiable) name.",
+    ),
+    Rule(
+        "RL500",
+        "api",
+        "repro.api facade exports drift from the reviewed snapshot.",
+    ),
+    Rule(
+        "RL501",
+        "api",
+        "__all__ names a symbol the module does not define.",
+    ),
+    Rule(
+        "RL502",
+        "api",
+        "Frozen-config field set drifts from the reviewed snapshot.",
+    ),
+)
+
+_RULES_BY_ID = {r.id: r for r in RULES}
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule by id (raises ``KeyError`` for unknown ids)."""
+    return _RULES_BY_ID[rule_id]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation: where it is, which rule, and why it matters.
+
+    ``path`` is repo-relative with forward slashes so findings are
+    stable across machines (and usable as allowlist keys). ``symbol``
+    is the enclosing function/method qualname (``Class.method``), empty
+    at module level.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    symbol: str = ""
+    chain: tuple[str, ...] = field(default=())
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}"
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        via = f" (via {' -> '.join(self.chain)})" if self.chain else ""
+        return f"{loc}: {self.rule}{sym} {self.message}{via}"
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def with_symbol(self, symbol: str) -> "Finding":
+        return replace(self, symbol=symbol)

@@ -1,0 +1,123 @@
+"""Source-tree loading for repro-lint: parsed modules + symbol lookup.
+
+Everything downstream of this module works on :class:`Module` objects —
+a parsed AST plus enough precomputed structure (function table, symbol
+intervals) for the checkers to stay simple and single-pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["FunctionInfo", "Module", "load_modules", "iter_python_files"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition inside a module."""
+
+    name: str
+    qualname: str  # "Class.method", "outer.inner", or "name"
+    cls: str | None
+    module: "Module"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+    @property
+    def key(self) -> str:
+        """Project-unique key: ``<relpath>::<qualname>``."""
+        return f"{self.module.rel}::{self.qualname}"
+
+
+@dataclass
+class Module:
+    """A parsed source file with its function/class tables."""
+
+    path: Path
+    rel: str  # repo-relative, forward slashes
+    tree: ast.Module
+    functions: list[FunctionInfo] = field(default_factory=list)
+    #: module-level function name -> FunctionInfo
+    toplevel: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class name -> {method name -> FunctionInfo}
+    classes: dict[str, dict[str, FunctionInfo]] = field(default_factory=dict)
+
+    def symbol_at(self, line: int) -> str:
+        """Qualname of the innermost function enclosing ``line`` ('' if none)."""
+        best = ""
+        best_span = None
+        for fn in self.functions:
+            start = fn.node.lineno
+            end = fn.node.end_lineno or start
+            if start <= line <= end:
+                span = end - start
+                if best_span is None or span <= best_span:
+                    best, best_span = fn.qualname, span
+        return best
+
+
+def _index_module(mod: Module) -> None:
+    """Populate the function/class tables by walking def sites."""
+
+    def visit(node: ast.AST, cls: str | None, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                info = FunctionInfo(
+                    name=child.name,
+                    qualname=qual,
+                    cls=cls,
+                    module=mod,
+                    node=child,
+                )
+                mod.functions.append(info)
+                if cls is None and prefix == "":
+                    mod.toplevel[child.name] = info
+                if cls is not None:
+                    mod.classes.setdefault(cls, {}).setdefault(child.name, info)
+                visit(child, cls, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                mod.classes.setdefault(child.name, {})
+                visit(child, child.name, f"{child.name}.")
+            else:
+                visit(child, cls, prefix)
+
+    visit(mod.tree, None, "")
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: dict[Path, None] = {}
+    for p in paths:
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                seen.setdefault(f.resolve(), None)
+        elif p.suffix == ".py":
+            seen.setdefault(p.resolve(), None)
+    return sorted(seen)
+
+
+def load_modules(root: Path, paths: list[Path]) -> list[Module]:
+    """Parse every Python file under ``paths`` into :class:`Module` objects.
+
+    Files that fail to parse are skipped silently: syntax errors are the
+    compiler's job, not the linter's, and a half-written file should not
+    take the whole run down.
+    """
+    root = root.resolve()
+    modules: list[Module] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError):
+            continue
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        mod = Module(path=path, rel=rel, tree=tree)
+        _index_module(mod)
+        modules.append(mod)
+    return modules

@@ -1,0 +1,133 @@
+"""Orchestration for ``repro lint``: load, check, allowlist, report."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.allowlist import AllowEntry, apply_allowlist, load_allowlist
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.checkers import (
+    api_surface,
+    clock_discipline,
+    lock_order,
+    lock_scope,
+    metrics_manifest,
+)
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.project import load_modules
+
+__all__ = ["LintResult", "run_lint", "DEFAULT_ALLOWLIST"]
+
+DEFAULT_ALLOWLIST = ".repro-lint.toml"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run (``findings`` already excludes suppressions)."""
+
+    findings: list[Finding]
+    stale: list[Finding]
+    suppressed: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale
+
+    def all_reportable(self) -> list[Finding]:
+        return sorted(self.findings + self.stale, key=Finding.sort_key)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "checked_files": self.checked_files,
+                "suppressed": len(self.suppressed),
+                "findings": [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "rule": f.rule,
+                        "symbol": f.symbol,
+                        "message": f.message,
+                        "chain": list(f.chain),
+                    }
+                    for f in self.all_reportable()
+                ],
+            },
+            indent=2,
+        )
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.all_reportable()]
+        summary = (
+            f"repro lint: {len(self.findings)} finding(s), "
+            f"{len(self.stale)} stale suppression(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.checked_files} file(s) checked"
+        )
+        return "\n".join([*lines, summary])
+
+
+def _load_manifest() -> tuple[dict[str, str], dict[str, str]]:
+    """Exact + wildcard (prefix -> kind) maps from :mod:`repro.obs.manifest`."""
+    from repro.obs.manifest import METRICS
+
+    exact: dict[str, str] = {}
+    wildcards: dict[str, str] = {}
+    for spec in METRICS:
+        if spec.name.endswith(".*"):
+            wildcards[spec.name[:-1]] = spec.kind
+        else:
+            exact[spec.name] = spec.kind
+    return exact, wildcards
+
+
+def render_rules() -> str:
+    width = max(len(r.id) for r in RULES)
+    return "\n".join(
+        f"{r.id:<{width}}  [{r.category}] {r.summary}" for r in RULES
+    )
+
+
+def run_lint(
+    root: Path,
+    paths: list[Path] | None = None,
+    *,
+    allowlist: Path | None = None,
+    allow_entries: list[AllowEntry] | None = None,
+) -> LintResult:
+    """Run every checker over ``paths`` (default: ``<root>/src``).
+
+    ``allowlist`` defaults to ``<root>/.repro-lint.toml`` when present;
+    pass ``allow_entries`` directly to bypass file loading (tests).
+    """
+    root = root.resolve()
+    if paths is None:
+        paths = [root / "src"]
+    modules = load_modules(root, paths)
+    graph = CallGraph(modules)
+    exact, wildcards = _load_manifest()
+
+    findings: list[Finding] = []
+    findings += lock_scope.check(modules, graph)
+    findings += lock_order.check(modules, graph)
+    findings += clock_discipline.check(modules)
+    findings += metrics_manifest.check(modules, exact, wildcards)
+    findings += api_surface.check(modules, root)
+
+    if allow_entries is None:
+        if allowlist is None:
+            candidate = root / DEFAULT_ALLOWLIST
+            allowlist = candidate if candidate.is_file() else None
+        allow_entries = load_allowlist(allowlist) if allowlist else []
+    kept, suppressed, stale = apply_allowlist(findings, allow_entries)
+    kept.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=kept,
+        stale=stale,
+        suppressed=suppressed,
+        checked_files=len(modules),
+    )

@@ -1,0 +1,274 @@
+"""Runtime lock-discipline instrumentation (the dynamic half of RL200).
+
+The static lock-order checker works on a heuristic call graph; this
+module is its sanitizer-style complement. :class:`InstrumentedLock`
+wraps a real :class:`threading.Lock`/``RLock`` and reports every
+acquisition to a :class:`LockOrderRecorder`, which
+
+* raises :class:`LockOrderViolation` *immediately* when a thread
+  re-acquires a non-reentrant lock it already holds — the PR-4
+  lock-across-callback deadlock surfaces as a test failure with a
+  stack trace instead of a hung CI job;
+* records the observed acquire-while-holding edges, so a test (or the
+  conftest fixture) can assert the *dynamic* acquisition graph is
+  acyclic via :meth:`LockOrderRecorder.assert_acyclic`.
+
+:func:`instrument_repro_locks` patches lock construction inside already
+imported ``repro.*`` modules for the duration of a ``with`` block, so
+every lock created by broker/engine objects built inside the block is
+instrumented — no production code changes, enabled under tests by the
+``lock_discipline`` fixture (or ``REPRO_LOCK_CHECK=1`` for the whole
+suite).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from types import TracebackType
+from typing import Any
+
+__all__ = [
+    "InstrumentedLock",
+    "LockOrderRecorder",
+    "LockOrderViolation",
+    "instrument_repro_locks",
+]
+
+# Real constructors, captured before any patching can occur.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class LockOrderViolation(RuntimeError):
+    """A thread acquired locks in a way that can deadlock."""
+
+
+class LockOrderRecorder:
+    """Per-thread held-lock stacks plus the global observed edge set."""
+
+    def __init__(self) -> None:
+        self._meta = _REAL_LOCK()  # guards _edges only
+        self._edges: dict[tuple[str, str], str] = {}
+        self._local = threading.local()
+
+    def _held(self) -> list["InstrumentedLock"]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = []
+            self._local.held = held
+        return held
+
+    def notify_acquire(self, lock: "InstrumentedLock", site: str) -> None:
+        held = self._held()
+        for h in held:
+            if h is lock and not lock.reentrant:
+                raise LockOrderViolation(
+                    f"thread {threading.current_thread().name!r} re-acquired "
+                    f"non-reentrant lock {lock.name!r} it already holds "
+                    f"(at {site}); outside instrumentation this deadlocks"
+                )
+        for h in held:
+            if h is lock:
+                continue  # re-entrant re-acquire: no new edge
+            edge = (h.name, lock.name)
+            with self._meta:
+                self._edges.setdefault(edge, site)
+        held.append(lock)
+
+    def notify_release(self, lock: "InstrumentedLock") -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] is lock:
+                del held[i]
+                return
+
+    def edges(self) -> dict[tuple[str, str], str]:
+        with self._meta:
+            return dict(self._edges)
+
+    def find_cycle(self) -> list[str] | None:
+        """One observed lock-order cycle as a node list, or None."""
+        edges = self.edges()
+        graph: dict[str, set[str]] = {}
+        for a, b in edges:
+            if a != b:
+                graph.setdefault(a, set()).add(b)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[str, int] = {}
+        parent: dict[str, str] = {}
+
+        def dfs(v: str) -> list[str] | None:
+            color[v] = GRAY
+            for w in graph.get(v, ()):
+                state = color.get(w, WHITE)
+                if state == GRAY:
+                    cycle = [w, v]
+                    cur = v
+                    while cur != w:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    parent[w] = v
+                    found = dfs(w)
+                    if found:
+                        return found
+            color[v] = BLACK
+            return None
+
+        for v in list(graph):
+            if color.get(v, WHITE) == WHITE:
+                found = dfs(v)
+                if found:
+                    return found
+        return None
+
+    def assert_acyclic(self) -> None:
+        cycle = self.find_cycle()
+        if cycle is not None:
+            edges = self.edges()
+            sites = "; ".join(
+                f"{a}->{b} at {edges[(a, b)]}"
+                for a, b in zip(cycle, cycle[1:], strict=False)
+                if (a, b) in edges
+            )
+            raise LockOrderViolation(
+                "observed lock acquisition order contains a cycle: "
+                + " -> ".join(cycle)
+                + (f" ({sites})" if sites else "")
+            )
+
+
+def _call_site(depth: int = 2) -> str:
+    """Nearest caller frame *outside* this module (skips __enter__ etc.)."""
+    frame = sys._getframe(depth)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - only with a torn-down stack
+        return "<unknown>"
+    return f"{frame.f_code.co_filename.rsplit('/', 1)[-1]}:{frame.f_lineno}"
+
+
+class InstrumentedLock:
+    """Drop-in ``threading.Lock``/``RLock`` that reports to a recorder."""
+
+    def __init__(
+        self,
+        recorder: LockOrderRecorder,
+        name: str | None = None,
+        *,
+        reentrant: bool = False,
+    ) -> None:
+        self.recorder = recorder
+        self.reentrant = reentrant
+        self.name = name if name is not None else f"lock@{_call_site()}"
+        self._inner: Any = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        site = _call_site()
+        self.recorder.notify_acquire(self, site)
+        ok: bool = self._inner.acquire(blocking, timeout)
+        if not ok:
+            self.recorder.notify_release(self)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        self.recorder.notify_release(self)
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        if locked is not None:
+            return bool(locked())
+        # RLock before 3.12 has no locked(); approximate via acquire(False).
+        if self._inner.acquire(blocking=False):
+            self._inner.release()
+            return False
+        return True
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedLock {self.name!r} reentrant={self.reentrant}>"
+
+
+class _ThreadingProxy:
+    """Stands in for the ``threading`` module inside patched repro modules."""
+
+    def __init__(self, recorder: LockOrderRecorder) -> None:
+        self._recorder = recorder
+
+    def Lock(self) -> InstrumentedLock:  # noqa: N802 - mimics threading API
+        return InstrumentedLock(self._recorder, f"lock@{_call_site()}")
+
+    def RLock(self) -> InstrumentedLock:  # noqa: N802 - mimics threading API
+        return InstrumentedLock(
+            self._recorder, f"rlock@{_call_site()}", reentrant=True
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(threading, name)
+
+
+class instrument_repro_locks:
+    """Context manager: new locks in ``repro.*`` modules get instrumented.
+
+    Patches each already-imported ``repro.*`` module's ``threading``
+    global (and any directly imported ``Lock``/``RLock`` names) so that
+    locks *constructed* while the context is active report to
+    ``recorder``. Objects created before entry keep their real locks;
+    stdlib internals (``queue.Queue`` conditions, logging) are never
+    touched, so intentional stdlib double-acquire patterns cannot
+    false-positive.
+    """
+
+    def __init__(
+        self, recorder: LockOrderRecorder, prefix: str = "repro"
+    ) -> None:
+        self.recorder = recorder
+        self.prefix = prefix
+        self._patched: list[tuple[Any, str, Any]] = []
+
+    def __enter__(self) -> LockOrderRecorder:
+        proxy = _ThreadingProxy(self.recorder)
+        for name, mod in list(sys.modules.items()):
+            if mod is None:
+                continue
+            if name != self.prefix and not name.startswith(self.prefix + "."):
+                continue
+            if name.startswith("repro.analysis"):
+                continue  # never instrument the instrumentation
+            ns = getattr(mod, "__dict__", None)
+            if ns is None:
+                continue
+            if ns.get("threading") is threading:
+                self._patched.append((mod, "threading", threading))
+                setattr(mod, "threading", proxy)
+            if ns.get("Lock") is _REAL_LOCK:
+                self._patched.append((mod, "Lock", _REAL_LOCK))
+                setattr(mod, "Lock", proxy.Lock)
+            if ns.get("RLock") is _REAL_RLOCK:
+                self._patched.append((mod, "RLock", _REAL_RLOCK))
+                setattr(mod, "RLock", proxy.RLock)
+        return self.recorder
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        for mod, attr, original in reversed(self._patched):
+            setattr(mod, attr, original)
+        self._patched.clear()

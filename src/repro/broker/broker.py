@@ -70,7 +70,7 @@ class BrokerMetrics:
 
     def __init__(
         self, registry: MetricsRegistry | None = None, *, prefix: str = "broker"
-    ):
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.prefix = prefix
         self._counters = {
@@ -139,7 +139,7 @@ class SubscriberHandle(SubscriptionHandle):
         inbox: deque | None = None,
         callback: Callable[[Delivery], None] | None = None,
         policy: DeliveryPolicy | None = None,
-    ):
+    ) -> None:
         warnings.warn(
             "SubscriberHandle is deprecated; use "
             "repro.core.engine.SubscriptionHandle",
@@ -218,8 +218,8 @@ class ThematicBroker:
         *,
         registry: MetricsRegistry | None = None,
         clock: Clock | None = None,
-        **legacy,
-    ):
+        **legacy: object,
+    ) -> None:
         self.config = config_from_legacy(config, ("replay_capacity",), legacy)
         self.matcher = matcher
         self.metrics = BrokerMetrics(registry)

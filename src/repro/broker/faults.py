@@ -32,6 +32,11 @@ from dataclasses import dataclass, field
 
 from repro.core.degrade import DegradedPolicy
 from repro.obs.clock import MONOTONIC_CLOCK, Clock
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.broker.broker import Delivery
 
 __all__ = [
     "CallbackFault",
@@ -178,14 +183,19 @@ class FaultPlan:
 class _FaultyCallback:
     """Stateful wrapper applying one :class:`CallbackFault`."""
 
-    def __init__(self, fault: CallbackFault, inner, clock: Clock):
+    def __init__(
+        self,
+        fault: CallbackFault,
+        inner: Callable[["Delivery"], None] | None,
+        clock: Clock,
+    ) -> None:
         self._fault = fault
         self._inner = inner
         self._clock = clock
         self._calls = 0
         self._lock = threading.Lock()
 
-    def __call__(self, delivery) -> None:
+    def __call__(self, delivery: "Delivery") -> None:
         with self._lock:
             self._calls += 1
             call = self._calls
@@ -205,14 +215,16 @@ class _FaultyCallback:
 class _SpikingMeasure:
     """Measure wrapper applying a :class:`ScorerFault` spike schedule."""
 
-    def __init__(self, fault: ScorerFault, inner, clock: Clock):
+    def __init__(self, fault: ScorerFault, inner: Any, clock: Clock) -> None:
         self._fault = fault
         self._inner = inner
         self._clock = clock
         self._calls = 0
         self._lock = threading.Lock()
 
-    def score(self, term_s, theme_s, term_e, theme_e) -> float:
+    def score(
+        self, term_s: Any, theme_s: Any, term_e: Any, theme_e: Any
+    ) -> float:
         with self._lock:
             call = self._calls
             self._calls += 1
@@ -221,7 +233,7 @@ class _SpikingMeasure:
             self._clock.sleep(fault.spike_seconds)
         return self._inner.score(term_s, theme_s, term_e, theme_e)
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         # Measures expose extras (space, caches); forward transparently.
         return getattr(self._inner, name)
 
@@ -244,7 +256,11 @@ class FaultInjector:
             fault.subscriber: fault for fault in self.plan.callbacks
         }
 
-    def wrap_callback(self, subscriber: int, inner=None):
+    def wrap_callback(
+        self,
+        subscriber: int,
+        inner: Callable[["Delivery"], None] | None = None,
+    ) -> Callable[["Delivery"], None] | None:
         """Wrap ``inner`` with this subscriber's scripted fault (if any).
 
         Returns ``inner`` unchanged when the plan has no fault for this
@@ -255,7 +271,7 @@ class FaultInjector:
             return inner
         return _FaultyCallback(fault, inner, self.clock)
 
-    def wrap_measure(self, measure):
+    def wrap_measure(self, measure: Any) -> Any:
         """Wrap a semantic measure with the plan's scorer spikes (if any)."""
         if self.plan.scorer is None:
             return measure

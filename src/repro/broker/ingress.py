@@ -18,7 +18,8 @@ pieces around their ``queue.Queue``:
 from __future__ import annotations
 
 import queue
-import time
+
+from repro.obs.clock import MONOTONIC_CLOCK, Clock
 
 __all__ = ["STOP", "collect_batch", "wait_until_drained"]
 
@@ -26,7 +27,12 @@ __all__ = ["STOP", "collect_batch", "wait_until_drained"]
 STOP = object()
 
 
-def wait_until_drained(q: queue.Queue, timeout: float | None = None) -> bool:
+def wait_until_drained(
+    q: queue.Queue,
+    timeout: float | None = None,
+    *,
+    clock: Clock = MONOTONIC_CLOCK,
+) -> bool:
     """Block until every item put on ``q`` has been ``task_done``-ed.
 
     ``Queue.join()`` with a deadline, built on the queue's own
@@ -38,10 +44,10 @@ def wait_until_drained(q: queue.Queue, timeout: float | None = None) -> bool:
     if timeout is None:
         q.join()
         return True
-    deadline = time.monotonic() + timeout
+    deadline = clock.monotonic() + timeout
     with q.all_tasks_done:
         while q.unfinished_tasks:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - clock.monotonic()
             if remaining <= 0:
                 return False
             q.all_tasks_done.wait(remaining)
@@ -50,9 +56,11 @@ def wait_until_drained(q: queue.Queue, timeout: float | None = None) -> bool:
 
 def collect_batch(
     q: queue.Queue,
-    first,
+    first: object,
     max_batch: int,
     linger: float,
+    *,
+    clock: Clock = MONOTONIC_CLOCK,
 ) -> tuple[list, bool]:
     """Collect one micro-batch starting from an already-dequeued item.
 
@@ -73,8 +81,8 @@ def collect_batch(
             if linger <= 0.0:
                 break
             if deadline is None:
-                deadline = time.monotonic() + linger
-            remaining = deadline - time.monotonic()
+                deadline = clock.monotonic() + linger
+            remaining = deadline - clock.monotonic()
             if remaining <= 0.0:
                 break
             try:

@@ -20,6 +20,7 @@ cost of flooding.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Callable
 
 import networkx as nx
 
@@ -68,11 +69,11 @@ class BrokerOverlay:
     def __init__(
         self,
         graph: nx.Graph,
-        matcher_factory,
+        matcher_factory: Callable[[], ThematicMatcher],
         *,
         default_ttl: int | None = None,
         replay_capacity: int = 256,
-    ):
+    ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("overlay needs at least one node")
         self.graph = graph
@@ -94,7 +95,10 @@ class BrokerOverlay:
         return tuple(self._nodes)
 
     def subscribe(
-        self, node: str, subscription: Subscription, callback=None
+        self,
+        node: str,
+        subscription: Subscription,
+        callback: Callable[[Delivery], None] | None = None,
     ) -> SubscriptionHandle:
         """Attach a subscriber at its local broker node."""
         return self._nodes[node].broker.subscribe(subscription, callback)

@@ -141,7 +141,7 @@ class DeliveryPolicy:
             raise ValueError("breaker_reset must be >= 0")
 
     @classmethod
-    def no_retry(cls, **overrides) -> "DeliveryPolicy":
+    def no_retry(cls, **overrides: object) -> "DeliveryPolicy":
         """A policy that attempts each delivery exactly once."""
         overrides.setdefault("max_retries", 0)
         return cls(**overrides)
@@ -183,7 +183,7 @@ class DeadLetterQueue:
     memory over complete retention).
     """
 
-    def __init__(self, capacity: int | None = None):
+    def __init__(self, capacity: int | None = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self._records: deque[DeadLetterRecord] = deque()
@@ -240,7 +240,7 @@ class CircuitBreaker:
     the calling broker's concern.
     """
 
-    def __init__(self, threshold: int, reset: float):
+    def __init__(self, threshold: int, reset: float) -> None:
         self.threshold = threshold
         self.reset = reset
         self.state = CLOSED
@@ -306,7 +306,7 @@ class ReliableDelivery:
         policy: DeliveryPolicy | None = None,
         dead_letters: DeadLetterQueue | None = None,
         clock: Clock | None = None,
-    ):
+    ) -> None:
         self.metrics = metrics
         self.policy = policy if policy is not None else DeliveryPolicy()
         self.dead_letters = (

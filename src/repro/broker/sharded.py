@@ -40,7 +40,6 @@ from __future__ import annotations
 import os
 import queue
 import threading
-import time
 from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -59,7 +58,7 @@ from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import MetricsRegistry
-from repro.obs.clock import Clock
+from repro.obs.clock import MONOTONIC_CLOCK, Clock
 from repro.obs.registry import merge_snapshots
 
 __all__ = ["HashSharding", "ShardedBroker", "SizeBalancedSharding"]
@@ -126,11 +125,11 @@ class _ShardSink:
 
     __slots__ = ("order", "handle")
 
-    def __init__(self, order: int, handle: SubscriptionHandle):
+    def __init__(self, order: int, handle: SubscriptionHandle) -> None:
         self.order = order
         self.handle = handle
 
-    def __call__(self, result) -> None:  # pragma: no cover - guard rail
+    def __call__(self, result: object) -> None:  # pragma: no cover - guard rail
         raise RuntimeError(
             "shard engines must not dispatch directly; "
             "deliveries go through the broker's ordered merge"
@@ -202,8 +201,8 @@ class ShardedBroker:
         *,
         registry: MetricsRegistry | None = None,
         clock: Clock | None = None,
-        **legacy,
-    ):
+        **legacy: object,
+    ) -> None:
         self.config = config_from_legacy(config, self._LEGACY_KWARGS, legacy)
         config = self.config
         if config.shards < 1:
@@ -229,6 +228,7 @@ class ShardedBroker:
             clock=clock,
         )
         self._strategy = strategy
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
         self._max_batch = config.max_batch
         self._linger = config.linger
         self._shards = [
@@ -264,8 +264,10 @@ class ShardedBroker:
         self._batch_size = registry_.histogram("broker.batch_size")
         self._queue_depth = registry_.gauge("broker.queue_depth")
         self._queue: queue.Queue = queue.Queue(maxsize=config.max_queue)
-        # Reentrant: delivery callbacks run on the dispatcher thread
-        # while it holds the lock, and may subscribe/unsubscribe.
+        # Guards the registration tables and the replay ring. Deliveries
+        # are dispatched *after* it is released (lock-scope rule RL100:
+        # user callbacks may re-enter subscribe/unsubscribe/publish).
+        # Reentrant so nested registration paths (_move_one) stay cheap.
         self._reg_lock = threading.RLock()
         self._entries: dict[int, _Entry] = {}
         self._next_id = 0
@@ -341,7 +343,7 @@ class ShardedBroker:
     def __enter__(self) -> "ShardedBroker":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- producer side -----------------------------------------------------
@@ -354,7 +356,7 @@ class ShardedBroker:
         """
         if self._closed:
             raise RuntimeError("broker is closed")
-        self._queue.put((time.perf_counter(), event))
+        self._queue.put((self._clock.monotonic(), event))
 
     def flush(self, timeout: float | None = None) -> bool:
         """Block until every queued event is matched *and* delivered.
@@ -383,6 +385,7 @@ class ShardedBroker:
         ``policy`` overrides the broker-wide delivery policy for this
         subscriber alone.
         """
+        replayed: list[Delivery] = []
         with self._reg_lock:
             order = self._next_id
             self._next_id += 1
@@ -413,10 +416,16 @@ class ShardedBroker:
                     result = shard.engine.match_one(subscription, event)
                     if result is not None:
                         self.metrics.inc("replayed")
-                        self.reliability.dispatch(
-                            handle, Delivery(result=result, sequence=sequence)
+                        replayed.append(
+                            Delivery(result=result, sequence=sequence)
                         )
-            return handle
+        # Dispatch with the lock released: callbacks are user code and may
+        # re-enter the broker (RL100). The handle is already registered,
+        # so replayed deliveries keep their position before any batch the
+        # dispatcher matches afterwards.
+        for delivery in replayed:
+            self.reliability.dispatch(handle, delivery)
+        return handle
 
     def unsubscribe(self, handle: SubscriptionHandle) -> bool:
         with self._reg_lock:
@@ -456,7 +465,7 @@ class ShardedBroker:
         shard_snapshots = [shard.registry.snapshot() for shard in self._shards]
         snapshot["shards"] = {
             f"shard{shard.index}": shard_snapshot
-            for shard, shard_snapshot in zip(self._shards, shard_snapshots)
+            for shard, shard_snapshot in zip(self._shards, shard_snapshots, strict=True)
         }
         snapshot["engine_totals"] = merge_snapshots(shard_snapshots)["counters"]
         return snapshot
@@ -484,13 +493,14 @@ class ShardedBroker:
 
     def _process_batch(self, batch: list[tuple[float, Event]]) -> None:
         """Match one micro-batch across all shards and merge deliveries."""
-        started = time.perf_counter()
+        started = self._clock.monotonic()
         events = []
         for enqueued_at, event in batch:
             self._queue_wait.record(started - enqueued_at)
             events.append(event)
         self._batch_size.record(len(batch))
         self._queue_depth.set(self._queue.qsize())
+        pending: list[tuple[SubscriptionHandle, Delivery]] = []
         with self._reg_lock:
             self.metrics.inc("published", len(events))
             total_subscribers = len(self._entries)
@@ -522,7 +532,7 @@ class ShardedBroker:
             threshold = self.matcher.threshold
             for j, sequence in enumerate(sequences):
                 matched = []
-                for shard, (registrations, result_batch) in zip(active, outcomes):
+                for shard, (registrations, result_batch) in zip(active, outcomes, strict=True):
                     if result_batch is None:
                         continue
                     for index, (_, sink) in enumerate(registrations):
@@ -532,6 +542,12 @@ class ShardedBroker:
                             matched.append((sink.order, sink.handle, result))
                 matched.sort(key=lambda item: item[0])
                 for _, handle, result in matched:
-                    self.reliability.dispatch(
-                        handle, Delivery(result=result, sequence=sequence)
+                    pending.append(
+                        (handle, Delivery(result=result, sequence=sequence))
                     )
+        # Matching and sequencing happen under the registry lock; the
+        # callbacks themselves must not (RL100) — a subscriber that
+        # subscribes/unsubscribes/publishes from its callback would
+        # otherwise deadlock against this dispatcher thread.
+        for handle, delivery in pending:
+            self.reliability.dispatch(handle, delivery)

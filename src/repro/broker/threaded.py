@@ -18,19 +18,22 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from collections.abc import Callable
 
-from repro.broker.broker import Delivery, ThematicBroker
+from repro.broker.broker import BrokerMetrics, Delivery, ThematicBroker
 from repro.broker.config import BrokerConfig, config_from_legacy
 from repro.broker.ingress import STOP, wait_until_drained
-from repro.broker.reliability import DeliveryPolicy
+from repro.broker.reliability import (
+    DeadLetterQueue,
+    DeliveryPolicy,
+    ReliableDelivery,
+)
 from repro.core.engine import SubscriptionHandle
 from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import MetricsRegistry
-from repro.obs.clock import Clock
+from repro.obs.clock import MONOTONIC_CLOCK, Clock
 
 __all__ = ["ThreadedBroker"]
 
@@ -62,8 +65,8 @@ class ThreadedBroker:
         *,
         registry: MetricsRegistry | None = None,
         clock: Clock | None = None,
-        **legacy,
-    ):
+        **legacy: object,
+    ) -> None:
         self.config = config_from_legacy(
             config, ("replay_capacity", "max_queue"), legacy
         )
@@ -74,7 +77,14 @@ class ThreadedBroker:
             "broker.queue_wait_seconds"
         )
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.max_queue)
-        self._lock = threading.Lock()
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        # Serializes access to the (single-threaded) inner broker between
+        # the worker, subscribe/unsubscribe callers, and close's drain.
+        # Reentrant on purpose: the inner broker runs subscriber
+        # callbacks inline, and a callback that re-enters this broker
+        # (subscribe from a delivery, the RL100 shape) must not deadlock
+        # against the worker thread that is already holding the lock.
+        self._lock = threading.RLock()
         self._closed = False
         self._close_lock = threading.Lock()
         self._worker = threading.Thread(
@@ -91,7 +101,7 @@ class ThreadedBroker:
                 if item is STOP:
                     return
                 enqueued_at, event = item
-                self._queue_wait.record(time.perf_counter() - enqueued_at)
+                self._queue_wait.record(self._clock.monotonic() - enqueued_at)
                 with self._lock:
                     self._inner.publish(event)
             finally:
@@ -128,7 +138,7 @@ class ThreadedBroker:
     def __enter__(self) -> "ThreadedBroker":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- producer side --------------------------------------------------------
@@ -141,7 +151,7 @@ class ThreadedBroker:
         """
         if self._closed:
             raise RuntimeError("broker is closed")
-        self._queue.put((time.perf_counter(), event))
+        self._queue.put((self._clock.monotonic(), event))
 
     def flush(self, timeout: float | None = None) -> bool:
         """Block until every queued event has been processed.
@@ -175,16 +185,16 @@ class ThreadedBroker:
             return self._inner.unsubscribe(handle)
 
     @property
-    def metrics(self):
+    def metrics(self) -> BrokerMetrics:
         return self._inner.metrics
 
     @property
-    def dead_letters(self):
+    def dead_letters(self) -> DeadLetterQueue:
         """The embedded broker's dead-letter queue."""
         return self._inner.dead_letters
 
     @property
-    def reliability(self):
+    def reliability(self) -> ReliableDelivery:
         """The embedded broker's reliability engine (breaker states etc.)."""
         return self._inner.reliability
 

@@ -278,6 +278,40 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repro static-analysis suite (see docs/static-analysis.md)."""
+    from pathlib import Path
+
+    from repro.analysis import AllowlistError, run_lint
+    from repro.analysis.runner import render_rules
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    root = Path(args.root)
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    allowlist = Path(args.allowlist) if args.allowlist else None
+    try:
+        result = run_lint(root, paths, allowlist=allowlist)
+    except AllowlistError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.stale_only:
+        # CI stale-suppression check: only RL000 findings gate the run.
+        for finding in result.stale:
+            print(finding.render())
+        print(
+            f"repro lint --stale-only: {len(result.stale)} stale "
+            f"suppression(s), {len(result.suppressed)} active"
+        )
+        return 1 if result.stale else 0
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render_text())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -339,6 +373,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--trace-out", default=None,
                          help="append span records as JSONL to this file")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repro static-analysis suite (lock discipline, "
+             "clock discipline, metrics manifest, API surface)",
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories to check (default: src/)")
+    p_lint.add_argument("--root", default=".",
+                        help="repo root (allowlist + API snapshot location)")
+    p_lint.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: <root>/.repro-lint.toml)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--stale-only", action="store_true",
+                        help="report only stale allowlist entries (RL000); "
+                             "exit 1 if any")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -108,7 +108,7 @@ def _solve(cost: np.ndarray) -> tuple[tuple[int, ...], float] | None:
     rows, cols = linear_sum_assignment(cost)
     total = float(cost[rows, cols].sum())
     assignment = [0] * n
-    for r, c in zip(rows, cols):
+    for r, c in zip(rows, cols, strict=True):
         assignment[r] = int(c)
     return tuple(assignment), total
 
@@ -252,7 +252,7 @@ def top_assignment_score(scores: np.ndarray) -> float:
     # small arities) disappears.
     rows, cols = linear_sum_assignment(cost)
     product = 1.0
-    for r, c in zip(rows, cols):
+    for r, c in zip(rows, cols, strict=True):
         product *= float(scores[r, c])
     return float(product ** (1.0 / n))
 
@@ -276,7 +276,7 @@ def top_assignment(scores: np.ndarray) -> tuple[tuple[int, ...], float] | None:
     rows, cols = linear_sum_assignment(cost)
     assignment = [0] * n
     product = 1.0
-    for r, c in zip(rows, cols):
+    for r, c in zip(rows, cols, strict=True):
         assignment[r] = int(c)
         product *= float(scores[r, c])
     return tuple(assignment), float(product ** (1.0 / n))

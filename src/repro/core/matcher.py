@@ -27,6 +27,11 @@ from repro.core.subscriptions import Subscription
 from repro.obs import TRACER
 from repro.semantics.measures import SemanticMeasure
 
+#: Shared default: Calibration is a frozen value object, so one
+#: instance serves every matcher (and keeps the call out of the
+#: argument-default position).
+_DEFAULT_CALIBRATION = Calibration()
+
 __all__ = ["MatchResult", "ThematicMatcher"]
 
 
@@ -96,7 +101,7 @@ class ThematicMatcher:
         k: int = 1,
         threshold: float = 0.5,
         min_relatedness: float = 0.0,
-        calibration: Calibration | None = Calibration(),
+        calibration: Calibration | None = _DEFAULT_CALIBRATION,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")

@@ -14,13 +14,13 @@ never drift apart on methodology.
 from __future__ import annotations
 
 import random
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.broker import ShardedBroker, ThreadedBroker
 from repro.broker.config import BrokerConfig
 from repro.evaluation.harness import thematic_matcher_factory
+from repro.obs.clock import MONOTONIC_CLOCK
 from repro.evaluation.themes import ThemeCombination, theme_pool
 from repro.evaluation.workload import Workload
 
@@ -80,11 +80,11 @@ def run_broker_workload(
     broker = make_broker()
     try:
         handles = [broker.subscribe(subscription) for subscription in subscriptions]
-        started = time.perf_counter()
+        started = MONOTONIC_CLOCK.monotonic()
         for event in events:
             broker.publish(event)
         broker.flush()
-        elapsed = time.perf_counter() - started
+        elapsed = MONOTONIC_CLOCK.monotonic() - started
     finally:
         broker.close()
     event_index = {id(event): j for j, event in enumerate(events)}

@@ -170,7 +170,7 @@ def run_fault_injection(
             delivered, dead, metrics = _run_one(
                 kind, matcher_factory, subscriptions, events, plan, config, clock
             )
-            accounted = [d + x for d, x in zip(delivered, dead)]
+            accounted = [d + x for d, x in zip(delivered, dead, strict=True)]
             no_loss = accounted == baseline if strict else True
             all_no_loss = all_no_loss and no_loss
             entry = {

@@ -14,12 +14,12 @@ figures compare against (Section 5.2.5).
 from __future__ import annotations
 
 import statistics
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.baselines.nonthematic import NonThematicMatcher
 from repro.core.matcher import ThematicMatcher
+from repro.obs.clock import MONOTONIC_CLOCK
 from repro.evaluation.metrics import (
     EffectivenessResult,
     ThroughputResult,
@@ -278,13 +278,13 @@ def run_sub_experiment(
         # per-event latency measurement meaningful. The pipeline's score
         # table persists across events, so dedup compounds over the run.
         for j, event in enumerate(themed_events):
-            started = time.perf_counter()
+            started = MONOTONIC_CLOCK.monotonic()
             column = matcher.match_batch(
                 themed_subscriptions, [event], scores_only=True
             ).scores
             for i in range(len(themed_subscriptions)):
                 scores[i][j] = column[i][0]
-            latencies.append(time.perf_counter() - started)
+            latencies.append(MONOTONIC_CLOCK.monotonic() - started)
         return len(themed_events)
 
     throughput = measure_throughput(process)

@@ -18,9 +18,10 @@ monotonic clock around the caller-supplied loop.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+
+from repro.obs.clock import MONOTONIC_CLOCK
 
 __all__ = [
     "RECALL_LEVELS",
@@ -72,7 +73,7 @@ class ConfusionCounts:
         if len(decisions) != len(truth):
             raise ValueError("decisions and truth must have equal length")
         tp = fp = fn = tn = 0
-        for decided, actual in zip(decisions, truth):
+        for decided, actual in zip(decisions, truth, strict=True):
             if decided and actual:
                 tp += 1
             elif decided and not actual:
@@ -133,7 +134,7 @@ def average_interpolated_precision(
         raise ValueError("rankings and relevant_sets must align")
     sums = [0.0] * len(levels)
     used = 0
-    for ranking, relevant in zip(rankings, relevant_sets):
+    for ranking, relevant in zip(rankings, relevant_sets, strict=True):
         if not relevant:
             continue
         used += 1
@@ -151,7 +152,7 @@ def max_f1_from_precisions(
 ) -> float:
     """Maximal F1 over the recall levels (the paper's reported number)."""
     best = 0.0
-    for precision, recall in zip(precisions, levels):
+    for precision, recall in zip(precisions, levels, strict=True):
         if precision + recall > 0.0:
             best = max(best, 2.0 * precision * recall / (precision + recall))
     return best
@@ -195,7 +196,7 @@ def measure_throughput(
     process: Callable[[], int],
 ) -> ThroughputResult:
     """Time ``process`` (which returns how many events it handled)."""
-    start = time.perf_counter()
+    start = MONOTONIC_CLOCK.monotonic()
     events = process()
-    elapsed = time.perf_counter() - start
+    elapsed = MONOTONIC_CLOCK.monotonic() - start
     return ThroughputResult(events=events, seconds=elapsed)

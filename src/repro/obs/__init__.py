@@ -18,7 +18,14 @@ from repro.obs.artifacts import (
     load_bench_artifact,
     write_bench_artifact,
 )
-from repro.obs.clock import MONOTONIC_CLOCK, Clock, FakeClock, MonotonicClock
+from repro.obs.clock import (
+    MONOTONIC_CLOCK,
+    Clock,
+    FakeClock,
+    MonotonicClock,
+    wall_time,
+)
+from repro.obs.manifest import METRICS, MetricSpec
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -40,6 +47,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LatencySummary",
+    "METRICS",
+    "MetricSpec",
     "MetricsRegistry",
     "TRACER",
     "Tracer",
@@ -49,5 +58,6 @@ __all__ = [
     "merge_snapshots",
     "set_registry",
     "traced",
+    "wall_time",
     "write_bench_artifact",
 ]

@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
+
+from repro.obs.clock import wall_time
 
 __all__ = [
     "SCHEMA",
@@ -112,7 +113,7 @@ def write_bench_artifact(
     document: dict[str, Any] = {
         "schema": SCHEMA,
         "bench": name,
-        "created_unix": time.time(),
+        "created_unix": wall_time(),
         "scale": os.environ.get("REPRO_SCALE", "small"),
     }
     if extra:

@@ -17,7 +17,7 @@ import threading
 import time
 from typing import Protocol, runtime_checkable
 
-__all__ = ["Clock", "FakeClock", "MonotonicClock", "MONOTONIC_CLOCK"]
+__all__ = ["Clock", "FakeClock", "MonotonicClock", "MONOTONIC_CLOCK", "wall_time"]
 
 
 @runtime_checkable
@@ -54,7 +54,7 @@ class FakeClock:
     scripted.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._lock = threading.Lock()
 
@@ -76,3 +76,16 @@ class FakeClock:
 
 #: Shared process-wide default clock (stateless, so sharing is free).
 MONOTONIC_CLOCK = MonotonicClock()
+
+
+def wall_time() -> float:
+    """Current Unix wall-clock time, for timestamps in exported records.
+
+    This is the one sanctioned wall-clock read in the codebase: trace
+    records and bench artifacts need real-world timestamps, but nothing
+    may *reason* about durations with them — durations and deadlines go
+    through :class:`Clock`. Keeping the call here (rather than scattered
+    ``time.time()`` calls) is what lets the clock-discipline lint rule
+    ban :mod:`time` everywhere else.
+    """
+    return time.time()

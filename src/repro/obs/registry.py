@@ -43,7 +43,7 @@ class Counter:
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0
         self._lock = threading.Lock()
@@ -70,7 +70,7 @@ class Gauge:
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
         self._lock = threading.Lock()
@@ -112,7 +112,7 @@ class Histogram:
     __slots__ = ("name", "_buckets", "_zeros", "_count", "_sum", "_min", "_max",
                  "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._buckets: dict[int, int] = {}
         self._zeros = 0

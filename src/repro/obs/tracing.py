@@ -34,11 +34,11 @@ from __future__ import annotations
 import functools
 import json
 import threading
-import time
 from collections.abc import Callable
 from pathlib import Path
 from typing import Any, TextIO
 
+from repro.obs.clock import MONOTONIC_CLOCK, Clock, wall_time
 from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["Tracer", "TRACER", "traced"]
@@ -52,7 +52,7 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         return False
 
 
@@ -64,7 +64,9 @@ class _Span:
 
     __slots__ = ("tracer", "name", "attributes", "start", "_parent")
 
-    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]):
+    def __init__(
+        self, tracer: "Tracer", name: str, attributes: dict[str, Any]
+    ) -> None:
         self.tracer = tracer
         self.name = name
         self.attributes = attributes
@@ -75,11 +77,11 @@ class _Span:
         stack = self.tracer._stack()
         self._parent = stack[-1] if stack else None
         stack.append(self.name)
-        self.start = time.perf_counter()
+        self.start = self.tracer.clock.monotonic()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
-        duration = time.perf_counter() - self.start
+    def __exit__(self, *exc_info: object) -> bool:
+        duration = self.tracer.clock.monotonic() - self.start
         stack = self.tracer._stack()
         if stack and stack[-1] == self.name:
             stack.pop()
@@ -100,7 +102,10 @@ class Tracer:
         finished span appends one JSON object per line.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, clock: Clock | None = None) -> None:
+        #: Duration source for spans; injectable so traced pipelines stay
+        #: deterministic under the fault harness's FakeClock.
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
         self.enabled = False
         self._registry: MetricsRegistry | None = None
         self._sink: TextIO | None = None
@@ -180,7 +185,7 @@ class Tracer:
         sink = self._sink
         if sink is not None:
             record: dict[str, Any] = {
-                "ts": time.time(),
+                "ts": wall_time(),
                 "span": name,
                 "duration_ms": duration * 1000.0,
             }

@@ -1,0 +1,11 @@
+# ruff: noqa
+"""Known-bad export list: ``__all__`` names an unbound symbol (RL501).
+
+Lint input for tests/analysis — loaded by path, never imported.
+"""
+
+__all__ = ["exists", "missing"]
+
+
+def exists():
+    return 1

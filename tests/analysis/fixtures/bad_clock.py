@@ -1,0 +1,24 @@
+# ruff: noqa
+"""Known-bad clock usage: every line marked below must trip RL300/RL301.
+
+Lint input for tests/analysis — loaded by path, never imported.
+"""
+import time
+from datetime import datetime
+from time import monotonic  # RL300: from-import of a banned name
+
+
+def stamp():
+    return time.time()  # RL300
+
+
+def nap():
+    time.sleep(0.5)  # RL300
+
+
+def elapsed(start):
+    return time.perf_counter() - start  # RL300
+
+
+def wall():
+    return datetime.now()  # RL301

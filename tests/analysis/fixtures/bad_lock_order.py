@@ -1,0 +1,35 @@
+# ruff: noqa
+"""Known-bad lock orders: both patterns here must trip RL200.
+
+Lint input for tests/analysis — loaded by path, never imported.
+"""
+import threading
+
+
+class BadRegistry:
+    def __init__(self):
+        self._reg_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    def register(self):
+        with self._reg_lock:
+            with self._stats_lock:  # order: reg -> stats
+                pass
+
+    def snapshot(self):
+        with self._stats_lock:
+            with self._reg_lock:  # order: stats -> reg (cycle)
+                pass
+
+
+class BadReentry:
+    def __init__(self):
+        self._state_lock = threading.Lock()
+
+    def outer(self):
+        with self._state_lock:
+            self._inner()  # self-deadlock: non-reentrant re-acquire
+
+    def _inner(self):
+        with self._state_lock:
+            pass

@@ -1,0 +1,31 @@
+# ruff: noqa
+"""Known-bad lock scopes: every pattern here must trip RL100/RL101/RL102.
+
+This file is lint *input* for tests/analysis — it is loaded by path and
+never imported, and it deliberately reproduces the PR-4 incident shape
+(subscriber callback and backoff sleep executed under a broker lock).
+"""
+import threading
+
+
+class BadDispatcher:
+    def __init__(self, broker, clock):
+        self._dispatch_lock = threading.Lock()
+        self._broker = broker
+        self._clock = clock
+
+    def deliver(self, handle, delivery):
+        with self._dispatch_lock:
+            handle.callback(delivery)  # RL100: user code under the lock
+            self._clock.sleep(0.01)  # RL102: backoff under the lock
+
+    def reenter(self, event):
+        with self._dispatch_lock:
+            self._broker.publish(event)  # RL101: broker re-entry under lock
+
+    def indirect(self, handle, delivery):
+        with self._dispatch_lock:
+            self._attempt(handle, delivery)  # RL100 via the call graph
+
+    def _attempt(self, handle, delivery):
+        handle.callback(delivery)

@@ -1,0 +1,13 @@
+# ruff: noqa
+"""Known-bad metric registrations: must trip RL400/RL401.
+
+Lint input for tests/analysis — loaded by path, never imported.
+"""
+
+
+def register(registry, names):
+    registry.counter("broker.unheard_of")  # RL400: not in the manifest
+    registry.gauge("broker.published")  # RL400: declared as a counter
+    registry.histogram(f"adhoc.{names[0]}")  # RL401: unknown wildcard family
+    for name in names:
+        registry.counter(name)  # RL401: dynamic name

@@ -1,0 +1,120 @@
+"""The allowlist: narrow matching, mandatory reasons, stale detection."""
+
+import pytest
+
+from repro.analysis import (
+    AllowEntry,
+    AllowlistError,
+    Finding,
+    load_allowlist,
+)
+from repro.analysis.allowlist import apply_allowlist
+
+LOCK_FINDING = Finding(
+    path="src/repro/broker/threaded.py",
+    line=10,
+    rule="RL100",
+    message="lock held across callback",
+    symbol="ThreadedBroker._run",
+)
+
+
+def _write(tmp_path, text):
+    path = tmp_path / "allow.toml"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestLoading:
+    def test_well_formed_entry(self, tmp_path):
+        entries = load_allowlist(
+            _write(
+                tmp_path,
+                '[[allow]]\nrules = ["RL100", "RL101"]\n'
+                'path = "src/repro/broker/threaded.py"\n'
+                'symbol = "ThreadedBroker._run"\n'
+                'reason = "serialization point, RLock"\n',
+            )
+        )
+        assert entries == [
+            AllowEntry(
+                rules=("RL100", "RL101"),
+                path="src/repro/broker/threaded.py",
+                symbol="ThreadedBroker._run",
+                reason="serialization point, RLock",
+            )
+        ]
+
+    def test_singular_rule_key_accepted(self, tmp_path):
+        entries = load_allowlist(
+            _write(
+                tmp_path,
+                '[[allow]]\nrule = "RL300"\npath = "a.py"\nreason = "ok"\n',
+            )
+        )
+        assert entries[0].rules == ("RL300",)
+
+    def test_missing_reason_is_an_error(self, tmp_path):
+        path = _write(
+            tmp_path, '[[allow]]\nrules = ["RL100"]\npath = "a.py"\n'
+        )
+        with pytest.raises(AllowlistError, match="reason"):
+            load_allowlist(path)
+
+    def test_blank_reason_is_an_error(self, tmp_path):
+        path = _write(
+            tmp_path,
+            '[[allow]]\nrules = ["RL100"]\npath = "a.py"\nreason = "  "\n',
+        )
+        with pytest.raises(AllowlistError, match="reason"):
+            load_allowlist(path)
+
+    def test_invalid_toml_is_an_error(self, tmp_path):
+        with pytest.raises(AllowlistError, match="TOML"):
+            load_allowlist(_write(tmp_path, "[[allow\n"))
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(AllowlistError, match="cannot read"):
+            load_allowlist(tmp_path / "nope.toml")
+
+
+class TestMatching:
+    def _entry(self, **overrides):
+        base = dict(
+            rules=("RL100",),
+            path="src/repro/broker/threaded.py",
+            symbol="ThreadedBroker._run",
+            reason="x",
+        )
+        base.update(overrides)
+        return AllowEntry(**base)
+
+    def test_exact_match_suppresses(self):
+        kept, suppressed, stale = apply_allowlist(
+            [LOCK_FINDING], [self._entry()]
+        )
+        assert kept == [] and suppressed == [LOCK_FINDING] and stale == []
+
+    def test_wrong_symbol_does_not_match(self):
+        kept, suppressed, stale = apply_allowlist(
+            [LOCK_FINDING], [self._entry(symbol="ThreadedBroker.close")]
+        )
+        assert kept == [LOCK_FINDING]
+        assert [f.rule for f in stale] == ["RL000"]
+
+    def test_empty_symbol_matches_any_symbol(self):
+        kept, suppressed, _ = apply_allowlist(
+            [LOCK_FINDING], [self._entry(symbol="")]
+        )
+        assert suppressed == [LOCK_FINDING] and kept == []
+
+    def test_wrong_rule_does_not_match(self):
+        kept, _, stale = apply_allowlist(
+            [LOCK_FINDING], [self._entry(rules=("RL102",))]
+        )
+        assert kept == [LOCK_FINDING] and len(stale) == 1
+
+    def test_stale_entry_names_itself(self):
+        _, _, stale = apply_allowlist([], [self._entry()])
+        assert stale[0].path == ".repro-lint.toml"
+        assert "ThreadedBroker._run" in stale[0].message

@@ -1,0 +1,239 @@
+"""Every lint rule id must fire on its known-bad fixture.
+
+Each fixture under ``fixtures/`` reproduces one incident class (the
+lock-scope/lock-order ones are the PR-4 deadlock shapes); these tests
+pin that the checkers keep catching them. The companion
+``test_clean_tree`` pins the other direction: zero findings on the
+real source tree.
+"""
+
+from pathlib import Path
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.checkers import (
+    api_surface,
+    clock_discipline,
+    lock_order,
+    lock_scope,
+    metrics_manifest,
+)
+from repro.analysis.project import load_modules
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+#: Manifest stand-in for the metrics fixture: one counter plus one
+#: wildcard family, mirroring the real manifest's shapes.
+EXACT = {"broker.published": "counter"}
+WILDCARDS = {"stage.": "histogram"}
+
+
+def _load(name):
+    modules = load_modules(FIXTURES, [FIXTURES / name])
+    assert modules, f"fixture {name} failed to parse"
+    return modules, CallGraph(modules)
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestLockScopeFixture:
+    def test_trips_all_three_rules(self):
+        modules, graph = _load("bad_lock_scope.py")
+        findings = lock_scope.check(modules, graph)
+        assert _rules(findings) == {"RL100", "RL101", "RL102"}
+
+    def test_direct_callback_under_lock(self):
+        modules, graph = _load("bad_lock_scope.py")
+        findings = lock_scope.check(modules, graph)
+        direct = [
+            f
+            for f in findings
+            if f.rule == "RL100" and f.symbol == "BadDispatcher.deliver"
+        ]
+        assert len(direct) == 1
+        assert "_dispatch_lock" in direct[0].message
+
+    def test_callback_reached_through_call_graph(self):
+        """The PR-4 shape: the callback hides one call deep."""
+        modules, graph = _load("bad_lock_scope.py")
+        findings = lock_scope.check(modules, graph)
+        indirect = [
+            f
+            for f in findings
+            if f.rule == "RL100" and f.symbol == "BadDispatcher.indirect"
+        ]
+        assert len(indirect) == 1
+        assert "BadDispatcher._attempt" in indirect[0].render()
+
+    def test_broker_reentry_and_sleep(self):
+        modules, graph = _load("bad_lock_scope.py")
+        findings = lock_scope.check(modules, graph)
+        assert any(
+            f.rule == "RL101" and f.symbol == "BadDispatcher.reenter"
+            for f in findings
+        )
+        assert any(
+            f.rule == "RL102" and f.symbol == "BadDispatcher.deliver"
+            for f in findings
+        )
+
+
+class TestLockOrderFixture:
+    def test_opposite_order_cycle(self):
+        modules, graph = _load("bad_lock_order.py")
+        findings = lock_order.check(modules, graph)
+        cycles = [f for f in findings if "cycle" in f.message]
+        assert cycles, findings
+        assert any(
+            "BadRegistry._reg_lock" in f.message
+            and "BadRegistry._stats_lock" in f.message
+            for f in cycles
+        )
+
+    def test_self_deadlock_through_call(self):
+        modules, graph = _load("bad_lock_order.py")
+        findings = lock_order.check(modules, graph)
+        assert any(
+            "self-deadlock" in f.message
+            and "BadReentry._state_lock" in f.message
+            for f in findings
+        )
+
+    def test_all_are_rl200(self):
+        modules, graph = _load("bad_lock_order.py")
+        findings = lock_order.check(modules, graph)
+        assert findings and _rules(findings) == {"RL200"}
+
+    def test_rlock_self_reacquire_is_allowed(self, tmp_path):
+        (tmp_path / "ok_rlock.py").write_text(
+            "import threading\n"
+            "class Reentrant:\n"
+            "    def __init__(self):\n"
+            "        self._state_lock = threading.RLock()\n"
+            "    def outer(self):\n"
+            "        with self._state_lock:\n"
+            "            self._inner()\n"
+            "    def _inner(self):\n"
+            "        with self._state_lock:\n"
+            "            pass\n",
+            encoding="utf-8",
+        )
+        modules = load_modules(tmp_path, [tmp_path / "ok_rlock.py"])
+        assert lock_order.check(modules, CallGraph(modules)) == []
+
+
+class TestClockFixture:
+    def test_trips_both_rules(self):
+        modules, _ = _load("bad_clock.py")
+        findings = clock_discipline.check(modules)
+        assert _rules(findings) == {"RL300", "RL301"}
+
+    def test_each_banned_call_is_found(self):
+        modules, _ = _load("bad_clock.py")
+        findings = clock_discipline.check(modules)
+        messages = "\n".join(f.message for f in findings)
+        for banned in ("time.time", "time.sleep", "time.perf_counter",
+                       "datetime.now", "monotonic"):
+            assert banned in messages, banned
+
+    def test_clock_module_itself_is_exempt(self, tmp_path):
+        clock_dir = tmp_path / "repro" / "obs"
+        clock_dir.mkdir(parents=True)
+        clock = clock_dir / "clock.py"
+        clock.write_text("import time\nNOW = time.time()\n", encoding="utf-8")
+        modules = load_modules(tmp_path, [clock])
+        assert clock_discipline.check(modules) == []
+
+
+class TestMetricsFixture:
+    def test_trips_both_rules(self):
+        modules, _ = _load("bad_metrics.py")
+        findings = metrics_manifest.check(modules, EXACT, WILDCARDS)
+        assert _rules(findings) == {"RL400", "RL401"}
+
+    def test_unknown_name_and_kind_mismatch(self):
+        modules, _ = _load("bad_metrics.py")
+        findings = metrics_manifest.check(modules, EXACT, WILDCARDS)
+        rl400 = [f for f in findings if f.rule == "RL400"]
+        assert len(rl400) == 2
+        messages = "\n".join(f.message for f in rl400)
+        assert "broker.unheard_of" in messages
+        assert "broker.published" in messages  # gauge vs declared counter
+
+    def test_dynamic_names_flagged(self):
+        modules, _ = _load("bad_metrics.py")
+        findings = metrics_manifest.check(modules, EXACT, WILDCARDS)
+        assert len([f for f in findings if f.rule == "RL401"]) == 2
+
+    def test_declared_wildcard_family_is_accepted(self, tmp_path):
+        (tmp_path / "ok_metrics.py").write_text(
+            "def register(registry, stage):\n"
+            '    registry.histogram(f"stage.{stage}.seconds")\n'
+            '    registry.counter("broker.published")\n',
+            encoding="utf-8",
+        )
+        modules = load_modules(tmp_path, [tmp_path / "ok_metrics.py"])
+        assert metrics_manifest.check(modules, EXACT, WILDCARDS) == []
+
+
+class TestApiSurfaceFixture:
+    def test_unbound_export_is_rl501(self):
+        modules, _ = _load("bad_api.py")
+        findings = api_surface.check(modules, FIXTURES)
+        rl501 = [f for f in findings if f.rule == "RL501"]
+        assert len(rl501) == 1
+        assert "missing" in rl501[0].message
+
+    def _mini_tree(self, tmp_path, *, facade_all, config_fields):
+        """A throwaway repo: snapshot file + facade + pinned config."""
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_public_api.py").write_text(
+            'PUBLIC_API = ["Alpha"]\n'
+            'CONFIG_FIELDS = {"Cfg": ["first", "second"]}\n',
+            encoding="utf-8",
+        )
+        src = tmp_path / "src" / "repro"
+        src.mkdir(parents=True)
+        (src / "api.py").write_text(
+            "\n".join(f"{n} = object()" for n in facade_all)
+            + f"\n__all__ = {facade_all!r}\n",
+            encoding="utf-8",
+        )
+        (src / "config.py").write_text(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Cfg:\n"
+            + "".join(f"    {f}: int = 0\n" for f in config_fields),
+            encoding="utf-8",
+        )
+        return load_modules(tmp_path, [tmp_path / "src"])
+
+    def test_facade_drift_is_rl500(self, tmp_path):
+        modules = self._mini_tree(
+            tmp_path,
+            facade_all=["Alpha", "Beta"],  # Beta not in PUBLIC_API
+            config_fields=["first", "second"],
+        )
+        findings = api_surface.check(modules, tmp_path)
+        rl500 = [f for f in findings if f.rule == "RL500"]
+        assert rl500 and any("Beta" in f.message for f in rl500)
+
+    def test_config_field_drift_is_rl502(self, tmp_path):
+        modules = self._mini_tree(
+            tmp_path,
+            facade_all=["Alpha"],
+            config_fields=["first", "surprise"],  # second renamed
+        )
+        findings = api_surface.check(modules, tmp_path)
+        rl502 = [f for f in findings if f.rule == "RL502"]
+        assert len(rl502) == 1
+        assert "Cfg" in rl502[0].message
+
+    def test_matching_tree_is_clean(self, tmp_path):
+        modules = self._mini_tree(
+            tmp_path,
+            facade_all=["Alpha"],
+            config_fields=["first", "second"],
+        )
+        assert api_surface.check(modules, tmp_path) == []

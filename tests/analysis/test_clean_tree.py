@@ -1,0 +1,41 @@
+"""The real source tree must lint clean.
+
+This is the other half of the fixture tests: the checkers fire on
+known-bad code *and* stay quiet (modulo the reviewed allowlist) on the
+tree as shipped. A failure here means new code introduced a violation —
+fix it or add a reviewed ``.repro-lint.toml`` entry in the same change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_lint(REPO_ROOT)
+
+
+def test_src_tree_has_zero_findings(result):
+    assert result.ok, "\n" + result.render_text()
+
+
+def test_no_stale_suppressions(result):
+    assert result.stale == []
+
+
+def test_allowlist_entries_are_all_active(result):
+    """Every reviewed suppression still matches a live finding."""
+    assert result.suppressed, (
+        "the allowlist suppressed nothing — its entries are stale and "
+        "the stale check should have caught that"
+    )
+
+
+def test_whole_src_tree_was_scanned(result):
+    src_files = len(list((REPO_ROOT / "src").rglob("*.py")))
+    assert result.checked_files == src_files

@@ -1,0 +1,109 @@
+"""``repro lint`` CLI: exit codes, formats, and the CI stale-only mode."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _empty_allowlist(tmp_path):
+    path = tmp_path / "empty.toml"
+    path.write_text("", encoding="utf-8")
+    return path
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL000", "RL100", "RL200", "RL300", "RL400", "RL500"):
+        assert rule_id in out
+
+
+def test_repo_tree_exits_zero(capsys):
+    assert main(["lint", "--root", str(REPO_ROOT)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_fixture_violations_exit_nonzero_with_json(tmp_path, capsys):
+    code = main(
+        [
+            "lint",
+            str(FIXTURES / "bad_clock.py"),
+            "--root",
+            str(REPO_ROOT),
+            "--allowlist",
+            str(_empty_allowlist(tmp_path)),
+            "--format",
+            "json",
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert any(f["rule"] == "RL300" for f in payload["findings"])
+
+
+def test_text_format_renders_file_line_rule(tmp_path, capsys):
+    code = main(
+        [
+            "lint",
+            str(FIXTURES / "bad_clock.py"),
+            "--root",
+            str(REPO_ROOT),
+            "--allowlist",
+            str(_empty_allowlist(tmp_path)),
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "tests/analysis/fixtures/bad_clock.py" in out
+    assert "RL300" in out
+
+
+def test_stale_only_is_clean_on_repo(capsys):
+    assert main(["lint", "--root", str(REPO_ROOT), "--stale-only"]) == 0
+    assert "0 stale suppression(s)" in capsys.readouterr().out
+
+
+def test_stale_only_fails_on_dead_entry(tmp_path, capsys):
+    allow = tmp_path / "allow.toml"
+    allow.write_text(
+        '[[allow]]\nrules = ["RL999"]\npath = "nowhere.py"\n'
+        'reason = "never matches"\n',
+        encoding="utf-8",
+    )
+    code = main(
+        [
+            "lint",
+            str(FIXTURES / "bad_api.py"),
+            "--root",
+            str(REPO_ROOT),
+            "--allowlist",
+            str(allow),
+            "--stale-only",
+        ]
+    )
+    assert code == 1
+    assert "RL000" in capsys.readouterr().out
+
+
+def test_malformed_allowlist_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text(
+        '[[allow]]\nrules = ["RL100"]\npath = "x.py"\n', encoding="utf-8"
+    )
+    code = main(
+        [
+            "lint",
+            str(FIXTURES / "bad_clock.py"),
+            "--root",
+            str(REPO_ROOT),
+            "--allowlist",
+            str(bad),
+        ]
+    )
+    assert code == 2
+    assert "reason" in capsys.readouterr().err

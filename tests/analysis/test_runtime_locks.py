@@ -1,0 +1,162 @@
+"""Runtime lock-discipline sanitizer: the dynamic half of RL200.
+
+The headline regression here is the PR-4 incident: a broker lock held
+across a subscriber callback that re-enters the broker. Under
+``InstrumentedLock`` that surfaces as an immediate
+:class:`LockOrderViolation` with a stack trace — instead of a hung CI
+job — and the ``lock_discipline`` fixture asserts the acquisition
+orders actually observed during a test form no cycle.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis.runtime import (
+    InstrumentedLock,
+    LockOrderRecorder,
+    LockOrderViolation,
+)
+from repro.broker.threaded import ThreadedBroker
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import ThematicMeasure
+
+EVENT = parse_event(
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event, device: computer,"
+    "  office: room 112})"
+)
+SUBSCRIPTION = parse_subscription(
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+
+
+class TestInstrumentedLock:
+    def test_behaves_like_a_lock(self):
+        lock = InstrumentedLock(LockOrderRecorder(), "a")
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+        assert lock.acquire(blocking=False)
+        lock.release()
+
+    def test_pr4_shape_reacquire_under_callback_raises(self):
+        """Lock held across a callback that re-enters the same lock."""
+        recorder = LockOrderRecorder()
+        dispatch_lock = InstrumentedLock(recorder, "broker._lock")
+
+        def subscriber_callback():
+            with dispatch_lock:  # re-entry: deadlock without instrumentation
+                pass
+
+        with pytest.raises(LockOrderViolation, match="re-acquired"):
+            with dispatch_lock:
+                subscriber_callback()
+
+    def test_reentrant_reacquire_is_fine(self):
+        recorder = LockOrderRecorder()
+        lock = InstrumentedLock(recorder, "reg", reentrant=True)
+        with lock, lock:
+            pass
+        assert recorder.edges() == {}
+
+    def test_failed_nonblocking_acquire_unwinds_the_stack(self):
+        recorder = LockOrderRecorder()
+        contended = InstrumentedLock(recorder, "contended")
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with contended:
+                held.set()
+                release.wait(5)
+
+        worker = threading.Thread(target=holder)
+        worker.start()
+        assert held.wait(5)
+        assert contended.acquire(blocking=False) is False
+        release.set()
+        worker.join(5)
+        # The failed acquire must not have stayed on this thread's held
+        # stack, or the next acquisition would record a phantom edge.
+        with InstrumentedLock(recorder, "other"):
+            pass
+        assert ("contended", "other") not in recorder.edges()
+
+
+class TestLockOrderRecorder:
+    def _acquire_pair(self, first, second):
+        with first, second:
+            pass
+
+    def test_consistent_order_is_acyclic(self):
+        recorder = LockOrderRecorder()
+        a = InstrumentedLock(recorder, "a")
+        b = InstrumentedLock(recorder, "b")
+        self._acquire_pair(a, b)
+        self._acquire_pair(a, b)
+        assert recorder.edges() == {("a", "b"): recorder.edges()[("a", "b")]}
+        recorder.assert_acyclic()
+
+    def test_opposite_orders_form_a_cycle(self):
+        recorder = LockOrderRecorder()
+        a = InstrumentedLock(recorder, "a")
+        b = InstrumentedLock(recorder, "b")
+        self._acquire_pair(a, b)
+        self._acquire_pair(b, a)
+        assert recorder.find_cycle() is not None
+        with pytest.raises(LockOrderViolation, match="cycle"):
+            recorder.assert_acyclic()
+
+    def test_three_lock_cycle(self):
+        recorder = LockOrderRecorder()
+        a = InstrumentedLock(recorder, "a")
+        b = InstrumentedLock(recorder, "b")
+        c = InstrumentedLock(recorder, "c")
+        self._acquire_pair(a, b)
+        self._acquire_pair(b, c)
+        self._acquire_pair(c, a)
+        with pytest.raises(LockOrderViolation, match="cycle"):
+            recorder.assert_acyclic()
+
+    def test_edges_record_the_acquisition_site(self):
+        recorder = LockOrderRecorder()
+        a = InstrumentedLock(recorder, "a")
+        b = InstrumentedLock(recorder, "b")
+        self._acquire_pair(a, b)
+        ((edge, site),) = recorder.edges().items()
+        assert edge == ("a", "b")
+        assert "test_runtime_locks.py" in site
+
+
+class TestInstrumentedBroker:
+    """End-to-end: real broker, instrumented locks, re-entrant callback."""
+
+    def test_callback_subscribing_from_worker_thread(self, lock_discipline, space):
+        """A subscriber that subscribes from its callback — the exact
+        re-entry the PR-4 fix (RLock in ThreadedBroker) exists for.
+        Under instrumentation a non-reentrant lock here would raise
+        LockOrderViolation instead of deadlocking the worker."""
+        matcher = ThematicMatcher(ThematicMeasure(space))
+        with ThreadedBroker(matcher) as broker:
+            late_handles = []
+
+            def resubscribe(delivery):
+                late_handles.append(broker.subscribe(SUBSCRIPTION))
+
+            broker.subscribe(SUBSCRIPTION, resubscribe)
+            broker.publish(EVENT)
+            assert broker.flush(timeout=30)
+            assert len(late_handles) == 1
+        # lock_discipline's teardown asserts the observed order graph
+        # is acyclic; reaching this line means no re-entry violation.
+
+    def test_broker_locks_are_instrumented(self, lock_discipline, space):
+        matcher = ThematicMatcher(ThematicMeasure(space))
+        with ThreadedBroker(matcher) as broker:
+            assert isinstance(broker._lock, InstrumentedLock)
+            assert broker._lock.reentrant
+            broker.publish(EVENT)
+            assert broker.flush(timeout=30)

@@ -61,7 +61,7 @@ class TestAtLeast:
             for outcome in itertools.product([0, 1], repeat=len(values)):
                 if sum(outcome) >= k:
                     weight = 1.0
-                    for hit, p in zip(outcome, values):
+                    for hit, p in zip(outcome, values, strict=True):
                         weight *= p if hit else (1 - p)
                     expected += weight
             assert math.isclose(at_least(values, k), expected, abs_tol=1e-9)

@@ -52,3 +52,28 @@ def space(corpus):
 @pytest.fixture(scope="session")
 def tiny_workload():
     return build_workload(WorkloadConfig.tiny())
+
+
+@pytest.fixture()
+def lock_discipline():
+    """Instrument every lock ``repro.*`` code constructs during the test.
+
+    Same-thread re-acquisition of a non-reentrant lock raises
+    :class:`repro.analysis.runtime.LockOrderViolation` at the acquire
+    site (the PR-4 deadlock, as a stack trace instead of a hang), and
+    teardown asserts the observed acquisition orders form no cycle.
+    Opt in per test, or suite-wide with ``REPRO_LOCK_CHECK=1``.
+    """
+    from repro.analysis.runtime import LockOrderRecorder, instrument_repro_locks
+
+    recorder = LockOrderRecorder()
+    with instrument_repro_locks(recorder):
+        yield recorder
+    recorder.assert_acyclic()
+
+
+if os.environ.get("REPRO_LOCK_CHECK") == "1":
+
+    @pytest.fixture(autouse=True)
+    def _lock_discipline_everywhere(lock_discipline):
+        yield

@@ -89,7 +89,7 @@ class TestKBestAssignments:
         ours = k_best_assignments(scores, k)
         reference = brute_force(scores, k)
         assert len(ours) == len(reference)
-        for (_, our_cost), (_, ref_cost) in zip(ours, reference):
+        for (_, our_cost), (_, ref_cost) in zip(ours, reference, strict=True):
             assert math.isclose(our_cost, ref_cost, rel_tol=1e-6, abs_tol=1e-9)
 
 

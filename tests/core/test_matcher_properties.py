@@ -94,7 +94,7 @@ class TestInvariants:
         mappings = result.mappings()
         probabilities = [m.probability for m in mappings]
         assert all(
-            a >= b - 1e-9 for a, b in zip(probabilities, probabilities[1:])
+            a >= b - 1e-9 for a, b in zip(probabilities, probabilities[1:], strict=False)
         )
         total = sum(probabilities)
         assert total == 0.0 or abs(total - 1.0) < 1e-6

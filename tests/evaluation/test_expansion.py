@@ -51,7 +51,7 @@ class TestExpandEvent:
         for variant in self.run():
             if variant.distractor:
                 continue
-            for av, seed_av in zip(variant.event.payload, SEED.payload):
+            for av, seed_av in zip(variant.event.payload, SEED.payload, strict=True):
                 if isinstance(av.value, str):
                     assert canon.equivalent(str(av.value), str(seed_av.value)), (
                         av, seed_av,
@@ -83,7 +83,7 @@ class TestDistractors:
         assert corrupted is not None
         differing = [
             (a.value, b.value)
-            for a, b in zip(SEED.payload, corrupted.payload)
+            for a, b in zip(SEED.payload, corrupted.payload, strict=True)
             if a.value != b.value
         ]
         assert len(differing) == 1
@@ -101,7 +101,7 @@ class TestDistractors:
                 continue
             equivalent = all(
                 canon.equivalent(str(av.value), str(seed_av.value))
-                for av, seed_av in zip(variant.event.payload, SEED.payload)
+                for av, seed_av in zip(variant.event.payload, SEED.payload, strict=True)
                 if isinstance(av.value, str)
             )
             assert not equivalent

@@ -74,7 +74,7 @@ class TestInterpolatedPrecision:
         # relevant at ranks 1 and 4 of 4: precision points (1.0, 1.0) and
         # (0.5 recall -> ... ). Interpolated precision is non-increasing.
         precisions = interpolated_precision([0, 9, 8, 1], {0, 1})
-        assert all(a >= b for a, b in zip(precisions, precisions[1:]))
+        assert all(a >= b for a, b in zip(precisions, precisions[1:], strict=False))
 
     def test_requires_relevant(self):
         with pytest.raises(ValueError):
@@ -88,7 +88,7 @@ class TestInterpolatedPrecision:
         ranking = list(range(20))
         rng.shuffle(ranking)
         precisions = interpolated_precision(ranking, relevant)
-        assert all(a >= b - 1e-12 for a, b in zip(precisions, precisions[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(precisions, precisions[1:], strict=False))
         assert all(0.0 <= p <= 1.0 for p in precisions)
 
 

@@ -50,7 +50,7 @@ class TestGenerate:
 
         matcher = ExactMatcher()
         subs = generate_subscriptions(seeds, SubscriptionConfig(count=10))
-        for sub, seed_index in zip(subs.exact, subs.seed_indexes):
+        for sub, seed_index in zip(subs.exact, subs.seed_indexes, strict=True):
             assert matcher.matches(sub, seeds[seed_index])
 
     def test_no_duplicate_subscriptions(self, seeds):

@@ -30,7 +30,7 @@ class TestFindTermSpans:
         spans = find_term_spans(
             "increased energy consumption event in galway city", thesaurus
         )
-        for left, right in zip(spans, spans[1:]):
+        for left, right in zip(spans, spans[1:], strict=False):
             assert left.end <= right.start
 
     def test_unknown_text_has_no_spans(self, thesaurus):

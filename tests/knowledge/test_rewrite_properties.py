@@ -82,7 +82,7 @@ class TestSpanInvariants:
     @given(texts)
     def test_spans_ordered_and_disjoint(self, text):
         spans = find_term_spans(text, THESAURUS)
-        for left, right in zip(spans, spans[1:]):
+        for left, right in zip(spans, spans[1:], strict=False):
             assert left.end <= right.start
 
     @COMMON

@@ -6,6 +6,7 @@ added a name (extend the snapshot — deliberately, in the same PR) or
 removed/renamed one (that needs a deprecation shim first).
 """
 
+import dataclasses
 import warnings
 
 import repro
@@ -82,6 +83,47 @@ PUBLIC_API = [
     "run_fault_injection",
 ]
 
+#: Frozen-config constructor contracts, field names in declaration
+#: order (= positional __init__ order). Checked both at runtime (below)
+#: and statically by ``repro lint`` rule RL502, so adding, removing, or
+#: reordering a config field is always a reviewed snapshot edit here.
+CONFIG_FIELDS = {
+    "BrokerConfig": [
+        "replay_capacity",
+        "max_queue",
+        "shards",
+        "strategy",
+        "max_batch",
+        "linger",
+        "workers",
+        "delivery",
+        "degraded",
+        "dead_letter_capacity",
+    ],
+    "EngineConfig": [
+        "prefilter",
+        "private_pipeline",
+        "span_tags",
+        "degraded",
+    ],
+    "DeliveryPolicy": [
+        "deadline",
+        "max_retries",
+        "backoff_base",
+        "backoff_multiplier",
+        "backoff_cap",
+        "jitter",
+        "breaker_threshold",
+        "breaker_reset",
+        "seed",
+    ],
+    "DegradedPolicy": [
+        "latency_budget",
+        "cooldown",
+        "trip_after",
+    ],
+}
+
 
 class TestApiSnapshot:
     def test_facade_matches_snapshot(self):
@@ -113,6 +155,23 @@ class TestApiSnapshot:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             importlib.reload(repro.api)
+
+
+class TestConfigFieldSnapshot:
+    def test_config_fields_match_snapshot(self):
+        for cls_name, expected in CONFIG_FIELDS.items():
+            cls = getattr(repro.api, cls_name)
+            actual = [f.name for f in dataclasses.fields(cls)]
+            assert actual == expected, (
+                f"{cls_name} fields drifted from the CONFIG_FIELDS "
+                f"snapshot: {actual} != {expected}"
+            )
+
+    def test_pinned_configs_are_frozen(self):
+        """A mutable config would make the field contract meaningless."""
+        for cls_name in CONFIG_FIELDS:
+            cls = getattr(repro.api, cls_name)
+            assert cls.__dataclass_params__.frozen, cls_name
 
 
 class TestDeprecatedAliases:
