@@ -28,7 +28,7 @@ import logging
 import warnings
 from collections import deque
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.broker.config import BrokerConfig, config_from_legacy
 from repro.broker.reliability import (
@@ -42,6 +42,7 @@ from repro.core.matcher import MatchResult, ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import TRACER, MetricsRegistry
 from repro.obs.clock import Clock
+from repro.obs.context import TraceContext
 
 __all__ = [
     "BrokerMetrics",
@@ -111,6 +112,11 @@ class Delivery:
 
     result: MatchResult
     sequence: int
+    #: Causal trace context of the publish that produced this delivery;
+    #: carried so retry attempts, breaker rejections, and dead-letter
+    #: records downstream all share the event's trace id. Excluded from
+    #: equality so pre-tracing tests comparing deliveries still hold.
+    trace: TraceContext | None = field(default=None, compare=False, repr=False)
 
     @property
     def event(self) -> Event:
@@ -243,9 +249,11 @@ class ThematicBroker:
         )
         self._next_id = 0
         self._sequence = 0
-        # Sequence number stamped onto deliveries of the event currently
-        # flowing through the engine (set by publish before dispatch).
+        # Sequence number and trace context stamped onto deliveries of
+        # the event currently flowing through the engine (set by publish
+        # before dispatch).
         self._publishing_sequence = -1
+        self._publishing_ctx: TraceContext | None = None
 
     # -- subscriber side ---------------------------------------------------
 
@@ -275,7 +283,11 @@ class ThematicBroker:
             subscription,
             lambda result, _handle=handle: self._deliver(
                 _handle,
-                Delivery(result=result, sequence=self._publishing_sequence),
+                Delivery(
+                    result=result,
+                    sequence=self._publishing_sequence,
+                    trace=self._publishing_ctx,
+                ),
             ),
         )
         self._next_id += 1
@@ -284,7 +296,12 @@ class ThematicBroker:
                 result = self._evaluate(subscription, event)
                 if result is not None:
                     self.metrics.inc("replayed")
-                    self._deliver(handle, Delivery(result=result, sequence=sequence))
+                    ctx = TRACER.mint_trace()
+                    with TRACER.root_span("broker.replay", ctx):
+                        self._deliver(
+                            handle,
+                            Delivery(result=result, sequence=sequence, trace=ctx),
+                        )
         return handle
 
     def unsubscribe(self, handle: SubscriptionHandle) -> bool:
@@ -298,7 +315,7 @@ class ThematicBroker:
 
     # -- publisher side ----------------------------------------------------
 
-    def publish(self, event: Event) -> int:
+    def publish(self, event: Event, *, trace: TraceContext | None = None) -> int:
         """Match ``event`` against all subscriptions; returns the match
         count.
 
@@ -309,14 +326,21 @@ class ThematicBroker:
         exhausts its retry budget is dead-lettered, not dropped — the
         return value counts matches, ``metrics.deliveries`` counts
         deliveries that reached an inbox.
+
+        ``trace`` is the event's causal context when a front-end broker
+        (threaded ingress) minted one at enqueue time; left ``None``, a
+        fresh context is minted here. Either way this span is the trace
+        root and every delivery of the event carries the context.
         """
-        with TRACER.span("broker.publish"):
+        ctx = trace if trace is not None else TRACER.mint_trace()
+        with TRACER.root_span("broker.publish", ctx):
             self.metrics.inc("published")
             sequence = self._sequence
             self._sequence += 1
             self._replay.append((sequence, event))
             self.metrics.inc("evaluations", self.engine.subscription_count())
             self._publishing_sequence = sequence
+            self._publishing_ctx = ctx
             return len(self.engine.process(event))
 
     # -- internals -----------------------------------------------------------

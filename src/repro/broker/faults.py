@@ -30,6 +30,7 @@ import json
 import threading
 from dataclasses import dataclass, field
 
+from repro.broker.reliability import DeliveryPolicy
 from repro.core.degrade import DegradedPolicy
 from repro.obs.clock import MONOTONIC_CLOCK, Clock
 from collections.abc import Callable
@@ -125,6 +126,11 @@ class FaultPlan:
     callbacks: tuple[CallbackFault, ...] = ()
     scorer: ScorerFault | None = None
     degraded: DegradedPolicy | None = None
+    #: Delivery policy the scenario should run under, or None to use
+    #: whatever the harness defaults to. A plan that wants breakers to
+    #: trip (low threshold, no jitter) carries that policy itself, so
+    #: tests and ``repro evaluate --faults`` reproduce the same run.
+    policy: DeliveryPolicy | None = None
 
     # -- serialization -----------------------------------------------------
 
@@ -152,11 +158,23 @@ class FaultPlan:
                 "cooldown": self.degraded.cooldown,
                 "trip_after": self.degraded.trip_after,
             }
+        if self.policy is not None:
+            plan["policy"] = {
+                "deadline": self.policy.deadline,
+                "max_retries": self.policy.max_retries,
+                "backoff_base": self.policy.backoff_base,
+                "backoff_multiplier": self.policy.backoff_multiplier,
+                "backoff_cap": self.policy.backoff_cap,
+                "jitter": self.policy.jitter,
+                "breaker_threshold": self.policy.breaker_threshold,
+                "breaker_reset": self.policy.breaker_reset,
+                "seed": self.policy.seed,
+            }
         return plan
 
     @classmethod
     def from_dict(cls, plan: dict) -> "FaultPlan":
-        known = {"name", "callbacks", "scorer", "degraded"}
+        known = {"name", "callbacks", "scorer", "degraded", "policy"}
         unknown = set(plan) - known
         if unknown:
             raise ValueError(f"unknown fault plan keys {sorted(unknown)}")
@@ -165,11 +183,13 @@ class FaultPlan:
         )
         scorer_spec = plan.get("scorer")
         degraded_spec = plan.get("degraded")
+        policy_spec = plan.get("policy")
         return cls(
             name=plan.get("name", "plan"),
             callbacks=callbacks,
             scorer=ScorerFault(**scorer_spec) if scorer_spec else None,
             degraded=DegradedPolicy(**degraded_spec) if degraded_spec else None,
+            policy=DeliveryPolicy(**policy_spec) if policy_spec else None,
         )
 
     def to_json(self) -> str:

@@ -64,7 +64,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.obs import TRACER
-from repro.obs.clock import MONOTONIC_CLOCK, Clock
+from repro.obs.clock import MONOTONIC_CLOCK, Clock, iso_time, wall_time
+from repro.obs.flightrec import trigger_dump
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.broker.broker import BrokerMetrics, Delivery
@@ -163,7 +164,15 @@ class DeliveryPolicy:
 
 @dataclass(frozen=True)
 class DeadLetterRecord:
-    """One undeliverable delivery, with everything needed to diagnose it."""
+    """One undeliverable delivery, with everything needed to diagnose it.
+
+    ``timestamp`` is an ISO-8601 UTC wall-clock string (from the
+    injectable clock, so deterministic under test) — dead-letter records
+    and flight-recorder dumps are postmortem artifacts meant to be
+    correlated side by side, which raw monotonic floats made impossible.
+    ``trace_id`` ties the record to every span the event generated, so
+    ``repro trace <id>`` can show the full causal path into the DLQ.
+    """
 
     delivery: "Delivery"
     subscriber_id: int
@@ -171,7 +180,8 @@ class DeadLetterRecord:
     attempts: int
     error: str | None = None
     traceback: str | None = None
-    timestamp: float = 0.0
+    timestamp: str = ""
+    trace_id: str | None = None
 
 
 class DeadLetterQueue:
@@ -372,6 +382,12 @@ class ReliableDelivery:
         attempts: int,
         error: BaseException | None = None,
     ) -> None:
+        # Defensive on wall(): third-party Clock implementations predate
+        # the wall-clock extension of the protocol.
+        wall = (
+            self.clock.wall() if hasattr(self.clock, "wall") else wall_time()
+        )
+        trace = getattr(delivery, "trace", None)
         record = DeadLetterRecord(
             delivery=delivery,
             subscriber_id=handle.id,
@@ -383,10 +399,21 @@ class ReliableDelivery:
                 if error is not None
                 else None
             ),
-            timestamp=self.clock.monotonic(),
+            timestamp=iso_time(wall),
+            trace_id=trace.trace_id if trace is not None else None,
         )
         self.dead_letters.append(record)
         self._dead.inc()
+        now = self.clock.monotonic()
+        TRACER.record_span(
+            "deliver.dead_letter",
+            trace,
+            now,
+            now,
+            subscriber=handle.id,
+            reason=reason,
+            attempts=attempts,
+        )
         if error is not None:
             logger.error(
                 "delivery to subscriber %d dead-lettered after %d attempt(s) "
@@ -426,7 +453,16 @@ class ReliableDelivery:
         ``subscribe(replay=True)``, …) without deadlocking, and one
         subscriber's retry storm never blocks another subscriber's
         dispatch — or the :meth:`breaker_state` hook — on this lock.
+
+        The delivery's trace context (if any) is activated for the whole
+        dispatch, so attempt spans, breaker rejections, and dead-letter
+        markers all land in the publishing event's trace — including on
+        dispatcher threads that never saw the publish.
         """
+        with TRACER.activate(getattr(delivery, "trace", None)):
+            return self._dispatch(handle, delivery)
+
+    def _dispatch(self, handle: "SubscriptionHandle", delivery: "Delivery") -> bool:
         if handle.callback is None:
             with TRACER.span("broker.deliver"):
                 self.metrics.inc("deliveries")
@@ -440,6 +476,14 @@ class ReliableDelivery:
             probing = allowed and was_open and breaker.state == HALF_OPEN
         if not allowed:
             self._short_circuits.inc()
+            now = self.clock.monotonic()
+            TRACER.record_span(
+                "deliver.breaker_rejected",
+                getattr(delivery, "trace", None),
+                now,
+                now,
+                subscriber=handle.id,
+            )
             self._dead_letter(handle, delivery, reason="circuit_open", attempts=0)
             return False
         if probing:
@@ -465,6 +509,9 @@ class ReliableDelivery:
                 "delivery failures",
                 handle.id,
             )
+            # Breaker lock already released: the flight-recorder dump
+            # (file I/O under its own lock) must never nest inside it.
+            trigger_dump("breaker_open", f"subscriber {handle.id}")
         self._dead_letter(
             handle,
             delivery,
@@ -493,7 +540,10 @@ class ReliableDelivery:
                     self.clock.sleep(delay)
                 started = self.clock.monotonic()
                 try:
-                    handle.callback(delivery)
+                    with TRACER.span(
+                        "deliver.attempt", subscriber=handle.id, attempt=attempt
+                    ):
+                        handle.callback(delivery)
                 except Exception as exc:
                     self._callback_seconds.record(self.clock.monotonic() - started)
                     self.metrics.inc("callback_errors")

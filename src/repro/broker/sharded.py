@@ -44,6 +44,7 @@ from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Any
 
 from repro.broker.broker import BrokerMetrics, Delivery
 from repro.broker.config import BrokerConfig, config_from_legacy
@@ -57,8 +58,9 @@ from repro.core.engine import EngineConfig, SubscriptionHandle, ThematicEventEng
 from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
-from repro.obs import MetricsRegistry
+from repro.obs import TRACER, MetricsRegistry
 from repro.obs.clock import MONOTONIC_CLOCK, Clock
+from repro.obs.context import TraceContext
 from repro.obs.registry import merge_snapshots
 
 __all__ = ["HashSharding", "ShardedBroker", "SizeBalancedSharding"]
@@ -356,7 +358,12 @@ class ShardedBroker:
         """
         if self._closed:
             raise RuntimeError("broker is closed")
-        self._queue.put((self._clock.monotonic(), event))
+        # The root span of the event's trace is the enqueue itself; the
+        # ingress wait, the batch match (a *linked* batch trace), and
+        # every delivery attempt hang off this context downstream.
+        ctx = TRACER.mint_trace()
+        with TRACER.root_span("broker.publish", ctx):
+            self._queue.put((self._clock.monotonic(), event, ctx))
 
     def flush(self, timeout: float | None = None) -> bool:
         """Block until every queued event is matched *and* delivered.
@@ -417,14 +424,19 @@ class ShardedBroker:
                     if result is not None:
                         self.metrics.inc("replayed")
                         replayed.append(
-                            Delivery(result=result, sequence=sequence)
+                            Delivery(
+                                result=result,
+                                sequence=sequence,
+                                trace=TRACER.mint_trace(),
+                            )
                         )
         # Dispatch with the lock released: callbacks are user code and may
         # re-enter the broker (RL100). The handle is already registered,
         # so replayed deliveries keep their position before any batch the
         # dispatcher matches afterwards.
         for delivery in replayed:
-            self.reliability.dispatch(handle, delivery)
+            with TRACER.root_span("broker.replay", delivery.trace):
+                self.reliability.dispatch(handle, delivery)
         return handle
 
     def unsubscribe(self, handle: SubscriptionHandle) -> bool:
@@ -491,17 +503,41 @@ class ShardedBroker:
                 entry.shard_index = target
                 return
 
-    def _process_batch(self, batch: list[tuple[float, Event]]) -> None:
+    def _snapshot_shard(
+        self, shard: _Shard, events: list[Event], ctx: TraceContext | None
+    ) -> Any:
+        """Run one shard's batch match with the batch trace active.
+
+        Pool workers are fresh threads with no thread-local context;
+        re-activating the batch context here keeps the per-shard engine
+        spans inside the batch's trace instead of orphaning them.
+        """
+        with TRACER.activate(ctx):
+            return shard.engine.snapshot_batch(events, deliverable_only=True)
+
+    def _process_batch(
+        self, batch: list[tuple[float, Event, TraceContext | None]]
+    ) -> None:
         """Match one micro-batch across all shards and merge deliveries."""
         started = self._clock.monotonic()
         events = []
-        for enqueued_at, event in batch:
+        contexts: list[TraceContext | None] = []
+        for enqueued_at, event, ctx in batch:
             self._queue_wait.record(started - enqueued_at)
+            TRACER.record_span("broker.ingress.wait", ctx, enqueued_at, started)
             events.append(event)
+            contexts.append(ctx)
         self._batch_size.record(len(batch))
         self._queue_depth.set(self._queue.qsize())
         pending: list[tuple[SubscriptionHandle, Delivery]] = []
-        with self._reg_lock:
+        # A micro-batch serves many events at once, so it gets its own
+        # trace; the member events' traces are referenced through the
+        # OTel-style ``links`` attribute rather than a fake parent edge.
+        batch_ctx = TRACER.mint_trace()
+        links = [ctx.trace_id for ctx in contexts if ctx is not None]
+        with TRACER.root_span(
+            "broker.match_batch", batch_ctx, events=len(events), links=links
+        ), self._reg_lock:
             self.metrics.inc("published", len(events))
             total_subscribers = len(self._entries)
             self.metrics.inc("evaluations", total_subscribers * len(events))
@@ -517,9 +553,7 @@ class ShardedBroker:
             if self._pool is not None and len(active) > 1:
                 futures = [
                     self._pool.submit(
-                        shard.engine.snapshot_batch,
-                        events,
-                        deliverable_only=True,
+                        self._snapshot_shard, shard, events, batch_ctx
                     )
                     for shard in active
                 ]
@@ -543,7 +577,14 @@ class ShardedBroker:
                 matched.sort(key=lambda item: item[0])
                 for _, handle, result in matched:
                     pending.append(
-                        (handle, Delivery(result=result, sequence=sequence))
+                        (
+                            handle,
+                            Delivery(
+                                result=result,
+                                sequence=sequence,
+                                trace=contexts[j],
+                            ),
+                        )
                     )
         # Matching and sequencing happen under the registry lock; the
         # callbacks themselves must not (RL100) — a subscriber that

@@ -32,7 +32,7 @@ from repro.core.engine import SubscriptionHandle
 from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
-from repro.obs import MetricsRegistry
+from repro.obs import TRACER, MetricsRegistry
 from repro.obs.clock import MONOTONIC_CLOCK, Clock
 
 __all__ = ["ThreadedBroker"]
@@ -100,10 +100,14 @@ class ThreadedBroker:
             try:
                 if item is STOP:
                     return
-                enqueued_at, event = item
-                self._queue_wait.record(self._clock.monotonic() - enqueued_at)
+                enqueued_at, event, ctx = item
+                picked_up = self._clock.monotonic()
+                self._queue_wait.record(picked_up - enqueued_at)
+                TRACER.record_span(
+                    "broker.ingress.wait", ctx, enqueued_at, picked_up
+                )
                 with self._lock:
-                    self._inner.publish(event)
+                    self._inner.publish(event, trace=ctx)
             finally:
                 self._queue.task_done()
 
@@ -129,9 +133,9 @@ class ThreadedBroker:
                 break
             try:
                 if item is not STOP:
-                    _, event = item
+                    _, event, ctx = item
                     with self._lock:
-                        self._inner.publish(event)
+                        self._inner.publish(event, trace=ctx)
             finally:
                 self._queue.task_done()
 
@@ -151,7 +155,10 @@ class ThreadedBroker:
         """
         if self._closed:
             raise RuntimeError("broker is closed")
-        self._queue.put((self._clock.monotonic(), event))
+        # The trace context is minted at ingress so the queue wait is
+        # part of the event's causal history; the root span itself is
+        # recorded by the inner broker's publish on the worker thread.
+        self._queue.put((self._clock.monotonic(), event, TRACER.mint_trace()))
 
     def flush(self, timeout: float | None = None) -> bool:
         """Block until every queued event has been processed.

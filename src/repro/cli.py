@@ -15,23 +15,39 @@ Commands
     Run the non-thematic baseline plus a thematic sub-experiment at the
     chosen workload scale and print the comparison.
 ``stats``
-    Exercise the full pipeline (broker + thematic matcher) on a tiny
-    workload and dump the metrics-registry snapshot as JSON.
+    Exercise the full pipeline (sharded broker + thematic matcher) on a
+    tiny workload and dump the metrics-registry snapshot as JSON —
+    including the ``reliability.*`` and ``engine.degraded_*`` families
+    and the merged per-shard engine registries.
+``trace``
+    Rebuild the causal tree of one trace id from span logs and
+    flight-recorder dumps (or list the traces a file set contains).
+``bench diff``
+    Compare fresh ``BENCH_*.json`` artifacts against the committed
+    baselines; exit 1 on any regression (the CI perf gate).
 
 ``match`` and ``evaluate`` accept ``--trace``: tracing spans aggregate
 per-stage latency histograms and the command finishes with a per-stage
-timing table (add ``--trace-out FILE`` for the raw JSONL span log).
+timing table. ``--trace-out`` takes either a ``.jsonl`` file (raw span
+log) or a directory — the directory collects ``spans.jsonl``, a
+Perfetto-loadable ``trace.json``, and any flight-recorder incident
+dumps triggered during the run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
+from pathlib import Path
 
 from repro.broker.broker import ThematicBroker
+from repro.broker.config import BrokerConfig
 from repro.broker.faults import FaultPlan
+from repro.broker.sharded import ShardedBroker
+from repro.core.degrade import DegradedPolicy
 from repro.core.language import parse_event, parse_subscription
 from repro.core.matcher import ThematicMatcher
 from repro.evaluation import (
@@ -47,7 +63,18 @@ from repro.evaluation import (
     thematic_matcher_factory,
 )
 from repro.knowledge.corpus import default_corpus
-from repro.obs import TRACER, MetricsRegistry
+from repro.obs import FLIGHT_RECORDER, TRACER, MetricsRegistry
+from repro.obs.benchdiff import (
+    DEFAULT_TOLERANCE,
+    diff_directories,
+    render_markdown,
+)
+from repro.obs.traceview import (
+    jsonl_to_chrome,
+    load_span_records,
+    render_trace_tree,
+    summarize_traces,
+)
 from repro.semantics.cache import RelatednessCache
 from repro.semantics.measures import (
     CachedMeasure,
@@ -60,17 +87,48 @@ from repro.semantics.pvsm import ParametricVectorSpace
 __all__ = ["main", "build_parser"]
 
 
+def _trace_dir(trace_out: str | None) -> Path | None:
+    """Interpret ``--trace-out``: a directory target or a plain file.
+
+    A path that already is a directory, ends with a separator, or has no
+    file extension is treated as a directory (created on demand).
+    """
+    if trace_out is None:
+        return None
+    path = Path(trace_out)
+    if path.is_dir() or trace_out.endswith(("/", "\\")) or path.suffix == "":
+        return path
+    return None
+
+
 def _start_trace(args: argparse.Namespace) -> bool:
-    """Enable tracing for this command if ``--trace`` was given."""
-    if not getattr(args, "trace", False):
+    """Enable tracing if ``--trace`` and/or ``--trace-out`` was given.
+
+    With a directory ``--trace-out``, span records stream to
+    ``<dir>/spans.jsonl`` and the flight recorder arms itself with the
+    same directory, so incident dumps (degraded-mode trips, breaker
+    opens, no-loss violations) land next to the span log; the JSONL is
+    converted to a Perfetto-loadable ``<dir>/trace.json`` at the end of
+    the command.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    if not getattr(args, "trace", False) and trace_out is None:
         return False
-    TRACER.enable(
-        registry=MetricsRegistry(), sink=getattr(args, "trace_out", None)
-    )
+    directory = _trace_dir(trace_out)
+    args.trace_dir = directory
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+        TRACER.enable(
+            registry=MetricsRegistry(), sink=str(directory / "spans.jsonl")
+        )
+        FLIGHT_RECORDER.enable(directory)
+        TRACER.attach_flight_recorder(FLIGHT_RECORDER)
+    else:
+        TRACER.enable(registry=MetricsRegistry(), sink=trace_out)
     return True
 
 
-def _finish_trace() -> None:
+def _finish_trace(args: argparse.Namespace | None = None) -> None:
     """Print the per-stage timing table and turn tracing back off."""
     timings = TRACER.stage_timings()
     print()
@@ -90,6 +148,21 @@ def _finish_trace() -> None:
         print("per-stage timings (traced):")
         print(format_table(("stage", "calls", "total ms", "p50 ms", "p99 ms"), rows))
     TRACER.disable()
+    TRACER.detach_flight_recorder()
+    FLIGHT_RECORDER.disable()
+    directory = getattr(args, "trace_dir", None) if args is not None else None
+    if directory is not None:
+        spans_path = directory / "spans.jsonl"
+        if spans_path.exists():
+            records = load_span_records([spans_path])
+            chrome_path = directory / "trace.json"
+            with open(chrome_path, "w", encoding="utf-8") as handle:
+                json.dump(jsonl_to_chrome(records), handle, indent=1)
+                handle.write("\n")
+            print(
+                f"trace: {len(records)} span(s) -> {chrome_path} "
+                "(open at ui.perfetto.dev)"
+            )
 
 
 def _tags(text: str | None) -> tuple[str, ...]:
@@ -114,7 +187,7 @@ def cmd_match(args: argparse.Namespace) -> int:
     result = batch.result(0, 0)
     if result is None:
         if tracing:
-            _finish_trace()
+            _finish_trace(args)
         print("no mapping exists (event has fewer tuples than the "
               "subscription has predicates)")
         return 1
@@ -125,7 +198,7 @@ def cmd_match(args: argparse.Namespace) -> int:
     matched = result.is_match(matcher.threshold)
     print(f"match: {matched} (threshold {matcher.threshold})")
     if tracing:
-        _finish_trace()
+        _finish_trace(args)
     return 0 if matched else 1
 
 
@@ -222,7 +295,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         if not report["no_loss"]:
             print("no-loss invariant VIOLATED", file=sys.stderr)
             if tracing:
-                _finish_trace()
+                _finish_trace(args)
             return 1
     if args.shards:
         comparison = compare_broker_throughput(
@@ -243,12 +316,21 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             f"({comparison['speedup']:.2f}x, deliveries identical)"
         )
     if tracing:
-        _finish_trace()
+        _finish_trace(args)
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Exercise the pipeline end to end and dump the registry snapshot."""
+    """Exercise the pipeline end to end and dump the registry snapshot.
+
+    Runs the *sharded* broker so the snapshot covers every metric family
+    the system registers: ``broker.*`` and ``reliability.*`` on the
+    broker registry, ``engine.*`` (including ``engine.degraded_*`` —
+    the broker runs under a never-tripping degraded policy so the
+    counters exist) on the per-shard registries, reported both raw
+    (``shards``) and merged (``engine_totals``, via
+    :func:`repro.obs.merge_snapshots`).
+    """
     registry = MetricsRegistry()
     TRACER.enable(registry=registry, sink=args.trace_out)
     try:
@@ -262,19 +344,109 @@ def cmd_stats(args: argparse.Namespace) -> int:
         matcher = ThematicMatcher(
             CachedMeasure(ThematicMeasure(workload.space), cache)
         )
-        broker = ThematicBroker(matcher, registry=registry)
-        for subscription in workload.subscriptions.approximate[: args.subscriptions]:
-            broker.subscribe(subscription.with_theme(subscription_tags))
-        for event in workload.events[: args.events]:
-            broker.publish(event.with_theme(event_tags))
+        config = BrokerConfig(
+            shards=args.shards,
+            max_batch=8,
+            linger=0.0,
+            workers=0,
+            # A budget no tiny batch can blow: present in the snapshot,
+            # silent in the run.
+            degraded=DegradedPolicy(latency_budget=60.0),
+        )
+        broker = ShardedBroker(matcher, config, registry=registry)
+        try:
+            for subscription in workload.subscriptions.approximate[
+                : args.subscriptions
+            ]:
+                broker.subscribe(subscription.with_theme(subscription_tags))
+            for event in workload.events[: args.events]:
+                broker.publish(event.with_theme(event_tags))
+            broker.flush()
+        finally:
+            broker.close()
 
         registry.gauge("cache.relatedness_hit_rate").set(cache.hit_rate)
         registry.gauge("cache.relatedness_entries").set(len(cache))
         for name, size in workload.space.cache_stats().items():
             registry.gauge(f"space.cache.{name}").set(size)
+        snapshot = broker.metrics_snapshot()
+        document = registry.snapshot()
+        document["shards"] = snapshot["shards"]
+        document["engine_totals"] = snapshot["engine_totals"]
     finally:
         TRACER.disable()
-    print(json.dumps(registry.snapshot(), indent=2))
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Rebuild one trace's causal tree from span logs / dumps."""
+    records = load_span_records(args.input)
+    if args.trace_id is None:
+        rows = summarize_traces(records)
+        if not rows:
+            print("no traces found in the given files")
+            return 1
+        table = [
+            (
+                row["trace_id"],
+                row["spans"],
+                row["root"],
+                ", ".join(row["names"]),
+            )
+            for row in rows
+        ]
+        print(format_table(("trace", "spans", "root", "span names"), table))
+        return 0
+    rendering = render_trace_tree(records, args.trace_id)
+    print(rendering)
+    return 1 if rendering.endswith("no spans found") else 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Gate fresh bench artifacts against the committed baselines."""
+    report = diff_directories(
+        args.baseline_dir, args.current_dir, tolerance=args.tolerance
+    )
+    markdown = render_markdown(report)
+    if args.markdown_out:
+        out_path = Path(args.markdown_out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(markdown + "\n", encoding="utf-8")
+        print(f"trend table -> {out_path}")
+    for comparison in report.comparisons:
+        note = f" ({comparison.note})" if comparison.note else ""
+        print(f"{comparison.bench}: {comparison.status}{note}")
+    for name in report.missing_current:
+        print(f"{name}: baseline present, no fresh artifact (not gated)")
+    for name in report.missing_baseline:
+        print(f"{name}: fresh artifact has no committed baseline yet")
+    regressions = report.regressions
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"±{report.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for delta in regressions:
+            print(
+                f"  {delta.metric}: {delta.baseline:.4g} -> "
+                f"{delta.current:.4g} ({delta.delta:+.1%}, "
+                f"{delta.direction} is better)",
+                file=sys.stderr,
+            )
+        return 1
+    if args.gate and report.compared == 0:
+        print(
+            "bench diff --gate: no artifacts were compared "
+            "(nothing to gate on)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nbench diff: {report.compared} bench(es) within "
+        f"±{report.tolerance:.0%} of baseline"
+    )
     return 0
 
 
@@ -370,9 +542,47 @@ def build_parser() -> argparse.ArgumentParser:
                          help="events to publish through the broker")
     p_stats.add_argument("--subscriptions", type=int, default=8)
     p_stats.add_argument("--seed", type=int, default=99)
+    p_stats.add_argument("--shards", type=int, default=2,
+                         help="subscription shards for the stats broker")
     p_stats.add_argument("--trace-out", default=None,
                          help="append span records as JSONL to this file")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="rebuild a trace's causal tree from span logs / dumps",
+    )
+    p_trace.add_argument("trace_id", nargs="?", default=None,
+                         help="trace id to render (omit to list traces)")
+    p_trace.add_argument("--input", nargs="+", required=True,
+                         metavar="PATH",
+                         help="span JSONL files, Chrome-trace dumps, or "
+                              "directories of either (e.g. a --trace-out dir)")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark artifact tooling (see 'bench diff')",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_diff = bench_sub.add_parser(
+        "diff",
+        help="compare fresh BENCH_*.json artifacts against baselines; "
+             "exit 1 on regression",
+    )
+    p_diff.add_argument("--baseline-dir", default="benchmarks/baselines",
+                        help="directory of committed baseline artifacts")
+    p_diff.add_argument("--current-dir", default=".",
+                        help="directory of freshly produced artifacts")
+    p_diff.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="fractional noise tolerance per metric "
+                             f"(default {DEFAULT_TOLERANCE})")
+    p_diff.add_argument("--markdown-out", default=None, metavar="PATH",
+                        help="also write the markdown trend table here")
+    p_diff.add_argument("--gate", action="store_true",
+                        help="CI mode: additionally fail when nothing "
+                             "was compared")
+    p_diff.set_defaults(func=cmd_bench_diff)
 
     p_lint = sub.add_parser(
         "lint",
@@ -400,10 +610,19 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # `repro trace ... | head` closes stdout early; that is not an
+        # error worth a traceback. Detach stdout so interpreter
+        # shutdown doesn't re-raise on the final flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     finally:
         # A command that dies mid-run must not leave the global tracer
-        # enabled for the next in-process main() call.
+        # or flight recorder enabled for the next in-process main() call.
         TRACER.disable()
+        TRACER.detach_flight_recorder()
+        FLIGHT_RECORDER.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

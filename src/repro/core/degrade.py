@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.obs import MetricsRegistry
 from repro.obs.clock import MONOTONIC_CLOCK, Clock
+from repro.obs.flightrec import trigger_dump
 
 __all__ = ["DegradedMode", "DegradedPolicy", "DowngradeEvent"]
 
@@ -160,32 +161,43 @@ class DegradedMode:
 
     def observe(self, elapsed: float) -> None:
         """Feed the duration of one *full* (thematic) batch."""
+        tripped: str | None = None
         with self._lock:
             over = elapsed > self.policy.latency_budget
             probing, self._probing = self._probing, False
             if over:
                 self._over_budget += 1
                 if probing or self._over_budget >= self.policy.trip_after:
-                    self._trip(
+                    tripped = (
                         f"batch took {elapsed:.6f}s "
                         f"> budget {self.policy.latency_budget:.6f}s"
                         + (" (probe)" if probing else "")
                     )
+                    self._trip(tripped)
             else:
                 self._over_budget = 0
                 if self._state == DEGRADED:
                     self._recover(f"probe within budget ({elapsed:.6f}s)")
+        if tripped is not None:
+            # With the lock released: the dump takes its own lock and
+            # does file I/O; nesting it inside ours would let a slow disk
+            # block every thread feeding batch timings.
+            trigger_dump("degraded_mode_trip", tripped)
 
     # -- manual health overrides -------------------------------------------
 
     def mark_unhealthy(self, reason: str = "backend marked unhealthy") -> None:
         """Force degraded mode until :meth:`mark_healthy` (no auto-probe)."""
+        transitioned = False
         with self._lock:
             if not self._manual:
                 self._manual = True
+                transitioned = True
                 self._active.set(1.0)
                 self._record("mark_unhealthy", reason)
                 logger.warning("matching degraded (manual): %s", reason)
+        if transitioned:
+            trigger_dump("degraded_mode_trip", reason)
 
     def mark_healthy(self, reason: str = "backend marked healthy") -> None:
         with self._lock:

@@ -39,6 +39,7 @@ from repro.evaluation.brokers import sample_combination
 from repro.evaluation.harness import thematic_matcher_factory
 from repro.evaluation.workload import Workload
 from repro.obs.clock import FakeClock
+from repro.obs.flightrec import trigger_dump
 
 __all__ = ["BROKER_KINDS", "run_fault_injection"]
 
@@ -139,6 +140,11 @@ def run_fault_injection(
         oracle.publish(event)
     baseline = [len(handle.drain()) for handle in oracle_handles]
 
+    # Precedence: explicit argument > policy embedded in the plan >
+    # the harness default (plans that need breakers to trip ship their
+    # own low-threshold policy).
+    if policy is None:
+        policy = plan.policy
     delivery_policy = policy if policy is not None else DEFAULT_FAULT_POLICY
     config = BrokerConfig(
         delivery=delivery_policy,
@@ -173,6 +179,12 @@ def run_fault_injection(
             accounted = [d + x for d, x in zip(delivered, dead, strict=True)]
             no_loss = accounted == baseline if strict else True
             all_no_loss = all_no_loss and no_loss
+            if strict and not no_loss:
+                trigger_dump(
+                    "no_loss_violation",
+                    f"broker {kind}: accounted {accounted} != "
+                    f"baseline {baseline}",
+                )
             entry = {
                 "delivered": delivered,
                 "dead_letters": dead,

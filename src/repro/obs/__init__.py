@@ -7,8 +7,16 @@ import them:
   with JSON-ready snapshots;
 * :mod:`repro.obs.tracing` — spans over the match pipeline with a
   zero-overhead disabled mode and optional JSONL export;
+* :mod:`repro.obs.context` — per-event causal trace contexts that ride
+  through queues, shards, retries, and dead-letter records;
+* :mod:`repro.obs.flightrec` — bounded ring buffer of sampled spans,
+  dumped as Chrome-trace JSON when an incident trigger fires;
 * :mod:`repro.obs.artifacts` — the ``BENCH_<name>.json`` schema shared
-  by all benchmark drivers.
+  by all benchmark drivers;
+* :mod:`repro.obs.benchdiff` — baseline-vs-current artifact comparison
+  backing ``repro bench diff`` and the CI perf gate;
+* :mod:`repro.obs.traceview` — offline span-log readers and trace-tree
+  rendering backing ``repro trace <id>``.
 """
 
 from repro.obs.artifacts import (
@@ -23,8 +31,11 @@ from repro.obs.clock import (
     Clock,
     FakeClock,
     MonotonicClock,
+    iso_time,
     wall_time,
 )
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
+from repro.obs.flightrec import FLIGHT_RECORDER, FlightRecorder, trigger_dump
 from repro.obs.manifest import METRICS, MetricSpec
 from repro.obs.registry import (
     Counter,
@@ -40,6 +51,8 @@ from repro.obs.tracing import TRACER, Tracer, traced
 __all__ = [
     "Clock",
     "FakeClock",
+    "FLIGHT_RECORDER",
+    "FlightRecorder",
     "MONOTONIC_CLOCK",
     "MonotonicClock",
     "SCHEMA",
@@ -51,13 +64,18 @@ __all__ = [
     "MetricSpec",
     "MetricsRegistry",
     "TRACER",
+    "TraceContext",
     "Tracer",
     "artifact_path",
     "get_registry",
+    "iso_time",
     "load_bench_artifact",
     "merge_snapshots",
+    "new_span_id",
+    "new_trace_id",
     "set_registry",
     "traced",
+    "trigger_dump",
     "wall_time",
     "write_bench_artifact",
 ]

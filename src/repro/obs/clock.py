@@ -15,17 +15,34 @@ from __future__ import annotations
 
 import threading
 import time
+from datetime import datetime, timezone
 from typing import Protocol, runtime_checkable
 
-__all__ = ["Clock", "FakeClock", "MonotonicClock", "MONOTONIC_CLOCK", "wall_time"]
+__all__ = [
+    "Clock",
+    "FakeClock",
+    "MonotonicClock",
+    "MONOTONIC_CLOCK",
+    "iso_time",
+    "wall_time",
+]
 
 
 @runtime_checkable
 class Clock(Protocol):
-    """Minimal time source: a monotonic reading and a sleep."""
+    """Minimal time source: a monotonic reading, a wall reading, a sleep."""
 
     def monotonic(self) -> float:
         """Seconds from an arbitrary, monotonically advancing origin."""
+        ...
+
+    def wall(self) -> float:
+        """Unix wall-clock seconds, for timestamps in exported records.
+
+        Never used to measure durations (that is what :meth:`monotonic`
+        is for) — only to stamp artifacts that leave the process, so a
+        fake clock can script it and dumped records stay correlatable.
+        """
         ...
 
     def sleep(self, seconds: float) -> None:
@@ -38,6 +55,9 @@ class MonotonicClock:
 
     def monotonic(self) -> float:
         return time.monotonic()
+
+    def wall(self) -> float:
+        return time.time()
 
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
@@ -54,13 +74,23 @@ class FakeClock:
     scripted.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, *, epoch: float = 0.0) -> None:
         self._now = float(start)
+        self._epoch = float(epoch)
         self._lock = threading.Lock()
 
     def monotonic(self) -> float:
         with self._lock:
             return self._now
+
+    def wall(self) -> float:
+        """Scripted wall time: ``epoch`` plus the elapsed fake time.
+
+        ``epoch`` defaults to 0.0 (the Unix epoch), so records stamped
+        under a fake clock are fully deterministic.
+        """
+        with self._lock:
+            return self._epoch + self._now
 
     def sleep(self, seconds: float) -> None:
         self.advance(seconds)
@@ -89,3 +119,16 @@ def wall_time() -> float:
     ban :mod:`time` everywhere else.
     """
     return time.time()
+
+
+def iso_time(ts: float) -> str:
+    """Format a Unix timestamp as an ISO-8601 UTC string (``...Z``).
+
+    The one sanctioned wall-clock *formatter*: dead-letter records and
+    flight-recorder dumps stamp themselves with this so the two kinds of
+    postmortem artifact are correlatable by eye and by parser. Takes the
+    timestamp as an argument (rather than reading the clock itself) so
+    callers keep reading time through their injectable :class:`Clock`.
+    """
+    stamp = datetime.fromtimestamp(ts, tz=timezone.utc)
+    return stamp.isoformat(timespec="milliseconds").replace("+00:00", "Z")

@@ -1,0 +1,65 @@
+"""Causal trace context: the identity an event carries across layers.
+
+A :class:`TraceContext` is minted once per published event (by the
+broker front-ends, through :meth:`repro.obs.tracing.Tracer.mint_trace`)
+and then rides with the event explicitly — through the ingress queue,
+across shard fan-out, into every retry attempt, and onto the
+dead-letter record if delivery is finally abandoned. Every span the
+event generates shares the context's ``trace_id``; parent/child edges
+are span ids, so ``repro trace <id>`` can rebuild the full causal tree
+of one event from a span log or a flight-recorder dump.
+
+Contexts are deliberately tiny and immutable: a trace id, the id of the
+span that currently "owns" the event, and a sampling decision made once
+at mint time (so a trace is recorded completely or not at all — no
+half-sampled trees). Micro-batches that serve many events at once get
+their *own* context and reference the member traces through a
+``links`` span attribute (the OpenTelemetry span-link shape) instead of
+pretending one parent fits all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+
+__all__ = ["TraceContext", "new_span_id", "new_trace_id"]
+
+#: Span ids only need process-uniqueness, and a child id is drawn for
+#: every span of a sampled trace — a syscall per span (os.urandom) is
+#: measurable on the publish hot path. A counter is not: ``count().
+#: __next__`` is atomic under the GIL, and the random 32-bit offset
+#: keeps ids from colliding across restarts that share a span log.
+_SPAN_COUNTER = itertools.count(int.from_bytes(os.urandom(4), "big"))
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id as 16 hex chars (W3C-traceparent-sized)."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh process-unique 32-bit span id as 8 hex chars."""
+    return f"{next(_SPAN_COUNTER) & 0xFFFFFFFF:08x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One event's causal identity: trace id + owning span + sampling.
+
+    ``span_id`` names the span that minted or last derived the context
+    (for a freshly minted context, the event's root span); children are
+    derived with :meth:`child`, which keeps the trace id and sampling
+    decision and draws a fresh span id.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def child(self) -> "TraceContext":
+        """A context for a child span of this one (same trace, new id)."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=new_span_id(), sampled=self.sampled
+        )

@@ -1,0 +1,232 @@
+"""Flight recorder: a bounded ring buffer of sampled spans, dumpable.
+
+The tracer's full mode is for experiments; production brokers cannot
+afford a JSONL line per span. The flight recorder is the always-on
+counterpart: it continuously records *sampled* span tuples into a
+bounded ``deque`` (append is a few hundred nanoseconds; nothing is
+formatted until a dump), so when something goes wrong — degraded mode
+trips, a circuit breaker opens, a fault-plan no-loss check fails — the
+last ``window`` seconds of causal history can be dumped as a
+Chrome-trace/Perfetto-compatible JSON file and the incident becomes an
+actionable postmortem artifact instead of a bare counter increment.
+
+Dumps are rate-limited (``min_dump_interval``) so a trip storm produces
+one artifact, not thousands; suppressed triggers are counted on the
+process registry (``flightrec.suppressed``). The dump format is the
+Chrome ``traceEvents`` JSON array — open it at ``ui.perfetto.dev`` or
+``chrome://tracing``; trace/span/parent ids ride in each event's
+``args`` so ``repro trace <id>`` can read dumps too.
+
+Trigger sites (all fire through :func:`trigger_dump`, a no-op while the
+recorder is disabled):
+
+* :class:`~repro.core.degrade.DegradedMode` tripping to the fallback;
+* :class:`~repro.broker.reliability.ReliableDelivery` opening a
+  circuit breaker;
+* :func:`~repro.evaluation.faults.run_fault_injection` observing a
+  no-loss violation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from repro.obs.clock import MONOTONIC_CLOCK, Clock, iso_time
+from repro.obs.registry import get_registry
+
+__all__ = ["FLIGHT_RECORDER", "FlightRecorder", "trigger_dump"]
+
+#: One recorded span: (start, duration, name, trace_id, span_id,
+#: parent_span_id, thread_name, attributes).
+SpanRecord = tuple[
+    float, float, str, str | None, str | None, str | None, str, dict[str, Any] | None
+]
+
+
+class FlightRecorder:
+    """Ring buffer of recent sampled spans with Chrome-trace dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum spans retained (oldest evicted first).
+    window:
+        Seconds of history a dump includes, measured back from the
+        dump's clock reading.
+    min_dump_interval:
+        Minimum seconds between *triggered* dumps; triggers inside the
+        interval are counted (``flightrec.suppressed``) and dropped.
+        Explicit :meth:`dump` calls are never rate-limited.
+    clock:
+        Injectable time source (window arithmetic and rate limiting).
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 8192,
+        window: float = 30.0,
+        min_dump_interval: float = 5.0,
+        clock: Clock | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.capacity = capacity
+        self.window = window
+        self.min_dump_interval = min_dump_interval
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.enabled = False
+        self._dump_dir: Path | None = None
+        self._buffer: deque[SpanRecord] = deque(maxlen=capacity)
+        self._dump_lock = threading.Lock()
+        self._last_dump = -float("inf")
+        self._dump_seq = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(
+        self, dump_dir: str | Path, *, clock: Clock | None = None
+    ) -> None:
+        """Start recording; triggered dumps land in ``dump_dir``."""
+        self._dump_dir = Path(dump_dir)
+        if clock is not None:
+            self.clock = clock
+        self._buffer.clear()
+        self._last_dump = -float("inf")
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        self._dump_dir = None
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    # -- the hot path -------------------------------------------------------
+
+    def record(
+        self,
+        start: float,
+        duration: float,
+        name: str,
+        trace_id: str | None,
+        span_id: str | None,
+        parent_span_id: str | None,
+        thread_name: str,
+        attributes: dict[str, Any] | None,
+    ) -> None:
+        """Append one finished span (lock-free: deque appends are atomic)."""
+        self._buffer.append(
+            (
+                start,
+                duration,
+                name,
+                trace_id,
+                span_id,
+                parent_span_id,
+                thread_name,
+                attributes,
+            )
+        )
+
+    # -- dumping ------------------------------------------------------------
+
+    def trigger(self, reason: str, detail: str = "") -> Path | None:
+        """Rate-limited dump for an incident trigger; None when suppressed."""
+        if not self.enabled or self._dump_dir is None:
+            return None
+        with self._dump_lock:
+            now = self.clock.monotonic()
+            if now - self._last_dump < self.min_dump_interval:
+                get_registry().counter("flightrec.suppressed").inc()
+                return None
+            self._last_dump = now
+            self._dump_seq += 1
+            seq = self._dump_seq
+        safe_reason = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in reason
+        )
+        path = self._dump_dir / f"flightrec_{seq:03d}_{safe_reason}.json"
+        return self.dump(path, reason=reason, detail=detail)
+
+    def dump(
+        self, path: str | Path, *, reason: str = "manual", detail: str = ""
+    ) -> Path:
+        """Write the last ``window`` seconds as Chrome-trace JSON."""
+        path = Path(path)
+        now = self.clock.monotonic()
+        horizon = now - self.window
+        # list(deque) is atomic under the GIL; recording continues freely.
+        records = [rec for rec in list(self._buffer) if rec[0] >= horizon]
+        trace_events: list[dict[str, Any]] = []
+        tids: dict[str, int] = {}
+        for start, duration, name, trace_id, span_id, parent_id, thread, attrs in records:
+            tid = tids.setdefault(thread, len(tids) + 1)
+            args: dict[str, Any] = dict(attrs) if attrs else {}
+            if trace_id is not None:
+                args["trace_id"] = trace_id
+            if span_id is not None:
+                args["span_id"] = span_id
+            if parent_id is not None:
+                args["parent_span_id"] = parent_id
+            trace_events.append(
+                {
+                    "name": name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": start * 1e6,
+                    "dur": duration * 1e6,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        for thread, tid in tids.items():
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+        document = {
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "reason": reason,
+                "detail": detail,
+                "spans": len(records),
+                "window_seconds": self.window,
+                "dumped_at": iso_time(self.clock.wall()),
+            },
+            "traceEvents": trace_events,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+        get_registry().counter("flightrec.dumps").inc()
+        return path
+
+
+#: The process-wide flight recorder the global tracer feeds.
+FLIGHT_RECORDER = FlightRecorder()
+
+
+def trigger_dump(reason: str, detail: str = "") -> Path | None:
+    """Fire the process-wide recorder's trigger; no-op while disabled.
+
+    The one-liner incident hooks call — cheap enough (one attribute
+    check) to sit on failure paths unconditionally.
+    """
+    if not FLIGHT_RECORDER.enabled:
+        return None
+    return FLIGHT_RECORDER.trigger(reason, detail)

@@ -142,6 +142,15 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec(
         "reliability.callback_seconds", "histogram", "Callback execution time."
     ),
+    # -- flight recorder ----------------------------------------------------
+    MetricSpec(
+        "flightrec.dumps", "counter", "Flight-recorder dumps written to disk."
+    ),
+    MetricSpec(
+        "flightrec.suppressed",
+        "counter",
+        "Triggered dumps dropped by the rate limiter.",
+    ),
     # -- caches -------------------------------------------------------------
     MetricSpec(
         "cache.relatedness_hit_rate", "gauge", "Relatedness cache hit rate [0, 1]."

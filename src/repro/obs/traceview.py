@@ -1,0 +1,222 @@
+"""Offline trace reconstruction: span logs and dumps back into trees.
+
+``repro trace <id>`` reads the artifacts the tracing layer writes — the
+JSONL span sink (``--trace-out``) and Chrome-trace dumps (flight
+recorder, converted ``trace.json``) — normalizes both into one span
+record shape, and rebuilds the causal tree of a single trace: the
+publish root, the ingress wait, every delivery attempt, breaker
+rejections, and the dead-letter marker, in start order with parent/child
+indentation. This is the debugging loop the trace context exists for:
+a dead-letter record names a ``trace_id``; this module answers "what
+exactly happened to that event?".
+
+The module is pure file-reading and formatting — no tracer state — so
+it works on dumps from another process, another machine, or a CI
+artifact download.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "build_trace_index",
+    "jsonl_to_chrome",
+    "load_span_records",
+    "render_trace_tree",
+    "summarize_traces",
+]
+
+#: Normalized span record keys: ``span`` (name), ``start`` (seconds),
+#: ``duration_ms``, ``trace_id``/``span_id``/``parent_span_id`` (may be
+#: None), ``attributes`` (dict).
+
+
+def _from_sink_line(record: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "span": record.get("span", "?"),
+        "start": float(record.get("start", 0.0)),
+        "duration_ms": float(record.get("duration_ms", 0.0)),
+        "trace_id": record.get("trace_id"),
+        "span_id": record.get("span_id"),
+        "parent_span_id": record.get("parent_span_id"),
+        "attributes": record.get("attributes", {}),
+    }
+
+
+def _from_chrome_event(event: dict[str, Any]) -> dict[str, Any] | None:
+    if event.get("ph") != "X":
+        return None
+    args = dict(event.get("args", {}))
+    return {
+        "span": event.get("name", "?"),
+        "start": float(event.get("ts", 0.0)) / 1e6,
+        "duration_ms": float(event.get("dur", 0.0)) / 1e3,
+        "trace_id": args.pop("trace_id", None),
+        "span_id": args.pop("span_id", None),
+        "parent_span_id": args.pop("parent_span_id", None),
+        "attributes": args,
+    }
+
+
+def _load_file(path: Path) -> list[dict[str, Any]]:
+    records: list[dict[str, Any]] = []
+    if path.suffix == ".jsonl":
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(_from_sink_line(json.loads(line)))
+        return records
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    for event in document.get("traceEvents", []):
+        record = _from_chrome_event(event)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+def load_span_records(paths: Iterable[str | Path]) -> list[dict[str, Any]]:
+    """Read span records from files and directories, any supported format.
+
+    A directory contributes every ``*.jsonl`` span log and ``*.json``
+    Chrome-trace dump directly inside it. Unreadable or off-format files
+    raise — a trace investigation must not silently run on partial data.
+
+    Records are deduplicated by ``(trace_id, span_id)``: a ``--trace-out``
+    directory holds the same spans up to three times (the JSONL log, its
+    converted ``trace.json``, and any flight-recorder incident dump), and
+    a span must render once no matter how many artifacts captured it.
+    """
+    records: list[dict[str, Any]] = []
+    seen: set[tuple[str, str]] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            loaded: list[dict[str, Any]] = []
+            for child in sorted(path.glob("*.jsonl")):
+                loaded.extend(_load_file(child))
+            for child in sorted(path.glob("*.json")):
+                loaded.extend(_load_file(child))
+        else:
+            loaded = _load_file(path)
+        for record in loaded:
+            trace_id, span_id = record["trace_id"], record["span_id"]
+            if trace_id and span_id:
+                key = (str(trace_id), str(span_id))
+                if key in seen:
+                    continue
+                seen.add(key)
+            records.append(record)
+    return records
+
+
+def build_trace_index(
+    records: Iterable[dict[str, Any]],
+) -> dict[str, list[dict[str, Any]]]:
+    """Group records by trace id (records without one are dropped)."""
+    index: dict[str, list[dict[str, Any]]] = {}
+    for record in records:
+        trace_id = record.get("trace_id")
+        if trace_id:
+            index.setdefault(str(trace_id), []).append(record)
+    for spans in index.values():
+        spans.sort(key=lambda record: record["start"])
+    return index
+
+
+def summarize_traces(
+    records: Iterable[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """One summary row per trace: id, span count, root name, duration."""
+    rows: list[dict[str, Any]] = []
+    for trace_id, spans in sorted(build_trace_index(records).items()):
+        span_ids = {span["span_id"] for span in spans if span["span_id"]}
+        roots = [
+            span
+            for span in spans
+            if span["parent_span_id"] not in span_ids
+        ]
+        rows.append(
+            {
+                "trace_id": trace_id,
+                "spans": len(spans),
+                "root": roots[0]["span"] if roots else "?",
+                "names": sorted({span["span"] for span in spans}),
+            }
+        )
+    return rows
+
+
+def render_trace_tree(
+    records: Iterable[dict[str, Any]], trace_id: str
+) -> str:
+    """The causal tree of one trace as an indented text rendering.
+
+    Spans whose parent id is absent from the trace (the root, plus any
+    span orphaned by sampling a partial file set) render at top level;
+    children sort by start time.
+    """
+    spans = build_trace_index(records).get(trace_id)
+    if not spans:
+        return f"trace {trace_id}: no spans found"
+    span_ids = {span["span_id"] for span in spans if span["span_id"]}
+    children: dict[str | None, list[dict[str, Any]]] = {}
+    roots: list[dict[str, Any]] = []
+    for span in spans:
+        parent = span["parent_span_id"]
+        if parent in span_ids:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    base = min(span["start"] for span in spans)
+    lines = [f"trace {trace_id} · {len(spans)} span(s)"]
+
+    def _render(span: dict[str, Any], depth: int) -> None:
+        indent = "  " * depth
+        offset_ms = (span["start"] - base) * 1000.0
+        attrs = span.get("attributes") or {}
+        suffix = (
+            " " + " ".join(f"{k}={v}" for k, v in attrs.items()) if attrs else ""
+        )
+        lines.append(
+            f"{indent}+{offset_ms:9.3f}ms  {span['span']} "
+            f"[{span['duration_ms']:.3f}ms]{suffix}"
+        )
+        for child in children.get(span["span_id"], []):
+            _render(child, depth + 1)
+
+    for root in roots:
+        _render(root, 0)
+    return "\n".join(lines)
+
+
+def jsonl_to_chrome(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Convert normalized span records to a Chrome-trace document.
+
+    Used by ``--trace-out <dir>`` at shutdown: the JSONL sink is the
+    durable log, this conversion is the Perfetto-loadable view.
+    """
+    trace_events: list[dict[str, Any]] = []
+    for record in records:
+        args = dict(record.get("attributes") or {})
+        for key in ("trace_id", "span_id", "parent_span_id"):
+            if record.get(key) is not None:
+                args[key] = record[key]
+        trace_events.append(
+            {
+                "name": record["span"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": record["start"] * 1e6,
+                "dur": record["duration_ms"] * 1e3,
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return {"displayTimeUnit": "ms", "traceEvents": trace_events}

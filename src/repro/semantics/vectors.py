@@ -116,10 +116,22 @@ class SparseVector:
             if norm == 0.0:
                 self._normalized = ZERO_VECTOR
             else:
+                components = self._components
+                if norm < 2.0**-1022:
+                    # Subnormal norm: dividing subnormal components by a
+                    # subnormal norm quantizes to the 5e-324 grid and the
+                    # "unit" result can be off by a whole ulp ratio.
+                    # Scaling by an exact power of two first lifts every
+                    # component onto the normal grid (no overflow: all
+                    # components are < 2**-1022, so scaled < 2**-510).
+                    components = {
+                        d: w * 2.0**512 for d, w in components.items()
+                    }
+                    norm = math.hypot(*components.values())
                 # Divide rather than scale by 1/norm: the reciprocal of
-                # a subnormal norm overflows to inf.
+                # a tiny norm overflows to inf.
                 self._normalized = SparseVector(
-                    {d: w / norm for d, w in self._components.items()}
+                    {d: w / norm for d, w in components.items()}
                 )
         return self._normalized
 

@@ -1,0 +1,42 @@
+"""TraceContext: id shapes, child derivation, immutability."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
+
+
+class TestIds:
+    def test_trace_id_is_16_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # parses as hex
+
+    def test_span_id_is_8_hex(self):
+        span_id = new_span_id()
+        assert len(span_id) == 8
+        int(span_id, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(256)}) == 256
+
+
+class TestTraceContext:
+    def test_child_keeps_trace_id_and_sampling(self):
+        parent = TraceContext(
+            trace_id=new_trace_id(), span_id=new_span_id(), sampled=False
+        )
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.sampled is parent.sampled
+        assert child.span_id != parent.span_id
+
+    def test_sampled_defaults_true(self):
+        ctx = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+        assert ctx.sampled is True
+
+    def test_frozen(self):
+        ctx = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx.trace_id = "0" * 16

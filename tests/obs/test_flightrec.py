@@ -1,0 +1,148 @@
+"""Flight recorder: windowing, rate limiting, dump format, global hooks."""
+
+import json
+
+import pytest
+
+from repro.obs.clock import FakeClock
+from repro.obs.flightrec import FLIGHT_RECORDER, FlightRecorder, trigger_dump
+from repro.obs.registry import get_registry
+
+
+def make_recorder(tmp_path, **kwargs):
+    clock = FakeClock(start=100.0, epoch=1_700_000_000.0)
+    recorder = FlightRecorder(clock=clock, **kwargs)
+    recorder.enable(tmp_path)
+    return recorder, clock
+
+
+def record_span(recorder, clock, name="stage", offset=0.0, **kwargs):
+    defaults = dict(
+        trace_id="t" * 16,
+        span_id="s" * 8,
+        parent_span_id=None,
+        thread_name="MainThread",
+        attributes=None,
+    )
+    defaults.update(kwargs)
+    recorder.record(clock.monotonic() - offset, 0.001, name, **defaults)
+
+
+class TestValidation:
+    def test_rejects_bad_capacity_and_window(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(window=0.0)
+
+
+class TestBuffer:
+    def test_capacity_evicts_oldest(self, tmp_path):
+        recorder, clock = make_recorder(tmp_path, capacity=4)
+        for i in range(10):
+            record_span(recorder, clock, name=f"span{i}")
+        assert len(recorder) == 4
+
+    def test_enable_clears_previous_run(self, tmp_path):
+        recorder, clock = make_recorder(tmp_path)
+        record_span(recorder, clock)
+        recorder.enable(tmp_path)
+        assert len(recorder) == 0
+
+
+class TestDump:
+    def test_dump_filters_to_window(self, tmp_path):
+        recorder, clock = make_recorder(tmp_path, window=10.0)
+        record_span(recorder, clock, name="ancient", offset=60.0)
+        record_span(recorder, clock, name="recent", offset=1.0)
+        path = recorder.dump(tmp_path / "out.json", reason="test")
+        document = json.loads(path.read_text())
+        names = {
+            event["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert names == {"recent"}
+
+    def test_dump_carries_ids_and_incident_header(self, tmp_path):
+        recorder, clock = make_recorder(tmp_path)
+        record_span(
+            recorder,
+            clock,
+            parent_span_id="p" * 8,
+            attributes={"subscriber": 3},
+        )
+        path = recorder.dump(
+            tmp_path / "out.json", reason="breaker_open", detail="sub 3"
+        )
+        document = json.loads(path.read_text())
+        other = document["otherData"]
+        assert other["reason"] == "breaker_open"
+        assert other["detail"] == "sub 3"
+        assert other["spans"] == 1
+        # Wall-clock ISO-8601 stamp from the injected clock's epoch.
+        assert other["dumped_at"].startswith("2023-11-1")
+        assert other["dumped_at"].endswith("Z")
+        event = next(e for e in document["traceEvents"] if e["ph"] == "X")
+        assert event["args"]["trace_id"] == "t" * 16
+        assert event["args"]["parent_span_id"] == "p" * 8
+        assert event["args"]["subscriber"] == 3
+
+    def test_dump_names_threads(self, tmp_path):
+        recorder, clock = make_recorder(tmp_path)
+        record_span(recorder, clock, thread_name="shard0")
+        record_span(recorder, clock, thread_name="shard1")
+        document = json.loads(
+            recorder.dump(tmp_path / "out.json", reason="x").read_text()
+        )
+        meta = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert meta == {"shard0", "shard1"}
+
+
+class TestTrigger:
+    def test_trigger_writes_sequenced_sanitized_file(self, tmp_path):
+        recorder, clock = make_recorder(tmp_path)
+        record_span(recorder, clock)
+        path = recorder.trigger("degraded mode/trip!")
+        assert path is not None
+        assert path.name == "flightrec_001_degraded-mode-trip-.json"
+
+    def test_trigger_rate_limited_and_counted(self, tmp_path):
+        recorder, clock = make_recorder(tmp_path, min_dump_interval=5.0)
+        record_span(recorder, clock)
+        before = (
+            get_registry().snapshot()["counters"].get("flightrec.suppressed", 0)
+        )
+        assert recorder.trigger("first") is not None
+        assert recorder.trigger("storm") is None  # inside the interval
+        after = (
+            get_registry().snapshot()["counters"].get("flightrec.suppressed", 0)
+        )
+        assert after == before + 1
+        clock.sleep(6.0)
+        assert recorder.trigger("later") is not None
+
+    def test_trigger_noop_when_disabled(self, tmp_path):
+        recorder = FlightRecorder(clock=FakeClock())
+        assert recorder.trigger("nope") is None
+
+
+class TestGlobalHook:
+    def test_trigger_dump_noop_until_enabled(self, tmp_path):
+        assert not FLIGHT_RECORDER.enabled
+        assert trigger_dump("incident") is None
+
+    def test_trigger_dump_routes_to_global_recorder(self, tmp_path):
+        FLIGHT_RECORDER.enable(tmp_path, clock=FakeClock(start=50.0))
+        try:
+            FLIGHT_RECORDER.record(
+                49.0, 0.01, "stage", None, None, None, "MainThread", None
+            )
+            path = trigger_dump("incident", "detail")
+            assert path is not None and path.parent == tmp_path
+        finally:
+            FLIGHT_RECORDER.disable()

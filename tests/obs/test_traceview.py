@@ -1,0 +1,140 @@
+"""Offline trace reconstruction: loading, dedupe, summaries, trees."""
+
+import json
+
+from repro.obs.traceview import (
+    build_trace_index,
+    jsonl_to_chrome,
+    load_span_records,
+    render_trace_tree,
+    summarize_traces,
+)
+
+TRACE = "a" * 16
+
+
+def span(name, span_id, parent=None, start=0.0, duration_ms=1.0, **attrs):
+    return {
+        "span": name,
+        "start": start,
+        "duration_ms": duration_ms,
+        "trace_id": TRACE,
+        "span_id": span_id,
+        "parent_span_id": parent,
+        "attributes": attrs,
+    }
+
+
+def write_jsonl(path, records):
+    path.write_text(
+        "".join(json.dumps(record) + "\n" for record in records)
+    )
+
+
+class TestLoading:
+    def test_reads_jsonl_and_chrome_dumps(self, tmp_path):
+        write_jsonl(tmp_path / "spans.jsonl", [span("root", "r" * 8)])
+        (tmp_path / "dump.json").write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {
+                            "name": "attempt",
+                            "ph": "X",
+                            "ts": 2_000_000.0,
+                            "dur": 500.0,
+                            "args": {
+                                "trace_id": TRACE,
+                                "span_id": "b" * 8,
+                                "subscriber": 1,
+                            },
+                        },
+                        {"name": "thread_name", "ph": "M", "args": {}},
+                    ]
+                }
+            )
+        )
+        records = load_span_records([tmp_path])
+        assert {record["span"] for record in records} == {"root", "attempt"}
+        attempt = next(r for r in records if r["span"] == "attempt")
+        assert attempt["start"] == 2.0
+        assert attempt["duration_ms"] == 0.5
+        assert attempt["attributes"] == {"subscriber": 1}
+
+    def test_duplicate_spans_across_artifacts_load_once(self, tmp_path):
+        # A --trace-out directory holds the same span in spans.jsonl,
+        # trace.json, and a flight-recorder dump; it must render once.
+        record = span("root", "r" * 8)
+        write_jsonl(tmp_path / "spans.jsonl", [record])
+        (tmp_path / "trace.json").write_text(
+            json.dumps(jsonl_to_chrome([record]))
+        )
+        records = load_span_records([tmp_path])
+        assert len(records) == 1
+
+
+class TestIndexAndSummary:
+    def test_index_groups_and_sorts_by_start(self):
+        records = [
+            span("late", "b" * 8, start=2.0),
+            span("early", "c" * 8, start=1.0),
+            {"span": "untraced", "start": 0.0, "duration_ms": 0.0,
+             "trace_id": None, "span_id": None, "parent_span_id": None,
+             "attributes": {}},
+        ]
+        index = build_trace_index(records)
+        assert list(index) == [TRACE]
+        assert [s["span"] for s in index[TRACE]] == ["early", "late"]
+
+    def test_summary_row(self):
+        records = [
+            span("broker.publish", "r" * 8, start=0.0),
+            span("deliver.attempt", "d" * 8, parent="r" * 8, start=0.5),
+        ]
+        (row,) = summarize_traces(records)
+        assert row["trace_id"] == TRACE
+        assert row["spans"] == 2
+        assert row["root"] == "broker.publish"
+        assert row["names"] == ["broker.publish", "deliver.attempt"]
+
+
+class TestRenderTree:
+    def test_tree_indents_children_with_offsets(self):
+        records = [
+            span("broker.publish", "r" * 8, start=1.0, duration_ms=5.0),
+            span(
+                "deliver.attempt",
+                "d" * 8,
+                parent="r" * 8,
+                start=1.002,
+                attempt=1,
+            ),
+        ]
+        rendering = render_trace_tree(records, TRACE)
+        lines = rendering.splitlines()
+        assert lines[0] == f"trace {TRACE} · 2 span(s)"
+        assert "broker.publish" in lines[1] and not lines[1].startswith("  ")
+        assert lines[2].startswith("  ")
+        assert "deliver.attempt" in lines[2]
+        assert "+    2.000ms" in lines[2]
+        assert "attempt=1" in lines[2]
+
+    def test_unknown_trace_reports_no_spans(self):
+        assert render_trace_tree([], "f" * 16).endswith("no spans found")
+
+    def test_orphaned_parent_renders_at_top_level(self):
+        records = [span("lonely", "x" * 8, parent="gone4444")]
+        rendering = render_trace_tree(records, TRACE)
+        assert "lonely" in rendering
+
+
+class TestChromeConversion:
+    def test_jsonl_to_chrome_roundtrip(self):
+        records = [span("root", "r" * 8, start=3.0, duration_ms=2.0, k=1)]
+        document = jsonl_to_chrome(records)
+        (event,) = document["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["ts"] == 3.0 * 1e6
+        assert event["dur"] == 2.0 * 1e3
+        assert event["args"]["trace_id"] == TRACE
+        assert event["args"]["k"] == 1
