@@ -1,0 +1,103 @@
+"""Kernel-scaling ladder: scalar serial -> vectorized kernel -> shard pools.
+
+Not a paper figure: this bench guards the engineering claims of the
+vectorized relatedness kernel and the process-pool shard executor — that
+the numpy kernel plus ingress micro-batching beats the serial scalar
+fig9 front-end *without changing a single delivery*. Every timed run
+re-checks parity inside :func:`~repro.evaluation.compare_kernel_scaling`
+itself: the three kernel configurations must be **bit-identical** to one
+another, and the scalar reference must match them within the kernel's
+documented ``PARITY_TOLERANCE``. Throughput without identical deliveries
+fails the run, not the report.
+
+Ladder rungs (all timed over the same themed fig9-style workload):
+
+* ``serial_scalar`` — ThreadedBroker + scalar ``SparseVector`` measure
+  (the reference fig9 serial number);
+* ``serial_kernel`` — same serial broker, vectorized kernel (batch size
+  is 1 per dispatch, so this rung isolates kernel overhead, not wins);
+* ``thread_shards`` — ShardedBroker, thread executor, kernel: ingress
+  micro-batching feeds the block-fill pipeline whole batches;
+* ``process_shards`` — ShardedBroker, spawned worker processes attached
+  zero-copy to the columnar space snapshot.
+
+The ISSUE target is >= 5x over the serial fig9 number at 4+ process
+shards. That margin requires 4+ physical cores: on the single-CPU
+container this repo is grown in, process shards cannot run in parallel
+and IPC overhead makes ``process_shards`` *slower* than serial (the
+committed baseline artifact records the honest number). The gate
+therefore asserts parity plus direction — the best kernel configuration
+must beat the scalar serial reference — and the committed
+``BENCH_kernel_scaling.json`` documents the measured ladder for the
+hardware it ran on.
+"""
+
+import pytest
+
+from repro.evaluation import compare_kernel_scaling, format_comparison
+
+SHARDS = 4
+MAX_BATCH = 32
+REPEATS = 2
+
+
+def test_kernel_scaling(benchmark, workload, bench_artifact):
+    comparison = {}
+
+    def run():
+        comparison.update(
+            compare_kernel_scaling(
+                workload, shards=SHARDS, max_batch=MAX_BATCH, repeats=REPEATS
+            )
+        )
+        return comparison["events"] * 4 * REPEATS
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    configs = comparison["configs"]
+    rows = [
+        (
+            "serial_scalar (fig9 reference)",
+            "baseline",
+            f"{configs['serial_scalar']['mean_eps']:.0f} ev/s",
+        )
+    ]
+    for name, label in (
+        ("serial_kernel", "~1x (batch=1)"),
+        ("thread_shards", "> 1x"),
+        ("process_shards", ">= 5x on 4+ cores"),
+    ):
+        rows.append(
+            (
+                name,
+                label,
+                f"{configs[name]['mean_eps']:.0f} ev/s "
+                f"({configs[name]['speedup']:.2f}x)",
+            )
+        )
+    rows.append(
+        (
+            "delivery parity",
+            "bit-identical",
+            f"verified ({comparison['deliveries']} deliveries)",
+        )
+    )
+    print()
+    print(format_comparison(rows, title="Kernel scaling ladder"))
+
+    bench_artifact("kernel_scaling", comparison)
+
+    # Parity is asserted inside compare_kernel_scaling on every repeat;
+    # this just records that the run got that far.
+    assert comparison["parity"] is True
+    best_kernel = max(
+        configs[name]["speedup"]
+        for name in ("serial_kernel", "thread_shards", "process_shards")
+    )
+    # Direction gate: some kernel-backed configuration must beat the
+    # scalar serial reference. The full >= 5x process-shard margin is a
+    # multi-core claim — see the module docstring and the committed
+    # baseline artifact for the single-CPU measurement.
+    assert best_kernel > 1.0, (
+        f"no kernel configuration beat serial scalar: best {best_kernel:.2f}x"
+    )

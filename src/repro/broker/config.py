@@ -57,6 +57,12 @@ class BrokerConfig:
         engine).
     dead_letter_capacity:
         Bound on the dead-letter queue, ``None`` for unbounded.
+    executor:
+        Shard execution backend (sharded): ``"thread"`` (default) runs
+        shard engines on an in-process pool; ``"process"`` spawns one
+        worker process per shard attached zero-copy to a shared columnar
+        snapshot of the semantic space (requires a vectorized
+        kernel-backed matcher — see :mod:`repro.broker.procshard`).
     """
 
     replay_capacity: int = 256
@@ -69,6 +75,7 @@ class BrokerConfig:
     delivery: DeliveryPolicy = DeliveryPolicy()
     degraded: DegradedPolicy | None = None
     dead_letter_capacity: int | None = None
+    executor: str = "thread"
 
 
 def config_from_legacy(

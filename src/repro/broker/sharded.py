@@ -49,6 +49,7 @@ from typing import Any
 from repro.broker.broker import BrokerMetrics, Delivery
 from repro.broker.config import BrokerConfig, config_from_legacy
 from repro.broker.ingress import STOP, collect_batch, wait_until_drained
+from repro.broker.procshard import ProcessShardExecutor
 from repro.broker.reliability import (
     DeadLetterQueue,
     DeliveryPolicy,
@@ -181,8 +182,17 @@ class ShardedBroker:
         A :class:`~repro.broker.config.BrokerConfig`; this front-end
         reads ``shards``, ``strategy``, ``max_batch``, ``linger``,
         ``workers``, ``replay_capacity``, ``max_queue``, ``delivery``,
-        ``degraded``, and ``dead_letter_capacity``. The legacy keyword
-        arguments still work with a :class:`DeprecationWarning`.
+        ``degraded``, ``dead_letter_capacity``, and ``executor``. The
+        legacy keyword arguments still work with a
+        :class:`DeprecationWarning`.
+
+        With ``executor="process"`` the shard engines live in spawned
+        worker processes attached zero-copy to a shared columnar
+        snapshot of the semantic space
+        (:class:`~repro.broker.procshard.ProcessShardExecutor`); the
+        matcher must score through the vectorized kernel. Delivery
+        semantics (global order, sequence stamps, replay,
+        reliability/DLQ) are identical to the thread executor.
     registry:
         Broker-level metrics registry (each shard engine keeps its own;
         see :meth:`metrics_snapshot`).
@@ -233,34 +243,52 @@ class ShardedBroker:
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
         self._max_batch = config.max_batch
         self._linger = config.linger
-        self._shards = [
-            _Shard(
-                index=index,
-                registry=(shard_registry := MetricsRegistry()),
-                engine=ThematicEventEngine(
-                    matcher,
-                    EngineConfig(
-                        private_pipeline=True,
-                        span_tags={"shard": index},
-                        degraded=config.degraded,
+        if config.executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {config.executor!r} "
+                "(expected 'thread' or 'process')"
+            )
+        self._proc: ProcessShardExecutor | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        if config.executor == "process":
+            self._shards: list[_Shard] = []
+            self._workers = config.shards
+            self._proc = ProcessShardExecutor(
+                matcher,
+                shards=config.shards,
+                degraded=config.degraded,
+                clock=self._clock,
+                registry=self.metrics.registry,
+            )
+        else:
+            self._shards = [
+                _Shard(
+                    index=index,
+                    registry=(shard_registry := MetricsRegistry()),
+                    engine=ThematicEventEngine(
+                        matcher,
+                        EngineConfig(
+                            private_pipeline=True,
+                            span_tags={"shard": index},
+                            degraded=config.degraded,
+                        ),
+                        registry=shard_registry,
+                        clock=clock,
                     ),
-                    registry=shard_registry,
-                    clock=clock,
-                ),
+                )
+                for index in range(config.shards)
+            ]
+            workers = config.workers
+            if workers is None:
+                workers = min(config.shards, os.cpu_count() or 1)
+            self._workers = max(1, workers)
+            self._pool = (
+                ThreadPoolExecutor(
+                    max_workers=self._workers, thread_name_prefix="shard-worker"
+                )
+                if self._workers > 1 and config.shards > 1
+                else None
             )
-            for index in range(config.shards)
-        ]
-        workers = config.workers
-        if workers is None:
-            workers = min(config.shards, os.cpu_count() or 1)
-        self._workers = max(1, workers)
-        self._pool = (
-            ThreadPoolExecutor(
-                max_workers=self._workers, thread_name_prefix="shard-worker"
-            )
-            if self._workers > 1 and config.shards > 1
-            else None
-        )
         registry_ = self.metrics.registry
         self._queue_wait = registry_.histogram("broker.queue_wait_seconds")
         self._batch_size = registry_.histogram("broker.batch_size")
@@ -341,6 +369,8 @@ class ShardedBroker:
                 self._queue.task_done()
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
+            if self._proc is not None:
+                self._proc.close()
 
     def __enter__(self) -> "ShardedBroker":
         return self
@@ -402,15 +432,21 @@ class ShardedBroker:
                 policy=policy,
                 callback=callback,
             )
-            shard_index = self._strategy.assign(order, self._loads())
-            if not 0 <= shard_index < len(self._shards):
+            loads = self._loads()
+            shard_index = self._strategy.assign(order, loads)
+            if not 0 <= shard_index < len(loads):
                 raise ValueError(
                     f"strategy assigned shard {shard_index} "
-                    f"outside [0, {len(self._shards)})"
+                    f"outside [0, {len(loads)})"
                 )
             sink = _ShardSink(order, handle)
-            shard = self._shards[shard_index]
-            engine_handle = shard.engine.subscribe(subscription, sink)
+            engine_handle: object = None
+            if self._proc is not None:
+                self._proc.subscribe(shard_index, order, subscription)
+            else:
+                engine_handle = self._shards[shard_index].engine.subscribe(
+                    subscription, sink
+                )
             self._entries[order] = _Entry(
                 handle=handle,
                 sink=sink,
@@ -420,7 +456,12 @@ class ShardedBroker:
             if replay:
                 for sequence, event in list(self._replay):
                     self.metrics.inc("evaluations")
-                    result = shard.engine.match_one(subscription, event)
+                    if self._proc is not None:
+                        result = self._proc.match_one(subscription, event)
+                    else:
+                        result = self._shards[shard_index].engine.match_one(
+                            subscription, event
+                        )
                     if result is not None:
                         self.metrics.inc("replayed")
                         replayed.append(
@@ -444,9 +485,12 @@ class ShardedBroker:
             entry = self._entries.pop(handle.id, None)
             if entry is None:
                 return False
-            self._shards[entry.shard_index].engine.unsubscribe(
-                entry.engine_handle
-            )
+            if self._proc is not None:
+                self._proc.unsubscribe(entry.shard_index, handle.id)
+            else:
+                self._shards[entry.shard_index].engine.unsubscribe(
+                    entry.engine_handle
+                )
             for source, target in self._strategy.rebalance(self._loads()):
                 self._move_one(source, target)
             return True
@@ -474,17 +518,30 @@ class ShardedBroker:
         snapshot["queue_wait"] = self._queue_wait.summary()
         snapshot["batch_size"] = self._batch_size.summary()
         snapshot["pending"] = self.pending()
-        shard_snapshots = [shard.registry.snapshot() for shard in self._shards]
-        snapshot["shards"] = {
-            f"shard{shard.index}": shard_snapshot
-            for shard, shard_snapshot in zip(self._shards, shard_snapshots, strict=True)
-        }
+        if self._proc is not None:
+            shard_snapshots = self._proc.shard_snapshots()
+            snapshot["shards"] = {
+                f"shard{index}": shard_snapshot
+                for index, shard_snapshot in enumerate(shard_snapshots)
+            }
+        else:
+            shard_snapshots = [
+                shard.registry.snapshot() for shard in self._shards
+            ]
+            snapshot["shards"] = {
+                f"shard{shard.index}": shard_snapshot
+                for shard, shard_snapshot in zip(
+                    self._shards, shard_snapshots, strict=True
+                )
+            }
         snapshot["engine_totals"] = merge_snapshots(shard_snapshots)["counters"]
         return snapshot
 
     # -- internals ---------------------------------------------------------
 
     def _loads(self) -> list[int]:
+        if self._proc is not None:
+            return self._proc.loads()
         return [shard.engine.subscription_count() for shard in self._shards]
 
     def _move_one(self, source: int, target: int) -> None:
@@ -496,10 +553,16 @@ class ShardedBroker:
         """
         for entry in reversed(self._entries.values()):
             if entry.shard_index == source:
-                self._shards[source].engine.unsubscribe(entry.engine_handle)
-                entry.engine_handle = self._shards[target].engine.subscribe(
-                    entry.handle.subscription, entry.sink
-                )
+                if self._proc is not None:
+                    self._proc.move(
+                        entry.handle.id, source, target,
+                        entry.handle.subscription,
+                    )
+                else:
+                    self._shards[source].engine.unsubscribe(entry.engine_handle)
+                    entry.engine_handle = self._shards[target].engine.subscribe(
+                        entry.handle.subscription, entry.sink
+                    )
                 entry.shard_index = target
                 return
 
@@ -546,46 +609,76 @@ class ShardedBroker:
                 sequences.append(self._sequence)
                 self._replay.append((self._sequence, event))
                 self._sequence += 1
-            active = [
-                shard for shard in self._shards
-                if shard.engine.subscription_count()
-            ]
-            if self._pool is not None and len(active) > 1:
-                futures = [
-                    self._pool.submit(
-                        self._snapshot_shard, shard, events, batch_ctx
-                    )
-                    for shard in active
-                ]
-                outcomes = [future.result() for future in futures]
-            else:
-                outcomes = [
-                    shard.engine.snapshot_batch(events, deliverable_only=True)
-                    for shard in active
-                ]
-            threshold = self.matcher.threshold
-            for j, sequence in enumerate(sequences):
-                matched = []
-                for shard, (registrations, result_batch) in zip(active, outcomes, strict=True):
-                    if result_batch is None:
+            if self._proc is not None:
+                # Workers return only threshold survivors, as compact
+                # (order, event index, matrix) records; results are
+                # rebuilt here against the parent's own subscription and
+                # event objects, then merged in global order exactly
+                # like the thread path below.
+                per_event: list[list[tuple]] = [[] for _ in events]
+                for order, j, matrix in self._proc.match_batch(events):
+                    entry = self._entries.get(order)
+                    if entry is None:  # pragma: no cover - defensive
                         continue
-                    for index, (_, sink) in enumerate(registrations):
-                        result = result_batch.result(index, j)
-                        if result is not None and result.is_match(threshold):
-                            shard.engine.stats.inc("deliveries")
-                            matched.append((sink.order, sink.handle, result))
-                matched.sort(key=lambda item: item[0])
-                for _, handle, result in matched:
-                    pending.append(
-                        (
-                            handle,
-                            Delivery(
-                                result=result,
-                                sequence=sequence,
-                                trace=contexts[j],
-                            ),
-                        )
+                    result = self._proc.build_result(
+                        entry.handle.subscription, events[j], matrix
                     )
+                    if result is not None:
+                        per_event[j].append((order, entry.handle, result))
+                for j, sequence in enumerate(sequences):
+                    per_event[j].sort(key=lambda item: item[0])
+                    for _, handle, result in per_event[j]:
+                        pending.append(
+                            (
+                                handle,
+                                Delivery(
+                                    result=result,
+                                    sequence=sequence,
+                                    trace=contexts[j],
+                                ),
+                            )
+                        )
+            else:
+                active = [
+                    shard for shard in self._shards
+                    if shard.engine.subscription_count()
+                ]
+                if self._pool is not None and len(active) > 1:
+                    futures = [
+                        self._pool.submit(
+                            self._snapshot_shard, shard, events, batch_ctx
+                        )
+                        for shard in active
+                    ]
+                    outcomes = [future.result() for future in futures]
+                else:
+                    outcomes = [
+                        shard.engine.snapshot_batch(events, deliverable_only=True)
+                        for shard in active
+                    ]
+                threshold = self.matcher.threshold
+                for j, sequence in enumerate(sequences):
+                    matched = []
+                    for shard, (registrations, result_batch) in zip(active, outcomes, strict=True):
+                        if result_batch is None:
+                            continue
+                        for index, (_, sink) in enumerate(registrations):
+                            result = result_batch.result(index, j)
+                            if result is not None and result.is_match(threshold):
+                                shard.engine.stats.inc("deliveries")
+                                matched.append((sink.order, sink.handle, result))
+                    matched.sort(key=lambda item: item[0])
+                    for _, handle, result in matched:
+                        pending.append(
+                            (
+                                handle,
+                                Delivery(
+                                    result=result,
+                                    sequence=sequence,
+                                    trace=contexts[j],
+                                ),
+                            )
+                        )
         # Matching and sequencing happen under the registry lock; the
         # callbacks themselves must not (RL100) — a subscriber that
         # subscribes/unsubscribes/publishes from its callback would

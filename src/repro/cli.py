@@ -306,13 +306,14 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             shards=args.shards,
             max_batch=args.max_batch,
             seed=args.seed,
+            executor=args.executor,
         )
         serial = comparison["serial"]
         sharded = comparison["sharded"]
         print(
             f"broker throughput: serial {serial['mean_eps']:.0f} ev/s vs "
-            f"sharded[{sharded['shards']} shards x batch "
-            f"{sharded['max_batch']}] {sharded['mean_eps']:.0f} ev/s "
+            f"sharded[{sharded['shards']} {sharded['executor']} shards x "
+            f"batch {sharded['max_batch']}] {sharded['mean_eps']:.0f} ev/s "
             f"({comparison['speedup']:.2f}x, deliveries identical)"
         )
     if tracing:
@@ -437,6 +438,16 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
             )
         return 1
     if args.gate and report.compared == 0:
+        if report.missing_baseline:
+            # Every fresh artifact is brand new — nothing to regress
+            # against. New coverage passes the gate (informationally);
+            # committing the baselines arms it for next time.
+            print(
+                "bench diff --gate: only new artifacts "
+                f"({', '.join(report.missing_baseline)}); commit baselines "
+                "to arm the gate"
+            )
+            return 0
         print(
             "bench diff --gate: no artifacts were compared "
             "(nothing to gate on)",
@@ -524,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "throughput with this many subscription shards")
     p_eval.add_argument("--max-batch", type=int, default=32,
                         help="ingress micro-batch size for --shards")
+    p_eval.add_argument("--executor", choices=("thread", "process"),
+                        default="thread",
+                        help="shard backend for --shards: in-process "
+                             "threads or spawned worker processes over a "
+                             "zero-copy shared semantic space")
     p_eval.add_argument("--faults", default=None, metavar="PLAN.json",
                         help="run the fault-injection experiment with this "
                              "FaultPlan and verify the no-loss invariant "

@@ -39,9 +39,11 @@ from repro.obs import TRACER
 __all__ = [
     "Correspondence",
     "Mapping",
+    "assignment_costs",
     "k_best_assignments",
     "single_mapping",
     "top_assignment",
+    "top_assignment_prepared",
     "top_k_mappings",
     "top_assignment_score",
 ]
@@ -257,6 +259,40 @@ def top_assignment_score(scores: np.ndarray) -> float:
     return float(product ** (1.0 / n))
 
 
+def assignment_costs(scores: np.ndarray) -> np.ndarray:
+    """The ``-log`` cost array every top-assignment solver builds.
+
+    Exposed so batch callers can compute costs for a whole block of
+    matrices in one elementwise pass and feed slices to
+    :func:`top_assignment_prepared`; the expression is identical to the
+    inline construction in :func:`top_assignment` /
+    :func:`k_best_assignments`, so precomputed costs are bit-identical.
+    Works on arrays of any shape (costs are elementwise).
+    """
+    return np.minimum(-np.log(np.maximum(scores, _EPSILON)), _FORBIDDEN_COST)
+
+
+def top_assignment_prepared(
+    scores: np.ndarray, cost: np.ndarray
+) -> tuple[tuple[int, ...], float] | None:
+    """:func:`top_assignment` with the cost array already built.
+
+    ``cost`` must be ``assignment_costs(scores)`` (or a slice of a block
+    of them); the solver, bookkeeping and score arithmetic are the same,
+    so the result is bit-identical to :func:`top_assignment`.
+    """
+    n, m = scores.shape
+    if n == 0 or n > m:
+        return None
+    rows, cols = linear_sum_assignment(cost)
+    assignment = [0] * n
+    product = 1.0
+    for r, c in zip(rows, cols, strict=True):
+        assignment[r] = int(c)
+        product *= float(scores[r, c])
+    return tuple(assignment), float(product ** (1.0 / n))
+
+
 def top_assignment(scores: np.ndarray) -> tuple[tuple[int, ...], float] | None:
     """Best assignment and its geometric-mean score; ``None`` if infeasible.
 
@@ -302,9 +338,20 @@ def single_mapping(matrix: SimilarityMatrix, assignment: tuple[int, ...]) -> Map
         )
         for i, j in enumerate(assignment)
     )
-    scores = [c.score for c in correspondences]
-    geo_mean = float(np.prod(scores) ** (1.0 / len(scores))) if scores else 0.0
-    weight = float(np.prod([c.probability for c in correspondences]))
+    # Sequential products instead of np.prod over small lists: numpy's
+    # multiply.reduce is the same left-to-right chain at these lengths,
+    # so the floats are unchanged while the array-conversion overhead
+    # (a large share of per-survivor cost in the batch path) disappears.
+    score_product = 1.0
+    weight = 1.0
+    for c in correspondences:
+        score_product *= c.score
+        weight *= c.probability
+    geo_mean = (
+        float(score_product ** (1.0 / len(correspondences)))
+        if correspondences
+        else 0.0
+    )
     return Mapping(
         correspondences=correspondences,
         score=geo_mean,

@@ -52,8 +52,10 @@ import numpy as np
 from repro.core.api import BatchMatchResult
 from repro.core.events import Event
 from repro.core.mapping import (
+    assignment_costs,
     single_mapping,
     top_assignment,
+    top_assignment_prepared,
     top_assignment_score,
     top_k_mappings,
 )
@@ -96,11 +98,18 @@ class BatchStats:
 
 
 class _CompiledPredicate:
-    """One predicate, pre-normalized for batch matrix construction."""
+    """One predicate, pre-normalized for batch matrix construction.
+
+    ``attr_id``/``value_id`` are pipeline-global interned term ids
+    (assigned by :meth:`StagedBatchPipeline._compile_subscription`);
+    ``value_id`` is ``-1`` for non-string values, so it can never equal
+    an event-side id.
+    """
 
     __slots__ = (
         "predicate", "attribute", "attr_norm", "approx_attribute", "operator",
         "value", "value_is_str", "value_norm", "approx_value", "exact_key",
+        "attr_id", "value_id",
     )
 
     def __init__(self, predicate: Predicate):
@@ -128,6 +137,8 @@ class _CompiledPredicate:
             )
         else:
             self.exact_key = None
+        self.attr_id = -1
+        self.value_id = -1
 
 
 class _CompiledSubscription:
@@ -203,13 +214,35 @@ class StagedBatchPipeline:
         self._tables: dict[
             tuple[tuple[str, ...], tuple[str, ...]], dict[tuple[str, str], float]
         ] = {}
+        # Pipeline-global term interner for the vectorized block fill:
+        # normalized term -> dense id, plus per-id norm and a
+        # representative original spelling (what the measure is asked
+        # with — any original works, measures normalize internally,
+        # which is the same property the score tables already rely on).
+        # Bounded by the vocabulary seen, like the score tables.
+        self._interned: dict[str, int] = {}
+        self._norm_by_id: list[str] = []
+        self._original_by_id: list[str] = []
 
     # -- compilation -------------------------------------------------------
+
+    def _intern(self, norm: str, original: str) -> int:
+        gid = self._interned.get(norm)
+        if gid is None:
+            gid = len(self._norm_by_id)
+            self._interned[norm] = gid
+            self._norm_by_id.append(norm)
+            self._original_by_id.append(original)
+        return gid
 
     def _compile_subscription(self, subscription: Subscription) -> _CompiledSubscription:
         compiled = self._compiled_subs.get(id(subscription))
         if compiled is None or compiled.subscription is not subscription:
             compiled = _CompiledSubscription(subscription)
+            for p in compiled.predicates:
+                p.attr_id = self._intern(p.attr_norm, p.attribute)
+                if p.value_is_str:
+                    p.value_id = self._intern(p.value_norm, p.value)
             self._compiled_subs[id(subscription)] = compiled
         return compiled
 
@@ -282,9 +315,27 @@ class StagedBatchPipeline:
                 subscriptions, events, prune_zero, stats
             )
             if deliver_threshold is not None:
-                self._stage_assign_deliverable(
-                    candidates, scores, results, deliver_threshold, stats
-                )
+                vectorized = getattr(self.matcher.measure, "vectorized", False)
+                if vectorized and len(events) > 1:
+                    # With a batch-vectorized measure and a real batch,
+                    # the gated mode runs the block fill: vocab-level
+                    # collection, one kernel call for the whole batch's
+                    # missing term pairs, then numpy gathers building
+                    # every candidate matrix at once.
+                    self._stage_block_deliverable(
+                        candidates, scores, results, deliver_threshold, stats
+                    )
+                else:
+                    if vectorized:
+                        # Single-event dispatch: block arithmetic has
+                        # nothing to stack, so bulk-score the event's
+                        # missing pairs (still one kernel call) and let
+                        # fill-on-touch read warm tables.
+                        missing = self._stage_collect(candidates, stats)
+                        self._stage_score(missing, stats)
+                    self._stage_assign_deliverable(
+                        candidates, scores, results, deliver_threshold, stats
+                    )
             else:
                 missing = self._stage_collect(candidates, stats)
                 self._stage_score(missing, stats)
@@ -384,6 +435,14 @@ class StagedBatchPipeline:
         matcher = self.matcher
         measure = matcher.measure
         calibration = matcher.calibration
+        # Bulk-call only measures that declare themselves vectorized:
+        # wrappers that intercept score() but proxy other attributes
+        # (test doubles, instrumentation) must keep seeing every call.
+        score_batch = (
+            getattr(measure, "score_batch", None)
+            if getattr(measure, "vectorized", False)
+            else None
+        )
         with TRACER.span(
             "pipeline.score",
             batch=stats.pairs,
@@ -392,6 +451,24 @@ class StagedBatchPipeline:
             dedup_ratio=round(stats.dedup_ratio, 4),
             **self._span_tags,
         ):
+            if score_batch is not None and missing:
+                # One bulk call for every unique lookup of the batch.
+                # Measures without a vectorized kernel implement this as
+                # a per-lookup loop over score(), so values (and their
+                # computation order) are identical to the loop below.
+                raws = score_batch(
+                    [
+                        (term_s, theme_s, term_e, theme_e)
+                        for _, _, term_s, theme_s, term_e, theme_e in missing
+                    ]
+                )
+                for (table, key, *_), raw in zip(missing, raws, strict=True):
+                    table[key] = (
+                        calibration.apply(raw)
+                        if calibration is not None
+                        else raw
+                    )
+                return
             for table, key, term_s, theme_s, term_e, theme_e in missing:
                 raw = measure.score(term_s, theme_s, term_e, theme_e)
                 table[key] = (
@@ -482,51 +559,364 @@ class StagedBatchPipeline:
                 matrix = self._pair_matrix_fill(
                     sub, event, table, min_relatedness, stats
                 )
-                if top_1:
-                    solved = top_assignment(matrix)
-                    if solved is None:  # pragma: no cover - arity stage prevents it
-                        continue
-                    assignment, top = solved
-                    if top < threshold:
-                        scores[i][j] = top
-                        continue
-                    wrapped = SimilarityMatrix(
-                        subscription=sub.subscription,
-                        event=event.event,
-                        scores=matrix,
-                    )
-                    mapping = single_mapping(wrapped, assignment)
-                    result = MatchResult(
-                        subscription=sub.subscription,
-                        event=event.event,
-                        matrix=wrapped,
-                        mapping=mapping,
-                    )
-                    results[i][j] = result
-                    scores[i][j] = result.score
-                    continue
-                top = top_assignment_score(matrix)
-                if top < threshold:
-                    scores[i][j] = top
-                    continue
-                wrapped = SimilarityMatrix(
-                    subscription=sub.subscription,
-                    event=event.event,
-                    scores=matrix,
+                self._gate_candidate(
+                    i, j, sub, event, matrix, scores, results, threshold, top_1
                 )
-                mappings = top_k_mappings(wrapped, matcher.k)
-                if not mappings:  # pragma: no cover - arity stage prevents it
-                    scores[i][j] = top
-                    continue
-                result = MatchResult(
-                    subscription=sub.subscription,
-                    event=event.event,
-                    matrix=wrapped,
-                    mapping=mappings[0],
-                    alternatives=tuple(mappings[1:]),
+
+    def _gate_candidate(
+        self,
+        i: int,
+        j: int,
+        sub: _CompiledSubscription,
+        event: _CompiledEvent,
+        matrix: np.ndarray,
+        scores: list[list[float]],
+        results: list[list[MatchResult | None]],
+        threshold: float,
+        top_1: bool,
+        cost: np.ndarray | None = None,
+    ) -> None:
+        """Threshold-gate one candidate matrix, materializing survivors.
+
+        ``cost`` optionally carries the candidate's precomputed ``-log``
+        assignment cost matrix (the block path derives one for a whole
+        sub-group in a single elementwise pass); the solved assignment
+        and score are identical either way.
+        """
+        if top_1:
+            if cost is not None:
+                solved = top_assignment_prepared(matrix, cost)
+            else:
+                solved = top_assignment(matrix)
+            if solved is None:  # pragma: no cover - arity stage prevents it
+                return
+            assignment, top = solved
+            if top < threshold:
+                scores[i][j] = top
+                return
+            wrapped = SimilarityMatrix(
+                subscription=sub.subscription,
+                event=event.event,
+                scores=matrix,
+            )
+            mapping = single_mapping(wrapped, assignment)
+            result = MatchResult(
+                subscription=sub.subscription,
+                event=event.event,
+                matrix=wrapped,
+                mapping=mapping,
+            )
+            results[i][j] = result
+            scores[i][j] = result.score
+            return
+        top = top_assignment_score(matrix)
+        if top < threshold:
+            scores[i][j] = top
+            return
+        wrapped = SimilarityMatrix(
+            subscription=sub.subscription,
+            event=event.event,
+            scores=matrix,
+        )
+        mappings = top_k_mappings(wrapped, self.matcher.k)
+        if not mappings:  # pragma: no cover - arity stage prevents it
+            scores[i][j] = top
+            return
+        result = MatchResult(
+            subscription=sub.subscription,
+            event=event.event,
+            matrix=wrapped,
+            mapping=mappings[0],
+            alternatives=tuple(mappings[1:]),
+        )
+        results[i][j] = result
+        scores[i][j] = result.score
+
+    # -- vectorized block fill (the kernel-backed deliverable path) ---------
+
+    def _stage_block_deliverable(
+        self,
+        candidates: list[tuple[int, int, _CompiledSubscription, _CompiledEvent]],
+        scores: list[list[float]],
+        results: list[list[MatchResult | None]],
+        threshold: float,
+        stats: BatchStats,
+    ) -> None:
+        """Deliverable-gated assignment with vectorized matrix fill.
+
+        Semantically identical to :meth:`_stage_assign_deliverable` —
+        same table entries, same clamps, same gate, same survivors —
+        but the per-cell Python walk is replaced by numpy block
+        arithmetic over each (subscription, event-theme) group of the
+        batch:
+
+        1. **Vocabulary collection** — each group's events contribute
+           their unique attribute/value term norms to per-group
+           vocabularies; the (predicate term × vocabulary term)
+           rectangle is exactly the set of table lookups the per-cell
+           walk would make, so missing entries are found at vocabulary
+           granularity instead of cell granularity.
+        2. **Bulk scoring** — one :meth:`_stage_score` call (one kernel
+           batch) for every missing pair of the whole batch, same as
+           full mode.
+        3. **Block gather** — per group (sub-grouped by event size so
+           events stack), score rectangles are gathered into
+           ``(arity, events, size)`` blocks with the short-circuit /
+           approximation / ``min_relatedness`` rules applied as masks.
+           Cells ruled by extension operators or non-string values
+           (never semantic lookups) are patched row-wise in Python via
+           the same expressions the scalar walk uses. Each candidate's
+           matrix is a contiguous slice of its block, float-identical
+           to the fill-on-touch matrix because every cell is the same
+           product of the same table floats.
+        """
+        matcher = self.matcher
+        min_rel = matcher.min_relatedness
+        top_1 = matcher.k == 1
+        norms = self._norm_by_id
+        originals = self._original_by_id
+        # Group candidates by (subscription, event theme key): one score
+        # rectangle per group, one table per group (tables already merge
+        # raw themes sharing a canonical key).
+        groups: dict[
+            tuple[int, tuple[str, ...]],
+            tuple[_CompiledSubscription, list[tuple[int, _CompiledEvent]]],
+        ] = {}
+        for i, j, sub, event in candidates:
+            key = (i, event.tkey)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = (sub, [(j, event)])
+            else:
+                group[1].append((j, event))
+
+        # Per-event interned index arrays, built once per batch and
+        # shared by every group the event appears in: global attr ids,
+        # global value ids (-2 for non-strings, so they can never equal
+        # a predicate id), string mask, and the unique id sets feeding
+        # group vocabularies.
+        ev_cache: dict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray, set[int], set[int]]
+        ] = {}
+
+        def _event_arrays(event: _CompiledEvent):
+            data = ev_cache.get(id(event))
+            if data is None:
+                size = event.size
+                a = np.empty(size, dtype=np.int64)
+                v = np.full(size, -2, dtype=np.int64)
+                s = np.zeros(size, dtype=bool)
+                for t_idx, t in enumerate(event.tuples):
+                    a[t_idx] = self._intern(t.attr_norm, t.attribute)
+                    if t.value_is_str:
+                        s[t_idx] = True
+                        v[t_idx] = self._intern(t.value_norm, t.value)
+                data = (a, v, s, set(a.tolist()), set(v[s].tolist()))
+                ev_cache[id(event)] = data
+            return data
+
+        missing: list[
+            tuple[dict, tuple[str, str], str, frozenset, str, frozenset]
+        ] = []
+        queued: set[tuple[int, tuple[str, str]]] = set()
+        prepared: list[tuple] = []
+        with TRACER.span("pipeline.collect", batch=stats.pairs,
+                         candidates=len(candidates), **self._span_tags):
+            for (i, _tkey), (sub, entries) in groups.items():
+                first_event = entries[0][1]
+                table = self._table_for(sub, first_event)
+                table_id = id(table)
+                theme_e = first_event.theme
+                preds = sub.predicates
+                arity = sub.arity
+
+                # Group vocabularies: the unique interned ids this
+                # group's events carry on each side.
+                group_attr: set[int] = set()
+                group_val: set[int] = set()
+                for _j, event in entries:
+                    _a, _v, _s, unique_a, unique_v = _event_arrays(event)
+                    group_attr |= unique_a
+                    group_val |= unique_v
+
+                # Score rectangles over the global id space: row r holds
+                # predicate r's table scores against every vocabulary
+                # term (masked positions stay 0 and are never read).
+                width = len(norms)
+                s_attr = np.zeros((arity, max(1, width)))
+                s_val = np.zeros((arity, max(1, width)))
+                deferred: list[tuple[np.ndarray, int, int, tuple[str, str]]] = []
+                for r, p in enumerate(preds):
+                    if p.approx_attribute:
+                        row = s_attr[r]
+                        p_norm = p.attr_norm
+                        p_id = p.attr_id
+                        for gid in group_attr:
+                            if gid == p_id:
+                                continue
+                            pair = (p_norm, norms[gid])
+                            got = table.get(pair)
+                            if got is None:
+                                if (table_id, pair) not in queued:
+                                    queued.add((table_id, pair))
+                                    missing.append((
+                                        table, pair,
+                                        p.attribute, sub.theme,
+                                        originals[gid], theme_e,
+                                    ))
+                                deferred.append((s_attr, r, gid, pair))
+                            else:
+                                row[gid] = got
+                    if p.approx_value:
+                        # Validation guarantees approximated values are
+                        # string equality predicates.
+                        row = s_val[r]
+                        p_norm = p.value_norm
+                        p_id = p.value_id
+                        for gid in group_val:
+                            if gid == p_id:
+                                continue
+                            pair = (p_norm, norms[gid])
+                            got = table.get(pair)
+                            if got is None:
+                                if (table_id, pair) not in queued:
+                                    queued.add((table_id, pair))
+                                    missing.append((
+                                        table, pair,
+                                        p.value, sub.theme,
+                                        originals[gid], theme_e,
+                                    ))
+                                deferred.append((s_val, r, gid, pair))
+                            else:
+                                row[gid] = got
+
+                # Predicate-side index/mask vectors (interned ids are
+                # assigned at compile time).
+                p_aid = np.fromiter(
+                    (p.attr_id for p in preds), dtype=np.int64, count=arity
                 )
-                results[i][j] = result
-                scores[i][j] = result.score
+                p_vid = np.fromiter(
+                    (p.value_id for p in preds), dtype=np.int64, count=arity
+                )
+                approx_a = np.fromiter(
+                    (p.approx_attribute for p in preds), dtype=bool, count=arity
+                )
+                approx_v = np.fromiter(
+                    (p.approx_value for p in preds), dtype=bool, count=arity
+                )
+                # Rows the block arithmetic fully covers: string
+                # equality predicates. Extension operators and
+                # non-string values take the Python patch path.
+                vec_row = np.fromiter(
+                    (p.operator == "=" and p.value_is_str for p in preds),
+                    dtype=bool, count=arity,
+                )
+
+                # Sub-group by event size so event index arrays stack.
+                by_size: dict[int, list[tuple[int, _CompiledEvent]]] = {}
+                for j, event in entries:
+                    by_size.setdefault(event.size, []).append((j, event))
+                subgroups = []
+                for _size, evs in by_size.items():
+                    ev_attr = np.stack(
+                        [ev_cache[id(e)][0] for _, e in evs]
+                    )
+                    ev_val = np.stack([ev_cache[id(e)][1] for _, e in evs])
+                    ev_str = np.stack([ev_cache[id(e)][2] for _, e in evs])
+                    eq_a = p_aid[:, None, None] == ev_attr[None, :, :]
+                    eq_v = p_vid[:, None, None] == ev_val[None, :, :]
+                    # Lookup-walk accounting, identical to the collect
+                    # stage's cell counts (approximated sides with
+                    # differing norms).
+                    stats.term_pairs += int(
+                        np.count_nonzero(approx_a[:, None, None] & ~eq_a)
+                    )
+                    stats.term_pairs += int(np.count_nonzero(
+                        approx_v[:, None, None] & ev_str[None, :, :] & ~eq_v
+                    ))
+                    subgroups.append((evs, ev_val, ev_str, eq_a, eq_v, ev_attr))
+                prepared.append((
+                    i, sub, s_attr, s_val, deferred, table,
+                    approx_a, approx_v, vec_row, subgroups,
+                ))
+            stats.unique_term_pairs = len(missing)
+
+        self._stage_score(missing, stats)
+
+        with TRACER.span(
+            "pipeline.assign_deliverable",
+            batch=stats.pairs,
+            candidates=len(candidates),
+            threshold=threshold,
+            **self._span_tags,
+        ):
+            for (
+                i, sub, s_attr, s_val, deferred, table,
+                approx_a, approx_v, vec_row, subgroups,
+            ) in prepared:
+                for target, r, gid, pair in deferred:
+                    target[r, gid] = table[pair]
+                preds = sub.predicates
+                for evs, ev_val, ev_str, eq_a, eq_v, ev_attr in subgroups:
+                    gathered_a = s_attr[:, ev_attr]
+                    attr_sim = np.where(
+                        eq_a, 1.0,
+                        np.where(approx_a[:, None, None], gathered_a, 0.0),
+                    )
+                    attr_ok = (attr_sim >= min_rel) & (attr_sim != 0.0)
+                    gathered_v = s_val[:, np.where(ev_val >= 0, ev_val, 0)]
+                    value_sim = np.where(
+                        eq_v, 1.0,
+                        np.where(
+                            (vec_row & approx_v)[:, None, None]
+                            & ev_str[None, :, :],
+                            gathered_v, 0.0,
+                        ),
+                    )
+                    value_ok = value_sim >= min_rel
+                    block = np.where(
+                        attr_ok & value_ok & vec_row[:, None, None],
+                        attr_sim * value_sim, 0.0,
+                    )
+                    for r in np.nonzero(~vec_row)[0]:
+                        p = preds[r]
+                        sim_r = attr_sim[r]
+                        ok_r = attr_ok[r]
+                        for e_idx, (_j, event) in enumerate(evs):
+                            brow = block[r, e_idx]
+                            for t_idx, t in enumerate(event.tuples):
+                                if not ok_r[e_idx, t_idx]:
+                                    continue
+                                a = sim_r[e_idx, t_idx]
+                                if p.operator != "=":
+                                    if p.predicate.evaluate_value(t.value):
+                                        brow[t_idx] = a
+                                    continue
+                                v = 1.0 if p.value == t.value else 0.0
+                                if v >= min_rel:
+                                    brow[t_idx] = a * v
+                    if top_1:
+                        # One elementwise pass builds every candidate's
+                        # -log cost matrix; the gate below just solves.
+                        cost_block = assignment_costs(block)
+                        for e_idx, (j, event) in enumerate(evs):
+                            matrix = np.ascontiguousarray(
+                                block[:, e_idx, :]
+                            )
+                            self._gate_candidate(
+                                i, j, sub, event, matrix,
+                                scores, results, threshold, top_1,
+                                cost=cost_block[:, e_idx, :],
+                            )
+                    else:
+                        for e_idx, (j, event) in enumerate(evs):
+                            matrix = np.ascontiguousarray(
+                                block[:, e_idx, :]
+                            )
+                            self._gate_candidate(
+                                i, j, sub, event, matrix,
+                                scores, results, threshold, top_1,
+                            )
 
     def _pair_matrix_fill(
         self,

@@ -9,6 +9,7 @@ from repro.evaluation.expansion import (
 from repro.evaluation.brokers import (
     BrokerRunResult,
     compare_broker_throughput,
+    compare_kernel_scaling,
     run_broker_workload,
     sample_combination,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "run_fault_injection",
     "CellResult",
     "compare_broker_throughput",
+    "compare_kernel_scaling",
     "run_broker_workload",
     "sample_combination",
     "ConfusionCounts",

@@ -27,6 +27,7 @@ from repro.evaluation.workload import Workload
 __all__ = [
     "BrokerRunResult",
     "compare_broker_throughput",
+    "compare_kernel_scaling",
     "run_broker_workload",
     "sample_combination",
 ]
@@ -122,6 +123,8 @@ def compare_broker_throughput(
     max_events: int | None = None,
     max_subscriptions: int | None = None,
     seed: int = 99,
+    executor: str = "thread",
+    vectorized: bool | None = None,
 ) -> dict:
     """Serial vs sharded broker throughput on one themed workload.
 
@@ -131,7 +134,15 @@ def compare_broker_throughput(
     per-subscriber streams of ``(sequence, event, score, alternatives)``
     — and records events/second. Raises ``AssertionError`` on any parity
     violation; speed without identical deliveries is not a result.
+
+    ``executor`` selects the sharded broker's backend (``"thread"`` or
+    ``"process"``). ``vectorized`` routes *both* sides' matchers through
+    the numpy kernel; it defaults to whatever the executor requires
+    (``"process"`` workers score through the kernel, so the serial
+    reference must too — parity demands one float path).
     """
+    if vectorized is None:
+        vectorized = executor == "process"
     if combination is None:
         combination = sample_combination(workload, seed=seed)
     events = [
@@ -142,7 +153,7 @@ def compare_broker_throughput(
         subscription.with_theme(combination.subscription_tags)
         for subscription in workload.subscriptions.approximate[:max_subscriptions]
     ]
-    matcher_factory = thematic_matcher_factory(workload)
+    matcher_factory = thematic_matcher_factory(workload, vectorized=vectorized)
     serial_runs: list[BrokerRunResult] = []
     sharded_runs: list[BrokerRunResult] = []
     for _ in range(max(1, repeats)):
@@ -157,9 +168,10 @@ def compare_broker_throughput(
             strategy=strategy,
             max_batch=max_batch,
             linger=linger,
+            executor=executor,
         )
         sharded = run_broker_workload(
-            f"sharded[{shards}x{max_batch}]",
+            f"sharded[{shards}x{max_batch}:{executor}]",
             lambda: ShardedBroker(matcher_factory(), sharded_config),
             subscriptions,
             events,
@@ -197,9 +209,159 @@ def compare_broker_throughput(
             "strategy": strategy,
             "max_batch": max_batch,
             "linger": linger,
+            "executor": executor,
+            "vectorized": vectorized,
             "eps_runs": sharded_eps,
             "mean_eps": _mean(sharded_eps),
             "batch_size": sharded_runs[-1].metrics["batch_size"],
         },
         "speedup": _mean(sharded_eps) / _mean(serial_eps),
     }
+
+
+def _signatures_equivalent(
+    reference: tuple[tuple, ...],
+    other: tuple[tuple, ...],
+    *,
+    tolerance: float,
+) -> bool:
+    """Same deliveries, with scores allowed to drift by ``tolerance``.
+
+    Sequence stamps, event identities, per-subscriber order and
+    alternative counts must be identical; only the floating score may
+    differ (the scalar and kernel paths sum in different orders).
+    """
+    if len(reference) != len(other):
+        return False
+    for ref_stream, other_stream in zip(reference, other, strict=True):
+        if len(ref_stream) != len(other_stream):
+            return False
+        for ref, cur in zip(ref_stream, other_stream, strict=True):
+            if (ref[0], ref[1], ref[3]) != (cur[0], cur[1], cur[3]):
+                return False
+            if abs(ref[2] - cur[2]) > tolerance:
+                return False
+    return True
+
+
+def compare_kernel_scaling(
+    workload: Workload,
+    *,
+    combination: ThemeCombination | None = None,
+    shards: int = 4,
+    max_batch: int = 32,
+    linger: float = 0.001,
+    repeats: int = 1,
+    max_events: int | None = None,
+    max_subscriptions: int | None = None,
+    seed: int = 99,
+) -> dict:
+    """The kernel-scaling ladder: scalar serial -> kernel -> shard pools.
+
+    Four configurations over one themed fig9-style workload, all timed
+    with :func:`run_broker_workload`:
+
+    * ``serial_scalar`` — :class:`ThreadedBroker` with the scalar
+      ``SparseVector`` measure: the reference fig9 serial number;
+    * ``serial_kernel`` — the same serial broker scoring through the
+      vectorized numpy kernel;
+    * ``thread_shards`` — sharded broker, thread executor, kernel;
+    * ``process_shards`` — sharded broker, spawned worker processes
+      attached zero-copy to the columnar space snapshot, kernel.
+
+    Parity is asserted, not reported: the three kernel configurations
+    must produce **bit-identical** delivery signatures, and the scalar
+    reference must match them within the kernel's documented
+    ``PARITY_TOLERANCE`` (same sequences, events and alternative counts;
+    scores may differ only by summation order). Shared by
+    ``benchmarks/bench_kernel_scaling.py`` and any CLI caller, so the
+    gate and the methodology cannot drift apart.
+    """
+    from repro.semantics.kernel import PARITY_TOLERANCE
+
+    if combination is None:
+        combination = sample_combination(workload, seed=seed)
+    events = [
+        event.with_theme(combination.event_tags)
+        for event in workload.events[:max_events]
+    ]
+    subscriptions = [
+        subscription.with_theme(combination.subscription_tags)
+        for subscription in workload.subscriptions.approximate[:max_subscriptions]
+    ]
+    scalar_factory = thematic_matcher_factory(workload, vectorized=False)
+    kernel_factory = thematic_matcher_factory(workload, vectorized=True)
+
+    def sharded_config(executor: str) -> BrokerConfig:
+        return BrokerConfig(
+            shards=shards,
+            max_batch=max_batch,
+            linger=linger,
+            executor=executor,
+        )
+
+    configurations: list[tuple[str, Callable[[], object]]] = [
+        ("serial_scalar", lambda: ThreadedBroker(scalar_factory())),
+        ("serial_kernel", lambda: ThreadedBroker(kernel_factory())),
+        (
+            "thread_shards",
+            lambda: ShardedBroker(kernel_factory(), sharded_config("thread")),
+        ),
+        (
+            "process_shards",
+            lambda: ShardedBroker(kernel_factory(), sharded_config("process")),
+        ),
+    ]
+    eps: dict[str, list[float]] = {name: [] for name, _ in configurations}
+    deliveries = 0
+    for _ in range(max(1, repeats)):
+        runs = {
+            name: run_broker_workload(name, make, subscriptions, events)
+            for name, make in configurations
+        }
+        reference = runs["serial_kernel"]
+        for name in ("thread_shards", "process_shards"):
+            assert runs[name].signature == reference.signature, (
+                f"kernel delivery parity violated: {name} delivered "
+                f"{runs[name].deliveries}, serial kernel delivered "
+                f"{reference.deliveries}"
+            )
+        assert _signatures_equivalent(
+            runs["serial_scalar"].signature,
+            reference.signature,
+            tolerance=PARITY_TOLERANCE,
+        ), (
+            "scalar/kernel parity violated beyond PARITY_TOLERANCE: "
+            f"scalar delivered {runs['serial_scalar'].deliveries}, "
+            f"kernel delivered {reference.deliveries}"
+        )
+        deliveries = reference.deliveries
+        for name, _ in configurations:
+            eps[name].append(runs[name].events_per_second)
+
+    def _mean(values: list[float]) -> float:
+        return sum(values) / len(values)
+
+    scalar_mean = _mean(eps["serial_scalar"])
+    result: dict = {
+        "combination": {
+            "event_tags": list(combination.event_tags),
+            "subscription_tags": list(combination.subscription_tags),
+        },
+        "events": len(events),
+        "subscriptions": len(subscriptions),
+        "shards": shards,
+        "max_batch": max_batch,
+        "repeats": max(1, repeats),
+        "deliveries": deliveries,
+        "parity": True,
+        "configs": {
+            name: {
+                "eps_runs": values,
+                "mean_eps": _mean(values),
+                "speedup": _mean(values) / scalar_mean,
+            }
+            for name, values in eps.items()
+        },
+    }
+    return result

@@ -204,12 +204,31 @@ class GridResult:
 
 
 def thematic_matcher_factory(
-    workload: Workload, *, k: int = 1, min_relatedness: float = 0.0
+    workload: Workload,
+    *,
+    k: int = 1,
+    min_relatedness: float = 0.0,
+    vectorized: bool = False,
 ) -> MatcherFactory:
-    """Fresh thematic matcher over the workload's shared space."""
+    """Fresh thematic matcher over the workload's shared space.
+
+    ``vectorized=True`` scores through the numpy relatedness kernel
+    (required for ``executor="process"`` brokers; also the fast serial
+    path) — see :mod:`repro.semantics.kernel` for the float contract.
+    The kernel path skips the :class:`CachedMeasure` memo: the staged
+    pipeline's persistent side-score tables already deduplicate lookups
+    per theme pair, and the kernel's own row caches cover the rest, so
+    the extra dict layer is pure overhead there (scores are identical
+    either way — a cache returns the same floats it was fed).
+    """
 
     def factory() -> ThematicMatcher:
-        measure = CachedMeasure(ThematicMeasure(workload.space), RelatednessCache())
+        if vectorized:
+            measure = ThematicMeasure(workload.space, vectorized=True)
+        else:
+            measure = CachedMeasure(
+                ThematicMeasure(workload.space), RelatednessCache()
+            )
         return ThematicMatcher(measure, k=k, min_relatedness=min_relatedness)
 
     return factory

@@ -215,7 +215,14 @@ def compare_metrics(
     *,
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> tuple[MetricDelta, ...]:
-    """Delta every metric present in *both* flattened payloads."""
+    """Delta every metric present in *both* flattened payloads.
+
+    A metric present only in the current artifact — a bench that just
+    grew a new measurement — is reported as an informational ``"new"``
+    row (baseline 0.0, delta 0.0) rather than dropped or failed: new
+    coverage must never read as a regression, but it should be visible
+    in the trend table so the baseline gets re-recorded.
+    """
     base_flat = flatten_metrics(baseline)
     cur_flat = flatten_metrics(current)
     deltas: list[MetricDelta] = []
@@ -238,6 +245,17 @@ def compare_metrics(
                 delta=delta,
                 direction=direction,
                 status=_judge(direction, delta, base_value, tolerance),
+            )
+        )
+    for path in sorted(set(cur_flat) - set(base_flat)):
+        deltas.append(
+            MetricDelta(
+                metric=path,
+                baseline=0.0,
+                current=cur_flat[path],
+                delta=0.0,
+                direction=classify_metric(path),
+                status="new",
             )
         )
     return tuple(deltas)
@@ -316,6 +334,7 @@ _STATUS_LABELS = {
     "regression": "**REGRESSION**",
     "improved": "improved",
     "info": "·",
+    "new": "new",
 }
 
 
@@ -339,11 +358,16 @@ def render_markdown(report: DiffReport) -> str:
         lines.append("| metric | baseline | current | Δ | verdict |")
         lines.append("|---|---:|---:|---:|---|")
         for delta in comparison.deltas:
-            lines.append(
-                f"| {delta.metric} | {delta.baseline:.4g} "
-                f"| {delta.current:.4g} | {delta.delta:+.1%} "
-                f"| {_STATUS_LABELS[delta.status]} |"
-            )
+            if delta.status == "new":
+                lines.append(
+                    f"| {delta.metric} | – | {delta.current:.4g} | – | new |"
+                )
+            else:
+                lines.append(
+                    f"| {delta.metric} | {delta.baseline:.4g} "
+                    f"| {delta.current:.4g} | {delta.delta:+.1%} "
+                    f"| {_STATUS_LABELS[delta.status]} |"
+                )
         lines.append("")
     if report.missing_current:
         lines.append(

@@ -151,6 +151,37 @@ METRICS: tuple[MetricSpec, ...] = (
         "counter",
         "Triggered dumps dropped by the rate limiter.",
     ),
+    # -- vectorized kernel + process shards ---------------------------------
+    MetricSpec(
+        "kernel.batches",
+        "counter",
+        "Batched relatedness-kernel invocations (score_pairs calls).",
+    ),
+    MetricSpec(
+        "kernel.pairs",
+        "counter",
+        "Term pairs scored by the vectorized relatedness kernel.",
+    ),
+    MetricSpec(
+        "shard.worker.batches",
+        "counter",
+        "Micro-batch match commands fanned out to shard worker processes.",
+    ),
+    MetricSpec(
+        "shard.worker.events",
+        "counter",
+        "Events shipped to the process-shard workers (once per batch).",
+    ),
+    MetricSpec(
+        "shard.worker.deliveries",
+        "counter",
+        "Threshold survivors returned by shard worker processes.",
+    ),
+    MetricSpec(
+        "shard.worker.batch_seconds",
+        "histogram",
+        "Wall time of one process-shard fan-out (send through merge).",
+    ),
     # -- caches -------------------------------------------------------------
     MetricSpec(
         "cache.relatedness_hit_rate", "gauge", "Relatedness cache hit rate [0, 1]."

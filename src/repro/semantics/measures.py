@@ -68,10 +68,28 @@ class NonThematicMeasure:
 
     Identical strings short-circuit to 1.0 so exact hits always dominate
     merely-related terms regardless of the distance floor.
+
+    ``vectorized=True`` routes scoring (single and batched) through the
+    space's numpy kernel instead of the scalar ``SparseVector`` path —
+    same semantics, documented float tolerance (see
+    :mod:`repro.semantics.kernel`).
     """
 
-    def __init__(self, space: DistributionalVectorSpace):
+    def __init__(
+        self, space: DistributionalVectorSpace, *, vectorized: bool = False
+    ):
         self.space = space
+        self.vectorized = vectorized
+        self._kernel_measure = None
+
+    def _kernel(self):
+        if self._kernel_measure is None:
+            from repro.semantics.kernel import KernelMeasure
+
+            self._kernel_measure = KernelMeasure(
+                self.space.kernel(), thematic=False
+            )
+        return self._kernel_measure
 
     def score(
         self,
@@ -82,7 +100,19 @@ class NonThematicMeasure:
     ) -> float:
         if normalize_term(term_s) == normalize_term(term_e):
             return 1.0
+        if self.vectorized:
+            return self._kernel().score(term_s, theme_s, term_e, theme_e)
         return self.space.relatedness(term_s, term_e)
+
+    def score_batch(
+        self,
+        lookups: Iterable[tuple[str, Iterable[str], str, Iterable[str]]],
+    ) -> list[float]:
+        """Batched :meth:`score`; one kernel call when vectorized."""
+        lookups = list(lookups)
+        if self.vectorized:
+            return self._kernel().score_batch(lookups)
+        return [self.score(*lookup) for lookup in lookups]
 
 
 class ThematicMeasure:
@@ -93,9 +123,31 @@ class ThematicMeasure:
     :meth:`repro.semantics.pvsm.ParametricVectorSpace.thematic_relatedness`.
     """
 
-    def __init__(self, space: ParametricVectorSpace, *, mode: str = "common"):
+    def __init__(
+        self,
+        space: ParametricVectorSpace,
+        *,
+        mode: str = "common",
+        vectorized: bool = False,
+    ):
+        """``vectorized=True`` routes scoring (single and batched)
+        through the space's numpy kernel instead of the scalar
+        ``SparseVector`` path — same semantics, documented float
+        tolerance (see :mod:`repro.semantics.kernel`). Off by default:
+        the scalar path keeps its bit-exact batch-vs-pair guarantee."""
         self.space = space
         self.mode = mode
+        self.vectorized = vectorized
+        self._kernel_measure = None
+
+    def _kernel(self):
+        if self._kernel_measure is None:
+            from repro.semantics.kernel import KernelMeasure
+
+            self._kernel_measure = KernelMeasure(
+                self.space.kernel(), mode=self.mode
+            )
+        return self._kernel_measure
 
     def score(
         self,
@@ -106,9 +158,21 @@ class ThematicMeasure:
     ) -> float:
         if normalize_term(term_s) == normalize_term(term_e):
             return 1.0
+        if self.vectorized:
+            return self._kernel().score(term_s, theme_s, term_e, theme_e)
         return self.space.thematic_relatedness(
             term_s, theme_s, term_e, theme_e, mode=self.mode
         )
+
+    def score_batch(
+        self,
+        lookups: Iterable[tuple[str, Iterable[str], str, Iterable[str]]],
+    ) -> list[float]:
+        """Batched :meth:`score`; one kernel call when vectorized."""
+        lookups = list(lookups)
+        if self.vectorized:
+            return self._kernel().score_batch(lookups)
+        return [self.score(*lookup) for lookup in lookups]
 
 
 class CachedMeasure:
@@ -127,6 +191,11 @@ class CachedMeasure:
     def hit_rate(self) -> float:
         return self.cache.hit_rate
 
+    @property
+    def vectorized(self) -> bool:
+        """Proxies the wrapped measure's batch-vectorization flag."""
+        return bool(getattr(self.inner, "vectorized", False))
+
     def score(
         self,
         term_s: str,
@@ -141,6 +210,39 @@ class CachedMeasure:
         value = self.inner.score(term_s, theme_s, term_e, theme_e)
         self.cache.put(key, value)
         return value
+
+    def score_batch(
+        self,
+        lookups: Iterable[tuple[str, Iterable[str], str, Iterable[str]]],
+    ) -> list[float]:
+        """Batched :meth:`score`: cache hits served, misses scored once.
+
+        Misses go to the wrapped measure's ``score_batch`` when it has
+        one (one kernel call for a vectorized inner measure), otherwise
+        per-lookup ``score`` — value-identical either way.
+        """
+        lookups = list(lookups)
+        out: list[float] = [0.0] * len(lookups)
+        missing: list[int] = []
+        keys = []
+        for i, lookup in enumerate(lookups):
+            key = self.cache.key(*lookup)
+            keys.append(key)
+            hit = self.cache.get(key)
+            if hit is not None:
+                out[i] = hit
+            else:
+                missing.append(i)
+        if missing:
+            inner_batch = getattr(self.inner, "score_batch", None)
+            if inner_batch is not None:
+                values = inner_batch([lookups[i] for i in missing])
+            else:
+                values = [self.inner.score(*lookups[i]) for i in missing]
+            for i, value in zip(missing, values, strict=True):
+                self.cache.put(keys[i], value)
+                out[i] = value
+        return out
 
 
 class PrecomputedMeasure:

@@ -5,23 +5,69 @@ should boot from a snapshot. This module serializes a
 :class:`~repro.semantics.documents.DocumentSet` (and therefore any space
 built over it) to a single JSON file, versioned and checksummed.
 
-Only the corpus is persisted — spaces rebuild their indexes
-deterministically from it, and caches re-warm on use. That keeps the
-format trivial to inspect and independent of internal cache layouts.
+Only the corpus is persisted in the JSON snapshot — spaces rebuild their
+indexes deterministically from it, and caches re-warm on use. That keeps
+the format trivial to inspect and independent of internal cache layouts.
+
+A second, binary format serves the process-shard executor: the columnar
+CSR arrays of a built space (:mod:`repro.semantics.columnar`) written as
+one versioned file whose array payloads are attached **zero-copy** via
+``np.memmap`` — worker processes map the same pages the parent wrote
+instead of pickling the space. Layout::
+
+    bytes 0..7    magic  b"REPROCOL"
+    bytes 8..9    format version   (uint16, native order)
+    bytes 10..11  endianness probe (uint16 0xFEFF, native order — a
+                  snapshot written on a machine of the other endianness
+                  reads back as 0xFFFE and is rejected)
+    bytes 12..75  corpus digest    (64 hex ascii bytes, ties the arrays
+                  to the exact corpus they were built from)
+    bytes 76..79  TOC length       (uint32)
+    ...           JSON TOC: corpus_size, vocabulary, and per-array
+                  {dtype, shape, offset} entries (offsets 16-aligned)
+    ...           raw array bytes
+
+Array weights are bit-exact across the round trip (raw buffer copies,
+no re-serialization), so a kernel over a loaded snapshot scores
+identically to one over the in-memory build — the property the
+process-executor parity suite pins down.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import struct
 from pathlib import Path
 
+import numpy as np
+
+from repro.semantics.columnar import ColumnarIndex
 from repro.semantics.documents import Document, DocumentSet
 from repro.semantics.pvsm import ParametricVectorSpace
 
-__all__ = ["FORMAT_VERSION", "save_corpus", "load_corpus", "load_space", "corpus_digest"]
+__all__ = [
+    "FORMAT_VERSION",
+    "COLUMNAR_FORMAT_VERSION",
+    "save_corpus",
+    "load_corpus",
+    "load_space",
+    "corpus_digest",
+    "save_columnar",
+    "load_columnar",
+]
 
 FORMAT_VERSION = 1
+
+#: Version of the binary columnar layout (bumped on any layout change).
+COLUMNAR_FORMAT_VERSION = 1
+
+_COLUMNAR_MAGIC = b"REPROCOL"
+#: Written in native byte order; reads back byte-swapped on the other
+#: endianness, which is exactly the rejection we want (the raw array
+#: payloads would be byte-swapped too).
+_ENDIAN_PROBE = 0xFEFF
+_ALIGN = 16
 
 
 def corpus_digest(documents: DocumentSet) -> str:
@@ -70,3 +116,112 @@ def load_corpus(path: str | Path) -> DocumentSet:
 def load_space(path: str | Path, **space_kwargs) -> ParametricVectorSpace:
     """Load a snapshot and build a parametric space over it."""
     return ParametricVectorSpace(load_corpus(path), **space_kwargs)
+
+
+# -- binary columnar layout (zero-copy worker attach) ----------------------
+
+
+def save_columnar(
+    columnar: ColumnarIndex, path: str | Path, *, digest: str
+) -> None:
+    """Write the columnar arrays as one binary snapshot (see module doc).
+
+    ``digest`` must be the :func:`corpus_digest` of the corpus the
+    arrays were built from; :func:`load_columnar` verifies it so workers
+    can never attach to a space built over a different corpus.
+    """
+    if len(digest) != 64:
+        raise ValueError("digest must be a 64-char sha256 hexdigest")
+    arrays = columnar.arrays()
+    toc_arrays: dict[str, dict] = {}
+    header_probe_len = len(_COLUMNAR_MAGIC) + 2 + 2 + 64 + 4
+    # The TOC length depends on the offsets, which depend on the TOC
+    # length; offsets are computed against a fixed-width rendering so
+    # one pass suffices.
+    offset_field = "{:>12d}"
+    entries = {}
+    for name, array in arrays.items():
+        entries[name] = {
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "offset": offset_field.format(0),
+        }
+    skeleton = {
+        "corpus_size": columnar.corpus_size,
+        "vocabulary": list(columnar.vocabulary),
+        "arrays": entries,
+    }
+    toc_len = len(json.dumps(skeleton).encode())
+    cursor = header_probe_len + toc_len
+    for name, array in arrays.items():
+        cursor += (-cursor) % _ALIGN
+        entries[name]["offset"] = offset_field.format(cursor)
+        cursor += array.nbytes
+    payload = json.dumps(skeleton).encode()
+    if len(payload) != toc_len:
+        raise AssertionError("columnar TOC length drifted during layout")
+    with open(path, "wb") as handle:
+        handle.write(_COLUMNAR_MAGIC)
+        handle.write(struct.pack("=HH", COLUMNAR_FORMAT_VERSION, _ENDIAN_PROBE))
+        handle.write(digest.encode("ascii"))
+        handle.write(struct.pack("=I", toc_len))
+        handle.write(payload)
+        for name, array in arrays.items():
+            offset = int(entries[name]["offset"])
+            handle.write(b"\x00" * (offset - handle.tell()))
+            handle.write(np.ascontiguousarray(array).tobytes())
+
+
+def load_columnar(
+    path: str | Path, *, expected_digest: str | None = None
+) -> tuple[ColumnarIndex, str]:
+    """Attach a columnar snapshot zero-copy; returns ``(index, digest)``.
+
+    Array payloads come back as read-only ``np.memmap`` views — worker
+    processes share the page cache instead of materializing copies.
+    Verifies magic, layout version, endianness probe, and (when
+    ``expected_digest`` is given) the corpus digest.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_COLUMNAR_MAGIC))
+        if magic != _COLUMNAR_MAGIC:
+            raise ValueError(f"{path}: not a repro columnar snapshot")
+        version, probe = struct.unpack("=HH", handle.read(4))
+        if probe != _ENDIAN_PROBE:
+            raise ValueError(
+                f"{path}: endianness mismatch — snapshot written on a "
+                "machine of the opposite byte order"
+            )
+        if version != COLUMNAR_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: columnar layout version {version} "
+                f"(this build reads {COLUMNAR_FORMAT_VERSION})"
+            )
+        digest = handle.read(64).decode("ascii")
+        (toc_len,) = struct.unpack("=I", handle.read(4))
+        toc = json.loads(handle.read(toc_len).decode())
+    if expected_digest is not None and digest != expected_digest:
+        raise ValueError(
+            f"{path}: corpus digest mismatch — snapshot was built from a "
+            "different corpus"
+        )
+    views: dict[str, np.ndarray] = {}
+    for name, entry in toc["arrays"].items():
+        views[name] = np.memmap(
+            path,
+            dtype=np.dtype(entry["dtype"]),
+            mode="r",
+            offset=int(entry["offset"]),
+            shape=tuple(entry["shape"]),
+        )
+    columnar = ColumnarIndex(
+        tuple(toc["vocabulary"]),
+        views["indptr"],
+        views["doc_ids"],
+        views["freqs"],
+        views["tfidf"],
+        views["max_frequency"],
+        int(toc["corpus_size"]),
+    )
+    return columnar, digest

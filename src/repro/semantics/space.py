@@ -67,6 +67,42 @@ class DistributionalVectorSpace:
         self.metric = metric
         self._token_vectors: dict[str, SparseVector] = {}
         self._term_vectors: dict[str, SparseVector] = {}
+        self._columnar = None
+        self._kernel = None
+
+    # -- columnar backing (vectorized kernel) ------------------------------
+
+    def columnar(self):
+        """CSR backing of this space's index, built once on first use.
+
+        The arrays carry the same information as the dict-based index
+        (raw frequencies, per-document maxima, full-space tf/idf
+        weights); see :class:`~repro.semantics.columnar.ColumnarIndex`.
+        """
+        if self._columnar is None:
+            from repro.semantics.columnar import ColumnarIndex
+
+            self._columnar = ColumnarIndex.build(self.index)
+        return self._columnar
+
+    def kernel(self):
+        """The vectorized relatedness kernel over :meth:`columnar`.
+
+        Shared per space (its projection caches mirror the scalar
+        caches); honors this space's ``normalize``/``metric`` and — for
+        :class:`~repro.semantics.pvsm.ParametricVectorSpace` — its
+        ``recompute_idf`` ablation flag.
+        """
+        if self._kernel is None:
+            from repro.semantics.kernel import RelatednessKernel
+
+            self._kernel = RelatednessKernel(
+                self.columnar(),
+                normalize=self.normalize,
+                metric=self.metric,
+                recompute_idf=getattr(self, "recompute_idf", True),
+            )
+        return self._kernel
 
     # -- vector construction (Equation 1) ---------------------------------
 

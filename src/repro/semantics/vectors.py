@@ -30,6 +30,13 @@ class SparseVector:
         self._components: dict[int, float] = {
             dim: float(w) for dim, w in items if w != 0.0
         }
+        # `w != 0.0` is True for NaN, so a poisoned weight would be
+        # *stored* and silently corrupt every downstream norm/dot —
+        # worse, the scalar and vectorized kernels would disagree on how
+        # the poison propagates. Reject it at the boundary instead.
+        for dim, w in self._components.items():
+            if w != w:
+                raise ValueError(f"NaN weight at dimension {dim}")
         self._norm: float | None = None
         self._normalized: "SparseVector | None" = None
 

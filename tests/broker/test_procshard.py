@@ -1,0 +1,263 @@
+"""Process-pool shard executor: parity, spec derivation, lifecycle.
+
+Spawned workers are expensive on this box (each spawn re-imports numpy
+and the package), so the tests that actually fork keep shard counts and
+event counts small and pack several assertions per broker. The
+exhaustive randomized parity suite stays on the thread executor
+(:mod:`tests.broker.test_sharded_parity`); here we pin that the process
+executor takes the *same* float path as a serial vectorized broker —
+exact signature equality, not approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.broker import BrokerConfig, ShardedBroker, ThematicBroker
+from repro.broker.procshard import (
+    ProcessShardExecutor,
+    WorkerSpec,
+    _build_clock,
+    _describe_clock,
+    spec_from_matcher,
+)
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.obs.clock import MONOTONIC_CLOCK, FakeClock
+from repro.semantics.cache import RelatednessCache
+from repro.semantics.measures import (
+    CachedMeasure,
+    NonThematicMeasure,
+    ThematicMeasure,
+)
+from tests.broker.test_sharded_parity import _signature
+
+SUBSCRIPTIONS = [
+    parse_subscription(
+        "({power, computers},"
+        " {type= increased energy usage event~, device~= laptop~,"
+        "  office= room 112})"
+    ),
+    parse_subscription(
+        "({transport}, {vehicle~= bus~, pollutant~= smog~})"
+    ),
+    parse_subscription(
+        "({energy}, {device~= computer~})"
+    ),
+]
+EVENTS = [
+    parse_event(
+        "({energy, appliances, building},"
+        " {type: increased energy consumption event, device: computer,"
+        "  office: room 112})"
+    ),
+    parse_event(
+        "({transport, environment},"
+        " {vehicle: vehicle, pollutant: pollution})"
+    ),
+    parse_event(
+        "({energy}, {device: computer, office: room 112})"
+    ),
+    parse_event(
+        "({weather}, {type: zzz unknown term})"
+    ),
+]
+
+
+def _vec_matcher(space, k: int = 1, threshold: float = 0.5) -> ThematicMatcher:
+    return ThematicMatcher(
+        CachedMeasure(
+            ThematicMeasure(space, vectorized=True), RelatednessCache()
+        ),
+        k=k,
+        threshold=threshold,
+    )
+
+
+class TestProcessParity:
+    def test_deliveries_identical_to_serial_vectorized(self, space):
+        """Same workload through a serial vectorized broker and through
+        two spawned shard workers: exact signature equality (sequence,
+        event, score, assignment, alternatives) — plus replay and
+        post-close observability in the same (expensive) broker."""
+        event_index = {id(event): j for j, event in enumerate(EVENTS)}
+
+        serial = ThematicBroker(_vec_matcher(space, k=2))
+        serial_handles = [serial.subscribe(s) for s in SUBSCRIPTIONS]
+        for event in EVENTS:
+            serial.publish(event)
+        serial_sig = _signature(serial_handles, event_index)
+
+        with ShardedBroker(
+            _vec_matcher(space, k=2),
+            BrokerConfig(shards=2, max_batch=3, executor="process"),
+        ) as broker:
+            handles = [broker.subscribe(s) for s in SUBSCRIPTIONS]
+            for event in EVENTS:
+                broker.publish(event)
+            assert broker.flush(timeout=120), "broker did not drain"
+            sharded_sig = _signature(handles, event_index)
+
+            # Replay runs on the parent's kernel: same scores, same order.
+            replay = broker.subscribe(SUBSCRIPTIONS[0], replay=True)
+            replay_sig = _signature([replay], event_index)
+            assert replay_sig[0] == serial_sig[0]
+
+            snapshot = broker.metrics_snapshot()
+            assert set(snapshot["shards"]) == {"shard0", "shard1"}
+            assert snapshot["engine_totals"]["engine.evaluations"] > 0
+            counters = broker.metrics.registry.snapshot()["counters"]
+            assert counters["shard.worker.batches"] >= 2
+            assert counters["shard.worker.events"] == len(EVENTS)
+
+        assert sharded_sig == serial_sig
+        # run_broker_workload reads metrics *after* close: the executor
+        # serves the snapshots it cached during shutdown.
+        post = broker.metrics_snapshot()
+        assert set(post["shards"]) == {"shard0", "shard1"}
+
+    def test_parity_across_unsubscribe_rebalance(self, space):
+        """Size-balanced rebalancing moves registrations between live
+        worker processes; survivors' streams must not change."""
+        event_index = {id(event): j for j, event in enumerate(EVENTS)}
+
+        def run(make_broker, flush):
+            broker = make_broker()
+            handles = [broker.subscribe(s) for s in SUBSCRIPTIONS]
+            for event in EVENTS[:2]:
+                broker.publish(event)
+            flush(broker)
+            broker.unsubscribe(handles[0])
+            for event in EVENTS[2:]:
+                broker.publish(event)
+            flush(broker)
+            if hasattr(broker, "close"):
+                broker.close()
+            return _signature(handles[1:], event_index)
+
+        serial = run(
+            lambda: ThematicBroker(_vec_matcher(space)), lambda b: None
+        )
+        sharded = run(
+            lambda: ShardedBroker(
+                _vec_matcher(space),
+                BrokerConfig(
+                    shards=2, strategy="size", max_batch=2, executor="process"
+                ),
+            ),
+            lambda b: b.flush(120),
+        )
+        assert sharded == serial
+
+
+class TestExecutorLifecycle:
+    def test_direct_executor_roundtrip_and_close(self, space):
+        matcher = _vec_matcher(space)
+        executor = ProcessShardExecutor(matcher, shards=1)
+        try:
+            executor.subscribe(0, 7, SUBSCRIPTIONS[0])
+            assert executor.loads() == [1]
+
+            survivors = executor.match_batch([EVENTS[0]])
+            assert survivors, "known-matching pair produced no survivor"
+            order, j, matrix = survivors[0]
+            assert (order, j) == (7, 0)
+            assert isinstance(matrix, np.ndarray)
+            assert matrix.dtype == np.float64
+
+            result = executor.build_result(
+                SUBSCRIPTIONS[0], EVENTS[0], matrix
+            )
+            assert result is not None
+            reference = matcher.match(SUBSCRIPTIONS[0], EVENTS[0])
+            assert result.score == reference.score
+            assert (
+                result.mapping.assignment()
+                == reference.mapping.assignment()
+            )
+
+            replayed = executor.match_one(SUBSCRIPTIONS[0], EVENTS[0])
+            assert replayed is not None
+            assert replayed.score == reference.score
+
+            (live,) = executor.shard_snapshots()
+            assert live["counters"]["engine.evaluations"] >= 1
+        finally:
+            executor.close()
+
+        executor.close()  # idempotent
+        (cached,) = executor.shard_snapshots()
+        assert cached["counters"]["engine.evaluations"] >= 1
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.subscribe(0, 8, SUBSCRIPTIONS[1])
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.match_batch([EVENTS[0]])
+
+    def test_zero_shards_rejected(self, space):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ProcessShardExecutor(_vec_matcher(space), shards=0)
+
+    def test_scalar_matcher_rejected_before_any_spawn(self, space):
+        matcher = ThematicMatcher(CachedMeasure(ThematicMeasure(space)))
+        with pytest.raises(ValueError, match="vectorized"):
+            ProcessShardExecutor(matcher, shards=1)
+
+    def test_unknown_executor_name_rejected(self, space):
+        with pytest.raises(ValueError, match="unknown executor"):
+            ShardedBroker(
+                _vec_matcher(space), BrokerConfig(executor="fibers")
+            )
+
+
+class TestSpecFromMatcher:
+    def _spec(self, matcher, clock=MONOTONIC_CLOCK) -> WorkerSpec:
+        return spec_from_matcher(
+            matcher,
+            space_path="/tmp/unused.repro-col",
+            digest="0" * 64,
+            shard_index=3,
+            degraded=None,
+            clock=clock,
+        )
+
+    def test_cached_thematic_matcher_round_trips(self, space):
+        spec = self._spec(_vec_matcher(space, k=2, threshold=0.6))
+        assert spec.thematic and spec.cached
+        assert spec.mode == "common"
+        assert (spec.k, spec.threshold) == (2, 0.6)
+        assert spec.clock == ("monotonic",)
+        assert spec.shard_index == 3
+
+    def test_bare_nonthematic_matcher_supported(self, space):
+        matcher = ThematicMatcher(NonThematicMeasure(space, vectorized=True))
+        spec = self._spec(matcher)
+        assert not spec.thematic and not spec.cached
+        assert spec.mode == "common"
+
+    def test_scalar_measure_rejected(self, space):
+        with pytest.raises(ValueError, match="vectorized"):
+            self._spec(ThematicMatcher(ThematicMeasure(space)))
+
+    def test_foreign_measure_family_rejected(self, space):
+        class WeirdMeasure:
+            vectorized = True
+
+            def score(self, *args):  # pragma: no cover - never scored
+                return 0.0
+
+        with pytest.raises(ValueError, match="ThematicMeasure"):
+            self._spec(ThematicMatcher(WeirdMeasure()))
+
+
+class TestClockShipping:
+    def test_fake_clock_round_trips_monotonic_and_wall(self):
+        clock = FakeClock(5.0, epoch=100.0)
+        description = _describe_clock(clock)
+        assert description == ("fake", 5.0, 105.0)
+        rebuilt = _build_clock(description)
+        assert isinstance(rebuilt, FakeClock)
+        assert rebuilt.monotonic() == 5.0
+        assert rebuilt.wall() == 105.0
+
+    def test_real_clock_ships_as_monotonic(self):
+        assert _describe_clock(MONOTONIC_CLOCK) == ("monotonic",)
+        assert _build_clock(("monotonic",)) is MONOTONIC_CLOCK

@@ -170,6 +170,10 @@ def test_delivery_gated_batch_parity(space, workload, k, threshold):
     gated = _fresh_matcher(space, k, threshold).match_batch(
         subs, evts, deliver_threshold=threshold
     )
+    _assert_gated_parity(full, gated, subs, evts, threshold)
+
+
+def _assert_gated_parity(full, gated, subs, evts, threshold):
     assert gated.scores == full.scores
     for i in range(len(subs)):
         for j in range(len(evts)):
@@ -193,6 +197,51 @@ def test_delivery_gated_batch_parity(space, workload, k, threshold):
                 assert len(gated_result.alternatives) == len(
                     full_result.alternatives
                 )
+
+
+def _vectorized_matcher(space, k: int, threshold: float) -> ThematicMatcher:
+    return ThematicMatcher(
+        CachedMeasure(
+            ThematicMeasure(space, vectorized=True), RelatednessCache()
+        ),
+        k=k,
+        threshold=threshold,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    workload=workloads,
+    k=st.sampled_from((1, 2)),
+    threshold=st.sampled_from((0.0, 0.5)),
+)
+def test_vectorized_delivery_gated_block_parity(space, workload, k, threshold):
+    """The numpy block fill must equal the full kernel path bit for bit.
+
+    With a vectorized measure, delivery-gated mode builds candidate
+    matrices via per-group block gathers instead of the per-cell walk;
+    every score, assignment, probability and alternatives count must be
+    exactly equal to full mode over the same kernel — masks replicate
+    the walk's short-circuits, so no float may differ.
+    """
+    subs, evts = workload
+    full = _vectorized_matcher(space, k, threshold).match_batch(subs, evts)
+    gated = _vectorized_matcher(space, k, threshold).match_batch(
+        subs, evts, deliver_threshold=threshold
+    )
+    _assert_gated_parity(full, gated, subs, evts, threshold)
+
+
+@settings(max_examples=10, deadline=None)
+@given(first=workloads, second=workloads)
+def test_vectorized_block_parity_with_warm_tables(space, first, second):
+    """Second batch on the same matcher hits warm score tables; the
+    block fill must still match a cold full-mode run exactly."""
+    warm = _vectorized_matcher(space, 1, 0.5)
+    for subs, evts in (first, second):
+        gated = warm.match_batch(subs, evts, deliver_threshold=0.5)
+        full = _vectorized_matcher(space, 1, 0.5).match_batch(subs, evts)
+        _assert_gated_parity(full, gated, subs, evts, 0.5)
 
 
 def test_deliver_threshold_conflicts_with_scores_only(space):

@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.benchdiff import (
     DEFAULT_TOLERANCE,
+    DiffReport,
     classify_metric,
     compare_artifacts,
     compare_metrics,
@@ -74,11 +75,31 @@ class TestCompareMetrics:
         assert delta.status == "ok"
         assert delta.delta == pytest.approx(-0.05)
 
-    def test_metrics_missing_on_either_side_are_skipped(self):
+    def test_baseline_only_metrics_are_skipped(self):
+        deltas = compare_metrics(
+            {"mean_eps": 1.0, "old_only": 2.0}, {"mean_eps": 1.0}
+        )
+        assert [d.metric for d in deltas] == ["mean_eps"]
+
+    def test_current_only_metrics_are_informational_new_rows(self):
+        """A bench that grew a measurement must not regress or vanish."""
         deltas = compare_metrics(
             {"mean_eps": 1.0, "old_only": 2.0}, {"mean_eps": 1.0, "new_only": 3.0}
         )
-        assert [d.metric for d in deltas] == ["mean_eps"]
+        assert [d.metric for d in deltas] == ["mean_eps", "new_only"]
+        new_row = deltas[1]
+        assert new_row.status == "new"
+        assert new_row.current == 3.0
+        assert new_row.delta == 0.0
+
+    def test_new_rows_never_fail_the_comparison(self):
+        comparison = compare_artifacts(
+            {"bench": "b", "scale": "tiny", "metrics": {"eps": 10.0}},
+            {"bench": "b", "scale": "tiny",
+             "metrics": {"eps": 10.0, "kernel_eps": 50.0}},
+        )
+        assert comparison.status == "ok"
+        assert {d.status for d in comparison.deltas} == {"ok", "new"}
 
 
 class TestCompareArtifacts:
@@ -146,3 +167,19 @@ class TestMarkdown:
         assert "## fig9 — regression" in markdown
         assert "**REGRESSION**" in markdown
         assert "| mean_eps | 100 | 70 | -30.0% |" in markdown
+
+    def test_trend_table_renders_new_rows_without_fake_baseline(self):
+        report = DiffReport(
+            comparisons=(
+                compare_artifacts(
+                    {"bench": "kern", "scale": "tiny", "metrics": {"eps": 5.0}},
+                    {"bench": "kern", "scale": "tiny",
+                     "metrics": {"eps": 5.0, "fresh_eps": 9.0}},
+                ),
+            ),
+            missing_current=(),
+            missing_baseline=(),
+            tolerance=DEFAULT_TOLERANCE,
+        )
+        markdown = render_markdown(report)
+        assert "| fresh_eps | – | 9 | – | new |" in markdown

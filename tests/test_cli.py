@@ -190,3 +190,60 @@ class TestEvaluateFaults:
                     str(tmp_path / "nope.json"),
                 ]
             )
+
+
+class TestBenchDiffGate:
+    @staticmethod
+    def _write(directory, bench, metrics):
+        import json
+
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{bench}.json").write_text(
+            json.dumps(
+                {"bench": bench, "scale": "tiny", "metrics": metrics}
+            )
+        )
+
+    def test_gate_passes_when_all_artifacts_are_new(self, capsys, tmp_path):
+        """New benches have nothing to regress against; the gate must not
+        fail a PR for adding coverage."""
+        (tmp_path / "base").mkdir()
+        self._write(tmp_path / "cur", "kernel_scaling", {"eps": 10.0})
+        code = main(
+            [
+                "bench", "diff",
+                "--baseline-dir", str(tmp_path / "base"),
+                "--current-dir", str(tmp_path / "cur"),
+                "--gate",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "only new artifacts" in out
+        assert "kernel_scaling" in out
+
+    def test_gate_still_fails_on_nothing_at_all(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        code = main(
+            [
+                "bench", "diff",
+                "--baseline-dir", str(tmp_path / "base"),
+                "--current-dir", str(tmp_path / "cur"),
+                "--gate",
+            ]
+        )
+        assert code == 1
+
+    def test_gate_still_fails_on_regression(self, tmp_path):
+        self._write(tmp_path / "base", "fig9", {"mean_eps": 100.0})
+        self._write(tmp_path / "cur", "fig9", {"mean_eps": 50.0})
+        code = main(
+            [
+                "bench", "diff",
+                "--baseline-dir", str(tmp_path / "base"),
+                "--current-dir", str(tmp_path / "cur"),
+                "--gate",
+            ]
+        )
+        assert code == 1

@@ -99,6 +99,7 @@ CONFIG_FIELDS = {
         "delivery",
         "degraded",
         "dead_letter_capacity",
+        "executor",
     ],
     "EngineConfig": [
         "prefilter",
