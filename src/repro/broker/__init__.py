@@ -8,11 +8,18 @@ from repro.broker.broker import (
     dispatch_delivery,
 )
 from repro.broker.config import BrokerConfig
+from repro.broker.durability import (
+    BrokerDurability,
+    DurabilityPolicy,
+    RecoveryReport,
+    SimulatedCrash,
+)
 from repro.broker.faults import (
     CallbackFault,
     FaultInjector,
     FaultPlan,
     FaultyCallbackError,
+    KillFault,
     ScorerFault,
 )
 from repro.broker.overlay import BrokerOverlay, OverlayMetrics
@@ -28,6 +35,7 @@ from repro.broker.threaded import ThreadedBroker
 
 __all__ = [
     "BrokerConfig",
+    "BrokerDurability",
     "BrokerMetrics",
     "BrokerOverlay",
     "CallbackFault",
@@ -36,14 +44,18 @@ __all__ = [
     "DeadLetterRecord",
     "Delivery",
     "DeliveryPolicy",
+    "DurabilityPolicy",
     "FaultInjector",
     "FaultPlan",
     "FaultyCallbackError",
     "HashSharding",
+    "KillFault",
     "OverlayMetrics",
+    "RecoveryReport",
     "ReliableDelivery",
     "ScorerFault",
     "ShardedBroker",
+    "SimulatedCrash",
     "SizeBalancedSharding",
     "SubscriberHandle",
     "ThematicBroker",

@@ -31,8 +31,10 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.broker.config import BrokerConfig, config_from_legacy
+from repro.broker.durability import BrokerDurability
 from repro.broker.reliability import (
     DeadLetterQueue,
+    DeadLetterRecord,
     DeliveryPolicy,
     ReliableDelivery,
 )
@@ -236,11 +238,24 @@ class ThematicBroker:
             clock=clock,
         )
         self.dead_letters = DeadLetterQueue(self.config.dead_letter_capacity)
+        # Constructing the journal *is* recovery: an existing directory
+        # is replayed into durability.state before the broker accepts
+        # any work (durability.report is None on a pristine directory).
+        self.durability: BrokerDurability | None = None
+        if self.config.durability is not None:
+            self.durability = BrokerDurability(
+                self.config.durability,
+                replay_capacity=self.config.replay_capacity,
+                registry=self.metrics.registry,
+                clock=clock,
+            )
+            self.dead_letters.on_drain = self.durability.log_dlq_drain
         self.reliability = ReliableDelivery(
             self.metrics,
             policy=self.config.delivery,
             dead_letters=self.dead_letters,
             clock=clock,
+            durability=self.durability,
         )
         self._subscribers: dict[int, SubscriptionHandle] = {}
         self._engine_handles: dict[int, object] = {}
@@ -254,6 +269,13 @@ class ThematicBroker:
         # before dispatch).
         self._publishing_sequence = -1
         self._publishing_ctx: TraceContext | None = None
+        #: Handles restored from the journal, by original subscriber id.
+        #: Callbacks are not journaled (they are code); a recovering
+        #: application reattaches them here before ``recover_pending``.
+        self.recovered: dict[int, SubscriptionHandle] = {}
+        self._pending_recovery: list[tuple[int, Event]] = []
+        if self.durability is not None and self.durability.report is not None:
+            self._restore()
 
     # -- subscriber side ---------------------------------------------------
 
@@ -271,26 +293,13 @@ class ThematicBroker:
         new subscription immediately (time decoupling: consumers need
         not be active when producers fire). ``policy`` overrides the
         broker-wide delivery policy for this subscriber alone.
+
+        The handle's ``id`` is assigned here (registration order) and
+        its :attr:`~repro.core.engine.SubscriptionHandle.key` is a
+        stable, serializable function of ``(id, subscription)`` — the
+        identity durable journals use across restarts.
         """
-        handle = SubscriptionHandle(
-            id=self._next_id,
-            subscription=subscription,
-            policy=policy,
-            callback=callback,
-        )
-        self._subscribers[self._next_id] = handle
-        self._engine_handles[self._next_id] = self.engine.subscribe(
-            subscription,
-            lambda result, _handle=handle: self._deliver(
-                _handle,
-                Delivery(
-                    result=result,
-                    sequence=self._publishing_sequence,
-                    trace=self._publishing_ctx,
-                ),
-            ),
-        )
-        self._next_id += 1
+        handle = self._register(subscription, callback, policy)
         if replay:
             for sequence, event in list(self._replay):
                 result = self._evaluate(subscription, event)
@@ -305,6 +314,9 @@ class ThematicBroker:
         return handle
 
     def unsubscribe(self, handle: SubscriptionHandle) -> bool:
+        if self.durability is not None and handle.id in self._subscribers:
+            # Write-ahead: journal the removal before applying it.
+            self.durability.log_unsubscribe(handle.id)
         engine_handle = self._engine_handles.pop(handle.id, None)
         if engine_handle is not None:
             self.engine.unsubscribe(engine_handle)
@@ -337,13 +349,154 @@ class ThematicBroker:
             self.metrics.inc("published")
             sequence = self._sequence
             self._sequence += 1
+            if self.durability is not None:
+                # Write-ahead: the event is durable (redo record) before
+                # any matching or delivery can observe it.
+                self.durability.log_publish(sequence, event)
             self._replay.append((sequence, event))
             self.metrics.inc("evaluations", self.engine.subscription_count())
             self._publishing_sequence = sequence
             self._publishing_ctx = ctx
-            return len(self.engine.process(event))
+            matched = len(self.engine.process(event))
+            if self.durability is not None:
+                # Every delivery of this event has reached its terminal
+                # state; the journal can forget the in-flight entry.
+                self.durability.log_done(sequence)
+            return matched
+
+    # -- durability ----------------------------------------------------------
+
+    def recover_pending(self) -> int:
+        """Re-dispatch events that were in flight at the crash.
+
+        A ``pub`` record without a matching ``done`` means the event was
+        published but its dispatch never completed. Re-running dispatch
+        is safe because the idempotency keys suppress every delivery
+        that already reached an inbox or the dead-letter queue before
+        the crash — only the unfinished remainder runs. Call after
+        reattaching callbacks to the :attr:`recovered` handles; returns
+        the number of events re-dispatched.
+        """
+        pending = self._pending_recovery
+        self._pending_recovery = []
+        for sequence, event in pending:
+            ctx = TRACER.mint_trace()
+            with TRACER.root_span("broker.recover", ctx):
+                self.metrics.inc("evaluations", self.engine.subscription_count())
+                self._publishing_sequence = sequence
+                self._publishing_ctx = ctx
+                self.engine.process(event)
+            if self.durability is not None:
+                self.durability.log_done(sequence)
+        return len(pending)
+
+    def close(self) -> None:
+        """Flush and close the journal (no-op without durability)."""
+        if self.durability is not None:
+            self.durability.close()
+
+    def _restore(self) -> None:
+        """Rebuild broker state from the recovered journal mirror."""
+        durability = self.durability
+        assert durability is not None
+        state = durability.state
+        for sub_id, key, subscription, policy in state.subscription_entries():
+            handle = self._register(
+                subscription, None, policy, sub_id=sub_id, key=key, log=False
+            )
+            self.recovered[sub_id] = handle
+        # Undrained inbox cursors: re-derive each Delivery by matching
+        # the journaled event against the subscription — deterministic,
+        # so the restored inbox equals the lost one.
+        for sub_id, sequences in state.live_entries():
+            handle = self._subscribers.get(sub_id)
+            if handle is None:
+                continue
+            for sequence in sequences:
+                event = state.event(sequence)
+                result = (
+                    self.engine.match_one(handle.subscription, event)
+                    if event is not None
+                    else None
+                )
+                if result is None:
+                    durability.note_restore_miss()
+                    continue
+                handle.append(Delivery(result=result, sequence=sequence))
+        for entry in state.dead_letter_entries():
+            sub_id = int(entry["id"])
+            sequence = int(entry["seq"])
+            handle = self._subscribers.get(sub_id)
+            event = state.event(sequence)
+            result = (
+                self.engine.match_one(handle.subscription, event)
+                if handle is not None and event is not None
+                else None
+            )
+            if result is None:
+                durability.note_restore_miss()
+                continue
+            self.dead_letters.append(
+                DeadLetterRecord(
+                    delivery=Delivery(result=result, sequence=sequence),
+                    subscriber_id=sub_id,
+                    reason=str(entry["reason"]),
+                    attempts=int(entry["attempts"]),
+                    error=entry.get("error"),
+                    timestamp=str(entry.get("timestamp") or ""),
+                    trace_id=entry.get("trace_id"),
+                )
+            )
+        self._replay.extend(state.ring_entries())
+        self._sequence = state.next_sequence
+        self._next_id = max(self._next_id, state.next_id)
+        self._pending_recovery = state.pending_entries()
 
     # -- internals -----------------------------------------------------------
+
+    def _register(
+        self,
+        subscription: Subscription,
+        callback: Callable[[Delivery], None] | None,
+        policy: DeliveryPolicy | None,
+        *,
+        sub_id: int | None = None,
+        key: str = "",
+        log: bool = True,
+    ) -> SubscriptionHandle:
+        """Create + wire one handle (fresh subscribe or journal restore)."""
+        if sub_id is None:
+            sub_id = self._next_id
+        handle = SubscriptionHandle(
+            id=sub_id,
+            subscription=subscription,
+            policy=policy,
+            callback=callback,
+            key=key,
+        )
+        durability = self.durability
+        if durability is not None:
+            handle.on_drain = lambda count, _id=sub_id: durability.log_drain(
+                _id, count
+            )
+            if log:
+                # Write-ahead: the registration is durable before it can
+                # observe any event.
+                durability.log_subscribe(handle)
+        self._subscribers[sub_id] = handle
+        self._engine_handles[sub_id] = self.engine.subscribe(
+            subscription,
+            lambda result, _handle=handle: self._deliver(
+                _handle,
+                Delivery(
+                    result=result,
+                    sequence=self._publishing_sequence,
+                    trace=self._publishing_ctx,
+                ),
+            ),
+        )
+        self._next_id = max(self._next_id, sub_id + 1)
+        return handle
 
     def _evaluate(self, subscription: Subscription, event: Event) -> MatchResult | None:
         self.metrics.inc("evaluations")

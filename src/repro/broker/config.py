@@ -18,6 +18,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, replace
 
+from repro.broker.durability import DurabilityPolicy
 from repro.broker.reliability import DeliveryPolicy
 from repro.core.degrade import DegradedPolicy
 
@@ -63,6 +64,14 @@ class BrokerConfig:
         worker process per shard attached zero-copy to a shared columnar
         snapshot of the semantic space (requires a vectorized
         kernel-backed matcher — see :mod:`repro.broker.procshard`).
+    durability:
+        Optional :class:`~repro.broker.durability.DurabilityPolicy`
+        (all brokers). When set, registrations, published events, inbox
+        cursors, and dead letters are journaled to a CRC-framed
+        write-ahead log with periodic snapshots; a broker constructed
+        over a non-empty journal directory recovers its state from disk
+        and exposes the restored handles via ``broker.recovered`` —
+        see :mod:`repro.broker.durability`.
     """
 
     replay_capacity: int = 256
@@ -76,6 +85,7 @@ class BrokerConfig:
     degraded: DegradedPolicy | None = None
     dead_letter_capacity: int | None = None
     executor: str = "thread"
+    durability: DurabilityPolicy | None = None
 
 
 def config_from_legacy(

@@ -38,12 +38,14 @@ from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
     from repro.broker.broker import Delivery
+    from repro.broker.durability import BrokerDurability
 
 __all__ = [
     "CallbackFault",
     "FaultInjector",
     "FaultyCallbackError",
     "FaultPlan",
+    "KillFault",
     "ScorerFault",
 ]
 
@@ -114,6 +116,43 @@ class ScorerFault:
 
 
 @dataclass(frozen=True)
+class KillFault:
+    """Kill the broker at a write-ahead-log byte offset.
+
+    The broker under test must run with a
+    :class:`~repro.broker.durability.DurabilityPolicy`; the injector
+    arms the journal (:meth:`FaultInjector.arm`) so that the append
+    crossing cumulative offset ``at`` raises
+    :class:`~repro.broker.durability.SimulatedCrash` — on whichever
+    thread happens to be journaling, exactly like a real process death.
+
+    Parameters
+    ----------
+    at:
+        Cumulative WAL byte offset (segment headers included) at which
+        the crash fires. Offsets beyond the run's journal size simply
+        never fire (the run completes fault-free).
+    mode:
+        What the crashing append leaves on disk: ``"before"`` nothing,
+        ``"torn"`` a partial frame (the torn-write recovery path),
+        ``"after"`` the full fsynced frame whose in-memory effect never
+        happened (the effectively-once edge).
+    """
+
+    at: int
+    mode: str = "before"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.mode not in ("before", "torn", "after"):
+            raise ValueError(
+                f"unknown kill mode {self.mode!r} "
+                "(expected 'before', 'torn', or 'after')"
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A named, serializable bundle of scripted faults.
 
@@ -131,6 +170,10 @@ class FaultPlan:
     #: trip (low threshold, no jitter) carries that policy itself, so
     #: tests and ``repro evaluate --faults`` reproduce the same run.
     policy: DeliveryPolicy | None = None
+    #: Optional mid-plan broker death; the harness kills the broker at
+    #: this WAL offset, restarts it from disk, and asserts no-loss
+    #: across the restart (see :mod:`repro.evaluation.faults`).
+    kill: KillFault | None = None
 
     # -- serialization -----------------------------------------------------
 
@@ -170,11 +213,13 @@ class FaultPlan:
                 "breaker_reset": self.policy.breaker_reset,
                 "seed": self.policy.seed,
             }
+        if self.kill is not None:
+            plan["kill"] = {"at": self.kill.at, "mode": self.kill.mode}
         return plan
 
     @classmethod
     def from_dict(cls, plan: dict) -> "FaultPlan":
-        known = {"name", "callbacks", "scorer", "degraded", "policy"}
+        known = {"name", "callbacks", "scorer", "degraded", "policy", "kill"}
         unknown = set(plan) - known
         if unknown:
             raise ValueError(f"unknown fault plan keys {sorted(unknown)}")
@@ -184,12 +229,14 @@ class FaultPlan:
         scorer_spec = plan.get("scorer")
         degraded_spec = plan.get("degraded")
         policy_spec = plan.get("policy")
+        kill_spec = plan.get("kill")
         return cls(
             name=plan.get("name", "plan"),
             callbacks=callbacks,
             scorer=ScorerFault(**scorer_spec) if scorer_spec else None,
             degraded=DegradedPolicy(**degraded_spec) if degraded_spec else None,
             policy=DeliveryPolicy(**policy_spec) if policy_spec else None,
+            kill=KillFault(**kill_spec) if kill_spec else None,
         )
 
     def to_json(self) -> str:
@@ -296,3 +343,14 @@ class FaultInjector:
         if self.plan.scorer is None:
             return measure
         return _SpikingMeasure(self.plan.scorer, measure, self.clock)
+
+    def arm(self, durability: "BrokerDurability | None") -> None:
+        """Arm the plan's :class:`KillFault` on a broker's journal.
+
+        No-op when the plan has no kill or the broker runs without
+        durability — the injector stays wrap-only either way; the crash
+        fires inside the journal's own append path.
+        """
+        if self.plan.kill is None or durability is None:
+            return
+        durability.arm_kill(self.plan.kill.at, self.plan.kill.mode)

@@ -60,6 +60,7 @@ import random
 import threading
 import traceback
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -69,6 +70,7 @@ from repro.obs.flightrec import trigger_dump
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.broker.broker import BrokerMetrics, Delivery
+    from repro.broker.durability import BrokerDurability
     from repro.core.engine import SubscriptionHandle
 
 __all__ = [
@@ -199,6 +201,9 @@ class DeadLetterQueue:
         self._records: deque[DeadLetterRecord] = deque()
         self._capacity = capacity
         self._lock = threading.Lock()
+        #: Journal hook (set by a durable broker): called with the drain
+        #: count, outside the queue lock.
+        self.on_drain: Callable[[int], None] | None = None
 
     def append(self, record: DeadLetterRecord) -> None:
         with self._lock:
@@ -218,6 +223,10 @@ class DeadLetterQueue:
         with self._lock:
             records = list(self._records)
             self._records.clear()
+        # Journal the consumption outside the queue lock so a WAL
+        # append can never nest inside it.
+        if records and self.on_drain is not None:
+            self.on_drain(len(records))
         return records
 
     def peek(self) -> list[DeadLetterRecord]:
@@ -307,6 +316,15 @@ class ReliableDelivery:
         fresh unbounded :class:`DeadLetterQueue`.
     clock:
         Time source for backoff, deadlines, and breaker resets.
+    durability:
+        Optional :class:`~repro.broker.durability.BrokerDurability`.
+        When set, every consumption is journaled (an ``ack`` record
+        lands *after* the callback succeeds and *before* the inbox
+        append) and every dead letter is journaled before it is parked,
+        and deliveries whose idempotency key ``(subscriber id, event
+        sequence)`` already reached a terminal state are suppressed —
+        this is what turns at-least-once retries plus crash recovery
+        into effectively-once consumption.
     """
 
     def __init__(
@@ -316,6 +334,7 @@ class ReliableDelivery:
         policy: DeliveryPolicy | None = None,
         dead_letters: DeadLetterQueue | None = None,
         clock: Clock | None = None,
+        durability: "BrokerDurability | None" = None,
     ) -> None:
         self.metrics = metrics
         self.policy = policy if policy is not None else DeliveryPolicy()
@@ -323,6 +342,7 @@ class ReliableDelivery:
             dead_letters if dead_letters is not None else DeadLetterQueue()
         )
         self.clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.durability = durability
         registry = metrics.registry
         self._retries = registry.counter("reliability.retries")
         self._dead = registry.counter("reliability.dead_letters")
@@ -402,6 +422,12 @@ class ReliableDelivery:
             timestamp=iso_time(wall),
             trace_id=trace.trace_id if trace is not None else None,
         )
+        # Write-ahead: journal the dead letter before parking it, so a
+        # crash between the two replays the record instead of losing it
+        # (a duplicate in-memory append after replay is impossible —
+        # the key is settled and dispatch suppresses it).
+        if self.durability is not None:
+            self.durability.log_dead_letter(record)
         self.dead_letters.append(record)
         self._dead.inc()
         now = self.clock.monotonic()
@@ -463,9 +489,19 @@ class ReliableDelivery:
             return self._dispatch(handle, delivery)
 
     def _dispatch(self, handle: "SubscriptionHandle", delivery: "Delivery") -> bool:
+        if self.durability is not None and self.durability.is_settled(
+            handle.id, delivery.sequence
+        ):
+            # This (subscriber, sequence) key already reached its
+            # terminal state (inbox or DLQ) before a crash; recovery
+            # re-dispatch must not consume it again.
+            self.durability.note_suppressed()
+            return True
         if handle.callback is None:
             with TRACER.span("broker.deliver"):
                 self.metrics.inc("deliveries")
+                if self.durability is not None:
+                    self.durability.log_ack(handle.id, delivery.sequence)
                 handle.append(delivery)
             return True
         policy = self._policy_for(handle)
@@ -560,6 +596,14 @@ class ReliableDelivery:
                     )
                     continue
                 self.metrics.inc("deliveries")
+                # The idempotency barrier: the ack is durable *after*
+                # the callback succeeded and *before* the inbox append.
+                # A crash in that window is the at-least-once edge —
+                # on recovery the key is settled, the callback is not
+                # re-invoked, and the inbox entry is restored by
+                # re-matching the journaled event.
+                if self.durability is not None:
+                    self.durability.log_ack(handle.id, delivery.sequence)
                 handle.append(delivery)
                 return True, attempts, None
         return False, attempts, last_error

@@ -48,10 +48,12 @@ from typing import Any
 
 from repro.broker.broker import BrokerMetrics, Delivery
 from repro.broker.config import BrokerConfig, config_from_legacy
+from repro.broker.durability import BrokerDurability, SimulatedCrash
 from repro.broker.ingress import STOP, collect_batch, wait_until_drained
 from repro.broker.procshard import ProcessShardExecutor
 from repro.broker.reliability import (
     DeadLetterQueue,
+    DeadLetterRecord,
     DeliveryPolicy,
     ReliableDelivery,
 )
@@ -233,11 +235,24 @@ class ShardedBroker:
         self.matcher = matcher
         self.metrics = BrokerMetrics(registry)
         self.dead_letters = DeadLetterQueue(config.dead_letter_capacity)
+        # Constructing the journal *is* recovery (see ThematicBroker);
+        # it must exist before the reliability layer and before the
+        # dispatcher thread starts.
+        self.durability: BrokerDurability | None = None
+        if config.durability is not None:
+            self.durability = BrokerDurability(
+                config.durability,
+                replay_capacity=config.replay_capacity,
+                registry=self.metrics.registry,
+                clock=clock,
+            )
+            self.dead_letters.on_drain = self.durability.log_dlq_drain
         self.reliability = ReliableDelivery(
             self.metrics,
             policy=config.delivery,
             dead_letters=self.dead_letters,
             clock=clock,
+            durability=self.durability,
         )
         self._strategy = strategy
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
@@ -307,6 +322,13 @@ class ShardedBroker:
         )
         self._closed = False
         self._close_lock = threading.Lock()
+        #: Handles restored from the journal, by original subscriber id
+        #: (callbacks are code, not data — reattach them here before
+        #: ``recover_pending``).
+        self.recovered: dict[int, SubscriptionHandle] = {}
+        self._pending_recovery: list[tuple[int, Event]] = []
+        if self.durability is not None and self.durability.report is not None:
+            self._restore()
         self._dispatcher = threading.Thread(
             target=self._run, name="sharded-broker", daemon=True
         )
@@ -325,6 +347,13 @@ class ShardedBroker:
             )
             try:
                 self._process_batch(batch)
+            except SimulatedCrash:
+                # A scripted broker death (fault injection): the
+                # dispatcher dies like the process would, silently —
+                # the journal's ``crashed`` flag is the record. The
+                # finally below still runs task_done so flush stays
+                # truthful.
+                return
             except Exception:  # pragma: no cover - defensive
                 # A matching failure must not kill the dispatcher (and
                 # with it flush/close); the batch's task_done below keeps
@@ -371,6 +400,8 @@ class ShardedBroker:
                 self._pool.shutdown(wait=True)
             if self._proc is not None:
                 self._proc.close()
+            if self.durability is not None:
+                self.durability.close()
 
     def __enter__(self) -> "ShardedBroker":
         return self
@@ -424,34 +455,8 @@ class ShardedBroker:
         """
         replayed: list[Delivery] = []
         with self._reg_lock:
-            order = self._next_id
-            self._next_id += 1
-            handle = SubscriptionHandle(
-                id=order,
-                subscription=subscription,
-                policy=policy,
-                callback=callback,
-            )
-            loads = self._loads()
-            shard_index = self._strategy.assign(order, loads)
-            if not 0 <= shard_index < len(loads):
-                raise ValueError(
-                    f"strategy assigned shard {shard_index} "
-                    f"outside [0, {len(loads)})"
-                )
-            sink = _ShardSink(order, handle)
-            engine_handle: object = None
-            if self._proc is not None:
-                self._proc.subscribe(shard_index, order, subscription)
-            else:
-                engine_handle = self._shards[shard_index].engine.subscribe(
-                    subscription, sink
-                )
-            self._entries[order] = _Entry(
-                handle=handle,
-                sink=sink,
-                shard_index=shard_index,
-                engine_handle=engine_handle,
+            handle, shard_index = self._register_entry(
+                subscription, callback, policy
             )
             if replay:
                 for sequence, event in list(self._replay):
@@ -480,8 +485,69 @@ class ShardedBroker:
                 self.reliability.dispatch(handle, delivery)
         return handle
 
+    def _register_entry(
+        self,
+        subscription: Subscription,
+        callback: Callable[[Delivery], None] | None,
+        policy: DeliveryPolicy | None,
+        *,
+        order: int | None = None,
+        key: str = "",
+        log: bool = True,
+    ) -> tuple[SubscriptionHandle, int]:
+        """Create + shard-place one registration (``_reg_lock`` held).
+
+        ``order``/``key``/``log=False`` is the journal-restore path:
+        the original subscriber id and stable key are preserved and the
+        registration is not re-journaled.
+        """
+        if order is None:
+            order = self._next_id
+        self._next_id = max(self._next_id, order + 1)
+        handle = SubscriptionHandle(
+            id=order,
+            subscription=subscription,
+            policy=policy,
+            callback=callback,
+            key=key,
+        )
+        durability = self.durability
+        if durability is not None:
+            handle.on_drain = lambda count, _id=order: durability.log_drain(
+                _id, count
+            )
+            if log:
+                # Write-ahead: the registration is durable before it can
+                # observe any event.
+                durability.log_subscribe(handle)
+        loads = self._loads()
+        shard_index = self._strategy.assign(order, loads)
+        if not 0 <= shard_index < len(loads):
+            raise ValueError(
+                f"strategy assigned shard {shard_index} "
+                f"outside [0, {len(loads)})"
+            )
+        sink = _ShardSink(order, handle)
+        engine_handle: object = None
+        if self._proc is not None:
+            self._proc.subscribe(shard_index, order, subscription)
+        else:
+            engine_handle = self._shards[shard_index].engine.subscribe(
+                subscription, sink
+            )
+        self._entries[order] = _Entry(
+            handle=handle,
+            sink=sink,
+            shard_index=shard_index,
+            engine_handle=engine_handle,
+        )
+        return handle, shard_index
+
     def unsubscribe(self, handle: SubscriptionHandle) -> bool:
         with self._reg_lock:
+            if self.durability is not None and handle.id in self._entries:
+                # Write-ahead: journal the removal before applying it.
+                self.durability.log_unsubscribe(handle.id)
             entry = self._entries.pop(handle.id, None)
             if entry is None:
                 return False
@@ -503,6 +569,104 @@ class ShardedBroker:
         """Current subscription count per shard."""
         with self._reg_lock:
             return self._loads()
+
+    # -- durability --------------------------------------------------------
+
+    def _match_restored(self, entry: _Entry, event: Event) -> Any:
+        """Deterministically re-match one journaled event for one entry."""
+        if self._proc is not None:
+            return self._proc.match_one(entry.handle.subscription, event)
+        return self._shards[entry.shard_index].engine.match_one(
+            entry.handle.subscription, event
+        )
+
+    def _restore(self) -> None:
+        """Rebuild broker state from the recovered journal mirror."""
+        durability = self.durability
+        assert durability is not None
+        state = durability.state
+        with self._reg_lock:
+            for order, key, subscription, policy in state.subscription_entries():
+                handle, _ = self._register_entry(
+                    subscription, None, policy, order=order, key=key, log=False
+                )
+                self.recovered[order] = handle
+            for order, sequences in state.live_entries():
+                entry = self._entries.get(order)
+                if entry is None:
+                    continue
+                for sequence in sequences:
+                    event = state.event(sequence)
+                    result = (
+                        self._match_restored(entry, event)
+                        if event is not None
+                        else None
+                    )
+                    if result is None:
+                        durability.note_restore_miss()
+                        continue
+                    entry.handle.append(Delivery(result=result, sequence=sequence))
+            for record in state.dead_letter_entries():
+                order = int(record["id"])
+                sequence = int(record["seq"])
+                entry = self._entries.get(order)
+                event = state.event(sequence)
+                result = (
+                    self._match_restored(entry, event)
+                    if entry is not None and event is not None
+                    else None
+                )
+                if result is None:
+                    durability.note_restore_miss()
+                    continue
+                self.dead_letters.append(
+                    DeadLetterRecord(
+                        delivery=Delivery(result=result, sequence=sequence),
+                        subscriber_id=order,
+                        reason=str(record["reason"]),
+                        attempts=int(record["attempts"]),
+                        error=record.get("error"),
+                        timestamp=str(record.get("timestamp") or ""),
+                        trace_id=record.get("trace_id"),
+                    )
+                )
+            self._replay.extend(state.ring_entries())
+            self._sequence = state.next_sequence
+            self._pending_recovery = state.pending_entries()
+
+    def recover_pending(self) -> int:
+        """Re-dispatch events that were in flight at the crash.
+
+        Matching runs under the registration lock, deliveries dispatch
+        after it is released (RL100), and the idempotency keys suppress
+        every delivery that already reached a terminal state before the
+        crash. Call after reattaching callbacks to :attr:`recovered`;
+        returns the number of events re-dispatched.
+        """
+        pending_events = self._pending_recovery
+        self._pending_recovery = []
+        for sequence, event in pending_events:
+            ctx = TRACER.mint_trace()
+            deliveries: list[tuple[SubscriptionHandle, Delivery]] = []
+            with TRACER.root_span("broker.recover", ctx), self._reg_lock:
+                self.metrics.inc("evaluations", len(self._entries))
+                for order in sorted(self._entries):
+                    entry = self._entries[order]
+                    result = self._match_restored(entry, event)
+                    if result is not None:
+                        deliveries.append(
+                            (
+                                entry.handle,
+                                Delivery(
+                                    result=result, sequence=sequence, trace=ctx
+                                ),
+                            )
+                        )
+            for handle, delivery in deliveries:
+                self.reliability.dispatch(handle, delivery)
+            if self.durability is not None:
+                self.durability.log_done(sequence)
+        return len(pending_events)
 
     # -- observability -----------------------------------------------------
 
@@ -607,6 +771,10 @@ class ShardedBroker:
             sequences = []
             for event in events:
                 sequences.append(self._sequence)
+                if self.durability is not None:
+                    # Write-ahead: each event is durable (redo record)
+                    # before any shard can match it.
+                    self.durability.log_publish(self._sequence, event)
                 self._replay.append((self._sequence, event))
                 self._sequence += 1
             if self._proc is not None:
@@ -685,3 +853,8 @@ class ShardedBroker:
         # otherwise deadlock against this dispatcher thread.
         for handle, delivery in pending:
             self.reliability.dispatch(handle, delivery)
+        if self.durability is not None:
+            # Every delivery of these events reached its terminal state;
+            # the journal can forget the in-flight entries.
+            for sequence in sequences:
+                self.durability.log_done(sequence)

@@ -19,9 +19,11 @@ from __future__ import annotations
 import queue
 import threading
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.broker.broker import BrokerMetrics, Delivery, ThematicBroker
 from repro.broker.config import BrokerConfig, config_from_legacy
+from repro.broker.durability import SimulatedCrash
 from repro.broker.ingress import STOP, wait_until_drained
 from repro.broker.reliability import (
     DeadLetterQueue,
@@ -34,6 +36,9 @@ from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
 from repro.obs import TRACER, MetricsRegistry
 from repro.obs.clock import MONOTONIC_CLOCK, Clock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.broker.durability import BrokerDurability
 
 __all__ = ["ThreadedBroker"]
 
@@ -108,6 +113,12 @@ class ThreadedBroker:
                 )
                 with self._lock:
                     self._inner.publish(event, trace=ctx)
+            except SimulatedCrash:
+                # A scripted broker death (fault injection): the worker
+                # dies like the process would, silently — the journal's
+                # ``crashed`` flag is the record, not a stack trace on
+                # stderr. task_done still runs so flush stays truthful.
+                return
             finally:
                 self._queue.task_done()
 
@@ -138,6 +149,7 @@ class ThreadedBroker:
                         self._inner.publish(event, trace=ctx)
             finally:
                 self._queue.task_done()
+        self._inner.close()
 
     def __enter__(self) -> "ThreadedBroker":
         return self
@@ -204,6 +216,25 @@ class ThreadedBroker:
     def reliability(self) -> ReliableDelivery:
         """The embedded broker's reliability engine (breaker states etc.)."""
         return self._inner.reliability
+
+    @property
+    def durability(self) -> "BrokerDurability | None":
+        """The embedded broker's journal (``None`` without a policy)."""
+        return self._inner.durability
+
+    @property
+    def recovered(self) -> dict[int, SubscriptionHandle]:
+        """Handles restored from the journal, by original subscriber id."""
+        return self._inner.recovered
+
+    def recover_pending(self) -> int:
+        """Re-dispatch in-flight events from a recovered journal.
+
+        Serialized against the worker thread; see
+        :meth:`repro.broker.broker.ThematicBroker.recover_pending`.
+        """
+        with self._lock:
+            return self._inner.recover_pending()
 
     def metrics_snapshot(self) -> dict:
         """Coherent cross-thread view: counters plus queue-wait summary.

@@ -274,7 +274,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"fault plan: {plan.name!r} "
               f"({len(plan.callbacks)} callback fault(s), "
               f"scorer={'yes' if plan.scorer else 'no'}, "
-              f"degraded={'yes' if plan.degraded else 'no'})")
+              f"degraded={'yes' if plan.degraded else 'no'}, "
+              f"kill={f'@{plan.kill.at}/{plan.kill.mode}' if plan.kill else 'no'})")
         report = run_fault_injection(workload, plan, seed=args.seed)
         for kind, entry in report["brokers"].items():
             delivered = sum(entry["delivered"])
@@ -290,6 +291,21 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                 print(f"            degraded: trips={degraded.get('trips', 0)} "
                       f"fallback_batches={degraded.get('batches', 0)} "
                       f"recoveries={degraded.get('recoveries', 0)}")
+            if entry.get("restarted"):
+                recovery = entry.get("recovery", {})
+                print(
+                    f"            killed at WAL offset "
+                    f"{plan.kill.at} ({plan.kill.mode}); restarted: "
+                    f"resumed_at={entry.get('resumed_at')} "
+                    f"replayed={recovery.get('records_replayed', 0)} "
+                    f"snapshot={recovery.get('snapshot_generation')} "
+                    f"recovered_inflight={entry.get('recover_completed', 0)}"
+                )
+            elif plan.kill is not None:
+                print(
+                    "            kill offset never reached "
+                    "(run completed without restart)"
+                )
         baseline_total = sum(report["baseline"])
         print(f"  fault-free matched deliveries: {baseline_total}")
         if not report["no_loss"]:

@@ -25,6 +25,7 @@ until a probe recovers — see :mod:`repro.core.degrade`.
 
 from __future__ import annotations
 
+import hashlib
 import warnings
 from collections import deque
 from collections.abc import Callable
@@ -47,10 +48,25 @@ __all__ = [
     "EngineStats",
     "SubscriptionHandle",
     "ThematicEventEngine",
+    "stable_subscriber_key",
 ]
 
 #: Callback invoked on every delivered match.
 MatchCallback = Callable[[MatchResult], None]
+
+
+def stable_subscriber_key(sub_id: int, subscription: Subscription | None) -> str:
+    """Serializable identity for one registration.
+
+    Handles are identity objects (``eq=False``), which a replayed
+    journal cannot reference; this key is a pure function of the
+    registration order and the subscription's deterministic string
+    form, so a recovered broker re-derives the *same* key for the same
+    registration and durable records can name subscribers across
+    restarts.
+    """
+    text = f"{sub_id}|{subscription}" if subscription is not None else f"{sub_id}|"
+    return "sub-" + hashlib.sha1(text.encode("utf-8")).hexdigest()[:12]
 
 
 @dataclass(eq=False)
@@ -79,7 +95,13 @@ class SubscriptionHandle:
     policy: "DeliveryPolicy | None" = None
     callback: Callable[..., None] | None = None
     inbox: deque = field(default_factory=deque, repr=False)
+    key: str = ""
+    on_drain: Callable[[int], None] | None = field(default=None, repr=False)
     _lock: Lock = field(default_factory=Lock, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            self.key = stable_subscriber_key(self.id, self.subscription)
 
     @property
     def subscription_id(self) -> int:
@@ -101,6 +123,10 @@ class SubscriptionHandle:
         with self._lock:
             items = list(self.inbox)
             self.inbox.clear()
+        # The hook journals the consumption; it runs outside the inbox
+        # lock so a journal append can never nest inside it.
+        if items and self.on_drain is not None:
+            self.on_drain(len(items))
         return items
 
 

@@ -22,15 +22,31 @@ downgrades to exact-anchor matching and records it), so the strict
 identity against the thematic oracle is only asserted for plans without
 a degraded policy; the report then carries the degraded counters
 instead.
+
+When the plan carries a :class:`~repro.broker.faults.KillFault`, each
+broker runs with a :class:`~repro.broker.durability.DurabilityPolicy`
+over a scratch journal directory and is **killed at the plan's WAL
+offset**: the first pass subscribes and publishes until the armed
+journal raises :class:`~repro.broker.durability.SimulatedCrash`, the
+crashed broker is abandoned exactly as a dead process would be, and a
+second broker is constructed over the same directory — recovering
+registrations, inboxes, and dead letters from disk, re-dispatching
+in-flight events (idempotency keys suppress everything that already
+reached a terminal state), and resuming the publish stream from the
+first sequence the journal never recorded. The same no-loss identity is
+then asserted *across the restart*.
 """
 
 from __future__ import annotations
 
 import logging
+import tempfile
 from collections import Counter
+from dataclasses import replace
 
 from repro.broker.broker import ThematicBroker
 from repro.broker.config import BrokerConfig
+from repro.broker.durability import DurabilityPolicy, SimulatedCrash
 from repro.broker.faults import FaultInjector, FaultPlan
 from repro.broker.reliability import DeliveryPolicy
 from repro.broker.sharded import ShardedBroker
@@ -99,6 +115,125 @@ def _run_one(kind, matcher_factory, subscriptions, events, plan, config, clock):
     if isinstance(broker, ShardedBroker):
         counters.update(broker.metrics_snapshot()["engine_totals"])
     return delivered, [dead.get(i, 0) for i in range(len(handles))], counters
+
+
+def _run_one_with_kill(
+    kind, matcher_factory, subscriptions, events, plan, config, clock, directory
+):
+    """One kill/restart pass; returns (delivered, dead, metrics, extras).
+
+    Phase 1 runs the broker with an armed journal until the plan's WAL
+    offset raises :class:`SimulatedCrash` (or until the run completes
+    because the offset was never reached). A crashed broker is
+    abandoned, never closed — a dead process flushes nothing.
+
+    Phase 2 builds a fresh broker (fresh matcher, fresh injector with
+    reset fault budgets — a restarted process loses its in-memory
+    counters too) over the same directory, reattaches the scripted
+    callbacks to the recovered handles, re-dispatches in-flight events,
+    and resumes publishing at the first sequence the journal never
+    recorded. Events are published one flush at a time in both phases,
+    so the event index *is* the sequence number on every broker kind —
+    which is what makes the resume point exact.
+    """
+    durable_config = replace(
+        config, durability=DurabilityPolicy(directory=directory)
+    )
+    injector = FaultInjector(plan, clock=clock)
+    matcher = matcher_factory()
+    matcher.measure = injector.wrap_measure(matcher.measure)
+    broker = _build_broker(kind, matcher, durable_config, clock)
+    injector.arm(broker.durability)
+    crashed = False
+    handles = []
+    try:
+        for subscriber_id, subscription in enumerate(subscriptions):
+            handles.append(
+                broker.subscribe(
+                    subscription, injector.wrap_callback(subscriber_id)
+                )
+            )
+        for event in events:
+            broker.publish(event)
+            # Flush per event so async brokers process strictly in
+            # publish order and the crash lands at a deterministic
+            # point in the stream.
+            if hasattr(broker, "flush"):
+                broker.flush(10.0)
+            if broker.durability.crashed:
+                break
+    except SimulatedCrash:
+        pass
+    crashed = broker.durability.crashed
+    if not crashed:
+        # Kill offset beyond this run's journal: a clean, uninterrupted
+        # run. Close and account exactly like the no-kill path.
+        if hasattr(broker, "close"):
+            broker.close()
+        delivered = [len(handle.drain()) for handle in handles]
+        dead = Counter(
+            record.subscriber_id for record in broker.dead_letters.drain()
+        )
+        counters = dict(broker.metrics.registry.snapshot()["counters"])
+        if isinstance(broker, ShardedBroker):
+            counters.update(broker.metrics_snapshot()["engine_totals"])
+        return (
+            delivered,
+            [dead.get(i, 0) for i in range(len(handles))],
+            counters,
+            {"restarted": False},
+        )
+
+    # -- phase 2: restart from disk ---------------------------------------
+    injector2 = FaultInjector(plan, clock=clock)
+    matcher2 = matcher_factory()
+    matcher2.measure = injector2.wrap_measure(matcher2.measure)
+    broker2 = _build_broker(kind, matcher2, durable_config, clock)
+    recovery = broker2.durability.report
+    handles2 = []
+    for subscriber_id, subscription in enumerate(subscriptions):
+        recovered = broker2.recovered.get(subscriber_id)
+        if recovered is not None:
+            # Callbacks are code, not journal data: reattach the
+            # scripted fault wrapper to the restored handle.
+            recovered.callback = injector2.wrap_callback(subscriber_id)
+            handles2.append(recovered)
+        else:
+            # The crash predated this registration; ids continue
+            # contiguously, so re-subscribing preserves the mapping
+            # between fault-plan subscriber indexes and handle ids.
+            handles2.append(
+                broker2.subscribe(
+                    subscription, injector2.wrap_callback(subscriber_id)
+                )
+            )
+    resumed_at = broker2.durability.state.next_sequence
+    recover_completed = broker2.recover_pending()
+    for event in events[resumed_at:]:
+        broker2.publish(event)
+        if hasattr(broker2, "flush"):
+            broker2.flush(10.0)
+    if hasattr(broker2, "close"):
+        broker2.close()
+    delivered = [len(handle.drain()) for handle in handles2]
+    dead = Counter(
+        record.subscriber_id for record in broker2.dead_letters.drain()
+    )
+    counters = dict(broker2.metrics.registry.snapshot()["counters"])
+    if isinstance(broker2, ShardedBroker):
+        counters.update(broker2.metrics_snapshot()["engine_totals"])
+    extras = {
+        "restarted": True,
+        "resumed_at": resumed_at,
+        "recover_completed": recover_completed,
+        "recovery": recovery.to_dict() if recovery is not None else None,
+    }
+    return (
+        delivered,
+        [dead.get(i, 0) for i in range(len(handles2))],
+        counters,
+        extras,
+    )
 
 
 def run_fault_injection(
@@ -173,9 +308,20 @@ def run_fault_injection(
     try:
         for kind in brokers:
             clock = FakeClock()
-            delivered, dead, metrics = _run_one(
-                kind, matcher_factory, subscriptions, events, plan, config, clock
-            )
+            extras: dict = {}
+            if plan.kill is not None:
+                with tempfile.TemporaryDirectory(
+                    prefix=f"repro-wal-{kind}-"
+                ) as directory:
+                    delivered, dead, metrics, extras = _run_one_with_kill(
+                        kind, matcher_factory, subscriptions, events, plan,
+                        config, clock, directory,
+                    )
+            else:
+                delivered, dead, metrics = _run_one(
+                    kind, matcher_factory, subscriptions, events, plan, config,
+                    clock,
+                )
             accounted = [d + x for d, x in zip(delivered, dead, strict=True)]
             no_loss = accounted == baseline if strict else True
             all_no_loss = all_no_loss and no_loss
@@ -194,6 +340,13 @@ def run_fault_injection(
                 "dead_lettered": metrics.get("reliability.dead_letters", 0),
                 "callback_errors": metrics.get("broker.callback_errors", 0),
             }
+            entry.update(extras)
+            if plan.kill is not None:
+                entry["durability"] = {
+                    key.removeprefix("durability."): value
+                    for key, value in metrics.items()
+                    if isinstance(key, str) and key.startswith("durability.")
+                }
             if plan.degraded is not None:
                 entry["degraded"] = {
                     key.removeprefix("engine.degraded_"): value

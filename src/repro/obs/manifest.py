@@ -142,6 +142,54 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec(
         "reliability.callback_seconds", "histogram", "Callback execution time."
     ),
+    # -- durability (write-ahead log + snapshots) ---------------------------
+    MetricSpec(
+        "durability.records", "counter", "Records appended to the write-ahead log."
+    ),
+    MetricSpec(
+        "durability.bytes", "counter", "Framed bytes appended to the write-ahead log."
+    ),
+    MetricSpec(
+        "durability.fsyncs", "counter", "fsync(2) calls issued by the journal."
+    ),
+    MetricSpec(
+        "durability.snapshots", "counter", "Snapshots written (rotation + recovery)."
+    ),
+    MetricSpec(
+        "durability.recoveries",
+        "counter",
+        "Journal recoveries performed at broker construction.",
+    ),
+    MetricSpec(
+        "durability.replayed_records",
+        "counter",
+        "WAL records replayed on top of a snapshot during recovery.",
+    ),
+    MetricSpec(
+        "durability.corrupt_records",
+        "counter",
+        "CRC-failed frames found during recovery (reported, not replayed).",
+    ),
+    MetricSpec(
+        "durability.truncated_tails",
+        "counter",
+        "Segments whose final frame was torn (recovered to last full record).",
+    ),
+    MetricSpec(
+        "durability.duplicates_suppressed",
+        "counter",
+        "Re-dispatches skipped because the (subscriber, sequence) key was settled.",
+    ),
+    MetricSpec(
+        "durability.restore_misses",
+        "counter",
+        "Journaled deliveries that no longer matched on restore (skipped).",
+    ),
+    MetricSpec(
+        "durability.append_seconds",
+        "histogram",
+        "Wall time of one journal append (framing + write + fsync policy).",
+    ),
     # -- flight recorder ----------------------------------------------------
     MetricSpec(
         "flightrec.dumps", "counter", "Flight-recorder dumps written to disk."

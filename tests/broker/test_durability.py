@@ -1,0 +1,467 @@
+"""Durable broker state: WAL framing, corruption tolerance, recovery.
+
+The crash-anywhere property suite lives in
+``tests/broker/test_recovery_stress.py``; this file pins the concrete
+mechanisms it relies on — frame round-trips, torn-tail and bit-flip
+containment, snapshot + delta replay, the effectively-once idempotency
+barrier, and stable subscriber keys.
+"""
+
+import json
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.broker.broker import ThematicBroker
+from repro.broker.config import BrokerConfig
+from repro.broker.durability import (
+    SEGMENT_HEADER,
+    DurabilityPolicy,
+    SimulatedCrash,
+    WriteAheadLog,
+    read_wal_segment,
+)
+from repro.broker.reliability import DeliveryPolicy
+from repro.core.engine import stable_subscriber_key
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.obs import MetricsRegistry
+from repro.semantics.measures import ThematicMeasure
+
+EVENT = parse_event(
+    "({energy, appliances, building},"
+    " {type: increased energy consumption event, device: computer,"
+    "  office: room 112})"
+)
+MATCHING = parse_subscription(
+    "({power, computers},"
+    " {type= increased energy usage event~, device~= laptop~, office= room 112})"
+)
+NON_MATCHING = parse_subscription(
+    "({transport}, {type= parking space occupied event~, street= main street})"
+)
+
+
+def make_broker(space, directory, **policy_kwargs):
+    config = BrokerConfig(
+        durability=DurabilityPolicy(directory=str(directory), **policy_kwargs)
+    )
+    return ThematicBroker(ThematicMatcher(ThematicMeasure(space)), config)
+
+
+def wal_files(directory):
+    return sorted(Path(directory).glob("wal-*.log"))
+
+
+class TestPolicyValidation:
+    def test_rejects_empty_directory(self):
+        with pytest.raises(ValueError):
+            DurabilityPolicy(directory="")
+
+    def test_rejects_unknown_fsync_mode(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurabilityPolicy(directory=str(tmp_path), fsync="sometimes")
+
+    def test_rejects_bad_batch_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurabilityPolicy(directory=str(tmp_path), fsync_batch_records=0)
+
+    def test_rejects_negative_snapshot_cadence(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurabilityPolicy(directory=str(tmp_path), snapshot_every=-1)
+
+
+class TestWalFraming:
+    def test_records_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        path = wal.open_segment(0)
+        records = [{"t": "done", "seq": n} for n in range(5)]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        scan = read_wal_segment(path)
+        assert scan.records == records
+        assert not scan.truncated_tail
+        assert scan.corrupt_records == 0
+        assert not scan.bad_header
+        assert scan.valid_bytes == path.stat().st_size
+        # Offsets are frame starts: monotonically increasing, first one
+        # right after the segment header.
+        assert scan.offsets[0] == len(SEGMENT_HEADER)
+        assert scan.offsets == sorted(scan.offsets)
+
+    def test_offset_counts_header_and_frames(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        path = wal.open_segment(0)
+        wal.append({"t": "done", "seq": 0})
+        wal.close()
+        assert wal.offset == path.stat().st_size
+
+    def test_wrong_header_reads_nothing(self, tmp_path):
+        path = tmp_path / "wal-00000000.log"
+        path.write_bytes(b"NOTAWAL\n" + b"garbage")
+        scan = read_wal_segment(path)
+        assert scan.bad_header
+        assert scan.records == []
+
+    def test_fsync_always_syncs_every_record(self, tmp_path):
+        counter = MetricsRegistry().counter("durability.fsyncs")
+        wal = WriteAheadLog(tmp_path, fsync="always", fsync_counter=counter)
+        wal.open_segment(0)
+        for n in range(3):
+            wal.append({"t": "done", "seq": n})
+        assert counter.value == 3
+
+    def test_fsync_batch_syncs_on_the_batch_boundary(self, tmp_path):
+        counter = MetricsRegistry().counter("durability.fsyncs")
+        wal = WriteAheadLog(
+            tmp_path, fsync="batch", fsync_batch_records=4, fsync_counter=counter
+        )
+        wal.open_segment(0)
+        for n in range(7):
+            wal.append({"t": "done", "seq": n})
+        assert counter.value == 1
+
+    def test_armed_kill_crashes_and_stays_dead(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        wal.open_segment(0)
+        wal.arm_kill(at=0, mode="before")
+        with pytest.raises(SimulatedCrash):
+            wal.append({"t": "done", "seq": 0})
+        assert wal.crashed
+        with pytest.raises(SimulatedCrash):
+            wal.append({"t": "done", "seq": 1})
+
+
+class TestCorruptionTolerance:
+    def journal(self, tmp_path, n=6):
+        """A closed single-segment journal of ``n`` records."""
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        path = wal.open_segment(0)
+        records = [{"seq": k, "t": "done"} for k in range(n)]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        scan = read_wal_segment(path)
+        return path, records, scan.offsets
+
+    def test_truncated_tail_recovers_to_last_complete_record(self, tmp_path):
+        path, records, offsets = self.journal(tmp_path)
+        data = path.read_bytes()
+        # Cut mid-way through the last frame: a torn final write.
+        path.write_bytes(data[: offsets[-1] + 3])
+        scan = read_wal_segment(path)
+        assert scan.records == records[:-1]
+        assert scan.truncated_tail
+        assert scan.corrupt_records == 0
+        assert scan.valid_bytes == offsets[-1]
+
+    def test_bit_flip_fails_crc_and_poisons_the_suffix(self, tmp_path):
+        path, records, offsets = self.journal(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Flip one payload bit inside record 2 (past its 8-byte frame
+        # prefix). Records 0-1 replay; 2 and everything after do not.
+        data[offsets[2] + 10] ^= 0x40
+        path.write_bytes(bytes(data))
+        scan = read_wal_segment(path)
+        assert scan.records == records[:2]
+        assert scan.corrupt_records == 1
+        assert not scan.truncated_tail
+
+    def test_broker_recovery_reports_torn_tail(self, space, tmp_path):
+        broker = make_broker(space, tmp_path)
+        broker.subscribe(MATCHING)
+        broker.publish(EVENT)
+        broker.close()
+        segment = wal_files(tmp_path)[-1]
+        segment.write_bytes(segment.read_bytes()[:-3])
+        reborn = make_broker(space, tmp_path)
+        report = reborn.durability.report
+        assert report is not None
+        assert report.truncated_tail
+        assert report.corrupt_records == 0
+        # The torn record was the trailing `done`; the event it covered
+        # comes back as in-flight, ready for recover_pending.
+        assert report.restored_subscriptions == 1
+        assert reborn.durability.state.pending
+        reborn.close()
+
+    def test_broker_recovery_reports_corruption_not_replays_it(
+        self, space, tmp_path
+    ):
+        broker = make_broker(space, tmp_path)
+        broker.subscribe(MATCHING)
+        broker.subscribe(NON_MATCHING)
+        broker.close()
+        segment = wal_files(tmp_path)[-1]
+        scan = read_wal_segment(segment)
+        data = bytearray(segment.read_bytes())
+        data[scan.offsets[1] + 10] ^= 0x01
+        segment.write_bytes(bytes(data))
+        reborn = make_broker(space, tmp_path)
+        report = reborn.durability.report
+        assert report is not None
+        assert report.corrupt_records == 1
+        # Only the first registration survives; the corrupt one is
+        # surfaced in the report, never silently interpreted.
+        assert report.restored_subscriptions == 1
+        corrupt = reborn.metrics.registry.counter("durability.corrupt_records")
+        assert corrupt.value == 1
+        reborn.close()
+
+    def test_stale_snapshot_plus_longer_log_replays_the_delta(
+        self, space, tmp_path
+    ):
+        broker = make_broker(space, tmp_path)
+        broker.subscribe(MATCHING)
+        broker.durability.snapshot_now()
+        broker.publish(EVENT)
+        broker.publish(EVENT)
+        broker.close()
+        reborn = make_broker(space, tmp_path)
+        report = reborn.durability.report
+        assert report is not None
+        assert report.snapshot_generation is not None
+        # The subscription is inside the snapshot; only the journal
+        # records written after it (pub/ack/done per publish) replay.
+        assert report.records_replayed >= 2
+        assert report.restored_subscriptions == 1
+        assert reborn.durability.state.next_sequence == 2
+        reborn.close()
+
+    def test_invalid_snapshot_file_is_skipped(self, space, tmp_path):
+        broker = make_broker(space, tmp_path)
+        broker.subscribe(MATCHING)
+        broker.durability.snapshot_now()
+        broker.close()
+        newest = sorted(tmp_path.glob("snap-*.json"))[-1]
+        document = json.loads(newest.read_text())
+        document["state"]["next_sequence"] = 999  # breaks the CRC
+        newest.write_text(json.dumps(document))
+        reborn = make_broker(space, tmp_path)
+        # The doctored snapshot fails its CRC; recovery falls back to
+        # an older valid one (or pure log replay) and still restores.
+        assert reborn.subscriber_count() == 1
+        assert reborn.durability.state.next_sequence == 0
+        reborn.close()
+
+
+class TestBrokerRecovery:
+    def test_restart_restores_registrations_inboxes_and_sequence(
+        self, space, tmp_path
+    ):
+        broker = make_broker(space, tmp_path)
+        kept = broker.subscribe(MATCHING)
+        broker.subscribe(NON_MATCHING)
+        broker.publish(EVENT)
+        broker.close()
+        assert len(kept.drain()) == 1  # drained pre-crash: journaled
+
+        reborn = make_broker(space, tmp_path)
+        assert set(reborn.recovered) == {0, 1}
+        assert reborn.recovered[0].key == kept.key
+        assert reborn._sequence == 1
+        # The drain above was journaled, so the restored inbox is empty
+        # — recovery does not resurrect consumed-and-drained deliveries.
+        assert reborn.recovered[0].drain() == []
+        reborn.publish(EVENT)
+        deliveries = reborn.recovered[0].drain()
+        assert len(deliveries) == 1
+        assert deliveries[0].sequence == 1
+        reborn.close()
+
+    def test_undrained_inbox_survives_restart(self, space, tmp_path):
+        broker = make_broker(space, tmp_path)
+        broker.subscribe(MATCHING)
+        broker.publish(EVENT)
+        broker.close()
+
+        reborn = make_broker(space, tmp_path)
+        deliveries = reborn.recovered[0].drain()
+        assert len(deliveries) == 1
+        assert deliveries[0].event == EVENT
+        assert deliveries[0].sequence == 0
+        reborn.close()
+
+    def test_dead_letters_survive_restart(self, space, tmp_path):
+        def blow_up(delivery):
+            raise RuntimeError("scripted consumer bug")
+
+        config = BrokerConfig(
+            delivery=DeliveryPolicy.no_retry(jitter=0.0, breaker_threshold=0),
+            durability=DurabilityPolicy(directory=str(tmp_path)),
+        )
+        broker = ThematicBroker(
+            ThematicMatcher(ThematicMeasure(space)), config
+        )
+        broker.subscribe(MATCHING, blow_up)
+        broker.publish(EVENT)
+        assert len(broker.dead_letters) == 1
+        broker.close()
+
+        reborn = ThematicBroker(
+            ThematicMatcher(ThematicMeasure(space)), config
+        )
+        records = reborn.dead_letters.drain()
+        assert len(records) == 1
+        assert records[0].subscriber_id == 0
+        assert records[0].delivery.sequence == 0
+        reborn.close()
+
+    def test_unsubscribe_is_durable(self, space, tmp_path):
+        broker = make_broker(space, tmp_path)
+        handle = broker.subscribe(MATCHING)
+        broker.subscribe(NON_MATCHING)
+        broker.unsubscribe(handle)
+        broker.close()
+
+        reborn = make_broker(space, tmp_path)
+        assert set(reborn.recovered) == {1}
+        assert reborn.subscriber_count() == 1
+        reborn.close()
+
+
+class TestEffectivelyOnce:
+    """A callback that ran before the crash must not run again after it.
+
+    The scenario from the module docstring: the broker dies *after* the
+    ``ack`` record hit the disk but *before* the inbox append — the
+    exact at-least-once edge PR 4's retries leave open.
+    """
+
+    def ack_offset(self, space, directory):
+        """Run the scenario crash-free and locate its first ack frame."""
+        broker = make_broker(space, directory)
+        broker.subscribe(MATCHING, lambda delivery: None)
+        broker.publish(EVENT)
+        broker.close()
+        segment = wal_files(directory)[0]
+        scan = read_wal_segment(segment)
+        for record, offset in zip(scan.records, scan.offsets):
+            if record["t"] == "ack":
+                return offset
+        raise AssertionError("clean run journaled no ack record")
+
+    def test_acked_consumption_is_not_reinvoked_after_recovery(
+        self, space, tmp_path
+    ):
+        # Canonical encoding makes journals byte-identical across runs,
+        # so an offset discovered in the scout directory targets the
+        # same ack append in the kill directory.
+        at = self.ack_offset(space, tmp_path / "scout")
+        calls = []
+
+        kill_dir = tmp_path / "kill"
+        broker = make_broker(space, kill_dir)
+        broker.subscribe(MATCHING, calls.append)
+        broker.durability.arm_kill(at, mode="after")
+        with pytest.raises(SimulatedCrash):
+            broker.publish(EVENT)
+        assert len(calls) == 1  # consumed once, then the process died
+
+        reborn = make_broker(space, kill_dir)
+        reborn.recovered[0].callback = calls.append
+        assert reborn.durability.state.pending  # no `done`: in flight
+        completed = reborn.recover_pending()
+        assert completed == 1
+        # The ack was durable: the re-dispatch is suppressed, the
+        # callback is NOT re-invoked, and the delivery lands in the
+        # inbox exactly once.
+        assert len(calls) == 1
+        suppressed = reborn.metrics.registry.counter(
+            "durability.duplicates_suppressed"
+        )
+        assert suppressed.value >= 1
+        assert len(reborn.recovered[0].drain()) == 1
+        reborn.close()
+
+    def test_unacked_delivery_is_redispatched(self, space, tmp_path):
+        at = self.ack_offset(space, tmp_path / "scout")
+        calls = []
+
+        kill_dir = tmp_path / "kill"
+        broker = make_broker(space, kill_dir)
+        broker.subscribe(MATCHING, calls.append)
+        # Same append, mode "before": the ack never reached the disk,
+        # so the callback's one pre-crash run is invisible — recovery
+        # must deliver again (at-least-once, the honest fallback).
+        broker.durability.arm_kill(at, mode="before")
+        with pytest.raises(SimulatedCrash):
+            broker.publish(EVENT)
+        assert len(calls) == 1
+
+        reborn = make_broker(space, kill_dir)
+        reborn.recovered[0].callback = calls.append
+        assert reborn.recover_pending() == 1
+        assert len(calls) == 2
+        assert len(reborn.recovered[0].drain()) == 1
+        reborn.close()
+
+
+class TestStableSubscriberKeys:
+    def test_key_is_assigned_at_subscribe_time(self, space, tmp_path):
+        broker = make_broker(space, tmp_path)
+        handle = broker.subscribe(MATCHING)
+        assert handle.key == stable_subscriber_key(handle.id, MATCHING)
+        assert handle.key.startswith("sub-")
+        broker.close()
+
+    def test_key_is_stable_across_restart_and_processes(
+        self, space, tmp_path
+    ):
+        broker = make_broker(space, tmp_path / "a")
+        first = broker.subscribe(MATCHING)
+        broker.close()
+        other = make_broker(space, tmp_path / "b")
+        second = other.subscribe(MATCHING)
+        other.close()
+        # Same id + same subscription => same key, whatever process
+        # (or journal directory) produced it.
+        assert first.key == second.key
+
+        reborn = make_broker(space, tmp_path / "a")
+        assert reborn.recovered[0].key == first.key
+        reborn.close()
+
+    def test_key_is_json_serializable(self, space, tmp_path):
+        broker = make_broker(space, tmp_path)
+        handle = broker.subscribe(MATCHING)
+        assert json.loads(json.dumps(handle.key)) == handle.key
+        broker.close()
+
+    def test_distinct_subscriptions_get_distinct_keys(self, space, tmp_path):
+        broker = make_broker(space, tmp_path)
+        one = broker.subscribe(MATCHING)
+        two = broker.subscribe(NON_MATCHING)
+        assert one.key != two.key
+        broker.close()
+
+
+class TestSnapshotRotation:
+    def test_snapshot_cadence_rotates_segments(self, space, tmp_path):
+        broker = make_broker(space, tmp_path, snapshot_every=5)
+        broker.subscribe(MATCHING)
+        for _ in range(4):
+            broker.publish(EVENT)
+        broker.close()
+        assert len(wal_files(tmp_path)) > 1
+        assert list(tmp_path.glob("snap-*.json"))
+
+        reborn = make_broker(space, tmp_path)
+        assert reborn.durability.report.snapshot_generation is not None
+        assert reborn.subscriber_count() == 1
+        assert reborn._sequence == 4
+        reborn.close()
+
+    def test_snapshot_crc_guards_the_state(self, space, tmp_path):
+        broker = make_broker(space, tmp_path)
+        broker.subscribe(MATCHING)
+        broker.durability.snapshot_now()
+        broker.close()
+        newest = sorted(tmp_path.glob("snap-*.json"))[-1]
+        document = json.loads(newest.read_text())
+        state = document["state"]
+        assert document["crc"] == zlib.crc32(
+            json.dumps(state, sort_keys=True, separators=(",", ":")).encode()
+        )

@@ -1,0 +1,158 @@
+"""Crash-anywhere: no-loss must survive a kill at ANY journal offset.
+
+The durable-state acceptance bar. Hypothesis draws a fault plan, a WAL
+byte offset, and what the dying write leaves on disk (nothing / a torn
+frame / a durable frame whose in-memory effect never happened), then
+:func:`repro.evaluation.run_fault_injection` kills the broker there,
+restarts it from disk, and re-drives the remaining stream — on the
+serial, threaded, and sharded brokers alike, all on a fake clock.
+
+The invariant is the same one PR 4 proved for in-process faults, now
+across a process death: per subscriber,
+
+    inbox deliveries + dead-letter records == fault-free matched count
+
+with recovery's idempotency suppression guaranteeing the "no duplicate
+consumption" half — an acked (subscriber, sequence) key is never
+consumed twice, whatever offset the crash hit.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.broker.faults import CallbackFault, FaultPlan, KillFault
+from repro.evaluation import run_fault_injection
+
+#: Same slice as test_fault_stress: big enough to journal a few
+#: thousand bytes (subscriptions + events + acks), cheap enough to run
+#: three brokers per example.
+RUN_KWARGS = dict(max_events=30, max_subscriptions=6, seed=99)
+
+#: The tiny run's journal is ~3-4 KB; drawing offsets past the end
+#: exercises the "kill never fires" path on purpose.
+MAX_KILL_OFFSET = 4_000
+
+STRESS_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def kill_plans(draw, max_subscribers=6):
+    """A FaultPlan with a kill point, optionally composed with retries."""
+    count = draw(st.integers(min_value=0, max_value=2))
+    subscribers = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_subscribers - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    callbacks = tuple(
+        CallbackFault(
+            subscriber=subscriber,
+            kind=draw(st.sampled_from(["raise", "flaky"])),
+            times=draw(st.integers(min_value=1, max_value=3)),
+        )
+        for subscriber in subscribers
+    )
+    kill = KillFault(
+        at=draw(st.integers(min_value=0, max_value=MAX_KILL_OFFSET)),
+        mode=draw(st.sampled_from(["before", "torn", "after"])),
+    )
+    return FaultPlan(name="crash-anywhere", callbacks=callbacks, kill=kill)
+
+
+def assert_no_loss_across_restart(report):
+    assert report["strict"]
+    for kind, entry in report["brokers"].items():
+        assert entry["no_loss"], (
+            f"{kind}: accounted={entry['accounted']} "
+            f"!= baseline={report['baseline']} "
+            f"(restarted={entry.get('restarted')}, "
+            f"resumed_at={entry.get('resumed_at')})"
+        )
+        assert entry["accounted"] == report["baseline"]
+        if entry["restarted"]:
+            recovery = entry["recovery"]
+            # Recovery never swallows disk damage silently: a corrupt
+            # record in a *fresh* journal would mean the writer itself
+            # is broken.
+            assert recovery["corrupt_records"] == 0
+            # No duplicate consumption: settled keys may be suppressed,
+            # never re-consumed, so accounting above is exact — and the
+            # journal never re-matched an event to a different result.
+            assert entry["durability"]["restore_misses"] == 0
+    assert report["no_loss"]
+
+
+class TestCrashAnywhere:
+    @STRESS_SETTINGS
+    @given(plan=kill_plans())
+    def test_kill_restart_preserves_no_loss(self, tiny_workload, plan):
+        report = run_fault_injection(tiny_workload, plan, **RUN_KWARGS)
+        assert_no_loss_across_restart(report)
+
+
+class TestRepresentativeKills:
+    def run(self, workload, plan, **overrides):
+        return run_fault_injection(workload, plan, **{**RUN_KWARGS, **overrides})
+
+    def test_kill_during_registration(self, tiny_workload):
+        # The subscription records alone span ~3 KB; offset 0 dies on
+        # the very first journal append, before any event exists.
+        plan = FaultPlan(name="reg-kill", kill=KillFault(at=0, mode="before"))
+        report = self.run(tiny_workload, plan)
+        assert_no_loss_across_restart(report)
+        for entry in report["brokers"].values():
+            assert entry["restarted"]
+            assert entry["resumed_at"] == 0
+
+    def test_kill_mid_stream_resumes_partway(self, tiny_workload):
+        plan = FaultPlan(name="mid-kill", kill=KillFault(at=3_000, mode="torn"))
+        report = self.run(tiny_workload, plan)
+        assert_no_loss_across_restart(report)
+        for entry in report["brokers"].values():
+            assert entry["restarted"]
+            assert entry["recovery"]["restored_subscriptions"] > 0
+
+    def test_durable_frame_with_lost_memory_is_not_reconsumed(
+        self, tiny_workload
+    ):
+        # "after" mode: the record that crossed the offset IS on disk,
+        # its in-memory effect is not — the effectively-once edge.
+        plan = FaultPlan(name="after-kill", kill=KillFault(at=3_000, mode="after"))
+        report = self.run(tiny_workload, plan)
+        assert_no_loss_across_restart(report)
+
+    def test_unreachable_offset_never_restarts(self, tiny_workload):
+        plan = FaultPlan(
+            name="no-kill", kill=KillFault(at=10**9, mode="before")
+        )
+        report = self.run(tiny_workload, plan)
+        assert_no_loss_across_restart(report)
+        for entry in report["brokers"].values():
+            assert not entry["restarted"]
+
+    def test_kill_composes_with_retry_faults(self, tiny_workload):
+        # PR 4's retries and this PR's recovery, in the same run: a
+        # flaky subscriber burning retry budget while the broker dies
+        # mid-stream must still account for every matched delivery.
+        plan = FaultPlan(
+            name="kill+flaky",
+            callbacks=(CallbackFault(subscriber=1, kind="flaky", times=2),),
+            kill=KillFault(at=3_200, mode="torn"),
+        )
+        report = self.run(tiny_workload, plan)
+        assert_no_loss_across_restart(report)
+
+    def test_kill_plan_round_trips_through_json(self):
+        plan = FaultPlan(
+            name="wire",
+            callbacks=(CallbackFault(subscriber=0, kind="raise"),),
+            kill=KillFault(at=1_234, mode="torn"),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan

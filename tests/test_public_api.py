@@ -33,6 +33,7 @@ PUBLIC_API = [
     "DeliveryPolicy",
     "DistributionalVectorSpace",
     "DowngradeEvent",
+    "DurabilityPolicy",
     "EngineConfig",
     "EngineStats",
     "Event",
@@ -43,6 +44,7 @@ PUBLIC_API = [
     "FaultPlan",
     "FaultyCallbackError",
     "HashSharding",
+    "KillFault",
     "MatchEngine",
     "MatchResult",
     "MetricsRegistry",
@@ -57,6 +59,7 @@ PUBLIC_API = [
     "RewritingMatcher",
     "ScorerFault",
     "ShardedBroker",
+    "SimulatedCrash",
     "SizeBalancedSharding",
     "SparseVector",
     "Subscription",
@@ -100,6 +103,17 @@ CONFIG_FIELDS = {
         "degraded",
         "dead_letter_capacity",
         "executor",
+        "durability",
+    ],
+    "DurabilityPolicy": [
+        "directory",
+        "fsync",
+        "fsync_batch_records",
+        "snapshot_every",
+    ],
+    "KillFault": [
+        "at",
+        "mode",
     ],
     "EngineConfig": [
         "prefilter",
