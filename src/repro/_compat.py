@@ -1,0 +1,77 @@
+"""Deprecation shims, consolidated.
+
+Every supported legacy alias routes through :func:`warn_deprecated`, and
+every legacy-keyword constructor shim routes through
+:func:`config_from_kwargs` — one place to grep for what is deprecated,
+one warning shape for callers to filter on, and one test suite
+(``tests/test_compat.py``) asserting each alias still warns.
+
+Current shims (all scheduled for removal one release after their
+replacement shipped):
+
+========================  ==================================================
+alias                     replacement
+========================  ==================================================
+``SubscriberHandle``      ``repro.core.engine.SubscriptionHandle``
+``dispatch_delivery``     ``ReliableDelivery.dispatch``
+broker keyword args       ``BrokerConfig`` (pass as ``config=``)
+engine keyword args       ``EngineConfig`` (pass as ``config=``)
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import replace
+from typing import TypeVar
+
+__all__ = ["warn_deprecated", "config_from_kwargs"]
+
+ConfigT = TypeVar("ConfigT")
+
+
+def warn_deprecated(message: str, *, stacklevel: int = 3) -> None:
+    """Emit the one deprecation-warning shape every shim uses.
+
+    ``stacklevel`` defaults to 3 — warn site -> alias frame -> caller —
+    so the warning points at the user's code, not the shim.
+    """
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def config_from_kwargs(
+    config: ConfigT | None,
+    default: ConfigT,
+    allowed: tuple[str, ...],
+    kwargs: dict,
+    *,
+    scope: str,
+    stacklevel: int = 3,
+) -> ConfigT:
+    """Fold legacy keyword arguments into a frozen config dataclass.
+
+    ``allowed`` names the legacy keywords this constructor historically
+    accepted; anything else raises :class:`TypeError` immediately (the
+    typo would otherwise vanish into the shim). Known keywords warn
+    once and overlay ``config`` (or ``default`` when no config was
+    passed) via :func:`dataclasses.replace`. ``scope`` is the prose
+    name used in both messages (``"broker"``, ``"engine"``); the config
+    class name and its article come from ``default``'s type, keeping
+    the historical warning texts byte-identical.
+    """
+    if not kwargs:
+        return config if config is not None else default
+    cls_name = type(default).__name__
+    unknown = set(kwargs) - set(allowed)
+    if unknown:
+        raise TypeError(
+            f"unexpected keyword arguments {sorted(unknown)} "
+            f"({scope} options now live on {cls_name})"
+        )
+    article = "an" if cls_name[0] in "AEIOU" else "a"
+    warn_deprecated(
+        f"passing {scope} options as keyword arguments is deprecated; "
+        f"pass {article} {cls_name} instead",
+        stacklevel=stacklevel + 1,
+    )
+    return replace(config if config is not None else default, **kwargs)

@@ -25,12 +25,17 @@ vanishing — see :mod:`repro.broker.reliability`.
 from __future__ import annotations
 
 import logging
-import warnings
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.broker.config import BrokerConfig, config_from_legacy
+from repro._compat import warn_deprecated
+from repro.broker.config import (
+    ENGINE_KWARGS,
+    BrokerConfig,
+    config_from_legacy,
+    engine_config,
+)
 from repro.broker.durability import BrokerDurability
 from repro.broker.reliability import (
     DeadLetterQueue,
@@ -38,7 +43,7 @@ from repro.broker.reliability import (
     DeliveryPolicy,
     ReliableDelivery,
 )
-from repro.core.engine import EngineConfig, SubscriptionHandle, ThematicEventEngine
+from repro.core.engine import SubscriptionHandle, ThematicEventEngine
 from repro.core.events import Event
 from repro.core.matcher import MatchResult, ThematicMatcher
 from repro.core.subscriptions import Subscription
@@ -148,11 +153,9 @@ class SubscriberHandle(SubscriptionHandle):
         callback: Callable[[Delivery], None] | None = None,
         policy: DeliveryPolicy | None = None,
     ) -> None:
-        warnings.warn(
+        warn_deprecated(
             "SubscriberHandle is deprecated; use "
-            "repro.core.engine.SubscriptionHandle",
-            DeprecationWarning,
-            stacklevel=2,
+            "repro.core.engine.SubscriptionHandle"
         )
         super().__init__(
             id=subscriber_id,
@@ -174,6 +177,10 @@ def dispatch_delivery(
     :class:`~repro.broker.reliability.ReliableDelivery`. Unlike the old
     version, a callback failure is at least logged with its stack trace.
     """
+    warn_deprecated(
+        "dispatch_delivery is deprecated; dispatch through "
+        "ReliableDelivery.dispatch"
+    )
     with TRACER.span("broker.deliver"):
         metrics.inc("deliveries")
         handle.append(delivery)
@@ -228,12 +235,14 @@ class ThematicBroker:
         clock: Clock | None = None,
         **legacy: object,
     ) -> None:
-        self.config = config_from_legacy(config, ("replay_capacity",), legacy)
+        self.config = config_from_legacy(
+            config, ("replay_capacity",) + ENGINE_KWARGS, legacy
+        )
         self.matcher = matcher
         self.metrics = BrokerMetrics(registry)
         self.engine = ThematicEventEngine(
             matcher,
-            EngineConfig(degraded=self.config.degraded),
+            engine_config(self.config),
             registry=self.metrics.registry,
             clock=clock,
         )

@@ -15,14 +15,24 @@ The old keyword arguments still work for one release through
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
+from repro._compat import config_from_kwargs
 from repro.broker.durability import DurabilityPolicy
 from repro.broker.reliability import DeliveryPolicy
 from repro.core.degrade import DegradedPolicy
+from repro.core.engine import EngineConfig
 
-__all__ = ["BrokerConfig", "config_from_legacy"]
+__all__ = ["BrokerConfig", "config_from_legacy", "engine_config"]
+
+#: The engine-facing knobs every broker front-end forwards verbatim; the
+#: legacy-kwarg shims accept them too.
+ENGINE_KWARGS = (
+    "prefilter_mode",
+    "ann_recall_target",
+    "score_store_path",
+    "warm_on_start",
+)
 
 
 @dataclass(frozen=True)
@@ -72,6 +82,22 @@ class BrokerConfig:
         over a non-empty journal directory recovers its state from disk
         and exposes the restored handles via ``broker.recovered`` —
         see :mod:`repro.broker.durability`.
+    prefilter_mode:
+        Semantic-anchor mode forwarded to every embedded engine's
+        :class:`~repro.core.engine.EngineConfig` — ``"exact"``
+        (default: only the loss-free structural prefilter),
+        ``"semantic"`` (exact-scan token-neighborhood anchors), or
+        ``"ann"`` (LSH candidate generation at ``ann_recall_target``).
+    ann_recall_target:
+        Recall knob for ``prefilter_mode="ann"``; ``1.0`` falls back to
+        the exact scan (bit-identical to ``"semantic"``).
+    score_store_path:
+        Optional path to a ``repro warm-cache`` score-store snapshot;
+        when set, each embedded engine consults the precomputed tier
+        before the online cache and the kernel.
+    warm_on_start:
+        Materialize the score store into RAM at construction instead of
+        paging it in lazily (requires ``score_store_path``).
     """
 
     replay_capacity: int = 256
@@ -86,6 +112,10 @@ class BrokerConfig:
     dead_letter_capacity: int | None = None
     executor: str = "thread"
     durability: DurabilityPolicy | None = None
+    prefilter_mode: str = "exact"
+    ann_recall_target: float = 1.0
+    score_store_path: str | None = None
+    warm_on_start: bool = False
 
 
 def config_from_legacy(
@@ -96,20 +126,28 @@ def config_from_legacy(
     ``allowed`` names the legacy keywords this front-end historically
     accepted; anything else raises :class:`TypeError` immediately (the
     typo would otherwise vanish into the shim). Legacy keys overlay the
-    given (or default) config via :func:`dataclasses.replace`.
+    given (or default) config via :func:`dataclasses.replace`; each use
+    emits the consolidated :mod:`repro._compat` deprecation warning.
     """
-    if not legacy:
-        return config if config is not None else BrokerConfig()
-    unknown = set(legacy) - set(allowed)
-    if unknown:
-        raise TypeError(
-            f"unexpected keyword arguments {sorted(unknown)} "
-            "(broker options now live on BrokerConfig)"
-        )
-    warnings.warn(
-        "passing broker options as keyword arguments is deprecated; "
-        "pass a BrokerConfig instead",
-        DeprecationWarning,
-        stacklevel=3,
+    return config_from_kwargs(
+        config, BrokerConfig(), allowed, legacy, scope="broker", stacklevel=4
     )
-    return replace(config if config is not None else BrokerConfig(), **legacy)
+
+
+def engine_config(config: BrokerConfig, **overrides) -> EngineConfig:
+    """The :class:`~repro.core.engine.EngineConfig` a broker embeds.
+
+    Forwards every engine-facing broker knob (degraded policy plus the
+    sublinear-matching surface) so all front-ends derive their engines
+    the same way; ``overrides`` layer front-end specifics on top (the
+    sharded broker's private pipeline and shard span tags).
+    """
+    fields = dict(
+        degraded=config.degraded,
+        prefilter_mode=config.prefilter_mode,
+        ann_recall_target=config.ann_recall_target,
+        score_store_path=config.score_store_path,
+        warm_on_start=config.warm_on_start,
+    )
+    fields.update(overrides)
+    return EngineConfig(**fields)

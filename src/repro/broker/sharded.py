@@ -47,7 +47,12 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.broker.broker import BrokerMetrics, Delivery
-from repro.broker.config import BrokerConfig, config_from_legacy
+from repro.broker.config import (
+    ENGINE_KWARGS,
+    BrokerConfig,
+    config_from_legacy,
+    engine_config,
+)
 from repro.broker.durability import BrokerDurability, SimulatedCrash
 from repro.broker.ingress import STOP, collect_batch, wait_until_drained
 from repro.broker.procshard import ProcessShardExecutor
@@ -57,7 +62,7 @@ from repro.broker.reliability import (
     DeliveryPolicy,
     ReliableDelivery,
 )
-from repro.core.engine import EngineConfig, SubscriptionHandle, ThematicEventEngine
+from repro.core.engine import SubscriptionHandle, ThematicEventEngine
 from repro.core.events import Event
 from repro.core.matcher import ThematicMatcher
 from repro.core.subscriptions import Subscription
@@ -206,7 +211,7 @@ class ShardedBroker:
     _LEGACY_KWARGS = (
         "shards", "strategy", "max_batch", "linger", "workers",
         "replay_capacity", "max_queue",
-    )
+    ) + ENGINE_KWARGS
 
     def __init__(
         self,
@@ -266,6 +271,15 @@ class ShardedBroker:
         self._proc: ProcessShardExecutor | None = None
         self._pool: ThreadPoolExecutor | None = None
         if config.executor == "process":
+            if config.prefilter_mode != "exact" or config.score_store_path:
+                # The worker protocol ships only the columnar snapshot;
+                # threading the anchor index and score store through it
+                # is future work, so reject loudly instead of silently
+                # dropping the knobs in the workers.
+                raise ValueError(
+                    "prefilter_mode/score_store_path are not supported "
+                    "with executor='process' yet; use the thread executor"
+                )
             self._shards: list[_Shard] = []
             self._workers = config.shards
             self._proc = ProcessShardExecutor(
@@ -282,10 +296,10 @@ class ShardedBroker:
                     registry=(shard_registry := MetricsRegistry()),
                     engine=ThematicEventEngine(
                         matcher,
-                        EngineConfig(
+                        engine_config(
+                            config,
                             private_pipeline=True,
                             span_tags={"shard": index},
-                            degraded=config.degraded,
                         ),
                         registry=shard_registry,
                         clock=clock,

@@ -22,7 +22,7 @@ from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from repro.broker.broker import BrokerMetrics, Delivery, ThematicBroker
-from repro.broker.config import BrokerConfig, config_from_legacy
+from repro.broker.config import ENGINE_KWARGS, BrokerConfig, config_from_legacy
 from repro.broker.durability import SimulatedCrash
 from repro.broker.ingress import STOP, wait_until_drained
 from repro.broker.reliability import (
@@ -73,7 +73,7 @@ class ThreadedBroker:
         **legacy: object,
     ) -> None:
         self.config = config_from_legacy(
-            config, ("replay_capacity", "max_queue"), legacy
+            config, ("replay_capacity", "max_queue") + ENGINE_KWARGS, legacy
         )
         self._inner = ThematicBroker(
             matcher, self.config, registry=registry, clock=clock

@@ -236,6 +236,108 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_warm_cache(args: argparse.Namespace) -> int:
+    """Precompute a relatedness score store for a workload + theme draw.
+
+    Samples the same containment theme combination ``evaluate`` would
+    for the given seed, scores the workload vocabulary cross-product
+    offline (optionally sharded over spawned workers), writes the store
+    snapshot, and always reload-verifies it — the written file is
+    re-attached, digest-checked, and sampled entries compared
+    bit-for-bit against the in-memory table before the command reports
+    success.
+    """
+    from repro.obs.clock import MONOTONIC_CLOCK
+    from repro.semantics.kernel import PARITY_TOLERANCE, KernelMeasure
+    from repro.semantics.persistence import load_score_store, save_score_store
+    from repro.semantics.warm import (
+        build_score_store,
+        plan_lookups,
+        workload_vocabulary,
+    )
+
+    config = {
+        "tiny": WorkloadConfig.tiny,
+        "small": WorkloadConfig.small,
+        "paper": WorkloadConfig.paper,
+    }[args.scale]()
+    workload = build_workload(config)
+    print(f"workload: {workload.summary()}")
+    pool = list(theme_pool(workload.thesaurus))
+    rng = random.Random(args.seed)
+    subscription_tags = tuple(rng.sample(pool, args.subscription_tags))
+    event_tags = tuple(rng.sample(subscription_tags, args.event_tags))
+    subscriptions = [
+        s.with_theme(subscription_tags)
+        for s in workload.subscriptions.approximate
+    ]
+    events = [e.with_theme(event_tags) for e in workload.events]
+    theme_pairs = [(subscription_tags, event_tags)]
+    sub_terms, event_terms = workload_vocabulary(subscriptions, events)
+    lookups = plan_lookups(sub_terms, event_terms, theme_pairs)
+    print(
+        f"vocabulary: {len(sub_terms)} subscription x {len(event_terms)} "
+        f"event terms -> {len(lookups)} distinct pairs "
+        f"({args.event_tags}⊂{args.subscription_tags} tags, "
+        f"seed {args.seed})"
+    )
+    started = MONOTONIC_CLOCK.monotonic()
+    store = build_score_store(
+        workload.space,
+        subscriptions,
+        events,
+        theme_pairs,
+        workers=args.workers,
+    )
+    elapsed = MONOTONIC_CLOCK.monotonic() - started
+    save_score_store(store, args.out)
+    shards = f"{args.workers} worker(s)" if args.workers else "in-process"
+    print(
+        f"warmed {len(store)} entries in {elapsed:.2f}s ({shards}); "
+        f"wrote {args.out} ({os.path.getsize(args.out)} bytes)"
+    )
+    # Reload-verify, unconditionally: attach what was just written and
+    # prove it answers bit-identically to the in-memory store.
+    loaded = load_score_store(
+        args.out, expected_digest=corpus_digest(workload.space.documents)
+    )
+    if len(loaded) != len(store):
+        print(
+            f"reload-verify FAILED: {len(loaded)} entries on disk, "
+            f"{len(store)} in memory",
+            file=sys.stderr,
+        )
+        return 1
+    sample = rng.sample(lookups, min(len(lookups), 256))
+    for lookup in sample:
+        if loaded.get(*lookup) != store.get(*lookup):
+            print(
+                f"reload-verify FAILED: {lookup!r} reads back differently",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"reload-verify ok ({len(sample)} sampled entries bit-identical)")
+    if args.check_parity:
+        online = KernelMeasure(workload.space.kernel())
+        checks = rng.sample(lookups, min(len(lookups), args.check_parity))
+        worst = max(
+            abs(loaded.get(*lookup) - online.score(*lookup))
+            for lookup in checks
+        )
+        print(
+            f"parity vs online kernel over {len(checks)} samples: "
+            f"worst |delta| = {worst:.2e}"
+        )
+        if worst > PARITY_TOLERANCE:
+            print(
+                f"parity check FAILED: {worst:.2e} exceeds "
+                f"{PARITY_TOLERANCE:.0e}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     tracing = _start_trace(args)
     config = {
@@ -565,6 +667,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--trace-out", default=None,
                         help="append span records as JSONL to this file")
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_warm = sub.add_parser(
+        "warm-cache",
+        help="precompute a relatedness score store for the engine's "
+             "score_store_path knob",
+    )
+    p_warm.add_argument("--scale", choices=("tiny", "small", "paper"),
+                        default="tiny")
+    p_warm.add_argument("--out", required=True, metavar="STORE.bin",
+                        help="where to write the score-store snapshot")
+    p_warm.add_argument("--event-tags", type=int, default=4)
+    p_warm.add_argument("--subscription-tags", type=int, default=12)
+    p_warm.add_argument("--seed", type=int, default=99)
+    p_warm.add_argument("--workers", type=int, default=0,
+                        help="shard scoring over this many spawned worker "
+                             "processes (0 = in-process; results are "
+                             "bit-identical either way)")
+    p_warm.add_argument("--check-parity", type=int, default=0, metavar="N",
+                        help="after the reload-verify, compare N sampled "
+                             "store entries against the online kernel and "
+                             "exit 1 beyond the documented tolerance")
+    p_warm.set_defaults(func=cmd_warm_cache)
 
     p_stats = sub.add_parser(
         "stats",

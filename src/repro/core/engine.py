@@ -26,16 +26,17 @@ until a probe recovers — see :mod:`repro.core.degrade`.
 from __future__ import annotations
 
 import hashlib
-import warnings
 from collections import deque
 from collections.abc import Callable
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from threading import Lock
 from typing import TYPE_CHECKING, Any
 
+from repro._compat import config_from_kwargs
 from repro.core.degrade import DegradedMode, DegradedPolicy
 from repro.core.events import Event
 from repro.core.matcher import MatchResult, ThematicMatcher
+from repro.core.prefilter import PREFILTER_MODES, AnchorIndex, build_neighborhoods
 from repro.core.subscriptions import Subscription
 from repro.obs import MetricsRegistry
 from repro.obs.clock import MONOTONIC_CLOCK, Clock
@@ -155,12 +156,40 @@ class EngineConfig:
         Optional :class:`~repro.core.degrade.DegradedPolicy`; when set,
         slow or unhealthy semantic scoring flips dispatch to the
         exact-anchor fallback instead of failing closed.
+    prefilter_mode:
+        Semantic-anchor candidate phase in front of the batch pipeline
+        (:data:`~repro.core.prefilter.PREFILTER_MODES`). ``"exact"``
+        (default) keeps only the loss-free structural prefilter;
+        ``"semantic"`` adds exact-scan token-neighborhood anchors for
+        fully-approximated predicates (lossy — see
+        :mod:`repro.core.prefilter`); ``"ann"`` generates the same
+        anchors through the LSH index at ``ann_recall_target``. Both
+        non-exact modes need a matcher whose measure exposes a semantic
+        space.
+    ann_recall_target:
+        Recall knob for ``prefilter_mode="ann"``; ``1.0`` (default)
+        falls back to the exact scan, bit-identical to ``"semantic"``.
+    score_store_path:
+        Optional path to a persistent precomputed-score snapshot
+        (``repro warm-cache``). When set, the engine layers a
+        :class:`~repro.semantics.measures.PrecomputedMeasure` over the
+        matcher's measure so both the scalar and block-fill scoring
+        paths consult the store before any cache or kernel; the
+        snapshot's corpus digest is verified against the matcher's
+        space when one is reachable.
+    warm_on_start:
+        Materialize the score store into RAM at construction instead of
+        paging it in lazily (requires ``score_store_path``).
     """
 
     prefilter: bool = True
     private_pipeline: bool = False
     span_tags: dict | None = None
     degraded: DegradedPolicy | None = None
+    prefilter_mode: str = "exact"
+    ann_recall_target: float = 1.0
+    score_store_path: str | None = None
+    warm_on_start: bool = False
 
 
 class EngineStats:
@@ -242,24 +271,50 @@ class ThematicEventEngine:
         clock: Clock | None = None,
         **legacy,
     ):
-        if legacy:
-            unknown = set(legacy) - {"prefilter", "private_pipeline", "span_tags"}
-            if unknown:
-                raise TypeError(
-                    f"unexpected keyword arguments {sorted(unknown)} "
-                    "(engine options now live on EngineConfig)"
-                )
-            warnings.warn(
-                "passing engine options as keyword arguments is deprecated; "
-                "pass an EngineConfig instead",
-                DeprecationWarning,
-                stacklevel=2,
+        self.config = config_from_kwargs(
+            config,
+            EngineConfig(),
+            (
+                "prefilter",
+                "private_pipeline",
+                "span_tags",
+                "prefilter_mode",
+                "ann_recall_target",
+                "score_store_path",
+                "warm_on_start",
+            ),
+            legacy,
+            scope="engine",
+        )
+        if self.config.prefilter_mode not in PREFILTER_MODES:
+            raise ValueError(
+                f"unknown prefilter mode {self.config.prefilter_mode!r} "
+                f"(expected one of {PREFILTER_MODES})"
             )
-            config = replace(config if config is not None else EngineConfig(),
-                             **legacy)
-        self.config = config if config is not None else EngineConfig()
-        self.matcher = matcher
+        if self.config.warm_on_start and self.config.score_store_path is None:
+            raise ValueError("warm_on_start requires score_store_path")
         self.stats = EngineStats(registry)
+        self.score_store = None
+        if self.config.score_store_path is not None:
+            matcher = self._wrap_with_store(matcher)
+        self.matcher = matcher
+        self._anchors: AnchorIndex | None = None
+        self._entry_snapshot: list | None = None
+        if self.config.prefilter_mode != "exact":
+            space = self._find_space(matcher.measure)
+            if space is None:
+                raise ValueError(
+                    f"prefilter_mode {self.config.prefilter_mode!r} needs a "
+                    "matcher whose measure exposes a semantic space"
+                )
+            self._anchors = AnchorIndex(
+                build_neighborhoods(
+                    space,
+                    mode=self.config.prefilter_mode,
+                    recall_target=self.config.ann_recall_target,
+                    registry=self.stats.registry,
+                )
+            )
         self.prefilter = self.config.prefilter
         self.clock = clock if clock is not None else MONOTONIC_CLOCK
         self._pipeline = None
@@ -314,6 +369,76 @@ class ThematicEventEngine:
             calibration=None,
         )
 
+    @staticmethod
+    def _find_space(measure):
+        """The semantic space behind a (possibly layered) measure.
+
+        Measures wrap each other (``PrecomputedMeasure`` over
+        ``CachedMeasure`` over ``ThematicMeasure``); the space sits on
+        the innermost scoring measure. Walks ``.space`` / ``.inner`` /
+        ``.fallback`` and returns the first corpus-backed space, or
+        ``None`` (e.g. ``ExactMeasure``).
+        """
+        seen: set[int] = set()
+        queue = [measure]
+        while queue:
+            obj = queue.pop()
+            if id(obj) in seen:
+                continue
+            seen.add(id(obj))
+            space = getattr(obj, "space", None)
+            if space is not None and hasattr(space, "documents"):
+                return space
+            for attr in ("inner", "fallback"):
+                inner = getattr(obj, attr, None)
+                if inner is not None:
+                    queue.append(inner)
+        return None
+
+    def _wrap_with_store(self, matcher: ThematicMatcher) -> ThematicMatcher:
+        """Layer the persistent score tier over the matcher's measure.
+
+        Rebuilds the matcher (same type, same knobs) around a
+        :class:`~repro.semantics.measures.PrecomputedMeasure` whose
+        fallback is the original measure — the store is consulted first
+        on both the scalar and block-fill scoring paths, and anything
+        it misses flows through the unchanged cache/kernel stack. The
+        snapshot's corpus digest is checked against the matcher's space
+        whenever one is reachable, so a store warmed against a
+        different corpus is rejected at construction, not silently
+        consulted.
+        """
+        required = ("measure", "k", "threshold", "min_relatedness", "calibration")
+        if any(not hasattr(matcher, name) for name in required):
+            raise ValueError(
+                "score_store_path needs a ThematicMatcher-family engine "
+                f"(got {type(matcher).__name__})"
+            )
+        from repro.semantics.cache import PersistentScoreStore
+        from repro.semantics.measures import PrecomputedMeasure
+
+        expected = None
+        space = self._find_space(matcher.measure)
+        if space is not None:
+            from repro.semantics.persistence import corpus_digest
+
+            expected = corpus_digest(space.documents)
+        store = PersistentScoreStore.load(
+            self.config.score_store_path,
+            expected_digest=expected,
+            registry=self.stats.registry,
+        )
+        if self.config.warm_on_start:
+            store.warm()
+        self.score_store = store
+        return type(matcher)(
+            PrecomputedMeasure(store, fallback=matcher.measure),
+            k=matcher.k,
+            threshold=matcher.threshold,
+            min_relatedness=matcher.min_relatedness,
+            calibration=matcher.calibration,
+        )
+
     def subscribe(
         self, subscription: Subscription, callback: MatchCallback
     ) -> SubscriptionHandle:
@@ -322,6 +447,8 @@ class ThematicEventEngine:
             self._next_id, subscription, callback=callback
         )
         self._subscriptions[self._next_id] = (subscription, callback)
+        if self._anchors is not None:
+            self._anchors.add(self._next_id, subscription)
         self._next_id += 1
         self._snapshot = None
         return handle
@@ -330,6 +457,8 @@ class ThematicEventEngine:
         """Remove a registration; True if it was present."""
         removed = self._subscriptions.pop(handle.id, None) is not None
         if removed:
+            if self._anchors is not None:
+                self._anchors.remove(handle.id)
             self._snapshot = None
         return removed
 
@@ -343,7 +472,38 @@ class ThematicEventEngine:
     def _registrations(self) -> list[tuple[Subscription, MatchCallback]]:
         if self._snapshot is None:
             self._snapshot = list(self._subscriptions.values())
+            if self._anchors is not None:
+                # Anchor entries aligned with the snapshot (same dict,
+                # same iteration order).
+                self._entry_snapshot = [
+                    self._anchors.entry(key) for key in self._subscriptions
+                ]
         return self._snapshot
+
+    def _anchor_survivors(
+        self,
+        registrations: list[tuple[Subscription, MatchCallback]],
+        events: list[Event],
+    ) -> list[tuple[Subscription, MatchCallback]]:
+        """Registrations any event in the batch keeps after the anchor phase.
+
+        Per-event anchor decisions are OR-ed across the batch so the
+        grid stays rectangular: a registration survives when at least
+        one event keeps it, which makes the batch path never lossier
+        than the equivalent sequence of single-event calls. Pairs
+        skipped (dropped registrations x batch size) are charged to the
+        ``pruned`` counter — they never reach semantic scoring.
+        """
+        assert self._anchors is not None and self._entry_snapshot is not None
+        union = [False] * len(registrations)
+        for event in events:
+            flags = self._anchors.survivor_flags(self._entry_snapshot, event)
+            union = [kept or flag for kept, flag in zip(union, flags)]
+        survivors = [reg for reg, kept in zip(registrations, union) if kept]
+        self.stats.inc(
+            "pruned", (len(registrations) - len(survivors)) * len(events)
+        )
+        return survivors
 
     def match_one(self, subscription: Subscription, event: Event) -> MatchResult | None:
         """Per-pair match through this engine (replay, ad-hoc queries).
@@ -460,6 +620,10 @@ class ThematicEventEngine:
         self.stats.inc("evaluations", len(registrations) * len(events))
         if not registrations or not events:
             return registrations, None
+        if self._anchors is not None:
+            registrations = self._anchor_survivors(registrations, events)
+            if not registrations:
+                return registrations, None
         prune = self.prefilter and self.matcher.threshold > 0
         deliver = self.matcher.threshold if deliverable_only else None
         batch = self._run_batch(
@@ -486,6 +650,10 @@ class ThematicEventEngine:
         self.stats.inc("evaluations", len(registrations))
         if not registrations:
             return []
+        if self._anchors is not None:
+            registrations = self._anchor_survivors(registrations, [event])
+            if not registrations:
+                return []
         prune = self.prefilter and self.matcher.threshold > 0
         batch = self._run_batch(
             [subscription for subscription, _ in registrations],

@@ -22,6 +22,15 @@ cannot match, using only cheap structural checks:
   above the orthogonal floor, and :class:`PrefilterStats` exposes the
   numbers needed to measure the trade (the prefilter bench does).
 
+The semantic-anchor phase comes in three *anchor modes*
+(:data:`PREFILTER_MODES`): ``"exact"`` disables it (only the loss-free
+structural checks run), ``"semantic"`` computes neighborhoods with the
+exact full-vocabulary scan (:class:`TokenNeighborhoods`, the historical
+behaviour), and ``"ann"`` generates them through the LSH index
+(:class:`~repro.semantics.index.ApproxNeighborIndex`) with recall tuned
+by ``ann_recall_target`` — at ``1.0`` the index falls back to the exact
+scan, bit-identical to ``"semantic"``.
+
 **Phase 2** runs the full probabilistic matcher on the survivors.
 """
 
@@ -32,15 +41,56 @@ from dataclasses import dataclass
 from repro.core.events import Event
 from repro.core.matcher import MatchResult, ThematicMatcher
 from repro.core.subscriptions import Predicate, Subscription
+from repro.obs import MetricsRegistry
+from repro.semantics.index import DEFAULT_NEIGHBOR_THRESHOLD, ApproxNeighborIndex
 from repro.semantics.space import DistributionalVectorSpace
 from repro.semantics.tokenize import normalize_term, tokenize
 
-__all__ = ["TokenNeighborhoods", "PrefilterStats", "TwoPhaseMatcher"]
+__all__ = [
+    "TokenNeighborhoods",
+    "PrefilterStats",
+    "TwoPhaseMatcher",
+    "AnchorIndex",
+    "PREFILTER_MODES",
+    "build_neighborhoods",
+]
 
-#: Just above the orthogonal floor of the normalized-Euclidean
-#: relatedness (1/(1+sqrt(2)) ≈ 0.4142): prunes only pairs with
-#: essentially no full-space evidence.
-DEFAULT_PREFILTER_THRESHOLD = 0.435
+#: Historical name for the shared neighborhood threshold; the value (and
+#: its rationale) now lives with the indexes in ``semantics.index``.
+DEFAULT_PREFILTER_THRESHOLD = DEFAULT_NEIGHBOR_THRESHOLD
+
+#: Supported semantic-anchor modes (see module docstring).
+PREFILTER_MODES = ("exact", "semantic", "ann")
+
+
+def build_neighborhoods(
+    space: DistributionalVectorSpace | None,
+    *,
+    mode: str = "semantic",
+    threshold: float = DEFAULT_PREFILTER_THRESHOLD,
+    recall_target: float = 1.0,
+    registry: MetricsRegistry | None = None,
+):
+    """Neighborhood provider for one anchor mode (``None`` disables).
+
+    Returns an object with a ``neighbors(term) -> frozenset[str]``
+    method, or ``None`` for ``mode="exact"`` (or when no space is
+    available to compute neighborhoods against).
+    """
+    if mode not in PREFILTER_MODES:
+        raise ValueError(
+            f"unknown prefilter mode {mode!r} (expected one of {PREFILTER_MODES})"
+        )
+    if mode == "exact" or space is None:
+        return None
+    if mode == "ann":
+        return ApproxNeighborIndex(
+            space,
+            threshold=threshold,
+            recall_target=recall_target,
+            registry=registry,
+        )
+    return TokenNeighborhoods(space, threshold=threshold)
 
 
 class TokenNeighborhoods:
@@ -127,50 +177,32 @@ def _exact_key(attribute: str, value) -> tuple[str, object]:
     return (normalize_term(attribute), value)
 
 
-class TwoPhaseMatcher:
-    """Subscription index with candidate filtering + full matching.
+class AnchorIndex:
+    """Phase-1 anchor entries keyed by caller-chosen ids.
 
-    Parameters
-    ----------
-    matcher:
-        The phase-2 matcher (thematic or otherwise).
-    space:
-        Space for semantic-anchor neighborhoods; pass ``None`` to disable
-        the (lossy) semantic anchors and keep only the exact phases.
-    prefilter_threshold:
-        Relatedness floor for semantic anchors (see module docstring).
+    The candidate-filter state that used to live inside
+    :class:`TwoPhaseMatcher`, split out so the engine can run the same
+    anchor phases in front of its staged batch pipeline. Stats
+    accounting stays here: every ``survives`` call attributes a prune to
+    the phase that rejected it.
     """
 
-    def __init__(
-        self,
-        matcher: ThematicMatcher,
-        space: DistributionalVectorSpace | None = None,
-        *,
-        prefilter_threshold: float = DEFAULT_PREFILTER_THRESHOLD,
-    ):
-        self.matcher = matcher
-        self.stats = PrefilterStats()
-        self._neighborhoods = (
-            TokenNeighborhoods(space, threshold=prefilter_threshold)
-            if space is not None
-            else None
-        )
+    def __init__(self, neighborhoods=None, *, stats: PrefilterStats | None = None):
+        self.neighborhoods = neighborhoods
+        self.stats = stats if stats is not None else PrefilterStats()
         self._entries: dict[int, _Entry] = {}
-        self._next_id = 0
-
-    # -- registration ----------------------------------------------------------
 
     def _semantic_anchor(self, predicate: Predicate) -> frozenset[str] | None:
         """Token neighborhood a fully-approximated predicate value needs."""
-        if self._neighborhoods is None:
+        if self.neighborhoods is None:
             return None
         if not isinstance(predicate.value, str):
             return None
         if not (predicate.approx_attribute and predicate.approx_value):
             return None  # the exact anchor covers it better
-        return self._neighborhoods.neighbors(predicate.value)
+        return self.neighborhoods.neighbors(predicate.value)
 
-    def add(self, subscription: Subscription) -> int:
+    def add(self, key: int, subscription: Subscription) -> None:
         exact_anchors = tuple(
             _exact_key(p.attribute, p.value)
             for p in subscription.predicates
@@ -183,29 +215,31 @@ class TwoPhaseMatcher:
             )
             if anchor is not None
         )
-        entry = _Entry(
+        self._entries[key] = _Entry(
             subscription=subscription,
             arity=len(subscription.predicates),
             exact_anchors=exact_anchors,
             semantic_anchors=semantic_anchors,
         )
-        sub_id = self._next_id
-        self._next_id += 1
-        self._entries[sub_id] = entry
-        return sub_id
 
-    def remove(self, sub_id: int) -> bool:
-        return self._entries.pop(sub_id, None) is not None
+    def remove(self, key: int) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def entry(self, key: int) -> _Entry:
+        return self._entries[key]
+
+    def items(self):
+        return self._entries.items()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    # -- matching ----------------------------------------------------------
-
-    def _event_exact_keys(self, event: Event) -> set[tuple[str, object]]:
+    @staticmethod
+    def event_exact_keys(event: Event) -> set[tuple[str, object]]:
         return {_exact_key(av.attribute, av.value) for av in event.payload}
 
-    def _event_tokens(self, event: Event) -> set[str]:
+    @staticmethod
+    def event_tokens(event: Event) -> set[str]:
         tokens: set[str] = set()
         for av in event.payload:
             if isinstance(av.value, str):
@@ -213,7 +247,7 @@ class TwoPhaseMatcher:
             tokens.update(tokenize(av.attribute))
         return tokens
 
-    def _survives_prefilter(
+    def survives(
         self,
         entry: _Entry,
         event: Event,
@@ -233,15 +267,87 @@ class TwoPhaseMatcher:
                 return False
         return True
 
+    def survivor_flags(self, entries, event: Event) -> list[bool]:
+        """One survive/prune decision per entry for one event."""
+        exact_keys = self.event_exact_keys(event)
+        event_tokens = self.event_tokens(event)
+        self.stats.events += 1
+        self.stats.pairs_considered += len(entries)
+        return [
+            self.survives(entry, event, exact_keys, event_tokens)
+            for entry in entries
+        ]
+
+
+class TwoPhaseMatcher:
+    """Subscription index with candidate filtering + full matching.
+
+    Parameters
+    ----------
+    matcher:
+        The phase-2 matcher (thematic or otherwise).
+    space:
+        Space for semantic-anchor neighborhoods; pass ``None`` to disable
+        the (lossy) semantic anchors and keep only the exact phases.
+    prefilter_threshold:
+        Relatedness floor for semantic anchors (see module docstring).
+    prefilter_mode:
+        Anchor mode — one of :data:`PREFILTER_MODES`. The default
+        ``"semantic"`` preserves the historical exact-scan behaviour;
+        ``"ann"`` swaps in the LSH index at ``ann_recall_target``.
+    ann_recall_target:
+        Recall knob for ``prefilter_mode="ann"``; ``1.0`` is the exact
+        fallback (bit-identical neighborhoods to ``"semantic"``).
+    """
+
+    def __init__(
+        self,
+        matcher: ThematicMatcher,
+        space: DistributionalVectorSpace | None = None,
+        *,
+        prefilter_threshold: float = DEFAULT_PREFILTER_THRESHOLD,
+        prefilter_mode: str = "semantic",
+        ann_recall_target: float = 1.0,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.matcher = matcher
+        self._anchors = AnchorIndex(
+            build_neighborhoods(
+                space,
+                mode=prefilter_mode,
+                threshold=prefilter_threshold,
+                recall_target=ann_recall_target,
+                registry=registry,
+            )
+        )
+        self.stats = self._anchors.stats
+        self._next_id = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def add(self, subscription: Subscription) -> int:
+        sub_id = self._next_id
+        self._next_id += 1
+        self._anchors.add(sub_id, subscription)
+        return sub_id
+
+    def remove(self, sub_id: int) -> bool:
+        return self._anchors.remove(sub_id)
+
+    def __len__(self) -> int:
+        return len(self._anchors)
+
+    # -- matching ----------------------------------------------------------
+
     def match_event(self, event: Event) -> list[tuple[int, MatchResult]]:
         """Phase-1 filter then full matching; returns accepted matches."""
         self.stats.events += 1
-        exact_keys = self._event_exact_keys(event)
-        event_tokens = self._event_tokens(event)
+        exact_keys = AnchorIndex.event_exact_keys(event)
+        event_tokens = AnchorIndex.event_tokens(event)
         accepted: list[tuple[int, MatchResult]] = []
-        for sub_id, entry in self._entries.items():
+        for sub_id, entry in self._anchors.items():
             self.stats.pairs_considered += 1
-            if not self._survives_prefilter(entry, event, exact_keys, event_tokens):
+            if not self._anchors.survives(entry, event, exact_keys, event_tokens):
                 continue
             self.stats.full_matches_run += 1
             result = self.matcher.match(entry.subscription, event)

@@ -237,6 +237,33 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec(
         "cache.relatedness_entries", "gauge", "Relatedness cache resident entries."
     ),
+    # -- approximate neighbor index (ann anchor mode) -----------------------
+    MetricSpec(
+        "index.queries",
+        "counter",
+        "Token-neighborhood queries answered by the ANN index.",
+    ),
+    MetricSpec(
+        "index.candidates",
+        "counter",
+        "LSH bucket candidates exact-rechecked by the ANN index.",
+    ),
+    MetricSpec(
+        "index.exact_scans",
+        "counter",
+        "ANN queries that fell back to the exact vocabulary scan.",
+    ),
+    # -- persistent precomputed-score store ---------------------------------
+    MetricSpec(
+        "score_store.hits",
+        "counter",
+        "Lookups answered by the precomputed score store.",
+    ),
+    MetricSpec(
+        "score_store.misses",
+        "counter",
+        "Store lookups that fell through to the online cache/kernel.",
+    ),
     # -- dynamic families ---------------------------------------------------
     MetricSpec(
         "stage.*",

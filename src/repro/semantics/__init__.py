@@ -6,12 +6,13 @@ and exposes the semantic measures and caches the matcher consumes.
 """
 
 from repro.semantics.cache import (
+    PersistentScoreStore,
     PrecomputedScoreTable,
     RelatednessCache,
     precompute_scores,
 )
 from repro.semantics.documents import Document, DocumentSet
-from repro.semantics.index import InvertedIndex, Posting
+from repro.semantics.index import ApproxNeighborIndex, InvertedIndex, Posting
 from repro.semantics.measures import (
     CachedMeasure,
     ExactMeasure,
@@ -33,6 +34,7 @@ from repro.semantics.vectors import ZERO_VECTOR, SparseVector
 from repro.semantics.weighting import augmented_tf, idf, tf_idf
 
 __all__ = [
+    "ApproxNeighborIndex",
     "CachedMeasure",
     "DistributionalVectorSpace",
     "Document",
@@ -41,6 +43,7 @@ __all__ = [
     "InvertedIndex",
     "NonThematicMeasure",
     "ParametricVectorSpace",
+    "PersistentScoreStore",
     "Posting",
     "PrecomputedMeasure",
     "PrecomputedScoreTable",

@@ -246,12 +246,18 @@ class CachedMeasure:
 
 
 class PrecomputedMeasure:
-    """Measure answering from a :class:`PrecomputedScoreTable`.
+    """Measure answering from a precomputed score tier.
 
     Models the prior-work fast mode where all pairwise esa scores are
-    computed offline. Pairs missing from the table fall back to
-    ``fallback`` (default: score 0.0, i.e. unknown pairs are unrelated,
-    matching an offline table that enumerated the whole vocabulary).
+    computed offline. ``table`` is anything with the symmetric
+    ``get(term_s, theme_s, term_e, theme_e)`` signature — the in-memory
+    :class:`PrecomputedScoreTable` or the mmap-backed
+    :class:`~repro.semantics.cache.PersistentScoreStore`. Pairs missing
+    from the table fall back to ``fallback`` (default: score 0.0, i.e.
+    unknown pairs are unrelated, matching an offline table that
+    enumerated the whole vocabulary); layering the store over a
+    :class:`CachedMeasure` gives the full tier order the engine uses —
+    store, then online memo, then kernel.
     """
 
     def __init__(
@@ -261,6 +267,11 @@ class PrecomputedMeasure:
     ):
         self.table = table
         self.fallback = fallback
+
+    @property
+    def vectorized(self) -> bool:
+        """Proxies the fallback's batch-vectorization flag."""
+        return bool(getattr(self.fallback, "vectorized", False))
 
     def score(
         self,
@@ -277,3 +288,45 @@ class PrecomputedMeasure:
         if self.fallback is not None:
             return self.fallback.score(term_s, theme_s, term_e, theme_e)
         return 0.0
+
+    def score_batch(
+        self,
+        lookups: Iterable[tuple[str, Iterable[str], str, Iterable[str]]],
+    ) -> list[float]:
+        """Batched :meth:`score`: table hits served, misses in one batch.
+
+        Misses go to the fallback's ``score_batch`` when it has one (one
+        kernel call for a vectorized fallback), otherwise per-lookup
+        ``score`` — value-identical either way. This is what routes the
+        precomputed tier through the pipeline's block-fill stage, not
+        just the scalar path.
+        """
+        lookups = list(lookups)
+        out: list[float] = [0.0] * len(lookups)
+        probe: list[int] = []
+        for i, (term_s, theme_s, term_e, theme_e) in enumerate(lookups):
+            if normalize_term(term_s) == normalize_term(term_e):
+                out[i] = 1.0
+            else:
+                probe.append(i)
+        missing: list[int] = []
+        if probe:
+            get_batch = getattr(self.table, "get_batch", None)
+            if get_batch is not None:
+                hits = get_batch([lookups[i] for i in probe])
+            else:
+                hits = [self.table.get(*lookups[i]) for i in probe]
+            for i, hit in zip(probe, hits, strict=True):
+                if hit is not None:
+                    out[i] = hit
+                elif self.fallback is not None:
+                    missing.append(i)
+        if missing:
+            fallback_batch = getattr(self.fallback, "score_batch", None)
+            if fallback_batch is not None:
+                values = fallback_batch([lookups[i] for i in missing])
+            else:
+                values = [self.fallback.score(*lookups[i]) for i in missing]
+            for i, value in zip(missing, values, strict=True):
+                out[i] = value
+        return out

@@ -9,13 +9,17 @@ Only the corpus is persisted in the JSON snapshot — spaces rebuild their
 indexes deterministically from it, and caches re-warm on use. That keeps
 the format trivial to inspect and independent of internal cache layouts.
 
-A second, binary format serves the process-shard executor: the columnar
-CSR arrays of a built space (:mod:`repro.semantics.columnar`) written as
-one versioned file whose array payloads are attached **zero-copy** via
-``np.memmap`` — worker processes map the same pages the parent wrote
-instead of pickling the space. Layout::
+A second, binary format family serves zero-copy attach: named numpy
+arrays written as one versioned file whose payloads map back via
+read-only ``np.memmap`` — consumers share the page cache instead of
+materializing copies. Two snapshot kinds use it, each with its own
+magic and version: the columnar CSR arrays of a built space
+(:mod:`repro.semantics.columnar`, attached by process-shard workers)
+and the persistent precomputed-score store
+(:class:`~repro.semantics.cache.PersistentScoreStore`, produced by
+``repro warm-cache``). Shared layout::
 
-    bytes 0..7    magic  b"REPROCOL"
+    bytes 0..7    magic  (b"REPROCOL" columnar / b"REPROSCT" score store)
     bytes 8..9    format version   (uint16, native order)
     bytes 10..11  endianness probe (uint16 0xFEFF, native order — a
                   snapshot written on a machine of the other endianness
@@ -23,14 +27,15 @@ instead of pickling the space. Layout::
     bytes 12..75  corpus digest    (64 hex ascii bytes, ties the arrays
                   to the exact corpus they were built from)
     bytes 76..79  TOC length       (uint32)
-    ...           JSON TOC: corpus_size, vocabulary, and per-array
+    ...           JSON TOC: kind-specific metadata plus per-array
                   {dtype, shape, offset} entries (offsets 16-aligned)
     ...           raw array bytes
 
 Array weights are bit-exact across the round trip (raw buffer copies,
 no re-serialization), so a kernel over a loaded snapshot scores
 identically to one over the in-memory build — the property the
-process-executor parity suite pins down.
+process-executor parity suite pins down, and likewise a loaded score
+store answers bit-identically to the in-memory table it was built from.
 """
 
 from __future__ import annotations
@@ -42,6 +47,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import MetricsRegistry
+from repro.semantics.cache import PersistentScoreStore
 from repro.semantics.columnar import ColumnarIndex
 from repro.semantics.documents import Document, DocumentSet
 from repro.semantics.pvsm import ParametricVectorSpace
@@ -49,12 +56,15 @@ from repro.semantics.pvsm import ParametricVectorSpace
 __all__ = [
     "FORMAT_VERSION",
     "COLUMNAR_FORMAT_VERSION",
+    "SCORE_STORE_FORMAT_VERSION",
     "save_corpus",
     "load_corpus",
     "load_space",
     "corpus_digest",
     "save_columnar",
     "load_columnar",
+    "save_score_store",
+    "load_score_store",
 ]
 
 FORMAT_VERSION = 1
@@ -62,7 +72,11 @@ FORMAT_VERSION = 1
 #: Version of the binary columnar layout (bumped on any layout change).
 COLUMNAR_FORMAT_VERSION = 1
 
+#: Version of the binary score-store layout (bumped on any layout change).
+SCORE_STORE_FORMAT_VERSION = 1
+
 _COLUMNAR_MAGIC = b"REPROCOL"
+_SCORE_MAGIC = b"REPROSCT"
 #: Written in native byte order; reads back byte-swapped on the other
 #: endianness, which is exactly the rejection we want (the raw array
 #: payloads would be byte-swapped too).
@@ -118,23 +132,22 @@ def load_space(path: str | Path, **space_kwargs) -> ParametricVectorSpace:
     return ParametricVectorSpace(load_corpus(path), **space_kwargs)
 
 
-# -- binary columnar layout (zero-copy worker attach) ----------------------
+# -- binary array snapshots (zero-copy attach) ------------------------------
 
 
-def save_columnar(
-    columnar: ColumnarIndex, path: str | Path, *, digest: str
+def _write_snapshot(
+    path: str | Path,
+    *,
+    magic: bytes,
+    version: int,
+    digest: str,
+    meta: dict,
+    arrays: dict[str, np.ndarray],
 ) -> None:
-    """Write the columnar arrays as one binary snapshot (see module doc).
-
-    ``digest`` must be the :func:`corpus_digest` of the corpus the
-    arrays were built from; :func:`load_columnar` verifies it so workers
-    can never attach to a space built over a different corpus.
-    """
+    """Write one named-array snapshot in the shared binary layout."""
     if len(digest) != 64:
         raise ValueError("digest must be a 64-char sha256 hexdigest")
-    arrays = columnar.arrays()
-    toc_arrays: dict[str, dict] = {}
-    header_probe_len = len(_COLUMNAR_MAGIC) + 2 + 2 + 64 + 4
+    header_probe_len = len(magic) + 2 + 2 + 64 + 4
     # The TOC length depends on the offsets, which depend on the TOC
     # length; offsets are computed against a fixed-width rendering so
     # one pass suffices.
@@ -146,11 +159,8 @@ def save_columnar(
             "shape": list(array.shape),
             "offset": offset_field.format(0),
         }
-    skeleton = {
-        "corpus_size": columnar.corpus_size,
-        "vocabulary": list(columnar.vocabulary),
-        "arrays": entries,
-    }
+    skeleton = dict(meta)
+    skeleton["arrays"] = entries
     toc_len = len(json.dumps(skeleton).encode())
     cursor = header_probe_len + toc_len
     for name, array in arrays.items():
@@ -159,10 +169,10 @@ def save_columnar(
         cursor += array.nbytes
     payload = json.dumps(skeleton).encode()
     if len(payload) != toc_len:
-        raise AssertionError("columnar TOC length drifted during layout")
+        raise AssertionError("snapshot TOC length drifted during layout")
     with open(path, "wb") as handle:
-        handle.write(_COLUMNAR_MAGIC)
-        handle.write(struct.pack("=HH", COLUMNAR_FORMAT_VERSION, _ENDIAN_PROBE))
+        handle.write(magic)
+        handle.write(struct.pack("=HH", version, _ENDIAN_PROBE))
         handle.write(digest.encode("ascii"))
         handle.write(struct.pack("=I", toc_len))
         handle.write(payload)
@@ -172,31 +182,35 @@ def save_columnar(
             handle.write(np.ascontiguousarray(array).tobytes())
 
 
-def load_columnar(
-    path: str | Path, *, expected_digest: str | None = None
-) -> tuple[ColumnarIndex, str]:
-    """Attach a columnar snapshot zero-copy; returns ``(index, digest)``.
+def _read_snapshot(
+    path: str | Path,
+    *,
+    magic: bytes,
+    version: int,
+    kind: str,
+    expected_digest: str | None = None,
+) -> tuple[dict, dict[str, np.ndarray], str]:
+    """Attach one snapshot zero-copy; returns ``(toc, views, digest)``.
 
-    Array payloads come back as read-only ``np.memmap`` views — worker
-    processes share the page cache instead of materializing copies.
-    Verifies magic, layout version, endianness probe, and (when
+    Array payloads come back as read-only ``np.memmap`` views. Verifies
+    magic, layout version, endianness probe, and (when
     ``expected_digest`` is given) the corpus digest.
     """
     path = Path(path)
     with open(path, "rb") as handle:
-        magic = handle.read(len(_COLUMNAR_MAGIC))
-        if magic != _COLUMNAR_MAGIC:
-            raise ValueError(f"{path}: not a repro columnar snapshot")
-        version, probe = struct.unpack("=HH", handle.read(4))
+        found = handle.read(len(magic))
+        if found != magic:
+            raise ValueError(f"{path}: not a repro {kind} snapshot")
+        found_version, probe = struct.unpack("=HH", handle.read(4))
         if probe != _ENDIAN_PROBE:
             raise ValueError(
                 f"{path}: endianness mismatch — snapshot written on a "
                 "machine of the opposite byte order"
             )
-        if version != COLUMNAR_FORMAT_VERSION:
+        if found_version != version:
             raise ValueError(
-                f"{path}: columnar layout version {version} "
-                f"(this build reads {COLUMNAR_FORMAT_VERSION})"
+                f"{path}: {kind} layout version {found_version} "
+                f"(this build reads {version})"
             )
         digest = handle.read(64).decode("ascii")
         (toc_len,) = struct.unpack("=I", handle.read(4))
@@ -215,6 +229,48 @@ def load_columnar(
             offset=int(entry["offset"]),
             shape=tuple(entry["shape"]),
         )
+    return toc, views, digest
+
+
+def save_columnar(
+    columnar: ColumnarIndex, path: str | Path, *, digest: str
+) -> None:
+    """Write the columnar arrays as one binary snapshot (see module doc).
+
+    ``digest`` must be the :func:`corpus_digest` of the corpus the
+    arrays were built from; :func:`load_columnar` verifies it so workers
+    can never attach to a space built over a different corpus.
+    """
+    _write_snapshot(
+        path,
+        magic=_COLUMNAR_MAGIC,
+        version=COLUMNAR_FORMAT_VERSION,
+        digest=digest,
+        meta={
+            "corpus_size": columnar.corpus_size,
+            "vocabulary": list(columnar.vocabulary),
+        },
+        arrays=columnar.arrays(),
+    )
+
+
+def load_columnar(
+    path: str | Path, *, expected_digest: str | None = None
+) -> tuple[ColumnarIndex, str]:
+    """Attach a columnar snapshot zero-copy; returns ``(index, digest)``.
+
+    Array payloads come back as read-only ``np.memmap`` views — worker
+    processes share the page cache instead of materializing copies.
+    Verifies magic, layout version, endianness probe, and (when
+    ``expected_digest`` is given) the corpus digest.
+    """
+    toc, views, digest = _read_snapshot(
+        path,
+        magic=_COLUMNAR_MAGIC,
+        version=COLUMNAR_FORMAT_VERSION,
+        kind="columnar",
+        expected_digest=expected_digest,
+    )
     columnar = ColumnarIndex(
         tuple(toc["vocabulary"]),
         views["indptr"],
@@ -225,3 +281,51 @@ def load_columnar(
         int(toc["corpus_size"]),
     )
     return columnar, digest
+
+
+def save_score_store(store: PersistentScoreStore, path: str | Path) -> None:
+    """Write a score store as one binary snapshot (see module doc).
+
+    The store's own :attr:`~PersistentScoreStore.corpus_digest` goes in
+    the header, so the loader can refuse a store warmed against a
+    different corpus. Parent directories are created as needed — the
+    warmer CLI points ``--out`` at artifact paths that may not exist
+    yet.
+    """
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    _write_snapshot(
+        path,
+        magic=_SCORE_MAGIC,
+        version=SCORE_STORE_FORMAT_VERSION,
+        digest=store.corpus_digest,
+        meta={"entries": len(store)},
+        arrays=store.arrays(),
+    )
+
+
+def load_score_store(
+    path: str | Path,
+    *,
+    expected_digest: str | None = None,
+    registry: MetricsRegistry | None = None,
+) -> PersistentScoreStore:
+    """Attach a score-store snapshot zero-copy.
+
+    The key/score columns come back as read-only ``np.memmap`` views —
+    pages load on first probe. Call
+    :meth:`~PersistentScoreStore.warm` to materialize them into RAM.
+    """
+    _toc, views, digest = _read_snapshot(
+        path,
+        magic=_SCORE_MAGIC,
+        version=SCORE_STORE_FORMAT_VERSION,
+        kind="score-store",
+        expected_digest=expected_digest,
+    )
+    return PersistentScoreStore(
+        views["key_hi"],
+        views["key_lo"],
+        views["scores"],
+        corpus_digest=digest,
+        registry=registry,
+    )

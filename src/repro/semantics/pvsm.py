@@ -233,6 +233,32 @@ class ParametricVectorSpace(DistributionalVectorSpace):
             self._restricted[cache_key] = cached
         return cached
 
+    def warm(
+        self, terms: Iterable[str], themes: Iterable[Iterable[str]]
+    ) -> dict[str, int]:
+        """Precompute theme bases and ``(term, theme)`` projections.
+
+        The scalar scoring path pays its projection cost on first use of
+        each pair; warming moves that cost offline (the
+        ``repro warm-cache`` pipeline calls this before scoring the
+        vocabulary cross-product, and cross-theme runs additionally warm
+        the pairwise common bases). Returns :meth:`cache_stats` so
+        callers can report what was materialized.
+        """
+        terms = list(terms)
+        keys = sorted({theme_key(theme) for theme in themes})
+        for key in keys:
+            self.theme_basis(key)
+            for term in terms:
+                self.project(term, key)
+        for i, key_a in enumerate(keys):
+            for key_b in keys[i + 1 :]:
+                self.common_basis(key_a, key_b)
+                for term in terms:
+                    self._project_common(term, key_a, key_b)
+                    self._project_common(term, key_b, key_a)
+        return self.cache_stats()
+
     def cache_stats(self) -> dict[str, int]:
         """Sizes of the internal caches (for tests and benchmarks)."""
         return {

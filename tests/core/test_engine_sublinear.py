@@ -1,0 +1,277 @@
+"""The sublinear-matching engine surface: anchor modes + score store.
+
+Engine-level guarantees of the ANN prefilter and precomputed tier:
+
+* ``prefilter_mode="ann"`` at ``ann_recall_target=1.0`` is bit-identical
+  to ``"semantic"`` — same matches, same scores, same prune stats — for
+  both :class:`TwoPhaseMatcher` and :class:`ThematicEventEngine`
+  (hypothesis-driven over subscription/event samples);
+* attaching a warmed score store never changes match results: a
+  store-backed engine delivers exactly what the same engine without the
+  store delivers, because the store was warmed on the same kernel float
+  path its fallback scores with;
+* every new config knob validates loudly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import EngineConfig, ThematicEventEngine
+from repro.core.language import parse_event, parse_subscription
+from repro.core.matcher import ThematicMatcher
+from repro.core.prefilter import PREFILTER_MODES, TwoPhaseMatcher
+from repro.semantics.measures import (
+    CachedMeasure,
+    ExactMeasure,
+    ThematicMeasure,
+)
+from repro.semantics.persistence import save_score_store
+from repro.semantics.warm import build_score_store
+
+EVENTS = [
+    parse_event(
+        "({energy, office},"
+        " {type: increased energy consumption event, device: computer,"
+        "  office: room 112})"
+    ),
+    parse_event("({energy}, {device: laptop, reading: 42})"),
+    parse_event("({office}, {type: door open event, office: room 7})"),
+    parse_event("({street}, {type: traffic jam, street: main street})"),
+]
+
+SUBSCRIPTIONS = [
+    parse_subscription(
+        "({energy}, {type= increased energy usage event~, device~= laptop~})"
+    ),
+    parse_subscription("({office}, {office= room 112})"),
+    parse_subscription("({energy}, {device~= computer~})"),
+    parse_subscription("({street}, {type~= traffic incident~})"),
+]
+
+subscription_samples = st.lists(
+    st.sampled_from(SUBSCRIPTIONS), min_size=1, max_size=4, unique_by=id
+)
+event_samples = st.lists(
+    st.sampled_from(EVENTS), min_size=1, max_size=4, unique_by=id
+)
+
+
+def result_signature(results):
+    """Order-preserving, comparison-friendly view of match results."""
+    return [
+        (id(r.subscription), id(r.event), r.score, r.mapping.correspondences)
+        for r in results
+    ]
+
+
+@pytest.fixture()
+def matcher(space):
+    return ThematicMatcher(CachedMeasure(ThematicMeasure(space)))
+
+
+class TestTwoPhaseAnnParity:
+    @settings(deadline=None, max_examples=15)
+    @given(subs=subscription_samples, events=event_samples)
+    def test_ann_at_recall_one_is_bit_identical(self, space, subs, events):
+        semantic = TwoPhaseMatcher(
+            ThematicMatcher(CachedMeasure(ThematicMeasure(space))), space
+        )
+        ann = TwoPhaseMatcher(
+            ThematicMatcher(CachedMeasure(ThematicMeasure(space))),
+            space,
+            prefilter_mode="ann",
+            ann_recall_target=1.0,
+        )
+        for sub in subs:
+            semantic.add(sub)
+            ann.add(sub)
+        for event in events:
+            left = semantic.match_event(event)
+            right = ann.match_event(event)
+            assert [
+                (sub_id, result.score) for sub_id, result in left
+            ] == [(sub_id, result.score) for sub_id, result in right]
+        assert semantic.stats.pruned_semantic_anchor == (
+            ann.stats.pruned_semantic_anchor
+        )
+
+    def test_low_recall_never_invents_matches(self, space, matcher):
+        semantic = TwoPhaseMatcher(matcher, space)
+        ann = TwoPhaseMatcher(
+            matcher, space, prefilter_mode="ann", ann_recall_target=0.25
+        )
+        for sub in SUBSCRIPTIONS:
+            semantic.add(sub)
+            ann.add(sub)
+        for event in EVENTS:
+            exact_ids = {sub_id for sub_id, _ in semantic.match_event(event)}
+            ann_ids = {sub_id for sub_id, _ in ann.match_event(event)}
+            assert ann_ids <= exact_ids
+
+
+class TestEngineAnchorModes:
+    def engine(self, space, **config):
+        return ThematicEventEngine(
+            ThematicMatcher(CachedMeasure(ThematicMeasure(space))),
+            EngineConfig(**config),
+        )
+
+    def deliveries(self, engine, events):
+        for sub in SUBSCRIPTIONS:
+            engine.subscribe(sub, lambda result: None)
+        return [result_signature(engine.process(e)) for e in events]
+
+    def test_ann_at_recall_one_matches_semantic_mode(self, space):
+        semantic = self.deliveries(
+            self.engine(space, prefilter_mode="semantic"), EVENTS
+        )
+        ann = self.deliveries(
+            self.engine(
+                space, prefilter_mode="ann", ann_recall_target=1.0
+            ),
+            EVENTS,
+        )
+        assert semantic == ann
+
+    def test_batch_is_never_lossier_than_serial(self, space):
+        serial = self.deliveries(
+            self.engine(space, prefilter_mode="semantic"), EVENTS
+        )
+        batch_engine = self.engine(space, prefilter_mode="semantic")
+        for sub in SUBSCRIPTIONS:
+            batch_engine.subscribe(sub, lambda result: None)
+        batched = [
+            result_signature(block)
+            for block in batch_engine.process_batch(EVENTS)
+        ]
+        for serial_block, batch_block in zip(serial, batched, strict=True):
+            assert set(serial_block) <= set(batch_block)
+
+    def test_anchor_modes_prune_counter_moves(self, space):
+        engine = self.engine(space, prefilter_mode="semantic")
+        for sub in SUBSCRIPTIONS:
+            engine.subscribe(sub, lambda result: None)
+        for event in EVENTS:
+            engine.process(event)
+        assert engine.stats.pruned > 0
+
+    def test_unsubscribe_keeps_anchor_index_consistent(self, space):
+        engine = self.engine(space, prefilter_mode="ann")
+        handles = [
+            engine.subscribe(sub, lambda result: None)
+            for sub in SUBSCRIPTIONS
+        ]
+        engine.unsubscribe(handles[0])
+        results = engine.process(EVENTS[0])
+        assert all(
+            r.subscription is not SUBSCRIPTIONS[0] for r in results
+        )
+
+
+class TestStoreBackedEngine:
+    @pytest.fixture()
+    def store_path(self, space, tmp_path):
+        subs = SUBSCRIPTIONS
+        events = EVENTS
+        theme_pairs = sorted(
+            {
+                (tuple(sorted(s.theme)), tuple(sorted(e.theme)))
+                for s in subs
+                for e in events
+            }
+        )
+        store = build_score_store(space, subs, events, theme_pairs)
+        path = tmp_path / "scores.bin"
+        save_score_store(store, path)
+        return path
+
+    def engines(self, space, store_path, warm_on_start=False):
+        plain = ThematicEventEngine(
+            ThematicMatcher(ThematicMeasure(space, vectorized=True)),
+            EngineConfig(),
+        )
+        stored = ThematicEventEngine(
+            ThematicMatcher(ThematicMeasure(space, vectorized=True)),
+            EngineConfig(
+                score_store_path=str(store_path),
+                warm_on_start=warm_on_start,
+            ),
+        )
+        return plain, stored
+
+    @pytest.mark.parametrize("warm_on_start", [False, True])
+    def test_warmed_store_never_changes_match_results(
+        self, space, store_path, warm_on_start
+    ):
+        plain, stored = self.engines(space, store_path, warm_on_start)
+        for engine in (plain, stored):
+            for sub in SUBSCRIPTIONS:
+                engine.subscribe(sub, lambda result: None)
+        for event in EVENTS:
+            assert result_signature(plain.process(event)) == (
+                result_signature(stored.process(event))
+            )
+
+    def test_store_is_actually_consulted(self, space, store_path):
+        _, stored = self.engines(space, store_path)
+        for sub in SUBSCRIPTIONS:
+            stored.subscribe(sub, lambda result: None)
+        for event in EVENTS:
+            stored.process(event)
+        counters = stored.stats.registry.snapshot()["counters"]
+        assert counters["score_store.hits"] > 0
+
+    def test_store_exposed_on_engine(self, space, store_path):
+        _, stored = self.engines(space, store_path)
+        assert stored.score_store is not None
+
+
+class TestConfigValidation:
+    def test_unknown_prefilter_mode_rejected(self):
+        matcher = ThematicMatcher(ExactMeasure())
+        with pytest.raises(ValueError, match="unknown prefilter mode"):
+            ThematicEventEngine(
+                matcher, EngineConfig(prefilter_mode="fuzzy")
+            )
+
+    def test_modes_snapshot(self):
+        assert PREFILTER_MODES == ("exact", "semantic", "ann")
+
+    def test_warm_on_start_needs_a_store_path(self):
+        matcher = ThematicMatcher(ExactMeasure())
+        with pytest.raises(ValueError, match="score_store_path"):
+            ThematicEventEngine(matcher, EngineConfig(warm_on_start=True))
+
+    def test_semantic_mode_needs_a_space(self):
+        matcher = ThematicMatcher(ExactMeasure())
+        with pytest.raises(ValueError, match="semantic space"):
+            ThematicEventEngine(
+                matcher, EngineConfig(prefilter_mode="semantic")
+            )
+
+    def test_store_path_needs_a_thematic_matcher_family(self, tmp_path):
+        class Opaque:
+            threshold = 0.5
+
+            def match_batch(self, subs, events, scores_only=False):
+                return []
+
+        with pytest.raises(ValueError, match="ThematicMatcher-family"):
+            ThematicEventEngine(
+                Opaque(),
+                EngineConfig(score_store_path=str(tmp_path / "s.bin")),
+            )
+
+    def test_process_executor_rejects_sublinear_knobs(self, space):
+        from repro.broker.config import BrokerConfig
+        from repro.broker.sharded import ShardedBroker
+
+        matcher = ThematicMatcher(ThematicMeasure(space, vectorized=True))
+        with pytest.raises(ValueError, match="executor='process'"):
+            ShardedBroker(
+                matcher,
+                BrokerConfig(
+                    executor="process", prefilter_mode="semantic"
+                ),
+            )

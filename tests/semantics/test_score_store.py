@@ -1,0 +1,307 @@
+"""PersistentScoreStore and the offline warmer.
+
+The precomputed tier's contract, property-checked over a toy corpus:
+
+* the hashed/sorted array store answers exactly like the dict table it
+  was built from, for hits and misses alike, regardless of argument
+  order (keys are symmetric);
+* a save/load round trip is bit-identical and digest-guarded;
+* the warmer's planned cross-product deduplicates symmetric pairs and
+  scores them exactly as the online kernel would, so a warmed engine
+  never sees a score the unwarmed kernel path would not have produced.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.language import parse_event, parse_subscription
+from repro.obs import MetricsRegistry
+from repro.semantics.cache import (
+    PersistentScoreStore,
+    PrecomputedScoreTable,
+    RelatednessCache,
+)
+from repro.semantics.documents import DocumentSet
+from repro.semantics.kernel import KernelMeasure
+from repro.semantics.measures import PrecomputedMeasure, ThematicMeasure
+from repro.semantics.persistence import (
+    corpus_digest,
+    load_score_store,
+    save_score_store,
+)
+from repro.semantics.pvsm import ParametricVectorSpace
+from repro.semantics.warm import (
+    build_score_store,
+    plan_lookups,
+    warm_score_table,
+    workload_vocabulary,
+)
+
+TOY = DocumentSet.from_texts(
+    [
+        "energy power grid consumption meter",
+        "parking street car transport spot",
+        "weather storm rain wind forecast",
+        "energy meter building office monitor",
+        "car engine power fuel energy",
+        "office building room computer energy",
+        "storm damage power outage grid",
+        "computer laptop device office desk",
+    ]
+)
+
+DIGEST = corpus_digest(TOY)
+
+terms = st.sampled_from(
+    ("energy", "power", "car", "storm", "office", "laptop", "grid")
+)
+themes = st.sets(
+    st.sampled_from(("energy", "street", "office", "city")), max_size=2
+).map(tuple)
+
+
+@pytest.fixture(scope="module")
+def toy_space():
+    return ParametricVectorSpace(TOY)
+
+
+@pytest.fixture(scope="module")
+def reference(toy_space):
+    """A dict table plus the store built from it, over real scores."""
+    measure = ThematicMeasure(toy_space)
+    cache = RelatednessCache()
+    table = PrecomputedScoreTable()
+    tags = ("energy", "office")
+    for term_s in ("energy", "power", "car", "storm"):
+        for term_e in ("office", "laptop", "grid", "rain"):
+            table.scores[cache.key(term_s, tags, term_e, ())] = measure.score(
+                term_s, tags, term_e, ()
+            )
+    store = PersistentScoreStore.from_table(table, corpus_digest=DIGEST)
+    return table, store
+
+
+class TestStoreLookup:
+    def test_every_table_entry_reads_back_bitwise(self, reference):
+        table, store = reference
+        assert len(store) == len(table)
+        tags = ("energy", "office")
+        for term_s in ("energy", "power", "car", "storm"):
+            for term_e in ("office", "laptop", "grid", "rain"):
+                assert store.get(term_s, tags, term_e, ()) == table.get(
+                    term_s, tags, term_e, ()
+                )
+
+    def test_lookup_is_symmetric(self, reference):
+        _, store = reference
+        tags = ("energy", "office")
+        assert store.get("power", tags, "grid", ()) == store.get(
+            "grid", (), "power", tags
+        )
+
+    def test_miss_returns_none(self, reference):
+        _, store = reference
+        assert store.get("zzz", (), "qqq", ()) is None
+
+    def test_theme_sets_distinguish_entries(self, reference):
+        _, store = reference
+        # Same terms, different themes: not in the table -> miss.
+        assert store.get("power", (), "grid", ()) is None
+
+    def test_counters_track_hits_and_misses(self, reference):
+        table, _ = reference
+        registry = MetricsRegistry()
+        store = PersistentScoreStore.from_table(
+            table, corpus_digest=DIGEST, registry=registry
+        )
+        tags = ("energy", "office")
+        store.get("power", tags, "grid", ())
+        store.get("zzz", (), "qqq", ())
+        counters = registry.snapshot()["counters"]
+        assert counters["score_store.hits"] == 1
+        assert counters["score_store.misses"] == 1
+
+    def test_get_batch_matches_per_key_gets(self, reference):
+        _, store = reference
+        tags = ("energy", "office")
+        lookups = [
+            ("power", tags, "grid", ()),  # hit
+            ("zzz", (), "qqq", ()),  # miss
+            ("grid", (), "power", tags),  # symmetric repeat -> memo path
+            ("storm", tags, "rain", ()),  # hit
+        ]
+        registry = MetricsRegistry()
+        fresh = PersistentScoreStore(
+            **store.arrays(), corpus_digest=DIGEST, registry=registry
+        )
+        batch = fresh.get_batch(lookups)
+        assert batch == [store.get(*lookup) for lookup in lookups]
+        counters = registry.snapshot()["counters"]
+        assert counters["score_store.hits"] == 3
+        assert counters["score_store.misses"] == 1
+
+    @settings(deadline=None)
+    @given(
+        entries=st.dictionaries(
+            st.tuples(terms, themes, terms, themes),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    def test_store_agrees_with_dict_table_on_any_contents(self, entries):
+        cache = RelatednessCache()
+        table = PrecomputedScoreTable()
+        for (term_s, theme_s, term_e, theme_e), score in entries.items():
+            table.scores[cache.key(term_s, theme_s, term_e, theme_e)] = score
+        store = PersistentScoreStore.from_table(table, corpus_digest=DIGEST)
+        for term_s, theme_s, term_e, theme_e in entries:
+            assert store.get(term_s, theme_s, term_e, theme_e) == table.get(
+                term_s, theme_s, term_e, theme_e
+            )
+
+
+class TestPersistence:
+    def test_round_trip_is_bit_identical(self, reference, tmp_path):
+        table, store = reference
+        path = tmp_path / "scores.bin"
+        save_score_store(store, path)
+        loaded = load_score_store(path, expected_digest=DIGEST)
+        assert len(loaded) == len(store)
+        tags = ("energy", "office")
+        for term_s in ("energy", "power", "car", "storm"):
+            for term_e in ("office", "laptop", "grid", "rain"):
+                assert loaded.get(term_s, tags, term_e, ()) == store.get(
+                    term_s, tags, term_e, ()
+                )
+
+    def test_save_creates_parent_directories(self, reference, tmp_path):
+        _, store = reference
+        path = tmp_path / "artifacts" / "warm" / "scores.bin"
+        save_score_store(store, path)
+        loaded = load_score_store(path, expected_digest=DIGEST)
+        assert len(loaded) == len(store)
+
+    def test_wrong_digest_is_rejected(self, reference, tmp_path):
+        _, store = reference
+        path = tmp_path / "scores.bin"
+        save_score_store(store, path)
+        with pytest.raises(ValueError, match="digest mismatch"):
+            load_score_store(path, expected_digest="0" * 64)
+
+    def test_wrong_magic_is_rejected(self, tmp_path):
+        path = tmp_path / "bogus.bin"
+        path.write_bytes(b"NOTASTORE" + b"\x00" * 128)
+        with pytest.raises(ValueError, match="not a repro score-store"):
+            load_score_store(path)
+
+    def test_store_save_load_methods_round_trip(self, reference, tmp_path):
+        _, store = reference
+        path = tmp_path / "scores.bin"
+        store.save(path)
+        loaded = PersistentScoreStore.load(path, expected_digest=DIGEST)
+        tags = ("energy", "office")
+        assert loaded.get("power", tags, "grid", ()) == store.get(
+            "power", tags, "grid", ()
+        )
+
+    def test_warm_materializes_and_still_answers(self, reference, tmp_path):
+        _, store = reference
+        path = tmp_path / "scores.bin"
+        save_score_store(store, path)
+        loaded = load_score_store(path, expected_digest=DIGEST)
+        warmed = loaded.warm()
+        assert warmed is loaded
+        tags = ("energy", "office")
+        assert warmed.get("power", tags, "grid", ()) == store.get(
+            "power", tags, "grid", ()
+        )
+
+
+class TestPrecomputedMeasureTiering:
+    def test_store_is_consulted_before_the_fallback(self, reference):
+        _, store = reference
+
+        class Exploding:
+            vectorized = False
+
+            def score(self, *args):
+                raise AssertionError("fallback consulted on a store hit")
+
+        measure = PrecomputedMeasure(store, fallback=Exploding())
+        tags = ("energy", "office")
+        assert measure.score("power", tags, "grid", ()) == store.get(
+            "power", tags, "grid", ()
+        )
+
+    def test_batch_routes_misses_to_fallback_batch(self, reference, toy_space):
+        _, store = reference
+        measure = PrecomputedMeasure(
+            store, fallback=ThematicMeasure(toy_space)
+        )
+        tags = ("energy", "office")
+        lookups = [
+            ("power", tags, "grid", ()),  # store hit
+            ("laptop", ("office",), "desk", ("office",)),  # miss -> fallback
+            ("energy", (), "energy", ()),  # identical -> 1.0
+        ]
+        batch = measure.score_batch(lookups)
+        assert batch == [measure.score(*lookup) for lookup in lookups]
+        assert batch[2] == 1.0
+
+
+class TestWarmer:
+    def test_workload_vocabulary_collects_both_sides(self):
+        sub = parse_subscription("({office}, {device~= laptop~})")
+        event = parse_event("({office}, {device: computer, floor: 3})")
+        sub_terms, event_terms = workload_vocabulary([sub], [event])
+        assert sub_terms == ("device", "laptop")
+        assert event_terms == ("computer", "device", "floor")
+
+    def test_plan_lookups_skips_identical_and_symmetric_pairs(self):
+        lookups = plan_lookups(
+            ("energy", "power"),
+            ("power", "energy"),
+            [((), ())],
+        )
+        # 4 raw pairs: 2 identical skipped, (energy, power) and
+        # (power, energy) collapse to one.
+        assert len(lookups) == 1
+
+    def test_plan_lookups_distinguishes_theme_pairs(self):
+        lookups = plan_lookups(
+            ("energy",), ("power",), [((), ()), (("office",), ())]
+        )
+        assert len(lookups) == 2
+
+    def test_warm_table_matches_online_kernel_bitwise(self, toy_space):
+        lookups = plan_lookups(
+            ("energy", "power", "car"),
+            ("storm", "office", "grid"),
+            [(("energy",), ("energy", "office"))],
+        )
+        table = warm_score_table(toy_space, lookups)
+        online = KernelMeasure(toy_space.kernel())
+        for lookup in lookups:
+            term_s, theme_s, term_e, theme_e = lookup
+            cache = RelatednessCache()
+            assert table.scores[
+                cache.key(*lookup)
+            ] == online.score(term_s, theme_s, term_e, theme_e)
+
+    def test_build_score_store_end_to_end(self, toy_space):
+        sub = parse_subscription("({office}, {device~= laptop~})")
+        event = parse_event("({office}, {device: computer})")
+        store = build_score_store(
+            toy_space,
+            [sub.with_theme(("office",))],
+            [event.with_theme(("office",))],
+            [(("office",), ("office",))],
+        )
+        assert store.corpus_digest == corpus_digest(toy_space.documents)
+        online = KernelMeasure(toy_space.kernel())
+        got = store.get("laptop", ("office",), "computer", ("office",))
+        assert got == online.score(
+            "laptop", ("office",), "computer", ("office",)
+        )

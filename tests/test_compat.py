@@ -1,0 +1,163 @@
+"""Every deprecation shim warns, forwards, and rejects typos.
+
+:mod:`repro._compat` is the consolidated home for legacy aliases; the
+table in its docstring is the contract and this suite is its test: each
+listed alias must emit exactly one :class:`DeprecationWarning` pointing
+at the caller and still do the thing its replacement does.
+"""
+
+import warnings
+
+import pytest
+
+from repro._compat import config_from_kwargs, warn_deprecated
+from repro.broker.broker import (
+    BrokerMetrics,
+    SubscriberHandle,
+    ThematicBroker,
+    dispatch_delivery,
+)
+from repro.broker.config import BrokerConfig
+from repro.broker.sharded import ShardedBroker
+from repro.broker.threaded import ThreadedBroker
+from repro.core.engine import (
+    EngineConfig,
+    SubscriptionHandle,
+    ThematicEventEngine,
+)
+from repro.core.matcher import ThematicMatcher
+from repro.semantics.measures import ExactMeasure
+
+
+def one_deprecation(caught):
+    """The single DeprecationWarning in ``caught`` (asserts exactly one)."""
+    hits = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(hits) == 1, [str(w.message) for w in caught]
+    return hits[0]
+
+
+def matcher():
+    return ThematicMatcher(ExactMeasure(), threshold=0.5)
+
+
+class TestHelpers:
+    def test_warn_deprecated_emits_deprecation_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            warn_deprecated("old thing is deprecated", stacklevel=1)
+        assert "old thing" in str(one_deprecation(caught).message)
+
+    def test_config_from_kwargs_without_kwargs_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = config_from_kwargs(
+                None, EngineConfig(), ("prefilter",), {}, scope="engine"
+            )
+        assert config == EngineConfig()
+
+    def test_config_from_kwargs_overlays_and_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = config_from_kwargs(
+                None,
+                EngineConfig(),
+                ("prefilter",),
+                {"prefilter": False},
+                scope="engine",
+            )
+        assert config.prefilter is False
+        message = str(one_deprecation(caught).message)
+        assert "pass an EngineConfig instead" in message
+
+    def test_unknown_keyword_is_a_typeerror_not_a_warning(self):
+        with pytest.raises(TypeError, match="prefiltre"):
+            config_from_kwargs(
+                None,
+                EngineConfig(),
+                ("prefilter",),
+                {"prefiltre": False},
+                scope="engine",
+            )
+
+
+class TestSubscriberHandleAlias:
+    def test_warns_and_is_a_subscription_handle(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            handle = SubscriberHandle(3, None)
+        assert "SubscriptionHandle" in str(one_deprecation(caught).message)
+        assert isinstance(handle, SubscriptionHandle)
+        assert handle.subscriber_id == 3
+
+
+class TestDispatchDeliveryAlias:
+    def test_warns_and_still_delivers(self):
+        metrics = BrokerMetrics()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            handle = SubscriberHandle(1, None)
+            caught.clear()
+            dispatch_delivery(metrics, handle, "delivery")
+        assert "ReliableDelivery" in str(one_deprecation(caught).message)
+        assert handle.drain() == ["delivery"]
+        assert metrics.deliveries == 1
+
+
+class TestEngineKwargShims:
+    def test_legacy_engine_kwarg_warns_and_forwards(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = ThematicEventEngine(matcher(), prefilter=False)
+        assert "EngineConfig" in str(one_deprecation(caught).message)
+        assert engine.config.prefilter is False
+
+    def test_new_sublinear_knobs_ride_the_same_shim(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = ThematicEventEngine(
+                matcher(), ann_recall_target=0.5
+            )
+        one_deprecation(caught)
+        assert engine.config.ann_recall_target == 0.5
+
+    def test_engine_typo_raises(self):
+        with pytest.raises(TypeError, match="engine options now live on"):
+            ThematicEventEngine(matcher(), prefilterr=True)
+
+    def test_config_object_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ThematicEventEngine(matcher(), EngineConfig(prefilter=False))
+
+
+class TestBrokerKwargShims:
+    @pytest.mark.parametrize(
+        "broker_cls", [ThematicBroker, ThreadedBroker, ShardedBroker]
+    )
+    def test_legacy_replay_capacity_warns_and_forwards(self, broker_cls):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            broker = broker_cls(matcher(), replay_capacity=7)
+        try:
+            assert "BrokerConfig" in str(one_deprecation(caught).message)
+            assert broker.config.replay_capacity == 7
+        finally:
+            close = getattr(broker, "close", None)
+            if close is not None:
+                close()
+
+    def test_engine_knobs_reach_broker_config_through_the_shim(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            broker = ThematicBroker(matcher(), prefilter_mode="exact")
+        one_deprecation(caught)
+        assert broker.config.prefilter_mode == "exact"
+
+    def test_broker_typo_raises(self):
+        with pytest.raises(TypeError, match="broker options now live on"):
+            ThematicBroker(matcher(), replay_capacityy=7)
+
+    def test_config_object_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ThematicBroker(matcher(), BrokerConfig(replay_capacity=7))

@@ -14,6 +14,7 @@ import repro.api
 
 #: The reviewed public surface, sorted. Update deliberately.
 PUBLIC_API = [
+    "ApproxNeighborIndex",
     "AttributeValue",
     "BatchMatchResult",
     "BrokerConfig",
@@ -54,6 +55,9 @@ PUBLIC_API = [
     "OverlayMetrics",
     "ParametricVectorSpace",
     "Pattern",
+    "PersistentScoreStore",
+    "PrecomputedMeasure",
+    "PrecomputedScoreTable",
     "Predicate",
     "ReliableDelivery",
     "RewritingMatcher",
@@ -104,6 +108,10 @@ CONFIG_FIELDS = {
         "dead_letter_capacity",
         "executor",
         "durability",
+        "prefilter_mode",
+        "ann_recall_target",
+        "score_store_path",
+        "warm_on_start",
     ],
     "DurabilityPolicy": [
         "directory",
@@ -120,6 +128,10 @@ CONFIG_FIELDS = {
         "private_pipeline",
         "span_tags",
         "degraded",
+        "prefilter_mode",
+        "ann_recall_target",
+        "score_store_path",
+        "warm_on_start",
     ],
     "DeliveryPolicy": [
         "deadline",
