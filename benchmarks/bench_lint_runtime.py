@@ -1,0 +1,82 @@
+"""Wall-clock budget for the flow-aware lint tier.
+
+Not a paper figure: this bench guards the cost of ``repro lint`` itself.
+The RL6xx/RL7xx/RL8xx families build a CFG with def-use chains for
+every function in the tree, so an accidentally quadratic checker (or a
+fixpoint that stops converging early) shows up here as wall time long
+before it becomes a CI-latency complaint. The committed baseline makes
+the lint tier a gated perf surface like the matching kernels:
+``repro bench diff --gate`` trips when a checker regresses the sweep.
+
+The run is best-of-N to keep shared-runner noise out of the gated
+number, and the bench doubles as a clean-tree assertion — a baseline
+recorded against a tree with findings would gate on the wrong work.
+"""
+
+import statistics
+from pathlib import Path
+
+from repro.analysis.runner import run_lint
+from repro.obs import write_bench_artifact
+from repro.obs.clock import MONOTONIC_CLOCK
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Best-of-N sweeps: the gated number is the fastest full-tree run,
+#: which tracks checker cost while shedding scheduler jitter.
+ROUNDS = 3
+
+
+def sweep():
+    clock = MONOTONIC_CLOCK
+    started = clock.monotonic()
+    result = run_lint(REPO_ROOT)
+    elapsed = clock.monotonic() - started
+    return elapsed, result
+
+
+def test_lint_runtime(benchmark):
+    timings = []
+    results = []
+
+    def run():
+        for _ in range(ROUNDS):
+            elapsed, result = sweep()
+            timings.append(elapsed)
+            results.append(result)
+        return len(timings)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    result = results[-1]
+    best = min(timings)
+    metrics = {
+        "wall_seconds": best,
+        "wall_seconds_mean": statistics.fmean(timings),
+        "per_file_ms": (best / result.checked_files) * 1000.0
+        if result.checked_files
+        else 0.0,
+        "rounds": {"count": ROUNDS},
+        "tree": {
+            "files": result.checked_files,
+            "findings": len(result.findings),
+            "stale": len(result.stale),
+            "suppressed": len(result.suppressed),
+        },
+    }
+    print()
+    print(
+        f"[lint] {result.checked_files} files in {best:.3f}s best-of-{ROUNDS} "
+        f"(mean {metrics['wall_seconds_mean']:.3f}s, "
+        f"{metrics['per_file_ms']:.2f} ms/file), "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed"
+    )
+
+    write_bench_artifact("lint_runtime", metrics)
+
+    # A perf number for a dirty tree would baseline the wrong work: the
+    # zero-findings gate holds here exactly as it does in CI lint.
+    assert not result.findings, [f.render() for f in result.findings]
+    assert not result.stale, [f.render() for f in result.stale]
+    assert result.checked_files > 50  # the whole tree, not a slice

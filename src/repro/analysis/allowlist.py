@@ -23,7 +23,13 @@ from pathlib import Path
 
 from repro.analysis.findings import Finding
 
-__all__ = ["AllowEntry", "AllowlistError", "apply_allowlist", "load_allowlist"]
+__all__ = [
+    "AllowEntry",
+    "AllowlistError",
+    "apply_allowlist",
+    "check_growth",
+    "load_allowlist",
+]
 
 
 class AllowlistError(ValueError):
@@ -93,6 +99,37 @@ def load_allowlist(path: Path) -> list[AllowEntry]:
             )
         )
     return entries
+
+
+def check_growth(
+    base_entries: list[AllowEntry], head_entries: list[AllowEntry]
+) -> tuple[list[AllowEntry], list[str]]:
+    """Audit entries added relative to ``base_entries``.
+
+    The allowlist is designed to shrink (stale entries are RL000
+    failures); growth is legal but each added suppression must arrive
+    with its *own* reviewed ``reason``. Returns ``(added, problems)``:
+    the entries new in head, and a human-readable problem per added
+    entry whose reason is a verbatim copy of a base entry's reason —
+    copy-pasted rationale means the new exception was never argued on
+    its own merits.
+    """
+    base_keys = {(e.rules, e.path, e.symbol) for e in base_entries}
+    base_reasons = {e.reason.strip() for e in base_entries}
+    added = [
+        e
+        for e in head_entries
+        if (e.rules, e.path, e.symbol) not in base_keys
+    ]
+    problems = [
+        (
+            f"{entry.describe()}: reason is a verbatim copy of an "
+            "existing entry's — write why *this* suppression is sound"
+        )
+        for entry in added
+        if entry.reason.strip() in base_reasons
+    ]
+    return added, problems
 
 
 def apply_allowlist(

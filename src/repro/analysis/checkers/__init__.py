@@ -3,15 +3,21 @@
 from repro.analysis.checkers import (
     api_surface,
     clock_discipline,
+    crash_consistency,
+    determinism,
     lock_order,
     lock_scope,
     metrics_manifest,
+    resource_lifecycle,
 )
 
 __all__ = [
     "api_surface",
     "clock_discipline",
+    "crash_consistency",
+    "determinism",
     "lock_order",
     "lock_scope",
     "metrics_manifest",
+    "resource_lifecycle",
 ]

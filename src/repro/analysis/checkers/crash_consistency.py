@@ -1,0 +1,337 @@
+"""RL700/RL701/RL702: the write-ahead contract, statically.
+
+PR 8's recovery guarantee is a protocol, not a property of any single
+function: every mutation of journaled broker state is preceded (or on
+the same straight-line path, followed) by the matching
+``BrokerDurability.log_*`` record, ``SimulatedCrash`` derives from
+``BaseException`` precisely so no ordinary handler can absorb a
+scripted death, and all fsync policy decisions live in one file. Each
+clause is one refactor away from silently breaking replay parity, and
+the hypothesis crash suites only catch the breakage when a kill offset
+happens to land in the new window.
+
+* **RL700** — a mutation of journaled broker state (subscriber table,
+  replay ring, sequence counter, id counter, dead-letter queue) with no
+  covering journal call: no ``log_*`` call dominates or post-dominates
+  the mutation inside the same function. The CFG is built with the
+  ``durability``/``log`` feature guards collapsed (the rule judges the
+  durable configuration — without a journal there is nothing to
+  protect) and without exception edges (a crash mid-function is exactly
+  what recovery replays; the invariant is about the *normal* path
+  ordering). ``__init__`` and ``*restore*`` functions are exempt: the
+  first builds empty state, the second rebuilds state *from* the
+  journal.
+* **RL701** — a bare ``except:`` or ``except BaseException:`` whose
+  body can complete without re-raising. Such a handler absorbs
+  ``SimulatedCrash`` (and ``KeyboardInterrupt``), turning a scripted
+  broker death into silent continuation — the crash suites then test
+  nothing. An explicit ``except SimulatedCrash:`` is not flagged:
+  naming the type is a visible, deliberate fault-injection decision
+  (the threaded/sharded dispatchers die silently on purpose).
+* **RL702** — ``os.fsync``/``os.fdatasync``, or ``.flush()`` on a
+  handle the def-use chain traces to ``open()``, outside
+  ``broker/durability.py``. Sync policy (``always``/``interval``/
+  ``on_close``) is a single dial; a stray fsync elsewhere makes
+  measured durability cost a lie and an unpoliced flush widens the
+  crash window the WAL's frame accounting assumes closed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.dataflow import (
+    ReachingDefs,
+    build_cfg,
+    own_calls,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionInfo, Module
+
+__all__ = ["check", "JOURNALED_ATTRS"]
+
+#: Broker attributes whose mutations the journal must cover. These are
+#: exactly the fields ``DurableState`` reconstructs on recovery.
+JOURNALED_ATTRS = frozenset(
+    {"_subscribers", "_replay", "_sequence", "_next_id", "dead_letters"}
+)
+
+#: Method calls that mutate a journaled collection in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popleft",
+        "remove",
+        "clear",
+        "update",
+        "setdefault",
+    }
+)
+
+#: Where the journaled-state discipline applies. Matched by path
+#: segment (not a root-relative prefix) so fixture trees lint
+#: identically whichever root the run was anchored at.
+BROKER_SCOPE = "repro/broker/"
+
+#: The one module allowed to sync and to mutate without journaling —
+#: it *is* the journal.
+DURABILITY_MODULE = "repro/broker/durability.py"
+
+#: Feature guards collapsed as enabled when judging RL700: the rule
+#: evaluates the durable configuration, and ``log=False`` is the
+#: journal-restore path (the record already exists).
+DURABILITY_GUARDS = ("durability", "log")
+
+#: Handle-producing factories for the RL702 flush check.
+FILE_FACTORIES = frozenset({"open", "fdopen", "TemporaryFile", "NamedTemporaryFile"})
+
+
+def _terminal(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _journaled_mutations(stmt: ast.stmt) -> list[tuple[str, int]]:
+    """(attr, line) pairs for journaled-state mutations in ``stmt``."""
+    hits: list[tuple[str, int]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            attr = _self_attr(target)
+            if attr in JOURNALED_ATTRS:
+                hits.append((attr, stmt.lineno))
+            elif isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr in JOURNALED_ATTRS:
+                    hits.append((attr, stmt.lineno))
+    elif isinstance(stmt, ast.AugAssign):
+        attr = _self_attr(stmt.target)
+        if attr in JOURNALED_ATTRS:
+            hits.append((attr, stmt.lineno))
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr in JOURNALED_ATTRS:
+                    hits.append((attr, stmt.lineno))
+    for call in own_calls(stmt):
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+        ):
+            attr = _self_attr(func.value)
+            if attr in JOURNALED_ATTRS:
+                hits.append((attr, call.lineno))
+    return hits
+
+
+def _is_journal_call(call: ast.Call) -> bool:
+    name = _terminal(call.func)
+    return name is not None and name.startswith("log_")
+
+
+def _check_journal_coverage(fn: FunctionInfo, module: Module) -> list[Finding]:
+    if fn.name == "__init__" or "restore" in fn.name:
+        return []
+    cfg = build_cfg(
+        fn.node, collapse_guards=DURABILITY_GUARDS, exception_edges=False
+    )
+    reachable = cfg.reachable_from_entry()
+    journal_blocks: set[int] = set()
+    mutations: list[tuple[int, str, int]] = []  # (block, attr, line)
+    for block in cfg.blocks.values():
+        if block.id not in reachable:
+            continue
+        for stmt in block.stmts:
+            if any(_is_journal_call(c) for c in own_calls(stmt)):
+                journal_blocks.add(block.id)
+            for attr, line in _journaled_mutations(stmt):
+                mutations.append((block.id, attr, line))
+    if not mutations:
+        return []
+    dom = cfg.dominators()
+    pdom = cfg.postdominators()
+    findings: list[Finding] = []
+    for block_id, attr, line in mutations:
+        covered = block_id in journal_blocks or any(
+            jb in dom.get(block_id, set()) or jb in pdom.get(block_id, set())
+            for jb in journal_blocks
+        )
+        if not covered:
+            findings.append(
+                Finding(
+                    path=module.rel,
+                    line=line,
+                    rule="RL700",
+                    message=(
+                        f"self.{attr} mutated with no dominating or "
+                        "post-dominating durability log_* call: a crash "
+                        "here diverges journal and state (write ahead, "
+                        "then mutate)"
+                    ),
+                    symbol=fn.qualname,
+                    chain=(f"mutates self.{attr}", "no covering log_*"),
+                )
+            )
+    return findings
+
+
+def _always_reraises(stmts: list[ast.stmt]) -> bool:
+    """Does this handler body re-raise (or raise) on every path?"""
+    for stmt in stmts:
+        if isinstance(stmt, ast.Raise):
+            return True
+        if isinstance(stmt, (ast.Return, ast.Break, ast.Continue, ast.Pass)):
+            return False
+        if isinstance(stmt, ast.If):
+            if stmt.orelse and _always_reraises(stmt.body) and _always_reraises(
+                stmt.orelse
+            ):
+                return True
+            # One branch may fall through; keep scanning the suite.
+        if isinstance(stmt, ast.With):
+            if _always_reraises(stmt.body):
+                return True
+    return False
+
+
+def _catches_base_exception(handler: ast.ExceptHandler) -> str | None:
+    """Label if the handler catches BaseException-or-everything."""
+    if handler.type is None:
+        return "except:"
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for t in types:
+        if _terminal(t) == "BaseException":
+            return "except BaseException"
+    return None
+
+
+def _check_swallowed_crashes(module: Module) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            label = _catches_base_exception(handler)
+            if label is None:
+                continue
+            if _always_reraises(handler.body):
+                continue
+            findings.append(
+                Finding(
+                    path=module.rel,
+                    line=handler.lineno,
+                    rule="RL701",
+                    message=(
+                        f"{label} can complete without re-raising: it "
+                        "absorbs SimulatedCrash/KeyboardInterrupt, so a "
+                        "scripted broker death becomes silent "
+                        "continuation (re-raise, or narrow to Exception)"
+                    ),
+                    symbol=module.symbol_at(handler.lineno),
+                    chain=(f"{label}@{handler.lineno}", "path without raise"),
+                )
+            )
+    return findings
+
+
+def _check_fsync_policy(module: Module) -> list[Finding]:
+    findings: list[Finding] = []
+    # Direct sync syscalls: only the durability module may issue them.
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            name = _terminal(node.func)
+            if name in {"fsync", "fdatasync"}:
+                findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        rule="RL702",
+                        message=(
+                            f"os.{name}() outside the durability module: "
+                            "sync policy is a single dial in "
+                            "broker/durability.py (route through "
+                            "BrokerDurability)"
+                        ),
+                        symbol=module.symbol_at(node.lineno),
+                        chain=(f"os.{name}@{node.lineno}",),
+                    )
+                )
+    # .flush() on a handle whose def-use chain reaches open().
+    for fn in module.functions:
+        cfg = build_cfg(fn.node)
+        reaching = ReachingDefs(cfg)
+        for block in cfg.blocks.values():
+            for stmt in block.stmts:
+                for call in own_calls(stmt):
+                    func = call.func
+                    if not (
+                        isinstance(func, ast.Attribute)
+                        and func.attr == "flush"
+                        and isinstance(func.value, ast.Name)
+                    ):
+                        continue
+                    defs = reaching.reaching(block.id, stmt, func.value.id)
+                    opened = [
+                        d
+                        for d in defs
+                        if d.value is not None
+                        and isinstance(d.value, ast.Call)
+                        and _terminal(d.value.func) in FILE_FACTORIES
+                    ]
+                    if opened:
+                        findings.append(
+                            Finding(
+                                path=module.rel,
+                                line=call.lineno,
+                                rule="RL702",
+                                message=(
+                                    f"{func.value.id}.flush() on an open() "
+                                    "handle outside the durability module: "
+                                    "unpoliced flushes widen the crash "
+                                    "window the WAL accounts for"
+                                ),
+                                symbol=fn.qualname,
+                                chain=(
+                                    f"open@{opened[0].stmt.lineno}",
+                                    f"flush@{call.lineno}",
+                                ),
+                            )
+                        )
+    return findings
+
+
+def check(modules: list[Module]) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        is_durability = module.rel.endswith(DURABILITY_MODULE)
+        findings.extend(_check_swallowed_crashes(module))
+        if not is_durability:
+            findings.extend(_check_fsync_policy(module))
+        if BROKER_SCOPE in module.rel and not is_durability:
+            for fn in module.functions:
+                findings.extend(_check_journal_coverage(fn, module))
+    return findings

@@ -1,0 +1,451 @@
+"""RL600/RL601/RL602: reproducible scores need reproducible iteration.
+
+The reproduction's headline guarantees are all bit-exactness claims:
+scalar vs. kernel parity within a documented tolerance (PR 7),
+byte-identical WAL frames across reruns (PR 8), approximate ⊆ exact
+anchors (PR 9). Each one dies quietly the moment an unordered
+collection decides the order of a float summation, a serialized frame,
+or a delivered batch — and Python makes that a one-character mistake
+(``for t in terms`` where ``terms`` is a ``set``).
+
+* **RL600** — an unseeded randomness source: ``random.<fn>()`` /
+  ``np.random.<fn>()`` module-level calls, or ``random.Random()`` /
+  ``np.random.default_rng()`` / ``RandomState()`` constructed without a
+  seed argument. Seed-pinned construction (``random.Random(seed)``,
+  ``default_rng(self.seed)``) is the sanctioned idiom; instance methods
+  on such generators are not flagged (the instance carries the seed).
+* **RL601** — iterating a set-typed expression (literal, ``set()`` /
+  ``frozenset()`` call, set comprehension, set algebra, or a local
+  whose reaching definitions are all set-typed) where the iteration
+  order can escape: the loop body appends/extends a sequence, writes,
+  serializes, journals, yields, or delivers; or the set is materialized
+  directly by ``list()`` / ``tuple()`` / ``np.array`` / ``np.fromiter``
+  / ``join``. An intervening ``sorted(...)`` (or any order-insensitive
+  consumer — ``set``, ``sum``, ``min``, ``max``, ``len``, ``any``,
+  ``all``, ``frozenset``) silences it.
+* **RL602** — float-accumulation order: an augmented ``+=``/``*=`` on a
+  scalar accumulator inside a loop over a set-typed iterable, or
+  ``sum(...)`` over a set-typed argument. Scoped to ``semantics/`` and
+  ``core/``, where accumulated floats are score material and summation
+  order is exactly the kernel-parity contract.
+
+Dict iteration (``.keys()`` / ``.values()`` / ``.items()``) is
+deliberately *not* flagged: dicts preserve insertion order, so a dict
+built deterministically iterates deterministically — the repo relies on
+that pervasively and it is sound.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.dataflow import ReachingDefs, build_cfg
+from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionInfo, Module
+
+__all__ = ["check", "ORDER_SINK_NAMES", "UNSEEDED_FACTORIES"]
+
+#: Module-level functions on ``random`` / ``np.random`` that read the
+#: shared, unseeded global generator.
+GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+        "rand",
+        "randn",
+        "bytes",
+        "permutation",
+        "standard_normal",
+    }
+)
+
+#: Generator constructors that are deterministic only when seeded.
+UNSEEDED_FACTORIES = frozenset({"Random", "default_rng", "RandomState", "seed"})
+
+#: Method names whose call consumes iteration order: appending to a
+#: sequence, serializing, journaling, writing, delivering.
+ORDER_SINK_NAMES = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "write",
+        "writelines",
+        "send",
+        "put",
+        "dump",
+        "dumps",
+        "pack",
+        "publish",
+        "dispatch",
+        "deliver",
+        "record",
+        "join",
+    }
+)
+
+#: Call names that materialize their argument in iteration order.
+MATERIALIZERS = frozenset(
+    {"list", "tuple", "array", "fromiter", "concatenate", "stack", "hstack"}
+)
+
+#: Consumers for which iteration order provably cannot matter.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {
+        "sorted",
+        "set",
+        "frozenset",
+        "len",
+        "min",
+        "max",
+        "any",
+        "all",
+        "dict",
+        "Counter",
+        "unique",
+    }
+)
+
+#: RL602 applies where accumulated floats are score material. Matched
+#: by path segment (not a root-relative prefix) so fixture trees lint
+#: identically whichever root the run was anchored at.
+FLOAT_ACCUMULATION_SCOPES = ("repro/semantics/", "repro/core/")
+
+
+def _terminal(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _receiver_name(expr: ast.expr) -> str | None:
+    """The immediate receiver identifier of an attribute chain."""
+    if isinstance(expr, ast.Attribute):
+        value = expr.value
+        if isinstance(value, ast.Name):
+            return value.id
+        if isinstance(value, ast.Attribute):
+            return value.attr
+    return None
+
+
+class _SetTypes:
+    """Local set-typedness inference for one function body."""
+
+    def __init__(self, fn: FunctionInfo) -> None:
+        self._cfg = build_cfg(fn.node)
+        self._reaching = ReachingDefs(self._cfg)
+
+    def is_set_expr(self, expr: ast.expr, at: ast.stmt, depth: int = 0) -> bool:
+        """Is ``expr`` statically a set/frozenset in this function?"""
+        if depth > 4:
+            return False
+        if isinstance(expr, ast.Set) or isinstance(expr, ast.SetComp):
+            return True
+        if isinstance(expr, ast.Call):
+            name = _terminal(expr.func)
+            if name in {"set", "frozenset"}:
+                return True
+            if name in {
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            } and isinstance(expr.func, ast.Attribute):
+                return self.is_set_expr(expr.func.value, at, depth + 1)
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(expr.left, at, depth + 1) or self.is_set_expr(
+                expr.right, at, depth + 1
+            )
+        if isinstance(expr, ast.Name):
+            block = self._cfg.block_of_stmt.get(id(at))
+            if block is None:
+                return False
+            defs = self._reaching.reaching(block, at, expr.id)
+            if not defs:
+                return False
+            typed = [d for d in defs if d.value is not None]
+            if not typed:
+                # Annotated-but-unvalued or unpacking defs: trust an
+                # explicit ``: set[...]`` annotation when present.
+                return any(
+                    isinstance(d.stmt, ast.AnnAssign)
+                    and _annotation_is_set(d.stmt.annotation)
+                    for d in defs
+                )
+            return all(
+                self.is_set_expr(d.value, d.stmt, depth + 1)
+                for d in typed
+                if d.value is not None
+            )
+        return False
+
+
+def _annotation_is_set(annotation: ast.expr) -> bool:
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_is_set(annotation.value)
+    terminal = _terminal(annotation)
+    return terminal in {"set", "frozenset", "Set", "FrozenSet"}
+
+
+def _walk_shallow(node: ast.AST) -> list[ast.AST]:
+    """Walk without descending into nested function definitions."""
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if cur is not node and isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+class _FunctionChecker:
+    def __init__(self, fn: FunctionInfo, module: Module) -> None:
+        self.fn = fn
+        self.module = module
+        self.findings: list[Finding] = []
+        self._types: _SetTypes | None = None
+        #: parent map for consumer lookups, built lazily.
+        self._parents: dict[int, ast.AST] | None = None
+
+    # -- shared lazy state -------------------------------------------------
+
+    @property
+    def types(self) -> _SetTypes:
+        if self._types is None:
+            self._types = _SetTypes(self.fn)
+        return self._types
+
+    @property
+    def parents(self) -> dict[int, ast.AST]:
+        if self._parents is None:
+            self._parents = {}
+            for node in _walk_shallow(self.fn.node):
+                for child in ast.iter_child_nodes(node):
+                    self._parents[id(child)] = node
+        return self._parents
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", self.fn.node.lineno)
+        self.findings.append(
+            Finding(
+                path=self.module.rel,
+                line=line,
+                rule=rule,
+                message=message,
+                symbol=self.fn.qualname,
+            )
+        )
+
+    # -- RL600 -------------------------------------------------------------
+
+    def check_random(self, random_aliases: set[str], np_aliases: set[str]) -> None:
+        for node in _walk_shallow(self.fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            recv = func.value
+            is_random_module = isinstance(recv, ast.Name) and recv.id in random_aliases
+            is_np_random = (
+                isinstance(recv, ast.Attribute)
+                and recv.attr == "random"
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id in np_aliases
+            ) or (isinstance(recv, ast.Name) and recv.id == "nprandom")
+            if not (is_random_module or is_np_random):
+                continue
+            source = "np.random" if is_np_random else "random"
+            if func.attr in UNSEEDED_FACTORIES:
+                if not node.args and not node.keywords:
+                    self._emit(
+                        node,
+                        "RL600",
+                        f"{source}.{func.attr}() without a seed: scores and "
+                        "replay become run-dependent (pin a seed)",
+                    )
+            elif func.attr in GLOBAL_RANDOM_FNS:
+                self._emit(
+                    node,
+                    "RL600",
+                    f"{source}.{func.attr}() reads the global unseeded "
+                    "generator (construct a seeded instance instead)",
+                )
+
+    # -- RL601 / RL602 -----------------------------------------------------
+
+    def _sink_in_loop_body(self, loop: ast.For) -> tuple[str, int] | None:
+        """First order-sensitive operation in the loop body, if any."""
+        for stmt in loop.body:
+            for node in _walk_shallow(stmt):
+                if isinstance(node, ast.Call):
+                    name = _terminal(node.func)
+                    if name in ORDER_SINK_NAMES or (
+                        name is not None
+                        and (name.startswith("log_") or name.startswith("journal"))
+                    ):
+                        return (f"{name}()", node.lineno)
+                elif isinstance(node, ast.Yield) or isinstance(node, ast.YieldFrom):
+                    return ("yield", node.lineno)
+        return None
+
+    def check_set_flow(self, *, accumulation_scope: bool) -> None:
+        for node in _walk_shallow(self.fn.node):
+            if isinstance(node, ast.For):
+                self._check_for(node, accumulation_scope=accumulation_scope)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                self._check_comprehension(node)
+            elif isinstance(node, ast.Call):
+                self._check_materializer(node)
+                if accumulation_scope:
+                    self._check_sum(node)
+
+    def _enclosing_stmt(self, node: ast.AST) -> ast.stmt | None:
+        cur: ast.AST | None = node
+        while cur is not None and not isinstance(cur, ast.stmt):
+            cur = self.parents.get(id(cur))
+        return cur
+
+    def _is_set_iterable(self, expr: ast.expr, near: ast.AST) -> bool:
+        at = self._enclosing_stmt(near)
+        if at is None:
+            return False
+        return self.types.is_set_expr(expr, at)
+
+    def _check_for(self, loop: ast.For, *, accumulation_scope: bool) -> None:
+        if not self._is_set_iterable(loop.iter, loop):
+            return
+        sink = self._sink_in_loop_body(loop)
+        if sink is not None:
+            label, line = sink
+            self._emit(
+                loop,
+                "RL601",
+                f"iterating a set feeds {label} at line {line}: order "
+                "escapes into output (iterate sorted(...) or a stable key)",
+            )
+        if accumulation_scope:
+            for stmt in loop.body:
+                for node in _walk_shallow(stmt):
+                    if (
+                        isinstance(node, ast.AugAssign)
+                        and isinstance(node.op, (ast.Add, ast.Mult))
+                        and isinstance(node.target, ast.Name)
+                    ):
+                        self._emit(
+                            node,
+                            "RL602",
+                            f"accumulating into {node.target.id!r} over a set: "
+                            "float summation order is unspecified (iterate "
+                            "sorted(...) to pin it)",
+                        )
+
+    def _consumer_name(self, node: ast.AST) -> str | None:
+        parent = self.parents.get(id(node))
+        if isinstance(parent, ast.Call):
+            return _terminal(parent.func)
+        return None
+
+    def _check_comprehension(
+        self, comp: ast.ListComp | ast.GeneratorExp
+    ) -> None:
+        first = comp.generators[0]
+        if not self._is_set_iterable(first.iter, comp):
+            return
+        consumer = self._consumer_name(comp)
+        if consumer in ORDER_INSENSITIVE_CONSUMERS or consumer == "sum":
+            # sum over floats is RL602's concern, handled at the call.
+            return
+        kind = "list" if isinstance(comp, ast.ListComp) else "generator"
+        self._emit(
+            comp,
+            "RL601",
+            f"{kind} comprehension over a set materializes iteration "
+            "order (wrap the iterable in sorted(...))",
+        )
+
+    def _check_materializer(self, call: ast.Call) -> None:
+        name = _terminal(call.func)
+        if name not in MATERIALIZERS or not call.args:
+            return
+        if self._is_set_iterable(call.args[0], call):
+            self._emit(
+                call,
+                "RL601",
+                f"{name}() materializes a set in iteration order (wrap "
+                "the argument in sorted(...))",
+            )
+
+    def _check_sum(self, call: ast.Call) -> None:
+        if _terminal(call.func) != "sum" or not call.args:
+            return
+        arg = call.args[0]
+        if isinstance(arg, (ast.GeneratorExp, ast.SetComp)):
+            if self._is_set_iterable(arg.generators[0].iter, call):
+                self._emit(
+                    call,
+                    "RL602",
+                    "sum() over a set-driven generator: float summation "
+                    "order is unspecified (sum over sorted(...))",
+                )
+        elif self._is_set_iterable(arg, call):
+            self._emit(
+                call,
+                "RL602",
+                "sum() over a set: float summation order is unspecified "
+                "(sum over sorted(...))",
+            )
+
+
+def _module_aliases(module: Module) -> tuple[set[str], set[str]]:
+    """(aliases of the ``random`` module, aliases of numpy)."""
+    random_aliases: set[str] = set()
+    np_aliases: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    random_aliases.add(alias.asname or "random")
+                if alias.name == "numpy":
+                    np_aliases.add(alias.asname or "numpy")
+    return random_aliases, np_aliases
+
+
+def check(modules: list[Module]) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        random_aliases, np_aliases = _module_aliases(module)
+        accumulation_scope = any(
+            scope in module.rel for scope in FLOAT_ACCUMULATION_SCOPES
+        )
+        for fn in module.functions:
+            checker = _FunctionChecker(fn, module)
+            if random_aliases or np_aliases:
+                checker.check_random(random_aliases, np_aliases)
+            checker.check_set_flow(accumulation_scope=accumulation_scope)
+            findings.extend(checker.findings)
+    return findings

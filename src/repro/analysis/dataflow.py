@@ -1,0 +1,632 @@
+"""Per-function control-flow graphs with def-use for repro-lint.
+
+The PR-5 checkers are syntactic: they look at what a ``with`` body or a
+call chain *contains*. The determinism (RL6xx), crash-consistency
+(RL7xx) and resource-lifecycle (RL8xx) families need to reason about
+*paths* — "is this mutation always followed by a journal write?", "does
+some path leak this handle?" — so this module builds a small, honest
+CFG per function and layers classic dataflow on top:
+
+* :func:`build_cfg` — basic blocks and edges for the full statement
+  grammar the repo uses (``if``/``while``/``for``/``try``/``with``,
+  ``break``/``continue``/``return``/``raise``), including:
+
+  - **may-raise edges**: any statement that contains a call, subscript,
+    or attribute access gets an edge to the innermost enclosing handler
+    chain (or the function exit) — exceptions are control flow, and the
+    leak the RL801 checker exists for lives on exactly those edges;
+  - **finally routing**: ``return``/``break``/``raise`` inside a
+    ``try``/``finally`` traverse the ``finally`` body before leaving,
+    so a close in a ``finally`` covers every exit the way it does at
+    runtime;
+  - **guard collapse** (opt-in): ``if`` tests that mention a configured
+    name (``durability`` for RL700) are resolved as if the feature were
+    enabled, so a write-ahead journal call under ``if self.durability
+    is not None:`` dominates the mutation it protects.
+
+* :class:`ReachingDefs` — forward may-analysis mapping every variable
+  use to the assignments that can reach it (worklist over the CFG).
+
+* :meth:`CFG.dominators` / :meth:`CFG.postdominators` — the standard
+  iterative lattice, used by RL700's "journal call covers the
+  mutation" query.
+
+* :meth:`CFG.path_avoiding` — "can execution reach ``target`` from
+  ``start`` without passing through ``avoid``?", the shape of every
+  leak question RL8xx asks.
+
+Soundness stance: the CFG is intentionally over-approximate in the
+same spirit as the PR-5 call graph — extra edges (every call may
+raise) cost a reviewable finding; missing edges cost a latent bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CFG",
+    "Block",
+    "Definition",
+    "ReachingDefs",
+    "build_cfg",
+    "assigned_names",
+    "own_calls",
+    "stmt_may_raise",
+    "stmt_own_exprs",
+]
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line statements plus its edges.
+
+    ``raises_to`` records which successors are exception edges (a
+    subset of ``succs``) so path queries can distinguish the normal
+    return from an unwinding exit when a rule cares.
+    """
+
+    id: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: set[int] = field(default_factory=set)
+    preds: set[int] = field(default_factory=set)
+    raises_to: set[int] = field(default_factory=set)
+
+    @property
+    def first_line(self) -> int:
+        return self.stmts[0].lineno if self.stmts else 0
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, Block] = {}
+        self._next_id = 0
+        self.entry = self._new_block().id
+        self.exit = self._new_block().id
+        #: statement id() -> block id, for checkers locating a statement.
+        self.block_of_stmt: dict[int, int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def _new_block(self) -> Block:
+        block = Block(id=self._next_id)
+        self.blocks[block.id] = block
+        self._next_id += 1
+        return block
+
+    def _edge(self, src: int, dst: int, *, exceptional: bool = False) -> None:
+        self.blocks[src].succs.add(dst)
+        self.blocks[dst].preds.add(src)
+        if exceptional:
+            self.blocks[src].raises_to.add(dst)
+
+    # -- queries -----------------------------------------------------------
+
+    def reachable_from_entry(self) -> set[int]:
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def dominators(self) -> dict[int, set[int]]:
+        """block id -> the set of blocks dominating it (itself included)."""
+        return self._dominance(self.entry, forward=True)
+
+    def postdominators(self) -> dict[int, set[int]]:
+        """block id -> the set of blocks post-dominating it."""
+        return self._dominance(self.exit, forward=False)
+
+    def _dominance(self, root: int, *, forward: bool) -> dict[int, set[int]]:
+        ids = sorted(self.blocks)
+        full = set(ids)
+        dom: dict[int, set[int]] = {b: set(full) for b in ids}
+        dom[root] = {root}
+        changed = True
+        while changed:
+            changed = False
+            for b in ids:
+                if b == root:
+                    continue
+                edges = self.blocks[b].preds if forward else self.blocks[b].succs
+                incoming = [dom[p] for p in edges]
+                new = set.intersection(*incoming) if incoming else set(full)
+                new.add(b)
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        return dom
+
+    def path_avoiding(
+        self, start: int, target: int, avoid: set[int]
+    ) -> bool:
+        """True if ``target`` is reachable from ``start`` without entering
+        any block in ``avoid`` (``start`` itself is not tested)."""
+        if start == target:
+            return True
+        seen = {start}
+        stack = [start]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ in avoid or succ in seen:
+                    continue
+                if succ == target:
+                    return True
+                seen.add(succ)
+                stack.append(succ)
+        return False
+
+    def succs_after(self, block_id: int, stmt: ast.stmt) -> set[int]:
+        """Successor blocks of ``block_id`` live *after* ``stmt`` ran.
+
+        Block-level raise edges over-approximate at the statement
+        level: a block whose only may-raise statement *is* the resource
+        creation would otherwise report a leak path for the exception
+        that prevented the resource from existing. Statements within a
+        block all share the same innermost handler (try boundaries
+        start new blocks), so the raise edges apply iff some statement
+        strictly after ``stmt`` may itself raise.
+        """
+        block = self.blocks[block_id]
+        later = False
+        seen_stmt = False
+        for candidate in block.stmts:
+            if seen_stmt and stmt_may_raise(candidate):
+                later = True
+                break
+            if candidate is stmt:
+                seen_stmt = True
+        if later:
+            return set(block.succs)
+        return set(block.succs) - block.raises_to
+
+
+def stmt_own_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions a statement evaluates *itself*, bodies excluded.
+
+    Compound statements appear in blocks as head markers (an ``if``
+    lives in the block that evaluates its test; its branches live in
+    successor blocks), so checkers scanning a block must not descend
+    into compound bodies — those statements are recorded in their own
+    blocks.
+    """
+    if isinstance(stmt, ast.If):
+        return [stmt.test]
+    if isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: list[ast.expr] = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    if isinstance(stmt, ast.Try):
+        return []
+    return [
+        node
+        for node in ast.iter_child_nodes(stmt)
+        if isinstance(node, ast.expr)
+    ]
+
+
+def own_calls(stmt: ast.stmt) -> list[ast.Call]:
+    """Calls in a statement's own expressions (nested defs excluded)."""
+    out: list[ast.Call] = []
+    stack: list[ast.AST] = list(stmt_own_exprs(stmt))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def stmt_may_raise(stmt: ast.stmt) -> bool:
+    """Conservatively: does executing ``stmt`` potentially raise?
+
+    Any contained call, subscript, attribute access, or explicit
+    ``raise``/``assert`` counts. Nested function *definitions* do not —
+    defining a closure cannot raise on behalf of its body.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Call, ast.Subscript, ast.Attribute)):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _guard_polarity(test: ast.expr, names: tuple[str, ...]) -> bool | None:
+    """Resolve a feature-guard test as if the feature were enabled.
+
+    Returns ``True`` (take the body), ``False`` (take the else), or
+    ``None`` (not a recognized guard — keep both edges). Recognized
+    shapes, where ``<g>`` is a Name/Attribute whose terminal identifier
+    contains one of ``names``:
+
+    * ``<g>`` / ``<g> is not None``            -> True
+    * ``not <g>`` / ``<g> is None``            -> False
+    * ``<g> is not None and <rest>`` — the guard conjunct is dropped
+      and the rest re-resolved (``None`` when the rest is a real
+      condition, which keeps both edges — correct: the guard being on
+      does not decide the other conjunct).
+    """
+    def is_guard_name(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            terminal = expr.id
+        elif isinstance(expr, ast.Attribute):
+            terminal = expr.attr
+        else:
+            return False
+        lowered = terminal.lower()
+        return any(n in lowered for n in names)
+
+    if is_guard_name(test):
+        return True
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        inner = _guard_polarity(test.operand, names)
+        return None if inner is None else not inner
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Is, ast.IsNot))
+        and is_guard_name(test.left)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return isinstance(test.ops[0], ast.IsNot)
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        rest = [
+            v
+            for v in test.values
+            if _guard_polarity(v, names) is not True
+        ]
+        if not rest:
+            return True
+        if len(rest) < len(test.values):
+            # Guard conjunct(s) removed; the remainder decides.
+            if len(rest) == 1:
+                return _guard_polarity(rest[0], names)
+            return None
+    return None
+
+
+class _Builder:
+    """Recursive-descent CFG construction over a statement list."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        collapse_guards: tuple[str, ...],
+        exception_edges: bool,
+    ) -> None:
+        self.cfg = cfg
+        self.collapse_guards = collapse_guards
+        self.exception_edges = exception_edges
+        # Innermost-first stack of exception targets: block ids that a
+        # raising statement unwinds to (handler head or finally head).
+        self.handler_stack: list[int] = []
+        # Innermost-first stack of pending finally bodies, replayed by
+        # abrupt exits (return/break/continue/raise) on their way out.
+        self.finally_stack: list[list[ast.stmt]] = []
+        self.loop_stack: list[tuple[int, int]] = []  # (head, after)
+
+    # Every method takes the current block id and returns the block id
+    # control falls out of, or None when the path terminated.
+
+    def build(self, stmts: list[ast.stmt], current: int | None) -> int | None:
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code after a terminator: still record the
+                # statements so symbol lookup works, in a dead block.
+                current = self.cfg._new_block().id
+            current = self.statement(stmt, current)
+        return current
+
+    def _raise_target(self) -> int:
+        return self.handler_stack[-1] if self.handler_stack else self.cfg.exit
+
+    def _append(self, stmt: ast.stmt, current: int) -> None:
+        self.cfg.blocks[current].stmts.append(stmt)
+        self.cfg.block_of_stmt[id(stmt)] = current
+        if self.exception_edges and stmt_may_raise(stmt):
+            self.cfg._edge(current, self._raise_target(), exceptional=True)
+
+    def _run_finallies(self, depth: int, current: int) -> int | None:
+        """Route an abrupt exit through pending finally bodies.
+
+        ``depth`` is how many innermost finally bodies to replay (all of
+        them for return/raise, down to the loop for break/continue).
+        """
+        for body in reversed(self.finally_stack[len(self.finally_stack) - depth :]):
+            current = self.build(body, current)
+            if current is None:
+                return None
+        return current
+
+    def statement(self, stmt: ast.stmt, current: int) -> int | None:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._append(stmt, current)
+            return self.build(stmt.body, current)
+        if isinstance(stmt, ast.Return):
+            self._append(stmt, current)
+            out = self._run_finallies(len(self.finally_stack), current)
+            if out is not None:
+                cfg._edge(out, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self._append(stmt, current)
+            cfg._edge(current, self._raise_target(), exceptional=True)
+            return None
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            self._append(stmt, current)
+            if self.loop_stack:
+                head, after = self.loop_stack[-1]
+                target = after if isinstance(stmt, ast.Break) else head
+                cfg._edge(current, target)
+            return None
+        self._append(stmt, current)
+        return current
+
+    def _if(self, stmt: ast.If, current: int) -> int | None:
+        cfg = self.cfg
+        self._append(stmt, current)
+        polarity = (
+            _guard_polarity(stmt.test, self.collapse_guards)
+            if self.collapse_guards
+            else None
+        )
+        join = cfg._new_block().id
+        outs: list[int | None] = []
+        if polarity in (True, None):
+            body_head = cfg._new_block().id
+            cfg._edge(current, body_head)
+            outs.append(self.build(stmt.body, body_head))
+        if polarity in (False, None):
+            if stmt.orelse:
+                else_head = cfg._new_block().id
+                cfg._edge(current, else_head)
+                outs.append(self.build(stmt.orelse, else_head))
+            else:
+                outs.append(current)
+        alive = False
+        for out in outs:
+            if out is not None:
+                cfg._edge(out, join)
+                alive = True
+        return join if alive else None
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: int
+    ) -> int | None:
+        cfg = self.cfg
+        head = cfg._new_block().id
+        cfg._edge(current, head)
+        # The loop header owns the test/iterator statement itself.
+        self._append(stmt, head)
+        after = cfg._new_block().id
+        body_head = cfg._new_block().id
+        cfg._edge(head, body_head)
+        cfg._edge(head, after)  # zero iterations / loop exit
+        self.loop_stack.append((head, after))
+        body_out = self.build(stmt.body, body_head)
+        self.loop_stack.pop()
+        if body_out is not None:
+            cfg._edge(body_out, head)
+        if stmt.orelse:
+            else_out = self.build(stmt.orelse, after)
+            if else_out is None:
+                return None
+            return else_out
+        return after
+
+    def _try(self, stmt: ast.Try, current: int) -> int | None:
+        cfg = self.cfg
+        outs: list[int | None] = []
+        final_head: int | None = None
+        if stmt.finalbody:
+            final_head = cfg._new_block().id
+            # Exceptional entry to finally: after replaying the body the
+            # exception continues unwinding to the *outer* target.
+            self.finally_stack.append(stmt.finalbody)
+
+        # Handlers (or the finally, if no handlers) catch body raises.
+        if stmt.handlers:
+            handler_heads = [cfg._new_block().id for _ in stmt.handlers]
+            catch_target = handler_heads[0]
+        else:
+            handler_heads = []
+            assert final_head is not None
+            catch_target = final_head
+
+        body_head = cfg._new_block().id
+        cfg._edge(current, body_head)
+        self.handler_stack.append(catch_target)
+        body_out = self.build(stmt.body, body_head)
+        self.handler_stack.pop()
+        if stmt.orelse and body_out is not None:
+            body_out = self.build(stmt.orelse, body_out)
+        outs.append(body_out)
+
+        # Each handler body may itself raise: to the finally when
+        # present, else outward.
+        for head, handler in zip(handler_heads, stmt.handlers, strict=True):
+            # All handler heads are alternatives of the same catch
+            # point: chain them so a non-matching type falls through.
+            target = self._raise_target() if final_head is None else final_head
+            self.handler_stack.append(target)
+            outs.append(self.build(handler.body, head))
+            self.handler_stack.pop()
+        for first, second in zip(handler_heads, handler_heads[1:], strict=False):
+            cfg._edge(first, second)
+        if handler_heads:
+            # An exception matching no handler clause keeps unwinding:
+            # through the finally when present, else outward.
+            unmatched = final_head if final_head is not None else self._raise_target()
+            cfg._edge(handler_heads[-1], unmatched, exceptional=True)
+
+        if stmt.finalbody:
+            self.finally_stack.pop()
+            # Normal-path finally replay.
+            join_in = cfg._new_block().id
+            for out in outs:
+                if out is not None:
+                    cfg._edge(out, join_in)
+            normal_out = self.build(stmt.finalbody, join_in)
+            # Exceptional replay: the same statements re-walked into the
+            # dedicated final_head block, then continuing to unwind.
+            exc_out = self.build(list(stmt.finalbody), final_head)
+            if exc_out is not None:
+                cfg._edge(exc_out, self._raise_target(), exceptional=True)
+            return normal_out
+        alive = [out for out in outs if out is not None]
+        if not alive:
+            return None
+        join = cfg._new_block().id
+        for out in alive:
+            cfg._edge(out, join)
+        return join
+
+
+def build_cfg(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    collapse_guards: tuple[str, ...] = (),
+    exception_edges: bool = True,
+) -> CFG:
+    """Build the CFG of one function body.
+
+    ``collapse_guards``: terminal-identifier fragments whose ``if``
+    tests are resolved as feature-enabled (see module docstring).
+    ``exception_edges=False`` drops the may-raise edges: dominance
+    queries about the *normal* path (RL700's journal coverage) would
+    otherwise be dissolved by the fact that any call can unwind.
+    """
+    cfg = CFG()
+    builder = _Builder(cfg, collapse_guards, exception_edges)
+    out = builder.build(fn.body, cfg.entry)
+    if out is not None:
+        cfg._edge(out, cfg.exit)
+    return cfg
+
+
+# -- def-use ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One assignment of ``name``: the defining statement and its value.
+
+    ``value`` is the assigned expression when the definition has one
+    (``x = expr``, ``for x in expr`` records ``expr``), else ``None``
+    (``with ... as x``, ``except ... as x``, augmented assignment).
+    """
+
+    name: str
+    stmt: ast.stmt
+    value: ast.expr | None
+
+
+def assigned_names(stmt: ast.stmt) -> list[Definition]:
+    """The variable definitions a statement introduces."""
+    defs: list[Definition] = []
+
+    def targets(target: ast.expr, value: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            defs.append(Definition(name=target.id, stmt=stmt, value=value))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                # Tuple unpacking: the per-name value is unknown.
+                targets(element, None)
+        elif isinstance(target, ast.Starred):
+            targets(target.value, None)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            targets(target, stmt.value)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets(stmt.target, stmt.value)
+    elif isinstance(stmt, ast.AugAssign):
+        targets(stmt.target, None)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets(stmt.target, stmt.iter)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                targets(item.optional_vars, item.context_expr)
+    return defs
+
+
+class ReachingDefs:
+    """Forward may-analysis: which definitions reach each block entry."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        gen: dict[int, dict[str, set[int]]] = {}
+        self._defs: dict[int, Definition] = {}
+        for block in cfg.blocks.values():
+            block_gen: dict[str, set[int]] = {}
+            for stmt in block.stmts:
+                for definition in assigned_names(stmt):
+                    self._defs[id(definition)] = definition
+                    # A later def in the same block kills the earlier.
+                    block_gen[definition.name] = {id(definition)}
+            gen[block.id] = block_gen
+        # in[b] = union over preds of out[p]; out[b] = gen[b] over in[b].
+        self.entry_defs: dict[int, dict[str, set[int]]] = {
+            b: {} for b in cfg.blocks
+        }
+        out: dict[int, dict[str, set[int]]] = {b: dict(gen[b]) for b in cfg.blocks}
+        changed = True
+        while changed:
+            changed = False
+            for b in sorted(cfg.blocks):
+                merged: dict[str, set[int]] = {}
+                for pred in cfg.blocks[b].preds:
+                    for name, ids in out[pred].items():
+                        merged.setdefault(name, set()).update(ids)
+                if merged != self.entry_defs[b]:
+                    self.entry_defs[b] = merged
+                    changed = True
+                new_out = {k: set(v) for k, v in merged.items()}
+                new_out.update({k: set(v) for k, v in gen[b].items()})
+                if new_out != out[b]:
+                    out[b] = new_out
+                    changed = True
+
+    def reaching(self, block_id: int, stmt: ast.stmt, name: str) -> list[Definition]:
+        """Definitions of ``name`` that may reach ``stmt`` in its block."""
+        live = {
+            def_id: self._defs[def_id]
+            for def_id in self.entry_defs.get(block_id, {}).get(name, set())
+        }
+        for candidate in self.cfg.blocks[block_id].stmts:
+            if candidate is stmt:
+                break
+            for definition in assigned_names(candidate):
+                if definition.name == name:
+                    live = {id(definition): definition}
+        return list(live.values())

@@ -80,6 +80,51 @@ RULES: tuple[Rule, ...] = (
         "api",
         "Frozen-config field set drifts from the reviewed snapshot.",
     ),
+    Rule(
+        "RL600",
+        "determinism",
+        "Unseeded random source outside a seed-pinned helper.",
+    ),
+    Rule(
+        "RL601",
+        "determinism",
+        "Set iteration flows into an order-sensitive sink without sorted().",
+    ),
+    Rule(
+        "RL602",
+        "determinism",
+        "Float accumulation over an unordered iterable.",
+    ),
+    Rule(
+        "RL700",
+        "crash-consistency",
+        "Journaled broker state mutated without a covering journal call.",
+    ),
+    Rule(
+        "RL701",
+        "crash-consistency",
+        "Handler can swallow SimulatedCrash/BaseException without re-raising.",
+    ),
+    Rule(
+        "RL702",
+        "crash-consistency",
+        "fsync/flush on a file handle outside the durability boundary.",
+    ),
+    Rule(
+        "RL800",
+        "resource-lifecycle",
+        "Thread/process started but never joined and not a daemon.",
+    ),
+    Rule(
+        "RL801",
+        "resource-lifecycle",
+        "File/memmap handle lacks a deterministic close on some path.",
+    ),
+    Rule(
+        "RL802",
+        "resource-lifecycle",
+        "Lock acquired without an exception-safe release.",
+    ),
 )
 
 _RULES_BY_ID = {r.id: r for r in RULES}

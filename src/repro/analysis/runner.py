@@ -11,9 +11,12 @@ from repro.analysis.callgraph import CallGraph
 from repro.analysis.checkers import (
     api_surface,
     clock_discipline,
+    crash_consistency,
+    determinism,
     lock_order,
     lock_scope,
     metrics_manifest,
+    resource_lifecycle,
 )
 from repro.analysis.findings import RULES, Finding
 from repro.analysis.project import load_modules
@@ -98,11 +101,18 @@ def run_lint(
     *,
     allowlist: Path | None = None,
     allow_entries: list[AllowEntry] | None = None,
+    changed_scope: bool = False,
 ) -> LintResult:
     """Run every checker over ``paths`` (default: ``<root>/src``).
 
     ``allowlist`` defaults to ``<root>/.repro-lint.toml`` when present;
     pass ``allow_entries`` directly to bypass file loading (tests).
+    ``changed_scope=True`` marks a partial-tree run (``repro lint
+    --changed``): whole-tree drift checks (API surface) are skipped —
+    they compare the reviewed snapshot against *every* module, so a
+    slice always looks like drift — and allowlist entries for unscanned
+    files are not reported as stale. CI's whole-tree walk stays
+    authoritative for both.
     """
     root = root.resolve()
     if paths is None:
@@ -116,7 +126,11 @@ def run_lint(
     findings += lock_order.check(modules, graph)
     findings += clock_discipline.check(modules)
     findings += metrics_manifest.check(modules, exact, wildcards)
-    findings += api_surface.check(modules, root)
+    if not changed_scope:
+        findings += api_surface.check(modules, root)
+    findings += determinism.check(modules)
+    findings += crash_consistency.check(modules)
+    findings += resource_lifecycle.check(modules)
 
     if allow_entries is None:
         if allowlist is None:
@@ -127,7 +141,7 @@ def run_lint(
     kept.sort(key=Finding.sort_key)
     return LintResult(
         findings=kept,
-        stale=stale,
+        stale=[] if changed_scope else stale,
         suppressed=suppressed,
         checked_files=len(modules),
     )

@@ -323,13 +323,19 @@ class ThematicBroker:
         return handle
 
     def unsubscribe(self, handle: SubscriptionHandle) -> bool:
-        if self.durability is not None and handle.id in self._subscribers:
-            # Write-ahead: journal the removal before applying it.
+        if handle.id not in self._subscribers:
+            return False
+        if self.durability is not None:
+            # Write-ahead: journal the removal before applying it. The
+            # unknown-id early return above keeps this the *only* path
+            # to the mutation, so the journal record always precedes it
+            # (RL700: the log call must dominate the state change).
             self.durability.log_unsubscribe(handle.id)
         engine_handle = self._engine_handles.pop(handle.id, None)
         if engine_handle is not None:
             self.engine.unsubscribe(engine_handle)
-        return self._subscribers.pop(handle.id, None) is not None
+        del self._subscribers[handle.id]
+        return True
 
     def subscriber_count(self) -> int:
         return len(self._subscribers)

@@ -342,9 +342,8 @@ class ProcessShardExecutor:
         inner = measure.inner if isinstance(measure, CachedMeasure) else measure
         space = inner.space
         digest = corpus_digest(space.documents)
-        fd, self._space_path = tempfile.mkstemp(suffix=".repro-col")
-        os.close(fd)
-        save_columnar(space.columnar(), self._space_path, digest=digest)
+        # Plain state first: _shutdown reads these, so they must exist
+        # before any statement that can raise with the temp file live.
         ctx = multiprocessing.get_context("spawn")
         self._lock = threading.RLock()
         self._counts = [0] * shards
@@ -352,7 +351,14 @@ class ProcessShardExecutor:
         self._conns: list[Connection] = []
         self._closed = False
         self._final_snapshots: list[dict[str, Any]] = []
+        fd, self._space_path = tempfile.mkstemp(suffix=".repro-col")
         try:
+            os.close(fd)
+            # Inside the try: a failed snapshot write (disk full,
+            # serialization error) must unlink the temp file — before
+            # this, the exception escaped __init__ with no caller
+            # holding a reference to clean up (RL801).
+            save_columnar(space.columnar(), self._space_path, digest=digest)
             for index in range(shards):
                 spec = spec_from_matcher(
                     matcher,

@@ -579,6 +579,41 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_python_files(root: "pathlib.Path") -> list["pathlib.Path"]:
+    """Python files under ``src/`` that git reports as modified vs HEAD.
+
+    Covers unstaged, staged, and untracked files (the pre-push loop
+    cares about all three). Only ``src/`` files are returned: tests and
+    fixtures are lint *input*, not lint targets, and partial-tree runs
+    already accept the reduced call-graph context — CI's whole-tree
+    walk stays authoritative.
+    """
+    import subprocess
+
+    def _git(*argv: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", *argv],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        if proc.returncode != 0:
+            return []
+        return [line for line in proc.stdout.splitlines() if line]
+
+    names = set(_git("diff", "--name-only", "HEAD"))
+    names.update(_git("ls-files", "--others", "--exclude-standard"))
+    out = []
+    for name in sorted(names):
+        if not name.endswith(".py") or not name.startswith("src/"):
+            continue
+        path = root / name
+        if path.is_file():  # deleted files still appear in the diff
+            out.append(path)
+    return out
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repro static-analysis suite (see docs/static-analysis.md)."""
     from pathlib import Path
@@ -591,9 +626,47 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
     root = Path(args.root)
     paths = [Path(p) for p in args.paths] if args.paths else None
+    if args.changed:
+        if paths is not None:
+            print(
+                "repro lint: --changed and explicit paths are mutually "
+                "exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        paths = _changed_python_files(root)
+        if not paths:
+            print("repro lint --changed: no changed Python files under src/")
+            return 0
     allowlist = Path(args.allowlist) if args.allowlist else None
+    if args.growth_base is not None:
+        from repro.analysis.allowlist import check_growth, load_allowlist
+
+        head_path = allowlist or root / ".repro-lint.toml"
+        base_path = Path(args.growth_base)
+        try:
+            head = load_allowlist(head_path) if head_path.is_file() else []
+            # A missing base file means the allowlist did not exist at
+            # the base revision: every head entry counts as growth.
+            base = load_allowlist(base_path) if base_path.is_file() else []
+        except AllowlistError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        added, problems = check_growth(base, head)
+        for entry in added:
+            print(f"allowlist +{entry.describe()}")
+            print(f"  reason: {entry.reason}")
+        for problem in problems:
+            print(f"repro lint: {problem}", file=sys.stderr)
+        print(
+            f"repro lint --growth-base: {len(head)} entr(y/ies), "
+            f"{len(added)} added vs base, {len(problems)} problem(s)"
+        )
+        return 1 if problems else 0
     try:
-        result = run_lint(root, paths, allowlist=allowlist)
+        result = run_lint(
+            root, paths, allowlist=allowlist, changed_scope=args.changed
+        )
     except AllowlistError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
@@ -752,6 +825,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--allowlist", default=None,
                         help="allowlist file (default: <root>/.repro-lint.toml)")
     p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--changed", action="store_true",
+                        help="check only files git reports as changed "
+                             "relative to HEAD (pre-push loop; skips the "
+                             "whole-tree walk and stale-entry reporting)")
+    p_lint.add_argument("--growth-base", default=None, metavar="FILE",
+                        help="audit allowlist growth: compare the current "
+                             "allowlist against FILE (the base revision's "
+                             "copy; CI extracts it with `git show`) and "
+                             "exit 1 if an added entry reuses an existing "
+                             "reason verbatim")
     p_lint.add_argument("--stale-only", action="store_true",
                         help="report only stale allowlist entries (RL000); "
                              "exit 1 if any")
@@ -771,7 +854,12 @@ def main(argv: list[str] | None = None) -> int:
         # error worth a traceback. Detach stdout so interpreter
         # shutdown doesn't re-raise on the final flush.
         devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
+        try:
+            os.dup2(devnull, sys.stdout.fileno())
+        finally:
+            # dup2 duplicated the descriptor onto stdout; the original
+            # would otherwise leak one fd per in-process main() call.
+            os.close(devnull)
         return 0
     finally:
         # A command that dies mid-run must not leave the global tracer

@@ -751,7 +751,11 @@ class StagedBatchPipeline:
                         row = s_attr[r]
                         p_norm = p.attr_norm
                         p_id = p.attr_id
-                        for gid in group_attr:
+                        # Sorted: the iteration order decides the order
+                        # of the `missing` work list (and so the batch
+                        # scoring order downstream); a raw set here
+                        # would make it interpreter-run-dependent.
+                        for gid in sorted(group_attr):
                             if gid == p_id:
                                 continue
                             pair = (p_norm, norms[gid])
@@ -773,7 +777,9 @@ class StagedBatchPipeline:
                         row = s_val[r]
                         p_norm = p.value_norm
                         p_id = p.value_id
-                        for gid in group_val:
+                        # Sorted for the same reason as the attribute
+                        # side: `missing` order must be run-stable.
+                        for gid in sorted(group_val):
                             if gid == p_id:
                                 continue
                             pair = (p_norm, norms[gid])

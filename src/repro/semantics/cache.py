@@ -28,12 +28,18 @@ import threading
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.obs import MetricsRegistry
 from repro.semantics.pvsm import theme_key
 from repro.semantics.tokenize import normalize_term
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.semantics.measures import SemanticMeasure
 
 __all__ = [
     "RelatednessCache",
@@ -212,7 +218,7 @@ class PersistentScoreStore:
         *,
         corpus_digest: str,
         registry: MetricsRegistry | None = None,
-    ):
+    ) -> None:
         if not (len(key_hi) == len(key_lo) == len(scores)):
             raise ValueError("key/score arrays must have equal lengths")
         self._key_hi = key_hi
@@ -381,7 +387,7 @@ class PersistentScoreStore:
     def __len__(self) -> int:
         return len(self._scores)
 
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Write the store as a versioned binary snapshot."""
         from repro.semantics.persistence import save_score_store
 
@@ -390,7 +396,7 @@ class PersistentScoreStore:
     @classmethod
     def load(
         cls,
-        path,
+        path: str | Path,
         *,
         expected_digest: str | None = None,
         registry: MetricsRegistry | None = None,
@@ -404,7 +410,7 @@ class PersistentScoreStore:
 
 
 def precompute_scores(
-    measure,
+    measure: SemanticMeasure,
     subscription_terms: Iterable[str],
     event_terms: Iterable[str],
     *,

@@ -33,6 +33,7 @@ from repro.semantics.tokenize import tokenize
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.semantics.space import DistributionalVectorSpace
+    from repro.semantics.vectors import SparseVector
 
 __all__ = [
     "Posting",
@@ -182,7 +183,7 @@ class ApproxNeighborIndex:
 
     # -- signature construction --------------------------------------------
 
-    def _signature_keys(self, vector) -> tuple[bytes, ...]:
+    def _signature_keys(self, vector: SparseVector) -> tuple[bytes, ...]:
         """Per-band bucket keys of one vector's bit signature."""
         assert self._hyperplanes is not None
         doc_ids = np.fromiter((d for d, _ in vector.items()), dtype=np.int64)

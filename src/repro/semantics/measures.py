@@ -19,12 +19,15 @@ prior-work comparison (Section 5, P16 bench).
 from __future__ import annotations
 
 from collections.abc import Iterable
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.semantics.cache import PrecomputedScoreTable, RelatednessCache
 from repro.semantics.pvsm import ParametricVectorSpace
 from repro.semantics.space import DistributionalVectorSpace
 from repro.semantics.tokenize import normalize_term
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.semantics.kernel import KernelMeasure
 
 __all__ = [
     "SemanticMeasure",
@@ -77,12 +80,12 @@ class NonThematicMeasure:
 
     def __init__(
         self, space: DistributionalVectorSpace, *, vectorized: bool = False
-    ):
+    ) -> None:
         self.space = space
         self.vectorized = vectorized
-        self._kernel_measure = None
+        self._kernel_measure: KernelMeasure | None = None
 
-    def _kernel(self):
+    def _kernel(self) -> KernelMeasure:
         if self._kernel_measure is None:
             from repro.semantics.kernel import KernelMeasure
 
@@ -129,7 +132,7 @@ class ThematicMeasure:
         *,
         mode: str = "common",
         vectorized: bool = False,
-    ):
+    ) -> None:
         """``vectorized=True`` routes scoring (single and batched)
         through the space's numpy kernel instead of the scalar
         ``SparseVector`` path — same semantics, documented float
@@ -138,9 +141,9 @@ class ThematicMeasure:
         self.space = space
         self.mode = mode
         self.vectorized = vectorized
-        self._kernel_measure = None
+        self._kernel_measure: KernelMeasure | None = None
 
-    def _kernel(self):
+    def _kernel(self) -> KernelMeasure:
         if self._kernel_measure is None:
             from repro.semantics.kernel import KernelMeasure
 
@@ -183,7 +186,9 @@ class CachedMeasure:
     the throughput benchmarks.
     """
 
-    def __init__(self, inner: SemanticMeasure, cache: RelatednessCache | None = None):
+    def __init__(
+        self, inner: SemanticMeasure, cache: RelatednessCache | None = None
+    ) -> None:
         self.inner = inner
         self.cache = cache if cache is not None else RelatednessCache()
 
@@ -264,7 +269,7 @@ class PrecomputedMeasure:
         self,
         table: PrecomputedScoreTable,
         fallback: SemanticMeasure | None = None,
-    ):
+    ) -> None:
         self.table = table
         self.fallback = fallback
 

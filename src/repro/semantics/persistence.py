@@ -44,6 +44,7 @@ import hashlib
 import json
 import struct
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -127,7 +128,7 @@ def load_corpus(path: str | Path) -> DocumentSet:
     return documents
 
 
-def load_space(path: str | Path, **space_kwargs) -> ParametricVectorSpace:
+def load_space(path: str | Path, **space_kwargs: Any) -> ParametricVectorSpace:
     """Load a snapshot and build a parametric space over it."""
     return ParametricVectorSpace(load_corpus(path), **space_kwargs)
 

@@ -72,7 +72,7 @@ class ParametricVectorSpace(DistributionalVectorSpace):
         normalize: bool = True,
         metric: str = "euclidean",
         recompute_idf: bool = True,
-    ):
+    ) -> None:
         """``recompute_idf=False`` replaces Algorithm 1's sub-corpus idf
         recomputation with naive masking (keep the full-space tf/idf
         weight, zero out-of-basis components) — the ablation variant of

@@ -20,11 +20,17 @@ both.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.semantics.documents import DocumentSet
 from repro.semantics.index import InvertedIndex
 from repro.semantics.tokenize import normalize_term, tokenize
 from repro.semantics.vectors import ZERO_VECTOR, SparseVector
 from repro.semantics.weighting import tf_idf
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.semantics.columnar import ColumnarIndex
+    from repro.semantics.kernel import RelatednessKernel
 
 __all__ = ["DistributionalVectorSpace", "relatedness_from_distance"]
 
@@ -58,7 +64,7 @@ class DistributionalVectorSpace:
         *,
         normalize: bool = True,
         metric: str = "euclidean",
-    ):
+    ) -> None:
         if metric not in ("euclidean", "cosine"):
             raise ValueError(f"unknown metric: {metric!r}")
         self.documents = documents
@@ -67,12 +73,12 @@ class DistributionalVectorSpace:
         self.metric = metric
         self._token_vectors: dict[str, SparseVector] = {}
         self._term_vectors: dict[str, SparseVector] = {}
-        self._columnar = None
-        self._kernel = None
+        self._columnar: ColumnarIndex | None = None
+        self._kernel: RelatednessKernel | None = None
 
     # -- columnar backing (vectorized kernel) ------------------------------
 
-    def columnar(self):
+    def columnar(self) -> ColumnarIndex:
         """CSR backing of this space's index, built once on first use.
 
         The arrays carry the same information as the dict-based index
@@ -85,7 +91,7 @@ class DistributionalVectorSpace:
             self._columnar = ColumnarIndex.build(self.index)
         return self._columnar
 
-    def kernel(self):
+    def kernel(self) -> RelatednessKernel:
         """The vectorized relatedness kernel over :meth:`columnar`.
 
         Shared per space (its projection caches mirror the scalar

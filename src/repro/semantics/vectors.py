@@ -25,7 +25,9 @@ class SparseVector:
 
     __slots__ = ("_components", "_norm", "_normalized")
 
-    def __init__(self, components: Mapping[int, float] | Iterable[tuple[int, float]] = ()):
+    def __init__(
+        self, components: Mapping[int, float] | Iterable[tuple[int, float]] = ()
+    ) -> None:
         items = components.items() if isinstance(components, Mapping) else components
         self._components: dict[int, float] = {
             dim: float(w) for dim, w in items if w != 0.0

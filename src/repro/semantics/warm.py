@@ -166,8 +166,11 @@ def warm_score_table(
 
         digest = corpus_digest(space.documents)
         handle, space_path = tempfile.mkstemp(suffix=".repro-columnar")
-        os.close(handle)
         try:
+            # Inside the try: every statement between mkstemp and the
+            # finally is a window where an exception would leak the
+            # temp file (RL801).
+            os.close(handle)
             save_columnar(space.columnar(), space_path, digest=digest)
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(workers, len(chunks)),

@@ -1,0 +1,65 @@
+# ruff: noqa
+"""Known-bad determinism: every pattern here must trip RL600/RL601.
+
+Lint *input* for tests/analysis — loaded by path, never imported. Each
+bad shape is paired with the corrected idiom so the tests can pin both
+directions: the rule fires on the bug and stays quiet on the fix.
+"""
+import random
+import numpy as np
+
+
+def unseeded_sources():
+    a = random.random()  # RL600: global unseeded generator
+    rng = random.Random()  # RL600: constructor without a seed
+    g = np.random.default_rng()  # RL600: unseeded numpy generator
+    b = np.random.rand(3)  # RL600: numpy global generator
+    return a, rng, g, b
+
+
+def seeded_sources_are_fine(seed):
+    rng = random.Random(seed)
+    g = np.random.default_rng(42)
+    return rng.random(), g.random()
+
+
+def set_order_escapes(frames):
+    terms = {"pressure", "mbar", "bar"}
+    out = []
+    for term in terms:  # RL601: iteration order flows into append()
+        out.append(term)
+    frames.write(",".join(out))
+    return out
+
+
+def set_materialized(tags):
+    joined = set(tags) | {"theme"}
+    return list(joined)  # RL601: list() pins an unspecified order
+
+
+def comprehension_over_set(tags):
+    pool = frozenset(tags)
+    return [t.upper() for t in pool]  # RL601: listcomp materializes order
+
+
+def sorted_iteration_is_fine(frames):
+    terms = {"pressure", "mbar", "bar"}
+    out = []
+    for term in sorted(terms):
+        out.append(term)
+    frames.write(",".join(out))
+    return out
+
+
+def order_insensitive_consumers_are_fine(tags):
+    pool = set(tags)
+    total = len(pool)
+    widest = max(pool, default="")
+    return total, widest, sorted(pool)
+
+
+def dict_iteration_is_fine(scores):
+    out = []
+    for key in scores:  # dicts iterate in insertion order: deterministic
+        out.append(key)
+    return out

@@ -1,0 +1,103 @@
+# ruff: noqa
+"""Known-bad resource lifecycles: must trip RL800/RL801/RL802.
+
+Lint *input* for tests/analysis — loaded by path, never imported. Each
+bad shape is paired with the corrected idiom.
+"""
+import os
+import tempfile
+import threading
+
+
+class ForgottenWorker:
+    def __init__(self):
+        # RL800: neither daemon=True nor joined by any method here.
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        pass
+
+
+class JoinedWorker:
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        pass
+
+    def close(self):
+        self._worker.join()
+
+
+def leaky_temp_snapshot(write_snapshot):
+    fd, path = tempfile.mkstemp()
+    os.close(fd)
+    write_snapshot(path)  # RL801: a raise here leaks the temp file
+    os.unlink(path)
+
+
+def protected_temp_snapshot(write_snapshot):
+    fd, path = tempfile.mkstemp()
+    try:
+        os.close(fd)
+        write_snapshot(path)
+    finally:
+        os.unlink(path)
+
+
+def leaky_handle(path, render):
+    handle = open(path, "w")
+    handle.write(render())  # RL801: render() raising skips close
+    handle.close()
+
+
+def with_handle_is_fine(path, render):
+    with open(path, "w") as handle:
+        handle.write(render())
+
+
+class OrphanOnInitFailure:
+    def __init__(self, path, load):
+        # RL801: load() raising unwinds __init__ with the handle open
+        # and no caller holding a reference to close it.
+        self._handle = open(path, "rb")
+        self._data = load(self._handle)
+
+    def close(self):
+        self._handle.close()
+
+
+class ProtectedInit:
+    def __init__(self, path, load):
+        self._handle = open(path, "rb")
+        try:
+            self._data = load(self._handle)
+        except BaseException:
+            self._handle.close()
+            raise
+
+    def close(self):
+        self._handle.close()
+
+
+class ManualLock:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def risky(self, work):
+        self._lock.acquire()  # RL802: work() raising leaves it held
+        work()
+        self._lock.release()
+
+    def disciplined(self, work):
+        self._lock.acquire()
+        try:
+            work()
+        finally:
+            self._lock.release()
+
+    def with_statement_is_fine(self, work):
+        with self._lock:
+            work()

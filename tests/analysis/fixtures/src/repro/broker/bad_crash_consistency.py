@@ -1,0 +1,72 @@
+# ruff: noqa
+"""Known-bad crash consistency: must trip RL700/RL701/RL702.
+
+Lint *input* for tests/analysis — loaded by path with the fixtures
+directory as root, so this file's repo-relative path starts with
+``src/repro/broker/`` and lands inside RL700's journaled-state scope.
+"""
+import os
+
+
+class BadBroker:
+    def __init__(self, durability):
+        self.durability = durability
+        self._subscribers = {}
+        self._sequence = 0
+
+    def unsubscribe(self, sub_id):
+        # RL700: the pop is reachable without the journal record — the
+        # log call is fenced behind an unrelated membership test.
+        if self.durability is not None and sub_id in self._subscribers:
+            self.durability.log_unsubscribe(sub_id)
+        return self._subscribers.pop(sub_id, None) is not None
+
+    def publish(self, event):
+        self._sequence += 1  # RL700: no log_publish anywhere in sight
+        return self._sequence
+
+    def good_subscribe(self, sub_id, handle):
+        if self.durability is not None:
+            self.durability.log_subscribe(handle)
+        self._subscribers[sub_id] = handle  # covered: log_* dominates
+
+    def good_publish(self, event):
+        sequence = self._sequence
+        self._sequence += 1  # covered: log_publish post-dominates
+        if self.durability is not None:
+            self.durability.log_publish(sequence, event)
+        return sequence
+
+
+def swallowing_dispatcher(queue):
+    while True:
+        item = queue.get()
+        try:
+            item.dispatch()
+        except BaseException:  # RL701: absorbs SimulatedCrash silently
+            continue
+
+
+def bare_swallow(work):
+    try:
+        work()
+    except:  # RL701: bare except without re-raise
+        pass
+
+
+def rethrowing_handler_is_fine(teardown, work):
+    try:
+        work()
+    except BaseException:
+        teardown()
+        raise
+
+
+def stray_fsync(path, payload):
+    handle = open(path, "ab")
+    try:
+        handle.write(payload)
+        handle.flush()  # RL702: flush on an open() handle outside durability
+        os.fsync(handle.fileno())  # RL702: sync policy escape
+    finally:
+        handle.close()

@@ -1,0 +1,28 @@
+# ruff: noqa
+"""Known-bad float accumulation: must trip RL602 (scoped to core/).
+
+Lint *input* for tests/analysis — loaded by path with the fixtures
+directory as root, so this file's repo-relative path starts with
+``src/repro/core/`` and lands inside RL602's scoring scope.
+"""
+
+
+def accumulate_over_set(weights):
+    pool = set(weights)
+    total = 0.0
+    for w in pool:
+        total += w  # RL602: summation order is unspecified
+    return total
+
+
+def sum_over_set(weights):
+    pool = set(weights)
+    return sum(w * w for w in pool)  # RL602: generator driven by a set
+
+
+def sorted_accumulation_is_fine(weights):
+    pool = set(weights)
+    total = 0.0
+    for w in sorted(pool):
+        total += w
+    return total

@@ -8,7 +8,7 @@ from repro.analysis import (
     Finding,
     load_allowlist,
 )
-from repro.analysis.allowlist import apply_allowlist
+from repro.analysis.allowlist import apply_allowlist, check_growth
 
 LOCK_FINDING = Finding(
     path="src/repro/broker/threaded.py",
@@ -118,3 +118,45 @@ class TestMatching:
         _, _, stale = apply_allowlist([], [self._entry()])
         assert stale[0].path == ".repro-lint.toml"
         assert "ThreadedBroker._run" in stale[0].message
+
+
+class TestGrowth:
+    def _entry(self, path="src/a.py", symbol="f", reason="because A"):
+        return AllowEntry(
+            rules=("RL100",), path=path, symbol=symbol, reason=reason
+        )
+
+    def test_no_growth_no_problems(self):
+        base = [self._entry()]
+        added, problems = check_growth(base, list(base))
+        assert added == [] and problems == []
+
+    def test_shrinking_is_always_fine(self):
+        added, problems = check_growth([self._entry()], [])
+        assert added == [] and problems == []
+
+    def test_added_entry_with_its_own_reason_is_reported_not_failed(self):
+        base = [self._entry()]
+        new = self._entry(path="src/b.py", reason="because B, reviewed")
+        added, problems = check_growth(base, [*base, new])
+        assert added == [new] and problems == []
+
+    def test_copy_pasted_reason_is_a_problem(self):
+        base = [self._entry()]
+        clone = self._entry(path="src/b.py", reason="because A")
+        added, problems = check_growth(base, [*base, clone])
+        assert added == [clone]
+        assert len(problems) == 1 and "verbatim" in problems[0]
+
+    def test_rekeyed_entry_counts_as_growth(self):
+        # Renaming the symbol is a new suppression: the old key is gone
+        # (and will go stale), the new one must stand on its own.
+        base = [self._entry(symbol="f")]
+        moved = self._entry(symbol="g")
+        added, _ = check_growth(base, [moved])
+        assert added == [moved]
+
+    def test_empty_base_means_every_entry_is_growth(self):
+        head = [self._entry(), self._entry(path="src/b.py", reason="B")]
+        added, problems = check_growth([], head)
+        assert added == head and problems == []

@@ -237,3 +237,124 @@ class TestApiSurfaceFixture:
             config_fields=["first", "second"],
         )
         assert api_surface.check(modules, tmp_path) == []
+
+
+class TestDeterminismFixture:
+    def _findings(self, name="bad_determinism.py"):
+        modules, _ = _load(name)
+        from repro.analysis.checkers import determinism
+
+        return determinism.check(modules)
+
+    def test_rl600_fires_on_every_unseeded_source(self):
+        findings = [f for f in self._findings() if f.rule == "RL600"]
+        assert {f.symbol for f in findings} == {"unseeded_sources"}
+        assert len(findings) == 4  # random.random, Random(), default_rng(), rand
+
+    def test_rl601_loop_sink_and_materializers(self):
+        findings = [f for f in self._findings() if f.rule == "RL601"]
+        assert {f.symbol for f in findings} == {
+            "set_order_escapes",
+            "set_materialized",
+            "comprehension_over_set",
+        }
+
+    def test_rl601_chain_reports_the_sink(self):
+        loop = next(
+            f for f in self._findings() if f.symbol == "set_order_escapes"
+        )
+        assert "append()" in loop.message
+        assert loop.line > 0
+
+    def test_good_idioms_stay_silent(self):
+        silent = {
+            "seeded_sources_are_fine",
+            "sorted_iteration_is_fine",
+            "order_insensitive_consumers_are_fine",
+            "dict_iteration_is_fine",
+        }
+        assert not {f.symbol for f in self._findings()} & silent
+
+    def test_rl602_scoped_to_scoring_packages(self):
+        findings = self._findings("src/repro/core/bad_float_accum.py")
+        rl602 = [f for f in findings if f.rule == "RL602"]
+        assert {f.symbol for f in rl602} == {
+            "accumulate_over_set",
+            "sum_over_set",
+        }
+        assert not any(
+            f.symbol == "sorted_accumulation_is_fine" for f in findings
+        )
+
+
+class TestCrashConsistencyFixture:
+    def _findings(self):
+        modules, _ = _load("src/repro/broker/bad_crash_consistency.py")
+        from repro.analysis.checkers import crash_consistency
+
+        return crash_consistency.check(modules)
+
+    def test_rl700_uncovered_mutations(self):
+        rl700 = [f for f in self._findings() if f.rule == "RL700"]
+        assert {f.symbol for f in rl700} == {
+            "BadBroker.unsubscribe",
+            "BadBroker.publish",
+        }
+        assert all(f.chain for f in rl700)
+
+    def test_rl700_dominating_and_postdominating_logs_cover(self):
+        symbols = {f.symbol for f in self._findings() if f.rule == "RL700"}
+        assert "BadBroker.good_subscribe" not in symbols
+        assert "BadBroker.good_publish" not in symbols
+
+    def test_rl701_swallowing_handlers(self):
+        rl701 = [f for f in self._findings() if f.rule == "RL701"]
+        assert {f.symbol for f in rl701} == {
+            "swallowing_dispatcher",
+            "bare_swallow",
+        }
+        assert all(f.chain for f in rl701)
+
+    def test_rl701_rethrow_is_fine(self):
+        assert not any(
+            f.symbol == "rethrowing_handler_is_fine" for f in self._findings()
+        )
+
+    def test_rl702_fsync_and_flush_escapes(self):
+        rl702 = [f for f in self._findings() if f.rule == "RL702"]
+        assert {f.symbol for f in rl702} == {"stray_fsync"}
+        assert len(rl702) == 2  # one flush, one fsync
+        assert any("open@" in " ".join(f.chain) for f in rl702)
+
+
+class TestResourceLifecycleFixture:
+    def _findings(self):
+        modules, _ = _load("bad_resource_lifecycle.py")
+        from repro.analysis.checkers import resource_lifecycle
+
+        return resource_lifecycle.check(modules)
+
+    def test_rl800_unjoined_thread(self):
+        rl800 = [f for f in self._findings() if f.rule == "RL800"]
+        assert {f.symbol for f in rl800} == {"ForgottenWorker.__init__"}
+        assert "JoinedWorker" not in {f.symbol.split(".")[0] for f in rl800}
+
+    def test_rl801_local_leaks_on_exception_paths(self):
+        rl801 = [f for f in self._findings() if f.rule == "RL801"]
+        assert {f.symbol for f in rl801} == {
+            "leaky_temp_snapshot",
+            "leaky_handle",
+            "OrphanOnInitFailure.__init__",
+        }
+        assert all(f.chain for f in rl801)
+
+    def test_rl801_protected_idioms_stay_silent(self):
+        symbols = {f.symbol for f in self._findings()}
+        assert "protected_temp_snapshot" not in symbols
+        assert "with_handle_is_fine" not in symbols
+        assert "ProtectedInit.__init__" not in symbols
+
+    def test_rl802_acquire_without_finally(self):
+        rl802 = [f for f in self._findings() if f.rule == "RL802"]
+        assert {f.symbol for f in rl802} == {"ManualLock.risky"}
+        assert all(f.chain for f in rl802)

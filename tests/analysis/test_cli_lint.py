@@ -107,3 +107,252 @@ def test_malformed_allowlist_exits_two(tmp_path, capsys):
     )
     assert code == 2
     assert "reason" in capsys.readouterr().err
+
+
+# -- machine output contract (new in the flow-aware tier) -----------------
+
+#: The JSON shape downstream tooling may depend on: exactly these keys,
+#: exactly these types. Adding a key is fine once this snapshot moves
+#: with it; renaming or retyping one is a breaking change.
+TOP_LEVEL_SCHEMA = {
+    "ok": bool,
+    "checked_files": int,
+    "suppressed": int,
+    "findings": list,
+}
+FINDING_SCHEMA = {
+    "path": str,
+    "line": int,
+    "rule": str,
+    "symbol": str,
+    "message": str,
+    "chain": list,
+}
+
+
+def _lint_json(tmp_path, capsys, *paths):
+    code = main(
+        [
+            "lint",
+            *[str(p) for p in paths],
+            "--root",
+            str(REPO_ROOT),
+            "--allowlist",
+            str(_empty_allowlist(tmp_path)),
+            "--format",
+            "json",
+        ]
+    )
+    return code, json.loads(capsys.readouterr().out)
+
+
+def test_json_schema_snapshot(tmp_path, capsys):
+    code, payload = _lint_json(
+        tmp_path, capsys, FIXTURES / "bad_resource_lifecycle.py"
+    )
+    assert code == 1
+    assert set(payload) == set(TOP_LEVEL_SCHEMA)
+    for key, kind in TOP_LEVEL_SCHEMA.items():
+        assert isinstance(payload[key], kind), key
+    assert payload["findings"], "fixture must produce findings"
+    for finding in payload["findings"]:
+        assert set(finding) == set(FINDING_SCHEMA)
+        for key, kind in FINDING_SCHEMA.items():
+            assert isinstance(finding[key], kind), key
+        assert all(isinstance(link, str) for link in finding["chain"])
+        assert finding["line"] >= 1
+
+
+def test_new_families_exit_nonzero_with_rule_and_chain(tmp_path, capsys):
+    expectations = [
+        (FIXTURES / "bad_determinism.py", {"RL600", "RL601"}),
+        (
+            FIXTURES / "src" / "repro" / "core" / "bad_float_accum.py",
+            {"RL602"},
+        ),
+        (
+            FIXTURES
+            / "src"
+            / "repro"
+            / "broker"
+            / "bad_crash_consistency.py",
+            {"RL700", "RL701", "RL702"},
+        ),
+        (
+            FIXTURES / "bad_resource_lifecycle.py",
+            {"RL800", "RL801", "RL802"},
+        ),
+    ]
+    for path, expected_rules in expectations:
+        code, payload = _lint_json(tmp_path, capsys, path)
+        assert code == 1, path.name
+        got = {f["rule"] for f in payload["findings"]}
+        assert expected_rules <= got, (path.name, got)
+        # Acceptance: every flow-aware finding reports a chain location.
+        for finding in payload["findings"]:
+            if finding["rule"] in expected_rules - {"RL600"}:
+                assert finding["chain"] or "RL60" in finding["rule"], finding
+
+
+def test_changed_mode_rejects_explicit_paths(capsys):
+    code = main(
+        [
+            "lint",
+            str(FIXTURES / "bad_clock.py"),
+            "--root",
+            str(REPO_ROOT),
+            "--changed",
+        ]
+    )
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_changed_mode_clean_on_clean_checkout(tmp_path, capsys):
+    """In a scratch repo with no changes, --changed exits 0 trivially."""
+    import subprocess
+
+    scratch = tmp_path / "repo"
+    (scratch / "src").mkdir(parents=True)
+    (scratch / "src" / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    subprocess.run(["git", "init", "-q"], cwd=scratch, check=True)
+    subprocess.run(["git", "add", "-A"], cwd=scratch, check=True)
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+         "commit", "-qm", "seed"],
+        cwd=scratch,
+        check=True,
+    )
+    code = main(["lint", "--root", str(scratch), "--changed"])
+    assert code == 0
+    assert "no changed Python files" in capsys.readouterr().out
+
+
+def test_changed_mode_scans_modified_file(tmp_path, capsys):
+    import subprocess
+
+    scratch = tmp_path / "repo"
+    (scratch / "src").mkdir(parents=True)
+    target = scratch / "src" / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    subprocess.run(["git", "init", "-q"], cwd=scratch, check=True)
+    subprocess.run(["git", "add", "-A"], cwd=scratch, check=True)
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+         "commit", "-qm", "seed"],
+        cwd=scratch,
+        check=True,
+    )
+    target.write_text(
+        "import random\n\n\ndef f():\n    return random.random()\n",
+        encoding="utf-8",
+    )
+    code = main(["lint", "--root", str(scratch), "--changed"])
+    assert code == 1
+    assert "RL600" in capsys.readouterr().out
+
+
+# -- allowlist growth audit (CI base-vs-head comparison) --------------------
+
+GROWTH_ENTRY = """\
+[[allow]]
+rules = ["RL100"]
+path = "src/repro/broker/threaded.py"
+symbol = "ThreadedBroker._run"
+reason = "serialized inner broker; reviewed in PR 4"
+"""
+
+
+def test_growth_base_clean_when_identical(tmp_path, capsys):
+    base = tmp_path / "base.toml"
+    head = tmp_path / "head.toml"
+    base.write_text(GROWTH_ENTRY, encoding="utf-8")
+    head.write_text(GROWTH_ENTRY, encoding="utf-8")
+    code = main(
+        [
+            "lint",
+            "--root", str(REPO_ROOT),
+            "--allowlist", str(head),
+            "--growth-base", str(base),
+        ]
+    )
+    assert code == 0
+    assert "0 added" in capsys.readouterr().out
+
+
+def test_growth_base_reports_added_entry_with_reason(tmp_path, capsys):
+    base = tmp_path / "base.toml"
+    head = tmp_path / "head.toml"
+    base.write_text(GROWTH_ENTRY, encoding="utf-8")
+    head.write_text(
+        GROWTH_ENTRY
+        + '\n[[allow]]\nrules = ["RL601"]\npath = "src/x.py"\n'
+        + 'symbol = "g"\nreason = "bounded two-element set; reviewed"\n',
+        encoding="utf-8",
+    )
+    code = main(
+        [
+            "lint",
+            "--root", str(REPO_ROOT),
+            "--allowlist", str(head),
+            "--growth-base", str(base),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0  # growth with its own reason is legal, just surfaced
+    assert "allowlist +src/x.py [g] RL601" in out
+    assert "bounded two-element set; reviewed" in out
+
+
+def test_growth_base_fails_on_copy_pasted_reason(tmp_path, capsys):
+    base = tmp_path / "base.toml"
+    head = tmp_path / "head.toml"
+    base.write_text(GROWTH_ENTRY, encoding="utf-8")
+    head.write_text(
+        GROWTH_ENTRY
+        + '\n[[allow]]\nrules = ["RL601"]\npath = "src/x.py"\n'
+        + 'symbol = "g"\nreason = "serialized inner broker; reviewed in PR 4"\n',
+        encoding="utf-8",
+    )
+    code = main(
+        [
+            "lint",
+            "--root", str(REPO_ROOT),
+            "--allowlist", str(head),
+            "--growth-base", str(base),
+        ]
+    )
+    assert code == 1
+    assert "verbatim copy" in capsys.readouterr().err
+
+
+def test_growth_base_missing_base_file_counts_all_as_growth(tmp_path, capsys):
+    head = tmp_path / "head.toml"
+    head.write_text(GROWTH_ENTRY, encoding="utf-8")
+    code = main(
+        [
+            "lint",
+            "--root", str(REPO_ROOT),
+            "--allowlist", str(head),
+            "--growth-base", str(tmp_path / "does-not-exist.toml"),
+        ]
+    )
+    assert code == 0
+    assert "1 added" in capsys.readouterr().out
+
+
+def test_growth_base_malformed_head_exits_two(tmp_path, capsys):
+    base = tmp_path / "base.toml"
+    head = tmp_path / "head.toml"
+    base.write_text("", encoding="utf-8")
+    head.write_text("[[allow]]\nrules = [\"RL100\"]\n", encoding="utf-8")
+    code = main(
+        [
+            "lint",
+            "--root", str(REPO_ROOT),
+            "--allowlist", str(head),
+            "--growth-base", str(base),
+        ]
+    )
+    assert code == 2
+    assert "needs 'path'" in capsys.readouterr().err

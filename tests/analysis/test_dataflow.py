@@ -1,0 +1,304 @@
+"""Unit coverage for the CFG/def-use core under the RL6xx–RL8xx rules.
+
+The checkers exercise :mod:`repro.analysis.dataflow` end to end; these
+tests pin the primitives in isolation — block structure, dominance,
+exception edges, finally routing, guard collapse, reaching definitions
+— so a checker regression can be bisected to the layer that broke.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    ReachingDefs,
+    build_cfg,
+    own_calls,
+    stmt_own_exprs,
+)
+
+
+def _fn(source):
+    tree = ast.parse(textwrap.dedent(source))
+    node = tree.body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+def _block_containing(cfg, needle):
+    """Block whose own statements include one unparsing to ``needle``."""
+    hits = []
+    for block in cfg.blocks.values():
+        for stmt in block.stmts:
+            exprs = stmt_own_exprs(stmt)
+            rendered = [ast.unparse(e) for e in exprs]
+            if isinstance(stmt, (ast.Return, ast.Assign, ast.Expr, ast.AugAssign)):
+                rendered.append(ast.unparse(stmt))
+            if any(needle == r for r in rendered):
+                hits.append(block.id)
+    assert hits, f"no block contains {needle!r}"
+    assert len(set(hits)) == 1, f"{needle!r} ambiguous across blocks {hits}"
+    return hits[0]
+
+
+class TestStructure:
+    def test_straight_line_single_block(self):
+        cfg = build_cfg(_fn("""
+            def f(x):
+                y = x + 1
+                return y
+        """))
+        reachable = cfg.reachable_from_entry()
+        bodies = [
+            b for b in reachable if cfg.blocks[b].stmts
+        ]
+        assert len(bodies) == 1
+
+    def test_if_produces_join(self):
+        cfg = build_cfg(_fn("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """))
+        then_b = _block_containing(cfg, "a = 1")
+        else_b = _block_containing(cfg, "a = 2")
+        ret_b = _block_containing(cfg, "return a")
+        assert ret_b in cfg.blocks[then_b].succs
+        assert ret_b in cfg.blocks[else_b].succs
+
+    def test_call_gets_exception_edge_to_exit(self):
+        cfg = build_cfg(_fn("""
+            def f(x):
+                risky(x)
+                return 1
+        """))
+        risky_b = _block_containing(cfg, "risky(x)")
+        assert cfg.exit in cfg.blocks[risky_b].raises_to
+
+    def test_exception_edges_can_be_disabled(self):
+        cfg = build_cfg(_fn("""
+            def f(x):
+                risky(x)
+                return 1
+        """), exception_edges=False)
+        risky_b = _block_containing(cfg, "risky(x)")
+        assert not cfg.blocks[risky_b].raises_to
+
+
+class TestDominance:
+    SRC = """
+        def f(x):
+            start(x)
+            if x:
+                left()
+            else:
+                right()
+            done()
+    """
+
+    def test_entry_side_dominates_join(self):
+        cfg = build_cfg(_fn(self.SRC), exception_edges=False)
+        dom = cfg.dominators()
+        start_b = _block_containing(cfg, "start(x)")
+        done_b = _block_containing(cfg, "done()")
+        left_b = _block_containing(cfg, "left()")
+        assert start_b in dom[done_b]
+        assert left_b not in dom[done_b]
+
+    def test_join_postdominates_branches(self):
+        cfg = build_cfg(_fn(self.SRC), exception_edges=False)
+        pdom = cfg.postdominators()
+        done_b = _block_containing(cfg, "done()")
+        left_b = _block_containing(cfg, "left()")
+        right_b = _block_containing(cfg, "right()")
+        assert done_b in pdom[left_b]
+        assert done_b in pdom[right_b]
+
+    def test_exception_edges_dissolve_postdominance(self):
+        cfg = build_cfg(_fn(self.SRC), exception_edges=True)
+        pdom = cfg.postdominators()
+        done_b = _block_containing(cfg, "done()")
+        left_b = _block_containing(cfg, "left()")
+        assert done_b not in pdom[left_b]
+
+
+class TestTryFinally:
+    def test_no_path_to_exit_dodges_the_finally(self):
+        cfg = build_cfg(_fn("""
+            def f(h):
+                try:
+                    work(h)
+                finally:
+                    h.close()
+        """))
+        # The finally body is replayed per abrupt-exit route, so it
+        # appears in multiple blocks; the invariant is path-shaped, not
+        # single-block post-dominance.
+        close_blocks = {
+            b.id
+            for b in cfg.blocks.values()
+            if any("h.close()" in ast.unparse(s) for s in b.stmts)
+        }
+        work_b = _block_containing(cfg, "work(h)")
+        assert len(close_blocks) >= 2  # normal + exceptional replays
+        assert not cfg.path_avoiding(work_b, cfg.exit, close_blocks)
+
+    def test_return_routes_through_finally(self):
+        cfg = build_cfg(_fn("""
+            def f(h):
+                try:
+                    return work(h)
+                finally:
+                    h.close()
+        """))
+        ret_b = next(
+            b.id
+            for b in cfg.blocks.values()
+            if any(isinstance(s, ast.Return) for s in b.stmts)
+        )
+        block = cfg.blocks[ret_b]
+        # The replayed finally joins the return in its own block (the
+        # straight-line route), and the raise edge from the returned
+        # call lands in a block that also closes.
+        assert any("h.close()" in ast.unparse(s) for s in block.stmts)
+        for target in block.raises_to:
+            assert any(
+                "h.close()" in ast.unparse(s)
+                for s in cfg.blocks[target].stmts
+            )
+
+    def test_handler_receives_raise_edge(self):
+        cfg = build_cfg(_fn("""
+            def f(h):
+                try:
+                    work(h)
+                except ValueError:
+                    recover(h)
+        """))
+        work_b = _block_containing(cfg, "work(h)")
+        recover_b = _block_containing(cfg, "recover(h)")
+        assert cfg.path_avoiding(work_b, recover_b, set())
+        assert cfg.exit not in cfg.blocks[work_b].raises_to
+
+
+class TestGuardCollapse:
+    SRC = """
+        def f(self, event):
+            self._sequence += 1
+            if self.durability is not None:
+                self.durability.log_publish(event)
+            self._replay.append(event)
+    """
+
+    def test_collapsed_guard_makes_log_postdominate(self):
+        cfg = build_cfg(
+            _fn(self.SRC),
+            collapse_guards=("durability",),
+            exception_edges=False,
+        )
+        seq_b = _block_containing(cfg, "self._sequence += 1")
+        log_b = _block_containing(cfg, "self.durability.log_publish(event)")
+        assert log_b in cfg.postdominators()[seq_b]
+
+    def test_uncollapsed_guard_keeps_both_edges(self):
+        cfg = build_cfg(_fn(self.SRC), exception_edges=False)
+        seq_b = _block_containing(cfg, "self._sequence += 1")
+        log_b = _block_containing(cfg, "self.durability.log_publish(event)")
+        assert log_b not in cfg.postdominators()[seq_b]
+
+
+class TestSuccsAfter:
+    def test_creation_statements_own_raise_is_discounted(self):
+        cfg = build_cfg(_fn("""
+            def f(path):
+                h = open(path)
+                return h
+        """))
+        creation = None
+        for block in cfg.blocks.values():
+            for stmt in block.stmts:
+                if isinstance(stmt, ast.Assign):
+                    creation = (block.id, stmt)
+        assert creation is not None
+        block_id, stmt = creation
+        # `return h` cannot raise, so the only live successors after the
+        # open() ran are the normal ones.
+        assert cfg.succs_after(block_id, stmt) == (
+            cfg.blocks[block_id].succs - cfg.blocks[block_id].raises_to
+        )
+
+    def test_later_raising_statement_keeps_the_edges(self):
+        cfg = build_cfg(_fn("""
+            def f(path):
+                h = open(path)
+                risky(h)
+        """))
+        for block in cfg.blocks.values():
+            for stmt in block.stmts:
+                if isinstance(stmt, ast.Assign):
+                    assert cfg.succs_after(block.id, stmt) == set(
+                        cfg.blocks[block.id].succs
+                    )
+
+
+class TestReachingDefs:
+    def test_single_def_reaches_use(self):
+        fn = _fn("""
+            def f():
+                terms = set()
+                for t in terms:
+                    use(t)
+        """)
+        cfg = build_cfg(fn)
+        rd = ReachingDefs(cfg)
+        loop = next(n for n in ast.walk(fn) if isinstance(n, ast.For))
+        block = cfg.block_of_stmt[id(loop)]
+        defs = rd.reaching(block, loop, "terms")
+        assert len(defs) == 1
+        assert isinstance(defs[0].value, ast.Call)
+
+    def test_branches_merge_both_defs(self):
+        fn = _fn("""
+            def f(x):
+                if x:
+                    v = set()
+                else:
+                    v = []
+                use(v)
+        """)
+        cfg = build_cfg(fn)
+        rd = ReachingDefs(cfg)
+        use = fn.body[-1]
+        block = cfg.block_of_stmt[id(use)]
+        values = {
+            type(d.value).__name__ for d in rd.reaching(block, use, "v")
+        }
+        assert values == {"Call", "List"}
+
+    def test_redefinition_kills_in_block(self):
+        fn = _fn("""
+            def f():
+                v = set()
+                v = []
+                use(v)
+        """)
+        cfg = build_cfg(fn)
+        rd = ReachingDefs(cfg)
+        use = fn.body[-1]
+        block = cfg.block_of_stmt[id(use)]
+        defs = rd.reaching(block, use, "v")
+        assert len(defs) == 1
+        assert isinstance(defs[0].value, ast.List)
+
+
+class TestOwnExprs:
+    def test_compound_heads_do_not_leak_their_bodies(self):
+        stmt = ast.parse("if cond():\n    body()\n").body[0]
+        calls = [ast.unparse(c) for c in own_calls(stmt)]
+        assert calls == ["cond()"]
+
+    def test_lambda_bodies_are_not_own_calls(self):
+        stmt = ast.parse("h = lambda: log_drain()\n").body[0]
+        assert own_calls(stmt) == []
